@@ -1,0 +1,47 @@
+//! Criterion micro-benchmark behind Figure 5: brute force vs single pass
+//! over growing attribute subsets (in-memory, so the measured time tracks
+//! the item counts the figure plots; the counts themselves come from
+//! `cargo run -p ind-bench --bin fig5`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ind_bench::datasets::bench_scale;
+use ind_core::{
+    generate_candidates, memory_export, run_brute_force, run_single_pass, PretestConfig,
+    RunMetrics,
+};
+
+fn fig5_io(c: &mut Criterion) {
+    let db = bench_scale::uniprot();
+    let (profiles, provider) = memory_export(&db);
+    let mut group = c.benchmark_group("fig5_io");
+    group.sample_size(10);
+    for k in [20usize, 40, 82] {
+        let subset = &profiles[..k.min(profiles.len())];
+        let mut gen = RunMetrics::new();
+        let candidates = generate_candidates(subset, &PretestConfig::default(), &mut gen);
+        group.bench_with_input(
+            BenchmarkId::new("brute_force", k),
+            &candidates,
+            |b, candidates| {
+                b.iter(|| {
+                    let mut m = RunMetrics::new();
+                    run_brute_force(&provider, candidates, &mut m).expect("bf").len()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("single_pass", k),
+            &candidates,
+            |b, candidates| {
+                b.iter(|| {
+                    let mut m = RunMetrics::new();
+                    run_single_pass(&provider, candidates, &mut m).expect("sp").len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig5_io);
+criterion_main!(benches);

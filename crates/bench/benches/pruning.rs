@@ -1,0 +1,49 @@
+//! Criterion micro-benchmark behind the Sec. 4.1 pruning experiment: full
+//! candidate set vs max-value-pretested candidate set, both algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ind_bench::datasets::bench_scale;
+use ind_core::{
+    generate_candidates, memory_export, run_brute_force, run_single_pass, PretestConfig,
+    RunMetrics,
+};
+
+fn pruning(c: &mut Criterion) {
+    let datasets = [("uniprot", bench_scale::uniprot()), ("pdb", bench_scale::pdb())];
+    let mut group = c.benchmark_group("pruning_max_value");
+    group.sample_size(10);
+    for (name, db) in &datasets {
+        let (profiles, provider) = memory_export(db);
+        let mut gen = RunMetrics::new();
+        let base = generate_candidates(&profiles, &PretestConfig::default(), &mut gen);
+        let mut gen = RunMetrics::new();
+        let pruned = generate_candidates(&profiles, &PretestConfig::with_max_value(), &mut gen);
+
+        for (label, candidates) in [("all_candidates", &base), ("max_pretested", &pruned)] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("bf_{label}"), name),
+                candidates,
+                |b, candidates| {
+                    b.iter(|| {
+                        let mut m = RunMetrics::new();
+                        run_brute_force(&provider, candidates, &mut m).expect("bf").len()
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("sp_{label}"), name),
+                candidates,
+                |b, candidates| {
+                    b.iter(|| {
+                        let mut m = RunMetrics::new();
+                        run_single_pass(&provider, candidates, &mut m).expect("sp").len()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, pruning);
+criterion_main!(benches);

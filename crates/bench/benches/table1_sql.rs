@@ -1,0 +1,34 @@
+//! Criterion micro-benchmark behind Table 1: the three SQL statements on
+//! reduced-scale UniProt and SCOP instances. The full-scale table (with
+//! the PDB column and deadline handling) comes from
+//! `cargo run -p ind-bench --bin table1`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ind_bench::datasets::bench_scale;
+use ind_core::PretestConfig;
+use ind_sql::{run_sql_discovery, SqlApproach};
+
+fn table1_sql(c: &mut Criterion) {
+    let datasets = [("uniprot", bench_scale::uniprot()), ("scop", bench_scale::scop())];
+    let mut group = c.benchmark_group("table1_sql");
+    group.sample_size(10);
+    for (name, db) in &datasets {
+        for approach in SqlApproach::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(approach.name().replace(' ', "_"), name),
+                db,
+                |b, db| {
+                    b.iter(|| {
+                        run_sql_discovery(db, approach, &PretestConfig::default())
+                            .expect("sql discovery")
+                            .ind_count()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table1_sql);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion micro-benchmark behind Table 2: the database-external
+//! algorithms over exported sorted value files (export performed once,
+//! outside the measurement loop; the harness binary measures the inclusive
+//! pipeline).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ind_bench::datasets::bench_scale;
+use ind_core::{
+    generate_candidates, profiles_from_export, run_blockwise, run_brute_force, run_single_pass,
+    run_spider, BlockwiseConfig, PretestConfig, RunMetrics,
+};
+use ind_testkit::TempDir;
+use ind_valueset::{ExportOptions, ExportedDatabase};
+
+fn table2_external(c: &mut Criterion) {
+    let datasets = [
+        ("uniprot", bench_scale::uniprot()),
+        ("scop", bench_scale::scop()),
+        ("pdb", bench_scale::pdb()),
+    ];
+    let mut group = c.benchmark_group("table2_external");
+    group.sample_size(10);
+    for (name, db) in &datasets {
+        let dir = TempDir::new("bench-table2");
+        let export =
+            ExportedDatabase::export(db, dir.path(), &ExportOptions::default()).expect("export");
+        let profiles = profiles_from_export(&export);
+        let mut gen = RunMetrics::new();
+        let candidates = generate_candidates(&profiles, &PretestConfig::default(), &mut gen);
+
+        group.bench_with_input(BenchmarkId::new("brute_force", name), &export, |b, e| {
+            b.iter(|| {
+                let mut m = RunMetrics::new();
+                run_brute_force(e, &candidates, &mut m).expect("bf").len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("single_pass", name), &export, |b, e| {
+            b.iter(|| {
+                let mut m = RunMetrics::new();
+                run_single_pass(e, &candidates, &mut m).expect("sp").len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("spider", name), &export, |b, e| {
+            b.iter(|| {
+                let mut m = RunMetrics::new();
+                run_spider(e, &candidates, &mut m).expect("spider").len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("blockwise_64", name), &export, |b, e| {
+            b.iter(|| {
+                let mut m = RunMetrics::new();
+                run_blockwise(e, &candidates, &BlockwiseConfig { max_open_files: 64 }, &mut m)
+                    .expect("bw")
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table2_external);
+criterion_main!(benches);

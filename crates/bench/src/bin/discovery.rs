@@ -1,0 +1,4 @@
+//! Regenerates the Sec. 5 schema-discovery analysis. `cargo run --release -p ind-bench --bin discovery`
+fn main() {
+    ind_bench::experiments::emit("discovery", &ind_bench::experiments::discovery());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 5 (I/O comparison). `cargo run --release -p ind-bench --bin fig5`
+fn main() {
+    ind_bench::experiments::emit("fig5", &ind_bench::experiments::fig5());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the Sec. 4.1 pruning experiment. `cargo run --release -p ind-bench --bin pruning`
+fn main() {
+    ind_bench::experiments::emit("pruning", &ind_bench::experiments::pruning());
+}

@@ -1,0 +1,24 @@
+//! Regenerates every table and figure in sequence.
+//! `cargo run --release -p ind-bench --bin run_all [--large]`
+type Experiment = (&'static str, Box<dyn Fn() -> String>);
+
+fn main() {
+    let large = std::env::args().any(|a| a == "--large");
+    let experiments: Vec<Experiment> = vec![
+        ("table1", Box::new(ind_bench::experiments::table1)),
+        ("table2", Box::new(ind_bench::experiments::table2)),
+        ("fig5", Box::new(ind_bench::experiments::fig5)),
+        ("pruning", Box::new(ind_bench::experiments::pruning)),
+        ("discovery", Box::new(ind_bench::experiments::discovery)),
+        (
+            "scalability",
+            Box::new(move || ind_bench::experiments::scalability(large)),
+        ),
+    ];
+    for (name, run) in experiments {
+        println!("=== {name} ===");
+        let started = std::time::Instant::now();
+        ind_bench::experiments::emit(name, &run());
+        println!("[{name} finished in {:?}]\n", started.elapsed());
+    }
+}

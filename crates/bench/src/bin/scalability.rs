@@ -1,0 +1,6 @@
+//! Regenerates the Sec. 4.2 scalability experiment.
+//! `cargo run --release -p ind-bench --bin scalability [--large]`
+fn main() {
+    let large = std::env::args().any(|a| a == "--large");
+    ind_bench::experiments::emit("scalability", &ind_bench::experiments::scalability(large));
+}

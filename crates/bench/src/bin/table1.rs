@@ -1,0 +1,8 @@
+//! Regenerates Table 1 (SQL approaches).
+//! `cargo run --release -p ind-bench --bin table1 [--large]`
+//! With `--large` the paper's wide PDB fraction is added, on which the SQL
+//! approaches exceed the deadline (the "> 7 days" outcome).
+fn main() {
+    let large = std::env::args().any(|a| a == "--large");
+    ind_bench::experiments::emit("table1", &ind_bench::experiments::table1_with(large));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 2 (external algorithms vs join). `cargo run --release -p ind-bench --bin table2`
+fn main() {
+    ind_bench::experiments::emit("table2", &ind_bench::experiments::table2());
+}

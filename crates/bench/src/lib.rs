@@ -1,0 +1,26 @@
+//! # ind-bench
+//!
+//! The experiment harness: one module (and one binary) per table/figure of
+//! the paper, plus Criterion micro-benchmarks. See DESIGN.md's
+//! per-experiment index and EXPERIMENTS.md for measured-vs-paper results.
+//!
+//! Binaries (each prints a paper-shaped report and writes
+//! `experiments/<name>.txt`):
+//!
+//! * `table1` — Table 1, SQL approaches;
+//! * `table2` — Table 2, external algorithms vs join;
+//! * `fig5` — Figure 5, I/O comparison;
+//! * `pruning` — Sec. 4.1 max-value pretest;
+//! * `discovery` — Sec. 5 schema-discovery analysis;
+//! * `scalability` — Sec. 4.2 open-file limit and the block-wise fix;
+//! * `run_all` — everything above in sequence.
+
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod experiments;
+pub mod sql_deadline;
+pub mod table;
+
+pub use sql_deadline::{run_sql_with_deadline, SqlOutcome};
+pub use table::{format_count, format_duration, TextTable};

@@ -1,0 +1,129 @@
+//! Plain-text table rendering for the experiment harness, shaped like the
+//! paper's tables.
+
+/// A simple left-padded text table.
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row arity");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders with column-aligned padding and a header rule.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", c, width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a duration the way the paper's tables do (`15m 03s`, `7.3s`).
+pub fn format_duration(d: std::time::Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs >= 3600.0 {
+        format!("{}h {:02}m", secs as u64 / 3600, (secs as u64 % 3600) / 60)
+    } else if secs >= 60.0 {
+        format!("{}m {:02}s", secs as u64 / 60, secs as u64 % 60)
+    } else if secs >= 1.0 {
+        format!("{:.1}s", secs)
+    } else {
+        format!("{:.0}ms", secs * 1000.0)
+    }
+}
+
+/// Formats large counts with thousands separators, as the paper prints
+/// them (`139,356`).
+pub fn format_count(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["short", "1"]);
+        t.row(vec!["a much longer name", "23,456"]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        TextTable::new(vec!["a", "b"]).row(vec!["only one"]);
+    }
+
+    #[test]
+    fn duration_formats() {
+        assert_eq!(format_duration(Duration::from_millis(12)), "12ms");
+        assert_eq!(format_duration(Duration::from_secs_f64(7.3)), "7.3s");
+        assert_eq!(format_duration(Duration::from_secs(903)), "15m 03s");
+        assert_eq!(format_duration(Duration::from_secs(11186)), "3h 06m");
+    }
+
+    #[test]
+    fn count_formats() {
+        assert_eq!(format_count(7), "7");
+        assert_eq!(format_count(910), "910");
+        assert_eq!(format_count(30753), "30,753");
+        assert_eq!(format_count(139356), "139,356");
+    }
+}

@@ -1,0 +1,108 @@
+//! Transitive closure over IND sets.
+//!
+//! Section 5 classifies discovered INDs against the gold standard: "we
+//! found 11 INDs that are in the transitive closure of the foreign key
+//! definitions, i.e., if there are foreign keys A ⊆ B and B ⊆ C we find the
+//! satisfied INDs A ⊆ B, B ⊆ C, and A ⊆ C." This module computes that
+//! closure so the discovery layer can separate closure INDs from genuine
+//! false positives.
+
+use crate::candidates::Candidate;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Computes the transitive closure of a set of INDs viewed as edges
+/// `dep → ref`. Self-pairs are never emitted (trivially reflexive).
+pub fn transitive_closure(inds: &[Candidate]) -> BTreeSet<Candidate> {
+    let mut adj: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+    let mut nodes: BTreeSet<u32> = BTreeSet::new();
+    for c in inds {
+        adj.entry(c.dep).or_default().push(c.refd);
+        nodes.insert(c.dep);
+        nodes.insert(c.refd);
+    }
+    let mut out = BTreeSet::new();
+    for &start in &nodes {
+        // BFS from `start` over IND edges.
+        let mut seen: BTreeSet<u32> = BTreeSet::new();
+        let mut queue: VecDeque<u32> = VecDeque::new();
+        queue.push_back(start);
+        while let Some(node) = queue.pop_front() {
+            if let Some(nexts) = adj.get(&node) {
+                for &n in nexts {
+                    if n != start && seen.insert(n) {
+                        queue.push_back(n);
+                    }
+                }
+            }
+        }
+        for reach in seen {
+            out.insert(Candidate::new(start, reach));
+        }
+    }
+    out
+}
+
+/// True when `candidate` is implied by `base` via transitivity (including
+/// being a member of `base` itself).
+pub fn in_closure(base: &[Candidate], candidate: &Candidate) -> bool {
+    if candidate.dep == candidate.refd {
+        return true;
+    }
+    transitive_closure(base).contains(candidate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_closure() {
+        let base = vec![Candidate::new(0, 1), Candidate::new(1, 2)];
+        let closure = transitive_closure(&base);
+        assert_eq!(
+            closure.into_iter().collect::<Vec<_>>(),
+            vec![
+                Candidate::new(0, 1),
+                Candidate::new(0, 2),
+                Candidate::new(1, 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn cycles_do_not_loop_forever() {
+        // Set equality shows up as a 2-cycle (A ⊆ B and B ⊆ A).
+        let base = vec![Candidate::new(0, 1), Candidate::new(1, 0)];
+        let closure = transitive_closure(&base);
+        assert_eq!(closure.len(), 2, "no self-pairs emitted");
+        assert!(closure.contains(&Candidate::new(0, 1)));
+        assert!(closure.contains(&Candidate::new(1, 0)));
+    }
+
+    #[test]
+    fn diamond_closure() {
+        let base = vec![
+            Candidate::new(0, 1),
+            Candidate::new(0, 2),
+            Candidate::new(1, 3),
+            Candidate::new(2, 3),
+        ];
+        let closure = transitive_closure(&base);
+        assert!(closure.contains(&Candidate::new(0, 3)));
+        assert_eq!(closure.len(), 5);
+    }
+
+    #[test]
+    fn in_closure_checks() {
+        let base = vec![Candidate::new(0, 1), Candidate::new(1, 2)];
+        assert!(in_closure(&base, &Candidate::new(0, 2)));
+        assert!(in_closure(&base, &Candidate::new(0, 1)));
+        assert!(!in_closure(&base, &Candidate::new(2, 0)));
+        assert!(in_closure(&base, &Candidate::new(5, 5)), "reflexive");
+    }
+
+    #[test]
+    fn empty_base() {
+        assert!(transitive_closure(&[]).is_empty());
+    }
+}

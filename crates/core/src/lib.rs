@@ -1,0 +1,49 @@
+//! # ind-core
+//!
+//! Unary inclusion dependency discovery — the paper's primary contribution.
+//!
+//! The crate provides, over any [`ind_valueset::ValueSetProvider`]:
+//!
+//! * [`brute_force`] — Algorithm 1: one candidate at a time, merging two
+//!   sorted cursors with early termination (Sec. 3.1), plus a parallel
+//!   extension;
+//! * [`single_pass`] — Algorithms 2/3: all candidates in parallel during
+//!   one coordinated scan (Sec. 3.2);
+//!
+//! * [`spider`] — the "future work" improvement of the single-pass idea: a
+//!   min-heap k-way merge over all attribute cursors (Sec. 7);
+//! * [`blockwise`] — the Sec. 4.2 block-wise single-pass that respects an
+//!   open-file budget;
+//! * [`pruning`] — Bell–Brockhausen transitivity inference and the sampling
+//!   pretest (Secs. 6/7); the cardinality/max-value pretests live in
+//!   candidate generation;
+//! * [`closure`] — transitive-closure utilities over IND sets;
+//! * [`runner`] — the [`IndFinder`] facade tying everything together.
+
+#![warn(missing_docs)]
+
+mod attr;
+pub mod blockwise;
+pub mod brute_force;
+mod candidates;
+pub mod closure;
+mod metrics;
+pub mod partial;
+pub mod pruning;
+pub mod runner;
+pub mod single_pass;
+pub mod spider;
+
+pub use attr::{memory_export, profile_database, profiles_from_export, AttributeProfile};
+pub use blockwise::{run_blockwise, BlockwiseConfig};
+pub use brute_force::{run_brute_force, run_brute_force_parallel, test_candidate};
+pub use candidates::{generate_candidates, Candidate, Ind, PretestConfig};
+pub use closure::{in_closure, transitive_closure};
+pub use metrics::RunMetrics;
+pub use partial::{inclusion_count, InclusionCount};
+pub use pruning::{
+    run_brute_force_with_transitivity, sampling_pretest, SamplingConfig, TransitivityOracle,
+};
+pub use runner::{Algorithm, Discovery, FinderConfig, IndFinder};
+pub use single_pass::run_single_pass;
+pub use spider::run_spider;

@@ -1,0 +1,143 @@
+//! Run metrics shared by every discovery algorithm.
+//!
+//! `items_read` is the quantity plotted in the paper's Figure 5 ("number of
+//! items read"); candidate counters back Tables 1/2 and the Sec. 4.1
+//! pruning experiment.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Counters accumulated during candidate generation and testing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunMetrics {
+    /// Ordered (dependent, referenced) pairs examined by the generator.
+    pub pairs_considered: u64,
+    /// Pairs rejected by the cardinality pretest (`|s(dep)| > |s(ref)|`).
+    pub pruned_cardinality: u64,
+    /// Pairs rejected by the max-value pretest (Sec. 4.1).
+    pub pruned_max_value: u64,
+    /// Pairs rejected by the min-value pretest (extension).
+    pub pruned_min_value: u64,
+    /// Candidates classified as satisfied by transitivity inference.
+    pub inferred_satisfied: u64,
+    /// Candidates classified as refuted by transitivity inference.
+    pub inferred_refuted: u64,
+    /// Candidates refuted by the sampling pretest.
+    pub pruned_sampling: u64,
+    /// Candidates whose value sets were actually compared.
+    pub tested: u64,
+    /// Satisfied INDs found (including inferred ones).
+    pub satisfied: u64,
+    /// Values read from value-set cursors (the Figure 5 metric).
+    pub items_read: u64,
+    /// Byte-string comparisons performed.
+    pub comparisons: u64,
+    /// Cursors opened (2 per brute-force test; one per role in single-pass).
+    pub cursor_opens: u64,
+    /// Wall-clock time of the measured phase.
+    pub elapsed: Duration,
+}
+
+impl RunMetrics {
+    /// Fresh zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of candidates that survived generation (i.e. entered the
+    /// testing phase).
+    pub fn candidates(&self) -> u64 {
+        self.pairs_considered
+            - self.pruned_cardinality
+            - self.pruned_max_value
+            - self.pruned_min_value
+    }
+
+    /// Merges `other` into `self` (summing counters and durations), used by
+    /// the parallel brute-force runner and the block-wise algorithm.
+    pub fn merge(&mut self, other: &RunMetrics) {
+        self.pairs_considered += other.pairs_considered;
+        self.pruned_cardinality += other.pruned_cardinality;
+        self.pruned_max_value += other.pruned_max_value;
+        self.pruned_min_value += other.pruned_min_value;
+        self.inferred_satisfied += other.inferred_satisfied;
+        self.inferred_refuted += other.inferred_refuted;
+        self.pruned_sampling += other.pruned_sampling;
+        self.tested += other.tested;
+        self.satisfied += other.satisfied;
+        self.items_read += other.items_read;
+        self.comparisons += other.comparisons;
+        self.cursor_opens += other.cursor_opens;
+        self.elapsed += other.elapsed;
+    }
+}
+
+impl fmt::Display for RunMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "candidates={} (considered={}, pruned: card={}, max={}, min={}, sampling={}, \
+             inferred: sat={}, ref={}), tested={}, satisfied={}, items_read={}, \
+             comparisons={}, cursor_opens={}, elapsed={:?}",
+            self.candidates(),
+            self.pairs_considered,
+            self.pruned_cardinality,
+            self.pruned_max_value,
+            self.pruned_min_value,
+            self.pruned_sampling,
+            self.inferred_satisfied,
+            self.inferred_refuted,
+            self.tested,
+            self.satisfied,
+            self.items_read,
+            self.comparisons,
+            self.cursor_opens,
+            self.elapsed,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = RunMetrics {
+            pairs_considered: 10,
+            pruned_cardinality: 2,
+            tested: 8,
+            satisfied: 3,
+            items_read: 100,
+            elapsed: Duration::from_millis(5),
+            ..Default::default()
+        };
+        let b = RunMetrics {
+            pairs_considered: 5,
+            tested: 5,
+            satisfied: 1,
+            items_read: 50,
+            elapsed: Duration::from_millis(7),
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.pairs_considered, 15);
+        assert_eq!(a.tested, 13);
+        assert_eq!(a.satisfied, 4);
+        assert_eq!(a.items_read, 150);
+        assert_eq!(a.elapsed, Duration::from_millis(12));
+        assert_eq!(a.candidates(), 13);
+    }
+
+    #[test]
+    fn display_mentions_key_counters() {
+        let m = RunMetrics {
+            pairs_considered: 3,
+            satisfied: 2,
+            ..Default::default()
+        };
+        let s = m.to_string();
+        assert!(s.contains("satisfied=2"));
+        assert!(s.contains("considered=3"));
+    }
+}

@@ -1,0 +1,140 @@
+//! Partial inclusion dependencies (Sec. 7 future work).
+//!
+//! "Furthermore we plan to extend our procedure to identify partial INDs on
+//! dirty data." A partial IND holds with *inclusion coefficient*
+//! `|s(dep) ∩ s(ref)| / |s(dep)|`; coefficient 1.0 is an exact IND. Unlike
+//! the exact test, computing the coefficient cannot terminate early on the
+//! first mismatch — the full dependent set must be scanned — so this lives
+//! beside, not inside, Algorithm 1.
+
+use crate::metrics::RunMetrics;
+use ind_valueset::{Result, ValueCursor};
+
+/// Outcome of a partial-inclusion scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InclusionCount {
+    /// Dependent distinct values found in the referenced set.
+    pub matched: u64,
+    /// Total dependent distinct values.
+    pub dep_total: u64,
+}
+
+impl InclusionCount {
+    /// The inclusion coefficient in `[0, 1]`; an empty dependent set counts
+    /// as fully included.
+    pub fn coefficient(&self) -> f64 {
+        if self.dep_total == 0 {
+            1.0
+        } else {
+            self.matched as f64 / self.dep_total as f64
+        }
+    }
+
+    /// True when every dependent value matched (an exact IND).
+    pub fn is_exact(&self) -> bool {
+        self.matched == self.dep_total
+    }
+}
+
+/// Merges two sorted distinct cursors counting how many dependent values
+/// appear in the referenced set.
+pub fn inclusion_count<D, R>(
+    dep: &mut D,
+    refd: &mut R,
+    metrics: &mut RunMetrics,
+) -> Result<InclusionCount>
+where
+    D: ValueCursor,
+    R: ValueCursor,
+{
+    let mut matched = 0u64;
+    let mut dep_total = 0u64;
+    let mut ref_valid = if refd.advance()? {
+        metrics.items_read += 1;
+        true
+    } else {
+        false
+    };
+    while dep.advance()? {
+        metrics.items_read += 1;
+        dep_total += 1;
+        while ref_valid {
+            metrics.comparisons += 1;
+            match refd.current().cmp(dep.current()) {
+                std::cmp::Ordering::Less => {
+                    ref_valid = refd.advance()?;
+                    if ref_valid {
+                        metrics.items_read += 1;
+                    }
+                }
+                std::cmp::Ordering::Equal => {
+                    matched += 1;
+                    break;
+                }
+                std::cmp::Ordering::Greater => break,
+            }
+        }
+    }
+    Ok(InclusionCount { matched, dep_total })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ind_valueset::MemoryValueSet;
+
+    fn count(dep: &[&str], refd: &[&str]) -> InclusionCount {
+        let d = MemoryValueSet::from_unsorted(dep.iter().map(|s| s.as_bytes().to_vec()));
+        let r = MemoryValueSet::from_unsorted(refd.iter().map(|s| s.as_bytes().to_vec()));
+        let mut m = RunMetrics::new();
+        inclusion_count(&mut d.cursor(), &mut r.cursor(), &mut m).unwrap()
+    }
+
+    #[test]
+    fn exact_inclusion() {
+        let c = count(&["a", "b"], &["a", "b", "c"]);
+        assert_eq!((c.matched, c.dep_total), (2, 2));
+        assert!(c.is_exact());
+        assert_eq!(c.coefficient(), 1.0);
+    }
+
+    #[test]
+    fn partial_inclusion() {
+        let c = count(&["a", "b", "x", "y"], &["a", "b", "c"]);
+        assert_eq!((c.matched, c.dep_total), (2, 4));
+        assert!(!c.is_exact());
+        assert_eq!(c.coefficient(), 0.5);
+    }
+
+    #[test]
+    fn disjoint_and_empty_cases() {
+        assert_eq!(count(&["x"], &["a"]).coefficient(), 0.0);
+        assert_eq!(count(&[], &["a"]).coefficient(), 1.0);
+        assert_eq!(count(&["a"], &[]).coefficient(), 0.0);
+    }
+
+    #[test]
+    fn interleaved_matches() {
+        let c = count(&["b", "d", "f"], &["a", "b", "c", "d", "e"]);
+        assert_eq!((c.matched, c.dep_total), (2, 3));
+    }
+
+    #[test]
+    fn agrees_with_exact_test() {
+        use crate::brute_force::test_candidate;
+        let cases: &[(&[&str], &[&str])] = &[
+            (&["a", "b"], &["a", "b", "c"]),
+            (&["a", "z"], &["a", "b"]),
+            (&[], &[]),
+            (&["q"], &[]),
+        ];
+        for (dep, refd) in cases {
+            let d = MemoryValueSet::from_unsorted(dep.iter().map(|s| s.as_bytes().to_vec()));
+            let r = MemoryValueSet::from_unsorted(refd.iter().map(|s| s.as_bytes().to_vec()));
+            let mut m = RunMetrics::new();
+            let exact = test_candidate(&mut d.cursor(), &mut r.cursor(), &mut m).unwrap();
+            let c = count(dep, refd);
+            assert_eq!(exact, c.is_exact(), "dep={dep:?} ref={refd:?}");
+        }
+    }
+}

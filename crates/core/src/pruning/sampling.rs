@@ -1,0 +1,237 @@
+//! Sampling pretest (Sec. 4.1 future work).
+//!
+//! "Another idea is to pretest the IND candidates using random samples of
+//! the dependent data. We believe that this should exclude a large number
+//! of IND candidates."
+//!
+//! For each distinct dependent attribute we draw a uniform random sample of
+//! its distinct values (one scan, shared by every candidate with that
+//! dependent). Each candidate is then checked by merging the sorted sample
+//! against the referenced cursor with early termination: a sampled value
+//! missing from the referenced set *refutes* the candidate. Samples can
+//! only refute, never satisfy, so survivors still need a full test.
+
+use crate::brute_force::test_candidate;
+use crate::candidates::Candidate;
+use crate::metrics::RunMetrics;
+use ind_valueset::{MemoryValueSet, Result, ValueCursor, ValueSetProvider};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Configuration for the sampling pretest.
+#[derive(Debug, Clone)]
+pub struct SamplingConfig {
+    /// Values sampled per dependent attribute.
+    pub sample_size: usize,
+    /// Seed for reproducible runs (per-attribute streams derive from it).
+    pub seed: u64,
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        SamplingConfig {
+            sample_size: 16,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Draws a sorted uniform sample of `k` distinct values from `cursor`.
+/// Reads at most up to the largest sampled index.
+fn sample_sorted<C: ValueCursor>(
+    cursor: &mut C,
+    k: usize,
+    rng: &mut StdRng,
+    metrics: &mut RunMetrics,
+) -> Result<Vec<Vec<u8>>> {
+    let len = cursor.len() as usize;
+    let mut out = Vec::with_capacity(k.min(len));
+    if len == 0 {
+        return Ok(out);
+    }
+    if len <= k {
+        while cursor.advance()? {
+            metrics.items_read += 1;
+            out.push(cursor.current().to_vec());
+        }
+        return Ok(out);
+    }
+    let mut picks = rand::seq::index::sample(rng, len, k).into_vec();
+    picks.sort_unstable();
+    let mut pos = 0usize; // values already produced
+    for target in picks {
+        while pos <= target {
+            let advanced = cursor.advance()?;
+            debug_assert!(advanced, "index within cursor length");
+            metrics.items_read += 1;
+            pos += 1;
+        }
+        out.push(cursor.current().to_vec());
+    }
+    Ok(out)
+}
+
+/// Runs the pretest and returns the surviving candidates (input order).
+/// Refuted candidates are counted in [`RunMetrics::pruned_sampling`].
+pub fn sampling_pretest<P: ValueSetProvider>(
+    provider: &P,
+    candidates: &[Candidate],
+    config: &SamplingConfig,
+    metrics: &mut RunMetrics,
+) -> Result<Vec<Candidate>> {
+    if config.sample_size == 0 {
+        return Ok(candidates.to_vec());
+    }
+    // One sample per distinct dependent attribute.
+    let mut samples: HashMap<u32, MemoryValueSet> = HashMap::new();
+    for c in candidates {
+        if samples.contains_key(&c.dep) {
+            continue;
+        }
+        let mut cursor = provider.open(c.dep)?;
+        metrics.cursor_opens += 1;
+        let mut rng = StdRng::seed_from_u64(config.seed ^ u64::from(c.dep));
+        let values = sample_sorted(&mut cursor, config.sample_size, &mut rng, metrics)?;
+        samples.insert(
+            c.dep,
+            MemoryValueSet::from_sorted_distinct(values)
+                .expect("sampled from a sorted distinct cursor"),
+        );
+    }
+
+    let mut survivors = Vec::with_capacity(candidates.len());
+    for &c in candidates {
+        let sample = &samples[&c.dep];
+        let mut refd = provider.open(c.refd)?;
+        metrics.cursor_opens += 1;
+        // The sample is a subset of the dependent set, so `sample ⊄ ref`
+        // implies `dep ⊄ ref`. Early termination applies as usual.
+        if test_candidate(&mut sample.cursor(), &mut refd, metrics)? {
+            survivors.push(c);
+        } else {
+            metrics.pruned_sampling += 1;
+        }
+    }
+    Ok(survivors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute_force::run_brute_force;
+    use ind_valueset::{MemoryProvider, MemoryValueSet};
+
+    fn numbered_set(range: std::ops::Range<u32>) -> MemoryValueSet {
+        MemoryValueSet::from_unsorted(range.map(|x| format!("{x:04}").into_bytes()))
+    }
+
+    fn provider() -> MemoryProvider {
+        MemoryProvider::new(vec![
+            numbered_set(0..50),   // 0: subset of 1
+            numbered_set(0..100),  // 1: superset
+            numbered_set(200..260), // 2: disjoint from 0/1
+            numbered_set(0..3),    // 3: tiny subset of 0 and 1
+        ])
+    }
+
+    fn all_pairs(n: u32) -> Vec<Candidate> {
+        let mut out = Vec::new();
+        for d in 0..n {
+            for r in 0..n {
+                if d != r {
+                    out.push(Candidate::new(d, r));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn sampling_never_drops_a_satisfied_candidate() {
+        let p = provider();
+        let candidates = all_pairs(4);
+        let mut m_ref = RunMetrics::new();
+        let truth = run_brute_force(&p, &candidates, &mut m_ref).unwrap();
+
+        for sample_size in [1, 2, 8, 64] {
+            let cfg = SamplingConfig {
+                sample_size,
+                seed: 42,
+            };
+            let mut m = RunMetrics::new();
+            let survivors = sampling_pretest(&p, &candidates, &cfg, &mut m).unwrap();
+            for ind in &truth {
+                assert!(
+                    survivors.contains(ind),
+                    "sample_size={sample_size} dropped satisfied {ind:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_prunes_disjoint_candidates() {
+        let p = provider();
+        let candidates = all_pairs(4);
+        let cfg = SamplingConfig {
+            sample_size: 4,
+            seed: 7,
+        };
+        let mut m = RunMetrics::new();
+        let survivors = sampling_pretest(&p, &candidates, &cfg, &mut m).unwrap();
+        // Everything into/out of the disjoint attribute 2 must be pruned.
+        for c in [
+            Candidate::new(0, 2),
+            Candidate::new(2, 0),
+            Candidate::new(2, 1),
+            Candidate::new(3, 2),
+        ] {
+            assert!(!survivors.contains(&c), "{c:?} should be pruned");
+        }
+        assert!(m.pruned_sampling >= 4);
+    }
+
+    #[test]
+    fn zero_sample_size_is_a_no_op() {
+        let p = provider();
+        let candidates = all_pairs(4);
+        let cfg = SamplingConfig {
+            sample_size: 0,
+            seed: 1,
+        };
+        let mut m = RunMetrics::new();
+        let survivors = sampling_pretest(&p, &candidates, &cfg, &mut m).unwrap();
+        assert_eq!(survivors, candidates);
+        assert_eq!(m.items_read, 0);
+    }
+
+    #[test]
+    fn samples_are_deterministic_per_seed() {
+        let p = provider();
+        let candidates = all_pairs(4);
+        let cfg = SamplingConfig {
+            sample_size: 5,
+            seed: 99,
+        };
+        let mut m1 = RunMetrics::new();
+        let s1 = sampling_pretest(&p, &candidates, &cfg, &mut m1).unwrap();
+        let mut m2 = RunMetrics::new();
+        let s2 = sampling_pretest(&p, &candidates, &cfg, &mut m2).unwrap();
+        assert_eq!(s1, s2);
+        assert_eq!(m1.items_read, m2.items_read);
+    }
+
+    #[test]
+    fn sample_of_small_set_reads_everything() {
+        let p = MemoryProvider::new(vec![numbered_set(0..3), numbered_set(0..10)]);
+        let cfg = SamplingConfig {
+            sample_size: 50,
+            seed: 3,
+        };
+        let mut m = RunMetrics::new();
+        let survivors =
+            sampling_pretest(&p, &[Candidate::new(0, 1)], &cfg, &mut m).unwrap();
+        assert_eq!(survivors.len(), 1);
+    }
+}

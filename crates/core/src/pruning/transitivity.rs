@@ -1,0 +1,236 @@
+//! Bell–Brockhausen transitivity inference.
+//!
+//! Set inclusion is transitive, so every classified candidate constrains
+//! others:
+//!
+//! * `a ⊆ b` and `b ⊆ c` satisfied ⟹ `a ⊆ c` satisfied (no test needed);
+//! * `a ⊆ b` satisfied and `a ⊆ c` refuted ⟹ `b ⊆ c` refuted
+//!   (else `a ⊆ b ⊆ c`);
+//! * `b ⊆ c` satisfied and `a ⊆ c` refuted ⟹ `a ⊆ b` refuted
+//!   (else `a ⊆ b ⊆ c`).
+//!
+//! The oracle maintains the closure of these rules incrementally with a
+//! worklist, and the runner consults it before every brute-force test.
+
+use crate::brute_force::test_candidate;
+use crate::candidates::Candidate;
+use crate::metrics::RunMetrics;
+use ind_valueset::{Result, ValueSetProvider};
+use std::collections::HashSet;
+
+/// Incrementally maintained knowledge about candidate status.
+#[derive(Debug, Default, Clone)]
+pub struct TransitivityOracle {
+    satisfied: HashSet<(u32, u32)>,
+    refuted: HashSet<(u32, u32)>,
+}
+
+impl TransitivityOracle {
+    /// Empty oracle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns `Some(true)`/`Some(false)` when the candidate's status is
+    /// already implied, `None` when it must be tested.
+    pub fn classify(&self, c: &Candidate) -> Option<bool> {
+        let key = (c.dep, c.refd);
+        if self.satisfied.contains(&key) {
+            Some(true)
+        } else if self.refuted.contains(&key) {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    /// Records a test outcome and propagates all of its consequences.
+    pub fn record(&mut self, c: Candidate, satisfied: bool) {
+        let mut work = vec![(c.dep, c.refd, satisfied)];
+        while let Some((a, b, sat)) = work.pop() {
+            if a == b {
+                continue; // reflexive facts carry no information here
+            }
+            if sat {
+                if !self.satisfied.insert((a, b)) {
+                    continue;
+                }
+                debug_assert!(
+                    !self.refuted.contains(&(a, b)),
+                    "contradictory classification for ({a},{b})"
+                );
+                let sat_snapshot: Vec<(u32, u32)> = self.satisfied.iter().copied().collect();
+                for (x, y) in sat_snapshot {
+                    if y == a {
+                        work.push((x, b, true)); // x⊆a ∧ a⊆b ⟹ x⊆b
+                    }
+                    if x == b {
+                        work.push((a, y, true)); // a⊆b ∧ b⊆y ⟹ a⊆y
+                    }
+                }
+                let ref_snapshot: Vec<(u32, u32)> = self.refuted.iter().copied().collect();
+                for (x, y) in ref_snapshot {
+                    if x == a {
+                        work.push((b, y, false)); // ¬(a⊆y) ∧ a⊆b ⟹ ¬(b⊆y)
+                    }
+                    if y == b {
+                        work.push((x, a, false)); // ¬(x⊆b) ∧ a⊆b ⟹ ¬(x⊆a)
+                    }
+                }
+            } else {
+                if !self.refuted.insert((a, b)) {
+                    continue;
+                }
+                debug_assert!(
+                    !self.satisfied.contains(&(a, b)),
+                    "contradictory classification for ({a},{b})"
+                );
+                let sat_snapshot: Vec<(u32, u32)> = self.satisfied.iter().copied().collect();
+                for (x, y) in sat_snapshot {
+                    if x == a {
+                        work.push((y, b, false)); // a⊆y ∧ ¬(a⊆b) ⟹ ¬(y⊆b)
+                    }
+                    if y == b {
+                        work.push((a, x, false)); // x⊆b ∧ ¬(a⊆b) ⟹ ¬(a⊆x)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of facts currently known.
+    pub fn known(&self) -> usize {
+        self.satisfied.len() + self.refuted.len()
+    }
+}
+
+/// Brute force with the oracle consulted before each test; candidates whose
+/// status is implied are never opened. Counted via
+/// [`RunMetrics::inferred_satisfied`]/[`RunMetrics::inferred_refuted`].
+pub fn run_brute_force_with_transitivity<P: ValueSetProvider>(
+    provider: &P,
+    candidates: &[Candidate],
+    metrics: &mut RunMetrics,
+) -> Result<Vec<Candidate>> {
+    let mut oracle = TransitivityOracle::new();
+    let mut satisfied = Vec::new();
+    for &c in candidates {
+        match oracle.classify(&c) {
+            Some(true) => {
+                metrics.inferred_satisfied += 1;
+                metrics.satisfied += 1;
+                satisfied.push(c);
+            }
+            Some(false) => {
+                metrics.inferred_refuted += 1;
+            }
+            None => {
+                let mut dep = provider.open(c.dep)?;
+                let mut refd = provider.open(c.refd)?;
+                metrics.cursor_opens += 2;
+                metrics.tested += 1;
+                let ok = test_candidate(&mut dep, &mut refd, metrics)?;
+                oracle.record(c, ok);
+                if ok {
+                    metrics.satisfied += 1;
+                    satisfied.push(c);
+                }
+            }
+        }
+    }
+    Ok(satisfied)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute_force::run_brute_force;
+    use ind_valueset::{MemoryProvider, MemoryValueSet};
+
+    #[test]
+    fn satisfied_chain_is_inferred() {
+        let mut o = TransitivityOracle::new();
+        o.record(Candidate::new(0, 1), true);
+        o.record(Candidate::new(1, 2), true);
+        assert_eq!(o.classify(&Candidate::new(0, 2)), Some(true));
+        assert_eq!(o.classify(&Candidate::new(2, 0)), None);
+    }
+
+    #[test]
+    fn refutation_propagates_both_ways() {
+        let mut o = TransitivityOracle::new();
+        o.record(Candidate::new(0, 1), true); // 0 ⊆ 1
+        o.record(Candidate::new(0, 2), false); // 0 ⊄ 2
+        // 1 ⊆ 2 would give 0 ⊆ 2: refuted.
+        assert_eq!(o.classify(&Candidate::new(1, 2)), Some(false));
+
+        let mut o = TransitivityOracle::new();
+        o.record(Candidate::new(1, 2), true); // 1 ⊆ 2
+        o.record(Candidate::new(0, 2), false); // 0 ⊄ 2
+        // 0 ⊆ 1 would give 0 ⊆ 2: refuted.
+        assert_eq!(o.classify(&Candidate::new(0, 1)), Some(false));
+    }
+
+    #[test]
+    fn inference_cascades() {
+        let mut o = TransitivityOracle::new();
+        o.record(Candidate::new(0, 1), true);
+        o.record(Candidate::new(1, 2), true);
+        o.record(Candidate::new(2, 3), true);
+        // Full chain closure.
+        for (a, b) in [(0, 2), (0, 3), (1, 3)] {
+            assert_eq!(o.classify(&Candidate::new(a, b)), Some(true), "({a},{b})");
+        }
+        assert_eq!(o.known(), 6);
+    }
+
+    #[test]
+    fn runner_matches_plain_brute_force_with_fewer_tests() {
+        // A chain 0 ⊆ 1 ⊆ 2 ⊆ 3 plus an outlier.
+        let sets: Vec<MemoryValueSet> = vec![
+            MemoryValueSet::from_unsorted([b"a".to_vec()]),
+            MemoryValueSet::from_unsorted([b"a".to_vec(), b"b".to_vec()]),
+            MemoryValueSet::from_unsorted([b"a".to_vec(), b"b".to_vec(), b"c".to_vec()]),
+            MemoryValueSet::from_unsorted(
+                [b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec()],
+            ),
+            MemoryValueSet::from_unsorted([b"z".to_vec()]),
+        ];
+        let provider = MemoryProvider::new(sets);
+        let mut candidates = Vec::new();
+        for d in 0..5u32 {
+            for r in 0..5u32 {
+                if d != r {
+                    candidates.push(Candidate::new(d, r));
+                }
+            }
+        }
+        let mut m_plain = RunMetrics::new();
+        let mut plain = run_brute_force(&provider, &candidates, &mut m_plain).unwrap();
+        plain.sort();
+
+        let mut m_tr = RunMetrics::new();
+        let mut with_tr =
+            run_brute_force_with_transitivity(&provider, &candidates, &mut m_tr).unwrap();
+        with_tr.sort();
+
+        assert_eq!(with_tr, plain);
+        assert!(
+            m_tr.tested < m_plain.tested,
+            "oracle must save tests: {} vs {}",
+            m_tr.tested,
+            m_plain.tested
+        );
+        assert!(m_tr.inferred_satisfied + m_tr.inferred_refuted > 0);
+        assert_eq!(m_tr.satisfied, m_plain.satisfied);
+    }
+
+    #[test]
+    fn duplicate_records_are_idempotent() {
+        let mut o = TransitivityOracle::new();
+        o.record(Candidate::new(0, 1), true);
+        let known = o.known();
+        o.record(Candidate::new(0, 1), true);
+        assert_eq!(o.known(), known);
+    }
+}

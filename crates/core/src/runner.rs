@@ -1,0 +1,345 @@
+//! High-level discovery facade: profile → generate candidates → prune →
+//! run the chosen algorithm → collect a [`Discovery`].
+
+use crate::attr::{memory_export, profiles_from_export, AttributeProfile};
+use crate::blockwise::{run_blockwise, BlockwiseConfig};
+use crate::brute_force::{run_brute_force, run_brute_force_parallel};
+use crate::candidates::{generate_candidates, Candidate, PretestConfig};
+use crate::metrics::RunMetrics;
+use crate::pruning::{run_brute_force_with_transitivity, sampling_pretest, SamplingConfig};
+use crate::single_pass::run_single_pass;
+use crate::spider::run_spider;
+use ind_storage::{Database, QualifiedName};
+use ind_valueset::{ExportOptions, ExportedDatabase, Result, ValueSetProvider};
+use std::path::Path;
+use std::time::Instant;
+
+/// Which discovery algorithm the finder runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Sequential brute force (Sec. 3.1).
+    BruteForce,
+    /// Brute force sharded over worker threads (extension).
+    BruteForceParallel {
+        /// Worker count (≥ 1).
+        threads: usize,
+    },
+    /// The subject–observer single-pass (Sec. 3.2).
+    SinglePass,
+    /// SPIDER-style min-heap merge (Sec. 7 future work).
+    Spider,
+    /// Block-wise single-pass under an open-file budget (Sec. 4.2).
+    Blockwise {
+        /// Maximum simultaneously open value files (≥ 2).
+        max_open_files: usize,
+    },
+}
+
+/// Full finder configuration.
+#[derive(Debug, Clone)]
+pub struct FinderConfig {
+    /// Algorithm to run.
+    pub algorithm: Algorithm,
+    /// Generation-time pretests (cardinality / max-value / min-value).
+    pub pretests: PretestConfig,
+    /// Bell–Brockhausen transitivity inference. Only meaningful for the
+    /// per-candidate algorithms; ignored by the set-at-once algorithms,
+    /// which resolve all candidates in one scan anyway.
+    pub transitivity: bool,
+    /// Optional sampling pretest applied between generation and testing.
+    pub sampling: Option<SamplingConfig>,
+}
+
+impl Default for FinderConfig {
+    fn default() -> Self {
+        FinderConfig {
+            algorithm: Algorithm::BruteForce,
+            pretests: PretestConfig::default(),
+            transitivity: false,
+            sampling: None,
+        }
+    }
+}
+
+impl FinderConfig {
+    /// Convenience: default configuration with the given algorithm.
+    pub fn with_algorithm(algorithm: Algorithm) -> Self {
+        FinderConfig {
+            algorithm,
+            ..Default::default()
+        }
+    }
+}
+
+/// The result of a discovery run.
+#[derive(Debug, Clone)]
+pub struct Discovery {
+    /// Profiles of every attribute, indexed by attribute id.
+    pub profiles: Vec<AttributeProfile>,
+    /// Satisfied INDs, sorted by `(dep, ref)`.
+    pub satisfied: Vec<Candidate>,
+    /// Counters for the whole run.
+    pub metrics: RunMetrics,
+}
+
+impl Discovery {
+    /// Profile of attribute `id`.
+    pub fn profile(&self, id: u32) -> &AttributeProfile {
+        &self.profiles[id as usize]
+    }
+
+    /// Satisfied INDs as qualified-name pairs, in `(dep, ref)` order.
+    pub fn satisfied_named(&self) -> Vec<(QualifiedName, QualifiedName)> {
+        self.satisfied
+            .iter()
+            .map(|c| {
+                (
+                    self.profile(c.dep).name.clone(),
+                    self.profile(c.refd).name.clone(),
+                )
+            })
+            .collect()
+    }
+
+    /// Number of satisfied INDs.
+    pub fn ind_count(&self) -> usize {
+        self.satisfied.len()
+    }
+}
+
+/// High-level IND finder.
+///
+/// ```
+/// use ind_core::{Algorithm, IndFinder};
+/// use ind_storage::{ColumnSchema, DataType, Database, Table, TableSchema};
+///
+/// let mut db = Database::new("demo");
+/// let mut parent = Table::new(TableSchema::new(
+///     "parent",
+///     vec![ColumnSchema::new("id", DataType::Integer).not_null().unique()],
+/// )?);
+/// let mut child = Table::new(TableSchema::new(
+///     "child",
+///     vec![ColumnSchema::new("parent_id", DataType::Integer)],
+/// )?);
+/// for i in 0..10i64 {
+///     parent.insert(vec![i.into()])?;
+///     child.insert(vec![(i % 5).into()])?;
+/// }
+/// db.add_table(parent)?;
+/// db.add_table(child)?;
+///
+/// let discovery = IndFinder::with_algorithm(Algorithm::SinglePass)
+///     .discover_in_memory(&db)?;
+/// let named: Vec<String> = discovery
+///     .satisfied_named()
+///     .iter()
+///     .map(|(dep, refd)| format!("{dep} <= {refd}"))
+///     .collect();
+/// assert_eq!(named, vec!["child.parent_id <= parent.id".to_string()]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct IndFinder {
+    /// Configuration used by every `discover*` call.
+    pub config: FinderConfig,
+}
+
+impl IndFinder {
+    /// Finder with the given configuration.
+    pub fn new(config: FinderConfig) -> Self {
+        IndFinder { config }
+    }
+
+    /// Finder running `algorithm` with default pretests.
+    pub fn with_algorithm(algorithm: Algorithm) -> Self {
+        IndFinder::new(FinderConfig::with_algorithm(algorithm))
+    }
+
+    /// Discovers all satisfied INDs over pre-computed profiles and a value
+    /// set provider.
+    pub fn discover<P>(&self, profiles: &[AttributeProfile], provider: &P) -> Result<Discovery>
+    where
+        P: ValueSetProvider + Sync,
+    {
+        let start = Instant::now();
+        let mut metrics = RunMetrics::new();
+        let mut candidates = generate_candidates(profiles, &self.config.pretests, &mut metrics);
+        if let Some(sampling) = &self.config.sampling {
+            candidates = sampling_pretest(provider, &candidates, sampling, &mut metrics)?;
+        }
+        let mut satisfied = match &self.config.algorithm {
+            Algorithm::BruteForce if self.config.transitivity => {
+                run_brute_force_with_transitivity(provider, &candidates, &mut metrics)?
+            }
+            Algorithm::BruteForce => run_brute_force(provider, &candidates, &mut metrics)?,
+            Algorithm::BruteForceParallel { threads } => {
+                run_brute_force_parallel(provider, &candidates, *threads, &mut metrics)?
+            }
+            Algorithm::SinglePass => run_single_pass(provider, &candidates, &mut metrics)?,
+            Algorithm::Spider => run_spider(provider, &candidates, &mut metrics)?,
+            Algorithm::Blockwise { max_open_files } => run_blockwise(
+                provider,
+                &candidates,
+                &BlockwiseConfig {
+                    max_open_files: *max_open_files,
+                },
+                &mut metrics,
+            )?,
+        };
+        satisfied.sort();
+        metrics.elapsed = start.elapsed();
+        Ok(Discovery {
+            profiles: profiles.to_vec(),
+            satisfied,
+            metrics,
+        })
+    }
+
+    /// Extracts `db` into memory and discovers INDs — the convenient path
+    /// for tests and small databases.
+    pub fn discover_in_memory(&self, db: &Database) -> Result<Discovery> {
+        let (profiles, provider) = memory_export(db);
+        self.discover(&profiles, &provider)
+    }
+
+    /// Exports `db` to sorted value files under `workdir` and discovers
+    /// INDs from disk — the paper's actual pipeline.
+    pub fn discover_on_disk(&self, db: &Database, workdir: &Path) -> Result<Discovery> {
+        let export = ExportedDatabase::export(db, workdir, &ExportOptions::default())?;
+        let profiles = profiles_from_export(&export);
+        self.discover(&profiles, &export)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ind_storage::{ColumnSchema, DataType, Table, TableSchema};
+    use ind_testkit::TempDir;
+
+    /// parent(id unique) ← child(parent_id), plus an unrelated label column.
+    fn sample_db() -> Database {
+        let mut db = Database::new("runner");
+        let mut parent = Table::new(
+            TableSchema::new(
+                "parent",
+                vec![
+                    ColumnSchema::new("id", DataType::Integer).not_null().unique(),
+                    ColumnSchema::new("label", DataType::Text),
+                ],
+            )
+            .unwrap(),
+        );
+        for i in 0..20i64 {
+            parent
+                .insert(vec![i.into(), format!("label-{i}").into()])
+                .unwrap();
+        }
+        let mut child = Table::new(
+            TableSchema::new(
+                "child",
+                vec![
+                    ColumnSchema::new("id", DataType::Integer).not_null().unique(),
+                    ColumnSchema::new("parent_id", DataType::Integer),
+                ],
+            )
+            .unwrap(),
+        );
+        for i in 0..40i64 {
+            child.insert(vec![(1000 + i).into(), (i % 20).into()]).unwrap();
+        }
+        db.add_table(parent).unwrap();
+        db.add_table(child).unwrap();
+        db
+    }
+
+    fn expected_ind(d: &Discovery) -> bool {
+        d.satisfied_named().iter().any(|(dep, refd)| {
+            dep.to_string() == "child.parent_id" && refd.to_string() == "parent.id"
+        })
+    }
+
+    #[test]
+    fn every_algorithm_finds_the_foreign_key() {
+        let db = sample_db();
+        for algorithm in [
+            Algorithm::BruteForce,
+            Algorithm::BruteForceParallel { threads: 3 },
+            Algorithm::SinglePass,
+            Algorithm::Spider,
+            Algorithm::Blockwise { max_open_files: 3 },
+        ] {
+            let finder = IndFinder::with_algorithm(algorithm.clone());
+            let d = finder.discover_in_memory(&db).unwrap();
+            assert!(expected_ind(&d), "{algorithm:?} missed the FK IND");
+        }
+    }
+
+    #[test]
+    fn algorithms_agree_exactly() {
+        let db = sample_db();
+        let baseline = IndFinder::with_algorithm(Algorithm::BruteForce)
+            .discover_in_memory(&db)
+            .unwrap();
+        for algorithm in [
+            Algorithm::SinglePass,
+            Algorithm::Spider,
+            Algorithm::Blockwise { max_open_files: 2 },
+            Algorithm::BruteForceParallel { threads: 2 },
+        ] {
+            let d = IndFinder::with_algorithm(algorithm.clone())
+                .discover_in_memory(&db)
+                .unwrap();
+            assert_eq!(d.satisfied, baseline.satisfied, "{algorithm:?}");
+        }
+    }
+
+    #[test]
+    fn on_disk_matches_in_memory() {
+        let db = sample_db();
+        let dir = TempDir::new("runner-disk");
+        let finder = IndFinder::with_algorithm(Algorithm::SinglePass);
+        let mem = finder.discover_in_memory(&db).unwrap();
+        let disk = finder.discover_on_disk(&db, dir.path()).unwrap();
+        assert_eq!(mem.satisfied, disk.satisfied);
+        assert_eq!(mem.profiles.len(), disk.profiles.len());
+    }
+
+    #[test]
+    fn pretests_and_pruning_do_not_change_results() {
+        let db = sample_db();
+        let baseline = IndFinder::default().discover_in_memory(&db).unwrap();
+
+        let max_cfg = FinderConfig {
+            pretests: PretestConfig::with_max_value(),
+            ..Default::default()
+        };
+        let with_max = IndFinder::new(max_cfg).discover_in_memory(&db).unwrap();
+        assert_eq!(with_max.satisfied, baseline.satisfied);
+
+        let tr_cfg = FinderConfig {
+            transitivity: true,
+            ..Default::default()
+        };
+        let with_tr = IndFinder::new(tr_cfg).discover_in_memory(&db).unwrap();
+        assert_eq!(with_tr.satisfied, baseline.satisfied);
+
+        let s_cfg = FinderConfig {
+            sampling: Some(SamplingConfig::default()),
+            ..Default::default()
+        };
+        let with_sampling = IndFinder::new(s_cfg).discover_in_memory(&db).unwrap();
+        assert_eq!(with_sampling.satisfied, baseline.satisfied);
+    }
+
+    #[test]
+    fn metrics_are_populated() {
+        let db = sample_db();
+        let d = IndFinder::default().discover_in_memory(&db).unwrap();
+        assert!(d.metrics.pairs_considered > 0);
+        assert!(d.metrics.tested > 0);
+        assert_eq!(d.metrics.satisfied as usize, d.ind_count());
+        assert!(d.metrics.items_read > 0);
+    }
+}

@@ -1,0 +1,277 @@
+//! SPIDER-style improved single-pass discovery.
+//!
+//! The paper closes with "in our current work we concentrate on improving
+//! the performance of the single-pass algorithm" (Sec. 7); the improvement
+//! the authors later published became known as SPIDER. This module
+//! implements that design:
+//!
+//! * **one** cursor per attribute, shared between its dependent and
+//!   referenced roles (the plain single-pass opens one per role);
+//! * a min-heap over all cursors merges the sorted streams; each heap pop
+//!   group gathers every attribute containing the current value `v`;
+//! * for every dependent attribute in the group, its surviving candidate
+//!   referenced set is intersected with the group (any referenced attribute
+//!   lacking `v` is refuted);
+//! * an attribute's cursor closes early once it is no longer an active
+//!   dependent *and* no active dependent still lists it as a candidate
+//!   reference — the I/O saving that makes this strictly better than the
+//!   subject–observer implementation;
+//! * a dependent that exhausts its values with candidates still standing
+//!   has those candidates satisfied.
+
+use crate::candidates::Candidate;
+use crate::metrics::RunMetrics;
+use ind_valueset::{Result, ValueCursor, ValueSetProvider};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+
+/// Runs SPIDER over `candidates` (distinct pairs, `dep != ref`). Returns
+/// satisfied candidates sorted by `(dep, ref)`.
+pub fn run_spider<P: ValueSetProvider>(
+    provider: &P,
+    candidates: &[Candidate],
+    metrics: &mut RunMetrics,
+) -> Result<Vec<Candidate>> {
+    metrics.tested += candidates.len() as u64;
+
+    // Surviving candidate references per dependent attribute, and how many
+    // dependents still reference each attribute (for early close).
+    let mut refs_of: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
+    let mut ref_usage: BTreeMap<u32, usize> = BTreeMap::new();
+    for c in candidates {
+        debug_assert_ne!(c.dep, c.refd, "self-candidates are excluded upstream");
+        if refs_of.entry(c.dep).or_default().insert(c.refd) {
+            *ref_usage.entry(c.refd).or_default() += 1;
+        }
+    }
+
+    // One cursor per attribute, regardless of how many roles it plays.
+    let mut attrs: BTreeSet<u32> = BTreeSet::new();
+    for c in candidates {
+        attrs.insert(c.dep);
+        attrs.insert(c.refd);
+    }
+
+    let mut satisfied: Vec<Candidate> = Vec::new();
+    let mut cursors: BTreeMap<u32, P::Cursor> = BTreeMap::new();
+    let mut heap: BinaryHeap<Reverse<(Vec<u8>, u32)>> = BinaryHeap::new();
+
+    for &a in &attrs {
+        let mut cursor = provider.open(a)?;
+        metrics.cursor_opens += 1;
+        if cursor.advance()? {
+            metrics.items_read += 1;
+            heap.push(Reverse((cursor.current().to_vec(), a)));
+            cursors.insert(a, cursor);
+        } else {
+            // Empty attribute. As a dependent every candidate is trivially
+            // satisfied; as a reference it simply never joins a group and
+            // is refuted at each dependent's first value below.
+            if let Some(refset) = refs_of.get_mut(&a) {
+                for r in std::mem::take(refset) {
+                    satisfied.push(Candidate::new(a, r));
+                    metrics.satisfied += 1;
+                    decrement(&mut ref_usage, r);
+                }
+            }
+        }
+    }
+
+    let mut group: Vec<u32> = Vec::new();
+    while let Some(Reverse((value, first))) = heap.pop() {
+        group.clear();
+        group.push(first);
+        while let Some(Reverse((v, _))) = heap.peek() {
+            if *v == value {
+                let Some(Reverse((_, a))) = heap.pop() else { unreachable!() };
+                group.push(a);
+            } else {
+                break;
+            }
+        }
+        group.sort_unstable();
+        let group_set: BTreeSet<u32> = group.iter().copied().collect();
+
+        // Intersect every in-group dependent's candidate set with the group.
+        for &a in &group {
+            let Some(refset) = refs_of.get_mut(&a) else {
+                continue;
+            };
+            if refset.is_empty() {
+                continue;
+            }
+            metrics.comparisons += refset.len() as u64;
+            let removed: Vec<u32> = refset
+                .iter()
+                .copied()
+                .filter(|r| !group_set.contains(r))
+                .collect();
+            for r in removed {
+                refset.remove(&r);
+                decrement(&mut ref_usage, r);
+            }
+        }
+
+        // Advance the group members that are still needed; close the rest.
+        for &a in &group {
+            let still_dep = refs_of.get(&a).is_some_and(|s| !s.is_empty());
+            let still_ref = ref_usage.get(&a).copied().unwrap_or(0) > 0;
+            if !(still_dep || still_ref) {
+                cursors.remove(&a); // early close: nobody needs this stream
+                continue;
+            }
+            let cursor = cursors.get_mut(&a).expect("cursor open while needed");
+            if cursor.advance()? {
+                metrics.items_read += 1;
+                heap.push(Reverse((cursor.current().to_vec(), a)));
+            } else {
+                // Dependent exhausted: its surviving candidates held for
+                // every value — satisfied.
+                cursors.remove(&a);
+                if let Some(refset) = refs_of.get_mut(&a) {
+                    for r in std::mem::take(refset) {
+                        satisfied.push(Candidate::new(a, r));
+                        metrics.satisfied += 1;
+                        decrement(&mut ref_usage, r);
+                    }
+                }
+            }
+        }
+    }
+
+    debug_assert!(
+        refs_of.values().all(BTreeSet::is_empty),
+        "heap ran dry with unresolved candidates"
+    );
+    satisfied.sort();
+    Ok(satisfied)
+}
+
+fn decrement(usage: &mut BTreeMap<u32, usize>, attr: u32) {
+    if let Some(n) = usage.get_mut(&attr) {
+        *n = n.saturating_sub(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute_force::run_brute_force;
+    use crate::single_pass::run_single_pass;
+    use ind_valueset::{MemoryProvider, MemoryValueSet};
+
+    fn set(values: &[&str]) -> MemoryValueSet {
+        MemoryValueSet::from_unsorted(values.iter().map(|s| s.as_bytes().to_vec()))
+    }
+
+    fn all_pairs(n: u32) -> Vec<Candidate> {
+        let mut out = Vec::new();
+        for d in 0..n {
+            for r in 0..n {
+                if d != r {
+                    out.push(Candidate::new(d, r));
+                }
+            }
+        }
+        out
+    }
+
+    fn fixture() -> MemoryProvider {
+        MemoryProvider::new(vec![
+            set(&["b", "d", "f", "h"]),
+            set(&["a", "b", "c", "d", "e", "f", "g", "h"]),
+            set(&["b", "d"]),
+            set(&["b", "c", "d"]),
+            set(&["h"]),
+            set(&["a", "z"]),
+            set(&[]),
+        ])
+    }
+
+    #[test]
+    fn agrees_with_brute_force_and_single_pass() {
+        let provider = fixture();
+        let candidates = all_pairs(7);
+        let mut m1 = RunMetrics::new();
+        let mut bf = run_brute_force(&provider, &candidates, &mut m1).unwrap();
+        bf.sort();
+        let mut m2 = RunMetrics::new();
+        let sp = run_single_pass(&provider, &candidates, &mut m2).unwrap();
+        let mut m3 = RunMetrics::new();
+        let spider = run_spider(&provider, &candidates, &mut m3).unwrap();
+        assert_eq!(spider, bf);
+        assert_eq!(spider, sp);
+    }
+
+    #[test]
+    fn one_cursor_per_attribute() {
+        let provider = fixture();
+        let candidates = all_pairs(7);
+        let mut m = RunMetrics::new();
+        run_spider(&provider, &candidates, &mut m).unwrap();
+        assert_eq!(m.cursor_opens, 7, "shared cursor across roles");
+    }
+
+    #[test]
+    fn reads_each_value_at_most_once() {
+        let provider = fixture();
+        let total: u64 = (0..7).map(|i| provider.set(i).unwrap().len()).sum();
+        let candidates = all_pairs(7);
+        let mut m = RunMetrics::new();
+        run_spider(&provider, &candidates, &mut m).unwrap();
+        assert!(
+            m.items_read <= total,
+            "spider read {} of {total} values",
+            m.items_read
+        );
+
+        let mut m_sp = RunMetrics::new();
+        run_single_pass(&provider, &candidates, &mut m_sp).unwrap();
+        assert!(
+            m.items_read <= m_sp.items_read,
+            "spider ({}) must not read more than single-pass ({})",
+            m.items_read,
+            m_sp.items_read
+        );
+    }
+
+    #[test]
+    fn empty_dependent_and_reference_edge_cases() {
+        let provider = MemoryProvider::new(vec![set(&[]), set(&["a"]), set(&[])]);
+        // empty ⊆ non-empty: satisfied; non-empty ⊆ empty: refuted;
+        // empty ⊆ empty: satisfied.
+        let candidates = vec![
+            Candidate::new(0, 1),
+            Candidate::new(1, 0),
+            Candidate::new(0, 2),
+        ];
+        let mut m = RunMetrics::new();
+        let found = run_spider(&provider, &candidates, &mut m).unwrap();
+        assert_eq!(found, vec![Candidate::new(0, 1), Candidate::new(0, 2)]);
+    }
+
+    #[test]
+    fn early_close_saves_io_on_disjoint_interleaved_domains() {
+        // Disjoint but interleaved value domains: each attribute is the
+        // only candidate of the other, both directions refute at their
+        // first value group, and both cursors close far before exhaustion.
+        let provider = MemoryProvider::new(vec![
+            set(&["a", "c", "e", "g", "i"]),
+            set(&["b", "d", "f", "h", "j"]),
+        ]);
+        let total = 10;
+        let mut m = RunMetrics::new();
+        let found = run_spider(&provider, &all_pairs(2), &mut m).unwrap();
+        assert!(found.is_empty());
+        assert!(
+            m.items_read < total,
+            "early close should skip part of the streams, read {}",
+            m.items_read
+        );
+        assert!(
+            m.items_read <= 4,
+            "both candidates refute within the first two groups, read {}",
+            m.items_read
+        );
+    }
+}

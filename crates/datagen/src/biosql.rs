@@ -1,0 +1,766 @@
+//! UniProt-shaped database generator over the BioSQL schema (Sec. 1.4).
+//!
+//! The real dataset: "UniProt … using the BioSQL schema … 85 attributes in
+//! 16 tables, 667 MB". This generator reproduces the properties Sec. 5
+//! measures, at configurable scale:
+//!
+//! * 16 tables, 82 attributes, with the BioSQL foreign-key structure
+//!   declared as gold standard (21 FKs, two of them on an empty table —
+//!   `sg_term_path` — which are therefore undiscoverable from data);
+//! * one 1:1 table (`sg_biosequence`) and one covering unique FK
+//!   (`sg_reference.dbxref_id`), which make the discovered IND set a strict
+//!   superset of the FKs: the extras are exactly reverses of set-equal FKs
+//!   and their transitive closure;
+//! * **zero** coincidental inclusions: every unique column lives in its own
+//!   value-space (disjoint numeric ranges, format-distinct strings), and
+//!   small-integer columns always contain both parities so they cannot sink
+//!   into the odd/even nested-set columns of `sg_taxon`;
+//! * exactly **three** accession-number candidates per the Sec. 5 rules:
+//!   `sg_bioentry.accession`, `sg_reference.crc`, `sg_ontology.name` — and
+//!   heuristic 2 then picks `sg_bioentry` as the primary relation.
+
+use crate::pools::ValuePools;
+use ind_storage::{ColumnSchema, DataType, Database, Table, TableSchema, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the UniProt-shaped generator.
+#[derive(Debug, Clone)]
+pub struct BiosqlConfig {
+    /// Number of `sg_bioentry` rows; every other table scales from it.
+    pub bioentries: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Include the empty `sg_term_path` table with its two undiscoverable
+    /// foreign keys (Sec. 5: FKs "defined on empty tables … obviously
+    /// cannot be found when regarding the data").
+    pub include_empty_tables: bool,
+    /// Fraction of `sg_dbxref.accession` values drawn from the shared PDB
+    /// code pool (used by the Aladin inter-source step; the rest are
+    /// GO-style identifiers, making the column a *partial* IND against
+    /// `struct.entry_id`).
+    pub pdb_link_fraction: f64,
+}
+
+impl Default for BiosqlConfig {
+    fn default() -> Self {
+        BiosqlConfig {
+            bioentries: 800,
+            seed: 42,
+            include_empty_tables: true,
+            pdb_link_fraction: 0.4,
+        }
+    }
+}
+
+impl BiosqlConfig {
+    /// A fast configuration for unit tests.
+    pub fn tiny() -> Self {
+        BiosqlConfig {
+            bioentries: 60,
+            ..Default::default()
+        }
+    }
+}
+
+// Disjoint 8-digit id ranges per table; counts stay far below the 10M gap.
+const BASE_BIODATABASE: i64 = 10_000_000;
+const BASE_BIOENTRY: i64 = 20_000_000;
+const BASE_TAXON: i64 = 30_000_000;
+const BASE_ONTOLOGY: i64 = 40_000_000;
+const BASE_TERM: i64 = 50_000_000;
+const BASE_SEQFEATURE: i64 = 60_000_000;
+const BASE_LOCATION: i64 = 70_000_000;
+const BASE_DBXREF: i64 = 80_000_000;
+const BASE_REFERENCE: i64 = 90_000_000;
+const BASE_PUBMED: i64 = 1_000_000;
+const BASE_NCBI_TAXON: i64 = 5_000_000;
+
+fn ids(base: i64, n: usize) -> Vec<i64> {
+    (0..n as i64).map(|i| base + i).collect()
+}
+
+fn col(name: &str, dt: DataType) -> ColumnSchema {
+    ColumnSchema::new(name, dt)
+}
+
+fn pk(name: &str) -> ColumnSchema {
+    ColumnSchema::new(name, DataType::Integer).not_null().unique()
+}
+
+/// A small integer with both parities guaranteed across the column (rows 0
+/// and 1 are pinned), so the column can never be a subset of the odd/even
+/// nested-set columns.
+fn small_int(rng: &mut StdRng, row: usize, lo: i64, hi: i64) -> i64 {
+    match row {
+        0 => lo,
+        1 => lo + 1,
+        _ => rng.gen_range(lo..=hi),
+    }
+}
+
+/// Generates the UniProt-shaped database.
+pub fn generate_uniprot(cfg: &BiosqlConfig) -> Database {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut db = Database::new("uniprot");
+
+    let n_bioentry = cfg.bioentries.max(4);
+    let n_biodatabase = 4;
+    let n_taxon = (n_bioentry / 4).max(5);
+    let n_ontology = 8;
+    let n_term = 120.min(n_bioentry.max(20));
+    let n_reference = (n_bioentry / 3).max(4);
+    let n_dbxref = n_reference; // 1:1 with references (covering unique FK)
+    let n_seqfeature = n_bioentry * 2;
+
+    let biodatabase_ids = ids(BASE_BIODATABASE, n_biodatabase);
+    let bioentry_ids = ids(BASE_BIOENTRY, n_bioentry);
+    let taxon_ids = ids(BASE_TAXON, n_taxon);
+    let ontology_ids = ids(BASE_ONTOLOGY, n_ontology);
+    let term_ids = ids(BASE_TERM, n_term);
+    let seqfeature_ids = ids(BASE_SEQFEATURE, n_seqfeature);
+    let dbxref_ids = ids(BASE_DBXREF, n_dbxref);
+    let reference_ids = ids(BASE_REFERENCE, n_reference);
+
+    let pick = |rng: &mut StdRng, pool: &[i64]| -> i64 { pool[rng.gen_range(0..pool.len())] };
+
+    // -- sg_biodatabase -----------------------------------------------------
+    {
+        let mut t = Table::new(
+            TableSchema::new(
+                "sg_biodatabase",
+                vec![
+                    pk("id"),
+                    col("name", DataType::Text),
+                    col("authority", DataType::Text),
+                    col("description", DataType::Text),
+                ],
+            )
+            .unwrap(),
+        );
+        let names = ["EMBL", "GenBank", "SwissProt", "TrEMBL"];
+        for (i, &id) in biodatabase_ids.iter().enumerate() {
+            let mut pools = ValuePools::new(&mut rng);
+            let desc = pools.text(4);
+            let auth = pools.vocab();
+            t.insert(vec![id.into(), names[i % names.len()].into(), auth.into(), desc.into()])
+                .unwrap();
+        }
+        db.add_table(t).unwrap();
+    }
+
+    // -- sg_bioentry ---------------------------------------------------------
+    {
+        let mut schema = TableSchema::new(
+            "sg_bioentry",
+            vec![
+                pk("id"),
+                col("biodatabase_id", DataType::Integer).not_null(),
+                col("taxon_id", DataType::Integer),
+                col("name", DataType::Text).unique(),
+                col("accession", DataType::Text).not_null().unique(),
+                col("identifier", DataType::Text).unique(),
+                col("division", DataType::Text),
+                col("description", DataType::Text),
+                col("version", DataType::Integer),
+                col("molecule_type", DataType::Text),
+            ],
+        )
+        .unwrap();
+        schema
+            .add_foreign_key("biodatabase_id", "sg_biodatabase", "id")
+            .unwrap();
+        schema.add_foreign_key("taxon_id", "sg_taxon", "id").unwrap();
+        let mut t = Table::new(schema);
+        let divisions = ["PRT", "EST", "GSS"];
+        let molecules = ["protein", "dna", "rna"];
+        for (i, &id) in bioentry_ids.iter().enumerate() {
+            let biodatabase_id = pick(&mut rng, &biodatabase_ids);
+            let taxon_id = pick(&mut rng, &taxon_ids);
+            let version = small_int(&mut rng, i, 1, 5);
+            let division = divisions[rng.gen_range(0..divisions.len())];
+            let molecule = molecules[rng.gen_range(0..molecules.len())];
+            let mut pools = ValuePools::new(&mut rng);
+            let name = pools.entry_name(i);
+            let accession = pools.uniprot_accession(i);
+            let identifier = format!("{}{}", pools.vocab(), 100_000 + i);
+            let description = pools.text(6);
+            t.insert(vec![
+                id.into(),
+                biodatabase_id.into(),
+                taxon_id.into(),
+                name.into(),
+                accession.into(),
+                identifier.into(),
+                division.into(),
+                description.into(),
+                version.into(),
+                molecule.into(),
+            ])
+            .unwrap();
+        }
+        db.add_table(t).unwrap();
+    }
+
+    // -- sg_biosequence (1:1 with sg_bioentry) -------------------------------
+    {
+        let mut schema = TableSchema::new(
+            "sg_biosequence",
+            vec![
+                ColumnSchema::new("bioentry_id", DataType::Integer).not_null().unique(),
+                col("version", DataType::Integer),
+                col("length", DataType::Integer),
+                col("alphabet", DataType::Text),
+                col("seq", DataType::Lob),
+            ],
+        )
+        .unwrap();
+        schema
+            .add_foreign_key("bioentry_id", "sg_bioentry", "id")
+            .unwrap();
+        let mut t = Table::new(schema);
+        let alphabets = ["protein", "dna", "rna"];
+        for (i, &bid) in bioentry_ids.iter().enumerate() {
+            let version = small_int(&mut rng, i, 1, 3);
+            let len = rng.gen_range(40..400i64);
+            let alphabet = alphabets[rng.gen_range(0..alphabets.len())];
+            let mut pools = ValuePools::new(&mut rng);
+            let seq = pools.sequence(32);
+            t.insert(vec![
+                bid.into(),
+                version.into(),
+                len.into(),
+                alphabet.into(),
+                seq.into(),
+            ])
+            .unwrap();
+        }
+        db.add_table(t).unwrap();
+    }
+
+    // -- sg_taxon -------------------------------------------------------------
+    {
+        let mut schema = TableSchema::new(
+            "sg_taxon",
+            vec![
+                pk("id"),
+                col("ncbi_taxon_id", DataType::Integer).unique(),
+                col("parent_taxon_id", DataType::Integer),
+                col("node_rank", DataType::Text),
+                col("genetic_code", DataType::Integer),
+                col("mito_genetic_code", DataType::Integer),
+                col("left_value", DataType::Integer).unique(),
+                col("right_value", DataType::Integer).unique(),
+            ],
+        )
+        .unwrap();
+        schema
+            .add_foreign_key("parent_taxon_id", "sg_taxon", "id")
+            .unwrap();
+        let mut t = Table::new(schema);
+        let ranks = ["species", "genus", "family", "order", "class"];
+        for (i, &id) in taxon_ids.iter().enumerate() {
+            let parent = if i == 0 {
+                Value::Null
+            } else {
+                taxon_ids[rng.gen_range(0..i)].into()
+            };
+            let rank = ranks[rng.gen_range(0..ranks.len())];
+            let genetic = small_int(&mut rng, i, 1, 25);
+            let mito = small_int(&mut rng, i, 1, 25);
+            t.insert(vec![
+                id.into(),
+                (BASE_NCBI_TAXON + i as i64).into(),
+                parent,
+                rank.into(),
+                genetic.into(),
+                mito.into(),
+                (2 * i as i64 + 1).into(), // odd nested-set bound
+                (2 * i as i64 + 2).into(), // even nested-set bound
+            ])
+            .unwrap();
+        }
+        db.add_table(t).unwrap();
+    }
+
+    // -- sg_taxon_name ---------------------------------------------------------
+    {
+        let mut schema = TableSchema::new(
+            "sg_taxon_name",
+            vec![
+                col("taxon_id", DataType::Integer).not_null(),
+                col("name", DataType::Text),
+                col("name_class", DataType::Text),
+            ],
+        )
+        .unwrap();
+        schema.add_foreign_key("taxon_id", "sg_taxon", "id").unwrap();
+        let mut t = Table::new(schema);
+        let classes = ["scientific name", "synonym", "common name"];
+        for i in 0..n_taxon * 2 {
+            let taxon_id = if i < n_taxon {
+                taxon_ids[i] // first pass covers every taxon
+            } else {
+                pick(&mut rng, &taxon_ids)
+            };
+            let class = classes[rng.gen_range(0..classes.len())];
+            let mut pools = ValuePools::new(&mut rng);
+            let name = pools.text(2);
+            t.insert(vec![taxon_id.into(), name.into(), class.into()])
+                .unwrap();
+        }
+        db.add_table(t).unwrap();
+    }
+
+    // -- sg_ontology ------------------------------------------------------------
+    {
+        let mut t = Table::new(
+            TableSchema::new(
+                "sg_ontology",
+                vec![
+                    pk("id"),
+                    col("name", DataType::Text).not_null().unique(),
+                    col("definition", DataType::Text),
+                ],
+            )
+            .unwrap(),
+        );
+        for (i, &id) in ontology_ids.iter().enumerate() {
+            let mut pools = ValuePools::new(&mut rng);
+            let definition = pools.text(5);
+            t.insert(vec![
+                id.into(),
+                ValuePools::ontology_name(i).into(),
+                definition.into(),
+            ])
+            .unwrap();
+        }
+        db.add_table(t).unwrap();
+    }
+
+    // -- sg_term -----------------------------------------------------------------
+    {
+        let mut schema = TableSchema::new(
+            "sg_term",
+            vec![
+                pk("id"),
+                col("name", DataType::Text),
+                col("definition", DataType::Text),
+                col("identifier", DataType::Text).unique(),
+                col("is_obsolete", DataType::Integer),
+                col("ontology_id", DataType::Integer).not_null(),
+            ],
+        )
+        .unwrap();
+        schema
+            .add_foreign_key("ontology_id", "sg_ontology", "id")
+            .unwrap();
+        let mut t = Table::new(schema);
+        for (i, &id) in term_ids.iter().enumerate() {
+            let ontology_id = pick(&mut rng, &ontology_ids);
+            let obsolete = i64::from(rng.gen_bool(0.05));
+            let mut pools = ValuePools::new(&mut rng);
+            let name = format!("{} {}", pools.vocab(), i);
+            let definition = pools.text(4);
+            t.insert(vec![
+                id.into(),
+                name.into(),
+                definition.into(),
+                ValuePools::term_identifier(i).into(),
+                obsolete.into(),
+                ontology_id.into(),
+            ])
+            .unwrap();
+        }
+        db.add_table(t).unwrap();
+    }
+
+    // -- sg_term_path (empty: its two FKs are undiscoverable from data) ----------
+    if cfg.include_empty_tables {
+        let mut schema = TableSchema::new(
+            "sg_term_path",
+            vec![
+                col("subject_term_id", DataType::Integer).not_null(),
+                col("object_term_id", DataType::Integer).not_null(),
+                col("distance", DataType::Integer),
+            ],
+        )
+        .unwrap();
+        schema
+            .add_foreign_key("subject_term_id", "sg_term", "id")
+            .unwrap();
+        schema
+            .add_foreign_key("object_term_id", "sg_term", "id")
+            .unwrap();
+        db.add_table(Table::new(schema)).unwrap();
+    }
+
+    // -- sg_seqfeature -------------------------------------------------------------
+    {
+        let mut schema = TableSchema::new(
+            "sg_seqfeature",
+            vec![
+                pk("id"),
+                col("bioentry_id", DataType::Integer).not_null(),
+                col("type_term_id", DataType::Integer),
+                col("source_term_id", DataType::Integer),
+                col("display_name", DataType::Text),
+                col("rank", DataType::Integer),
+            ],
+        )
+        .unwrap();
+        schema
+            .add_foreign_key("bioentry_id", "sg_bioentry", "id")
+            .unwrap();
+        schema.add_foreign_key("type_term_id", "sg_term", "id").unwrap();
+        schema
+            .add_foreign_key("source_term_id", "sg_term", "id")
+            .unwrap();
+        let mut t = Table::new(schema);
+        for (i, &id) in seqfeature_ids.iter().enumerate() {
+            let bioentry_id = pick(&mut rng, &bioentry_ids);
+            let type_term = pick(&mut rng, &term_ids);
+            let source_term = pick(&mut rng, &term_ids);
+            let rank = small_int(&mut rng, i, 1, 4);
+            let mut pools = ValuePools::new(&mut rng);
+            let display = pools.vocab();
+            t.insert(vec![
+                id.into(),
+                bioentry_id.into(),
+                type_term.into(),
+                source_term.into(),
+                display.into(),
+                rank.into(),
+            ])
+            .unwrap();
+        }
+        db.add_table(t).unwrap();
+    }
+
+    // -- sg_seqfeature_qualifier_value ------------------------------------------------
+    {
+        let mut schema = TableSchema::new(
+            "sg_seqfeature_qualifier_value",
+            vec![
+                col("seqfeature_id", DataType::Integer).not_null(),
+                col("term_id", DataType::Integer).not_null(),
+                col("rank", DataType::Integer),
+                col("value", DataType::Text),
+            ],
+        )
+        .unwrap();
+        schema
+            .add_foreign_key("seqfeature_id", "sg_seqfeature", "id")
+            .unwrap();
+        schema.add_foreign_key("term_id", "sg_term", "id").unwrap();
+        let mut t = Table::new(schema);
+        for i in 0..n_seqfeature {
+            let seqfeature_id = pick(&mut rng, &seqfeature_ids);
+            let term_id = pick(&mut rng, &term_ids);
+            let rank = small_int(&mut rng, i, 1, 3);
+            let mut pools = ValuePools::new(&mut rng);
+            let value = pools.text(3);
+            t.insert(vec![
+                seqfeature_id.into(),
+                term_id.into(),
+                rank.into(),
+                value.into(),
+            ])
+            .unwrap();
+        }
+        db.add_table(t).unwrap();
+    }
+
+    // -- sg_location -----------------------------------------------------------------
+    {
+        let mut schema = TableSchema::new(
+            "sg_location",
+            vec![
+                pk("id"),
+                col("seqfeature_id", DataType::Integer).not_null(),
+                col("term_id", DataType::Integer),
+                col("start_pos", DataType::Integer),
+                col("end_pos", DataType::Integer),
+                col("strand", DataType::Integer),
+                col("rank", DataType::Integer),
+            ],
+        )
+        .unwrap();
+        schema
+            .add_foreign_key("seqfeature_id", "sg_seqfeature", "id")
+            .unwrap();
+        schema.add_foreign_key("term_id", "sg_term", "id").unwrap();
+        let mut t = Table::new(schema);
+        let location_ids = ids(BASE_LOCATION, n_seqfeature);
+        for (i, &id) in location_ids.iter().enumerate() {
+            let seqfeature_id = pick(&mut rng, &seqfeature_ids);
+            let term_id = pick(&mut rng, &term_ids);
+            let start = small_int(&mut rng, i, 1, 5_000);
+            let end = start + rng.gen_range(1..500i64);
+            let strand = [-1i64, 0, 1][rng.gen_range(0..3)];
+            let rank = small_int(&mut rng, i, 1, 3);
+            t.insert(vec![
+                id.into(),
+                seqfeature_id.into(),
+                term_id.into(),
+                start.into(),
+                end.into(),
+                strand.into(),
+                rank.into(),
+            ])
+            .unwrap();
+        }
+        db.add_table(t).unwrap();
+    }
+
+    // -- sg_dbxref (1:1 with sg_reference via reference.dbxref_id) ---------------------
+    {
+        let mut t = Table::new(
+            TableSchema::new(
+                "sg_dbxref",
+                vec![
+                    pk("id"),
+                    col("dbname", DataType::Text),
+                    col("accession", DataType::Text),
+                    col("version", DataType::Integer),
+                ],
+            )
+            .unwrap(),
+        );
+        for (i, &id) in dbxref_ids.iter().enumerate() {
+            let is_pdb = rng.gen_bool(cfg.pdb_link_fraction);
+            let (dbname, accession) = if is_pdb {
+                ("PDB".to_string(), ValuePools::pdb_code(rng.gen_range(0..n_bioentry)))
+            } else {
+                ("GO".to_string(), ValuePools::term_identifier(rng.gen_range(0..50_000)))
+            };
+            let version = small_int(&mut rng, i, 1, 3);
+            t.insert(vec![id.into(), dbname.into(), accession.into(), version.into()])
+                .unwrap();
+        }
+        db.add_table(t).unwrap();
+    }
+
+    // -- sg_bioentry_dbxref ---------------------------------------------------------------
+    {
+        let mut schema = TableSchema::new(
+            "sg_bioentry_dbxref",
+            vec![
+                col("bioentry_id", DataType::Integer).not_null(),
+                col("dbxref_id", DataType::Integer).not_null(),
+                col("rank", DataType::Integer),
+            ],
+        )
+        .unwrap();
+        schema
+            .add_foreign_key("bioentry_id", "sg_bioentry", "id")
+            .unwrap();
+        schema.add_foreign_key("dbxref_id", "sg_dbxref", "id").unwrap();
+        let mut t = Table::new(schema);
+        for i in 0..n_bioentry {
+            let bioentry_id = pick(&mut rng, &bioentry_ids);
+            let dbxref_id = pick(&mut rng, &dbxref_ids);
+            let rank = small_int(&mut rng, i, 1, 3);
+            t.insert(vec![bioentry_id.into(), dbxref_id.into(), rank.into()])
+                .unwrap();
+        }
+        db.add_table(t).unwrap();
+    }
+
+    // -- sg_reference (dbxref_id is a covering unique FK: 1:1 with sg_dbxref) -------------
+    {
+        let mut schema = TableSchema::new(
+            "sg_reference",
+            vec![
+                pk("id"),
+                col("dbxref_id", DataType::Integer).unique(),
+                col("location", DataType::Text),
+                col("title", DataType::Text),
+                col("authors", DataType::Text),
+                col("crc", DataType::Text).not_null().unique(),
+                col("pubmed_id", DataType::Integer).unique(),
+            ],
+        )
+        .unwrap();
+        schema.add_foreign_key("dbxref_id", "sg_dbxref", "id").unwrap();
+        let mut t = Table::new(schema);
+        let mut shuffled = dbxref_ids.clone();
+        shuffled.shuffle(&mut rng);
+        for (i, &id) in reference_ids.iter().enumerate() {
+            let mut pools = ValuePools::new(&mut rng);
+            let location = pools.text(2);
+            let title = pools.text(7);
+            let authors = pools.authors();
+            let crc = pools.crc(i);
+            t.insert(vec![
+                id.into(),
+                shuffled[i].into(),
+                location.into(),
+                title.into(),
+                authors.into(),
+                crc.into(),
+                (BASE_PUBMED + i as i64).into(),
+            ])
+            .unwrap();
+        }
+        db.add_table(t).unwrap();
+    }
+
+    // -- sg_bioentry_reference --------------------------------------------------------------
+    {
+        let mut schema = TableSchema::new(
+            "sg_bioentry_reference",
+            vec![
+                col("bioentry_id", DataType::Integer).not_null(),
+                col("reference_id", DataType::Integer).not_null(),
+                col("start_pos", DataType::Integer),
+                col("end_pos", DataType::Integer),
+                col("rank", DataType::Integer),
+            ],
+        )
+        .unwrap();
+        schema
+            .add_foreign_key("bioentry_id", "sg_bioentry", "id")
+            .unwrap();
+        schema
+            .add_foreign_key("reference_id", "sg_reference", "id")
+            .unwrap();
+        let mut t = Table::new(schema);
+        for i in 0..n_bioentry {
+            let bioentry_id = pick(&mut rng, &bioentry_ids);
+            let reference_id = pick(&mut rng, &reference_ids);
+            let start = small_int(&mut rng, i, 1, 900);
+            let end = start + rng.gen_range(1..100i64);
+            let rank = small_int(&mut rng, i, 1, 3);
+            t.insert(vec![
+                bioentry_id.into(),
+                reference_id.into(),
+                start.into(),
+                end.into(),
+                rank.into(),
+            ])
+            .unwrap();
+        }
+        db.add_table(t).unwrap();
+    }
+
+    // -- sg_comment ---------------------------------------------------------------------------
+    {
+        let mut schema = TableSchema::new(
+            "sg_comment",
+            vec![
+                pk("id"),
+                col("bioentry_id", DataType::Integer).not_null(),
+                col("comment_text", DataType::Text),
+                col("rank", DataType::Integer),
+            ],
+        )
+        .unwrap();
+        schema
+            .add_foreign_key("bioentry_id", "sg_bioentry", "id")
+            .unwrap();
+        let mut t = Table::new(schema);
+        let comment_ids = ids(BASE_LOCATION + 5_000_000, (n_bioentry / 2).max(2));
+        for (i, &id) in comment_ids.iter().enumerate() {
+            let bioentry_id = pick(&mut rng, &bioentry_ids);
+            let rank = small_int(&mut rng, i, 1, 3);
+            let mut pools = ValuePools::new(&mut rng);
+            let text = pools.text(10);
+            t.insert(vec![id.into(), bioentry_id.into(), text.into(), rank.into()])
+                .unwrap();
+        }
+        db.add_table(t).unwrap();
+    }
+
+    db.validate_foreign_keys().expect("generator declares valid FKs");
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_the_paper() {
+        let db = generate_uniprot(&BiosqlConfig::tiny());
+        assert_eq!(db.table_count(), 16);
+        assert_eq!(db.attribute_count(), 82);
+        assert_eq!(db.gold_foreign_keys().len(), 21);
+        assert!(db.table("sg_term_path").unwrap().is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_uniprot(&BiosqlConfig::tiny());
+        let b = generate_uniprot(&BiosqlConfig::tiny());
+        for t in a.tables() {
+            let tb = b.table(t.name()).unwrap();
+            assert_eq!(t.row_count(), tb.row_count(), "{}", t.name());
+            if t.row_count() > 0 {
+                assert_eq!(t.row(0), tb.row(0), "{}", t.name());
+            }
+        }
+        let c = generate_uniprot(&BiosqlConfig {
+            seed: 99,
+            ..BiosqlConfig::tiny()
+        });
+        assert_ne!(
+            a.table("sg_bioentry").unwrap().row(0),
+            c.table("sg_bioentry").unwrap().row(0),
+            "different seeds give different data"
+        );
+    }
+
+    #[test]
+    fn foreign_keys_hold_in_the_data() {
+        let db = generate_uniprot(&BiosqlConfig::tiny());
+        for (dep, refd) in db.gold_foreign_keys() {
+            let dep_col = db.column(&dep).unwrap();
+            let ref_col = db.column(&refd).unwrap();
+            let ref_set: std::collections::HashSet<Vec<u8>> = ref_col
+                .iter()
+                .filter(|v| !v.is_null())
+                .map(Value::canonical_bytes)
+                .collect();
+            for v in dep_col.iter().filter(|v| !v.is_null()) {
+                assert!(
+                    ref_set.contains(&v.canonical_bytes()),
+                    "FK violated: {dep} ⊆ {refd} missing {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn biosequence_is_one_to_one_with_bioentry() {
+        let db = generate_uniprot(&BiosqlConfig::tiny());
+        let bioentry = db.table("sg_bioentry").unwrap();
+        let bioseq = db.table("sg_biosequence").unwrap();
+        assert_eq!(bioentry.row_count(), bioseq.row_count());
+    }
+
+    #[test]
+    fn scaling_respects_config() {
+        let small = generate_uniprot(&BiosqlConfig {
+            bioentries: 50,
+            ..Default::default()
+        });
+        let large = generate_uniprot(&BiosqlConfig {
+            bioentries: 200,
+            ..Default::default()
+        });
+        assert!(large.total_rows() > small.total_rows() * 2);
+    }
+
+    #[test]
+    fn empty_tables_can_be_excluded() {
+        let cfg = BiosqlConfig {
+            include_empty_tables: false,
+            ..BiosqlConfig::tiny()
+        };
+        let db = generate_uniprot(&cfg);
+        assert_eq!(db.table_count(), 15);
+        assert_eq!(db.gold_foreign_keys().len(), 19);
+    }
+}

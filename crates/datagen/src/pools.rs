@@ -1,0 +1,247 @@
+//! Seeded value generators for life-science-shaped data.
+//!
+//! Every generator is deterministic given its RNG. Formats are designed so
+//! that the accession-number heuristics of Sec. 5 classify columns exactly
+//! as the paper reports: accession-style formats are uniform-length and
+//! contain letters; free-text formats vary in length by more than 20 %;
+//! numeric formats contain no letters.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const WORDS: &[&str] = &[
+    "kinase",
+    "binding",
+    "transport",
+    "membrane",
+    "receptor",
+    "domain",
+    "protein",
+    "synthase",
+    "regulator",
+    "transferase",
+    "hydrolase",
+    "ribosomal",
+    "mitochondrial",
+    "nuclear",
+    "cytoplasmic",
+    "putative",
+    "conserved",
+    "hypothetical",
+    "transcription",
+    "signal",
+];
+
+const SPECIES: &[&str] = &[
+    "HUMAN", "MOUSE", "YEAST", "ECOLI", "DROME", "ARATH", "RAT", "BOVIN", "CHICK", "XENLA",
+];
+
+/// A bundle of format-specific generators sharing one RNG.
+pub struct ValuePools<'r> {
+    rng: &'r mut StdRng,
+}
+
+impl<'r> ValuePools<'r> {
+    /// Wraps an RNG.
+    pub fn new(rng: &'r mut StdRng) -> Self {
+        ValuePools { rng }
+    }
+
+    /// Direct access to the RNG for ad-hoc draws.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// UniProt-style accession: letter + 5 digits, e.g. `P04637`. Uniform
+    /// length 6, contains a letter → accession-number candidate. `i` makes
+    /// the value unique.
+    pub fn uniprot_accession(&mut self, i: usize) -> String {
+        let letter = b'O' + (self.rng.gen_range(0..4u8) % 4); // O, P, Q, R
+        format!("{}{:05}", letter as char, i % 100_000)
+    }
+
+    /// PDB entry code: digit + 3 lowercase alphanumerics, e.g. `1abc`.
+    /// Uniform length 4 with a guaranteed letter → accession-number
+    /// candidate. Deterministic in `i` so independently generated databases
+    /// share the same pool.
+    pub fn pdb_code(i: usize) -> String {
+        let digit = (1 + i % 9) as u8 + b'0';
+        let mut rest = [0u8; 3];
+        let mut k = i / 9;
+        for slot in &mut rest {
+            *slot = b'a' + (k % 26) as u8;
+            k /= 26;
+        }
+        format!(
+            "{}{}{}{}",
+            digit as char, rest[0] as char, rest[1] as char, rest[2] as char
+        )
+    }
+
+    /// CRC-style checksum: letter + 11 uppercase hex chars, uniform length
+    /// 12 → accession-number candidate.
+    pub fn crc(&mut self, i: usize) -> String {
+        let letter = [b'A', b'B', b'C', b'D', b'E', b'F'][self.rng.gen_range(0..6)];
+        format!("{}{:011X}", letter as char, i)
+    }
+
+    /// Ontology name: `ONTOLOGY_NN`, uniform length with letters →
+    /// accession-number candidate (the paper's `sg_ontology.name`).
+    pub fn ontology_name(i: usize) -> String {
+        format!("ONTOLOGY_{:02}", i % 100)
+    }
+
+    /// Chemical-component-style code: 5 uppercase alphanumerics with a
+    /// guaranteed leading letter, uniform length → accession-number
+    /// candidate.
+    pub fn chem_code(&mut self, i: usize) -> String {
+        let letter = b'A' + self.rng.gen_range(0..26u8);
+        format!("{}{:04}", letter as char, i % 10_000)
+    }
+
+    /// Entry name like `KIN1_HUMAN`: variable length (word lengths differ by
+    /// far more than 20 %) → *not* an accession candidate.
+    pub fn entry_name(&mut self, i: usize) -> String {
+        let word = WORDS[self.rng.gen_range(0..WORDS.len())];
+        let species = SPECIES[self.rng.gen_range(0..SPECIES.len())];
+        format!("{}{}_{}", word.to_uppercase(), i, species)
+    }
+
+    /// GO-style term identifier with unpadded number: `GO:1`…`GO:99999`.
+    /// Length varies with the number of digits → not an accession candidate.
+    pub fn term_identifier(i: usize) -> String {
+        format!("GO:{}", i + 1)
+    }
+
+    /// Free text of `words` words; highly variable length.
+    pub fn text(&mut self, words: usize) -> String {
+        let mut out = String::new();
+        for w in 0..words {
+            if w > 0 {
+                out.push(' ');
+            }
+            out.push_str(WORDS[self.rng.gen_range(0..WORDS.len())]);
+        }
+        out
+    }
+
+    /// Author-list-style text.
+    pub fn authors(&mut self) -> String {
+        let n = self.rng.gen_range(1..5);
+        let mut out = String::new();
+        for i in 0..n {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let idx = self.rng.gen_range(0..WORDS.len());
+            out.push_str(&format!(
+                "{}{} {}.",
+                WORDS[idx][..1].to_uppercase(),
+                &WORDS[idx][1..],
+                (b'A' + self.rng.gen_range(0..26u8)) as char
+            ));
+        }
+        out
+    }
+
+    /// Protein sequence text of the given length (LOB payloads).
+    pub fn sequence(&mut self, len: usize) -> String {
+        const AMINO: &[u8] = b"ACDEFGHIKLMNPQRSTVWY";
+        (0..len)
+            .map(|_| AMINO[self.rng.gen_range(0..AMINO.len())] as char)
+            .collect()
+    }
+
+    /// ISO-style date; digits and dashes only (no letters → never an
+    /// accession candidate despite the uniform length).
+    pub fn date(&mut self) -> String {
+        format!(
+            "{:04}-{:02}-{:02}",
+            self.rng.gen_range(1990..2006),
+            self.rng.gen_range(1..13),
+            self.rng.gen_range(1..29)
+        )
+    }
+
+    /// A word from the controlled vocabulary (variable length).
+    pub fn vocab(&mut self) -> String {
+        WORDS[self.rng.gen_range(0..WORDS.len())].to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    /// The strict accession-number rules of Sec. 5.
+    fn is_accession_like(values: &[String]) -> bool {
+        let min_len = values.iter().map(String::len).min().unwrap();
+        let max_len = values.iter().map(String::len).max().unwrap();
+        values.iter().all(|v| v.len() >= 4)
+            && values
+                .iter()
+                .all(|v| v.chars().any(|c| c.is_ascii_alphabetic()))
+            && (max_len - min_len) as f64 <= 0.2 * max_len as f64
+    }
+
+    #[test]
+    fn accession_formats_qualify() {
+        let mut r = rng();
+        let mut pools = ValuePools::new(&mut r);
+        let accessions: Vec<String> = (0..500).map(|i| pools.uniprot_accession(i)).collect();
+        assert!(is_accession_like(&accessions));
+        let crcs: Vec<String> = (0..500).map(|i| pools.crc(i)).collect();
+        assert!(is_accession_like(&crcs));
+        let codes: Vec<String> = (0..500).map(ValuePools::pdb_code).collect();
+        assert!(is_accession_like(&codes));
+        let names: Vec<String> = (0..8).map(ValuePools::ontology_name).collect();
+        assert!(is_accession_like(&names));
+        let chems: Vec<String> = (0..200).map(|i| pools.chem_code(i)).collect();
+        assert!(is_accession_like(&chems));
+    }
+
+    #[test]
+    fn non_accession_formats_fail_some_rule() {
+        let mut r = rng();
+        let mut pools = ValuePools::new(&mut r);
+        let names: Vec<String> = (0..500).map(|i| pools.entry_name(i)).collect();
+        assert!(!is_accession_like(&names), "entry names vary in length");
+        let terms: Vec<String> = (0..500).map(ValuePools::term_identifier).collect();
+        assert!(!is_accession_like(&terms), "term ids vary in length");
+        let dates: Vec<String> = (0..100).map(|_| pools.date()).collect();
+        assert!(!is_accession_like(&dates), "dates contain no letters");
+    }
+
+    #[test]
+    fn pdb_codes_are_unique_and_deterministic() {
+        let codes: Vec<String> = (0..2000).map(ValuePools::pdb_code).collect();
+        let mut dedup = codes.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), codes.len(), "codes must be injective in i");
+        assert_eq!(codes, (0..2000).map(ValuePools::pdb_code).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uniqueness_of_indexed_formats() {
+        let mut r = rng();
+        let mut pools = ValuePools::new(&mut r);
+        let mut crcs: Vec<String> = (0..5000).map(|i| pools.crc(i)).collect();
+        crcs.sort();
+        crcs.dedup();
+        assert_eq!(crcs.len(), 5000);
+    }
+
+    #[test]
+    fn sequences_have_requested_length() {
+        let mut r = rng();
+        let mut pools = ValuePools::new(&mut r);
+        assert_eq!(pools.sequence(123).len(), 123);
+        assert!(pools.sequence(50).chars().all(|c| c.is_ascii_uppercase()));
+    }
+}

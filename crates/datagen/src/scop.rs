@@ -1,0 +1,285 @@
+//! SCOP-shaped database generator (Sec. 1.4).
+//!
+//! The real dataset: "SCOP is a database of protein classification … 4
+//! tables with 22 attributes. The total size of the database is 17 MB."
+//! The generator mirrors the structural classification shape: a node table
+//! (every SCOP entity), a 1:1 hierarchy table, a per-domain classification
+//! table whose columns point back at node identifiers, and a comment table.
+//! SCOP also carries PDB codes, providing the natural inter-source link to
+//! the PDB database (Aladin step 4).
+
+use crate::pools::ValuePools;
+use ind_storage::{ColumnSchema, DataType, Database, Table, TableSchema};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the SCOP-shaped generator.
+#[derive(Debug, Clone)]
+pub struct ScopConfig {
+    /// Number of classification nodes; other tables scale from it.
+    pub nodes: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Size of the shared PDB-code pool that `scop_classification.pdb_code`
+    /// draws from (must not exceed the PDB generator's entry count for the
+    /// inter-source IND to hold).
+    pub pdb_pool: usize,
+    /// Store PDB codes as `PDB-144f` instead of `144f` — the paper's
+    /// concatenated-value example (Sec. 7). The plain inter-source IND then
+    /// fails and only the affix-transform search recovers the link.
+    pub prefixed_pdb_codes: bool,
+}
+
+impl Default for ScopConfig {
+    fn default() -> Self {
+        ScopConfig {
+            nodes: 1500,
+            seed: 42,
+            pdb_pool: 400,
+            prefixed_pdb_codes: false,
+        }
+    }
+}
+
+impl ScopConfig {
+    /// A fast configuration for unit tests.
+    pub fn tiny() -> Self {
+        ScopConfig {
+            nodes: 80,
+            pdb_pool: 30,
+            ..Default::default()
+        }
+    }
+}
+
+const BASE_SUNID: i64 = 100_000;
+
+fn sid(i: usize) -> String {
+    // SCOP stable domain identifier, e.g. `d00042a_`: uniform length.
+    format!("d{:05}a_", i % 100_000)
+}
+
+/// Generates the SCOP-shaped database.
+pub fn generate_scop(cfg: &ScopConfig) -> Database {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut db = Database::new("scop");
+
+    let n = cfg.nodes.max(10);
+    let sunids: Vec<i64> = (0..n as i64).map(|i| BASE_SUNID + i).collect();
+    let n_domains = (n / 2).max(4);
+
+    // -- scop_node (7 attrs) -------------------------------------------------
+    {
+        let mut t = Table::new(
+            TableSchema::new(
+                "scop_node",
+                vec![
+                    ColumnSchema::new("sunid", DataType::Integer).not_null().unique(),
+                    ColumnSchema::new("entry_type", DataType::Text),
+                    ColumnSchema::new("sccs", DataType::Text),
+                    ColumnSchema::new("sid", DataType::Text).unique(),
+                    ColumnSchema::new("description", DataType::Text),
+                    ColumnSchema::new("release", DataType::Text),
+                    ColumnSchema::new("sort_order", DataType::Integer),
+                ],
+            )
+            .unwrap(),
+        );
+        let types = ["cl", "cf", "sf", "fa", "dm", "sp", "px"];
+        for (i, &sunid) in sunids.iter().enumerate() {
+            let entry_type = types[i % types.len()];
+            let sccs = format!(
+                "{}.{}.{}.{}",
+                (b'a' + (i % 7) as u8) as char,
+                i % 10,
+                i % 8,
+                i % 5
+            );
+            let order = if i < 2 { i as i64 + 1 } else { rng.gen_range(1..1000i64) };
+            let mut pools = ValuePools::new(&mut rng);
+            let description = pools.text(4);
+            t.insert(vec![
+                sunid.into(),
+                entry_type.into(),
+                sccs.into(),
+                sid(i).into(),
+                description.into(),
+                "1.69".into(),
+                order.into(),
+            ])
+            .unwrap();
+        }
+        db.add_table(t).unwrap();
+    }
+
+    // -- scop_hierarchy (1:1 with scop_node; 4 attrs) --------------------------
+    {
+        let mut schema = TableSchema::new(
+            "scop_hierarchy",
+            vec![
+                ColumnSchema::new("sunid", DataType::Integer).not_null().unique(),
+                ColumnSchema::new("parent_sunid", DataType::Integer),
+                ColumnSchema::new("children_count", DataType::Integer),
+                ColumnSchema::new("depth", DataType::Integer),
+            ],
+        )
+        .unwrap();
+        schema.add_foreign_key("sunid", "scop_node", "sunid").unwrap();
+        schema
+            .add_foreign_key("parent_sunid", "scop_node", "sunid")
+            .unwrap();
+        let mut t = Table::new(schema);
+        for (i, &sunid) in sunids.iter().enumerate() {
+            let parent = if i == 0 {
+                ind_storage::Value::Null
+            } else {
+                sunids[rng.gen_range(0..i)].into()
+            };
+            let children = if i < 2 { i as i64 + 1 } else { rng.gen_range(0..40i64) };
+            let depth = if i < 2 { i as i64 + 1 } else { rng.gen_range(1..8i64) };
+            t.insert(vec![sunid.into(), parent, children.into(), depth.into()])
+                .unwrap();
+        }
+        db.add_table(t).unwrap();
+    }
+
+    // -- scop_classification (one row per domain; 8 attrs) ----------------------
+    {
+        let mut schema = TableSchema::new(
+            "scop_classification",
+            vec![
+                ColumnSchema::new("sid", DataType::Text).not_null().unique(),
+                ColumnSchema::new("pdb_code", DataType::Text),
+                ColumnSchema::new("chain", DataType::Text),
+                ColumnSchema::new("sccs", DataType::Text),
+                ColumnSchema::new("sunid", DataType::Integer).unique(),
+                ColumnSchema::new("class_sunid", DataType::Integer),
+                ColumnSchema::new("fold_sunid", DataType::Integer),
+                ColumnSchema::new("domain_count", DataType::Integer),
+            ],
+        )
+        .unwrap();
+        schema.add_foreign_key("sid", "scop_node", "sid").unwrap();
+        schema.add_foreign_key("sunid", "scop_node", "sunid").unwrap();
+        schema
+            .add_foreign_key("class_sunid", "scop_node", "sunid")
+            .unwrap();
+        schema
+            .add_foreign_key("fold_sunid", "scop_node", "sunid")
+            .unwrap();
+        let mut t = Table::new(schema);
+        for i in 0..n_domains {
+            let mut pdb = ValuePools::pdb_code(rng.gen_range(0..cfg.pdb_pool.max(1)));
+            if cfg.prefixed_pdb_codes {
+                pdb = format!("PDB-{pdb}");
+            }
+            let chain = ["A", "B", "C", "-"][rng.gen_range(0..4)];
+            let sccs = format!("{}.{}.{}", (b'a' + (i % 7) as u8) as char, i % 10, i % 8);
+            let class_sunid = sunids[rng.gen_range(0..n)];
+            let fold_sunid = sunids[rng.gen_range(0..n)];
+            let count = if i < 2 { i as i64 + 1 } else { rng.gen_range(1..20i64) };
+            t.insert(vec![
+                sid(i).into(),
+                pdb.into(),
+                chain.into(),
+                sccs.into(),
+                sunids[i].into(),
+                class_sunid.into(),
+                fold_sunid.into(),
+                count.into(),
+            ])
+            .unwrap();
+        }
+        db.add_table(t).unwrap();
+    }
+
+    // -- scop_comment (3 attrs) ---------------------------------------------------
+    {
+        let mut schema = TableSchema::new(
+            "scop_comment",
+            vec![
+                ColumnSchema::new("sunid", DataType::Integer).not_null(),
+                ColumnSchema::new("comment_text", DataType::Text),
+                ColumnSchema::new("rank", DataType::Integer),
+            ],
+        )
+        .unwrap();
+        schema.add_foreign_key("sunid", "scop_node", "sunid").unwrap();
+        let mut t = Table::new(schema);
+        for i in 0..n {
+            let sunid = sunids[rng.gen_range(0..n)];
+            let rank = if i < 2 { i as i64 + 1 } else { rng.gen_range(1..3i64) };
+            let mut pools = ValuePools::new(&mut rng);
+            let text = pools.text(6);
+            t.insert(vec![sunid.into(), text.into(), rank.into()]).unwrap();
+        }
+        db.add_table(t).unwrap();
+    }
+
+    db.validate_foreign_keys().expect("generator declares valid FKs");
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ind_storage::Value;
+
+    #[test]
+    fn shape_matches_the_paper() {
+        let db = generate_scop(&ScopConfig::tiny());
+        assert_eq!(db.table_count(), 4);
+        assert_eq!(db.attribute_count(), 22);
+        assert!(db.gold_foreign_keys().len() >= 7);
+    }
+
+    #[test]
+    fn foreign_keys_hold_in_the_data() {
+        let db = generate_scop(&ScopConfig::tiny());
+        for (dep, refd) in db.gold_foreign_keys() {
+            let ref_set: std::collections::HashSet<Vec<u8>> = db
+                .column(&refd)
+                .unwrap()
+                .iter()
+                .filter(|v| !v.is_null())
+                .map(Value::canonical_bytes)
+                .collect();
+            for v in db.column(&dep).unwrap().iter().filter(|v| !v.is_null()) {
+                assert!(ref_set.contains(&v.canonical_bytes()), "{dep} ⊆ {refd}");
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchy_is_one_to_one() {
+        let db = generate_scop(&ScopConfig::tiny());
+        assert_eq!(
+            db.table("scop_node").unwrap().row_count(),
+            db.table("scop_hierarchy").unwrap().row_count()
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_scop(&ScopConfig::tiny());
+        let b = generate_scop(&ScopConfig::tiny());
+        assert_eq!(
+            a.table("scop_node").unwrap().row(3),
+            b.table("scop_node").unwrap().row(3)
+        );
+    }
+
+    #[test]
+    fn pdb_codes_come_from_the_shared_pool() {
+        let cfg = ScopConfig::tiny();
+        let db = generate_scop(&cfg);
+        let pool: std::collections::HashSet<String> =
+            (0..cfg.pdb_pool).map(ValuePools::pdb_code).collect();
+        for v in db
+            .column(&ind_storage::QualifiedName::new("scop_classification", "pdb_code"))
+            .unwrap()
+        {
+            assert!(pool.contains(&v.to_string()), "{v} outside shared pool");
+        }
+    }
+}

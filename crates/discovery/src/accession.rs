@@ -1,0 +1,177 @@
+//! Accession-number-candidate detection (Sec. 5, heuristic 1).
+//!
+//! "One of the attributes of a primary relation must be an accession number
+//! candidate, which is a domain specific criterion and means that all
+//! values of this attribute are at least four characters long, contain at
+//! least one character, and must not differ in length more than 20%."
+//!
+//! The softened variant ("when softening the rules such that only 99.98% of
+//! a column's values must fulfill the first criteria") admits columns with
+//! a tiny fraction of outlier values.
+
+use ind_storage::{Database, DataType, QualifiedName, Value};
+
+/// The accession-number rules with a configurable qualifying fraction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccessionRules {
+    /// Minimum value length ("at least four characters long").
+    pub min_len: usize,
+    /// Maximum relative length spread over qualifying values
+    /// ("must not differ in length more than 20%").
+    pub max_len_spread: f64,
+    /// Fraction of values that must satisfy the per-value criteria
+    /// (1.0 = strict; the paper's softened run used 0.9998).
+    pub min_fraction: f64,
+}
+
+impl Default for AccessionRules {
+    fn default() -> Self {
+        AccessionRules {
+            min_len: 4,
+            max_len_spread: 0.2,
+            min_fraction: 1.0,
+        }
+    }
+}
+
+impl AccessionRules {
+    /// The paper's strict rules.
+    pub fn strict() -> Self {
+        Self::default()
+    }
+
+    /// Rules softened to the given qualifying fraction.
+    pub fn softened(min_fraction: f64) -> Self {
+        AccessionRules {
+            min_fraction,
+            ..Self::default()
+        }
+    }
+
+    /// Per-value criterion: long enough and contains a letter.
+    fn value_qualifies(&self, v: &str) -> bool {
+        v.len() >= self.min_len && v.chars().any(|c| c.is_ascii_alphabetic())
+    }
+
+    /// Whether a column's non-null values make it an accession-number
+    /// candidate.
+    pub fn is_candidate(&self, values: &[Value]) -> bool {
+        let mut total = 0usize;
+        let mut qualifying = 0usize;
+        let mut min_len = usize::MAX;
+        let mut max_len = 0usize;
+        for v in values {
+            if v.is_null() {
+                continue;
+            }
+            total += 1;
+            let rendered = v.to_string();
+            if self.value_qualifies(&rendered) {
+                qualifying += 1;
+                min_len = min_len.min(rendered.len());
+                max_len = max_len.max(rendered.len());
+            }
+        }
+        if total == 0 || qualifying == 0 {
+            return false;
+        }
+        if (qualifying as f64) < self.min_fraction * total as f64 {
+            return false;
+        }
+        (max_len - min_len) as f64 <= self.max_len_spread * max_len as f64
+    }
+}
+
+/// Scans every text column of `db` and returns the accession-number
+/// candidates in schema order. (Integer and float columns cannot contain
+/// letters; LOB payloads are not identifiers.)
+pub fn find_accession_candidates(db: &Database, rules: &AccessionRules) -> Vec<QualifiedName> {
+    let mut out = Vec::new();
+    for table in db.tables() {
+        for (_, cs, col) in table.iter_columns() {
+            if cs.data_type != DataType::Text {
+                continue;
+            }
+            if rules.is_candidate(col) {
+                out.push(QualifiedName::new(table.name(), cs.name.clone()));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(values: &[&str]) -> Vec<Value> {
+        values.iter().map(|s| Value::Text(s.to_string())).collect()
+    }
+
+    #[test]
+    fn uniform_lettered_values_qualify() {
+        let rules = AccessionRules::strict();
+        assert!(rules.is_candidate(&texts(&["P12345", "Q99999", "O43210"])));
+        assert!(rules.is_candidate(&texts(&["1abc", "2xyz"])), "exactly 4 chars");
+    }
+
+    #[test]
+    fn each_rule_can_disqualify() {
+        let rules = AccessionRules::strict();
+        // Too short.
+        assert!(!rules.is_candidate(&texts(&["abc", "abcd"])));
+        // No letters.
+        assert!(!rules.is_candidate(&texts(&["1234", "5678"])));
+        // Length spread beyond 20%.
+        assert!(!rules.is_candidate(&texts(&["abcd", "abcdefghij"])));
+        // Empty column.
+        assert!(!rules.is_candidate(&[]));
+        assert!(!rules.is_candidate(&[Value::Null]));
+    }
+
+    #[test]
+    fn boundary_of_the_spread_rule() {
+        let rules = AccessionRules::strict();
+        // max 10, min 8: spread 2 ≤ 0.2 × 10 — allowed.
+        assert!(rules.is_candidate(&texts(&["abcdefgh", "abcdefghij"])));
+        // max 10, min 7: spread 3 > 2 — rejected.
+        assert!(!rules.is_candidate(&texts(&["abcdefg", "abcdefghij"])));
+    }
+
+    #[test]
+    fn softened_rules_tolerate_outliers() {
+        let mut values: Vec<Value> = (0..999).map(|i| format!("AB{:04}", i).into()).collect();
+        values.push("N/".into()); // too short: fails strict
+        let strict = AccessionRules::strict();
+        assert!(!strict.is_candidate(&values));
+        let softened = AccessionRules::softened(0.99);
+        assert!(softened.is_candidate(&values));
+        // But not if outliers exceed the tolerance.
+        let softened_tight = AccessionRules::softened(0.9999);
+        assert!(!softened_tight.is_candidate(&values));
+    }
+
+    #[test]
+    fn database_scan_only_considers_text_columns() {
+        use ind_storage::{ColumnSchema, Table, TableSchema};
+        let mut db = Database::new("acc");
+        let mut t = Table::new(
+            TableSchema::new(
+                "t",
+                vec![
+                    ColumnSchema::new("code", DataType::Text),
+                    ColumnSchema::new("num", DataType::Integer),
+                    ColumnSchema::new("blob", DataType::Lob),
+                ],
+            )
+            .unwrap(),
+        );
+        t.insert(vec!["AB1234".into(), 1234.into(), "AAAA".into()])
+            .unwrap();
+        t.insert(vec!["CD5678".into(), 5678.into(), "BBBB".into()])
+            .unwrap();
+        db.add_table(t).unwrap();
+        let found = find_accession_candidates(&db, &AccessionRules::strict());
+        assert_eq!(found, vec![QualifiedName::new("t", "code")]);
+    }
+}

@@ -1,0 +1,274 @@
+//! Concatenated-value link discovery (Sec. 7 future work).
+//!
+//! "Furthermore we plan use this procedure to identify inclusion
+//! dependencies … between concatenated values, e.g., attributes containing
+//! PDB codes as '144f' or as 'PDB-144f'."
+//!
+//! Given a candidate pair that fails as a plain IND, this module looks for
+//! an affix transform — a common prefix and/or suffix shared by *every*
+//! dependent value — whose removal turns the pair into an (exact or
+//! partial) inclusion. `PDB-144f ⊆ 144f` is the motivating case.
+
+use ind_core::{inclusion_count, InclusionCount, RunMetrics};
+use ind_storage::Value;
+use ind_valueset::MemoryValueSet;
+
+/// An affix transform: strip `prefix` and `suffix` from dependent values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AffixTransform {
+    /// Prefix common to all dependent values (possibly empty).
+    pub prefix: String,
+    /// Suffix common to all dependent values (possibly empty).
+    pub suffix: String,
+}
+
+impl AffixTransform {
+    /// True when the transform does nothing.
+    pub fn is_identity(&self) -> bool {
+        self.prefix.is_empty() && self.suffix.is_empty()
+    }
+
+    /// Applies the transform to one value; `None` when the value does not
+    /// carry the affixes or nothing would remain.
+    pub fn apply<'a>(&self, value: &'a str) -> Option<&'a str> {
+        let stripped = value.strip_prefix(self.prefix.as_str())?;
+        let stripped = stripped.strip_suffix(self.suffix.as_str())?;
+        if stripped.is_empty() {
+            None
+        } else {
+            Some(stripped)
+        }
+    }
+}
+
+/// A concatenated-value match: dependent values equal `prefix + referenced
+/// value + suffix`.
+#[derive(Debug, Clone)]
+pub struct ConcatMatch {
+    /// The discovered transform.
+    pub transform: AffixTransform,
+    /// Inclusion statistics *after* the transform.
+    pub inclusion: InclusionCount,
+}
+
+impl ConcatMatch {
+    /// Coefficient after stripping.
+    pub fn coefficient(&self) -> f64 {
+        self.inclusion.coefficient()
+    }
+}
+
+/// Longest common prefix of the rendered values.
+fn common_prefix<'a>(mut values: impl Iterator<Item = &'a str>) -> String {
+    let Some(first) = values.next() else {
+        return String::new();
+    };
+    let mut prefix = first;
+    for v in values {
+        let common = prefix
+            .char_indices()
+            .zip(v.chars())
+            .take_while(|((_, a), b)| a == b)
+            .count();
+        prefix = &prefix[..prefix
+            .char_indices()
+            .nth(common)
+            .map_or(prefix.len(), |(i, _)| i)];
+        if prefix.is_empty() {
+            break;
+        }
+    }
+    prefix.to_string()
+}
+
+/// Longest common suffix of the rendered values.
+fn common_suffix<'a>(mut values: impl Iterator<Item = &'a str>) -> String {
+    let Some(first) = values.next() else {
+        return String::new();
+    };
+    let mut suffix: Vec<char> = first.chars().collect();
+    for v in values {
+        let vc: Vec<char> = v.chars().collect();
+        let common = suffix
+            .iter()
+            .rev()
+            .zip(vc.iter().rev())
+            .take_while(|(a, b)| a == b)
+            .count();
+        suffix.drain(..suffix.len() - common);
+        if suffix.is_empty() {
+            break;
+        }
+    }
+    suffix.into_iter().collect()
+}
+
+/// Searches for an affix transform of the dependent column that makes it a
+/// (partial) inclusion in the referenced column. Returns `None` when the
+/// dependent column has no common affix at all, or when no variant reaches
+/// `min_coefficient`.
+///
+/// Affixes are derived from the *dependent* side only (the common
+/// prefix/suffix over all its non-null values). Because a maximal common
+/// affix can accidentally swallow payload characters (small code pools
+/// often share trailing characters), all three variants —
+/// prefix-and-suffix, prefix only, suffix only — are evaluated and the
+/// highest-coefficient one wins.
+pub fn find_concat_match(
+    dep: &[Value],
+    refd: &[Value],
+    min_coefficient: f64,
+    metrics: &mut RunMetrics,
+) -> Option<ConcatMatch> {
+    let rendered: Vec<String> = dep
+        .iter()
+        .filter(|v| !v.is_null())
+        .map(Value::to_string)
+        .collect();
+    if rendered.is_empty() {
+        return None;
+    }
+    let prefix = common_prefix(rendered.iter().map(String::as_str));
+    let suffix_source: Vec<&str> = rendered
+        .iter()
+        .map(|v| v.strip_prefix(prefix.as_str()).unwrap_or(v.as_str()))
+        .collect();
+    let suffix = common_suffix(suffix_source.iter().copied());
+
+    let variants = [
+        AffixTransform {
+            prefix: prefix.clone(),
+            suffix: suffix.clone(),
+        },
+        AffixTransform {
+            prefix,
+            suffix: String::new(),
+        },
+        AffixTransform {
+            prefix: String::new(),
+            suffix,
+        },
+    ];
+
+    let ref_set = MemoryValueSet::from_unsorted(
+        refd.iter()
+            .filter(|v| !v.is_null())
+            .map(Value::canonical_bytes),
+    );
+
+    let mut best: Option<ConcatMatch> = None;
+    let mut seen: Vec<AffixTransform> = Vec::new();
+    for transform in variants {
+        if transform.is_identity() || seen.contains(&transform) {
+            continue;
+        }
+        seen.push(transform.clone());
+        let stripped: Vec<Vec<u8>> = rendered
+            .iter()
+            .filter_map(|v| transform.apply(v))
+            .map(|v| v.as_bytes().to_vec())
+            .collect();
+        if stripped.is_empty() {
+            continue;
+        }
+        let dep_set = MemoryValueSet::from_unsorted(stripped);
+        let inclusion = inclusion_count(&mut dep_set.cursor(), &mut ref_set.cursor(), metrics)
+            .expect("memory cursors cannot fail");
+        if inclusion.coefficient() < min_coefficient {
+            continue;
+        }
+        let better = best
+            .as_ref()
+            .is_none_or(|b| inclusion.coefficient() > b.coefficient());
+        if better {
+            best = Some(ConcatMatch {
+                transform,
+                inclusion,
+            });
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(values: &[&str]) -> Vec<Value> {
+        values.iter().map(|s| Value::Text(s.to_string())).collect()
+    }
+
+    #[test]
+    fn papers_pdb_prefix_example() {
+        // "PDB-144f" ⊆ "144f" after stripping the shared prefix.
+        let dep = texts(&["PDB-144f", "PDB-2abc", "PDB-9xyz"]);
+        let refd = texts(&["144f", "2abc", "9xyz", "5extra"]);
+        let mut m = RunMetrics::new();
+        let hit = find_concat_match(&dep, &refd, 1.0, &mut m).expect("match");
+        assert_eq!(hit.transform.prefix, "PDB-");
+        assert_eq!(hit.transform.suffix, "");
+        assert!(hit.inclusion.is_exact());
+        assert_eq!(hit.coefficient(), 1.0);
+    }
+
+    #[test]
+    fn suffix_and_both_affixes() {
+        let dep = texts(&["144f.pdb", "2abc.pdb"]);
+        let refd = texts(&["144f", "2abc"]);
+        let mut m = RunMetrics::new();
+        let hit = find_concat_match(&dep, &refd, 1.0, &mut m).expect("suffix match");
+        assert_eq!(hit.transform.suffix, ".pdb");
+
+        let dep = texts(&["<144f>", "<2abc>"]);
+        let mut m = RunMetrics::new();
+        let hit = find_concat_match(&dep, &refd, 1.0, &mut m).expect("bracket match");
+        assert_eq!(hit.transform.prefix, "<");
+        assert_eq!(hit.transform.suffix, ">");
+    }
+
+    #[test]
+    fn partial_concat_match_respects_threshold() {
+        let dep = texts(&["PDB-144f", "PDB-zzzz"]); // only 144f resolves
+        let refd = texts(&["144f", "2abc"]);
+        let mut m = RunMetrics::new();
+        assert!(find_concat_match(&dep, &refd, 0.4, &mut m).is_some());
+        let mut m = RunMetrics::new();
+        assert!(find_concat_match(&dep, &refd, 0.9, &mut m).is_none());
+    }
+
+    #[test]
+    fn no_common_affix_means_no_match() {
+        let dep = texts(&["alpha", "beta"]);
+        let refd = texts(&["alpha", "beta"]);
+        let mut m = RunMetrics::new();
+        assert!(
+            find_concat_match(&dep, &refd, 0.1, &mut m).is_none(),
+            "identity transforms are the plain IND's job"
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let mut m = RunMetrics::new();
+        assert!(find_concat_match(&[], &texts(&["x"]), 0.5, &mut m).is_none());
+        // Identical single values share everything; stripping leaves nothing.
+        let dep = texts(&["PDB-", "PDB-"]);
+        assert!(find_concat_match(&dep, &texts(&["x"]), 0.5, &mut m).is_none());
+    }
+
+    #[test]
+    fn affix_helpers() {
+        assert_eq!(common_prefix(["abc", "abd"].into_iter()), "ab");
+        assert_eq!(common_prefix(["abc"].into_iter()), "abc");
+        assert_eq!(common_prefix(["x", "y"].into_iter()), "");
+        assert_eq!(common_suffix(["1.pdb", "2.pdb"].into_iter()), ".pdb");
+        assert_eq!(common_suffix(["ab", "b"].into_iter()), "b");
+        let t = AffixTransform {
+            prefix: "a".into(),
+            suffix: "z".into(),
+        };
+        assert_eq!(t.apply("aMIDz"), Some("MID"));
+        assert_eq!(t.apply("az"), None, "empty remainder");
+        assert_eq!(t.apply("bMIDz"), None, "missing prefix");
+    }
+}

@@ -1,0 +1,136 @@
+//! Foreign-key guessing from satisfied INDs (Sec. 1: INDs "provide an
+//! excellent basis for guessing foreign key constraints").
+//!
+//! Every satisfied IND `dep ⊆ ref` is a guess; the optional surrogate-range
+//! filter removes the PDB-style coincidences. Guesses are only ever false
+//! positives, never false negatives ("algorithms can produce only false
+//! positives, but no false negative foreign key constraints") — which the
+//! quality module verifies.
+
+use crate::range_filter::filter_surrogate_inds;
+use ind_core::Discovery;
+use ind_storage::{Database, QualifiedName};
+
+/// One guessed foreign key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FkGuess {
+    /// The referring (dependent) attribute.
+    pub dep: QualifiedName,
+    /// The referenced attribute.
+    pub refd: QualifiedName,
+    /// True when the surrogate-range heuristic flagged this guess as a
+    /// likely coincidence (only set when filtering is requested).
+    pub flagged_surrogate: bool,
+}
+
+/// Turns every satisfied IND into an FK guess, unfiltered.
+pub fn fk_guesses(discovery: &Discovery) -> Vec<FkGuess> {
+    discovery
+        .satisfied
+        .iter()
+        .map(|c| FkGuess {
+            dep: discovery.profiles[c.dep as usize].name.clone(),
+            refd: discovery.profiles[c.refd as usize].name.clone(),
+            flagged_surrogate: false,
+        })
+        .collect()
+}
+
+/// FK guesses with surrogate-range coincidences flagged (the paper's
+/// proposed false-positive filter).
+pub fn fk_guesses_filtered(db: &Database, discovery: &Discovery) -> Vec<FkGuess> {
+    let (kept, filtered) = filter_surrogate_inds(db, discovery);
+    let mut out = Vec::with_capacity(kept.len() + filtered.len());
+    for (candidates, flagged) in [(kept, false), (filtered, true)] {
+        for c in candidates {
+            out.push(FkGuess {
+                dep: discovery.profiles[c.dep as usize].name.clone(),
+                refd: discovery.profiles[c.refd as usize].name.clone(),
+                flagged_surrogate: flagged,
+            });
+        }
+    }
+    out.sort_by(|a, b| (&a.dep, &a.refd).cmp(&(&b.dep, &b.refd)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ind_core::{Algorithm, IndFinder};
+    use ind_storage::{ColumnSchema, DataType, Table, TableSchema};
+
+    fn db() -> Database {
+        let mut db = Database::new("fk");
+        let mut parent = Table::new(
+            TableSchema::new(
+                "parent",
+                vec![ColumnSchema::new("id", DataType::Integer).not_null().unique()],
+            )
+            .unwrap(),
+        );
+        for i in 100..110i64 {
+            parent.insert(vec![i.into()]).unwrap();
+        }
+        db.add_table(parent).unwrap();
+        let mut child = Table::new(
+            TableSchema::new(
+                "child",
+                vec![ColumnSchema::new("parent_id", DataType::Integer)],
+            )
+            .unwrap(),
+        );
+        for i in 0..20i64 {
+            child.insert(vec![(100 + i % 10).into()]).unwrap();
+        }
+        db.add_table(child).unwrap();
+        // Surrogate pair.
+        for (name, n) in [("a", 5i64), ("b", 9i64)] {
+            let mut t = Table::new(
+                TableSchema::new(
+                    name,
+                    vec![ColumnSchema::new("id", DataType::Integer).not_null().unique()],
+                )
+                .unwrap(),
+            );
+            for i in 1..=n {
+                t.insert(vec![i.into()]).unwrap();
+            }
+            db.add_table(t).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn every_ind_becomes_a_guess() {
+        let db = db();
+        let d = IndFinder::with_algorithm(Algorithm::BruteForce)
+            .discover_in_memory(&db)
+            .unwrap();
+        let guesses = fk_guesses(&d);
+        assert_eq!(guesses.len(), d.ind_count());
+        assert!(guesses
+            .iter()
+            .any(|g| g.dep.to_string() == "child.parent_id" && g.refd.to_string() == "parent.id"));
+    }
+
+    #[test]
+    fn surrogate_guesses_are_flagged_not_dropped() {
+        let db = db();
+        let d = IndFinder::with_algorithm(Algorithm::BruteForce)
+            .discover_in_memory(&db)
+            .unwrap();
+        let guesses = fk_guesses_filtered(&db, &d);
+        assert_eq!(guesses.len(), d.ind_count(), "flagging keeps everything");
+        let surrogate = guesses
+            .iter()
+            .find(|g| g.dep.table == "a" && g.refd.table == "b")
+            .expect("a.id ⊆ b.id must be discovered");
+        assert!(surrogate.flagged_surrogate);
+        let real = guesses
+            .iter()
+            .find(|g| g.dep.to_string() == "child.parent_id")
+            .unwrap();
+        assert!(!real.flagged_surrogate);
+    }
+}

@@ -1,0 +1,36 @@
+//! # ind-discovery
+//!
+//! Schema discovery on top of unary INDs — the application layer of Sec. 5:
+//!
+//! * [`foreign_keys`] — FK guessing from satisfied INDs, with the
+//!   surrogate-range flagging the paper proposes as future work;
+//! * [`accession`] — accession-number-candidate detection (heuristic 1,
+//!   strict and softened);
+//! * [`primary_relation`] — primary-relation identification (heuristic 2);
+//! * [`range_filter`] — dense-integer-range analysis behind the
+//!   false-positive filter;
+//! * [`quality`] — evaluation against gold-standard FKs (found / missed on
+//!   empty tables / closure extras / unexplained);
+//! * [`aladin`] — the five-step Aladin pipeline of Fig. 1, including
+//!   inter-source links via exact and partial INDs.
+
+#![warn(missing_docs)]
+
+pub mod accession;
+pub mod aladin;
+pub mod concat;
+pub mod foreign_keys;
+pub mod primary_relation;
+pub mod quality;
+pub mod range_filter;
+
+pub use accession::{find_accession_candidates, AccessionRules};
+pub use concat::{find_concat_match, AffixTransform, ConcatMatch};
+pub use aladin::{
+    find_duplicates, key_candidates, run_aladin, AladinConfig, AladinReport, DuplicateReport,
+    KeyCandidate, LinkReport, SourceReport,
+};
+pub use foreign_keys::{fk_guesses, fk_guesses_filtered, FkGuess};
+pub use primary_relation::{identify_primary_relation, PrimaryRelationReport};
+pub use quality::{evaluate_foreign_keys, ExtraClass, ExtraInd, FkEvaluation};
+pub use range_filter::{filter_surrogate_inds, numeric_range_profile, RangeProfile};

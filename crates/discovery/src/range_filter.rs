@@ -1,0 +1,155 @@
+//! Surrogate-range detection — the false-positive filter the paper calls
+//! for (Sec. 5): "the OpenMMS schema often utilizes surrogate IDs, i.e.,
+//! semantic-free integers whose ranges all begin at 1, as primary keys.
+//! This is a case where INDs fail to identify foreign keys. … In future
+//! work we will look into heuristics for removing such false positives.
+//! One idea is to analyze the ranges of attributes."
+//!
+//! An attribute is a *surrogate range* when all its values parse as
+//! integers forming a dense range that starts at (or next to) 1. An IND
+//! between two surrogate ranges is almost certainly a coincidence of
+//! counting, not a semantic reference.
+
+use ind_core::{Candidate, Discovery};
+use ind_storage::{Database, Value};
+use std::collections::HashMap;
+
+/// Numeric profile of a column whose values all parse as integers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RangeProfile {
+    /// Smallest value.
+    pub min: i64,
+    /// Largest value.
+    pub max: i64,
+    /// Distinct values.
+    pub distinct: u64,
+}
+
+impl RangeProfile {
+    /// Dense: the distinct count covers the whole `[min, max]` interval.
+    pub fn is_dense(&self) -> bool {
+        let span = (self.max - self.min).unsigned_abs() + 1;
+        self.distinct == span
+    }
+
+    /// The paper's surrogate-key signature: a dense integer range starting
+    /// at 1 (tolerating a start of 0 or 2 for off-by-one id schemes).
+    pub fn is_surrogate(&self) -> bool {
+        self.is_dense() && (0..=2).contains(&self.min) && self.distinct > 1
+    }
+}
+
+/// Computes the numeric range profile of a column, treating integer-typed
+/// values and integer-parsable text alike (life-science databases often
+/// store "even attributes containing solely integers … as string",
+/// Sec. 4.1). Returns `None` when any non-null value fails to parse or the
+/// column is empty.
+pub fn numeric_range_profile(values: &[Value]) -> Option<RangeProfile> {
+    let mut ints: Vec<i64> = Vec::with_capacity(values.len());
+    for v in values {
+        match v {
+            Value::Null => continue,
+            Value::Integer(i) => ints.push(*i),
+            Value::Text(s) => ints.push(s.parse::<i64>().ok()?),
+            Value::Float(_) => return None,
+        }
+    }
+    if ints.is_empty() {
+        return None;
+    }
+    ints.sort_unstable();
+    let min = ints[0];
+    let max = *ints.last().expect("non-empty");
+    ints.dedup();
+    Some(RangeProfile {
+        min,
+        max,
+        distinct: ints.len() as u64,
+    })
+}
+
+/// Splits discovered INDs into `(kept, filtered)`: an IND is filtered when
+/// *both* sides are surrogate ranges.
+pub fn filter_surrogate_inds(
+    db: &Database,
+    discovery: &Discovery,
+) -> (Vec<Candidate>, Vec<Candidate>) {
+    let mut cache: HashMap<u32, bool> = HashMap::new();
+    let mut is_surrogate = |attr: u32| -> bool {
+        if let Some(&hit) = cache.get(&attr) {
+            return hit;
+        }
+        let profile = &discovery.profiles[attr as usize];
+        let result = db
+            .column(&profile.name)
+            .ok()
+            .and_then(numeric_range_profile)
+            .is_some_and(|p| p.is_surrogate());
+        cache.insert(attr, result);
+        result
+    };
+    let mut kept = Vec::new();
+    let mut filtered = Vec::new();
+    for &ind in &discovery.satisfied {
+        if is_surrogate(ind.dep) && is_surrogate(ind.refd) {
+            filtered.push(ind);
+        } else {
+            kept.push(ind);
+        }
+    }
+    (kept, filtered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints(values: &[i64]) -> Vec<Value> {
+        values.iter().map(|&v| Value::Integer(v)).collect()
+    }
+
+    #[test]
+    fn dense_range_from_one_is_surrogate() {
+        let p = numeric_range_profile(&ints(&[3, 1, 2, 4, 5])).unwrap();
+        assert!(p.is_dense());
+        assert!(p.is_surrogate());
+    }
+
+    #[test]
+    fn sparse_or_offset_ranges_are_not() {
+        let sparse = numeric_range_profile(&ints(&[1, 2, 10])).unwrap();
+        assert!(!sparse.is_dense());
+        assert!(!sparse.is_surrogate());
+        let offset = numeric_range_profile(&ints(&[100, 101, 102])).unwrap();
+        assert!(offset.is_dense());
+        assert!(!offset.is_surrogate(), "does not start near 1");
+    }
+
+    #[test]
+    fn duplicates_do_not_break_density() {
+        let p = numeric_range_profile(&ints(&[1, 1, 2, 2, 3])).unwrap();
+        assert_eq!(p.distinct, 3);
+        assert!(p.is_surrogate());
+    }
+
+    #[test]
+    fn integers_in_text_columns_are_recognized() {
+        let values: Vec<Value> = vec!["1".into(), "2".into(), "3".into()];
+        assert!(numeric_range_profile(&values).unwrap().is_surrogate());
+        let mixed: Vec<Value> = vec!["1".into(), "two".into()];
+        assert!(numeric_range_profile(&mixed).is_none());
+    }
+
+    #[test]
+    fn floats_and_empty_columns_yield_none() {
+        assert!(numeric_range_profile(&[Value::Float(1.0)]).is_none());
+        assert!(numeric_range_profile(&[]).is_none());
+        assert!(numeric_range_profile(&[Value::Null]).is_none());
+    }
+
+    #[test]
+    fn single_value_is_not_surrogate() {
+        let p = numeric_range_profile(&ints(&[1])).unwrap();
+        assert!(!p.is_surrogate(), "a lone 1 is not a range");
+    }
+}

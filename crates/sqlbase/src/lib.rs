@@ -1,0 +1,15 @@
+//! # ind-sql
+//!
+//! The in-database baselines of Sec. 2: three SQL statements that verify
+//! IND candidates inside the "RDBMS" (our storage substrate), with the
+//! execution behaviour the paper measured — no early termination, no sort
+//! reuse across tests. These exist to be beaten by the external algorithms
+//! in `ind-core`, exactly as in Tables 1 and 2.
+
+#![warn(missing_docs)]
+
+pub mod approaches;
+pub mod engine;
+
+pub use approaches::{resolve, run_sql_discovery, verify_candidate, SqlApproach};
+pub use engine::{join_match_count, minus_unmatched, not_in_unmatched, rowstore_scan};

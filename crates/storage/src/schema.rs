@@ -1,0 +1,225 @@
+//! Schema metadata: columns, tables, and (gold standard) foreign keys.
+//!
+//! Foreign keys declared here are *never* consulted by the discovery
+//! algorithms — they are the gold standard the paper evaluates against
+//! ("The BioSQL schema ... defines foreign key constraints, which we use as
+//! gold standard", Sec. 5).
+
+use crate::error::{Result, StorageError};
+use crate::value::DataType;
+
+/// A single column declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnSchema {
+    /// Column name, unique within its table.
+    pub name: String,
+    /// Declared type.
+    pub data_type: DataType,
+    /// Whether NULL is permitted.
+    pub nullable: bool,
+    /// Declared uniqueness (primary key or unique constraint). Candidate
+    /// generation uses *data-driven* uniqueness (Aladin step 2), not this
+    /// flag; the flag exists so generated schemas can carry their intent.
+    pub unique: bool,
+}
+
+impl ColumnSchema {
+    /// A nullable, non-unique column.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        ColumnSchema {
+            name: name.into(),
+            data_type,
+            nullable: true,
+            unique: false,
+        }
+    }
+
+    /// Marks the column NOT NULL.
+    pub fn not_null(mut self) -> Self {
+        self.nullable = false;
+        self
+    }
+
+    /// Marks the column UNIQUE.
+    pub fn unique(mut self) -> Self {
+        self.unique = true;
+        self
+    }
+}
+
+/// A declared foreign key: `table.column ⊆ ref_table.ref_column`.
+///
+/// Unary only, matching the paper's scope.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ForeignKeyDef {
+    /// Referring column in the owning table.
+    pub column: String,
+    /// Referenced table.
+    pub ref_table: String,
+    /// Referenced column.
+    pub ref_column: String,
+}
+
+/// A table declaration: name, columns, and gold-standard foreign keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    /// Table name, unique within its database.
+    pub name: String,
+    /// Ordered column declarations.
+    pub columns: Vec<ColumnSchema>,
+    /// Gold-standard foreign keys owned by this table.
+    pub foreign_keys: Vec<ForeignKeyDef>,
+}
+
+impl TableSchema {
+    /// Creates a table schema, validating column-name uniqueness.
+    pub fn new(name: impl Into<String>, columns: Vec<ColumnSchema>) -> Result<Self> {
+        let name = name.into();
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|p| p.name == c.name) {
+                return Err(StorageError::DuplicateColumn {
+                    table: name,
+                    column: c.name.clone(),
+                });
+            }
+        }
+        Ok(TableSchema {
+            name,
+            columns,
+            foreign_keys: Vec::new(),
+        })
+    }
+
+    /// Adds a gold-standard foreign key; validates the local column exists.
+    /// (The referenced side is validated when the database assembles.)
+    pub fn add_foreign_key(
+        &mut self,
+        column: impl Into<String>,
+        ref_table: impl Into<String>,
+        ref_column: impl Into<String>,
+    ) -> Result<()> {
+        let column = column.into();
+        if self.column_index(&column).is_none() {
+            return Err(StorageError::UnknownColumn {
+                table: self.name.clone(),
+                column,
+            });
+        }
+        self.foreign_keys.push(ForeignKeyDef {
+            column,
+            ref_table: ref_table.into(),
+            ref_column: ref_column.into(),
+        });
+        Ok(())
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Column lookup that produces a proper error.
+    pub fn column(&self, name: &str) -> Result<&ColumnSchema> {
+        self.column_index(name)
+            .map(|i| &self.columns[i])
+            .ok_or_else(|| StorageError::UnknownColumn {
+                table: self.name.clone(),
+                column: name.to_string(),
+            })
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+/// Fully qualified attribute name, the unit the paper's algorithms work on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QualifiedName {
+    /// Table part.
+    pub table: String,
+    /// Column part.
+    pub column: String,
+}
+
+impl QualifiedName {
+    /// Builds a qualified name.
+    pub fn new(table: impl Into<String>, column: impl Into<String>) -> Self {
+        QualifiedName {
+            table: table.into(),
+            column: column.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for QualifiedName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}", self.table, self.column)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_col_schema() -> TableSchema {
+        TableSchema::new(
+            "t",
+            vec![
+                ColumnSchema::new("id", DataType::Integer).not_null().unique(),
+                ColumnSchema::new("name", DataType::Text),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn duplicate_columns_rejected() {
+        let err = TableSchema::new(
+            "t",
+            vec![
+                ColumnSchema::new("a", DataType::Integer),
+                ColumnSchema::new("a", DataType::Text),
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, StorageError::DuplicateColumn { .. }));
+    }
+
+    #[test]
+    fn column_lookup() {
+        let s = two_col_schema();
+        assert_eq!(s.column_index("id"), Some(0));
+        assert_eq!(s.column_index("name"), Some(1));
+        assert_eq!(s.column_index("missing"), None);
+        assert!(s.column("missing").is_err());
+        assert_eq!(s.column("id").unwrap().data_type, DataType::Integer);
+    }
+
+    #[test]
+    fn foreign_key_requires_local_column() {
+        let mut s = two_col_schema();
+        assert!(s.add_foreign_key("name", "other", "id").is_ok());
+        assert!(s.add_foreign_key("nope", "other", "id").is_err());
+        assert_eq!(s.foreign_keys.len(), 1);
+    }
+
+    #[test]
+    fn builder_flags() {
+        let c = ColumnSchema::new("id", DataType::Integer).not_null().unique();
+        assert!(!c.nullable);
+        assert!(c.unique);
+        let c = ColumnSchema::new("x", DataType::Text);
+        assert!(c.nullable);
+        assert!(!c.unique);
+    }
+
+    #[test]
+    fn qualified_name_display_and_order() {
+        let a = QualifiedName::new("t", "a");
+        let b = QualifiedName::new("t", "b");
+        assert_eq!(a.to_string(), "t.a");
+        assert!(a < b);
+    }
+}

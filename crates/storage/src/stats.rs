@@ -1,0 +1,166 @@
+//! Per-column statistics.
+//!
+//! Three statistics drive the paper's candidate generation and pruning:
+//! the number of distinct values (cardinality pretest, Sec. 1.2/2), the
+//! data-driven uniqueness of a column (referenced attributes are "non-empty
+//! unique columns", Sec. 2; Aladin step 2 computes key candidates from the
+//! uniqueness of the data), and the minimum/maximum canonical value
+//! (max-value pretest, Sec. 4.1).
+
+use crate::table::Table;
+use crate::value::Value;
+
+/// Statistics for one column, computed from the data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnStats {
+    /// Total rows in the owning table.
+    pub rows: usize,
+    /// Number of non-null values (with duplicates), `|v(a)|`.
+    pub non_null: usize,
+    /// Number of distinct non-null values, `|s(a)|`.
+    pub distinct: usize,
+    /// Smallest canonical rendering, if any value exists.
+    pub min: Option<Vec<u8>>,
+    /// Largest canonical rendering, if any value exists.
+    pub max: Option<Vec<u8>>,
+    /// Minimum rendered length over non-null values.
+    pub min_len: usize,
+    /// Maximum rendered length over non-null values.
+    pub max_len: usize,
+}
+
+impl ColumnStats {
+    /// Computes statistics by sorting the canonical renderings of the
+    /// column's non-null values — the same ordering every discovery
+    /// algorithm uses, so `min`/`max` here agree byte-for-byte with the
+    /// first/last entries of the extracted value sets.
+    pub fn compute(values: &[Value]) -> Self {
+        let rows = values.len();
+        let mut rendered: Vec<Vec<u8>> = Vec::new();
+        let mut min_len = usize::MAX;
+        let mut max_len = 0usize;
+        for v in values {
+            if v.is_null() {
+                continue;
+            }
+            let bytes = v.canonical_bytes();
+            min_len = min_len.min(bytes.len());
+            max_len = max_len.max(bytes.len());
+            rendered.push(bytes);
+        }
+        let non_null = rendered.len();
+        rendered.sort_unstable();
+        let min = rendered.first().cloned();
+        let max = rendered.last().cloned();
+        rendered.dedup();
+        let distinct = rendered.len();
+        ColumnStats {
+            rows,
+            non_null,
+            distinct,
+            min,
+            max,
+            min_len: if non_null == 0 { 0 } else { min_len },
+            max_len,
+        }
+    }
+
+    /// "Non-empty" in the paper's sense: the column holds at least one
+    /// non-null value.
+    pub fn is_non_empty(&self) -> bool {
+        self.non_null > 0
+    }
+
+    /// Data-driven uniqueness: every non-null value occurs exactly once.
+    /// Empty columns are *not* unique (a referenced attribute must be
+    /// non-empty anyway).
+    pub fn is_unique(&self) -> bool {
+        self.non_null > 0 && self.distinct == self.non_null
+    }
+}
+
+/// Statistics for every column of a table, in schema order.
+pub fn table_stats(table: &Table) -> Vec<ColumnStats> {
+    (0..table.schema().arity())
+        .map(|i| ColumnStats::compute(table.column(i)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_of(values: Vec<Value>) -> ColumnStats {
+        ColumnStats::compute(&values)
+    }
+
+    #[test]
+    fn counts_distinct_and_non_null() {
+        let s = stats_of(vec![
+            1.into(),
+            2.into(),
+            2.into(),
+            Value::Null,
+            3.into(),
+        ]);
+        assert_eq!(s.rows, 5);
+        assert_eq!(s.non_null, 4);
+        assert_eq!(s.distinct, 3);
+        assert!(s.is_non_empty());
+        assert!(!s.is_unique());
+    }
+
+    #[test]
+    fn unique_column_detected_from_data() {
+        let s = stats_of(vec![10.into(), 11.into(), Value::Null]);
+        assert!(s.is_unique(), "nulls do not break uniqueness");
+        let s = stats_of(vec![10.into(), 10.into()]);
+        assert!(!s.is_unique());
+    }
+
+    #[test]
+    fn empty_column_is_neither_non_empty_nor_unique() {
+        let s = stats_of(vec![Value::Null, Value::Null]);
+        assert!(!s.is_non_empty());
+        assert!(!s.is_unique());
+        assert_eq!(s.min, None);
+        assert_eq!(s.max, None);
+    }
+
+    #[test]
+    fn min_max_use_canonical_order() {
+        // Lexicographic: "10" < "2" < "9".
+        let s = stats_of(vec![9.into(), 10.into(), 2.into()]);
+        assert_eq!(s.min.as_deref(), Some(b"10".as_slice()));
+        assert_eq!(s.max.as_deref(), Some(b"9".as_slice()));
+    }
+
+    #[test]
+    fn length_range_tracks_rendered_lengths() {
+        let s = stats_of(vec!["ab".into(), "abcd".into(), Value::Null]);
+        assert_eq!(s.min_len, 2);
+        assert_eq!(s.max_len, 4);
+    }
+
+    #[test]
+    fn table_stats_cover_all_columns() {
+        use crate::schema::{ColumnSchema, TableSchema};
+        use crate::value::DataType;
+        let mut t = Table::new(
+            TableSchema::new(
+                "t",
+                vec![
+                    ColumnSchema::new("a", DataType::Integer),
+                    ColumnSchema::new("b", DataType::Text),
+                ],
+            )
+            .unwrap(),
+        );
+        t.insert(vec![1.into(), "x".into()]).unwrap();
+        t.insert(vec![1.into(), Value::Null]).unwrap();
+        let stats = table_stats(&t);
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].distinct, 1);
+        assert_eq!(stats[1].non_null, 1);
+    }
+}

@@ -1,0 +1,192 @@
+//! Columnar table storage.
+
+use crate::error::{Result, StorageError};
+use crate::schema::TableSchema;
+use crate::value::Value;
+
+/// A table instance: a schema plus column-oriented data.
+///
+/// Storage is columnar because every consumer in this workspace — value-set
+/// extraction, statistics, the SQL baseline operators — scans one column at
+/// a time.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: TableSchema,
+    columns: Vec<Vec<Value>>,
+    rows: usize,
+}
+
+impl Table {
+    /// Creates an empty table for `schema`.
+    pub fn new(schema: TableSchema) -> Self {
+        let columns = schema.columns.iter().map(|_| Vec::new()).collect();
+        Table {
+            schema,
+            columns,
+            rows: 0,
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.schema.name
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows
+    }
+
+    /// True if the table holds no rows. Empty tables matter: the paper notes
+    /// foreign keys defined on empty tables "obviously cannot be found when
+    /// regarding the data" (Sec. 5).
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Inserts one row, validating arity, types, and NOT NULL constraints.
+    pub fn insert(&mut self, row: Vec<Value>) -> Result<()> {
+        if row.len() != self.schema.arity() {
+            return Err(StorageError::ArityMismatch {
+                table: self.schema.name.clone(),
+                expected: self.schema.arity(),
+                got: row.len(),
+            });
+        }
+        for (value, col) in row.iter().zip(&self.schema.columns) {
+            if value.is_null() {
+                if !col.nullable {
+                    return Err(StorageError::NullViolation {
+                        table: self.schema.name.clone(),
+                        column: col.name.clone(),
+                    });
+                }
+            } else if !value.compatible_with(col.data_type) {
+                return Err(StorageError::TypeMismatch {
+                    table: self.schema.name.clone(),
+                    column: col.name.clone(),
+                    detail: format!(
+                        "value `{value}` not compatible with column type {}",
+                        col.data_type
+                    ),
+                });
+            }
+        }
+        for (slot, value) in self.columns.iter_mut().zip(row) {
+            slot.push(value);
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Bulk insert convenience.
+    pub fn insert_all<I: IntoIterator<Item = Vec<Value>>>(&mut self, rows: I) -> Result<()> {
+        for row in rows {
+            self.insert(row)?;
+        }
+        Ok(())
+    }
+
+    /// Full column by index.
+    pub fn column(&self, idx: usize) -> &[Value] {
+        &self.columns[idx]
+    }
+
+    /// Full column by name.
+    pub fn column_by_name(&self, name: &str) -> Result<&[Value]> {
+        let idx = self
+            .schema
+            .column_index(name)
+            .ok_or_else(|| StorageError::UnknownColumn {
+                table: self.schema.name.clone(),
+                column: name.to_string(),
+            })?;
+        Ok(&self.columns[idx])
+    }
+
+    /// Materializes row `i` (test/debug convenience; hot paths stay columnar).
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c[i].clone()).collect()
+    }
+
+    /// Iterator over `(column index, column schema, column data)`.
+    pub fn iter_columns(
+        &self,
+    ) -> impl Iterator<Item = (usize, &crate::schema::ColumnSchema, &[Value])> {
+        self.schema
+            .columns
+            .iter()
+            .enumerate()
+            .map(move |(i, cs)| (i, cs, self.columns[i].as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnSchema;
+    use crate::value::DataType;
+
+    fn table() -> Table {
+        Table::new(
+            TableSchema::new(
+                "person",
+                vec![
+                    ColumnSchema::new("id", DataType::Integer).not_null().unique(),
+                    ColumnSchema::new("name", DataType::Text),
+                    ColumnSchema::new("score", DataType::Float),
+                ],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn insert_and_read_back() {
+        let mut t = table();
+        t.insert(vec![1.into(), "ada".into(), 9.5.into()]).unwrap();
+        t.insert(vec![2.into(), Value::Null, Value::Null]).unwrap();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.column(0), &[Value::Integer(1), Value::Integer(2)]);
+        assert_eq!(t.column_by_name("name").unwrap()[0], Value::Text("ada".into()));
+        assert_eq!(t.row(1), vec![Value::Integer(2), Value::Null, Value::Null]);
+    }
+
+    #[test]
+    fn arity_is_enforced() {
+        let mut t = table();
+        let err = t.insert(vec![1.into()]).unwrap_err();
+        assert!(matches!(err, StorageError::ArityMismatch { expected: 3, got: 1, .. }));
+        assert_eq!(t.row_count(), 0, "failed insert must not partially apply");
+    }
+
+    #[test]
+    fn types_are_enforced() {
+        let mut t = table();
+        let err = t
+            .insert(vec!["oops".into(), Value::Null, Value::Null])
+            .unwrap_err();
+        assert!(matches!(err, StorageError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn not_null_is_enforced() {
+        let mut t = table();
+        let err = t
+            .insert(vec![Value::Null, Value::Null, Value::Null])
+            .unwrap_err();
+        assert!(matches!(err, StorageError::NullViolation { .. }));
+    }
+
+    #[test]
+    fn empty_table_reports_empty() {
+        let t = table();
+        assert!(t.is_empty());
+        assert_eq!(t.iter_columns().count(), 3);
+    }
+}

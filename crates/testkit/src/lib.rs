@@ -1,0 +1,73 @@
+//! Shared test utilities for the spider-ind workspace.
+//!
+//! The workspace deliberately avoids pulling in `tempfile`; this crate
+//! provides a minimal RAII temporary directory built on `std` only.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named directory under the system temp dir, removed on drop.
+///
+/// ```
+/// let dir = ind_testkit::TempDir::new("doctest");
+/// assert!(dir.path().exists());
+/// ```
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates a fresh directory whose name embeds `label`, the process id,
+    /// and a per-process counter, so parallel tests never collide.
+    pub fn new(label: &str) -> Self {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "spider-ind-{label}-{pid}-{n}",
+            pid = std::process::id()
+        ));
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path }
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Convenience join.
+    pub fn join(&self, rel: &str) -> PathBuf {
+        self.path.join(rel)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn temp_dir_is_created_and_removed() {
+        let path;
+        {
+            let dir = TempDir::new("unit");
+            path = dir.path().to_path_buf();
+            assert!(path.is_dir());
+            std::fs::write(dir.join("x.txt"), b"hello").unwrap();
+        }
+        assert!(!path.exists(), "directory should be removed on drop");
+    }
+
+    #[test]
+    fn temp_dirs_are_unique() {
+        let a = TempDir::new("unique");
+        let b = TempDir::new("unique");
+        assert_ne!(a.path(), b.path());
+    }
+}

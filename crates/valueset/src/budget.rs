@@ -1,0 +1,138 @@
+//! Open-file budget accounting.
+//!
+//! The single-pass algorithm "opens all referenced and dependent files in
+//! parallel … the number of open files … is the reason why we could not
+//! compute the satisfied INDs of the PDB fraction covering 2.7 GB"
+//! (Sec. 4.2). This module makes that operating-system limit an explicit,
+//! testable resource so the workspace can reproduce the failure and the
+//! block-wise fix.
+
+use crate::error::{Result, ValueSetError};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A counting semaphore over "simultaneously open value files".
+///
+/// Cloning shares the underlying counter, so one budget can govern readers
+/// opened from many call sites (including worker threads).
+#[derive(Debug, Clone)]
+pub struct FileBudget {
+    max: usize,
+    open: Arc<AtomicUsize>,
+}
+
+impl FileBudget {
+    /// A budget admitting at most `max` concurrently open files.
+    pub fn new(max: usize) -> Self {
+        FileBudget {
+            max,
+            open: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// An effectively unlimited budget.
+    pub fn unlimited() -> Self {
+        FileBudget::new(usize::MAX)
+    }
+
+    /// The configured maximum.
+    pub fn max(&self) -> usize {
+        self.max
+    }
+
+    /// Number of files currently open under this budget.
+    pub fn in_use(&self) -> usize {
+        self.open.load(Ordering::Relaxed)
+    }
+
+    /// Acquires one slot, or fails with
+    /// [`ValueSetError::FileBudgetExceeded`].
+    pub fn acquire(&self) -> Result<OpenFileGuard> {
+        let mut cur = self.open.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.max {
+                return Err(ValueSetError::FileBudgetExceeded { budget: self.max });
+            }
+            match self.open.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    return Ok(OpenFileGuard {
+                        open: Arc::clone(&self.open),
+                    })
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+/// RAII guard releasing one budget slot on drop.
+#[derive(Debug)]
+pub struct OpenFileGuard {
+    open: Arc<AtomicUsize>,
+}
+
+impl Drop for OpenFileGuard {
+    fn drop(&mut self) {
+        self.open.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_enforces_limit_and_releases() {
+        let b = FileBudget::new(2);
+        let g1 = b.acquire().unwrap();
+        let _g2 = b.acquire().unwrap();
+        assert_eq!(b.in_use(), 2);
+        assert!(matches!(
+            b.acquire(),
+            Err(ValueSetError::FileBudgetExceeded { budget: 2 })
+        ));
+        drop(g1);
+        assert_eq!(b.in_use(), 1);
+        let _g3 = b.acquire().unwrap();
+    }
+
+    #[test]
+    fn clones_share_the_counter() {
+        let a = FileBudget::new(1);
+        let b = a.clone();
+        let _g = a.acquire().unwrap();
+        assert!(b.acquire().is_err());
+    }
+
+    #[test]
+    fn unlimited_never_fails() {
+        let b = FileBudget::unlimited();
+        let _guards: Vec<_> = (0..10_000).map(|_| b.acquire().unwrap()).collect();
+        assert_eq!(b.in_use(), 10_000);
+    }
+
+    #[test]
+    fn concurrent_acquires_respect_limit() {
+        let b = FileBudget::new(8);
+        let successes = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..16 {
+                s.spawn(|| {
+                    if let Ok(_g) = b.acquire() {
+                        successes.fetch_add(1, Ordering::SeqCst);
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                    }
+                });
+            }
+        });
+        let ok = successes.load(Ordering::SeqCst);
+        assert!(ok <= 16);
+        assert!(ok >= 8, "at least the first wave should succeed, got {ok}");
+        assert_eq!(b.in_use(), 0);
+    }
+}

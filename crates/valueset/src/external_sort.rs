@@ -1,0 +1,278 @@
+//! External merge sort with duplicate elimination.
+//!
+//! This is the stand-in for the RDBMS's sort machinery: the paper lets the
+//! database produce sorted, distinct value sets ("using the RDBMS only for
+//! tasks it is good at", Sec. 3) and ships them to files. Our sorter accepts
+//! unsorted values, keeps a bounded in-memory buffer, spills sorted runs to
+//! disk when the buffer fills, and k-way merges the runs (plus the final
+//! buffer) into a strictly increasing output stream.
+
+use crate::error::Result;
+use crate::format::{ValueFileReader, ValueFileWriter};
+use crate::cursor::ValueCursor;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::path::{Path, PathBuf};
+
+/// Tuning for the external sorter.
+#[derive(Debug, Clone)]
+pub struct SortOptions {
+    /// Approximate in-memory buffer limit in bytes before a spill; the
+    /// buffer always admits at least one value.
+    pub memory_budget_bytes: usize,
+}
+
+impl Default for SortOptions {
+    fn default() -> Self {
+        SortOptions {
+            // Large enough that test- and bench-scale attributes sort fully
+            // in memory; small enough to spill on the biggest PDB-like runs.
+            memory_budget_bytes: 64 << 20,
+        }
+    }
+}
+
+/// Summary of one sorted attribute extraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SortStats {
+    /// Values pushed in (non-null occurrences, with duplicates).
+    pub pushed: u64,
+    /// Distinct values written out.
+    pub distinct: u64,
+    /// Spill runs created (0 = fully in-memory).
+    pub runs: usize,
+    /// Smallest output value, if any.
+    pub min: Option<Vec<u8>>,
+    /// Largest output value, if any.
+    pub max: Option<Vec<u8>>,
+}
+
+/// External sorter; push values, then [`ExternalSorter::finish_into`] a
+/// value-file writer.
+pub struct ExternalSorter {
+    buffer: Vec<Vec<u8>>,
+    buffer_bytes: usize,
+    options: SortOptions,
+    spill_dir: PathBuf,
+    runs: Vec<PathBuf>,
+    pushed: u64,
+}
+
+impl ExternalSorter {
+    /// Creates a sorter spilling into `spill_dir` (created if missing).
+    pub fn new(spill_dir: &Path, options: SortOptions) -> Result<Self> {
+        std::fs::create_dir_all(spill_dir)?;
+        Ok(ExternalSorter {
+            buffer: Vec::new(),
+            buffer_bytes: 0,
+            options,
+            spill_dir: spill_dir.to_path_buf(),
+            runs: Vec::new(),
+            pushed: 0,
+        })
+    }
+
+    /// Adds one value (unsorted, duplicates welcome).
+    pub fn push(&mut self, value: &[u8]) -> Result<()> {
+        self.pushed += 1;
+        self.buffer_bytes += value.len() + std::mem::size_of::<Vec<u8>>();
+        self.buffer.push(value.to_vec());
+        if self.buffer_bytes >= self.options.memory_budget_bytes && self.buffer.len() > 1 {
+            self.spill()?;
+        }
+        Ok(())
+    }
+
+    fn spill(&mut self) -> Result<()> {
+        self.buffer.sort_unstable();
+        self.buffer.dedup();
+        let path = self
+            .spill_dir
+            .join(format!("run-{:04}.indv", self.runs.len()));
+        let mut w = ValueFileWriter::create(&path)?;
+        for v in &self.buffer {
+            w.append(v)?;
+        }
+        w.finish()?;
+        self.runs.push(path);
+        self.buffer.clear();
+        self.buffer_bytes = 0;
+        Ok(())
+    }
+
+    /// Merges everything into `writer` (strictly increasing, deduplicated)
+    /// and removes the spill runs. The caller finishes the writer.
+    pub fn finish_into(mut self, writer: &mut ValueFileWriter) -> Result<SortStats> {
+        self.buffer.sort_unstable();
+        self.buffer.dedup();
+
+        let mut min = None;
+        let mut max: Option<Vec<u8>> = None;
+        let mut distinct = 0u64;
+        let mut emit = |value: &[u8], writer: &mut ValueFileWriter| -> Result<()> {
+            if min.is_none() {
+                min = Some(value.to_vec());
+            }
+            match &mut max {
+                Some(m) => {
+                    m.clear();
+                    m.extend_from_slice(value);
+                }
+                none => *none = Some(value.to_vec()),
+            }
+            distinct += 1;
+            writer.append(value)
+        };
+
+        if self.runs.is_empty() {
+            for v in &self.buffer {
+                emit(v, writer)?;
+            }
+        } else {
+            // K-way merge: spill runs + the final in-memory buffer.
+            let mut readers: Vec<ValueFileReader> = Vec::with_capacity(self.runs.len());
+            for path in &self.runs {
+                readers.push(ValueFileReader::open(path)?);
+            }
+            let mem_idx = readers.len();
+            let mut mem_iter = self.buffer.iter();
+
+            // Heap entries: Reverse((value, source)) -> min-heap by value.
+            let mut heap: BinaryHeap<Reverse<(Vec<u8>, usize)>> = BinaryHeap::new();
+            for (i, r) in readers.iter_mut().enumerate() {
+                if r.advance()? {
+                    heap.push(Reverse((r.current().to_vec(), i)));
+                }
+            }
+            if let Some(v) = mem_iter.next() {
+                heap.push(Reverse((v.clone(), mem_idx)));
+            }
+
+            let mut last: Option<Vec<u8>> = None;
+            while let Some(Reverse((value, src))) = heap.pop() {
+                if last.as_deref() != Some(value.as_slice()) {
+                    emit(&value, writer)?;
+                    last = Some(value.clone());
+                }
+                if src == mem_idx {
+                    if let Some(v) = mem_iter.next() {
+                        heap.push(Reverse((v.clone(), mem_idx)));
+                    }
+                } else if readers[src].advance()? {
+                    heap.push(Reverse((readers[src].current().to_vec(), src)));
+                }
+            }
+            drop(readers);
+            for path in &self.runs {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+
+        Ok(SortStats {
+            pushed: self.pushed,
+            distinct,
+            runs: self.runs.len(),
+            min,
+            max,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cursor::collect_cursor;
+    use crate::format::ValueFileReader;
+    use ind_testkit::TempDir;
+
+    fn sort_values(values: &[&[u8]], budget: usize) -> (Vec<Vec<u8>>, SortStats) {
+        let dir = TempDir::new("extsort");
+        let mut sorter = ExternalSorter::new(
+            &dir.join("spill"),
+            SortOptions {
+                memory_budget_bytes: budget,
+            },
+        )
+        .unwrap();
+        for v in values {
+            sorter.push(v).unwrap();
+        }
+        let out_path = dir.join("out.indv");
+        let mut writer = ValueFileWriter::create(&out_path).unwrap();
+        let stats = sorter.finish_into(&mut writer).unwrap();
+        writer.finish().unwrap();
+        let out = collect_cursor(ValueFileReader::open(&out_path).unwrap()).unwrap();
+        (out, stats)
+    }
+
+    fn expected(values: &[&[u8]]) -> Vec<Vec<u8>> {
+        let mut v: Vec<Vec<u8>> = values.iter().map(|s| s.to_vec()).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn in_memory_path() {
+        let values: Vec<&[u8]> = vec![b"pear", b"apple", b"pear", b"fig"];
+        let (out, stats) = sort_values(&values, 1 << 20);
+        assert_eq!(out, expected(&values));
+        assert_eq!(stats.runs, 0);
+        assert_eq!(stats.pushed, 4);
+        assert_eq!(stats.distinct, 3);
+        assert_eq!(stats.min.as_deref(), Some(b"apple".as_slice()));
+        assert_eq!(stats.max.as_deref(), Some(b"pear".as_slice()));
+    }
+
+    #[test]
+    fn spilling_path_matches_in_memory() {
+        let raw: Vec<String> = (0..500).map(|i| format!("v{:03}", i % 137)).collect();
+        let values: Vec<&[u8]> = raw.iter().map(|s| s.as_bytes()).collect();
+        let (with_spill, stats) = sort_values(&values, 64); // force many spills
+        assert!(stats.runs > 1, "expected spills, got {}", stats.runs);
+        let (no_spill, _) = sort_values(&values, 1 << 20);
+        assert_eq!(with_spill, no_spill);
+        assert_eq!(with_spill, expected(&values));
+    }
+
+    #[test]
+    fn duplicates_across_runs_are_merged() {
+        // Same value in every run must appear once.
+        let raw: Vec<String> = (0..50).map(|i| format!("dup-or-{}", i % 2)).collect();
+        let values: Vec<&[u8]> = raw.iter().map(|s| s.as_bytes()).collect();
+        let (out, stats) = sort_values(&values, 16);
+        assert!(stats.runs >= 2);
+        assert_eq!(out.len(), 2);
+        assert_eq!(stats.distinct, 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (out, stats) = sort_values(&[], 1024);
+        assert!(out.is_empty());
+        assert_eq!(stats.distinct, 0);
+        assert_eq!(stats.min, None);
+        assert_eq!(stats.max, None);
+    }
+
+    #[test]
+    fn spill_files_are_cleaned_up() {
+        let dir = TempDir::new("extsort-clean");
+        let spill = dir.join("spill");
+        let mut sorter = ExternalSorter::new(
+            &spill,
+            SortOptions {
+                memory_budget_bytes: 8,
+            },
+        )
+        .unwrap();
+        for i in 0..100 {
+            sorter.push(format!("{i:04}").as_bytes()).unwrap();
+        }
+        let mut w = ValueFileWriter::create(&dir.join("out.indv")).unwrap();
+        sorter.finish_into(&mut w).unwrap();
+        w.finish().unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(&spill).unwrap().collect();
+        assert!(leftovers.is_empty(), "spill runs must be removed");
+    }
+}

@@ -1,0 +1,125 @@
+//! Extraction of sorted distinct value sets from stored columns.
+//!
+//! This is step one of both external algorithms: "We first extract from the
+//! database the sorted sets of distinct values of each attribute using SQL"
+//! (Sec. 3). Here the "SQL" is a scan over the columnar table plus the
+//! canonical rendering from `ind-storage`; sorting and duplicate
+//! elimination happen either in memory or via the external sorter.
+
+use crate::error::Result;
+use crate::external_sort::{ExternalSorter, SortOptions, SortStats};
+use crate::format::ValueFileWriter;
+use crate::memory::MemoryValueSet;
+use ind_storage::Value;
+use std::path::Path;
+
+/// Extracts the sorted distinct canonical values of a column into memory.
+pub fn extract_sorted_distinct(values: &[Value]) -> Vec<Vec<u8>> {
+    let mut out: Vec<Vec<u8>> = values
+        .iter()
+        .filter(|v| !v.is_null())
+        .map(Value::canonical_bytes)
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Extracts a column into a [`MemoryValueSet`].
+pub fn extract_memory_set(values: &[Value]) -> MemoryValueSet {
+    // `from_unsorted` re-sorts; feed it the raw rendering stream directly.
+    MemoryValueSet::from_unsorted(
+        values
+            .iter()
+            .filter(|v| !v.is_null())
+            .map(Value::canonical_bytes),
+    )
+}
+
+/// Extracts a column into a value file at `path` via the external sorter,
+/// spilling into `spill_dir` when the memory budget is exceeded.
+pub fn extract_to_file(
+    values: &[Value],
+    path: &Path,
+    spill_dir: &Path,
+    options: SortOptions,
+) -> Result<SortStats> {
+    let mut sorter = ExternalSorter::new(spill_dir, options)?;
+    let mut buf = Vec::new();
+    for v in values {
+        if v.is_null() {
+            continue;
+        }
+        buf.clear();
+        v.render_canonical(&mut buf);
+        sorter.push(&buf)?;
+    }
+    let mut writer = ValueFileWriter::create(path)?;
+    let stats = sorter.finish_into(&mut writer)?;
+    writer.finish()?;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cursor::{collect_cursor, ValueCursor};
+    use crate::format::ValueFileReader;
+    use ind_storage::Value;
+    use ind_testkit::TempDir;
+
+    fn column() -> Vec<Value> {
+        vec![
+            Value::Integer(10),
+            Value::Null,
+            Value::Text("apple".into()),
+            Value::Integer(9),
+            Value::Integer(10),
+            Value::Null,
+        ]
+    }
+
+    #[test]
+    fn nulls_and_duplicates_are_dropped() {
+        let s = extract_sorted_distinct(&column());
+        // Lexicographic: "10" < "9" < "apple".
+        assert_eq!(s, vec![b"10".to_vec(), b"9".to_vec(), b"apple".to_vec()]);
+    }
+
+    #[test]
+    fn memory_and_file_extraction_agree() {
+        let dir = TempDir::new("extract-agree");
+        let col = column();
+        let mem = extract_memory_set(&col);
+        let stats = extract_to_file(
+            &col,
+            &dir.join("col.indv"),
+            &dir.join("spill"),
+            SortOptions::default(),
+        )
+        .unwrap();
+        let file_values =
+            collect_cursor(ValueFileReader::open(&dir.join("col.indv")).unwrap()).unwrap();
+        assert_eq!(file_values, mem.as_slice());
+        assert_eq!(stats.distinct, mem.len());
+        assert_eq!(stats.pushed, 4, "non-null occurrences");
+        assert_eq!(stats.min.as_deref(), Some(b"10".as_slice()));
+        assert_eq!(stats.max.as_deref(), Some(b"apple".as_slice()));
+    }
+
+    #[test]
+    fn all_null_column_yields_empty_set() {
+        let dir = TempDir::new("extract-null");
+        let col = vec![Value::Null, Value::Null];
+        assert!(extract_sorted_distinct(&col).is_empty());
+        let stats = extract_to_file(
+            &col,
+            &dir.join("n.indv"),
+            &dir.join("spill"),
+            SortOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(stats.distinct, 0);
+        assert_eq!(ValueFileReader::open(&dir.join("n.indv")).unwrap().len(), 0);
+    }
+}

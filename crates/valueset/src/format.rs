@@ -1,0 +1,324 @@
+//! On-disk format for sorted distinct value sets.
+//!
+//! One file per attribute:
+//!
+//! ```text
+//! magic   4 bytes  b"INDV"
+//! version u32 LE   currently 1
+//! count   u64 LE   number of values (patched at finish time)
+//! entry*  u32 LE length + raw bytes, in strictly increasing byte order
+//! ```
+//!
+//! The count header lets readers answer "does a next value exist" without
+//! lookahead — exactly what Algorithm 2's `wantNextValue` needs. Writers
+//! enforce the strictly-increasing invariant so every downstream merge can
+//! rely on it. All I/O is buffered per the performance guide, and readers
+//! reuse a workhorse buffer so steady-state reads do not allocate.
+
+use crate::budget::{FileBudget, OpenFileGuard};
+use crate::cursor::ValueCursor;
+use crate::error::{Result, ValueSetError};
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 4] = b"INDV";
+const VERSION: u32 = 1;
+
+/// Streaming writer for a value file. Values must arrive sorted and
+/// duplicate-free; [`ValueFileWriter::finish`] patches the count header.
+pub struct ValueFileWriter {
+    out: BufWriter<std::fs::File>,
+    path: PathBuf,
+    count: u64,
+    last: Option<Vec<u8>>,
+}
+
+impl ValueFileWriter {
+    /// Creates (truncates) `path` and writes a header with a zero count.
+    pub fn create(path: &Path) -> Result<Self> {
+        let file = std::fs::File::create(path)?;
+        let mut out = BufWriter::new(file);
+        out.write_all(MAGIC)?;
+        out.write_all(&VERSION.to_le_bytes())?;
+        out.write_all(&0u64.to_le_bytes())?;
+        Ok(ValueFileWriter {
+            out,
+            path: path.to_path_buf(),
+            count: 0,
+            last: None,
+        })
+    }
+
+    /// Appends one value; rejects values that are not strictly greater than
+    /// the previous one.
+    pub fn append(&mut self, value: &[u8]) -> Result<()> {
+        if let Some(last) = &self.last {
+            if value <= last.as_slice() {
+                return Err(ValueSetError::Unsorted {
+                    context: self.path.display().to_string(),
+                });
+            }
+        }
+        let len = u32::try_from(value.len()).map_err(|_| ValueSetError::Corrupt {
+            context: self.path.display().to_string(),
+            detail: "value longer than u32::MAX bytes".into(),
+        })?;
+        self.out.write_all(&len.to_le_bytes())?;
+        self.out.write_all(value)?;
+        self.count += 1;
+        match &mut self.last {
+            Some(buf) => {
+                buf.clear();
+                buf.extend_from_slice(value);
+            }
+            none => *none = Some(value.to_vec()),
+        }
+        Ok(())
+    }
+
+    /// Number of values appended so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Flushes, patches the count header, and returns the final count.
+    pub fn finish(self) -> Result<u64> {
+        let mut file = self.out.into_inner().map_err(|e| {
+            ValueSetError::Io(std::io::Error::other(format!(
+                "flush failed for {}: {e}",
+                self.path.display()
+            )))
+        })?;
+        file.seek(SeekFrom::Start(8))?;
+        file.write_all(&self.count.to_le_bytes())?;
+        file.sync_data().ok(); // best-effort durability; not load-bearing
+        Ok(self.count)
+    }
+}
+
+/// Buffered reader over a value file; implements [`ValueCursor`].
+pub struct ValueFileReader {
+    input: BufReader<std::fs::File>,
+    path: PathBuf,
+    total: u64,
+    produced: u64,
+    current: Vec<u8>,
+    _guard: Option<OpenFileGuard>,
+}
+
+impl ValueFileReader {
+    /// Opens `path` without budget accounting.
+    pub fn open(path: &Path) -> Result<Self> {
+        Self::open_inner(path, None)
+    }
+
+    /// Opens `path`, charging one slot against `budget` for the lifetime of
+    /// the reader.
+    pub fn open_with_budget(path: &Path, budget: &FileBudget) -> Result<Self> {
+        let guard = budget.acquire()?;
+        Self::open_inner(path, Some(guard))
+    }
+
+    fn open_inner(path: &Path, guard: Option<OpenFileGuard>) -> Result<Self> {
+        let context = || path.display().to_string();
+        let file = std::fs::File::open(path)?;
+        let mut input = BufReader::new(file);
+        let mut magic = [0u8; 4];
+        input.read_exact(&mut magic).map_err(|e| corrupt(context(), format!("short header: {e}")))?;
+        if &magic != MAGIC {
+            return Err(corrupt(context(), "bad magic".into()));
+        }
+        let mut v = [0u8; 4];
+        input.read_exact(&mut v).map_err(|e| corrupt(context(), format!("short header: {e}")))?;
+        let version = u32::from_le_bytes(v);
+        if version != VERSION {
+            return Err(corrupt(context(), format!("unsupported version {version}")));
+        }
+        let mut c = [0u8; 8];
+        input.read_exact(&mut c).map_err(|e| corrupt(context(), format!("short header: {e}")))?;
+        let total = u64::from_le_bytes(c);
+        Ok(ValueFileReader {
+            input,
+            path: path.to_path_buf(),
+            total,
+            produced: 0,
+            current: Vec::new(),
+            _guard: guard,
+        })
+    }
+
+    /// File this reader is positioned over.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+fn corrupt(context: String, detail: String) -> ValueSetError {
+    ValueSetError::Corrupt { context, detail }
+}
+
+impl ValueCursor for ValueFileReader {
+    fn advance(&mut self) -> Result<bool> {
+        if self.produced >= self.total {
+            return Ok(false);
+        }
+        let ctx = || self.path.display().to_string();
+        let mut len_buf = [0u8; 4];
+        self.input
+            .read_exact(&mut len_buf)
+            .map_err(|e| corrupt(ctx(), format!("truncated record length: {e}")))?;
+        let len = u32::from_le_bytes(len_buf) as usize;
+        self.current.resize(len, 0);
+        self.input
+            .read_exact(&mut self.current)
+            .map_err(|e| corrupt(ctx(), format!("truncated record body: {e}")))?;
+        self.produced += 1;
+        Ok(true)
+    }
+
+    fn current(&self) -> &[u8] {
+        debug_assert!(self.produced > 0, "current() before first advance()");
+        &self.current
+    }
+
+    fn remaining(&self) -> u64 {
+        self.total - self.produced
+    }
+
+    fn len(&self) -> u64 {
+        self.total
+    }
+}
+
+/// Writes `values` (already sorted, distinct) to `path` in one call.
+pub fn write_value_file(path: &Path, values: &[Vec<u8>]) -> Result<u64> {
+    let mut w = ValueFileWriter::create(path)?;
+    for v in values {
+        w.append(v)?;
+    }
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cursor::collect_cursor;
+    use ind_testkit::TempDir;
+
+    fn bytes(items: &[&str]) -> Vec<Vec<u8>> {
+        items.iter().map(|s| s.as_bytes().to_vec()).collect()
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let dir = TempDir::new("vf-roundtrip");
+        let path = dir.join("a.indv");
+        let values = bytes(&["alpha", "beta", "gamma"]);
+        assert_eq!(write_value_file(&path, &values).unwrap(), 3);
+
+        let reader = ValueFileReader::open(&path).unwrap();
+        assert_eq!(reader.len(), 3);
+        assert_eq!(collect_cursor(reader).unwrap(), values);
+    }
+
+    #[test]
+    fn empty_file_round_trip() {
+        let dir = TempDir::new("vf-empty");
+        let path = dir.join("empty.indv");
+        write_value_file(&path, &[]).unwrap();
+        let mut reader = ValueFileReader::open(&path).unwrap();
+        assert!(reader.is_empty());
+        assert!(!reader.advance().unwrap());
+    }
+
+    #[test]
+    fn remaining_counts_down() {
+        let dir = TempDir::new("vf-remaining");
+        let path = dir.join("a.indv");
+        write_value_file(&path, &bytes(&["a", "b"])).unwrap();
+        let mut r = ValueFileReader::open(&path).unwrap();
+        assert_eq!(r.remaining(), 2);
+        assert!(r.has_next());
+        r.advance().unwrap();
+        assert_eq!(r.remaining(), 1);
+        assert_eq!(r.current(), b"a");
+        r.advance().unwrap();
+        assert_eq!(r.remaining(), 0);
+        assert!(!r.has_next());
+        assert!(!r.advance().unwrap());
+    }
+
+    #[test]
+    fn unsorted_and_duplicate_appends_rejected() {
+        let dir = TempDir::new("vf-unsorted");
+        let mut w = ValueFileWriter::create(&dir.join("u.indv")).unwrap();
+        w.append(b"m").unwrap();
+        assert!(matches!(w.append(b"a"), Err(ValueSetError::Unsorted { .. })));
+        assert!(matches!(w.append(b"m"), Err(ValueSetError::Unsorted { .. })));
+        w.append(b"z").unwrap();
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let dir = TempDir::new("vf-magic");
+        let path = dir.join("bad.indv");
+        std::fs::write(&path, b"NOPE\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00").unwrap();
+        assert!(matches!(
+            ValueFileReader::open(&path),
+            Err(ValueSetError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_body_detected() {
+        let dir = TempDir::new("vf-trunc");
+        let path = dir.join("t.indv");
+        write_value_file(&path, &bytes(&["hello", "world"])).unwrap();
+        // Chop off the final bytes of the last record.
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[..data.len() - 3]).unwrap();
+        let mut r = ValueFileReader::open(&path).unwrap();
+        assert!(r.advance().unwrap());
+        assert!(matches!(r.advance(), Err(ValueSetError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn header_count_is_patched() {
+        let dir = TempDir::new("vf-count");
+        let path = dir.join("c.indv");
+        let mut w = ValueFileWriter::create(&path).unwrap();
+        for v in ["a", "b", "c", "d"] {
+            w.append(v.as_bytes()).unwrap();
+        }
+        assert_eq!(w.count(), 4);
+        assert_eq!(w.finish().unwrap(), 4);
+        assert_eq!(ValueFileReader::open(&path).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn budgeted_open_charges_and_releases() {
+        let dir = TempDir::new("vf-budget");
+        let path = dir.join("b.indv");
+        write_value_file(&path, &bytes(&["x"])).unwrap();
+        let budget = FileBudget::new(1);
+        let r1 = ValueFileReader::open_with_budget(&path, &budget).unwrap();
+        assert!(matches!(
+            ValueFileReader::open_with_budget(&path, &budget),
+            Err(ValueSetError::FileBudgetExceeded { .. })
+        ));
+        drop(r1);
+        assert!(ValueFileReader::open_with_budget(&path, &budget).is_ok());
+    }
+
+    #[test]
+    fn binary_values_round_trip() {
+        let dir = TempDir::new("vf-binary");
+        let path = dir.join("bin.indv");
+        let values = vec![vec![0u8], vec![0u8, 1u8], vec![255u8; 1000]];
+        write_value_file(&path, &values).unwrap();
+        assert_eq!(
+            collect_cursor(ValueFileReader::open(&path).unwrap()).unwrap(),
+            values
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! # ind-valueset
+//!
+//! The sorted-value-set substrate beneath the paper's database-external
+//! algorithms (Sec. 3): canonical byte-string value sets extracted per
+//! attribute, persisted to counted, strictly-sorted value files; buffered
+//! forward cursors; an external merge sort standing in for the RDBMS's sort
+//! machinery; and an open-file budget that makes the operating-system limit
+//! of Sec. 4.2 an explicit, testable resource.
+
+#![warn(missing_docs)]
+
+mod budget;
+mod cursor;
+mod error;
+mod external_sort;
+mod extract;
+mod format;
+mod manager;
+mod memory;
+
+pub use budget::{FileBudget, OpenFileGuard};
+pub use cursor::{collect_cursor, ValueCursor, ValueSetProvider};
+pub use error::{Result, ValueSetError};
+pub use external_sort::{ExternalSorter, SortOptions, SortStats};
+pub use extract::{extract_memory_set, extract_sorted_distinct, extract_to_file};
+pub use format::{write_value_file, ValueFileReader, ValueFileWriter};
+pub use manager::{ExportOptions, ExportedAttribute, ExportedDatabase};
+pub use memory::{MemoryCursor, MemoryProvider, MemoryValueSet};

@@ -1,0 +1,243 @@
+//! Whole-database export: one sorted value file per attribute, plus the
+//! per-attribute metadata (cardinalities, min/max) that candidate
+//! generation and the pretests consume.
+
+use crate::budget::FileBudget;
+use crate::error::Result;
+use crate::extract::extract_to_file;
+use crate::external_sort::SortOptions;
+use crate::format::ValueFileReader;
+use crate::cursor::ValueSetProvider;
+use ind_storage::{Database, DataType, QualifiedName};
+use std::path::{Path, PathBuf};
+
+/// Options controlling a database export.
+#[derive(Debug, Clone, Default)]
+pub struct ExportOptions {
+    /// Sorter tuning (memory budget before spilling).
+    pub sort: SortOptions,
+}
+
+/// Metadata for one exported attribute.
+///
+/// `distinct`, `non_null`, `min`, and `max` are byproducts of the sorted
+/// export — the paper gets them for free from the RDBMS, we get them for
+/// free from the sorter.
+#[derive(Debug, Clone)]
+pub struct ExportedAttribute {
+    /// Dense attribute id; index into [`ExportedDatabase::attributes`].
+    pub id: u32,
+    /// Qualified `table.column` name.
+    pub name: QualifiedName,
+    /// Declared column type (LOB columns are exported but never become
+    /// dependent attributes).
+    pub data_type: DataType,
+    /// Rows in the owning table.
+    pub rows: u64,
+    /// Non-null occurrences, `|v(a)|`.
+    pub non_null: u64,
+    /// Distinct values, `|s(a)|`.
+    pub distinct: u64,
+    /// Smallest canonical value, if any.
+    pub min: Option<Vec<u8>>,
+    /// Largest canonical value, if any.
+    pub max: Option<Vec<u8>>,
+    /// Value file backing this attribute.
+    pub path: PathBuf,
+}
+
+impl ExportedAttribute {
+    /// "Non-empty" in the paper's sense.
+    pub fn is_non_empty(&self) -> bool {
+        self.non_null > 0
+    }
+
+    /// Data-driven uniqueness (every non-null value occurs once).
+    pub fn is_unique(&self) -> bool {
+        self.non_null > 0 && self.distinct == self.non_null
+    }
+}
+
+/// A database exported to sorted value files under one directory.
+#[derive(Debug)]
+pub struct ExportedDatabase {
+    dir: PathBuf,
+    attributes: Vec<ExportedAttribute>,
+    budget: FileBudget,
+}
+
+impl ExportedDatabase {
+    /// Exports every column of `db` into `dir` (created if missing).
+    /// Attribute ids follow [`Database::attributes`] order, so they are
+    /// deterministic across runs.
+    pub fn export(db: &Database, dir: &Path, options: &ExportOptions) -> Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let spill_dir = dir.join("spill");
+        let mut attributes = Vec::with_capacity(db.attribute_count());
+        let mut id = 0u32;
+        for table in db.tables() {
+            for (_, col_schema, col_data) in table.iter_columns() {
+                let path = dir.join(format!("attr-{id:05}.indv"));
+                let stats = extract_to_file(col_data, &path, &spill_dir, options.sort.clone())?;
+                attributes.push(ExportedAttribute {
+                    id,
+                    name: QualifiedName::new(table.name(), col_schema.name.clone()),
+                    data_type: col_schema.data_type,
+                    rows: table.row_count() as u64,
+                    non_null: stats.pushed,
+                    distinct: stats.distinct,
+                    min: stats.min,
+                    max: stats.max,
+                    path,
+                });
+                id += 1;
+            }
+        }
+        let _ = std::fs::remove_dir(&spill_dir); // empty after successful export
+        Ok(ExportedDatabase {
+            dir: dir.to_path_buf(),
+            attributes,
+            budget: FileBudget::unlimited(),
+        })
+    }
+
+    /// All exported attributes, indexed by id.
+    pub fn attributes(&self) -> &[ExportedAttribute] {
+        &self.attributes
+    }
+
+    /// One attribute by id.
+    pub fn attribute(&self, id: u32) -> Option<&ExportedAttribute> {
+        self.attributes.get(id as usize)
+    }
+
+    /// Export directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Installs an open-file budget governing all subsequently opened
+    /// cursors. Models the operating-system limit from Sec. 4.2.
+    pub fn set_file_budget(&mut self, budget: FileBudget) {
+        self.budget = budget;
+    }
+
+    /// The current budget (shared counter).
+    pub fn file_budget(&self) -> &FileBudget {
+        &self.budget
+    }
+}
+
+impl ValueSetProvider for ExportedDatabase {
+    type Cursor = ValueFileReader;
+
+    fn open(&self, id: u32) -> Result<ValueFileReader> {
+        let attr = self
+            .attributes
+            .get(id as usize)
+            .ok_or(crate::error::ValueSetError::UnknownAttribute(id))?;
+        ValueFileReader::open_with_budget(&attr.path, &self.budget)
+    }
+
+    fn attribute_count(&self) -> usize {
+        self.attributes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cursor::{collect_cursor, ValueCursor};
+    use ind_storage::{ColumnSchema, Table, TableSchema, Value};
+    use ind_testkit::TempDir;
+
+    fn sample_db() -> Database {
+        let mut db = Database::new("exported");
+        let mut t = Table::new(
+            TableSchema::new(
+                "t",
+                vec![
+                    ColumnSchema::new("id", DataType::Integer).not_null().unique(),
+                    ColumnSchema::new("label", DataType::Text),
+                    ColumnSchema::new("blob", DataType::Lob),
+                ],
+            )
+            .unwrap(),
+        );
+        t.insert(vec![1.into(), "b".into(), "xxxx".into()]).unwrap();
+        t.insert(vec![2.into(), "a".into(), Value::Null]).unwrap();
+        t.insert(vec![3.into(), "a".into(), Value::Null]).unwrap();
+        db.add_table(t).unwrap();
+        let mut u = Table::new(
+            TableSchema::new("u", vec![ColumnSchema::new("ref", DataType::Integer)]).unwrap(),
+        );
+        u.insert(vec![1.into()]).unwrap();
+        u.insert(vec![3.into()]).unwrap();
+        db.add_table(u).unwrap();
+        db
+    }
+
+    #[test]
+    fn export_produces_metadata_and_files() {
+        let dir = TempDir::new("export-meta");
+        let exp = ExportedDatabase::export(&sample_db(), dir.path(), &ExportOptions::default())
+            .unwrap();
+        assert_eq!(exp.attribute_count(), 4);
+
+        let id_attr = &exp.attributes()[0];
+        assert_eq!(id_attr.name.to_string(), "t.id");
+        assert_eq!(id_attr.distinct, 3);
+        assert_eq!(id_attr.non_null, 3);
+        assert!(id_attr.is_unique());
+        assert_eq!(id_attr.min.as_deref(), Some(b"1".as_slice()));
+        assert_eq!(id_attr.max.as_deref(), Some(b"3".as_slice()));
+
+        let label = &exp.attributes()[1];
+        assert_eq!(label.distinct, 2);
+        assert_eq!(label.non_null, 3);
+        assert!(!label.is_unique());
+
+        let blob = &exp.attributes()[2];
+        assert_eq!(blob.data_type, DataType::Lob);
+        assert_eq!(blob.non_null, 1);
+
+        let values = collect_cursor(exp.open(3).unwrap()).unwrap();
+        assert_eq!(values, vec![b"1".to_vec(), b"3".to_vec()]);
+    }
+
+    #[test]
+    fn budget_limits_open_cursors() {
+        let dir = TempDir::new("export-budget");
+        let mut exp =
+            ExportedDatabase::export(&sample_db(), dir.path(), &ExportOptions::default()).unwrap();
+        exp.set_file_budget(FileBudget::new(2));
+        let c1 = exp.open(0).unwrap();
+        let _c2 = exp.open(1).unwrap();
+        assert!(exp.open(2).is_err(), "third open must exceed the budget");
+        drop(c1);
+        assert!(exp.open(2).is_ok());
+    }
+
+    #[test]
+    fn unknown_attribute_is_an_error() {
+        let dir = TempDir::new("export-unknown");
+        let exp = ExportedDatabase::export(&sample_db(), dir.path(), &ExportOptions::default())
+            .unwrap();
+        assert!(exp.open(99).is_err());
+        assert!(exp.attribute(99).is_none());
+    }
+
+    #[test]
+    fn cursors_are_independent() {
+        let dir = TempDir::new("export-indep");
+        let exp = ExportedDatabase::export(&sample_db(), dir.path(), &ExportOptions::default())
+            .unwrap();
+        let mut a = exp.open(0).unwrap();
+        let mut b = exp.open(0).unwrap();
+        a.advance().unwrap();
+        a.advance().unwrap();
+        b.advance().unwrap();
+        assert_eq!(a.current(), b"2");
+        assert_eq!(b.current(), b"1");
+    }
+}

@@ -1,0 +1,183 @@
+//! In-memory value sets, used by tests, property checks, and small runs.
+
+use crate::cursor::{ValueCursor, ValueSetProvider};
+use crate::error::{Result, ValueSetError};
+use std::sync::Arc;
+
+/// A sorted, duplicate-free value set held in memory. Cheap to clone.
+#[derive(Debug, Clone)]
+pub struct MemoryValueSet {
+    values: Arc<Vec<Vec<u8>>>,
+}
+
+impl MemoryValueSet {
+    /// Builds a set from arbitrary (unsorted, possibly duplicated) values —
+    /// the in-memory analogue of `SELECT DISTINCT … ORDER BY …`.
+    pub fn from_unsorted<I, V>(values: I) -> Self
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Vec<u8>>,
+    {
+        let mut v: Vec<Vec<u8>> = values.into_iter().map(Into::into).collect();
+        v.sort_unstable();
+        v.dedup();
+        MemoryValueSet {
+            values: Arc::new(v),
+        }
+    }
+
+    /// Wraps values that are already sorted and distinct; validated.
+    pub fn from_sorted_distinct(values: Vec<Vec<u8>>) -> Result<Self> {
+        for w in values.windows(2) {
+            if w[0] >= w[1] {
+                return Err(ValueSetError::Unsorted {
+                    context: "MemoryValueSet::from_sorted_distinct".into(),
+                });
+            }
+        }
+        Ok(MemoryValueSet {
+            values: Arc::new(values),
+        })
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> u64 {
+        self.values.len() as u64
+    }
+
+    /// True when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// A fresh cursor positioned before the first value.
+    pub fn cursor(&self) -> MemoryCursor {
+        MemoryCursor {
+            values: Arc::clone(&self.values),
+            pos: 0,
+        }
+    }
+
+    /// Slice view of the values.
+    pub fn as_slice(&self) -> &[Vec<u8>] {
+        &self.values
+    }
+}
+
+/// Cursor over a [`MemoryValueSet`].
+#[derive(Debug, Clone)]
+pub struct MemoryCursor {
+    values: Arc<Vec<Vec<u8>>>,
+    /// Number of values already produced; `0` means before the first.
+    pos: usize,
+}
+
+impl ValueCursor for MemoryCursor {
+    fn advance(&mut self) -> Result<bool> {
+        if self.pos >= self.values.len() {
+            return Ok(false);
+        }
+        self.pos += 1;
+        Ok(true)
+    }
+
+    fn current(&self) -> &[u8] {
+        debug_assert!(self.pos > 0, "current() before first advance()");
+        &self.values[self.pos - 1]
+    }
+
+    fn remaining(&self) -> u64 {
+        (self.values.len() - self.pos) as u64
+    }
+
+    fn len(&self) -> u64 {
+        self.values.len() as u64
+    }
+}
+
+/// A [`ValueSetProvider`] over in-memory sets, indexed by attribute id.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryProvider {
+    sets: Vec<MemoryValueSet>,
+}
+
+impl MemoryProvider {
+    /// Builds a provider from per-attribute sets; attribute `i`'s id is `i`.
+    pub fn new(sets: Vec<MemoryValueSet>) -> Self {
+        MemoryProvider { sets }
+    }
+
+    /// The set behind attribute `id`.
+    pub fn set(&self, id: u32) -> Option<&MemoryValueSet> {
+        self.sets.get(id as usize)
+    }
+}
+
+impl ValueSetProvider for MemoryProvider {
+    type Cursor = MemoryCursor;
+
+    fn open(&self, id: u32) -> Result<MemoryCursor> {
+        self.sets
+            .get(id as usize)
+            .map(MemoryValueSet::cursor)
+            .ok_or(ValueSetError::UnknownAttribute(id))
+    }
+
+    fn attribute_count(&self) -> usize {
+        self.sets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cursor::collect_cursor;
+
+    #[test]
+    fn from_unsorted_sorts_and_dedups() {
+        let s = MemoryValueSet::from_unsorted(["b", "a", "b", "c", "a"].map(|x| x.as_bytes().to_vec()));
+        assert_eq!(s.len(), 3);
+        assert_eq!(
+            collect_cursor(s.cursor()).unwrap(),
+            vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()]
+        );
+    }
+
+    #[test]
+    fn from_sorted_distinct_validates() {
+        assert!(MemoryValueSet::from_sorted_distinct(vec![b"a".to_vec(), b"a".to_vec()]).is_err());
+        assert!(MemoryValueSet::from_sorted_distinct(vec![b"b".to_vec(), b"a".to_vec()]).is_err());
+        assert!(MemoryValueSet::from_sorted_distinct(vec![b"a".to_vec(), b"b".to_vec()]).is_ok());
+        assert!(MemoryValueSet::from_sorted_distinct(vec![]).is_ok());
+    }
+
+    #[test]
+    fn cursor_protocol() {
+        let s = MemoryValueSet::from_unsorted([b"x".to_vec()]);
+        let mut c = s.cursor();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.remaining(), 1);
+        assert!(c.advance().unwrap());
+        assert_eq!(c.current(), b"x");
+        assert_eq!(c.remaining(), 0);
+        assert!(!c.advance().unwrap());
+        assert!(!c.advance().unwrap(), "advance is idempotent at the end");
+    }
+
+    #[test]
+    fn provider_hands_out_independent_cursors() {
+        let p = MemoryProvider::new(vec![
+            MemoryValueSet::from_unsorted([b"a".to_vec(), b"b".to_vec()]),
+            MemoryValueSet::from_unsorted([b"z".to_vec()]),
+        ]);
+        assert_eq!(p.attribute_count(), 2);
+        let mut c1 = p.open(0).unwrap();
+        let mut c2 = p.open(0).unwrap();
+        c1.advance().unwrap();
+        c1.advance().unwrap();
+        c2.advance().unwrap();
+        assert_eq!(c1.current(), b"b");
+        assert_eq!(c2.current(), b"a", "cursors must not share position");
+        assert!(matches!(p.open(9), Err(ValueSetError::UnknownAttribute(9))));
+    }
+}

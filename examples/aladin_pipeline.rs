@@ -1,0 +1,52 @@
+//! The full Aladin pipeline (Fig. 1): three life-science sources sharing a
+//! PDB-code universe, run through steps 2–5 — key candidates, intra-source
+//! INDs and foreign-key guesses, primary relations, inter-source links
+//! (exact and partial INDs), and duplicate detection.
+//!
+//! ```sh
+//! cargo run --release --example aladin_pipeline
+//! ```
+
+use spider_ind::datagen::{generate_universe, BiosqlConfig, OpenMmsConfig, ScopConfig, UniverseConfig};
+use spider_ind::discovery::{run_aladin, AladinConfig};
+
+fn main() {
+    // Step 1 (import) is the generators: three sources with aligned
+    // PDB-code pools, standing in for downloaded-and-parsed flat files.
+    let universe = generate_universe(&UniverseConfig {
+        uniprot: BiosqlConfig {
+            bioentries: 300,
+            ..Default::default()
+        },
+        scop: ScopConfig {
+            nodes: 500,
+            pdb_pool: 300,
+            ..Default::default()
+        },
+        pdb: OpenMmsConfig {
+            tables: 12,
+            entries: 300,
+            base_rows: 100,
+            payload_columns: 8,
+            strict_code_tables: 2,
+            soft_code_tables: 2,
+            seed: 42,
+        },
+    });
+
+    let report = run_aladin(
+        &[&universe.uniprot, &universe.scop, &universe.pdb],
+        &AladinConfig::default(),
+    )
+    .expect("pipeline");
+
+    println!("Aladin pipeline report (steps 2-5):\n");
+    println!("{report}");
+
+    println!("reading the link section:");
+    println!(" - scop_classification.pdb_code -> struct.entry_id is an exact IND:");
+    println!("   every SCOP domain names a real PDB entry;");
+    println!(" - sg_dbxref.accession -> struct.entry_id is a *partial* IND: only the");
+    println!("   dbxref rows with dbname='PDB' are codes — found via the partial-IND");
+    println!("   extension the paper lists as future work (Sec. 7).");
+}

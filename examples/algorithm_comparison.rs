@@ -1,0 +1,85 @@
+//! Runs every discovery algorithm — the three SQL baselines and the four
+//! external algorithms — over the same database, verifying that they agree
+//! and comparing the work each performs.
+//!
+//! ```sh
+//! cargo run --release --example algorithm_comparison
+//! ```
+
+use spider_ind::core::{Algorithm, IndFinder, PretestConfig};
+use spider_ind::datagen::{generate_uniprot, BiosqlConfig};
+use spider_ind::sql::{run_sql_discovery, SqlApproach};
+
+fn main() {
+    let db = generate_uniprot(&BiosqlConfig {
+        bioentries: 300,
+        ..Default::default()
+    });
+    println!(
+        "database: {} tables / {} attributes / {} rows\n",
+        db.table_count(),
+        db.attribute_count(),
+        db.total_rows()
+    );
+    println!(
+        "{:<28} {:>6} {:>12} {:>12} {:>10}",
+        "algorithm", "INDs", "items read", "comparisons", "elapsed"
+    );
+
+    let mut reference: Option<Vec<(String, String)>> = None;
+    let mut check = |name: &str, named: Vec<(String, String)>| match &reference {
+        None => reference = Some(named),
+        Some(expected) => assert_eq!(expected, &named, "{name} disagrees"),
+    };
+
+    for approach in SqlApproach::ALL {
+        let d = run_sql_discovery(&db, approach, &PretestConfig::default()).expect("sql");
+        println!(
+            "{:<28} {:>6} {:>12} {:>12} {:>10?}",
+            format!("SQL {}", approach.name()),
+            d.ind_count(),
+            d.metrics.items_read,
+            d.metrics.comparisons,
+            d.metrics.elapsed
+        );
+        check(
+            approach.name(),
+            d.satisfied_named()
+                .into_iter()
+                .map(|(a, b)| (a.to_string(), b.to_string()))
+                .collect(),
+        );
+    }
+
+    for (name, algorithm) in [
+        ("brute force", Algorithm::BruteForce),
+        ("brute force (4 threads)", Algorithm::BruteForceParallel { threads: 4 }),
+        ("single-pass", Algorithm::SinglePass),
+        ("spider", Algorithm::Spider),
+        ("blockwise (64 files)", Algorithm::Blockwise { max_open_files: 64 }),
+    ] {
+        let d = IndFinder::with_algorithm(algorithm)
+            .discover_in_memory(&db)
+            .expect("discovery");
+        println!(
+            "{:<28} {:>6} {:>12} {:>12} {:>10?}",
+            name,
+            d.ind_count(),
+            d.metrics.items_read,
+            d.metrics.comparisons,
+            d.metrics.elapsed
+        );
+        check(
+            name,
+            d.satisfied_named()
+                .into_iter()
+                .map(|(a, b)| (a.to_string(), b.to_string()))
+                .collect(),
+        );
+    }
+
+    println!("\nall seven agree on the IND set; note the items-read column:");
+    println!(" - SQL scans full tables per candidate (row-store model),");
+    println!(" - brute force re-reads sorted sets per candidate with early stop,");
+    println!(" - single-pass/spider read each sorted set at most once.");
+}

@@ -1,0 +1,95 @@
+//! The paper's PDB pathology: a schema without foreign keys whose
+//! surrogate integer ids produce thousands of coincidental INDs — and the
+//! range-analysis filter the paper proposes against them, plus the
+//! open-file story of Sec. 4.2.
+//!
+//! ```sh
+//! cargo run --release --example pdb_surrogate_keys
+//! ```
+
+use spider_ind::core::{
+    generate_candidates, profiles_from_export, run_blockwise, run_single_pass, Algorithm,
+    BlockwiseConfig, IndFinder, PretestConfig, RunMetrics,
+};
+use spider_ind::datagen::{generate_pdb, OpenMmsConfig};
+use spider_ind::discovery::{
+    filter_surrogate_inds, find_accession_candidates, identify_primary_relation, AccessionRules,
+};
+use spider_ind::valueset::{ExportOptions, ExportedDatabase, FileBudget};
+
+fn main() {
+    let db = generate_pdb(&OpenMmsConfig::small_fraction());
+    println!(
+        "PDB-shaped database: {} tables, {} attributes, {} declared FKs (OpenMMS declares none)\n",
+        db.table_count(),
+        db.attribute_count(),
+        db.gold_foreign_keys().len()
+    );
+
+    let discovery = IndFinder::with_algorithm(Algorithm::Spider)
+        .discover_in_memory(&db)
+        .expect("discovery");
+    println!(
+        "discovered {} satisfied INDs from {} candidates — almost all are\n\
+         surrogate-key coincidences, not foreign keys\n",
+        discovery.ind_count(),
+        discovery.metrics.candidates()
+    );
+
+    let (kept, filtered) = filter_surrogate_inds(&db, &discovery);
+    println!(
+        "range-analysis filter (the paper's proposed heuristic):\n  flagged {} INDs as dense-1-based-range coincidences\n  kept    {} INDs as plausible foreign keys:",
+        filtered.len(),
+        kept.len()
+    );
+    for ind in &kept {
+        println!(
+            "    {} \u{2286} {}",
+            discovery.profile(ind.dep).name,
+            discovery.profile(ind.refd).name
+        );
+    }
+
+    let strict = find_accession_candidates(&db, &AccessionRules::strict());
+    let softened = find_accession_candidates(&db, &AccessionRules::softened(0.99));
+    println!(
+        "\naccession-number candidates: {} strict (paper: 9), {} softened (paper: 19)",
+        strict.len(),
+        softened.len()
+    );
+    let primary = identify_primary_relation(&db, &discovery, &AccessionRules::strict());
+    println!(
+        "primary-relation candidates: {:?}\n(paper: exptl, struct, struct_keywords — with struct the correct answer)",
+        primary.primary_candidates
+    );
+
+    // Sec. 4.2: the single-pass opens every value file at once; under a
+    // tight file budget it fails, and the block-wise variant is the fix.
+    let tmp = std::env::temp_dir().join(format!("spider-ind-example-{}", std::process::id()));
+    let mut export =
+        ExportedDatabase::export(&db, &tmp, &ExportOptions::default()).expect("export");
+    let profiles = profiles_from_export(&export);
+    let mut gen = RunMetrics::new();
+    let candidates = generate_candidates(&profiles, &PretestConfig::default(), &mut gen);
+    export.set_file_budget(FileBudget::new(128));
+
+    println!("\nopen-file budget of 128 (Sec. 4.2):");
+    let mut m = RunMetrics::new();
+    match run_single_pass(&export, &candidates, &mut m) {
+        Err(e) => println!("  single-pass fails as in the paper: {e}"),
+        Ok(_) => println!("  single-pass unexpectedly fit"),
+    }
+    let mut m = RunMetrics::new();
+    let found = run_blockwise(
+        &export,
+        &candidates,
+        &BlockwiseConfig { max_open_files: 128 },
+        &mut m,
+    )
+    .expect("blockwise");
+    println!(
+        "  block-wise single-pass finds all {} INDs within the same budget",
+        found.len()
+    );
+    let _ = std::fs::remove_dir_all(&tmp);
+}

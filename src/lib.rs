@@ -1,0 +1,11 @@
+//! # spider-ind
+//!
+//! Umbrella crate: re-exports the full workspace API.
+//! See the crate-level docs of each member for details.
+
+pub use ind_core as core;
+pub use ind_datagen as datagen;
+pub use ind_discovery as discovery;
+pub use ind_sql as sql;
+pub use ind_storage as storage;
+pub use ind_valueset as valueset;

@@ -1,0 +1,249 @@
+//! `spider-ind` — command-line schema discovery.
+//!
+//! ```text
+//! spider-ind generate <uniprot|scop|pdb> <dir> [--scale N] [--seed N]
+//! spider-ind profile  <dir>
+//! spider-ind discover <dir> [--algorithm bf|bfpar|sp|spider|blockwise]
+//!                           [--max-files N] [--max-pretest] [--names]
+//! spider-ind fks      <dir>
+//! ```
+//!
+//! Databases are directories in the TSV format of `ind_storage::tsv`
+//! (`schema.txt` + one `.tsv` per table); `generate` creates them.
+
+use spider_ind::core::{Algorithm, FinderConfig, IndFinder, PretestConfig};
+use spider_ind::datagen::{BiosqlConfig, OpenMmsConfig, ScopConfig};
+use spider_ind::discovery::{
+    evaluate_foreign_keys, find_accession_candidates, fk_guesses_filtered,
+    identify_primary_relation, AccessionRules,
+};
+use spider_ind::storage::{table_stats, tsv, Database};
+use std::fmt::Write as _;
+use std::path::Path;
+use std::process::ExitCode;
+
+/// Writes to stdout ignoring broken pipes (`spider-ind … | head`).
+fn emit(text: &str) {
+    use std::io::Write;
+    let _ = std::io::stdout().lock().write_all(text.as_bytes());
+}
+
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
+        Some("discover") => cmd_discover(&args[1..]),
+        Some("fks") => cmd_fks(&args[1..]),
+        Some("help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try `spider-ind help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "spider-ind — unary inclusion dependency discovery (ICDE 2006 reproduction)\n\n\
+         USAGE:\n\
+         \x20 spider-ind generate <uniprot|scop|pdb> <dir> [--scale N] [--seed N]\n\
+         \x20     Generate a synthetic database and save it as TSV.\n\
+         \x20 spider-ind profile <dir>\n\
+         \x20     Per-attribute statistics (rows, distinct, nulls, uniqueness).\n\
+         \x20 spider-ind discover <dir> [--algorithm bf|bfpar|sp|spider|blockwise]\n\
+         \x20                     [--max-files N] [--max-pretest] [--names]\n\
+         \x20     Discover all satisfied INDs.\n\
+         \x20 spider-ind fks <dir>\n\
+         \x20     Foreign-key guesses, accession candidates, primary relation."
+    );
+}
+
+fn flag_value(args: &[String], name: &str) -> Result<Option<u64>, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .ok_or_else(|| format!("{name} requires a value"))?
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|e| format!("{name}: {e}")),
+    }
+}
+
+fn load(dir: &str) -> Result<Database, String> {
+    tsv::load_database(Path::new(dir)).map_err(|e| format!("loading {dir}: {e}"))
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let kind = args.first().ok_or("generate: missing database kind")?;
+    let dir = args.get(1).ok_or("generate: missing output directory")?;
+    let scale = flag_value(args, "--scale")?.unwrap_or(100) as usize;
+    let seed = flag_value(args, "--seed")?.unwrap_or(42);
+    let db = match kind.as_str() {
+        "uniprot" => spider_ind::datagen::generate_uniprot(&BiosqlConfig {
+            bioentries: scale * 8,
+            seed,
+            ..Default::default()
+        }),
+        "scop" => spider_ind::datagen::generate_scop(&ScopConfig {
+            nodes: scale * 15,
+            seed,
+            ..Default::default()
+        }),
+        "pdb" => spider_ind::datagen::generate_pdb(&OpenMmsConfig {
+            entries: scale * 4,
+            base_rows: scale * 3,
+            seed,
+            ..OpenMmsConfig::small_fraction()
+        }),
+        other => return Err(format!("generate: unknown kind `{other}`")),
+    };
+    tsv::save_database(&db, Path::new(dir)).map_err(|e| format!("saving: {e}"))?;
+    println!(
+        "wrote {} ({} tables, {} attributes, {} rows) to {dir}",
+        db.name(),
+        db.table_count(),
+        db.attribute_count(),
+        db.total_rows()
+    );
+    Ok(())
+}
+
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let dir = args.first().ok_or("profile: missing database directory")?;
+    let db = load(dir)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "database {}: {} tables, {} attributes, {} rows\n",
+        db.name(),
+        db.table_count(),
+        db.attribute_count(),
+        db.total_rows()
+    );
+    let _ = writeln!(
+        out,
+        "{:<44} {:>8} {:>9} {:>7} {:>7}  key?",
+        "attribute", "rows", "distinct", "nulls", "type"
+    );
+    for table in db.tables() {
+        for (cs, st) in table.schema().columns.iter().zip(table_stats(table)) {
+            let _ = writeln!(
+                out,
+                "{:<44} {:>8} {:>9} {:>7} {:>7}  {}",
+                format!("{}.{}", table.name(), cs.name),
+                st.rows,
+                st.distinct,
+                st.rows - st.non_null,
+                cs.data_type.name(),
+                if st.is_unique() { "unique" } else { "" }
+            );
+        }
+    }
+    emit(&out);
+    Ok(())
+}
+
+fn parse_algorithm(args: &[String]) -> Result<Algorithm, String> {
+    let name = args
+        .iter()
+        .position(|a| a == "--algorithm")
+        .and_then(|i| args.get(i + 1))
+        .map_or("spider", String::as_str);
+    let max_files = flag_value(args, "--max-files")?.unwrap_or(512) as usize;
+    match name {
+        "bf" => Ok(Algorithm::BruteForce),
+        "bfpar" => Ok(Algorithm::BruteForceParallel { threads: 4 }),
+        "sp" => Ok(Algorithm::SinglePass),
+        "spider" => Ok(Algorithm::Spider),
+        "blockwise" => Ok(Algorithm::Blockwise {
+            max_open_files: max_files,
+        }),
+        other => Err(format!("unknown algorithm `{other}`")),
+    }
+}
+
+fn cmd_discover(args: &[String]) -> Result<(), String> {
+    let dir = args.first().ok_or("discover: missing database directory")?;
+    let db = load(dir)?;
+    let mut config = FinderConfig::with_algorithm(parse_algorithm(args)?);
+    if args.iter().any(|a| a == "--max-pretest") {
+        config.pretests = PretestConfig::with_max_value();
+    }
+    let discovery = IndFinder::new(config)
+        .discover_in_memory(&db)
+        .map_err(|e| format!("discovery failed: {e}"))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} candidates ({} pairs considered), {} satisfied INDs, {:?}\n",
+        discovery.metrics.candidates(),
+        discovery.metrics.pairs_considered,
+        discovery.ind_count(),
+        discovery.metrics.elapsed
+    );
+    for (dep, refd) in discovery.satisfied_named() {
+        let _ = writeln!(out, "{dep} <= {refd}");
+    }
+    if args.iter().any(|a| a == "--names") {
+        let _ = writeln!(out, "\nmetrics: {}", discovery.metrics);
+    }
+    emit(&out);
+    Ok(())
+}
+
+fn cmd_fks(args: &[String]) -> Result<(), String> {
+    let dir = args.first().ok_or("fks: missing database directory")?;
+    let db = load(dir)?;
+    let discovery = IndFinder::with_algorithm(Algorithm::Spider)
+        .discover_in_memory(&db)
+        .map_err(|e| format!("discovery failed: {e}"))?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "foreign-key guesses ({} INDs):", discovery.ind_count());
+    for guess in fk_guesses_filtered(&db, &discovery) {
+        let _ = writeln!(
+            out,
+            "  {} -> {}{}",
+            guess.dep,
+            guess.refd,
+            if guess.flagged_surrogate {
+                "   [flagged: surrogate-range coincidence]"
+            } else {
+                ""
+            }
+        );
+    }
+
+    if !db.gold_foreign_keys().is_empty() {
+        let eval = evaluate_foreign_keys(&db, &discovery);
+        let _ = writeln!(
+            out,
+            "\nagainst declared FKs: {} found, {} missed (empty tables), {} missed otherwise, {} unexplained extras",
+            eval.found.len(),
+            eval.missed_empty.len(),
+            eval.missed_other.len(),
+            eval.unexplained().len()
+        );
+    }
+
+    let rules = AccessionRules::strict();
+    let acc = find_accession_candidates(&db, &rules);
+    let _ = writeln!(out, "\naccession-number candidates:");
+    for a in &acc {
+        let _ = writeln!(out, "  {a}");
+    }
+    let primary = identify_primary_relation(&db, &discovery, &rules);
+    let _ = writeln!(out, "\nprimary relation candidates: {:?}", primary.primary_candidates);
+    emit(&out);
+    Ok(())
+}

@@ -1,0 +1,197 @@
+//! End-to-end Aladin pipeline over the three-source universe with shared
+//! PDB-code pools — the integration scenario of Sec. 1.1/Sec. 5.
+
+use spider_ind::datagen::{
+    generate_universe, BiosqlConfig, OpenMmsConfig, ScopConfig, UniverseConfig,
+};
+use spider_ind::discovery::{run_aladin, AladinConfig};
+
+fn universe() -> spider_ind::datagen::Universe {
+    generate_universe(&UniverseConfig {
+        uniprot: BiosqlConfig {
+            bioentries: 120,
+            ..Default::default()
+        },
+        scop: ScopConfig {
+            nodes: 150,
+            pdb_pool: 100,
+            ..Default::default()
+        },
+        pdb: OpenMmsConfig {
+            tables: 8,
+            entries: 120,
+            base_rows: 60,
+            payload_columns: 6,
+            strict_code_tables: 2,
+            soft_code_tables: 1,
+            seed: 42,
+        },
+    })
+}
+
+#[test]
+fn pipeline_identifies_each_sources_primary_relation() {
+    let u = universe();
+    let report = run_aladin(&[&u.uniprot, &u.scop, &u.pdb], &AladinConfig::default())
+        .expect("pipeline");
+    let primary = |name: &str| -> Vec<String> {
+        report
+            .sources
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("missing source {name}"))
+            .primary_relation
+            .primary_candidates
+            .clone()
+    };
+    assert_eq!(primary("uniprot"), vec!["sg_bioentry"]);
+    assert_eq!(
+        primary("pdb"),
+        vec!["exptl", "struct", "struct_keywords"],
+        "the paper's three-way tie"
+    );
+    assert!(!primary("scop").is_empty());
+}
+
+#[test]
+fn pipeline_finds_the_exact_scop_to_pdb_link() {
+    let u = universe();
+    let report = run_aladin(&[&u.uniprot, &u.scop, &u.pdb], &AladinConfig::default())
+        .expect("pipeline");
+    let link = report
+        .links
+        .iter()
+        .find(|l| {
+            l.source_db == "scop"
+                && l.source_attr.to_string() == "scop_classification.pdb_code"
+                && l.target_attr.to_string() == "struct.entry_id"
+        })
+        .expect("scop→pdb link must exist");
+    assert!(link.exact, "every SCOP domain names a real PDB entry");
+    assert_eq!(link.coefficient, 1.0);
+}
+
+#[test]
+fn pipeline_finds_the_partial_uniprot_to_pdb_link() {
+    let u = universe();
+    let report = run_aladin(&[&u.uniprot, &u.scop, &u.pdb], &AladinConfig::default())
+        .expect("pipeline");
+    let link = report
+        .links
+        .iter()
+        .find(|l| {
+            l.source_db == "uniprot" && l.source_attr.to_string() == "sg_dbxref.accession"
+        })
+        .expect("uniprot→pdb partial link must exist");
+    assert!(!link.exact, "only the dbname='PDB' rows are codes");
+    assert!(
+        link.coefficient > 0.2 && link.coefficient < 0.8,
+        "coefficient {}",
+        link.coefficient
+    );
+}
+
+#[test]
+fn no_links_invent_themselves_between_unrelated_attributes() {
+    let u = universe();
+    let report = run_aladin(&[&u.uniprot, &u.scop, &u.pdb], &AladinConfig::default())
+        .expect("pipeline");
+    for link in &report.links {
+        assert!(
+            link.source_attr.column.contains("accession")
+                || link.source_attr.column.contains("pdb_code")
+                || link.source_attr.column.contains("entry_id")
+                || link.source_attr.column.contains("code"),
+            "suspicious link source: {} (coefficient {})",
+            link.source_attr,
+            link.coefficient
+        );
+    }
+}
+
+#[test]
+fn key_candidates_cover_every_declared_unique_column_with_data() {
+    let u = universe();
+    let report = run_aladin(&[&u.uniprot, &u.scop, &u.pdb], &AladinConfig::default())
+        .expect("pipeline");
+    let uniprot = report.sources.iter().find(|s| s.name == "uniprot").unwrap();
+    let key_names: Vec<String> = uniprot
+        .key_candidates
+        .iter()
+        .map(|k| k.attribute.to_string())
+        .collect();
+    for expected in ["sg_bioentry.id", "sg_bioentry.accession", "sg_taxon.id"] {
+        assert!(
+            key_names.contains(&expected.to_string()),
+            "{expected} missing from {key_names:?}"
+        );
+    }
+}
+
+#[test]
+fn prefixed_pdb_codes_are_linked_via_the_concat_transform() {
+    // The paper's Sec. 7 example: SCOP stores "PDB-144f" while PDB stores
+    // "144f". The plain IND fails; the affix-transform search recovers it.
+    let mut cfg = UniverseConfig {
+        uniprot: BiosqlConfig {
+            bioentries: 120,
+            ..Default::default()
+        },
+        scop: ScopConfig {
+            nodes: 150,
+            pdb_pool: 100,
+            prefixed_pdb_codes: true,
+            ..Default::default()
+        },
+        pdb: OpenMmsConfig {
+            tables: 8,
+            entries: 120,
+            base_rows: 60,
+            payload_columns: 6,
+            strict_code_tables: 2,
+            soft_code_tables: 1,
+            seed: 42,
+        },
+    };
+    cfg.scop.prefixed_pdb_codes = true;
+    let u = generate_universe(&cfg);
+    let report = run_aladin(&[&u.scop, &u.pdb], &AladinConfig::default()).expect("pipeline");
+    let link = report
+        .links
+        .iter()
+        .find(|l| {
+            l.source_attr.to_string() == "scop_classification.pdb_code"
+                && l.target_attr.to_string() == "struct.entry_id"
+        })
+        .expect("transform link must exist");
+    let transform = link.transform.as_deref().expect("found via transform");
+    assert!(transform.contains("PDB-"), "transform: {transform}");
+    assert!(link.exact, "all stripped codes are valid PDB entries");
+    let rendered = report.to_string();
+    assert!(rendered.contains("via transform"), "{rendered}");
+}
+
+#[test]
+fn raising_the_threshold_drops_partial_links_only() {
+    let u = universe();
+    let strict_cfg = AladinConfig {
+        link_threshold: 0.95,
+        ..Default::default()
+    };
+    let strict = run_aladin(&[&u.uniprot, &u.scop, &u.pdb], &strict_cfg).expect("pipeline");
+    assert!(strict.links.iter().all(|l| l.coefficient >= 0.95));
+    assert!(
+        strict
+            .links
+            .iter()
+            .any(|l| l.source_attr.to_string() == "scop_classification.pdb_code"),
+        "exact links must survive"
+    );
+    assert!(
+        !strict
+            .links
+            .iter()
+            .any(|l| l.source_attr.to_string() == "sg_dbxref.accession"),
+        "partial links must drop"
+    );
+}

@@ -1,0 +1,113 @@
+//! Cross-algorithm agreement: every implementation — three SQL baselines,
+//! brute force (sequential and parallel), single-pass, SPIDER, block-wise —
+//! must produce the identical IND set on every generated dataset, from
+//! memory and from disk.
+
+use ind_testkit::TempDir;
+use spider_ind::core::{Algorithm, Candidate, IndFinder};
+use spider_ind::datagen::{
+    generate_pdb, generate_scop, generate_uniprot, BiosqlConfig, OpenMmsConfig, ScopConfig,
+};
+use spider_ind::sql::{run_sql_discovery, SqlApproach};
+use spider_ind::storage::Database;
+
+fn external_algorithms() -> Vec<(&'static str, Algorithm)> {
+    vec![
+        ("brute-force", Algorithm::BruteForce),
+        ("brute-force-parallel", Algorithm::BruteForceParallel { threads: 4 }),
+        ("single-pass", Algorithm::SinglePass),
+        ("spider", Algorithm::Spider),
+        ("blockwise-3", Algorithm::Blockwise { max_open_files: 3 }),
+        ("blockwise-17", Algorithm::Blockwise { max_open_files: 17 }),
+    ]
+}
+
+fn assert_all_agree(db: &Database) {
+    let baseline = IndFinder::with_algorithm(Algorithm::BruteForce)
+        .discover_in_memory(db)
+        .expect("baseline discovery");
+    assert!(
+        baseline.ind_count() > 0,
+        "{}: fixtures must contain at least one IND",
+        db.name()
+    );
+
+    for (name, algorithm) in external_algorithms() {
+        let d = IndFinder::with_algorithm(algorithm)
+            .discover_in_memory(db)
+            .expect("discovery");
+        assert_eq!(
+            d.satisfied,
+            baseline.satisfied,
+            "{} disagrees with brute force on {}",
+            name,
+            db.name()
+        );
+    }
+
+    for approach in SqlApproach::ALL {
+        let d = run_sql_discovery(db, approach, &Default::default()).expect("sql discovery");
+        assert_eq!(
+            d.satisfied,
+            baseline.satisfied,
+            "SQL {} disagrees on {}",
+            approach.name(),
+            db.name()
+        );
+    }
+}
+
+#[test]
+fn all_algorithms_agree_on_uniprot() {
+    assert_all_agree(&generate_uniprot(&BiosqlConfig::tiny()));
+}
+
+#[test]
+fn all_algorithms_agree_on_scop() {
+    assert_all_agree(&generate_scop(&ScopConfig::tiny()));
+}
+
+#[test]
+fn all_algorithms_agree_on_pdb() {
+    assert_all_agree(&generate_pdb(&OpenMmsConfig::tiny()));
+}
+
+#[test]
+fn on_disk_discovery_matches_in_memory() {
+    let db = generate_uniprot(&BiosqlConfig::tiny());
+    for algorithm in [Algorithm::BruteForce, Algorithm::SinglePass, Algorithm::Spider] {
+        let finder = IndFinder::with_algorithm(algorithm.clone());
+        let mem = finder.discover_in_memory(&db).expect("memory");
+        let dir = TempDir::new("agreement-disk");
+        let disk = finder.discover_on_disk(&db, dir.path()).expect("disk");
+        assert_eq!(mem.satisfied, disk.satisfied, "{algorithm:?}");
+        assert_eq!(
+            mem.metrics.candidates(),
+            disk.metrics.candidates(),
+            "{algorithm:?}: profiles must agree"
+        );
+    }
+}
+
+#[test]
+fn satisfied_inds_are_sorted_and_unique() {
+    let db = generate_scop(&ScopConfig::tiny());
+    let d = IndFinder::with_algorithm(Algorithm::SinglePass)
+        .discover_in_memory(&db)
+        .expect("discovery");
+    let mut sorted: Vec<Candidate> = d.satisfied.clone();
+    sorted.sort();
+    sorted.dedup();
+    assert_eq!(d.satisfied, sorted);
+}
+
+#[test]
+fn discovery_is_deterministic_across_runs() {
+    let db = generate_pdb(&OpenMmsConfig::tiny());
+    let finder = IndFinder::with_algorithm(Algorithm::SinglePass);
+    let a = finder.discover_in_memory(&db).expect("first");
+    let b = finder.discover_in_memory(&db).expect("second");
+    assert_eq!(a.satisfied, b.satisfied);
+    assert_eq!(a.metrics.items_read, b.metrics.items_read);
+    assert_eq!(a.metrics.comparisons, b.metrics.comparisons);
+}

@@ -1,0 +1,112 @@
+//! Integration tests for the `spider-ind` command-line tool, driving the
+//! real binary end to end: generate → profile → discover → fks.
+
+use ind_testkit::TempDir;
+use std::process::Command;
+
+fn spider_ind(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_spider-ind"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &std::process::Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn help_lists_all_commands() {
+    let out = spider_ind(&["help"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for cmd in ["generate", "profile", "discover", "fks"] {
+        assert!(text.contains(cmd), "help missing `{cmd}`:\n{text}");
+    }
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let out = spider_ind(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn generate_profile_discover_fks_round_trip() {
+    let dir = TempDir::new("cli-roundtrip");
+    let db_dir = dir.join("db");
+    let db_path = db_dir.to_str().expect("utf8 path");
+
+    let out = spider_ind(&["generate", "scop", db_path, "--scale", "10"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout(&out).contains("4 tables"));
+
+    let out = spider_ind(&["profile", db_path]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("scop_node.sunid"));
+    assert!(text.contains("unique"));
+
+    let out = spider_ind(&["discover", db_path, "--algorithm", "spider"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("satisfied INDs"));
+    assert!(
+        text.contains("scop_hierarchy.sunid <= scop_node.sunid"),
+        "{text}"
+    );
+
+    let out = spider_ind(&["fks", db_path]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("foreign-key guesses"));
+    assert!(text.contains("accession-number candidates"));
+    assert!(text.contains("primary relation candidates"));
+}
+
+#[test]
+fn discover_algorithms_agree_via_cli() {
+    let dir = TempDir::new("cli-agree");
+    let db_dir = dir.join("db");
+    let db_path = db_dir.to_str().expect("utf8 path");
+    assert!(spider_ind(&["generate", "scop", db_path, "--scale", "5"])
+        .status
+        .success());
+
+    let mut outputs = Vec::new();
+    for algo in ["bf", "sp", "spider", "blockwise"] {
+        let out = spider_ind(&["discover", db_path, "--algorithm", algo]);
+        assert!(out.status.success(), "{algo}");
+        // Compare only the IND lines (the header contains timings).
+        let inds: Vec<String> = stdout(&out)
+            .lines()
+            .filter(|l| l.contains(" <= "))
+            .map(str::to_string)
+            .collect();
+        outputs.push((algo, inds));
+    }
+    for pair in outputs.windows(2) {
+        assert_eq!(pair[0].1, pair[1].1, "{} vs {}", pair[0].0, pair[1].0);
+    }
+}
+
+#[test]
+fn discover_rejects_unknown_algorithm() {
+    let dir = TempDir::new("cli-badalgo");
+    let db_dir = dir.join("db");
+    let db_path = db_dir.to_str().expect("utf8 path");
+    assert!(spider_ind(&["generate", "scop", db_path, "--scale", "5"])
+        .status
+        .success());
+    let out = spider_ind(&["discover", db_path, "--algorithm", "quantum"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown algorithm"));
+}
+
+#[test]
+fn missing_database_directory_is_a_clean_error() {
+    let out = spider_ind(&["discover", "/nonexistent/place"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+}

@@ -1,0 +1,204 @@
+//! Property-based testing against a naive set-containment oracle.
+//!
+//! Random databases (small value pools force duplicates, inclusions,
+//! nulls, empty columns) are run through every algorithm; each must return
+//! exactly the oracle's answer, and every pruning option must leave the
+//! result unchanged.
+
+use proptest::prelude::*;
+use spider_ind::core::{
+    profile_database, Algorithm, FinderConfig, IndFinder, PretestConfig, SamplingConfig,
+};
+use spider_ind::sql::{run_sql_discovery, SqlApproach};
+use spider_ind::storage::{
+    ColumnSchema, DataType, Database, QualifiedName, Table, TableSchema, Value,
+};
+use std::collections::{BTreeSet, HashSet};
+
+/// Cell model: None = NULL, Some(n) drawn from a tiny pool so inclusions
+/// and duplicates happen constantly.
+type CellModel = Option<u8>;
+/// Column model: text flag + cells.
+type ColumnModel = (bool, Vec<CellModel>);
+
+fn arb_column(rows: usize) -> impl Strategy<Value = ColumnModel> {
+    (
+        any::<bool>(),
+        proptest::collection::vec(proptest::option::of(0u8..8), rows),
+    )
+}
+
+fn arb_table(idx: usize) -> impl Strategy<Value = Vec<ColumnModel>> {
+    (0usize..20).prop_flat_map(move |rows| {
+        proptest::collection::vec(arb_column(rows), 1..4).prop_map(move |cols| {
+            let _ = idx;
+            cols
+        })
+    })
+}
+
+fn arb_database() -> impl Strategy<Value = Database> {
+    proptest::collection::vec(arb_table(0), 1..4).prop_map(|tables| {
+        let mut db = Database::new("prop");
+        for (ti, cols) in tables.into_iter().enumerate() {
+            let schema = TableSchema::new(
+                format!("t{ti}"),
+                cols.iter()
+                    .enumerate()
+                    .map(|(ci, (is_text, _))| {
+                        ColumnSchema::new(
+                            format!("c{ci}"),
+                            if *is_text { DataType::Text } else { DataType::Integer },
+                        )
+                    })
+                    .collect(),
+            )
+            .expect("schema");
+            let mut table = Table::new(schema);
+            let rows = cols.first().map_or(0, |(_, cells)| cells.len());
+            for r in 0..rows {
+                let row: Vec<Value> = cols
+                    .iter()
+                    .map(|(is_text, cells)| match cells[r] {
+                        None => Value::Null,
+                        Some(n) if *is_text => Value::Text(format!("v{n}")),
+                        Some(n) => Value::Integer(i64::from(n)),
+                    })
+                    .collect();
+                table.insert(row).expect("row");
+            }
+            db.add_table(table).expect("table");
+        }
+        db
+    })
+}
+
+/// Naive oracle: set containment over canonical byte sets, on exactly the
+/// eligible (dependent, referenced) pairs.
+fn oracle(db: &Database) -> BTreeSet<(QualifiedName, QualifiedName)> {
+    let profiles = profile_database(db);
+    let sets: Vec<HashSet<Vec<u8>>> = db
+        .tables()
+        .iter()
+        .flat_map(|t| {
+            t.iter_columns().map(|(_, _, col)| {
+                col.iter()
+                    .filter(|v| !v.is_null())
+                    .map(Value::canonical_bytes)
+                    .collect::<HashSet<_>>()
+            })
+        })
+        .collect();
+    let mut out = BTreeSet::new();
+    for dep in &profiles {
+        if !dep.is_dependent_candidate() {
+            continue;
+        }
+        for refd in &profiles {
+            if dep.id == refd.id || !refd.is_referenced_candidate() {
+                continue;
+            }
+            if sets[dep.id as usize].is_subset(&sets[refd.id as usize]) {
+                out.insert((dep.name.clone(), refd.name.clone()));
+            }
+        }
+    }
+    out
+}
+
+fn named(d: &spider_ind::core::Discovery) -> BTreeSet<(QualifiedName, QualifiedName)> {
+    d.satisfied_named().into_iter().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_algorithm_matches_the_oracle(db in arb_database()) {
+        let expected = oracle(&db);
+        for algorithm in [
+            Algorithm::BruteForce,
+            Algorithm::SinglePass,
+            Algorithm::Spider,
+            Algorithm::Blockwise { max_open_files: 2 },
+        ] {
+            let d = IndFinder::with_algorithm(algorithm.clone())
+                .discover_in_memory(&db)
+                .expect("discovery");
+            prop_assert_eq!(named(&d), expected.clone(), "{:?}", algorithm);
+        }
+        for approach in SqlApproach::ALL {
+            let d = run_sql_discovery(&db, approach, &PretestConfig::default()).expect("sql");
+            prop_assert_eq!(named(&d), expected.clone(), "sql {}", approach.name());
+        }
+    }
+
+    #[test]
+    fn pruning_options_never_change_the_result(db in arb_database()) {
+        let base = IndFinder::with_algorithm(Algorithm::BruteForce)
+            .discover_in_memory(&db)
+            .expect("base");
+
+        let mut pretests = PretestConfig::with_max_value();
+        pretests.min_value = true;
+        let with_max = FinderConfig { pretests, ..Default::default() };
+        let d = IndFinder::new(with_max).discover_in_memory(&db).expect("max");
+        prop_assert_eq!(named(&d), named(&base));
+
+        let with_transitivity = FinderConfig { transitivity: true, ..Default::default() };
+        let d = IndFinder::new(with_transitivity)
+            .discover_in_memory(&db)
+            .expect("transitivity");
+        prop_assert_eq!(named(&d), named(&base));
+
+        let with_sampling = FinderConfig {
+            sampling: Some(SamplingConfig { sample_size: 3, seed: 7 }),
+            ..Default::default()
+        };
+        let d = IndFinder::new(with_sampling)
+            .discover_in_memory(&db)
+            .expect("sampling");
+        prop_assert_eq!(named(&d), named(&base));
+    }
+
+    #[test]
+    fn single_pass_io_never_exceeds_one_read_per_role(db in arb_database()) {
+        // Figure 5's bound: the single-pass reads each value at most once
+        // per role; brute force can only read more, never less, per test.
+        let d = IndFinder::with_algorithm(Algorithm::SinglePass)
+            .discover_in_memory(&db)
+            .expect("single-pass");
+        let profiles = profile_database(&db);
+        let total: u64 = profiles.iter().map(|p| p.distinct).sum();
+        prop_assert!(d.metrics.items_read <= 2 * total,
+            "read {} of 2x{} values", d.metrics.items_read, total);
+    }
+
+    #[test]
+    fn transitive_closure_of_found_inds_is_consistent(db in arb_database()) {
+        // INDs are transitively closed as a *semantic* relation: if A ⊆ B
+        // and B ⊆ C were discovered, A ⊆ C must have been discovered too
+        // (whenever it was an eligible candidate).
+        let d = IndFinder::with_algorithm(Algorithm::BruteForce)
+            .discover_in_memory(&db)
+            .expect("discovery");
+        let found: HashSet<(u32, u32)> =
+            d.satisfied.iter().map(|c| (c.dep, c.refd)).collect();
+        let profiles = profile_database(&db);
+        for &(a, b) in &found {
+            for &(b2, c) in &found {
+                if b == b2 && a != c
+                    && profiles[a as usize].is_dependent_candidate()
+                    && profiles[c as usize].is_referenced_candidate()
+                {
+                    prop_assert!(
+                        found.contains(&(a, c)),
+                        "missing transitive IND {} ⊆ {}",
+                        profiles[a as usize].name,
+                        profiles[c as usize].name
+                    );
+                }
+            }
+        }
+    }
+}

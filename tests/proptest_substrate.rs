@@ -1,0 +1,102 @@
+//! Property tests for the substrates: TSV persistence with hostile
+//! strings, external sort vs. std sort at arbitrary spill budgets, and
+//! value-file round trips over arbitrary byte strings.
+
+use ind_testkit::TempDir;
+use proptest::prelude::*;
+use spider_ind::storage::tsv::{load_database, save_database};
+use spider_ind::storage::{ColumnSchema, DataType, Database, Table, TableSchema, Value};
+use spider_ind::valueset::{
+    collect_cursor, ExternalSorter, SortOptions, ValueFileReader, ValueFileWriter,
+};
+
+fn arb_text_value() -> impl Strategy<Value = Option<String>> {
+    proptest::option::of(proptest::string::string_regex("[ -~\\t\\n\\\\]{0,12}").unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tsv_round_trips_arbitrary_text(rows in proptest::collection::vec(
+        (arb_text_value(), proptest::option::of(any::<i32>())), 0..12)) {
+        let mut db = Database::new("prop-tsv");
+        let mut t = Table::new(
+            TableSchema::new(
+                "t",
+                vec![
+                    ColumnSchema::new("s", DataType::Text),
+                    ColumnSchema::new("n", DataType::Integer),
+                ],
+            )
+            .expect("schema"),
+        );
+        for (s, n) in &rows {
+            t.insert(vec![
+                s.clone().map_or(Value::Null, Value::Text),
+                n.map_or(Value::Null, |v| Value::Integer(i64::from(v))),
+            ])
+            .expect("row");
+        }
+        db.add_table(t).expect("table");
+
+        let dir = TempDir::new("prop-tsv");
+        save_database(&db, dir.path()).expect("save");
+        let loaded = load_database(dir.path()).expect("load");
+        let orig = db.table("t").expect("t");
+        let back = loaded.table("t").expect("t");
+        prop_assert_eq!(back.row_count(), orig.row_count());
+        for i in 0..orig.row_count() {
+            prop_assert_eq!(back.row(i), orig.row(i), "row {}", i);
+        }
+    }
+
+    #[test]
+    fn external_sort_equals_std_sort_at_any_budget(
+        values in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..10), 0..60),
+        budget in 1usize..2048,
+    ) {
+        let dir = TempDir::new("prop-extsort");
+        let mut sorter = ExternalSorter::new(
+            &dir.join("spill"),
+            SortOptions { memory_budget_bytes: budget },
+        )
+        .expect("sorter");
+        for v in &values {
+            sorter.push(v).expect("push");
+        }
+        let out_path = dir.join("out.indv");
+        let mut writer = ValueFileWriter::create(&out_path).expect("writer");
+        let stats = sorter.finish_into(&mut writer).expect("merge");
+        writer.finish().expect("finish");
+
+        let mut expected = values.clone();
+        expected.sort_unstable();
+        expected.dedup();
+        let got = collect_cursor(ValueFileReader::open(&out_path).expect("open")).expect("read");
+        prop_assert_eq!(&got, &expected);
+        prop_assert_eq!(stats.distinct as usize, expected.len());
+        prop_assert_eq!(stats.pushed as usize, values.len());
+        prop_assert_eq!(stats.min.as_deref(), expected.first().map(Vec::as_slice));
+        prop_assert_eq!(stats.max.as_deref(), expected.last().map(Vec::as_slice));
+    }
+
+    #[test]
+    fn value_files_round_trip_arbitrary_sorted_sets(
+        raw in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..16), 0..40),
+    ) {
+        let mut values = raw;
+        values.sort_unstable();
+        values.dedup();
+        let dir = TempDir::new("prop-vf");
+        let path = dir.join("x.indv");
+        let mut w = ValueFileWriter::create(&path).expect("create");
+        for v in &values {
+            w.append(v).expect("append");
+        }
+        prop_assert_eq!(w.finish().expect("finish") as usize, values.len());
+        let got = collect_cursor(ValueFileReader::open(&path).expect("open")).expect("read");
+        prop_assert_eq!(got, values);
+    }
+}

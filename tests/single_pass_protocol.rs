@@ -1,0 +1,161 @@
+//! Focused stress tests for the single-pass subject–observer protocol —
+//! the trickiest machinery in the workspace (Algorithms 2/3 plus the
+//! monitor). Each scenario targets a specific interaction of the
+//! `currentWaiting` / `nextWaiting` / `next` lists.
+
+use spider_ind::core::{run_brute_force, run_single_pass, run_spider, Candidate, RunMetrics};
+use spider_ind::valueset::{MemoryProvider, MemoryValueSet};
+
+fn set(values: &[&str]) -> MemoryValueSet {
+    MemoryValueSet::from_unsorted(values.iter().map(|s| s.as_bytes().to_vec()))
+}
+
+fn check(provider: &MemoryProvider, candidates: &[Candidate]) {
+    let mut m_bf = RunMetrics::new();
+    let mut expected = run_brute_force(provider, candidates, &mut m_bf).expect("bf");
+    expected.sort();
+    let mut m_sp = RunMetrics::new();
+    let got = run_single_pass(provider, candidates, &mut m_sp).expect("sp");
+    assert_eq!(got, expected, "single-pass disagrees");
+    let mut m_spider = RunMetrics::new();
+    let got = run_spider(provider, candidates, &mut m_spider).expect("spider");
+    assert_eq!(got, expected, "spider disagrees");
+}
+
+fn pairs(n: u32) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    for d in 0..n {
+        for r in 0..n {
+            if d != r {
+                out.push(Candidate::new(d, r));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn partial_candidate_lists_are_honored() {
+    // A sparse candidate set: some attributes appear only as dependents,
+    // some only as references, some in both roles.
+    let provider = MemoryProvider::new(vec![
+        set(&["a", "b", "c"]),
+        set(&["a", "b", "c", "d"]),
+        set(&["b"]),
+        set(&["x", "y"]),
+    ]);
+    let candidates = vec![
+        Candidate::new(0, 1),
+        Candidate::new(2, 0),
+        Candidate::new(2, 1),
+        Candidate::new(3, 1),
+    ];
+    check(&provider, &candidates);
+    // Same provider, single candidate.
+    check(&provider, &[Candidate::new(2, 1)]);
+}
+
+#[test]
+fn one_reference_shared_by_many_dependents() {
+    // One hub reference with many dependents at different positions forces
+    // the "deliver only when all attached requested" rule through many
+    // rounds.
+    let hub = set(&["a", "b", "c", "d", "e", "f", "g", "h", "i", "j"]);
+    let mut sets = vec![hub];
+    for i in 0..8u32 {
+        let values: Vec<String> = (0..10u8)
+            .filter(|x| x % (i as u8 + 1) == 0)
+            .map(|x| ((b'a' + x) as char).to_string())
+            .collect();
+        sets.push(MemoryValueSet::from_unsorted(
+            values.into_iter().map(String::into_bytes),
+        ));
+    }
+    let provider = MemoryProvider::new(sets);
+    let candidates: Vec<Candidate> = (1..9u32).map(|d| Candidate::new(d, 0)).collect();
+    check(&provider, &candidates);
+}
+
+#[test]
+fn one_dependent_against_many_references() {
+    // One dependent compared against many references that refute at
+    // different depths exercises currentWaiting/nextWaiting churn.
+    let mut sets = vec![set(&["c", "f", "i", "l"])];
+    for i in 0..9usize {
+        // Reference i contains the dependent's prefix of length i.
+        let values: Vec<&str> = ["c", "f", "i", "l"][..i.min(4)].to_vec();
+        let mut extended = values.clone();
+        extended.push("zzz"); // keep non-empty and unique-looking
+        sets.push(set(&extended));
+    }
+    let provider = MemoryProvider::new(sets);
+    let candidates: Vec<Candidate> = (1..10u32).map(|r| Candidate::new(0, r)).collect();
+    check(&provider, &candidates);
+}
+
+#[test]
+fn long_shared_prefixes_and_adjacent_values() {
+    // Values differing only in their last byte stress comparison order.
+    let provider = MemoryProvider::new(vec![
+        set(&["prefix0", "prefix1", "prefix2", "prefix3"]),
+        set(&["prefix0", "prefix1", "prefix2", "prefix3", "prefix4"]),
+        set(&["prefix1", "prefix3"]),
+        set(&["prefix", "prefix0", "prefix00", "prefix000"]),
+    ]);
+    check(&provider, &pairs(4));
+}
+
+#[test]
+fn all_identical_sets() {
+    // Every candidate satisfied; every advance is a full-group match.
+    let provider = MemoryProvider::new(vec![
+        set(&["m", "n", "o"]),
+        set(&["m", "n", "o"]),
+        set(&["m", "n", "o"]),
+    ]);
+    let candidates = pairs(3);
+    check(&provider, &candidates);
+    let mut m = RunMetrics::new();
+    let found = run_single_pass(&provider, &candidates, &mut m).expect("sp");
+    assert_eq!(found.len(), 6, "all ordered pairs satisfied");
+}
+
+#[test]
+fn single_value_sets_and_immediate_resolutions() {
+    let provider = MemoryProvider::new(vec![
+        set(&["x"]),
+        set(&["x"]),
+        set(&["y"]),
+        set(&["x", "y"]),
+    ]);
+    check(&provider, &pairs(4));
+}
+
+#[test]
+fn staircase_of_nested_sets() {
+    // s_k = first k letters; full chain of inclusions in one pass.
+    let letters: Vec<String> = (0..12u8).map(|i| ((b'a' + i) as char).to_string()).collect();
+    let sets: Vec<MemoryValueSet> = (1..=12)
+        .map(|k| {
+            MemoryValueSet::from_unsorted(letters[..k].iter().map(|s| s.clone().into_bytes()))
+        })
+        .collect();
+    let provider = MemoryProvider::new(sets);
+    let candidates = pairs(12);
+    check(&provider, &candidates);
+    let mut m = RunMetrics::new();
+    let found = run_single_pass(&provider, &candidates, &mut m).expect("sp");
+    assert_eq!(found.len(), 12 * 11 / 2, "every smaller ⊆ every larger");
+}
+
+#[test]
+fn duplicate_candidates_in_the_input_are_tolerated() {
+    let provider = MemoryProvider::new(vec![set(&["a"]), set(&["a", "b"])]);
+    let candidates = vec![
+        Candidate::new(0, 1),
+        Candidate::new(0, 1), // duplicate
+    ];
+    let mut m = RunMetrics::new();
+    let found = run_single_pass(&provider, &candidates, &mut m).expect("sp");
+    assert_eq!(found, vec![Candidate::new(0, 1)], "reported once");
+}
