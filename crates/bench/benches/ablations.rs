@@ -9,9 +9,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ind_bench::datasets::bench_scale;
 use ind_core::{
-    generate_candidates, memory_export, run_blockwise, run_brute_force,
-    run_brute_force_parallel, run_brute_force_with_transitivity, run_single_pass, run_spider,
-    sampling_pretest, BlockwiseConfig, PretestConfig, RunMetrics, SamplingConfig,
+    generate_candidates, memory_export, run_blockwise, run_brute_force, run_brute_force_parallel,
+    run_brute_force_with_transitivity, run_single_pass, run_spider, sampling_pretest,
+    BlockwiseConfig, PretestConfig, RunMetrics, SamplingConfig,
 };
 
 fn thread_sweep(c: &mut Criterion) {
@@ -42,19 +42,25 @@ fn blockwise_budget_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_blockwise_budget");
     group.sample_size(10);
     for budget in [4usize, 16, 64, 256] {
-        group.bench_with_input(BenchmarkId::from_parameter(budget), &budget, |b, &budget| {
-            b.iter(|| {
-                let mut m = RunMetrics::new();
-                run_blockwise(
-                    &provider,
-                    &candidates,
-                    &BlockwiseConfig { max_open_files: budget },
-                    &mut m,
-                )
-                .expect("bw")
-                .len()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(budget),
+            &budget,
+            |b, &budget| {
+                b.iter(|| {
+                    let mut m = RunMetrics::new();
+                    run_blockwise(
+                        &provider,
+                        &candidates,
+                        &BlockwiseConfig {
+                            max_open_files: budget,
+                        },
+                        &mut m,
+                    )
+                    .expect("bw")
+                    .len()
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -69,7 +75,9 @@ fn inference_and_sampling(c: &mut Criterion) {
     group.bench_function("bf_plain", |b| {
         b.iter(|| {
             let mut m = RunMetrics::new();
-            run_brute_force(&provider, &candidates, &mut m).expect("bf").len()
+            run_brute_force(&provider, &candidates, &mut m)
+                .expect("bf")
+                .len()
         })
     });
     group.bench_function("bf_transitivity", |b| {
@@ -86,11 +94,16 @@ fn inference_and_sampling(c: &mut Criterion) {
             let survivors = sampling_pretest(
                 &provider,
                 &candidates,
-                &SamplingConfig { sample_size: 8, seed: 1 },
+                &SamplingConfig {
+                    sample_size: 8,
+                    seed: 1,
+                },
                 &mut m,
             )
             .expect("sampling");
-            run_brute_force(&provider, &survivors, &mut m).expect("bf").len()
+            run_brute_force(&provider, &survivors, &mut m)
+                .expect("bf")
+                .len()
         })
     });
     group.finish();
@@ -106,13 +119,17 @@ fn single_pass_vs_spider(c: &mut Criterion) {
     group.bench_function("single_pass", |b| {
         b.iter(|| {
             let mut m = RunMetrics::new();
-            run_single_pass(&provider, &candidates, &mut m).expect("sp").len()
+            run_single_pass(&provider, &candidates, &mut m)
+                .expect("sp")
+                .len()
         })
     });
     group.bench_function("spider", |b| {
         b.iter(|| {
             let mut m = RunMetrics::new();
-            run_spider(&provider, &candidates, &mut m).expect("spider").len()
+            run_spider(&provider, &candidates, &mut m)
+                .expect("spider")
+                .len()
         })
     });
     group.finish();

@@ -6,8 +6,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ind_bench::datasets::bench_scale;
 use ind_core::{
-    generate_candidates, memory_export, run_brute_force, run_single_pass, PretestConfig,
-    RunMetrics,
+    generate_candidates, memory_export, run_brute_force, run_single_pass, PretestConfig, RunMetrics,
 };
 
 fn fig5_io(c: &mut Criterion) {
@@ -25,7 +24,9 @@ fn fig5_io(c: &mut Criterion) {
             |b, candidates| {
                 b.iter(|| {
                     let mut m = RunMetrics::new();
-                    run_brute_force(&provider, candidates, &mut m).expect("bf").len()
+                    run_brute_force(&provider, candidates, &mut m)
+                        .expect("bf")
+                        .len()
                 })
             },
         );
@@ -35,7 +36,9 @@ fn fig5_io(c: &mut Criterion) {
             |b, candidates| {
                 b.iter(|| {
                     let mut m = RunMetrics::new();
-                    run_single_pass(&provider, candidates, &mut m).expect("sp").len()
+                    run_single_pass(&provider, candidates, &mut m)
+                        .expect("sp")
+                        .len()
                 })
             },
         );

@@ -4,12 +4,14 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ind_bench::datasets::bench_scale;
 use ind_core::{
-    generate_candidates, memory_export, run_brute_force, run_single_pass, PretestConfig,
-    RunMetrics,
+    generate_candidates, memory_export, run_brute_force, run_single_pass, PretestConfig, RunMetrics,
 };
 
 fn pruning(c: &mut Criterion) {
-    let datasets = [("uniprot", bench_scale::uniprot()), ("pdb", bench_scale::pdb())];
+    let datasets = [
+        ("uniprot", bench_scale::uniprot()),
+        ("pdb", bench_scale::pdb()),
+    ];
     let mut group = c.benchmark_group("pruning_max_value");
     group.sample_size(10);
     for (name, db) in &datasets {
@@ -26,7 +28,9 @@ fn pruning(c: &mut Criterion) {
                 |b, candidates| {
                     b.iter(|| {
                         let mut m = RunMetrics::new();
-                        run_brute_force(&provider, candidates, &mut m).expect("bf").len()
+                        run_brute_force(&provider, candidates, &mut m)
+                            .expect("bf")
+                            .len()
                     })
                 },
             );
@@ -36,7 +40,9 @@ fn pruning(c: &mut Criterion) {
                 |b, candidates| {
                     b.iter(|| {
                         let mut m = RunMetrics::new();
-                        run_single_pass(&provider, candidates, &mut m).expect("sp").len()
+                        run_single_pass(&provider, candidates, &mut m)
+                            .expect("sp")
+                            .len()
                     })
                 },
             );

@@ -1,0 +1,104 @@
+//! Sequential SPIDER vs value-domain-partitioned parallel SPIDER.
+//!
+//! Uses the same PDB-shaped database the CLI produces for
+//! `spider-ind generate pdb <dir> --scale 200`, so the numbers line up with
+//! end-to-end runs. Thread counts 1/2/4/8 sweep the partition fan-out; the
+//! `spider` row is the sequential baseline the parallel rows must match
+//! result-for-result (asserted before timing) and, given more than one
+//! hardware core, beat on wall-clock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ind_core::{
+    generate_candidates, memory_export, partition_boundaries, run_spider, run_spider_parallel,
+    PretestConfig, RunMetrics,
+};
+use ind_datagen::{generate_pdb, OpenMmsConfig};
+use ind_valueset::RangeProvider;
+
+/// The CLI's `generate pdb <dir> --scale 200` configuration.
+fn scale200_pdb() -> ind_storage::Database {
+    generate_pdb(&OpenMmsConfig {
+        entries: 200 * 4,
+        base_rows: 200 * 3,
+        seed: 42,
+        ..OpenMmsConfig::small_fraction()
+    })
+}
+
+fn spider_vs_spiderpar(c: &mut Criterion) {
+    let db = scale200_pdb();
+    let (profiles, provider) = memory_export(&db);
+    let mut gen = RunMetrics::new();
+    let candidates = generate_candidates(&profiles, &PretestConfig::default(), &mut gen);
+    println!(
+        "pdb --scale 200: {} tables, {} attributes, {} candidates",
+        db.table_count(),
+        db.attribute_count(),
+        candidates.len()
+    );
+
+    // Agreement gate: never time a wrong answer.
+    let mut m = RunMetrics::new();
+    let sequential = run_spider(&provider, &candidates, &mut m).expect("spider");
+    for threads in [2usize, 4, 8] {
+        let mut m = RunMetrics::new();
+        let parallel = run_spider_parallel(&provider, &profiles, &candidates, threads, &mut m)
+            .expect("spiderpar");
+        assert_eq!(parallel, sequential, "threads={threads}");
+    }
+
+    let mut group = c.benchmark_group("spider_vs_spiderpar_pdb200");
+    group.sample_size(10);
+    group.bench_function("spider", |b| {
+        b.iter(|| {
+            let mut m = RunMetrics::new();
+            run_spider(&provider, &candidates, &mut m)
+                .expect("spider")
+                .len()
+        })
+    });
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("spiderpar", threads), &threads, |b, &t| {
+            b.iter(|| {
+                let mut m = RunMetrics::new();
+                run_spider_parallel(&provider, &profiles, &candidates, t, &mut m)
+                    .expect("spiderpar")
+                    .len()
+            })
+        });
+    }
+    group.finish();
+
+    // The measured wall-clock above serialises the partitions on machines
+    // with fewer hardware cores than workers. The multicore wall-clock is
+    // governed by the slowest single partition (plus the intersection, which
+    // is microseconds) — report that critical path per fan-out.
+    println!("\nper-partition critical path (multicore wall-clock estimate):");
+    let attrs: std::collections::BTreeSet<u32> =
+        candidates.iter().flat_map(|c| [c.dep, c.refd]).collect();
+    for partitions in [2usize, 4, 8] {
+        let boundaries = partition_boundaries(&profiles, &attrs, partitions);
+        let mut cuts: Vec<Option<&[u8]>> = vec![None];
+        cuts.extend(boundaries.iter().map(|b| Some(b.as_slice())));
+        cuts.push(None);
+        let mut worst = std::time::Duration::ZERO;
+        let mut total = std::time::Duration::ZERO;
+        for window in cuts.windows(2) {
+            let view = RangeProvider::new(&provider, window[0], window[1]);
+            let start = std::time::Instant::now();
+            let mut m = RunMetrics::new();
+            run_spider(&view, &candidates, &mut m).expect("partition spider");
+            let elapsed = start.elapsed();
+            worst = worst.max(elapsed);
+            total += elapsed;
+        }
+        println!(
+            "  {partitions} partitions: max {worst:?}, sum {total:?} \
+             (ideal speedup over sum: {:.2}x)",
+            total.as_secs_f64() / worst.as_secs_f64()
+        );
+    }
+}
+
+criterion_group!(benches, spider_vs_spiderpar);
+criterion_main!(benches);

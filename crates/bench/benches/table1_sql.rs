@@ -9,7 +9,10 @@ use ind_core::PretestConfig;
 use ind_sql::{run_sql_discovery, SqlApproach};
 
 fn table1_sql(c: &mut Criterion) {
-    let datasets = [("uniprot", bench_scale::uniprot()), ("scop", bench_scale::scop())];
+    let datasets = [
+        ("uniprot", bench_scale::uniprot()),
+        ("scop", bench_scale::scop()),
+    ];
     let mut group = c.benchmark_group("table1_sql");
     group.sample_size(10);
     for (name, db) in &datasets {

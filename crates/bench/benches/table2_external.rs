@@ -49,9 +49,14 @@ fn table2_external(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("blockwise_64", name), &export, |b, e| {
             b.iter(|| {
                 let mut m = RunMetrics::new();
-                run_blockwise(e, &candidates, &BlockwiseConfig { max_open_files: 64 }, &mut m)
-                    .expect("bw")
-                    .len()
+                run_blockwise(
+                    e,
+                    &candidates,
+                    &BlockwiseConfig { max_open_files: 64 },
+                    &mut m,
+                )
+                .expect("bw")
+                .len()
             })
         });
     }

@@ -130,11 +130,26 @@ pub fn table2() -> String {
     let mut cand_cells = Vec::new();
     let mut sat_cells = Vec::new();
     let mut rows: Vec<ExternalRun> = vec![
-        ExternalRun { name: "join (SQL)", cells: Vec::new() },
-        ExternalRun { name: "brute force", cells: Vec::new() },
-        ExternalRun { name: "single-pass", cells: Vec::new() },
-        ExternalRun { name: "spider (ext)", cells: Vec::new() },
-        ExternalRun { name: "blockwise (ext)", cells: Vec::new() },
+        ExternalRun {
+            name: "join (SQL)",
+            cells: Vec::new(),
+        },
+        ExternalRun {
+            name: "brute force",
+            cells: Vec::new(),
+        },
+        ExternalRun {
+            name: "single-pass",
+            cells: Vec::new(),
+        },
+        ExternalRun {
+            name: "spider (ext)",
+            cells: Vec::new(),
+        },
+        ExternalRun {
+            name: "blockwise (ext)",
+            cells: Vec::new(),
+        },
     ];
 
     for (i, db) in dbs.iter().enumerate() {
@@ -166,7 +181,12 @@ pub fn table2() -> String {
             (1usize, Algorithm::BruteForce),
             (2, Algorithm::SinglePass),
             (3, Algorithm::Spider),
-            (4, Algorithm::Blockwise { max_open_files: 256 }),
+            (
+                4,
+                Algorithm::Blockwise {
+                    max_open_files: 256,
+                },
+            ),
         ] {
             let mut metrics = RunMetrics::new();
             let (found, elapsed) = timed(|| match &runner {
@@ -176,7 +196,9 @@ pub fn table2() -> String {
                 Algorithm::SinglePass => {
                     run_single_pass(&export, &candidates, &mut metrics).expect("sp")
                 }
-                Algorithm::Spider => run_spider(&export, &candidates, &mut metrics).expect("spider"),
+                Algorithm::Spider => {
+                    run_spider(&export, &candidates, &mut metrics).expect("spider")
+                }
                 Algorithm::Blockwise { max_open_files } => run_blockwise(
                     &export,
                     &candidates,
@@ -302,11 +324,9 @@ pub fn pruning() -> String {
     ] {
         let (profiles, provider) = ind_core::memory_export(&db);
         let mut base_gen = RunMetrics::new();
-        let base =
-            generate_candidates(&profiles, &PretestConfig::default(), &mut base_gen);
+        let base = generate_candidates(&profiles, &PretestConfig::default(), &mut base_gen);
         let mut max_gen = RunMetrics::new();
-        let pruned =
-            generate_candidates(&profiles, &PretestConfig::with_max_value(), &mut max_gen);
+        let pruned = generate_candidates(&profiles, &PretestConfig::with_max_value(), &mut max_gen);
 
         let mut m = RunMetrics::new();
         let (base_bf, t_bf) = timed(|| run_brute_force(&provider, &base, &mut m).expect("bf"));
@@ -325,7 +345,10 @@ pub fn pruning() -> String {
         let mut b = pruned_bf;
         b.sort();
         assert_eq!(a, b, "{name}: max pretest changed the brute-force result");
-        assert_eq!(base_sp, pruned_sp, "{name}: max pretest changed the single-pass result");
+        assert_eq!(
+            base_sp, pruned_sp,
+            "{name}: max pretest changed the single-pass result"
+        );
 
         table.row(vec![
             name.to_string(),
@@ -380,7 +403,10 @@ pub fn discovery() -> String {
     out.push_str(&format!(
         "UniProt accession candidates ({}): {}\n",
         acc.len(),
-        acc.iter().map(|q| q.to_string()).collect::<Vec<_>>().join(", ")
+        acc.iter()
+            .map(|q| q.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
     ));
     let pr = identify_primary_relation(&uniprot, &d, &rules);
     out.push_str(&format!(

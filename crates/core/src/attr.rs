@@ -2,7 +2,7 @@
 //! generation and the pretests consume.
 
 use ind_storage::{table_stats, DataType, Database, QualifiedName};
-use ind_valueset::{extract_memory_set, ExportedDatabase, MemoryProvider};
+use ind_valueset::{ExportedDatabase, MemoryProvider};
 
 /// Profile of one attribute (column), identified by a dense id that doubles
 /// as the index into the value-set provider.
@@ -87,13 +87,25 @@ pub fn profiles_from_export(exp: &ExportedDatabase) -> Vec<AttributeProfile> {
 /// whose attribute ids match the profile ids. The workhorse for tests and
 /// small interactive runs.
 pub fn memory_export(db: &Database) -> (Vec<AttributeProfile>, MemoryProvider) {
+    memory_export_with_threads(db, 1)
+}
+
+/// [`memory_export`] with the per-column extract/sort/dedup work spread
+/// over `threads` workers
+/// ([`extract_memory_sets_parallel`](ind_valueset::extract_memory_sets_parallel)).
+/// Results are identical at any thread count.
+pub fn memory_export_with_threads(
+    db: &Database,
+    threads: usize,
+) -> (Vec<AttributeProfile>, MemoryProvider) {
     let profiles = profile_database(db);
-    let mut sets = Vec::with_capacity(profiles.len());
+    let mut columns = Vec::with_capacity(profiles.len());
     for table in db.tables() {
         for (_, _, col) in table.iter_columns() {
-            sets.push(extract_memory_set(col));
+            columns.push(col);
         }
     }
+    let sets = ind_valueset::extract_memory_sets_parallel(&columns, threads);
     (profiles, MemoryProvider::new(sets))
 }
 
@@ -155,8 +167,14 @@ mod tests {
             let set = provider.set(p.id).unwrap();
             assert_eq!(set.len(), p.distinct, "attribute {}", p.name);
             if p.distinct > 0 {
-                assert_eq!(set.as_slice().first().map(|v| v.as_slice()), p.min.as_deref());
-                assert_eq!(set.as_slice().last().map(|v| v.as_slice()), p.max.as_deref());
+                assert_eq!(
+                    set.as_slice().first().map(|v| v.as_slice()),
+                    p.min.as_deref()
+                );
+                assert_eq!(
+                    set.as_slice().last().map(|v| v.as_slice()),
+                    p.max.as_deref()
+                );
             }
         }
     }

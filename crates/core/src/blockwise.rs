@@ -13,7 +13,7 @@
 use crate::candidates::Candidate;
 use crate::metrics::RunMetrics;
 use crate::single_pass::run_single_pass;
-use ind_valueset::{Result, ValueSetProvider, ValueSetError};
+use ind_valueset::{Result, ValueSetError, ValueSetProvider};
 use std::collections::HashSet;
 
 /// Configuration for the block-wise runner.
@@ -184,8 +184,7 @@ mod tests {
         db.add_table(t).unwrap();
 
         let dir = TempDir::new("blockwise-budget");
-        let mut exp =
-            ExportedDatabase::export(&db, dir.path(), &ExportOptions::default()).unwrap();
+        let mut exp = ExportedDatabase::export(&db, dir.path(), &ExportOptions::default()).unwrap();
         exp.set_file_budget(FileBudget::new(4));
 
         let candidates = all_pairs(8);

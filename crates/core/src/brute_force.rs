@@ -88,24 +88,23 @@ where
         return run_brute_force(provider, candidates, metrics);
     }
     let chunk = candidates.len().div_ceil(threads);
-    let results: Vec<Result<(Vec<Candidate>, RunMetrics)>> =
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = candidates
-                .chunks(chunk)
-                .map(|shard| {
-                    scope.spawn(move |_| {
-                        let mut local = RunMetrics::new();
-                        let found = run_brute_force(provider, shard, &mut local)?;
-                        Ok((found, local))
-                    })
+    let results: Vec<Result<(Vec<Candidate>, RunMetrics)>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = candidates
+            .chunks(chunk)
+            .map(|shard| {
+                scope.spawn(move |_| {
+                    let mut local = RunMetrics::new();
+                    let found = run_brute_force(provider, shard, &mut local)?;
+                    Ok((found, local))
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        })
-        .expect("scope panicked");
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+    .expect("scope panicked");
 
     let mut satisfied = Vec::new();
     for r in results {

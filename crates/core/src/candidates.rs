@@ -222,9 +222,7 @@ mod tests {
         // With n unique attributes and no pruning the generator examines
         // n² − n ordered pairs (the paper's (n²−n)/2 tests count unordered
         // pairs after the cardinality comparison collapses directions).
-        let profiles: Vec<_> = (0..6)
-            .map(|i| profile(i, 10, b"a", b"m", true))
-            .collect();
+        let profiles: Vec<_> = (0..6).map(|i| profile(i, 10, b"a", b"m", true)).collect();
         let mut m = RunMetrics::new();
         let cfg = PretestConfig {
             cardinality: false,

@@ -12,6 +12,8 @@
 //!
 //! * [`spider`] — the "future work" improvement of the single-pass idea: a
 //!   min-heap k-way merge over all attribute cursors (Sec. 7);
+//! * [`spider_parallel`] — SPIDER sharded over disjoint ranges of the
+//!   byte-value domain, one heap-merge worker per range (extension);
 //! * [`blockwise`] — the Sec. 4.2 block-wise single-pass that respects an
 //!   open-file budget;
 //! * [`pruning`] — Bell–Brockhausen transitivity inference and the sampling
@@ -33,8 +35,12 @@ pub mod pruning;
 pub mod runner;
 pub mod single_pass;
 pub mod spider;
+pub mod spider_parallel;
 
-pub use attr::{memory_export, profile_database, profiles_from_export, AttributeProfile};
+pub use attr::{
+    memory_export, memory_export_with_threads, profile_database, profiles_from_export,
+    AttributeProfile,
+};
 pub use blockwise::{run_blockwise, BlockwiseConfig};
 pub use brute_force::{run_brute_force, run_brute_force_parallel, test_candidate};
 pub use candidates::{generate_candidates, Candidate, Ind, PretestConfig};
@@ -47,3 +53,4 @@ pub use pruning::{
 pub use runner::{Algorithm, Discovery, FinderConfig, IndFinder};
 pub use single_pass::run_single_pass;
 pub use spider::run_spider;
+pub use spider_parallel::{partition_boundaries, run_spider_parallel};

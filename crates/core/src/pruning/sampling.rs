@@ -128,10 +128,10 @@ mod tests {
 
     fn provider() -> MemoryProvider {
         MemoryProvider::new(vec![
-            numbered_set(0..50),   // 0: subset of 1
-            numbered_set(0..100),  // 1: superset
+            numbered_set(0..50),    // 0: subset of 1
+            numbered_set(0..100),   // 1: superset
             numbered_set(200..260), // 2: disjoint from 0/1
-            numbered_set(0..3),    // 3: tiny subset of 0 and 1
+            numbered_set(0..3),     // 3: tiny subset of 0 and 1
         ])
     }
 
@@ -230,8 +230,7 @@ mod tests {
             seed: 3,
         };
         let mut m = RunMetrics::new();
-        let survivors =
-            sampling_pretest(&p, &[Candidate::new(0, 1)], &cfg, &mut m).unwrap();
+        let survivors = sampling_pretest(&p, &[Candidate::new(0, 1)], &cfg, &mut m).unwrap();
         assert_eq!(survivors.len(), 1);
     }
 }

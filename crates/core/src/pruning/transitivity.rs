@@ -161,13 +161,13 @@ mod tests {
         let mut o = TransitivityOracle::new();
         o.record(Candidate::new(0, 1), true); // 0 ⊆ 1
         o.record(Candidate::new(0, 2), false); // 0 ⊄ 2
-        // 1 ⊆ 2 would give 0 ⊆ 2: refuted.
+                                               // 1 ⊆ 2 would give 0 ⊆ 2: refuted.
         assert_eq!(o.classify(&Candidate::new(1, 2)), Some(false));
 
         let mut o = TransitivityOracle::new();
         o.record(Candidate::new(1, 2), true); // 1 ⊆ 2
         o.record(Candidate::new(0, 2), false); // 0 ⊄ 2
-        // 0 ⊆ 1 would give 0 ⊆ 2: refuted.
+                                               // 0 ⊆ 1 would give 0 ⊆ 2: refuted.
         assert_eq!(o.classify(&Candidate::new(0, 1)), Some(false));
     }
 
@@ -191,9 +191,12 @@ mod tests {
             MemoryValueSet::from_unsorted([b"a".to_vec()]),
             MemoryValueSet::from_unsorted([b"a".to_vec(), b"b".to_vec()]),
             MemoryValueSet::from_unsorted([b"a".to_vec(), b"b".to_vec(), b"c".to_vec()]),
-            MemoryValueSet::from_unsorted(
-                [b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec()],
-            ),
+            MemoryValueSet::from_unsorted([
+                b"a".to_vec(),
+                b"b".to_vec(),
+                b"c".to_vec(),
+                b"d".to_vec(),
+            ]),
             MemoryValueSet::from_unsorted([b"z".to_vec()]),
         ];
         let provider = MemoryProvider::new(sets);

@@ -1,7 +1,7 @@
 //! High-level discovery facade: profile → generate candidates → prune →
 //! run the chosen algorithm → collect a [`Discovery`].
 
-use crate::attr::{memory_export, profiles_from_export, AttributeProfile};
+use crate::attr::{memory_export_with_threads, profiles_from_export, AttributeProfile};
 use crate::blockwise::{run_blockwise, BlockwiseConfig};
 use crate::brute_force::{run_brute_force, run_brute_force_parallel};
 use crate::candidates::{generate_candidates, Candidate, PretestConfig};
@@ -9,6 +9,7 @@ use crate::metrics::RunMetrics;
 use crate::pruning::{run_brute_force_with_transitivity, sampling_pretest, SamplingConfig};
 use crate::single_pass::run_single_pass;
 use crate::spider::run_spider;
+use crate::spider_parallel::run_spider_parallel;
 use ind_storage::{Database, QualifiedName};
 use ind_valueset::{ExportOptions, ExportedDatabase, Result, ValueSetProvider};
 use std::path::Path;
@@ -28,6 +29,12 @@ pub enum Algorithm {
     SinglePass,
     /// SPIDER-style min-heap merge (Sec. 7 future work).
     Spider,
+    /// SPIDER sharded over disjoint value-domain partitions, one heap-merge
+    /// worker thread per partition (extension).
+    SpiderParallel {
+        /// Worker count = partition count (≥ 1).
+        threads: usize,
+    },
     /// Block-wise single-pass under an open-file budget (Sec. 4.2).
     Blockwise {
         /// Maximum simultaneously open value files (≥ 2).
@@ -67,6 +74,20 @@ impl FinderConfig {
         FinderConfig {
             algorithm,
             ..Default::default()
+        }
+    }
+}
+
+impl Algorithm {
+    /// Worker threads the extraction phase should use: the parallel
+    /// algorithms extract value sets with the same fan-out they test with;
+    /// the sequential ones extract sequentially.
+    pub fn extraction_threads(&self) -> usize {
+        match self {
+            Algorithm::BruteForceParallel { threads } | Algorithm::SpiderParallel { threads } => {
+                (*threads).max(1)
+            }
+            _ => 1,
         }
     }
 }
@@ -178,6 +199,9 @@ impl IndFinder {
             }
             Algorithm::SinglePass => run_single_pass(provider, &candidates, &mut metrics)?,
             Algorithm::Spider => run_spider(provider, &candidates, &mut metrics)?,
+            Algorithm::SpiderParallel { threads } => {
+                run_spider_parallel(provider, profiles, &candidates, *threads, &mut metrics)?
+            }
             Algorithm::Blockwise { max_open_files } => run_blockwise(
                 provider,
                 &candidates,
@@ -197,16 +221,20 @@ impl IndFinder {
     }
 
     /// Extracts `db` into memory and discovers INDs — the convenient path
-    /// for tests and small databases.
+    /// for tests and small databases. Parallel algorithms also extract in
+    /// parallel (see [`Algorithm::extraction_threads`]).
     pub fn discover_in_memory(&self, db: &Database) -> Result<Discovery> {
-        let (profiles, provider) = memory_export(db);
+        let (profiles, provider) =
+            memory_export_with_threads(db, self.config.algorithm.extraction_threads());
         self.discover(&profiles, &provider)
     }
 
     /// Exports `db` to sorted value files under `workdir` and discovers
-    /// INDs from disk — the paper's actual pipeline.
+    /// INDs from disk — the paper's actual pipeline. Parallel algorithms
+    /// also export in parallel.
     pub fn discover_on_disk(&self, db: &Database, workdir: &Path) -> Result<Discovery> {
-        let export = ExportedDatabase::export(db, workdir, &ExportOptions::default())?;
+        let options = ExportOptions::with_threads(self.config.algorithm.extraction_threads());
+        let export = ExportedDatabase::export(db, workdir, &options)?;
         let profiles = profiles_from_export(&export);
         self.discover(&profiles, &export)
     }
@@ -225,7 +253,9 @@ mod tests {
             TableSchema::new(
                 "parent",
                 vec![
-                    ColumnSchema::new("id", DataType::Integer).not_null().unique(),
+                    ColumnSchema::new("id", DataType::Integer)
+                        .not_null()
+                        .unique(),
                     ColumnSchema::new("label", DataType::Text),
                 ],
             )
@@ -240,14 +270,18 @@ mod tests {
             TableSchema::new(
                 "child",
                 vec![
-                    ColumnSchema::new("id", DataType::Integer).not_null().unique(),
+                    ColumnSchema::new("id", DataType::Integer)
+                        .not_null()
+                        .unique(),
                     ColumnSchema::new("parent_id", DataType::Integer),
                 ],
             )
             .unwrap(),
         );
         for i in 0..40i64 {
-            child.insert(vec![(1000 + i).into(), (i % 20).into()]).unwrap();
+            child
+                .insert(vec![(1000 + i).into(), (i % 20).into()])
+                .unwrap();
         }
         db.add_table(parent).unwrap();
         db.add_table(child).unwrap();
@@ -268,6 +302,7 @@ mod tests {
             Algorithm::BruteForceParallel { threads: 3 },
             Algorithm::SinglePass,
             Algorithm::Spider,
+            Algorithm::SpiderParallel { threads: 3 },
             Algorithm::Blockwise { max_open_files: 3 },
         ] {
             let finder = IndFinder::with_algorithm(algorithm.clone());
@@ -285,6 +320,8 @@ mod tests {
         for algorithm in [
             Algorithm::SinglePass,
             Algorithm::Spider,
+            Algorithm::SpiderParallel { threads: 1 },
+            Algorithm::SpiderParallel { threads: 4 },
             Algorithm::Blockwise { max_open_files: 2 },
             Algorithm::BruteForceParallel { threads: 2 },
         ] {

@@ -421,8 +421,7 @@ mod tests {
     fn empty_referenced_set_refutes() {
         let provider = MemoryProvider::new(vec![set(&["a"]), set(&[])]);
         let mut m = RunMetrics::new();
-        let found =
-            run_single_pass(&provider, &[Candidate::new(0, 1)], &mut m).unwrap();
+        let found = run_single_pass(&provider, &[Candidate::new(0, 1)], &mut m).unwrap();
         assert!(found.is_empty());
     }
 
@@ -430,8 +429,7 @@ mod tests {
     fn empty_dependent_set_is_trivially_satisfied() {
         let provider = MemoryProvider::new(vec![set(&[]), set(&["a"])]);
         let mut m = RunMetrics::new();
-        let found =
-            run_single_pass(&provider, &[Candidate::new(0, 1)], &mut m).unwrap();
+        let found = run_single_pass(&provider, &[Candidate::new(0, 1)], &mut m).unwrap();
         assert_eq!(found, vec![Candidate::new(0, 1)]);
     }
 

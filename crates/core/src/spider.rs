@@ -25,15 +25,50 @@ use ind_valueset::{Result, ValueCursor, ValueSetProvider};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
-/// Runs SPIDER over `candidates` (distinct pairs, `dep != ref`). Returns
-/// satisfied candidates sorted by `(dep, ref)`.
+/// Runs SPIDER over `candidates` (pairs with `dep != ref`; duplicates are
+/// removed before testing). Returns satisfied candidates sorted by
+/// `(dep, ref)`.
 pub fn run_spider<P: ValueSetProvider>(
     provider: &P,
     candidates: &[Candidate],
     metrics: &mut RunMetrics,
 ) -> Result<Vec<Candidate>> {
-    metrics.tested += candidates.len() as u64;
+    let unique = dedup_candidates(candidates);
+    metrics.tested += unique.len() as u64;
+    let mut satisfied = spider_pass(|a| provider.open(a), &unique, metrics)?;
+    metrics.satisfied += satisfied.len() as u64;
+    satisfied.sort();
+    Ok(satisfied)
+}
 
+/// Sorted, duplicate-free copy of `candidates`. Duplicate pairs would
+/// inflate `metrics.tested` and (in the partitioned runner) the
+/// survival-count intersection, so every entry point normalises first.
+pub(crate) fn dedup_candidates(candidates: &[Candidate]) -> Vec<Candidate> {
+    let mut unique = candidates.to_vec();
+    unique.sort_unstable();
+    unique.dedup();
+    unique
+}
+
+/// One SPIDER heap-merge over whatever cursors `open` hands out.
+///
+/// This is the engine beneath [`run_spider`] (plain cursors over the full
+/// value domain) and [`crate::spider_parallel`] (range-clamped cursors over
+/// one partition of it). `candidates` must be duplicate-free with
+/// `dep != ref`. Returns the satisfied candidates in unspecified order;
+/// updates only the I/O counters (`cursor_opens`, `items_read`,
+/// `comparisons`) — `tested`/`satisfied` accounting belongs to the callers,
+/// which know whether this pass covers the whole domain or a slice of it.
+pub(crate) fn spider_pass<C, F>(
+    mut open: F,
+    candidates: &[Candidate],
+    metrics: &mut RunMetrics,
+) -> Result<Vec<Candidate>>
+where
+    C: ValueCursor,
+    F: FnMut(u32) -> Result<C>,
+{
     // Surviving candidate references per dependent attribute, and how many
     // dependents still reference each attribute (for early close).
     let mut refs_of: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
@@ -53,11 +88,11 @@ pub fn run_spider<P: ValueSetProvider>(
     }
 
     let mut satisfied: Vec<Candidate> = Vec::new();
-    let mut cursors: BTreeMap<u32, P::Cursor> = BTreeMap::new();
+    let mut cursors: BTreeMap<u32, C> = BTreeMap::new();
     let mut heap: BinaryHeap<Reverse<(Vec<u8>, u32)>> = BinaryHeap::new();
 
     for &a in &attrs {
-        let mut cursor = provider.open(a)?;
+        let mut cursor = open(a)?;
         metrics.cursor_opens += 1;
         if cursor.advance()? {
             metrics.items_read += 1;
@@ -70,7 +105,6 @@ pub fn run_spider<P: ValueSetProvider>(
             if let Some(refset) = refs_of.get_mut(&a) {
                 for r in std::mem::take(refset) {
                     satisfied.push(Candidate::new(a, r));
-                    metrics.satisfied += 1;
                     decrement(&mut ref_usage, r);
                 }
             }
@@ -83,7 +117,9 @@ pub fn run_spider<P: ValueSetProvider>(
         group.push(first);
         while let Some(Reverse((v, _))) = heap.peek() {
             if *v == value {
-                let Some(Reverse((_, a))) = heap.pop() else { unreachable!() };
+                let Some(Reverse((_, a))) = heap.pop() else {
+                    unreachable!()
+                };
                 group.push(a);
             } else {
                 break;
@@ -131,7 +167,6 @@ pub fn run_spider<P: ValueSetProvider>(
                 if let Some(refset) = refs_of.get_mut(&a) {
                     for r in std::mem::take(refset) {
                         satisfied.push(Candidate::new(a, r));
-                        metrics.satisfied += 1;
                         decrement(&mut ref_usage, r);
                     }
                 }
@@ -143,13 +178,19 @@ pub fn run_spider<P: ValueSetProvider>(
         refs_of.values().all(BTreeSet::is_empty),
         "heap ran dry with unresolved candidates"
     );
-    satisfied.sort();
     Ok(satisfied)
 }
 
+/// Drops a reference-usage count by one, removing the entry when it reaches
+/// zero: `still_ref` checks treat "absent" and "zero" identically, and
+/// dropping dead entries keeps the map from accumulating attributes that
+/// long runs (many partitions, many passes) finished with long ago.
 fn decrement(usage: &mut BTreeMap<u32, usize>, attr: u32) {
     if let Some(n) = usage.get_mut(&attr) {
         *n = n.saturating_sub(1);
+        if *n == 0 {
+            usage.remove(&attr);
+        }
     }
 }
 
@@ -233,6 +274,22 @@ mod tests {
             m.items_read,
             m_sp.items_read
         );
+    }
+
+    #[test]
+    fn duplicate_candidates_are_tested_once() {
+        let provider = fixture();
+        let unique = all_pairs(7);
+        let mut duplicated = unique.clone();
+        duplicated.extend(unique.iter().copied());
+        let mut m = RunMetrics::new();
+        let found = run_spider(&provider, &duplicated, &mut m).unwrap();
+        let mut m_base = RunMetrics::new();
+        let baseline = run_spider(&provider, &unique, &mut m_base).unwrap();
+        assert_eq!(found, baseline);
+        assert_eq!(m.tested, unique.len() as u64, "duplicates must not count");
+        assert_eq!(m.satisfied, m_base.satisfied);
+        assert_eq!(m.items_read, m_base.items_read);
     }
 
     #[test]

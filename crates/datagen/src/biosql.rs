@@ -86,7 +86,9 @@ fn col(name: &str, dt: DataType) -> ColumnSchema {
 }
 
 fn pk(name: &str) -> ColumnSchema {
-    ColumnSchema::new(name, DataType::Integer).not_null().unique()
+    ColumnSchema::new(name, DataType::Integer)
+        .not_null()
+        .unique()
 }
 
 /// A small integer with both parities guaranteed across the column (rows 0
@@ -142,10 +144,19 @@ pub fn generate_uniprot(cfg: &BiosqlConfig) -> Database {
         let names = ["EMBL", "GenBank", "SwissProt", "TrEMBL"];
         for (i, &id) in biodatabase_ids.iter().enumerate() {
             let mut pools = ValuePools::new(&mut rng);
-            let desc = pools.text(4);
-            let auth = pools.vocab();
-            t.insert(vec![id.into(), names[i % names.len()].into(), auth.into(), desc.into()])
-                .unwrap();
+            // Alternate word counts so the row lengths differ by far more
+            // than 20% *by construction*: with only four rows, leaving the
+            // spread to chance lets an unlucky RNG stream make these
+            // free-text columns pass the accession-number heuristics.
+            let desc = pools.text(2 + 4 * (i % 2));
+            let auth = pools.text(1 + 3 * (i % 2));
+            t.insert(vec![
+                id.into(),
+                names[i % names.len()].into(),
+                auth.into(),
+                desc.into(),
+            ])
+            .unwrap();
         }
         db.add_table(t).unwrap();
     }
@@ -171,7 +182,9 @@ pub fn generate_uniprot(cfg: &BiosqlConfig) -> Database {
         schema
             .add_foreign_key("biodatabase_id", "sg_biodatabase", "id")
             .unwrap();
-        schema.add_foreign_key("taxon_id", "sg_taxon", "id").unwrap();
+        schema
+            .add_foreign_key("taxon_id", "sg_taxon", "id")
+            .unwrap();
         let mut t = Table::new(schema);
         let divisions = ["PRT", "EST", "GSS"];
         let molecules = ["protein", "dna", "rna"];
@@ -208,7 +221,9 @@ pub fn generate_uniprot(cfg: &BiosqlConfig) -> Database {
         let mut schema = TableSchema::new(
             "sg_biosequence",
             vec![
-                ColumnSchema::new("bioentry_id", DataType::Integer).not_null().unique(),
+                ColumnSchema::new("bioentry_id", DataType::Integer)
+                    .not_null()
+                    .unique(),
                 col("version", DataType::Integer),
                 col("length", DataType::Integer),
                 col("alphabet", DataType::Text),
@@ -295,7 +310,9 @@ pub fn generate_uniprot(cfg: &BiosqlConfig) -> Database {
             ],
         )
         .unwrap();
-        schema.add_foreign_key("taxon_id", "sg_taxon", "id").unwrap();
+        schema
+            .add_foreign_key("taxon_id", "sg_taxon", "id")
+            .unwrap();
         let mut t = Table::new(schema);
         let classes = ["scientific name", "synonym", "common name"];
         for i in 0..n_taxon * 2 {
@@ -413,7 +430,9 @@ pub fn generate_uniprot(cfg: &BiosqlConfig) -> Database {
         schema
             .add_foreign_key("bioentry_id", "sg_bioentry", "id")
             .unwrap();
-        schema.add_foreign_key("type_term_id", "sg_term", "id").unwrap();
+        schema
+            .add_foreign_key("type_term_id", "sg_term", "id")
+            .unwrap();
         schema
             .add_foreign_key("source_term_id", "sg_term", "id")
             .unwrap();
@@ -531,13 +550,24 @@ pub fn generate_uniprot(cfg: &BiosqlConfig) -> Database {
         for (i, &id) in dbxref_ids.iter().enumerate() {
             let is_pdb = rng.gen_bool(cfg.pdb_link_fraction);
             let (dbname, accession) = if is_pdb {
-                ("PDB".to_string(), ValuePools::pdb_code(rng.gen_range(0..n_bioentry)))
+                (
+                    "PDB".to_string(),
+                    ValuePools::pdb_code(rng.gen_range(0..n_bioentry)),
+                )
             } else {
-                ("GO".to_string(), ValuePools::term_identifier(rng.gen_range(0..50_000)))
+                (
+                    "GO".to_string(),
+                    ValuePools::term_identifier(rng.gen_range(0..50_000)),
+                )
             };
             let version = small_int(&mut rng, i, 1, 3);
-            t.insert(vec![id.into(), dbname.into(), accession.into(), version.into()])
-                .unwrap();
+            t.insert(vec![
+                id.into(),
+                dbname.into(),
+                accession.into(),
+                version.into(),
+            ])
+            .unwrap();
         }
         db.add_table(t).unwrap();
     }
@@ -556,7 +586,9 @@ pub fn generate_uniprot(cfg: &BiosqlConfig) -> Database {
         schema
             .add_foreign_key("bioentry_id", "sg_bioentry", "id")
             .unwrap();
-        schema.add_foreign_key("dbxref_id", "sg_dbxref", "id").unwrap();
+        schema
+            .add_foreign_key("dbxref_id", "sg_dbxref", "id")
+            .unwrap();
         let mut t = Table::new(schema);
         for i in 0..n_bioentry {
             let bioentry_id = pick(&mut rng, &bioentry_ids);
@@ -583,7 +615,9 @@ pub fn generate_uniprot(cfg: &BiosqlConfig) -> Database {
             ],
         )
         .unwrap();
-        schema.add_foreign_key("dbxref_id", "sg_dbxref", "id").unwrap();
+        schema
+            .add_foreign_key("dbxref_id", "sg_dbxref", "id")
+            .unwrap();
         let mut t = Table::new(schema);
         let mut shuffled = dbxref_ids.clone();
         shuffled.shuffle(&mut rng);
@@ -667,13 +701,19 @@ pub fn generate_uniprot(cfg: &BiosqlConfig) -> Database {
             let rank = small_int(&mut rng, i, 1, 3);
             let mut pools = ValuePools::new(&mut rng);
             let text = pools.text(10);
-            t.insert(vec![id.into(), bioentry_id.into(), text.into(), rank.into()])
-                .unwrap();
+            t.insert(vec![
+                id.into(),
+                bioentry_id.into(),
+                text.into(),
+                rank.into(),
+            ])
+            .unwrap();
         }
         db.add_table(t).unwrap();
     }
 
-    db.validate_foreign_keys().expect("generator declares valid FKs");
+    db.validate_foreign_keys()
+        .expect("generator declares valid FKs");
     db
 }
 

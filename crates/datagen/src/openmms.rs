@@ -138,7 +138,9 @@ pub fn generate_pdb(cfg: &OpenMmsConfig) -> Database {
             TableSchema::new(
                 "struct",
                 vec![
-                    ColumnSchema::new("entry_id", DataType::Text).not_null().unique(),
+                    ColumnSchema::new("entry_id", DataType::Text)
+                        .not_null()
+                        .unique(),
                     ColumnSchema::new("title", DataType::Text),
                     ColumnSchema::new("deposition_date", DataType::Text),
                     ColumnSchema::new("resolution", DataType::Float),
@@ -175,7 +177,9 @@ pub fn generate_pdb(cfg: &OpenMmsConfig) -> Database {
             TableSchema::new(
                 name,
                 vec![
-                    ColumnSchema::new("entry_id", DataType::Text).not_null().unique(),
+                    ColumnSchema::new("entry_id", DataType::Text)
+                        .not_null()
+                        .unique(),
                     ColumnSchema::new(extra1, DataType::Text),
                     ColumnSchema::new(extra2, DataType::Integer),
                 ],
@@ -183,7 +187,11 @@ pub fn generate_pdb(cfg: &OpenMmsConfig) -> Database {
             .unwrap(),
         );
         for (i, code) in codes.iter().enumerate() {
-            let n = if i < 2 { i as i64 + 1 } else { rng.gen_range(1..5i64) };
+            let n = if i < 2 {
+                i as i64 + 1
+            } else {
+                rng.gen_range(1..5i64)
+            };
             let mut pools = ValuePools::new(&mut rng);
             let word = pools.text(2);
             t.insert(vec![code.as_str().into(), word.into(), n.into()])
@@ -205,7 +213,9 @@ pub fn generate_pdb(cfg: &OpenMmsConfig) -> Database {
 
         let mut columns = vec![
             // Surrogate primary key: dense integers starting at 1.
-            ColumnSchema::new("id", DataType::Integer).not_null().unique(),
+            ColumnSchema::new("id", DataType::Integer)
+                .not_null()
+                .unique(),
         ];
         let strict_code = ti < cfg.strict_code_tables;
         let soft_code = !strict_code && ti < cfg.strict_code_tables + cfg.soft_code_tables;

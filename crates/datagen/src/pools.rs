@@ -224,7 +224,10 @@ mod tests {
         dedup.sort();
         dedup.dedup();
         assert_eq!(dedup.len(), codes.len(), "codes must be injective in i");
-        assert_eq!(codes, (0..2000).map(ValuePools::pdb_code).collect::<Vec<_>>());
+        assert_eq!(
+            codes,
+            (0..2000).map(ValuePools::pdb_code).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -74,7 +74,9 @@ pub fn generate_scop(cfg: &ScopConfig) -> Database {
             TableSchema::new(
                 "scop_node",
                 vec![
-                    ColumnSchema::new("sunid", DataType::Integer).not_null().unique(),
+                    ColumnSchema::new("sunid", DataType::Integer)
+                        .not_null()
+                        .unique(),
                     ColumnSchema::new("entry_type", DataType::Text),
                     ColumnSchema::new("sccs", DataType::Text),
                     ColumnSchema::new("sid", DataType::Text).unique(),
@@ -95,7 +97,11 @@ pub fn generate_scop(cfg: &ScopConfig) -> Database {
                 i % 8,
                 i % 5
             );
-            let order = if i < 2 { i as i64 + 1 } else { rng.gen_range(1..1000i64) };
+            let order = if i < 2 {
+                i as i64 + 1
+            } else {
+                rng.gen_range(1..1000i64)
+            };
             let mut pools = ValuePools::new(&mut rng);
             let description = pools.text(4);
             t.insert(vec![
@@ -117,14 +123,18 @@ pub fn generate_scop(cfg: &ScopConfig) -> Database {
         let mut schema = TableSchema::new(
             "scop_hierarchy",
             vec![
-                ColumnSchema::new("sunid", DataType::Integer).not_null().unique(),
+                ColumnSchema::new("sunid", DataType::Integer)
+                    .not_null()
+                    .unique(),
                 ColumnSchema::new("parent_sunid", DataType::Integer),
                 ColumnSchema::new("children_count", DataType::Integer),
                 ColumnSchema::new("depth", DataType::Integer),
             ],
         )
         .unwrap();
-        schema.add_foreign_key("sunid", "scop_node", "sunid").unwrap();
+        schema
+            .add_foreign_key("sunid", "scop_node", "sunid")
+            .unwrap();
         schema
             .add_foreign_key("parent_sunid", "scop_node", "sunid")
             .unwrap();
@@ -135,8 +145,16 @@ pub fn generate_scop(cfg: &ScopConfig) -> Database {
             } else {
                 sunids[rng.gen_range(0..i)].into()
             };
-            let children = if i < 2 { i as i64 + 1 } else { rng.gen_range(0..40i64) };
-            let depth = if i < 2 { i as i64 + 1 } else { rng.gen_range(1..8i64) };
+            let children = if i < 2 {
+                i as i64 + 1
+            } else {
+                rng.gen_range(0..40i64)
+            };
+            let depth = if i < 2 {
+                i as i64 + 1
+            } else {
+                rng.gen_range(1..8i64)
+            };
             t.insert(vec![sunid.into(), parent, children.into(), depth.into()])
                 .unwrap();
         }
@@ -160,7 +178,9 @@ pub fn generate_scop(cfg: &ScopConfig) -> Database {
         )
         .unwrap();
         schema.add_foreign_key("sid", "scop_node", "sid").unwrap();
-        schema.add_foreign_key("sunid", "scop_node", "sunid").unwrap();
+        schema
+            .add_foreign_key("sunid", "scop_node", "sunid")
+            .unwrap();
         schema
             .add_foreign_key("class_sunid", "scop_node", "sunid")
             .unwrap();
@@ -177,7 +197,11 @@ pub fn generate_scop(cfg: &ScopConfig) -> Database {
             let sccs = format!("{}.{}.{}", (b'a' + (i % 7) as u8) as char, i % 10, i % 8);
             let class_sunid = sunids[rng.gen_range(0..n)];
             let fold_sunid = sunids[rng.gen_range(0..n)];
-            let count = if i < 2 { i as i64 + 1 } else { rng.gen_range(1..20i64) };
+            let count = if i < 2 {
+                i as i64 + 1
+            } else {
+                rng.gen_range(1..20i64)
+            };
             t.insert(vec![
                 sid(i).into(),
                 pdb.into(),
@@ -204,19 +228,27 @@ pub fn generate_scop(cfg: &ScopConfig) -> Database {
             ],
         )
         .unwrap();
-        schema.add_foreign_key("sunid", "scop_node", "sunid").unwrap();
+        schema
+            .add_foreign_key("sunid", "scop_node", "sunid")
+            .unwrap();
         let mut t = Table::new(schema);
         for i in 0..n {
             let sunid = sunids[rng.gen_range(0..n)];
-            let rank = if i < 2 { i as i64 + 1 } else { rng.gen_range(1..3i64) };
+            let rank = if i < 2 {
+                i as i64 + 1
+            } else {
+                rng.gen_range(1..3i64)
+            };
             let mut pools = ValuePools::new(&mut rng);
             let text = pools.text(6);
-            t.insert(vec![sunid.into(), text.into(), rank.into()]).unwrap();
+            t.insert(vec![sunid.into(), text.into(), rank.into()])
+                .unwrap();
         }
         db.add_table(t).unwrap();
     }
 
-    db.validate_foreign_keys().expect("generator declares valid FKs");
+    db.validate_foreign_keys()
+        .expect("generator declares valid FKs");
     db
 }
 
@@ -276,7 +308,10 @@ mod tests {
         let pool: std::collections::HashSet<String> =
             (0..cfg.pdb_pool).map(ValuePools::pdb_code).collect();
         for v in db
-            .column(&ind_storage::QualifiedName::new("scop_classification", "pdb_code"))
+            .column(&ind_storage::QualifiedName::new(
+                "scop_classification",
+                "pdb_code",
+            ))
             .unwrap()
         {
             assert!(pool.contains(&v.to_string()), "{v} outside shared pool");

@@ -9,7 +9,7 @@
 //! a column's values must fulfill the first criteria") admits columns with
 //! a tiny fraction of outlier values.
 
-use ind_storage::{Database, DataType, QualifiedName, Value};
+use ind_storage::{DataType, Database, QualifiedName, Value};
 
 /// The accession-number rules with a configurable qualifying fraction.
 #[derive(Debug, Clone, PartialEq)]
@@ -112,7 +112,10 @@ mod tests {
     fn uniform_lettered_values_qualify() {
         let rules = AccessionRules::strict();
         assert!(rules.is_candidate(&texts(&["P12345", "Q99999", "O43210"])));
-        assert!(rules.is_candidate(&texts(&["1abc", "2xyz"])), "exactly 4 chars");
+        assert!(
+            rules.is_candidate(&texts(&["1abc", "2xyz"])),
+            "exactly 4 chars"
+        );
     }
 
     #[test]

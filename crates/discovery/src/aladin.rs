@@ -12,7 +12,7 @@ use crate::accession::AccessionRules;
 use crate::foreign_keys::{fk_guesses_filtered, FkGuess};
 use crate::primary_relation::{identify_primary_relation, PrimaryRelationReport};
 use ind_core::{inclusion_count, memory_export, FinderConfig, IndFinder, RunMetrics};
-use ind_storage::{Database, DataType, QualifiedName, Value};
+use ind_storage::{DataType, Database, QualifiedName, Value};
 use ind_valueset::{extract_memory_set, Result};
 use std::collections::HashMap;
 use std::fmt;
@@ -253,8 +253,11 @@ pub fn run_aladin(sources: &[&Database], config: &AladinConfig) -> Result<Aladin
                     let target_col = target.column(target_attr)?;
                     let target_set = extract_memory_set(target_col);
                     let mut m = RunMetrics::new();
-                    let count =
-                        inclusion_count(&mut source_set.cursor(), &mut target_set.cursor(), &mut m)?;
+                    let count = inclusion_count(
+                        &mut source_set.cursor(),
+                        &mut target_set.cursor(),
+                        &mut m,
+                    )?;
                     let coefficient = count.coefficient();
                     if coefficient >= config.link_threshold && count.dep_total > 0 {
                         links.push(LinkReport {
@@ -321,11 +324,7 @@ mod tests {
         }
         target.add_table(main).unwrap();
         let mut annot = Table::new(
-            TableSchema::new(
-                "annot",
-                vec![ColumnSchema::new("main_acc", DataType::Text)],
-            )
-            .unwrap(),
+            TableSchema::new("annot", vec![ColumnSchema::new("main_acc", DataType::Text)]).unwrap(),
         );
         for i in 0..30i64 {
             annot

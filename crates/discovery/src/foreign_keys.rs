@@ -65,7 +65,9 @@ mod tests {
         let mut parent = Table::new(
             TableSchema::new(
                 "parent",
-                vec![ColumnSchema::new("id", DataType::Integer).not_null().unique()],
+                vec![ColumnSchema::new("id", DataType::Integer)
+                    .not_null()
+                    .unique()],
             )
             .unwrap(),
         );
@@ -89,7 +91,9 @@ mod tests {
             let mut t = Table::new(
                 TableSchema::new(
                     name,
-                    vec![ColumnSchema::new("id", DataType::Integer).not_null().unique()],
+                    vec![ColumnSchema::new("id", DataType::Integer)
+                        .not_null()
+                        .unique()],
                 )
                 .unwrap(),
             );

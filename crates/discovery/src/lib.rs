@@ -25,11 +25,11 @@ pub mod quality;
 pub mod range_filter;
 
 pub use accession::{find_accession_candidates, AccessionRules};
-pub use concat::{find_concat_match, AffixTransform, ConcatMatch};
 pub use aladin::{
     find_duplicates, key_candidates, run_aladin, AladinConfig, AladinReport, DuplicateReport,
     KeyCandidate, LinkReport, SourceReport,
 };
+pub use concat::{find_concat_match, AffixTransform, ConcatMatch};
 pub use foreign_keys::{fk_guesses, fk_guesses_filtered, FkGuess};
 pub use primary_relation::{identify_primary_relation, PrimaryRelationReport};
 pub use quality::{evaluate_foreign_keys, ExtraClass, ExtraInd, FkEvaluation};

@@ -90,7 +90,9 @@ mod tests {
             TableSchema::new(
                 "main",
                 vec![
-                    ColumnSchema::new("id", DataType::Integer).not_null().unique(),
+                    ColumnSchema::new("id", DataType::Integer)
+                        .not_null()
+                        .unique(),
                     ColumnSchema::new("acc", DataType::Text).not_null().unique(),
                 ],
             )
@@ -127,7 +129,9 @@ mod tests {
         let mut side = Table::new(
             TableSchema::new(
                 "side",
-                vec![ColumnSchema::new("code", DataType::Text).not_null().unique()],
+                vec![ColumnSchema::new("code", DataType::Text)
+                    .not_null()
+                    .unique()],
             )
             .unwrap(),
         );

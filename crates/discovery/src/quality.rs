@@ -193,7 +193,9 @@ mod tests {
         let mut parent = Table::new(
             TableSchema::new(
                 "parent",
-                vec![ColumnSchema::new("id", DataType::Integer).not_null().unique()],
+                vec![ColumnSchema::new("id", DataType::Integer)
+                    .not_null()
+                    .unique()],
             )
             .unwrap(),
         );
@@ -207,7 +209,9 @@ mod tests {
             vec![ColumnSchema::new("parent_id", DataType::Integer)],
         )
         .unwrap();
-        child_schema.add_foreign_key("parent_id", "parent", "id").unwrap();
+        child_schema
+            .add_foreign_key("parent_id", "parent", "id")
+            .unwrap();
         let mut child = Table::new(child_schema);
         for i in 0..40i64 {
             child.insert(vec![(100 + i % 20).into()]).unwrap();
@@ -217,7 +221,9 @@ mod tests {
         // 1:1 mirror of parent → discovered equality reverse + closure.
         let mut mirror_schema = TableSchema::new(
             "mirror",
-            vec![ColumnSchema::new("parent_id", DataType::Integer).not_null().unique()],
+            vec![ColumnSchema::new("parent_id", DataType::Integer)
+                .not_null()
+                .unique()],
         )
         .unwrap();
         mirror_schema
@@ -234,7 +240,9 @@ mod tests {
             let mut t = Table::new(
                 TableSchema::new(
                     name,
-                    vec![ColumnSchema::new("id", DataType::Integer).not_null().unique()],
+                    vec![ColumnSchema::new("id", DataType::Integer)
+                        .not_null()
+                        .unique()],
                 )
                 .unwrap(),
             );

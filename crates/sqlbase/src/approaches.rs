@@ -64,13 +64,14 @@ pub fn resolve<'a>(
     name: &ind_storage::QualifiedName,
 ) -> Result<(&'a Table, usize)> {
     let table = db.table(&name.table)?;
-    let col = table
-        .schema()
-        .column_index(&name.column)
-        .ok_or_else(|| StorageError::UnknownColumn {
-            table: name.table.clone(),
-            column: name.column.clone(),
-        })?;
+    let col =
+        table
+            .schema()
+            .column_index(&name.column)
+            .ok_or_else(|| StorageError::UnknownColumn {
+                table: name.table.clone(),
+                column: name.column.clone(),
+            })?;
     Ok((table, col))
 }
 
@@ -117,7 +118,9 @@ mod tests {
             TableSchema::new(
                 "parent",
                 vec![
-                    ColumnSchema::new("id", DataType::Integer).not_null().unique(),
+                    ColumnSchema::new("id", DataType::Integer)
+                        .not_null()
+                        .unique(),
                     ColumnSchema::new("name", DataType::Text),
                 ],
             )
@@ -132,7 +135,9 @@ mod tests {
             TableSchema::new(
                 "child",
                 vec![
-                    ColumnSchema::new("id", DataType::Integer).not_null().unique(),
+                    ColumnSchema::new("id", DataType::Integer)
+                        .not_null()
+                        .unique(),
                     ColumnSchema::new("parent_id", DataType::Integer),
                     ColumnSchema::new("note", DataType::Text),
                 ],
@@ -196,8 +201,7 @@ mod tests {
         let db = sample_db();
         let join = run_sql_discovery(&db, SqlApproach::Join, &PretestConfig::default()).unwrap();
         let minus = run_sql_discovery(&db, SqlApproach::Minus, &PretestConfig::default()).unwrap();
-        let not_in =
-            run_sql_discovery(&db, SqlApproach::NotIn, &PretestConfig::default()).unwrap();
+        let not_in = run_sql_discovery(&db, SqlApproach::NotIn, &PretestConfig::default()).unwrap();
         assert!(join.metrics.comparisons <= minus.metrics.comparisons);
         assert!(
             not_in.metrics.items_read > minus.metrics.items_read,

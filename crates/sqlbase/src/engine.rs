@@ -202,7 +202,8 @@ mod tests {
                 Some(x) => Value::Integer(*x),
                 None => Value::Null,
             };
-            t.insert(vec![cell, format!("row {i} filler").into()]).unwrap();
+            t.insert(vec![cell, format!("row {i} filler").into()])
+                .unwrap();
         }
         t
     }
@@ -252,18 +253,33 @@ mod tests {
     fn minus_empty_difference_means_satisfied() {
         let refd = table("ref", &ints(&[1, 2, 3]));
         let mut m = RunMetrics::new();
-        assert_eq!(minus_unmatched(&table("d", &ints(&[2, 1, 2])), 0, &refd, 0, &mut m), 0);
-        assert_eq!(minus_unmatched(&table("d", &ints(&[1, 5])), 0, &refd, 0, &mut m), 1);
+        assert_eq!(
+            minus_unmatched(&table("d", &ints(&[2, 1, 2])), 0, &refd, 0, &mut m),
+            0
+        );
+        assert_eq!(
+            minus_unmatched(&table("d", &ints(&[1, 5])), 0, &refd, 0, &mut m),
+            1
+        );
         assert_eq!(minus_unmatched(&table("d", &[]), 0, &refd, 0, &mut m), 0);
-        assert_eq!(minus_unmatched(&table("d", &ints(&[1])), 0, &table("r", &[]), 0, &mut m), 1);
+        assert_eq!(
+            minus_unmatched(&table("d", &ints(&[1])), 0, &table("r", &[]), 0, &mut m),
+            1
+        );
     }
 
     #[test]
     fn not_in_detects_unmatched() {
         let refd = table("ref", &ints(&[1, 2, 3]));
         let mut m = RunMetrics::new();
-        assert_eq!(not_in_unmatched(&table("d", &ints(&[1, 2])), 0, &refd, 0, &mut m), 0);
-        assert_eq!(not_in_unmatched(&table("d", &ints(&[1, 9])), 0, &refd, 0, &mut m), 1);
+        assert_eq!(
+            not_in_unmatched(&table("d", &ints(&[1, 2])), 0, &refd, 0, &mut m),
+            0
+        );
+        assert_eq!(
+            not_in_unmatched(&table("d", &ints(&[1, 9])), 0, &refd, 0, &mut m),
+            1
+        );
     }
 
     #[test]

@@ -135,7 +135,9 @@ mod tests {
         let mut parent = Table::new(
             TableSchema::new(
                 "parent",
-                vec![ColumnSchema::new("id", DataType::Integer).not_null().unique()],
+                vec![ColumnSchema::new("id", DataType::Integer)
+                    .not_null()
+                    .unique()],
             )
             .unwrap(),
         );
@@ -146,7 +148,9 @@ mod tests {
         let mut schema = TableSchema::new(
             "child",
             vec![
-                ColumnSchema::new("id", DataType::Integer).not_null().unique(),
+                ColumnSchema::new("id", DataType::Integer)
+                    .not_null()
+                    .unique(),
                 ColumnSchema::new("parent_id", DataType::Integer),
             ],
         )
@@ -183,10 +187,7 @@ mod tests {
         let db = db();
         let attrs = db.attributes();
         assert_eq!(
-            attrs
-                .iter()
-                .map(|a| a.to_string())
-                .collect::<Vec<_>>(),
+            attrs.iter().map(|a| a.to_string()).collect::<Vec<_>>(),
             vec!["parent.id", "child.id", "child.parent_id"]
         );
     }
@@ -213,11 +214,8 @@ mod tests {
     #[test]
     fn dangling_foreign_key_detected() {
         let mut db = Database::new("broken");
-        let mut schema = TableSchema::new(
-            "t",
-            vec![ColumnSchema::new("x", DataType::Integer)],
-        )
-        .unwrap();
+        let mut schema =
+            TableSchema::new("t", vec![ColumnSchema::new("x", DataType::Integer)]).unwrap();
         schema.add_foreign_key("x", "ghost", "id").unwrap();
         db.add_table(Table::new(schema)).unwrap();
         assert!(db.validate_foreign_keys().is_err());

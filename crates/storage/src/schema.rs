@@ -167,7 +167,9 @@ mod tests {
         TableSchema::new(
             "t",
             vec![
-                ColumnSchema::new("id", DataType::Integer).not_null().unique(),
+                ColumnSchema::new("id", DataType::Integer)
+                    .not_null()
+                    .unique(),
                 ColumnSchema::new("name", DataType::Text),
             ],
         )
@@ -207,7 +209,9 @@ mod tests {
 
     #[test]
     fn builder_flags() {
-        let c = ColumnSchema::new("id", DataType::Integer).not_null().unique();
+        let c = ColumnSchema::new("id", DataType::Integer)
+            .not_null()
+            .unique();
         assert!(!c.nullable);
         assert!(c.unique);
         let c = ColumnSchema::new("x", DataType::Text);

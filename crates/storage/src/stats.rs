@@ -96,13 +96,7 @@ mod tests {
 
     #[test]
     fn counts_distinct_and_non_null() {
-        let s = stats_of(vec![
-            1.into(),
-            2.into(),
-            2.into(),
-            Value::Null,
-            3.into(),
-        ]);
+        let s = stats_of(vec![1.into(), 2.into(), 2.into(), Value::Null, 3.into()]);
         assert_eq!(s.rows, 5);
         assert_eq!(s.non_null, 4);
         assert_eq!(s.distinct, 3);

@@ -137,7 +137,9 @@ mod tests {
             TableSchema::new(
                 "person",
                 vec![
-                    ColumnSchema::new("id", DataType::Integer).not_null().unique(),
+                    ColumnSchema::new("id", DataType::Integer)
+                        .not_null()
+                        .unique(),
                     ColumnSchema::new("name", DataType::Text),
                     ColumnSchema::new("score", DataType::Float),
                 ],
@@ -153,7 +155,10 @@ mod tests {
         t.insert(vec![2.into(), Value::Null, Value::Null]).unwrap();
         assert_eq!(t.row_count(), 2);
         assert_eq!(t.column(0), &[Value::Integer(1), Value::Integer(2)]);
-        assert_eq!(t.column_by_name("name").unwrap()[0], Value::Text("ada".into()));
+        assert_eq!(
+            t.column_by_name("name").unwrap()[0],
+            Value::Text("ada".into())
+        );
         assert_eq!(t.row(1), vec![Value::Integer(2), Value::Null, Value::Null]);
     }
 
@@ -161,7 +166,14 @@ mod tests {
     fn arity_is_enforced() {
         let mut t = table();
         let err = t.insert(vec![1.into()]).unwrap_err();
-        assert!(matches!(err, StorageError::ArityMismatch { expected: 3, got: 1, .. }));
+        assert!(matches!(
+            err,
+            StorageError::ArityMismatch {
+                expected: 3,
+                got: 1,
+                ..
+            }
+        ));
         assert_eq!(t.row_count(), 0, "failed insert must not partially apply");
     }
 

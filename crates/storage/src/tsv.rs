@@ -204,13 +204,10 @@ pub fn load_database(dir: &Path) -> Result<Database> {
                 } else {
                     let dt = table.schema().columns[j].data_type;
                     let unescaped = unescape(field, &data_ctx)?;
-                    let v =
-                        Value::parse(dt, &unescaped).ok_or_else(|| StorageError::Parse {
-                            context: data_ctx.clone(),
-                            detail: format!(
-                                "line {line_no}: cannot parse `{unescaped}` as {dt}"
-                            ),
-                        })?;
+                    let v = Value::parse(dt, &unescaped).ok_or_else(|| StorageError::Parse {
+                        context: data_ctx.clone(),
+                        detail: format!("line {line_no}: cannot parse `{unescaped}` as {dt}"),
+                    })?;
                     row.push(v);
                 }
             }
@@ -233,7 +230,9 @@ mod tests {
         let mut schema = TableSchema::new(
             "items",
             vec![
-                ColumnSchema::new("id", DataType::Integer).not_null().unique(),
+                ColumnSchema::new("id", DataType::Integer)
+                    .not_null()
+                    .unique(),
                 ColumnSchema::new("label", DataType::Text),
                 ColumnSchema::new("weight", DataType::Float),
             ],
@@ -241,16 +240,17 @@ mod tests {
         .unwrap();
         schema.add_foreign_key("id", "items", "id").unwrap();
         let mut t = Table::new(schema);
-        t.insert(vec![1.into(), "plain".into(), 1.25.into()]).unwrap();
+        t.insert(vec![1.into(), "plain".into(), 1.25.into()])
+            .unwrap();
         t.insert(vec![2.into(), "tab\there".into(), Value::Null])
             .unwrap();
         t.insert(vec![3.into(), "line\nbreak \\ slash".into(), 0.5.into()])
             .unwrap();
         t.insert(vec![4.into(), Value::Null, Value::Null]).unwrap();
         db.add_table(t).unwrap();
-        db.add_table(Table::new(TableSchema::new("empty", vec![
-            ColumnSchema::new("x", DataType::Text),
-        ]).unwrap()))
+        db.add_table(Table::new(
+            TableSchema::new("empty", vec![ColumnSchema::new("x", DataType::Text)]).unwrap(),
+        ))
         .unwrap();
         db
     }
@@ -276,7 +276,15 @@ mod tests {
 
     #[test]
     fn escape_unescape_round_trip() {
-        for s in ["plain", "a\tb", "a\nb", "back\\slash", "\\N", "", "mix\t\n\\"] {
+        for s in [
+            "plain",
+            "a\tb",
+            "a\nb",
+            "back\\slash",
+            "\\N",
+            "",
+            "mix\t\n\\",
+        ] {
             let mut esc = String::new();
             escape(s, &mut esc);
             assert!(!esc.contains('\t'));
@@ -303,7 +311,10 @@ mod tests {
             "database\tx\ntable\tt\ncolumn\tc\ttext\tnull\tdup\n",
         )
         .unwrap();
-        assert!(matches!(load_database(dir.path()), Err(StorageError::Io(_))));
+        assert!(matches!(
+            load_database(dir.path()),
+            Err(StorageError::Io(_))
+        ));
     }
 
     #[test]

@@ -53,12 +53,10 @@ impl FileBudget {
             if cur >= self.max {
                 return Err(ValueSetError::FileBudgetExceeded { budget: self.max });
             }
-            match self.open.compare_exchange_weak(
-                cur,
-                cur + 1,
-                Ordering::AcqRel,
-                Ordering::Relaxed,
-            ) {
+            match self
+                .open
+                .compare_exchange_weak(cur, cur + 1, Ordering::AcqRel, Ordering::Relaxed)
+            {
                 Ok(_) => {
                     return Ok(OpenFileGuard {
                         open: Arc::clone(&self.open),

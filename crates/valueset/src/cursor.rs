@@ -23,6 +23,30 @@ pub trait ValueCursor {
     /// [`advance`]: ValueCursor::advance
     fn current(&self) -> &[u8];
 
+    /// Advances until the current value is `>= lower`: a conditional
+    /// [`advance`] that skips the prefix of the set below `lower`.
+    ///
+    /// Returns `true` when positioned on the first value `>= lower`
+    /// (readable via [`current`]) and `false` when the set holds no such
+    /// value (the cursor is then exhausted). Values already produced are
+    /// never revisited, so `seek` is only a *forward* jump.
+    ///
+    /// The default implementation scans linearly; indexable cursors
+    /// (e.g. [`crate::MemoryCursor`]) override it with a binary search.
+    /// Range-partitioned readers ([`crate::RangeCursor`]) rely on this to
+    /// start mid-stream.
+    ///
+    /// [`advance`]: ValueCursor::advance
+    /// [`current`]: ValueCursor::current
+    fn seek(&mut self, lower: &[u8]) -> Result<bool> {
+        while self.advance()? {
+            if self.current() >= lower {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
     /// Number of values `advance` has not yet produced.
     fn remaining(&self) -> u64;
 
@@ -44,6 +68,9 @@ pub trait ValueCursor {
 impl<C: ValueCursor + ?Sized> ValueCursor for Box<C> {
     fn advance(&mut self) -> Result<bool> {
         (**self).advance()
+    }
+    fn seek(&mut self, lower: &[u8]) -> Result<bool> {
+        (**self).seek(lower)
     }
     fn current(&self) -> &[u8] {
         (**self).current()

@@ -45,10 +45,9 @@ impl fmt::Display for ValueSetError {
                 f,
                 "values for {context} are not strictly increasing (sorted and distinct)"
             ),
-            ValueSetError::FileBudgetExceeded { budget } => write!(
-                f,
-                "open-file budget of {budget} value files exceeded"
-            ),
+            ValueSetError::FileBudgetExceeded { budget } => {
+                write!(f, "open-file budget of {budget} value files exceeded")
+            }
             ValueSetError::UnknownAttribute(id) => write!(f, "unknown attribute id {id}"),
             ValueSetError::Storage(e) => write!(f, "storage error: {e}"),
         }

@@ -7,9 +7,9 @@
 //! disk when the buffer fills, and k-way merges the runs (plus the final
 //! buffer) into a strictly increasing output stream.
 
+use crate::cursor::ValueCursor;
 use crate::error::Result;
 use crate::format::{ValueFileReader, ValueFileWriter};
-use crate::cursor::ValueCursor;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::path::{Path, PathBuf};

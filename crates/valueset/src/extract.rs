@@ -36,6 +36,36 @@ pub fn extract_memory_set(values: &[Value]) -> MemoryValueSet {
     )
 }
 
+/// Extracts many columns into [`MemoryValueSet`]s on `threads` worker
+/// threads (column extractions are mutually independent: render, sort,
+/// dedup). Output order matches input order. `threads <= 1` degrades to the
+/// sequential path.
+pub fn extract_memory_sets_parallel(columns: &[&[Value]], threads: usize) -> Vec<MemoryValueSet> {
+    let threads = threads.max(1);
+    if threads == 1 || columns.len() < 2 {
+        return columns.iter().map(|c| extract_memory_set(c)).collect();
+    }
+    let chunk = columns.len().div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = columns
+            .chunks(chunk)
+            .map(|shard| {
+                scope.spawn(move |_| {
+                    shard
+                        .iter()
+                        .map(|c| extract_memory_set(c))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("extraction worker panicked"))
+            .collect()
+    })
+    .expect("extraction scope panicked")
+}
+
 /// Extracts a column into a value file at `path` via the external sorter,
 /// spilling into `spill_dir` when the memory budget is exceeded.
 pub fn extract_to_file(
@@ -105,6 +135,29 @@ mod tests {
         assert_eq!(stats.pushed, 4, "non-null occurrences");
         assert_eq!(stats.min.as_deref(), Some(b"10".as_slice()));
         assert_eq!(stats.max.as_deref(), Some(b"apple".as_slice()));
+    }
+
+    #[test]
+    fn parallel_memory_extraction_matches_sequential() {
+        let columns: Vec<Vec<Value>> = (0..9)
+            .map(|i| {
+                (0..40)
+                    .map(|j| match (i + j) % 5 {
+                        0 => Value::Null,
+                        n => Value::Integer(i64::from(n * j % 11)),
+                    })
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[Value]> = columns.iter().map(Vec::as_slice).collect();
+        let sequential: Vec<_> = refs.iter().map(|c| extract_memory_set(c)).collect();
+        for threads in [0usize, 1, 2, 4, 16] {
+            let parallel = extract_memory_sets_parallel(&refs, threads);
+            assert_eq!(parallel.len(), sequential.len(), "threads={threads}");
+            for (p, s) in parallel.iter().zip(&sequential) {
+                assert_eq!(p.as_slice(), s.as_slice(), "threads={threads}");
+            }
+        }
     }
 
     #[test]

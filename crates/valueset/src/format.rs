@@ -124,18 +124,24 @@ impl ValueFileReader {
         let file = std::fs::File::open(path)?;
         let mut input = BufReader::new(file);
         let mut magic = [0u8; 4];
-        input.read_exact(&mut magic).map_err(|e| corrupt(context(), format!("short header: {e}")))?;
+        input
+            .read_exact(&mut magic)
+            .map_err(|e| corrupt(context(), format!("short header: {e}")))?;
         if &magic != MAGIC {
             return Err(corrupt(context(), "bad magic".into()));
         }
         let mut v = [0u8; 4];
-        input.read_exact(&mut v).map_err(|e| corrupt(context(), format!("short header: {e}")))?;
+        input
+            .read_exact(&mut v)
+            .map_err(|e| corrupt(context(), format!("short header: {e}")))?;
         let version = u32::from_le_bytes(v);
         if version != VERSION {
             return Err(corrupt(context(), format!("unsupported version {version}")));
         }
         let mut c = [0u8; 8];
-        input.read_exact(&mut c).map_err(|e| corrupt(context(), format!("short header: {e}")))?;
+        input
+            .read_exact(&mut c)
+            .map_err(|e| corrupt(context(), format!("short header: {e}")))?;
         let total = u64::from_le_bytes(c);
         Ok(ValueFileReader {
             input,
@@ -253,8 +259,14 @@ mod tests {
         let dir = TempDir::new("vf-unsorted");
         let mut w = ValueFileWriter::create(&dir.join("u.indv")).unwrap();
         w.append(b"m").unwrap();
-        assert!(matches!(w.append(b"a"), Err(ValueSetError::Unsorted { .. })));
-        assert!(matches!(w.append(b"m"), Err(ValueSetError::Unsorted { .. })));
+        assert!(matches!(
+            w.append(b"a"),
+            Err(ValueSetError::Unsorted { .. })
+        ));
+        assert!(matches!(
+            w.append(b"m"),
+            Err(ValueSetError::Unsorted { .. })
+        ));
         w.append(b"z").unwrap();
     }
 
@@ -262,7 +274,11 @@ mod tests {
     fn bad_magic_detected() {
         let dir = TempDir::new("vf-magic");
         let path = dir.join("bad.indv");
-        std::fs::write(&path, b"NOPE\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00").unwrap();
+        std::fs::write(
+            &path,
+            b"NOPE\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00",
+        )
+        .unwrap();
         assert!(matches!(
             ValueFileReader::open(&path),
             Err(ValueSetError::Corrupt { .. })

@@ -17,12 +17,16 @@ mod extract;
 mod format;
 mod manager;
 mod memory;
+mod range;
 
 pub use budget::{FileBudget, OpenFileGuard};
 pub use cursor::{collect_cursor, ValueCursor, ValueSetProvider};
 pub use error::{Result, ValueSetError};
 pub use external_sort::{ExternalSorter, SortOptions, SortStats};
-pub use extract::{extract_memory_set, extract_sorted_distinct, extract_to_file};
+pub use extract::{
+    extract_memory_set, extract_memory_sets_parallel, extract_sorted_distinct, extract_to_file,
+};
 pub use format::{write_value_file, ValueFileReader, ValueFileWriter};
 pub use manager::{ExportOptions, ExportedAttribute, ExportedDatabase};
 pub use memory::{MemoryCursor, MemoryProvider, MemoryValueSet};
+pub use range::{RangeCursor, RangeProvider};

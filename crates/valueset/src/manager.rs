@@ -3,19 +3,42 @@
 //! generation and the pretests consume.
 
 use crate::budget::FileBudget;
-use crate::error::Result;
-use crate::extract::extract_to_file;
-use crate::external_sort::SortOptions;
-use crate::format::ValueFileReader;
 use crate::cursor::ValueSetProvider;
-use ind_storage::{Database, DataType, QualifiedName};
+use crate::error::Result;
+use crate::external_sort::SortOptions;
+use crate::extract::extract_to_file;
+use crate::format::ValueFileReader;
+use ind_storage::{DataType, Database, QualifiedName};
 use std::path::{Path, PathBuf};
 
 /// Options controlling a database export.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ExportOptions {
     /// Sorter tuning (memory budget before spilling).
     pub sort: SortOptions,
+    /// Worker threads for the per-attribute extract/sort/write pipeline
+    /// (attribute extractions are independent). `0` and `1` both mean
+    /// sequential.
+    pub threads: usize,
+}
+
+impl Default for ExportOptions {
+    fn default() -> Self {
+        ExportOptions {
+            sort: SortOptions::default(),
+            threads: 1,
+        }
+    }
+}
+
+impl ExportOptions {
+    /// Default options with `threads` extraction workers.
+    pub fn with_threads(threads: usize) -> Self {
+        ExportOptions {
+            threads,
+            ..Default::default()
+        }
+    }
 }
 
 /// Metadata for one exported attribute.
@@ -69,31 +92,87 @@ pub struct ExportedDatabase {
 impl ExportedDatabase {
     /// Exports every column of `db` into `dir` (created if missing).
     /// Attribute ids follow [`Database::attributes`] order, so they are
-    /// deterministic across runs.
+    /// deterministic across runs — including under
+    /// [`ExportOptions::threads`] parallelism, which only reorders the
+    /// *work*, not the ids or file names.
     pub fn export(db: &Database, dir: &Path, options: &ExportOptions) -> Result<Self> {
         std::fs::create_dir_all(dir)?;
         let spill_dir = dir.join("spill");
-        let mut attributes = Vec::with_capacity(db.attribute_count());
+
+        // Collect the per-attribute work list up front so workers can share
+        // it by index.
+        struct Job<'db> {
+            id: u32,
+            name: QualifiedName,
+            data_type: ind_storage::DataType,
+            rows: u64,
+            column: &'db [ind_storage::Value],
+            path: PathBuf,
+        }
+        let mut jobs: Vec<Job<'_>> = Vec::with_capacity(db.attribute_count());
         let mut id = 0u32;
         for table in db.tables() {
             for (_, col_schema, col_data) in table.iter_columns() {
-                let path = dir.join(format!("attr-{id:05}.indv"));
-                let stats = extract_to_file(col_data, &path, &spill_dir, options.sort.clone())?;
-                attributes.push(ExportedAttribute {
+                jobs.push(Job {
                     id,
                     name: QualifiedName::new(table.name(), col_schema.name.clone()),
                     data_type: col_schema.data_type,
                     rows: table.row_count() as u64,
-                    non_null: stats.pushed,
-                    distinct: stats.distinct,
-                    min: stats.min,
-                    max: stats.max,
-                    path,
+                    column: col_data,
+                    path: dir.join(format!("attr-{id:05}.indv")),
                 });
                 id += 1;
             }
         }
-        let _ = std::fs::remove_dir(&spill_dir); // empty after successful export
+
+        let run_job = |job: &Job<'_>, spill: &Path| -> Result<ExportedAttribute> {
+            let stats = extract_to_file(job.column, &job.path, spill, options.sort.clone())?;
+            Ok(ExportedAttribute {
+                id: job.id,
+                name: job.name.clone(),
+                data_type: job.data_type,
+                rows: job.rows,
+                non_null: stats.pushed,
+                distinct: stats.distinct,
+                min: stats.min,
+                max: stats.max,
+                path: job.path.clone(),
+            })
+        };
+
+        let threads = options.threads.max(1).min(jobs.len().max(1));
+        let mut attributes: Vec<ExportedAttribute> = Vec::with_capacity(jobs.len());
+        if threads <= 1 {
+            for job in &jobs {
+                attributes.push(run_job(job, &spill_dir)?);
+            }
+        } else {
+            // One spill subdirectory per worker: sorter spill runs are named
+            // by ordinal and would collide across concurrent extractions.
+            let chunk = jobs.len().div_ceil(threads);
+            let results: Vec<Result<Vec<ExportedAttribute>>> = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = jobs
+                    .chunks(chunk)
+                    .enumerate()
+                    .map(|(worker, shard)| {
+                        let spill = spill_dir.join(format!("worker-{worker:02}"));
+                        let run_job = &run_job;
+                        scope.spawn(move |_| shard.iter().map(|job| run_job(job, &spill)).collect())
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("export worker panicked"))
+                    .collect()
+            })
+            .expect("export scope panicked");
+            for r in results {
+                attributes.extend(r?);
+            }
+            attributes.sort_by_key(|a| a.id);
+        }
+
+        let _ = std::fs::remove_dir_all(&spill_dir); // empty after successful export
         Ok(ExportedDatabase {
             dir: dir.to_path_buf(),
             attributes,
@@ -157,7 +236,9 @@ mod tests {
             TableSchema::new(
                 "t",
                 vec![
-                    ColumnSchema::new("id", DataType::Integer).not_null().unique(),
+                    ColumnSchema::new("id", DataType::Integer)
+                        .not_null()
+                        .unique(),
                     ColumnSchema::new("label", DataType::Text),
                     ColumnSchema::new("blob", DataType::Lob),
                 ],
@@ -180,8 +261,8 @@ mod tests {
     #[test]
     fn export_produces_metadata_and_files() {
         let dir = TempDir::new("export-meta");
-        let exp = ExportedDatabase::export(&sample_db(), dir.path(), &ExportOptions::default())
-            .unwrap();
+        let exp =
+            ExportedDatabase::export(&sample_db(), dir.path(), &ExportOptions::default()).unwrap();
         assert_eq!(exp.attribute_count(), 4);
 
         let id_attr = &exp.attributes()[0];
@@ -206,6 +287,39 @@ mod tests {
     }
 
     #[test]
+    fn parallel_export_matches_sequential_byte_for_byte() {
+        let db = sample_db();
+        let seq_dir = TempDir::new("export-seq");
+        let seq = ExportedDatabase::export(&db, seq_dir.path(), &ExportOptions::default()).unwrap();
+        for threads in [2usize, 3, 8] {
+            let par_dir = TempDir::new("export-par");
+            let par = ExportedDatabase::export(
+                &db,
+                par_dir.path(),
+                &ExportOptions::with_threads(threads),
+            )
+            .unwrap();
+            assert_eq!(par.attribute_count(), seq.attribute_count());
+            for (a, b) in par.attributes().iter().zip(seq.attributes()) {
+                assert_eq!(a.id, b.id, "threads={threads}");
+                assert_eq!(a.name, b.name);
+                assert_eq!((a.non_null, a.distinct), (b.non_null, b.distinct));
+                assert_eq!((&a.min, &a.max), (&b.min, &b.max));
+                assert_eq!(
+                    collect_cursor(par.open(a.id).unwrap()).unwrap(),
+                    collect_cursor(seq.open(b.id).unwrap()).unwrap(),
+                    "threads={threads}, attribute {}",
+                    a.name
+                );
+            }
+            assert!(
+                !par_dir.join("spill").exists(),
+                "worker spill dirs must be cleaned up"
+            );
+        }
+    }
+
+    #[test]
     fn budget_limits_open_cursors() {
         let dir = TempDir::new("export-budget");
         let mut exp =
@@ -221,8 +335,8 @@ mod tests {
     #[test]
     fn unknown_attribute_is_an_error() {
         let dir = TempDir::new("export-unknown");
-        let exp = ExportedDatabase::export(&sample_db(), dir.path(), &ExportOptions::default())
-            .unwrap();
+        let exp =
+            ExportedDatabase::export(&sample_db(), dir.path(), &ExportOptions::default()).unwrap();
         assert!(exp.open(99).is_err());
         assert!(exp.attribute(99).is_none());
     }
@@ -230,8 +344,8 @@ mod tests {
     #[test]
     fn cursors_are_independent() {
         let dir = TempDir::new("export-indep");
-        let exp = ExportedDatabase::export(&sample_db(), dir.path(), &ExportOptions::default())
-            .unwrap();
+        let exp =
+            ExportedDatabase::export(&sample_db(), dir.path(), &ExportOptions::default()).unwrap();
         let mut a = exp.open(0).unwrap();
         let mut b = exp.open(0).unwrap();
         a.advance().unwrap();

@@ -81,6 +81,18 @@ impl ValueCursor for MemoryCursor {
         Ok(true)
     }
 
+    fn seek(&mut self, lower: &[u8]) -> Result<bool> {
+        // Binary search instead of the trait's linear scan; `partition_point`
+        // over the not-yet-produced suffix keeps seek forward-only.
+        let idx = self.pos + self.values[self.pos..].partition_point(|v| v.as_slice() < lower);
+        if idx >= self.values.len() {
+            self.pos = self.values.len();
+            return Ok(false);
+        }
+        self.pos = idx + 1;
+        Ok(true)
+    }
+
     fn current(&self) -> &[u8] {
         debug_assert!(self.pos > 0, "current() before first advance()");
         &self.values[self.pos - 1]
@@ -135,7 +147,8 @@ mod tests {
 
     #[test]
     fn from_unsorted_sorts_and_dedups() {
-        let s = MemoryValueSet::from_unsorted(["b", "a", "b", "c", "a"].map(|x| x.as_bytes().to_vec()));
+        let s =
+            MemoryValueSet::from_unsorted(["b", "a", "b", "c", "a"].map(|x| x.as_bytes().to_vec()));
         assert_eq!(s.len(), 3);
         assert_eq!(
             collect_cursor(s.cursor()).unwrap(),

@@ -1,0 +1,236 @@
+//! Range-bounded cursors: the substrate of value-domain-partitioned
+//! discovery (`ind-core`'s parallel SPIDER).
+//!
+//! A [`RangeCursor`] restricts an inner [`ValueCursor`] to the half-open
+//! byte-string interval `[lower, upper)`. The lower bound is applied with
+//! [`ValueCursor::seek`] on the first advance (binary search for in-memory
+//! sets, forward scan for value files); the upper bound clamps the stream:
+//! the first value `>= upper` ends it. `None` on either side leaves that
+//! side unbounded, so `RangeCursor::new(inner, None, None)` behaves exactly
+//! like the inner cursor.
+//!
+//! Because the inner sets are sorted and duplicate-free, the streams of the
+//! cursors for one attribute over the members of a partition of the value
+//! domain concatenate back to exactly the attribute's full stream — the
+//! property that makes per-partition discovery results intersectable.
+
+use crate::cursor::ValueCursor;
+use crate::error::Result;
+
+/// A [`ValueCursor`] clamped to the half-open interval `[lower, upper)`.
+#[derive(Debug, Clone)]
+pub struct RangeCursor<C> {
+    inner: C,
+    lower: Option<Vec<u8>>,
+    upper: Option<Vec<u8>>,
+    started: bool,
+    done: bool,
+}
+
+impl<C: ValueCursor> RangeCursor<C> {
+    /// Clamps `inner` to `[lower, upper)`; `None` means unbounded on that
+    /// side. The inner cursor must not have produced any value yet.
+    pub fn new(inner: C, lower: Option<&[u8]>, upper: Option<&[u8]>) -> Self {
+        RangeCursor {
+            inner,
+            lower: lower.map(<[u8]>::to_vec),
+            upper: upper.map(<[u8]>::to_vec),
+            started: false,
+            done: false,
+        }
+    }
+
+    /// The wrapped cursor.
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+}
+
+impl<C: ValueCursor> ValueCursor for RangeCursor<C> {
+    fn advance(&mut self) -> Result<bool> {
+        if self.done {
+            return Ok(false);
+        }
+        let produced = if self.started {
+            self.inner.advance()?
+        } else {
+            self.started = true;
+            match &self.lower {
+                Some(lower) => self.inner.seek(lower)?,
+                None => self.inner.advance()?,
+            }
+        };
+        if !produced {
+            self.done = true;
+            return Ok(false);
+        }
+        if let Some(upper) = &self.upper {
+            if self.inner.current() >= upper.as_slice() {
+                self.done = true;
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    fn current(&self) -> &[u8] {
+        self.inner.current()
+    }
+
+    /// Upper bound only: values at or beyond `upper` cannot be subtracted
+    /// without lookahead. `0` is still exact once the clamp has fired.
+    fn remaining(&self) -> u64 {
+        if self.done {
+            0
+        } else {
+            self.inner.remaining()
+        }
+    }
+
+    /// Length of the *inner* set (the clamped count is unknowable without a
+    /// scan).
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+}
+
+/// A range-restricted view of a [`ValueSetProvider`]: every cursor it opens
+/// is clamped to `[lower, upper)`. Lets any discovery algorithm run over
+/// one slice of the value domain unchanged.
+#[derive(Debug, Clone)]
+pub struct RangeProvider<'p, P> {
+    inner: &'p P,
+    lower: Option<Vec<u8>>,
+    upper: Option<Vec<u8>>,
+}
+
+impl<'p, P: crate::cursor::ValueSetProvider> RangeProvider<'p, P> {
+    /// Restricts `inner` to `[lower, upper)`; `None` means unbounded.
+    pub fn new(inner: &'p P, lower: Option<&[u8]>, upper: Option<&[u8]>) -> Self {
+        RangeProvider {
+            inner,
+            lower: lower.map(<[u8]>::to_vec),
+            upper: upper.map(<[u8]>::to_vec),
+        }
+    }
+}
+
+impl<P: crate::cursor::ValueSetProvider> crate::cursor::ValueSetProvider for RangeProvider<'_, P> {
+    type Cursor = RangeCursor<P::Cursor>;
+
+    fn open(&self, id: u32) -> Result<Self::Cursor> {
+        Ok(RangeCursor::new(
+            self.inner.open(id)?,
+            self.lower.as_deref(),
+            self.upper.as_deref(),
+        ))
+    }
+
+    fn attribute_count(&self) -> usize {
+        self.inner.attribute_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cursor::collect_cursor;
+    use crate::memory::MemoryValueSet;
+
+    fn set(values: &[&str]) -> MemoryValueSet {
+        MemoryValueSet::from_unsorted(values.iter().map(|s| s.as_bytes().to_vec()))
+    }
+
+    fn collected(values: &[&str], lower: Option<&str>, upper: Option<&str>) -> Vec<Vec<u8>> {
+        let cursor = RangeCursor::new(
+            set(values).cursor(),
+            lower.map(str::as_bytes),
+            upper.map(str::as_bytes),
+        );
+        collect_cursor(cursor).unwrap()
+    }
+
+    fn bytes(values: &[&str]) -> Vec<Vec<u8>> {
+        values.iter().map(|s| s.as_bytes().to_vec()).collect()
+    }
+
+    #[test]
+    fn unbounded_matches_inner() {
+        let values = ["a", "c", "e", "g"];
+        assert_eq!(collected(&values, None, None), bytes(&values));
+    }
+
+    #[test]
+    fn lower_bound_is_inclusive_and_seeks() {
+        let values = ["a", "c", "e", "g"];
+        assert_eq!(collected(&values, Some("c"), None), bytes(&["c", "e", "g"]));
+        assert_eq!(collected(&values, Some("d"), None), bytes(&["e", "g"]));
+        assert_eq!(collected(&values, Some("z"), None), bytes(&[]));
+    }
+
+    #[test]
+    fn upper_bound_is_exclusive() {
+        let values = ["a", "c", "e", "g"];
+        assert_eq!(collected(&values, None, Some("e")), bytes(&["a", "c"]));
+        assert_eq!(collected(&values, None, Some("f")), bytes(&["a", "c", "e"]));
+        assert_eq!(collected(&values, None, Some("a")), bytes(&[]));
+    }
+
+    #[test]
+    fn partition_streams_concatenate_to_the_full_stream() {
+        let values = ["apple", "banana", "cherry", "date", "elder", "fig"];
+        let cuts: [Option<&str>; 4] = [None, Some("banana"), Some("dachs"), None];
+        let mut rebuilt = Vec::new();
+        for window in cuts.windows(2) {
+            rebuilt.extend(collected(&values, window[0], window[1]));
+        }
+        assert_eq!(rebuilt, bytes(&values));
+    }
+
+    #[test]
+    fn advance_after_exhaustion_stays_false() {
+        let mut cursor = RangeCursor::new(set(&["a", "b"]).cursor(), None, Some(b"b"));
+        assert!(cursor.advance().unwrap());
+        assert!(!cursor.advance().unwrap());
+        assert!(!cursor.advance().unwrap(), "done flag must latch");
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    fn range_provider_clamps_every_cursor() {
+        use crate::cursor::ValueSetProvider;
+        use crate::memory::MemoryProvider;
+        let inner = MemoryProvider::new(vec![set(&["a", "c", "e"]), set(&["b", "d", "f"])]);
+        let view = RangeProvider::new(&inner, Some(b"b"), Some(b"e"));
+        assert_eq!(view.attribute_count(), 2);
+        assert_eq!(
+            collect_cursor(view.open(0).unwrap()).unwrap(),
+            bytes(&["c"])
+        );
+        assert_eq!(
+            collect_cursor(view.open(1).unwrap()).unwrap(),
+            bytes(&["b", "d"])
+        );
+    }
+
+    #[test]
+    fn value_file_cursors_clamp_identically() {
+        use crate::format::{write_value_file, ValueFileReader};
+        use ind_testkit::TempDir;
+        let dir = TempDir::new("range-file");
+        let path = dir.join("v.indv");
+        let values = bytes(&["alpha", "beta", "gamma", "delta", "omega"]);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        write_value_file(&path, &sorted).unwrap();
+        let clamped = RangeCursor::new(
+            ValueFileReader::open(&path).unwrap(),
+            Some(b"beta"),
+            Some(b"omega"),
+        );
+        assert_eq!(
+            collect_cursor(clamped).unwrap(),
+            bytes(&["beta", "delta", "gamma"])
+        );
+    }
+}

@@ -7,7 +7,9 @@
 //! cargo run --release --example aladin_pipeline
 //! ```
 
-use spider_ind::datagen::{generate_universe, BiosqlConfig, OpenMmsConfig, ScopConfig, UniverseConfig};
+use spider_ind::datagen::{
+    generate_universe, BiosqlConfig, OpenMmsConfig, ScopConfig, UniverseConfig,
+};
 use spider_ind::discovery::{run_aladin, AladinConfig};
 
 fn main() {

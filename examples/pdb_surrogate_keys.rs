@@ -83,7 +83,9 @@ fn main() {
     let found = run_blockwise(
         &export,
         &candidates,
-        &BlockwiseConfig { max_open_files: 128 },
+        &BlockwiseConfig {
+            max_open_files: 128,
+        },
         &mut m,
     )
     .expect("blockwise");

@@ -16,7 +16,9 @@ fn main() {
         TableSchema::new(
             "customers",
             vec![
-                ColumnSchema::new("id", DataType::Integer).not_null().unique(),
+                ColumnSchema::new("id", DataType::Integer)
+                    .not_null()
+                    .unique(),
                 ColumnSchema::new("email", DataType::Text).unique(),
             ],
         )
@@ -36,7 +38,9 @@ fn main() {
         TableSchema::new(
             "orders",
             vec![
-                ColumnSchema::new("id", DataType::Integer).not_null().unique(),
+                ColumnSchema::new("id", DataType::Integer)
+                    .not_null()
+                    .unique(),
                 ColumnSchema::new("customer_id", DataType::Integer),
                 ColumnSchema::new("total", DataType::Float),
                 ColumnSchema::new("note", DataType::Text),

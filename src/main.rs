@@ -3,8 +3,8 @@
 //! ```text
 //! spider-ind generate <uniprot|scop|pdb> <dir> [--scale N] [--seed N]
 //! spider-ind profile  <dir>
-//! spider-ind discover <dir> [--algorithm bf|bfpar|sp|spider|blockwise]
-//!                           [--max-files N] [--max-pretest] [--names]
+//! spider-ind discover <dir> [--algorithm bf|bfpar|sp|spider|spiderpar|blockwise]
+//!                           [--threads N] [--max-files N] [--max-pretest] [--names]
 //! spider-ind fks      <dir>
 //! ```
 //!
@@ -27,7 +27,6 @@ fn emit(text: &str) {
     use std::io::Write;
     let _ = std::io::stdout().lock().write_all(text.as_bytes());
 }
-
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -59,9 +58,10 @@ fn print_usage() {
          \x20     Generate a synthetic database and save it as TSV.\n\
          \x20 spider-ind profile <dir>\n\
          \x20     Per-attribute statistics (rows, distinct, nulls, uniqueness).\n\
-         \x20 spider-ind discover <dir> [--algorithm bf|bfpar|sp|spider|blockwise]\n\
-         \x20                     [--max-files N] [--max-pretest] [--names]\n\
-         \x20     Discover all satisfied INDs.\n\
+         \x20 spider-ind discover <dir> [--algorithm bf|bfpar|sp|spider|spiderpar|blockwise]\n\
+         \x20                     [--threads N] [--max-files N] [--max-pretest] [--names]\n\
+         \x20     Discover all satisfied INDs. `--threads` sets the worker\n\
+         \x20     count of the parallel algorithms (bfpar, spiderpar).\n\
          \x20 spider-ind fks <dir>\n\
          \x20     Foreign-key guesses, accession candidates, primary relation."
     );
@@ -160,11 +160,13 @@ fn parse_algorithm(args: &[String]) -> Result<Algorithm, String> {
         .and_then(|i| args.get(i + 1))
         .map_or("spider", String::as_str);
     let max_files = flag_value(args, "--max-files")?.unwrap_or(512) as usize;
+    let threads = flag_value(args, "--threads")?.unwrap_or(4).max(1) as usize;
     match name {
         "bf" => Ok(Algorithm::BruteForce),
-        "bfpar" => Ok(Algorithm::BruteForceParallel { threads: 4 }),
+        "bfpar" => Ok(Algorithm::BruteForceParallel { threads }),
         "sp" => Ok(Algorithm::SinglePass),
         "spider" => Ok(Algorithm::Spider),
+        "spiderpar" => Ok(Algorithm::SpiderParallel { threads }),
         "blockwise" => Ok(Algorithm::Blockwise {
             max_open_files: max_files,
         }),
@@ -243,7 +245,11 @@ fn cmd_fks(args: &[String]) -> Result<(), String> {
         let _ = writeln!(out, "  {a}");
     }
     let primary = identify_primary_relation(&db, &discovery, &rules);
-    let _ = writeln!(out, "\nprimary relation candidates: {:?}", primary.primary_candidates);
+    let _ = writeln!(
+        out,
+        "\nprimary relation candidates: {:?}",
+        primary.primary_candidates
+    );
     emit(&out);
     Ok(())
 }

@@ -32,8 +32,8 @@ fn universe() -> spider_ind::datagen::Universe {
 #[test]
 fn pipeline_identifies_each_sources_primary_relation() {
     let u = universe();
-    let report = run_aladin(&[&u.uniprot, &u.scop, &u.pdb], &AladinConfig::default())
-        .expect("pipeline");
+    let report =
+        run_aladin(&[&u.uniprot, &u.scop, &u.pdb], &AladinConfig::default()).expect("pipeline");
     let primary = |name: &str| -> Vec<String> {
         report
             .sources
@@ -56,8 +56,8 @@ fn pipeline_identifies_each_sources_primary_relation() {
 #[test]
 fn pipeline_finds_the_exact_scop_to_pdb_link() {
     let u = universe();
-    let report = run_aladin(&[&u.uniprot, &u.scop, &u.pdb], &AladinConfig::default())
-        .expect("pipeline");
+    let report =
+        run_aladin(&[&u.uniprot, &u.scop, &u.pdb], &AladinConfig::default()).expect("pipeline");
     let link = report
         .links
         .iter()
@@ -74,14 +74,12 @@ fn pipeline_finds_the_exact_scop_to_pdb_link() {
 #[test]
 fn pipeline_finds_the_partial_uniprot_to_pdb_link() {
     let u = universe();
-    let report = run_aladin(&[&u.uniprot, &u.scop, &u.pdb], &AladinConfig::default())
-        .expect("pipeline");
+    let report =
+        run_aladin(&[&u.uniprot, &u.scop, &u.pdb], &AladinConfig::default()).expect("pipeline");
     let link = report
         .links
         .iter()
-        .find(|l| {
-            l.source_db == "uniprot" && l.source_attr.to_string() == "sg_dbxref.accession"
-        })
+        .find(|l| l.source_db == "uniprot" && l.source_attr.to_string() == "sg_dbxref.accession")
         .expect("uniprot→pdb partial link must exist");
     assert!(!link.exact, "only the dbname='PDB' rows are codes");
     assert!(
@@ -94,8 +92,8 @@ fn pipeline_finds_the_partial_uniprot_to_pdb_link() {
 #[test]
 fn no_links_invent_themselves_between_unrelated_attributes() {
     let u = universe();
-    let report = run_aladin(&[&u.uniprot, &u.scop, &u.pdb], &AladinConfig::default())
-        .expect("pipeline");
+    let report =
+        run_aladin(&[&u.uniprot, &u.scop, &u.pdb], &AladinConfig::default()).expect("pipeline");
     for link in &report.links {
         assert!(
             link.source_attr.column.contains("accession")
@@ -112,8 +110,8 @@ fn no_links_invent_themselves_between_unrelated_attributes() {
 #[test]
 fn key_candidates_cover_every_declared_unique_column_with_data() {
     let u = universe();
-    let report = run_aladin(&[&u.uniprot, &u.scop, &u.pdb], &AladinConfig::default())
-        .expect("pipeline");
+    let report =
+        run_aladin(&[&u.uniprot, &u.scop, &u.pdb], &AladinConfig::default()).expect("pipeline");
     let uniprot = report.sources.iter().find(|s| s.name == "uniprot").unwrap();
     let key_names: Vec<String> = uniprot
         .key_candidates

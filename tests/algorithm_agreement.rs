@@ -14,9 +14,24 @@ use spider_ind::storage::Database;
 fn external_algorithms() -> Vec<(&'static str, Algorithm)> {
     vec![
         ("brute-force", Algorithm::BruteForce),
-        ("brute-force-parallel", Algorithm::BruteForceParallel { threads: 4 }),
+        (
+            "brute-force-parallel",
+            Algorithm::BruteForceParallel { threads: 4 },
+        ),
         ("single-pass", Algorithm::SinglePass),
         ("spider", Algorithm::Spider),
+        (
+            "spider-parallel-1",
+            Algorithm::SpiderParallel { threads: 1 },
+        ),
+        (
+            "spider-parallel-2",
+            Algorithm::SpiderParallel { threads: 2 },
+        ),
+        (
+            "spider-parallel-8",
+            Algorithm::SpiderParallel { threads: 8 },
+        ),
         ("blockwise-3", Algorithm::Blockwise { max_open_files: 3 }),
         ("blockwise-17", Algorithm::Blockwise { max_open_files: 17 }),
     ]
@@ -73,9 +88,116 @@ fn all_algorithms_agree_on_pdb() {
 }
 
 #[test]
+fn spider_parallel_agrees_with_every_sequential_algorithm_per_dataset() {
+    // The partitioned runner must be byte-identical to brute force,
+    // single-pass, and sequential SPIDER on all three generated databases,
+    // at one, a few, and many partitions.
+    for db in [
+        generate_uniprot(&BiosqlConfig::tiny()),
+        generate_scop(&ScopConfig::tiny()),
+        generate_pdb(&OpenMmsConfig::tiny()),
+    ] {
+        let references = [
+            ("brute-force", Algorithm::BruteForce),
+            ("single-pass", Algorithm::SinglePass),
+            ("spider", Algorithm::Spider),
+        ];
+        for threads in [1usize, 2, 8] {
+            let par = IndFinder::with_algorithm(Algorithm::SpiderParallel { threads })
+                .discover_in_memory(&db)
+                .expect("spider-parallel discovery");
+            for (name, algorithm) in references.clone() {
+                let seq = IndFinder::with_algorithm(algorithm)
+                    .discover_in_memory(&db)
+                    .expect("sequential discovery");
+                assert_eq!(
+                    par.satisfied,
+                    seq.satisfied,
+                    "spider-parallel({threads}) vs {name} on {}",
+                    db.name()
+                );
+            }
+            assert_eq!(
+                par.metrics.satisfied as usize,
+                par.ind_count(),
+                "{}: satisfied counter must match the result",
+                db.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn spider_parallel_handles_empty_attributes_and_single_partition() {
+    use spider_ind::storage::{ColumnSchema, DataType, Database, Table, TableSchema, Value};
+
+    // One table with an all-NULL column (empty value set), a constant
+    // column (degenerate min == max stats force a single partition among
+    // themselves), and a normal key column.
+    let mut db = Database::new("edges");
+    let mut parent = Table::new(
+        TableSchema::new(
+            "parent",
+            vec![
+                ColumnSchema::new("id", DataType::Integer)
+                    .not_null()
+                    .unique(),
+                ColumnSchema::new("hollow", DataType::Integer),
+                ColumnSchema::new("constant", DataType::Text),
+            ],
+        )
+        .expect("schema"),
+    );
+    for i in 0..30i64 {
+        parent
+            .insert(vec![i.into(), Value::Null, "fixed".into()])
+            .expect("row");
+    }
+    let mut child = Table::new(
+        TableSchema::new(
+            "child",
+            vec![ColumnSchema::new("parent_id", DataType::Integer)],
+        )
+        .expect("schema"),
+    );
+    for i in 0..60i64 {
+        child.insert(vec![(i % 30).into()]).expect("row");
+    }
+    db.add_table(parent).expect("parent");
+    db.add_table(child).expect("child");
+
+    let baseline = IndFinder::with_algorithm(Algorithm::BruteForce)
+        .discover_in_memory(&db)
+        .expect("baseline");
+    for threads in [1usize, 2, 8] {
+        let par = IndFinder::with_algorithm(Algorithm::SpiderParallel { threads })
+            .discover_in_memory(&db)
+            .expect("spider-parallel");
+        assert_eq!(par.satisfied, baseline.satisfied, "threads={threads}");
+    }
+
+    // All-empty database: no candidates at all, still no panic.
+    let mut empty_db = Database::new("all-empty");
+    let mut t = Table::new(
+        TableSchema::new("t", vec![ColumnSchema::new("a", DataType::Integer)]).expect("schema"),
+    );
+    t.insert(vec![Value::Null]).expect("row");
+    empty_db.add_table(t).expect("table");
+    let d = IndFinder::with_algorithm(Algorithm::SpiderParallel { threads: 4 })
+        .discover_in_memory(&empty_db)
+        .expect("empty discovery");
+    assert_eq!(d.ind_count(), 0);
+}
+
+#[test]
 fn on_disk_discovery_matches_in_memory() {
     let db = generate_uniprot(&BiosqlConfig::tiny());
-    for algorithm in [Algorithm::BruteForce, Algorithm::SinglePass, Algorithm::Spider] {
+    for algorithm in [
+        Algorithm::BruteForce,
+        Algorithm::SinglePass,
+        Algorithm::Spider,
+        Algorithm::SpiderParallel { threads: 4 },
+    ] {
         let finder = IndFinder::with_algorithm(algorithm.clone());
         let mem = finder.discover_in_memory(&db).expect("memory");
         let dir = TempDir::new("agreement-disk");

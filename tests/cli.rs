@@ -39,7 +39,11 @@ fn generate_profile_discover_fks_round_trip() {
     let db_path = db_dir.to_str().expect("utf8 path");
 
     let out = spider_ind(&["generate", "scop", db_path, "--scale", "10"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(stdout(&out).contains("4 tables"));
 
     let out = spider_ind(&["profile", db_path]);
@@ -75,8 +79,12 @@ fn discover_algorithms_agree_via_cli() {
         .success());
 
     let mut outputs = Vec::new();
-    for algo in ["bf", "sp", "spider", "blockwise"] {
-        let out = spider_ind(&["discover", db_path, "--algorithm", algo]);
+    for algo in ["bf", "sp", "spider", "spiderpar", "blockwise"] {
+        let mut args = vec!["discover", db_path, "--algorithm", algo];
+        if algo == "spiderpar" {
+            args.extend(["--threads", "3"]);
+        }
+        let out = spider_ind(&args);
         assert!(out.status.success(), "{algo}");
         // Compare only the IND lines (the header contains timings).
         let inds: Vec<String> = stdout(&out)

@@ -178,7 +178,9 @@ fn max_value_pretest_prunes_without_changing_results() {
             pretests: PretestConfig::with_max_value(),
             ..Default::default()
         };
-        let pruned = IndFinder::new(config).discover_in_memory(&db).expect("pruned");
+        let pruned = IndFinder::new(config)
+            .discover_in_memory(&db)
+            .expect("pruned");
         assert_eq!(base.satisfied, pruned.satisfied, "{}", db.name());
         assert!(
             pruned.metrics.pruned_max_value > 0 || db.name() == "scop",

@@ -9,9 +9,7 @@ use spider_ind::core::{
 };
 use spider_ind::datagen::{generate_scop, generate_uniprot, BiosqlConfig, ScopConfig};
 use spider_ind::storage::tsv::{load_database, save_database};
-use spider_ind::valueset::{
-    ExportOptions, ExportedDatabase, FileBudget, ValueSetError,
-};
+use spider_ind::valueset::{ExportOptions, ExportedDatabase, FileBudget, ValueSetError};
 
 #[test]
 fn generated_databases_survive_tsv_round_trips() {
@@ -90,7 +88,10 @@ fn file_budget_failure_and_blockwise_recovery() {
 
     let mut m = RunMetrics::new();
     let err = run_single_pass(&export, &candidates, &mut m).expect_err("budget too small");
-    assert!(matches!(err, ValueSetError::FileBudgetExceeded { budget: 4 }));
+    assert!(matches!(
+        err,
+        ValueSetError::FileBudgetExceeded { budget: 4 }
+    ));
 
     let mut m = RunMetrics::new();
     let mut bf = run_brute_force(&export, &candidates, &mut m).expect("brute force fits");

@@ -48,7 +48,11 @@ fn arb_database() -> impl Strategy<Value = Database> {
                     .map(|(ci, (is_text, _))| {
                         ColumnSchema::new(
                             format!("c{ci}"),
-                            if *is_text { DataType::Text } else { DataType::Integer },
+                            if *is_text {
+                                DataType::Text
+                            } else {
+                                DataType::Integer
+                            },
                         )
                     })
                     .collect(),
@@ -120,6 +124,8 @@ proptest! {
             Algorithm::BruteForce,
             Algorithm::SinglePass,
             Algorithm::Spider,
+            Algorithm::SpiderParallel { threads: 1 },
+            Algorithm::SpiderParallel { threads: 3 },
             Algorithm::Blockwise { max_open_files: 2 },
         ] {
             let d = IndFinder::with_algorithm(algorithm.clone())

@@ -134,11 +134,11 @@ fn single_value_sets_and_immediate_resolutions() {
 #[test]
 fn staircase_of_nested_sets() {
     // s_k = first k letters; full chain of inclusions in one pass.
-    let letters: Vec<String> = (0..12u8).map(|i| ((b'a' + i) as char).to_string()).collect();
+    let letters: Vec<String> = (0..12u8)
+        .map(|i| ((b'a' + i) as char).to_string())
+        .collect();
     let sets: Vec<MemoryValueSet> = (1..=12)
-        .map(|k| {
-            MemoryValueSet::from_unsorted(letters[..k].iter().map(|s| s.clone().into_bytes()))
-        })
+        .map(|k| MemoryValueSet::from_unsorted(letters[..k].iter().map(|s| s.clone().into_bytes())))
         .collect();
     let provider = MemoryProvider::new(sets);
     let candidates = pairs(12);

@@ -1,0 +1,109 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only [`thread::scope`] is provided — the single crossbeam feature this
+//! workspace uses. It is a thin adapter over `std::thread::scope` (stable
+//! since Rust 1.63) that reproduces crossbeam's calling convention:
+//!
+//! * the scope closure and every spawned closure receive a `&Scope`
+//!   argument (std passes the scope only to the outer closure);
+//! * `scope` returns `thread::Result<R>` instead of unwinding when an
+//!   unjoined child panicked.
+
+#![warn(missing_docs)]
+
+pub mod thread {
+    //! Scoped threads with crossbeam's API shape.
+
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Panic payload carried out of a thread, as in `std::thread::Result`.
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// A scope handle: spawn threads that may borrow from the enclosing
+    /// stack frame; all of them are joined before [`scope`] returns.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a thread spawned inside a [`Scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result (`Err` holds the
+        /// panic payload if it panicked).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives the scope
+        /// itself (crossbeam convention), so workers can spawn more workers.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a fresh scope; every thread spawned within is joined
+    /// before this returns. Returns `Err` with the panic payload if the
+    /// scope closure (or an unjoined child) panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn workers_run_and_join() {
+        let data = [1u64, 2, 3, 4, 5, 6];
+        let total: u64 = thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 21);
+    }
+
+    #[test]
+    fn worker_panic_is_reported_via_join() {
+        let outcome = thread::scope(|s| {
+            let h = s.spawn(|_| -> u32 { panic!("boom") });
+            h.join()
+        })
+        .unwrap();
+        assert!(outcome.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let v = thread::scope(|s| {
+            let h = s.spawn(|inner| {
+                let nested = inner.spawn(|_| 40);
+                nested.join().unwrap() + 2
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(v, 42);
+    }
+}

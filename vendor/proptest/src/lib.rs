@@ -1,0 +1,602 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the subset of proptest the workspace's property tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map` / `prop_flat_map`;
+//! * integer-range, tuple, [`collection::vec`], [`option::of`], and
+//!   [`string::string_regex`] strategies, plus [`any`] for primitives;
+//! * the [`proptest!`], [`prop_assert!`], and [`prop_assert_eq!`] macros;
+//! * [`test_runner::ProptestConfig`] (`cases` only).
+//!
+//! Differences from the real crate: generation is seeded deterministically
+//! from the test name (every run explores the same cases), and there is no
+//! shrinking — a failing case reports its index and message immediately.
+//! For a reproduction codebase that needs *regressions caught*, not minimal
+//! counterexamples, this trade keeps the dependency surface at zero.
+
+#![warn(missing_docs)]
+
+pub mod test_runner {
+    //! Configuration and the per-test value source.
+
+    /// Subset of proptest's config: only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic value source handed to strategies (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRunner {
+        state: u64,
+    }
+
+    impl TestRunner {
+        /// Runner seeded from a test name, so every `cargo test` run
+        /// explores the same inputs.
+        pub fn from_name(name: &str) -> Self {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+            for b in name.bytes() {
+                seed ^= u64::from(b);
+                seed = seed.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRunner { state: seed }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `lo..hi` (panics when empty).
+        pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+            assert!(lo < hi, "empty range");
+            lo + (self.next_u64() as usize) % (hi - lo)
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and generic combinators.
+
+    use crate::test_runner::TestRunner;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Produces one value from `runner`'s random stream.
+        fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f` derives
+        /// from it (dependent generation).
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+            (**self).new_value(runner)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn new_value(&self, runner: &mut TestRunner) -> O {
+            (self.f)(self.inner.new_value(runner))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, T> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        T: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T::Value;
+        fn new_value(&self, runner: &mut TestRunner) -> T::Value {
+            (self.f)(self.inner.new_value(runner)).new_value(runner)
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, runner: &mut TestRunner) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let offset = u128::from(runner.next_u64()) % span;
+                    (self.start as i128 + offset as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, runner: &mut TestRunner) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let offset = u128::from(runner.next_u64()) % span;
+                    (lo as i128 + offset as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(runner),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+
+    /// Strategy for a primitive via its bit pattern; see [`crate::any`].
+    #[derive(Debug)]
+    pub struct Any<T> {
+        pub(crate) _marker: PhantomData<T>,
+    }
+
+    impl<T: crate::arbitrary::Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, runner: &mut TestRunner) -> T {
+            T::arbitrary(runner)
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! Types with a canonical "any value" strategy.
+
+    use crate::test_runner::TestRunner;
+
+    /// Types generatable from raw random bits.
+    pub trait Arbitrary {
+        /// Draws one arbitrary value.
+        fn arbitrary(runner: &mut TestRunner) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(runner: &mut TestRunner) -> bool {
+            runner.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(runner: &mut TestRunner) -> $t {
+                    runner.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+/// The canonical strategy for `T` ("any value of this type").
+pub fn any<T: arbitrary::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element-count specification for [`vec`]: an exact size or a range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` values; see [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vectors of values from `element`, with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let len = runner.usize_in(self.size.lo, self.size.hi_exclusive);
+            (0..len).map(|_| self.element.new_value(runner)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+
+    /// Strategy producing `Option`s; see [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Some` of the inner strategy about three times in four, else `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn new_value(&self, runner: &mut TestRunner) -> Option<S::Value> {
+            if runner.next_u64().is_multiple_of(4) {
+                None
+            } else {
+                Some(self.inner.new_value(runner))
+            }
+        }
+    }
+}
+
+pub mod string {
+    //! String strategies from (a small subset of) regex syntax.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+
+    /// Error parsing an unsupported or malformed pattern.
+    #[derive(Debug, Clone)]
+    pub struct Error(pub String);
+
+    /// Strategy produced by [`string_regex`].
+    #[derive(Debug, Clone)]
+    pub struct RegexStringStrategy {
+        alphabet: Vec<char>,
+        min_len: usize,
+        max_len: usize,
+    }
+
+    impl Strategy for RegexStringStrategy {
+        type Value = String;
+        fn new_value(&self, runner: &mut TestRunner) -> String {
+            let len = runner.usize_in(self.min_len, self.max_len + 1);
+            (0..len)
+                .map(|_| self.alphabet[(runner.next_u64() as usize) % self.alphabet.len()])
+                .collect()
+        }
+    }
+
+    /// Strategy for strings matching `pattern`.
+    ///
+    /// Supported subset: a single character class with an optional counted
+    /// repetition — `[<items>]{lo,hi}` — where items are literal characters,
+    /// ranges `a-b`, and the escapes `\t` `\n` `\r` `\\` `\-` `\]`. This is
+    /// exactly the shape the workspace's property tests use.
+    pub fn string_regex(pattern: &str) -> Result<RegexStringStrategy, Error> {
+        let err = |detail: &str| Error(format!("unsupported pattern {pattern:?}: {detail}"));
+        let mut chars = pattern.chars().peekable();
+        if chars.next() != Some('[') {
+            return Err(err("expected leading ["));
+        }
+        let mut alphabet: Vec<char> = Vec::new();
+        let mut pending: Option<char> = None;
+        loop {
+            let c = chars.next().ok_or_else(|| err("unterminated class"))?;
+            match c {
+                ']' => break,
+                '\\' => {
+                    let e = chars.next().ok_or_else(|| err("dangling escape"))?;
+                    let lit = match e {
+                        't' => '\t',
+                        'n' => '\n',
+                        'r' => '\r',
+                        other => other,
+                    };
+                    if let Some(p) = pending.take() {
+                        alphabet.push(p);
+                    }
+                    pending = Some(lit);
+                }
+                '-' => {
+                    let lo = pending.take().ok_or_else(|| err("range without start"))?;
+                    let hi = match chars.next().ok_or_else(|| err("range without end"))? {
+                        '\\' => chars.next().ok_or_else(|| err("dangling escape"))?,
+                        h => h,
+                    };
+                    if hi < lo {
+                        return Err(err("descending range"));
+                    }
+                    alphabet.extend(lo..=hi);
+                }
+                other => {
+                    if let Some(p) = pending.take() {
+                        alphabet.push(p);
+                    }
+                    pending = Some(other);
+                }
+            }
+        }
+        if let Some(p) = pending.take() {
+            alphabet.push(p);
+        }
+        if alphabet.is_empty() {
+            return Err(err("empty class"));
+        }
+        let (min_len, max_len) = match chars.next() {
+            None => (1, 1),
+            Some('{') => {
+                let rest: String = chars.collect();
+                let body = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| err("unterminated {"))?;
+                let (lo, hi) = body.split_once(',').ok_or_else(|| err("need {lo,hi}"))?;
+                let lo: usize = lo.trim().parse().map_err(|_| err("bad lower bound"))?;
+                let hi: usize = hi.trim().parse().map_err(|_| err("bad upper bound"))?;
+                if hi < lo {
+                    return Err(err("descending repetition"));
+                }
+                (lo, hi)
+            }
+            Some(_) => return Err(err("trailing syntax after class")),
+        };
+        Ok(RegexStringStrategy {
+            alphabet,
+            min_len,
+            max_len,
+        })
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body; on failure the current
+/// case aborts with the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!($($fmt)*));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body, with optional context.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                left,
+                right
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                left,
+                right,
+                ::std::format!($($fmt)*)
+            ));
+        }
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over `config.cases` generated
+/// inputs. Accepts an optional leading `#![proptest_config(expr)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut runner = $crate::test_runner::TestRunner::from_name(stringify!($name));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::new_value(&($strategy), &mut runner);)+
+                let outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(message) = outcome {
+                    ::std::panic!("property {} failed at case {}/{}: {}",
+                        stringify!($name), case, config.cases, message);
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRunner;
+
+    #[test]
+    fn ranges_and_collections_generate_in_bounds() {
+        let mut runner = TestRunner::from_name("bounds");
+        let strat = crate::collection::vec(0u8..8, 3..7);
+        for _ in 0..200 {
+            let v = Strategy::new_value(&strat, &mut runner);
+            assert!((3..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 8));
+        }
+    }
+
+    #[test]
+    fn string_regex_respects_class_and_length() {
+        let mut runner = TestRunner::from_name("regex");
+        let strat = crate::string::string_regex("[ -~\\t\\n\\\\]{0,12}").unwrap();
+        for _ in 0..200 {
+            let s = Strategy::new_value(&strat, &mut runner);
+            assert!(s.chars().count() <= 12);
+            assert!(s
+                .chars()
+                .all(|c| (' '..='~').contains(&c) || c == '\t' || c == '\n' || c == '\\'));
+        }
+        assert!(crate::string::string_regex("unsupported+").is_err());
+    }
+
+    #[test]
+    fn flat_map_feeds_dependent_strategies() {
+        let mut runner = TestRunner::from_name("flatmap");
+        let strat = (1usize..5).prop_flat_map(|n| crate::collection::vec(0u32..10, n));
+        for _ in 0..100 {
+            let v = Strategy::new_value(&strat, &mut runner);
+            assert!((1..5).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn the_macro_itself_works(x in 0u8..100, flip in crate::option::of(0i32..3)) {
+            prop_assert!(x < 100, "x was {}", x);
+            if let Some(f) = flip {
+                prop_assert!((0..3).contains(&f));
+            }
+            prop_assert_eq!(x as i64 + 1, i64::from(x) + 1);
+        }
+    }
+}
