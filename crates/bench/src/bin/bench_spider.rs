@@ -1,0 +1,479 @@
+//! Perf-trajectory harness for the SPIDER merge engines.
+//!
+//! ```text
+//! cargo run --release -p ind-bench --bin bench_spider -- \
+//!     [--scale N] [--out PATH] [--check]
+//! ```
+//!
+//! Runs the frozen pre-refactor engine shape (`ind_bench::legacy_spider`),
+//! the current zero-allocation `spider`, and `spiderpar` over the scale-N
+//! PDB and biosql (UniProt-shaped) datagen databases, and writes a
+//! machine-readable `BENCH_spider.json` (default: the current directory,
+//! i.e. the repo root when run from it) so subsequent PRs can track the
+//! trajectory: wall-clock, `items_read`, `value_bytes_read`, `comparisons`,
+//! and allocation counts from the counting allocator installed *in this
+//! binary only*.
+//!
+//! Results are cross-checked before timing — a wrong answer is never
+//! benchmarked. `--check` switches to smoke mode for CI: it additionally
+//! re-reads the emitted file, validates its shape, and asserts the
+//! zero-allocation property (the current engine's allocation count must be
+//! a small constant, not proportional to `items_read`).
+
+use ind_bench::legacy_spider::run_legacy_spider;
+use ind_core::{
+    generate_candidates, memory_export, run_spider, run_spider_parallel, PretestConfig, RunMetrics,
+};
+use ind_datagen::{generate_pdb, generate_uniprot, BiosqlConfig, OpenMmsConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Counting allocator (bench-only; production crates never see it)
+// ---------------------------------------------------------------------------
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Wraps the system allocator, counting allocation calls and tracking the
+/// live-byte high-water mark. Relaxed atomics: the numbers are telemetry,
+/// not synchronisation.
+struct CountingAlloc;
+
+impl CountingAlloc {
+    fn on_alloc(size: usize) {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        let live = LIVE_BYTES.fetch_add(size as u64, Ordering::Relaxed) + size as u64;
+        PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+    }
+
+    fn on_dealloc(size: usize) {
+        LIVE_BYTES.fetch_sub(size as u64, Ordering::Relaxed);
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            Self::on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        Self::on_dealloc(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+            let old = layout.size() as u64;
+            let new = new_size as u64;
+            if new >= old {
+                let live = LIVE_BYTES.fetch_add(new - old, Ordering::Relaxed) + (new - old);
+                PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+            } else {
+                LIVE_BYTES.fetch_sub(old - new, Ordering::Relaxed);
+            }
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static COUNTING_ALLOC: CountingAlloc = CountingAlloc;
+
+/// Snapshot of the allocation counters around a measured region.
+struct AllocDelta {
+    /// alloc/realloc calls during the region.
+    calls: u64,
+    /// High-water mark of live bytes observed during the region.
+    peak_bytes: u64,
+}
+
+fn measure_allocs<T>(f: impl FnOnce() -> T) -> (T, AllocDelta) {
+    let calls_before = ALLOC_CALLS.load(Ordering::Relaxed);
+    let live_before = LIVE_BYTES.load(Ordering::Relaxed);
+    // Reset the peak to the current live level so the delta reflects this
+    // region, not program history.
+    PEAK_BYTES.store(live_before, Ordering::Relaxed);
+    let out = f();
+    let delta = AllocDelta {
+        calls: ALLOC_CALLS.load(Ordering::Relaxed) - calls_before,
+        // High-water mark relative to the live level at region entry, so
+        // bytes still held by the region's result stay counted.
+        peak_bytes: PEAK_BYTES
+            .load(Ordering::Relaxed)
+            .saturating_sub(live_before),
+    };
+    (out, delta)
+}
+
+// ---------------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------------
+
+const ENGINE_RUNS: usize = 3;
+const SPIDERPAR_THREADS: usize = 4;
+
+struct EngineResult {
+    engine: &'static str,
+    wall_ms: f64,
+    metrics: RunMetrics,
+    allocs: u64,
+    peak_alloc_bytes: u64,
+    satisfied: usize,
+}
+
+struct DatasetResult {
+    name: &'static str,
+    tables: usize,
+    attributes: usize,
+    candidates: usize,
+    engines: Vec<EngineResult>,
+}
+
+impl DatasetResult {
+    fn wall_ms(&self, engine: &str) -> Option<f64> {
+        self.engines
+            .iter()
+            .find(|e| e.engine == engine)
+            .map(|e| e.wall_ms)
+    }
+
+    fn speedup_spider_vs_legacy(&self) -> Option<f64> {
+        match (self.wall_ms("legacy"), self.wall_ms("spider")) {
+            (Some(old), Some(new)) if new > 0.0 => Some(old / new),
+            _ => None,
+        }
+    }
+}
+
+fn bench_dataset(name: &'static str, db: &ind_storage::Database) -> Result<DatasetResult, String> {
+    let (profiles, provider) = memory_export(db);
+    let mut gen_metrics = RunMetrics::new();
+    let candidates = generate_candidates(&profiles, &PretestConfig::default(), &mut gen_metrics);
+    println!(
+        "[{name}] {} tables, {} attributes, {} candidates",
+        db.table_count(),
+        db.attribute_count(),
+        candidates.len()
+    );
+
+    // Agreement gate: never time a wrong answer.
+    let mut m = RunMetrics::new();
+    let expected = run_spider(&provider, &candidates, &mut m).map_err(|e| e.to_string())?;
+    let mut m = RunMetrics::new();
+    let legacy = run_legacy_spider(&provider, &candidates, &mut m).map_err(|e| e.to_string())?;
+    if legacy != expected {
+        return Err(format!("[{name}] legacy engine disagrees with spider"));
+    }
+    let mut m = RunMetrics::new();
+    let par = run_spider_parallel(&provider, &profiles, &candidates, SPIDERPAR_THREADS, &mut m)
+        .map_err(|e| e.to_string())?;
+    if par != expected {
+        return Err(format!("[{name}] spiderpar disagrees with spider"));
+    }
+
+    let mut engines = Vec::new();
+    type Runner<'a> =
+        Box<dyn Fn() -> ind_valueset::Result<(Vec<ind_core::Candidate>, RunMetrics)> + 'a>;
+    let runners: Vec<(&'static str, Runner<'_>)> = vec![
+        (
+            "legacy",
+            Box::new(|| {
+                let mut m = RunMetrics::new();
+                run_legacy_spider(&provider, &candidates, &mut m).map(|s| (s, m))
+            }),
+        ),
+        (
+            "spider",
+            Box::new(|| {
+                let mut m = RunMetrics::new();
+                run_spider(&provider, &candidates, &mut m).map(|s| (s, m))
+            }),
+        ),
+        (
+            "spiderpar",
+            Box::new(|| {
+                let mut m = RunMetrics::new();
+                run_spider_parallel(&provider, &profiles, &candidates, SPIDERPAR_THREADS, &mut m)
+                    .map(|s| (s, m))
+            }),
+        ),
+    ];
+
+    for (engine, run) in &runners {
+        // Warm-up (also populates caches fairly for every engine).
+        let _ = run().map_err(|e| e.to_string())?;
+        let mut best_ms = f64::INFINITY;
+        let mut last: Option<(Vec<ind_core::Candidate>, RunMetrics)> = None;
+        let mut allocs = u64::MAX;
+        let mut peak = 0u64;
+        for _ in 0..ENGINE_RUNS {
+            let start = Instant::now();
+            let (out, delta) = measure_allocs(run);
+            let wall = start.elapsed().as_secs_f64() * 1e3;
+            let out = out.map_err(|e| e.to_string())?;
+            best_ms = best_ms.min(wall);
+            // Allocation counts are deterministic per engine; keep the
+            // minimum to shrug off incidental allocator noise (e.g. stdout).
+            if delta.calls < allocs {
+                allocs = delta.calls;
+                peak = delta.peak_bytes;
+            }
+            last = Some(out);
+        }
+        let (satisfied, metrics) = last.expect("at least one measured run");
+        if satisfied != expected {
+            return Err(format!("[{name}] {engine} diverged during measurement"));
+        }
+        println!(
+            "[{name}] {engine:>9}: {best_ms:8.2} ms  items_read={} value_bytes={} \
+             comparisons={} allocs={allocs} peak_alloc_bytes={peak}",
+            metrics.items_read, metrics.value_bytes_read, metrics.comparisons
+        );
+        engines.push(EngineResult {
+            engine,
+            wall_ms: best_ms,
+            metrics,
+            allocs,
+            peak_alloc_bytes: peak,
+            satisfied: satisfied.len(),
+        });
+    }
+
+    Ok(DatasetResult {
+        name,
+        tables: db.table_count(),
+        attributes: db.attribute_count(),
+        candidates: candidates.len(),
+        engines,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// JSON (hand-rolled; the workspace has no serde and vendors no JSON crate)
+// ---------------------------------------------------------------------------
+
+fn render_json(scale: usize, check: bool, datasets: &[DatasetResult]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema_version\": 1,");
+    let _ = writeln!(out, "  \"harness\": \"bench_spider\",");
+    let _ = writeln!(out, "  \"scale\": {scale},");
+    let _ = writeln!(out, "  \"check_mode\": {check},");
+    let _ = writeln!(out, "  \"spiderpar_threads\": {SPIDERPAR_THREADS},");
+    let _ = writeln!(out, "  \"datasets\": [");
+    for (di, d) in datasets.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{}\",", d.name);
+        let _ = writeln!(out, "      \"tables\": {},", d.tables);
+        let _ = writeln!(out, "      \"attributes\": {},", d.attributes);
+        let _ = writeln!(out, "      \"candidates\": {},", d.candidates);
+        if let Some(speedup) = d.speedup_spider_vs_legacy() {
+            let _ = writeln!(out, "      \"speedup_spider_vs_legacy\": {speedup:.3},");
+        }
+        let _ = writeln!(out, "      \"engines\": [");
+        for (ei, e) in d.engines.iter().enumerate() {
+            let _ = writeln!(out, "        {{");
+            let _ = writeln!(out, "          \"engine\": \"{}\",", e.engine);
+            let _ = writeln!(out, "          \"wall_ms\": {:.3},", e.wall_ms);
+            let _ = writeln!(out, "          \"items_read\": {},", e.metrics.items_read);
+            let _ = writeln!(
+                out,
+                "          \"value_bytes_read\": {},",
+                e.metrics.value_bytes_read
+            );
+            let _ = writeln!(out, "          \"comparisons\": {},", e.metrics.comparisons);
+            let _ = writeln!(
+                out,
+                "          \"cursor_opens\": {},",
+                e.metrics.cursor_opens
+            );
+            let _ = writeln!(out, "          \"allocs\": {},", e.allocs);
+            let _ = writeln!(
+                out,
+                "          \"peak_alloc_bytes\": {},",
+                e.peak_alloc_bytes
+            );
+            let _ = writeln!(out, "          \"satisfied\": {}", e.satisfied);
+            let _ = writeln!(
+                out,
+                "        }}{}",
+                if ei + 1 < d.engines.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(out, "      ]");
+        let _ = writeln!(
+            out,
+            "    }}{}",
+            if di + 1 < datasets.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Minimal structural validation of the emitted JSON: balanced braces and
+/// brackets outside strings, plus the keys downstream tooling greps for.
+fn validate_json(text: &str) -> Result<(), String> {
+    let (mut depth_obj, mut depth_arr, mut in_string, mut escaped) = (0i64, 0i64, false, false);
+    for c in text.chars() {
+        if in_string {
+            match (escaped, c) {
+                (true, _) => escaped = false,
+                (false, '\\') => escaped = true,
+                (false, '"') => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' => depth_obj += 1,
+            '}' => depth_obj -= 1,
+            '[' => depth_arr += 1,
+            ']' => depth_arr -= 1,
+            _ => {}
+        }
+        if depth_obj < 0 || depth_arr < 0 {
+            return Err("unbalanced JSON nesting".into());
+        }
+    }
+    if depth_obj != 0 || depth_arr != 0 || in_string {
+        return Err("unterminated JSON structure".into());
+    }
+    for key in [
+        "\"schema_version\"",
+        "\"datasets\"",
+        "\"engine\"",
+        "\"wall_ms\"",
+        "\"items_read\"",
+        "\"value_bytes_read\"",
+        "\"allocs\"",
+    ] {
+        if !text.contains(key) {
+            return Err(format!("missing key {key}"));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Entry point
+// ---------------------------------------------------------------------------
+
+fn flag_value(args: &[String], name: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .cloned()
+            .map(Some)
+            .ok_or_else(|| format!("{name} requires a value")),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let scale: usize = flag_value(&args, "--scale")?
+        .map(|s| s.parse().map_err(|e| format!("--scale: {e}")))
+        .transpose()?
+        .unwrap_or(if check { 12 } else { 200 });
+    // Check mode defaults under target/ so the CI smoke (and anyone running
+    // the README's `--check` line) can never clobber the committed
+    // repo-root baseline with tiny-scale data.
+    let out_path = flag_value(&args, "--out")?.unwrap_or_else(|| {
+        if check {
+            "target/BENCH_spider_check.json".to_string()
+        } else {
+            "BENCH_spider.json".to_string()
+        }
+    });
+
+    // The CLI's `generate pdb <dir> --scale N` configuration, plus the
+    // biosql (UniProt-shaped) instance at the same scale knob.
+    let pdb = generate_pdb(&OpenMmsConfig {
+        entries: scale * 4,
+        base_rows: scale * 3,
+        seed: 42,
+        ..OpenMmsConfig::small_fraction()
+    });
+    let biosql = generate_uniprot(&BiosqlConfig {
+        bioentries: scale * 8,
+        ..Default::default()
+    });
+
+    let datasets = vec![
+        bench_dataset("pdb", &pdb)?,
+        bench_dataset("biosql", &biosql)?,
+    ];
+
+    for d in &datasets {
+        if let Some(speedup) = d.speedup_spider_vs_legacy() {
+            println!("[{}] spider vs legacy wall-clock: {speedup:.2}x", d.name);
+        }
+    }
+
+    let json = render_json(scale, check, &datasets);
+    std::fs::write(&out_path, &json).map_err(|e| format!("writing {out_path}: {e}"))?;
+    println!("[written to {out_path}]");
+
+    if check {
+        let read_back = std::fs::read_to_string(&out_path)
+            .map_err(|e| format!("re-reading {out_path}: {e}"))?;
+        validate_json(&read_back)?;
+        // Zero-allocation gate: the current engine's allocation count must
+        // be a small constant (setup vectors only), not O(items_read) like
+        // the legacy shape. The bound is generous — the engine itself does
+        // ~a dozen setup allocations.
+        for d in &datasets {
+            let spider = d
+                .engines
+                .iter()
+                .find(|e| e.engine == "spider")
+                .ok_or("missing spider row")?;
+            if spider.allocs > 2_000 {
+                return Err(format!(
+                    "[{}] spider performed {} allocations — steady-state loop is no longer \
+                     allocation-free (items_read={})",
+                    d.name, spider.allocs, spider.metrics.items_read
+                ));
+            }
+            let legacy = d
+                .engines
+                .iter()
+                .find(|e| e.engine == "legacy")
+                .ok_or("missing legacy row")?;
+            if legacy.allocs <= spider.allocs {
+                return Err(format!(
+                    "[{}] legacy engine allocated no more than spider ({} vs {}) — \
+                     counting allocator is not measuring",
+                    d.name, legacy.allocs, spider.allocs
+                ));
+            }
+        }
+        println!("[check ok: JSON valid, zero-allocation property holds]");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -13,12 +13,17 @@
 //! * `pruning` — Sec. 4.1 max-value pretest;
 //! * `discovery` — Sec. 5 schema-discovery analysis;
 //! * `scalability` — Sec. 4.2 open-file limit and the block-wise fix;
-//! * `run_all` — everything above in sequence.
+//! * `run_all` — everything above in sequence;
+//! * `bench_spider` — the perf-trajectory harness: current zero-allocation
+//!   SPIDER vs the frozen [`legacy_spider`] engine shape vs `spiderpar`,
+//!   with a counting allocator; writes the machine-readable
+//!   `BENCH_spider.json` baseline (see the README's Performance section).
 
 #![warn(missing_docs)]
 
 pub mod datasets;
 pub mod experiments;
+pub mod legacy_spider;
 pub mod sql_deadline;
 pub mod table;
 

@@ -28,6 +28,7 @@ where
     // `while depValues has next value do currentDep := depValues.next()`
     while dep.advance()? {
         metrics.items_read += 1;
+        metrics.value_bytes_read += dep.current().len() as u64;
         // `if refValues is empty then return false` — plus the exhausted
         // case checked inside the inner loop.
         loop {
@@ -38,6 +39,7 @@ where
                 return Ok(false);
             }
             metrics.items_read += 1;
+            metrics.value_bytes_read += refd.current().len() as u64;
             metrics.comparisons += 1;
             match dep.current().cmp(refd.current()) {
                 std::cmp::Ordering::Equal => break, // next dependent item

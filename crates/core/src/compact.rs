@@ -1,0 +1,77 @@
+//! Compact attribute-id remapping shared by the merge engines.
+//!
+//! Candidate sets reference attributes by sparse `u32` ids (whatever the
+//! profiler assigned). The engines want dense `0..n` indices so per-attribute
+//! state can live in flat vectors and bitset rows instead of `BTreeMap`s —
+//! the difference between pointer-chasing allocator traffic and word-wise
+//! arithmetic in the steady-state loop. [`CompactIds`] is that remap: built
+//! once per pass, O(log n) lookups, zero allocations after construction.
+
+use crate::candidates::Candidate;
+
+/// A sorted, duplicate-free table of attribute ids defining a bijection
+/// between sparse `u32` attribute ids and dense `0..n` indices.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CompactIds {
+    ids: Vec<u32>,
+}
+
+impl CompactIds {
+    /// Remap over every attribute appearing in `candidates` (either role).
+    pub(crate) fn from_candidates(candidates: &[Candidate]) -> Self {
+        let mut ids: Vec<u32> = candidates.iter().flat_map(|c| [c.dep, c.refd]).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        CompactIds { ids }
+    }
+
+    /// Number of distinct attributes in the remap.
+    pub(crate) fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Dense index of attribute `id`. Panics if `id` was not in the
+    /// candidate set the remap was built from.
+    pub(crate) fn index_of(&self, id: u32) -> usize {
+        self.ids
+            .binary_search(&id)
+            .expect("attribute id outside the remap's candidate set")
+    }
+
+    /// Sparse attribute id behind dense index `idx`.
+    pub(crate) fn id(&self, idx: usize) -> u32 {
+        self.ids[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_sparse_ids() {
+        let candidates = vec![
+            Candidate::new(7, 42),
+            Candidate::new(42, 7),
+            Candidate::new(1000, 7),
+        ];
+        let ids = CompactIds::from_candidates(&candidates);
+        assert_eq!(ids.len(), 3);
+        for (idx, id) in [(0usize, 7u32), (1, 42), (2, 1000)] {
+            assert_eq!(ids.index_of(id), idx);
+            assert_eq!(ids.id(idx), id);
+        }
+    }
+
+    #[test]
+    fn empty_candidates_give_an_empty_remap() {
+        assert_eq!(CompactIds::from_candidates(&[]).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the remap")]
+    fn unknown_id_panics() {
+        let ids = CompactIds::from_candidates(&[Candidate::new(1, 2)]);
+        ids.index_of(3);
+    }
+}

@@ -29,6 +29,7 @@ pub mod blockwise;
 pub mod brute_force;
 mod candidates;
 pub mod closure;
+mod compact;
 mod metrics;
 pub mod partial;
 pub mod pruning;

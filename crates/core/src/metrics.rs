@@ -30,6 +30,12 @@ pub struct RunMetrics {
     pub satisfied: u64,
     /// Values read from value-set cursors (the Figure 5 metric).
     pub items_read: u64,
+    /// Bytes of value payload read while testing candidates (cursor reads
+    /// for the external engines, materialized cells for the SQL baselines).
+    /// The true I/O proxy behind Figure 5: `items_read` weighs every value
+    /// equally, but variable-length values make the byte count the quantity
+    /// that actually hits the disk.
+    pub value_bytes_read: u64,
     /// Byte-string comparisons performed.
     pub comparisons: u64,
     /// Cursors opened (2 per brute-force test; one per role in single-pass).
@@ -66,6 +72,7 @@ impl RunMetrics {
         self.tested += other.tested;
         self.satisfied += other.satisfied;
         self.items_read += other.items_read;
+        self.value_bytes_read += other.value_bytes_read;
         self.comparisons += other.comparisons;
         self.cursor_opens += other.cursor_opens;
         self.elapsed += other.elapsed;
@@ -78,7 +85,7 @@ impl fmt::Display for RunMetrics {
             f,
             "candidates={} (considered={}, pruned: card={}, max={}, min={}, sampling={}, \
              inferred: sat={}, ref={}), tested={}, satisfied={}, items_read={}, \
-             comparisons={}, cursor_opens={}, elapsed={:?}",
+             value_bytes_read={}, comparisons={}, cursor_opens={}, elapsed={:?}",
             self.candidates(),
             self.pairs_considered,
             self.pruned_cardinality,
@@ -90,6 +97,7 @@ impl fmt::Display for RunMetrics {
             self.tested,
             self.satisfied,
             self.items_read,
+            self.value_bytes_read,
             self.comparisons,
             self.cursor_opens,
             self.elapsed,
@@ -109,6 +117,7 @@ mod tests {
             tested: 8,
             satisfied: 3,
             items_read: 100,
+            value_bytes_read: 700,
             elapsed: Duration::from_millis(5),
             ..Default::default()
         };
@@ -117,6 +126,7 @@ mod tests {
             tested: 5,
             satisfied: 1,
             items_read: 50,
+            value_bytes_read: 300,
             elapsed: Duration::from_millis(7),
             ..Default::default()
         };
@@ -125,6 +135,7 @@ mod tests {
         assert_eq!(a.tested, 13);
         assert_eq!(a.satisfied, 4);
         assert_eq!(a.items_read, 150);
+        assert_eq!(a.value_bytes_read, 1000);
         assert_eq!(a.elapsed, Duration::from_millis(12));
         assert_eq!(a.candidates(), 13);
     }

@@ -51,12 +51,14 @@ where
     let mut dep_total = 0u64;
     let mut ref_valid = if refd.advance()? {
         metrics.items_read += 1;
+        metrics.value_bytes_read += refd.current().len() as u64;
         true
     } else {
         false
     };
     while dep.advance()? {
         metrics.items_read += 1;
+        metrics.value_bytes_read += dep.current().len() as u64;
         dep_total += 1;
         while ref_valid {
             metrics.comparisons += 1;
@@ -65,6 +67,7 @@ where
                     ref_valid = refd.advance()?;
                     if ref_valid {
                         metrics.items_read += 1;
+                        metrics.value_bytes_read += refd.current().len() as u64;
                     }
                 }
                 std::cmp::Ordering::Equal => {

@@ -53,6 +53,7 @@ fn sample_sorted<C: ValueCursor>(
     if len <= k {
         while cursor.advance()? {
             metrics.items_read += 1;
+            metrics.value_bytes_read += cursor.current().len() as u64;
             out.push(cursor.current().to_vec());
         }
         return Ok(out);
@@ -65,6 +66,7 @@ fn sample_sorted<C: ValueCursor>(
             let advanced = cursor.advance()?;
             debug_assert!(advanced, "index within cursor length");
             metrics.items_read += 1;
+            metrics.value_bytes_read += cursor.current().len() as u64;
             pos += 1;
         }
         out.push(cursor.current().to_vec());

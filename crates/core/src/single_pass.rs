@@ -27,6 +27,7 @@
 //! bit-for-bit deterministic across runs.
 
 use crate::candidates::Candidate;
+use crate::compact::CompactIds;
 use crate::metrics::RunMetrics;
 use ind_valueset::{Result, ValueCursor, ValueSetProvider};
 use std::cmp::Ordering;
@@ -200,6 +201,7 @@ impl<C: ValueCursor> Engine<'_, C> {
                 "requests are only issued when a next dependent value exists"
             );
             self.metrics.items_read += 1;
+            self.metrics.value_bytes_read += self.deps[d].cursor.current().len() as u64;
             self.deps[d].refresh_current();
             self.deps[d].current_waiting = std::mem::take(&mut self.deps[d].next_waiting);
             let ready = std::mem::take(&mut self.deps[d].next_ready);
@@ -225,6 +227,7 @@ impl<C: ValueCursor> Engine<'_, C> {
             let advanced = self.refs[r].cursor.advance()?;
             debug_assert!(advanced, "queued referenced object had no next value");
             self.metrics.items_read += 1;
+            self.metrics.value_bytes_read += self.refs[r].cursor.current().len() as u64;
             self.refs[r].refresh_current();
             self.refs[r].requested.clear();
             let attached: Vec<usize> = self.refs[r].attached.iter().copied().collect();
@@ -253,9 +256,13 @@ pub fn run_single_pass<P: ValueSetProvider>(
     candidates: &[Candidate],
     metrics: &mut RunMetrics,
 ) -> Result<Vec<Candidate>> {
-    // Assign dense dep/ref indices in first-appearance order.
-    let mut dep_index: Vec<(u32, usize)> = Vec::new();
-    let mut ref_index: Vec<(u32, usize)> = Vec::new();
+    // Assign dense dep/ref indices in first-appearance order. The compact
+    // remap (shared with the SPIDER engines) turns the per-candidate role
+    // lookup into an O(log n) search plus a flat-vector read, instead of a
+    // linear scan over all previously seen attributes.
+    let ids = CompactIds::from_candidates(candidates);
+    let mut dep_slot: Vec<Option<usize>> = vec![None; ids.len()];
+    let mut ref_slot: Vec<Option<usize>> = vec![None; ids.len()];
     let mut deps: Vec<DepState<P::Cursor>> = Vec::new();
     let mut refs: Vec<RefState<P::Cursor>> = Vec::new();
 
@@ -263,7 +270,8 @@ pub fn run_single_pass<P: ValueSetProvider>(
                       deps: &mut Vec<DepState<P::Cursor>>,
                       metrics: &mut RunMetrics|
      -> Result<usize> {
-        if let Some(&(_, i)) = dep_index.iter().find(|&&(a, _)| a == attr) {
+        let slot = &mut dep_slot[ids.index_of(attr)];
+        if let Some(i) = *slot {
             return Ok(i);
         }
         let cursor = provider.open(attr)?;
@@ -277,14 +285,15 @@ pub fn run_single_pass<P: ValueSetProvider>(
             next_waiting: BTreeSet::new(),
             next_ready: Vec::new(),
         });
-        dep_index.push((attr, i));
+        *slot = Some(i);
         Ok(i)
     };
     let mut ref_of = |attr: u32,
                       refs: &mut Vec<RefState<P::Cursor>>,
                       metrics: &mut RunMetrics|
      -> Result<usize> {
-        if let Some(&(_, i)) = ref_index.iter().find(|&&(a, _)| a == attr) {
+        let slot = &mut ref_slot[ids.index_of(attr)];
+        if let Some(i) = *slot {
             return Ok(i);
         }
         let cursor = provider.open(attr)?;
@@ -298,7 +307,7 @@ pub fn run_single_pass<P: ValueSetProvider>(
             requested: BTreeSet::new(),
             queued: false,
         });
-        ref_index.push((attr, i));
+        *slot = Some(i);
         Ok(i)
     };
 
@@ -328,6 +337,7 @@ pub fn run_single_pass<P: ValueSetProvider>(
     for (d, empty) in dep_empty.iter_mut().enumerate() {
         if engine.deps[d].cursor.advance()? {
             engine.metrics.items_read += 1;
+            engine.metrics.value_bytes_read += engine.deps[d].cursor.current().len() as u64;
             engine.deps[d].refresh_current();
         } else {
             *empty = true;

@@ -18,12 +18,40 @@
 //!   subject–observer implementation;
 //! * a dependent that exhausts its values with candidates still standing
 //!   has those candidates satisfied.
+//!
+//! # Zero-allocation merge engine
+//!
+//! The whole point of the single-pass family is touching each value once
+//! with minimal per-value overhead, so the steady-state loop of
+//! [`spider_pass`] performs **no heap allocations**:
+//!
+//! * attribute ids are remapped to a dense `0..n` range
+//!   ([`crate::compact::CompactIds`]), so all per-attribute state lives in
+//!   flat vectors indexed by dense id;
+//! * the merge runs over a hand-rolled index min-heap of cursor slots that
+//!   compares `cursor.current()` byte slices **in place** — cursors own
+//!   their buffers ([`ind_valueset::MemoryCursor`] borrows from the Arc'd
+//!   set, [`ind_valueset::ValueFileReader`] reuses its workhorse buffer) —
+//!   instead of a `BinaryHeap<Reverse<(Vec<u8>, u32)>>` that clones every
+//!   value on push. Only one small owned copy of the current *group* value
+//!   is kept (the group's defining cursor advances while later members are
+//!   still being gathered);
+//! * candidate bookkeeping is a dense bitmatrix: one `u64` bitset row of
+//!   surviving referenced attributes per dependent, so the per-group
+//!   intersection is word-wise `AND`s, refutations are `popcount`-style bit
+//!   scans, and reference usage counts are a flat `Vec<u32>`.
+//!
+//! All working buffers (heap slots, group scratch, group bitmask, satisfied
+//! output) are allocated once before the merge starts. The
+//! `crates/bench/src/bin/bench_spider.rs` harness demonstrates the property
+//! with a counting allocator: allocation count stays a small constant while
+//! `items_read` scales with the data.
 
 use crate::candidates::Candidate;
+use crate::compact::CompactIds;
 use crate::metrics::RunMetrics;
 use ind_valueset::{Result, ValueCursor, ValueSetProvider};
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::borrow::Cow;
 
 /// Runs SPIDER over `candidates` (pairs with `dep != ref`; duplicates are
 /// removed before testing). Returns satisfied candidates sorted by
@@ -37,18 +65,25 @@ pub fn run_spider<P: ValueSetProvider>(
     metrics.tested += unique.len() as u64;
     let mut satisfied = spider_pass(|a| provider.open(a), &unique, metrics)?;
     metrics.satisfied += satisfied.len() as u64;
-    satisfied.sort();
+    satisfied.sort_unstable();
     Ok(satisfied)
 }
 
-/// Sorted, duplicate-free copy of `candidates`. Duplicate pairs would
+/// Sorted, duplicate-free view of `candidates`. Duplicate pairs would
 /// inflate `metrics.tested` and (in the partitioned runner) the
 /// survival-count intersection, so every entry point normalises first.
-pub(crate) fn dedup_candidates(candidates: &[Candidate]) -> Vec<Candidate> {
+///
+/// Candidate generation already emits sorted, duplicate-free pairs, so the
+/// common path borrows the input as-is; only unsorted or duplicated inputs
+/// pay for a copy.
+pub(crate) fn dedup_candidates(candidates: &[Candidate]) -> Cow<'_, [Candidate]> {
+    if candidates.windows(2).all(|w| w[0] < w[1]) {
+        return Cow::Borrowed(candidates);
+    }
     let mut unique = candidates.to_vec();
     unique.sort_unstable();
     unique.dedup();
-    unique
+    Cow::Owned(unique)
 }
 
 /// One SPIDER heap-merge over whatever cursors `open` hands out.
@@ -58,8 +93,9 @@ pub(crate) fn dedup_candidates(candidates: &[Candidate]) -> Vec<Candidate> {
 /// one partition of it). `candidates` must be duplicate-free with
 /// `dep != ref`. Returns the satisfied candidates in unspecified order;
 /// updates only the I/O counters (`cursor_opens`, `items_read`,
-/// `comparisons`) — `tested`/`satisfied` accounting belongs to the callers,
-/// which know whether this pass covers the whole domain or a slice of it.
+/// `value_bytes_read`, `comparisons`) — `tested`/`satisfied` accounting
+/// belongs to the callers, which know whether this pass covers the whole
+/// domain or a slice of it.
 pub(crate) fn spider_pass<C, F>(
     mut open: F,
     candidates: &[Candidate],
@@ -69,128 +105,258 @@ where
     C: ValueCursor,
     F: FnMut(u32) -> Result<C>,
 {
-    // Surviving candidate references per dependent attribute, and how many
-    // dependents still reference each attribute (for early close).
-    let mut refs_of: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
-    let mut ref_usage: BTreeMap<u32, usize> = BTreeMap::new();
+    if candidates.is_empty() {
+        return Ok(Vec::new());
+    }
+
+    // Dense remap: every vector below is indexed by compact attribute id.
+    let ids = CompactIds::from_candidates(candidates);
+    let n = ids.len();
+    let words = n.div_ceil(64);
+
+    // Candidate bitmatrix: `rows[d * words ..][..words]` is dependent `d`'s
+    // surviving referenced set. `live[d]` counts its set bits; `usage[r]`
+    // counts the dependents still referencing `r` (for early close).
+    let mut rows: Vec<u64> = vec![0; n * words];
+    let mut live: Vec<u32> = vec![0; n];
+    let mut usage: Vec<u32> = vec![0; n];
     for c in candidates {
         debug_assert_ne!(c.dep, c.refd, "self-candidates are excluded upstream");
-        if refs_of.entry(c.dep).or_default().insert(c.refd) {
-            *ref_usage.entry(c.refd).or_default() += 1;
+        let d = ids.index_of(c.dep);
+        let r = ids.index_of(c.refd);
+        let word = &mut rows[d * words + r / 64];
+        let bit = 1u64 << (r % 64);
+        if *word & bit == 0 {
+            *word |= bit;
+            live[d] += 1;
+            usage[r] += 1;
         }
     }
 
-    // One cursor per attribute, regardless of how many roles it plays.
-    let mut attrs: BTreeSet<u32> = BTreeSet::new();
-    for c in candidates {
-        attrs.insert(c.dep);
-        attrs.insert(c.refd);
-    }
+    // Satisfied output cannot exceed the candidate count: reserving up front
+    // keeps pushes allocation-free.
+    let mut satisfied: Vec<Candidate> = Vec::with_capacity(candidates.len());
+    let mut cursors: Vec<Option<C>> = Vec::with_capacity(n);
+    let mut heap = SlotHeap::with_capacity(n);
 
-    let mut satisfied: Vec<Candidate> = Vec::new();
-    let mut cursors: BTreeMap<u32, C> = BTreeMap::new();
-    let mut heap: BinaryHeap<Reverse<(Vec<u8>, u32)>> = BinaryHeap::new();
-
-    for &a in &attrs {
-        let mut cursor = open(a)?;
+    for d in 0..n {
+        let mut cursor = open(ids.id(d))?;
         metrics.cursor_opens += 1;
         if cursor.advance()? {
             metrics.items_read += 1;
-            heap.push(Reverse((cursor.current().to_vec(), a)));
-            cursors.insert(a, cursor);
+            metrics.value_bytes_read += cursor.current().len() as u64;
+            cursors.push(Some(cursor));
         } else {
             // Empty attribute. As a dependent every candidate is trivially
             // satisfied; as a reference it simply never joins a group and
             // is refuted at each dependent's first value below.
-            if let Some(refset) = refs_of.get_mut(&a) {
-                for r in std::mem::take(refset) {
-                    satisfied.push(Candidate::new(a, r));
-                    decrement(&mut ref_usage, r);
-                }
-            }
+            cursors.push(None);
+            satisfy_survivors(
+                d,
+                &ids,
+                &mut rows[d * words..(d + 1) * words],
+                &mut usage,
+                &mut satisfied,
+            );
+            live[d] = 0;
+        }
+    }
+    for d in 0..n {
+        if cursors[d].is_some() {
+            heap.push(d as u32, &cursors);
         }
     }
 
-    let mut group: Vec<u32> = Vec::new();
-    while let Some(Reverse((value, first))) = heap.pop() {
+    // Reusable per-group scratch: member list, owned copy of the group's
+    // value, and the group membership bitmask (cleared after every group).
+    let mut group: Vec<u32> = Vec::with_capacity(n);
+    let mut group_value: Vec<u8> = Vec::new();
+    let mut group_mask: Vec<u64> = vec![0; words];
+
+    while let Some(first) = heap.peek() {
         group.clear();
+        group_value.clear();
+        group_value.extend_from_slice(cursor_value(&cursors, first));
+        heap.pop(&cursors);
         group.push(first);
-        while let Some(Reverse((v, _))) = heap.peek() {
-            if *v == value {
-                let Some(Reverse((_, a))) = heap.pop() else {
-                    unreachable!()
-                };
-                group.push(a);
+        while let Some(top) = heap.peek() {
+            if cursor_value(&cursors, top) == group_value.as_slice() {
+                heap.pop(&cursors);
+                group.push(top);
             } else {
                 break;
             }
         }
-        group.sort_unstable();
-        let group_set: BTreeSet<u32> = group.iter().copied().collect();
-
-        // Intersect every in-group dependent's candidate set with the group.
+        // Equal keys pop in ascending slot order (the heap tie-break), so
+        // `group` is already sorted; keep the invariant explicit.
+        debug_assert!(group.windows(2).all(|w| w[0] < w[1]));
         for &a in &group {
-            let Some(refset) = refs_of.get_mut(&a) else {
-                continue;
-            };
-            if refset.is_empty() {
+            group_mask[a as usize / 64] |= 1u64 << (a as usize % 64);
+        }
+
+        // Intersect every in-group dependent's candidate set with the group:
+        // word-wise AND against the membership mask, with a bit scan over
+        // the removed references to keep the usage counts exact.
+        for &a in &group {
+            let a = a as usize;
+            if live[a] == 0 {
                 continue;
             }
-            metrics.comparisons += refset.len() as u64;
-            let removed: Vec<u32> = refset
-                .iter()
-                .copied()
-                .filter(|r| !group_set.contains(r))
-                .collect();
-            for r in removed {
-                refset.remove(&r);
-                decrement(&mut ref_usage, r);
+            metrics.comparisons += u64::from(live[a]);
+            let row = &mut rows[a * words..(a + 1) * words];
+            for (w, word) in row.iter_mut().enumerate() {
+                let mut removed = *word & !group_mask[w];
+                if removed != 0 {
+                    *word &= group_mask[w];
+                    while removed != 0 {
+                        let r = w * 64 + removed.trailing_zeros() as usize;
+                        removed &= removed - 1;
+                        usage[r] -= 1;
+                        live[a] -= 1;
+                    }
+                }
             }
         }
 
         // Advance the group members that are still needed; close the rest.
         for &a in &group {
-            let still_dep = refs_of.get(&a).is_some_and(|s| !s.is_empty());
-            let still_ref = ref_usage.get(&a).copied().unwrap_or(0) > 0;
+            let a = a as usize;
+            let still_dep = live[a] > 0;
+            let still_ref = usage[a] > 0;
             if !(still_dep || still_ref) {
-                cursors.remove(&a); // early close: nobody needs this stream
+                cursors[a] = None; // early close: nobody needs this stream
                 continue;
             }
-            let cursor = cursors.get_mut(&a).expect("cursor open while needed");
+            let cursor = cursors[a].as_mut().expect("cursor open while needed");
             if cursor.advance()? {
                 metrics.items_read += 1;
-                heap.push(Reverse((cursor.current().to_vec(), a)));
+                metrics.value_bytes_read += cursor.current().len() as u64;
+                heap.push(a as u32, &cursors);
             } else {
                 // Dependent exhausted: its surviving candidates held for
                 // every value — satisfied.
-                cursors.remove(&a);
-                if let Some(refset) = refs_of.get_mut(&a) {
-                    for r in std::mem::take(refset) {
-                        satisfied.push(Candidate::new(a, r));
-                        decrement(&mut ref_usage, r);
-                    }
-                }
+                cursors[a] = None;
+                satisfy_survivors(
+                    a,
+                    &ids,
+                    &mut rows[a * words..(a + 1) * words],
+                    &mut usage,
+                    &mut satisfied,
+                );
+                live[a] = 0;
             }
+        }
+
+        for &a in &group {
+            group_mask[a as usize / 64] = 0;
         }
     }
 
     debug_assert!(
-        refs_of.values().all(BTreeSet::is_empty),
+        live.iter().all(|&l| l == 0),
         "heap ran dry with unresolved candidates"
     );
     Ok(satisfied)
 }
 
-/// Drops a reference-usage count by one, removing the entry when it reaches
-/// zero: `still_ref` checks treat "absent" and "zero" identically, and
-/// dropping dead entries keeps the map from accumulating attributes that
-/// long runs (many partitions, many passes) finished with long ago.
-fn decrement(usage: &mut BTreeMap<u32, usize>, attr: u32) {
-    if let Some(n) = usage.get_mut(&attr) {
-        *n = n.saturating_sub(1);
-        if *n == 0 {
-            usage.remove(&attr);
+/// The current value of the cursor in `slot`; only called for live slots.
+fn cursor_value<C: ValueCursor>(cursors: &[Option<C>], slot: u32) -> &[u8] {
+    cursors[slot as usize]
+        .as_ref()
+        .expect("heap slot without a cursor")
+        .current()
+}
+
+/// Marks every surviving candidate of dependent `d` satisfied: scans its
+/// bitset row (the exact `words`-long sub-slice for `d`), emits the
+/// candidates, releases the reference-usage counts, and clears the row.
+fn satisfy_survivors(
+    d: usize,
+    ids: &CompactIds,
+    row: &mut [u64],
+    usage: &mut [u32],
+    satisfied: &mut Vec<Candidate>,
+) {
+    for (w, word) in row.iter_mut().enumerate() {
+        let mut bits = *word;
+        *word = 0;
+        while bits != 0 {
+            let r = w * 64 + bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            satisfied.push(Candidate::new(ids.id(d), ids.id(r)));
+            usage[r] -= 1;
         }
+    }
+}
+
+/// A binary min-heap over cursor *slots* (dense attribute ids). Keys are
+/// `(cursors[slot].current(), slot)` compared lazily at sift time, so the
+/// heap itself stores nothing but `u32`s and never copies a value. The slot
+/// tie-break makes the order total and deterministic.
+struct SlotHeap {
+    slots: Vec<u32>,
+}
+
+impl SlotHeap {
+    fn with_capacity(n: usize) -> Self {
+        SlotHeap {
+            slots: Vec::with_capacity(n),
+        }
+    }
+
+    fn peek(&self) -> Option<u32> {
+        self.slots.first().copied()
+    }
+
+    fn less<C: ValueCursor>(cursors: &[Option<C>], a: u32, b: u32) -> bool {
+        match cursor_value(cursors, a).cmp(cursor_value(cursors, b)) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => a < b,
+        }
+    }
+
+    fn push<C: ValueCursor>(&mut self, slot: u32, cursors: &[Option<C>]) {
+        self.slots.push(slot);
+        let mut i = self.slots.len() - 1;
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if Self::less(cursors, self.slots[i], self.slots[parent]) {
+                self.slots.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn pop<C: ValueCursor>(&mut self, cursors: &[Option<C>]) -> Option<u32> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let last = self.slots.len() - 1;
+        self.slots.swap(0, last);
+        let popped = self.slots.pop();
+        let mut i = 0;
+        loop {
+            let left = 2 * i + 1;
+            if left >= self.slots.len() {
+                break;
+            }
+            let right = left + 1;
+            let mut smallest = left;
+            if right < self.slots.len() && Self::less(cursors, self.slots[right], self.slots[left])
+            {
+                smallest = right;
+            }
+            if Self::less(cursors, self.slots[smallest], self.slots[i]) {
+                self.slots.swap(i, smallest);
+                i = smallest;
+            } else {
+                break;
+            }
+        }
+        popped
     }
 }
 
@@ -277,6 +443,28 @@ mod tests {
     }
 
     #[test]
+    fn value_bytes_read_tracks_payload_exactly() {
+        // Two identical sets: both directions are satisfied, so every value
+        // of both streams is read exactly once — the byte counter must equal
+        // the exact payload size, not just the item count.
+        let provider = MemoryProvider::new(vec![set(&["aa", "bbbb"]), set(&["aa", "bbbb"])]);
+        let mut m = RunMetrics::new();
+        let found = run_spider(&provider, &all_pairs(2), &mut m).unwrap();
+        assert_eq!(found.len(), 2);
+        assert_eq!(m.items_read, 4);
+        assert_eq!(m.value_bytes_read, 2 * (2 + 4), "2×'aa' + 2×'bbbb'");
+
+        // On the single-byte fixture the two counters coincide.
+        let provider = fixture();
+        let mut m = RunMetrics::new();
+        run_spider(&provider, &all_pairs(7), &mut m).unwrap();
+        assert_eq!(
+            m.value_bytes_read, m.items_read,
+            "all fixture values are 1 byte"
+        );
+    }
+
+    #[test]
     fn duplicate_candidates_are_tested_once() {
         let provider = fixture();
         let unique = all_pairs(7);
@@ -293,6 +481,23 @@ mod tests {
     }
 
     #[test]
+    fn dedup_borrows_pre_normalised_input() {
+        let sorted = all_pairs(4);
+        assert!(matches!(
+            dedup_candidates(&sorted),
+            Cow::Borrowed(view) if view.len() == sorted.len()
+        ));
+        let mut shuffled = sorted.clone();
+        shuffled.swap(0, 5);
+        assert!(matches!(dedup_candidates(&shuffled), Cow::Owned(_)));
+        let mut duplicated = sorted.clone();
+        duplicated.push(sorted[0]);
+        let deduped = dedup_candidates(&duplicated);
+        assert!(matches!(deduped, Cow::Owned(_)));
+        assert_eq!(&*deduped, sorted.as_slice());
+    }
+
+    #[test]
     fn empty_dependent_and_reference_edge_cases() {
         let provider = MemoryProvider::new(vec![set(&[]), set(&["a"]), set(&[])]);
         // empty ⊆ non-empty: satisfied; non-empty ⊆ empty: refuted;
@@ -305,6 +510,25 @@ mod tests {
         let mut m = RunMetrics::new();
         let found = run_spider(&provider, &candidates, &mut m).unwrap();
         assert_eq!(found, vec![Candidate::new(0, 1), Candidate::new(0, 2)]);
+    }
+
+    #[test]
+    fn sparse_attribute_ids_are_remapped() {
+        // Attribute ids far apart (and above 64, so the bitmatrix would be
+        // enormous without the compact remap) behave exactly like dense ids.
+        let provider = MemoryProvider::new(vec![
+            set(&["b", "d"]),
+            set(&[]),
+            set(&[]),
+            set(&["a", "b", "c", "d"]),
+        ]);
+        // Remap the provider ids {0, 3} through a candidate list that also
+        // exercises the single-candidate shape.
+        let candidates = vec![Candidate::new(0, 3)];
+        let mut m = RunMetrics::new();
+        let found = run_spider(&provider, &candidates, &mut m).unwrap();
+        assert_eq!(found, vec![Candidate::new(0, 3)]);
+        assert_eq!(m.cursor_opens, 2, "only the two candidate attributes open");
     }
 
     #[test]
@@ -330,5 +554,25 @@ mod tests {
             "both candidates refute within the first two groups, read {}",
             m.items_read
         );
+    }
+
+    #[test]
+    fn wide_schemas_cross_the_bitset_word_boundary() {
+        // More than 64 attributes forces multi-word bitset rows; a chain of
+        // nested sets exercises intersections and refutations in every word.
+        let n: u32 = 70;
+        let sets: Vec<MemoryValueSet> = (0..n)
+            .map(|i| MemoryValueSet::from_unsorted((0..=i).map(|x| format!("{x:03}").into_bytes())))
+            .collect();
+        let provider = MemoryProvider::new(sets);
+        let candidates = all_pairs(n);
+        let mut m_bf = RunMetrics::new();
+        let mut bf = run_brute_force(&provider, &candidates, &mut m_bf).unwrap();
+        bf.sort();
+        let mut m = RunMetrics::new();
+        let spider = run_spider(&provider, &candidates, &mut m).unwrap();
+        assert_eq!(spider, bf);
+        // The chain satisfies exactly the pairs dep < ref.
+        assert_eq!(spider.len(), (n as usize * (n as usize - 1)) / 2);
     }
 }

@@ -31,7 +31,7 @@ use crate::candidates::Candidate;
 use crate::metrics::RunMetrics;
 use crate::spider::{dedup_candidates, spider_pass};
 use ind_valueset::{RangeCursor, Result, ValueSetProvider};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 /// Picks at most `partitions - 1` boundary values for a `partitions`-way
 /// split of the value domain, sampling even quantiles of the sorted
@@ -112,7 +112,7 @@ where
         // Single partition: the plain heap-merge on this thread.
         let mut satisfied = spider_pass(|a| provider.open(a), &unique, metrics)?;
         metrics.satisfied += satisfied.len() as u64;
-        satisfied.sort();
+        satisfied.sort_unstable();
         return Ok(satisfied);
     }
 
@@ -152,10 +152,19 @@ where
                 .collect()
         })
         .collect();
-    let mut required: BTreeMap<Candidate, usize> = BTreeMap::new();
+    // `unique` is sorted, so candidate → dense index is a binary search and
+    // the per-candidate required/survival counters are flat vectors instead
+    // of `BTreeMap<Candidate, usize>`s — the same compact-index treatment
+    // the merge engine applies to attribute ids.
+    let index_of = |c: &Candidate| -> usize {
+        unique
+            .binary_search(c)
+            .expect("partition candidates come from `unique`")
+    };
+    let mut required: Vec<u32> = vec![0; unique.len()];
     for shard in &per_partition {
-        for &c in shard {
-            *required.entry(c).or_default() += 1;
+        for c in shard {
+            required[index_of(c)] += 1;
         }
     }
 
@@ -185,21 +194,19 @@ where
     // Intersect: a candidate is satisfied iff it survived every partition
     // it appeared in (candidates appearing nowhere have empty dependents —
     // satisfied by definition).
-    let mut survivals: BTreeMap<Candidate, usize> = BTreeMap::new();
+    let mut survivals: Vec<u32> = vec![0; unique.len()];
     for result in results {
         let (found, local) = result?;
         metrics.merge(&local);
         for c in found {
-            *survivals.entry(c).or_default() += 1;
+            survivals[index_of(&c)] += 1;
         }
     }
     let satisfied: Vec<Candidate> = unique
         .iter()
-        .copied()
-        .filter(|c| {
-            let needed = required.get(c).copied().unwrap_or(0);
-            needed == 0 || survivals.get(c).copied().unwrap_or(0) == needed
-        })
+        .enumerate()
+        .filter(|&(i, _)| required[i] == 0 || survivals[i] == required[i])
+        .map(|(_, &c)| c)
         .collect();
     metrics.satisfied += satisfied.len() as u64;
     Ok(satisfied) // `unique` is sorted, so the result is too

@@ -49,6 +49,7 @@ pub fn rowstore_scan(table: &Table, col: usize, metrics: &mut RunMetrics) -> Vec
             }
             scratch.clear();
             value.render_canonical(&mut scratch);
+            metrics.value_bytes_read += scratch.len() as u64;
             if c == col {
                 out.push(scratch.clone());
             }
@@ -166,6 +167,7 @@ pub fn not_in_unmatched(
         let mut found = false;
         for r in &ref_vals {
             metrics.items_read += 1;
+            metrics.value_bytes_read += r.len() as u64;
             metrics.comparisons += 1;
             if r == v {
                 found = true;

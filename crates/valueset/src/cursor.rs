@@ -31,10 +31,13 @@ pub trait ValueCursor {
     /// value (the cursor is then exhausted). Values already produced are
     /// never revisited, so `seek` is only a *forward* jump.
     ///
-    /// The default implementation scans linearly; indexable cursors
-    /// (e.g. [`crate::MemoryCursor`]) override it with a binary search.
-    /// Range-partitioned readers ([`crate::RangeCursor`]) rely on this to
-    /// start mid-stream.
+    /// The default implementation scans linearly, materialising every
+    /// skipped value through [`advance`]. Cursors with cheaper options
+    /// should override it: [`crate::MemoryCursor`] binary-searches its
+    /// sorted slice, and [`crate::ValueFileReader`] reads each length
+    /// prefix and seeks past the value body, so skipped values are never
+    /// copied into its buffer. Range-partitioned readers
+    /// ([`crate::RangeCursor`]) rely on this to start mid-stream.
     ///
     /// [`advance`]: ValueCursor::advance
     /// [`current`]: ValueCursor::current

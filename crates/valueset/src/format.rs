@@ -18,7 +18,7 @@
 use crate::budget::{FileBudget, OpenFileGuard};
 use crate::cursor::ValueCursor;
 use crate::error::{Result, ValueSetError};
-use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 4] = b"INDV";
@@ -163,6 +163,42 @@ fn corrupt(context: String, detail: String) -> ValueSetError {
     ValueSetError::Corrupt { context, detail }
 }
 
+/// Outcome of comparing a value against `lower` from a buffered prefix
+/// alone, without materialising the value.
+enum PrefixOrder {
+    /// The value is provably `< lower` — safe to skip without reading it.
+    Below,
+    /// The value is provably `>= lower` — it is the seek target.
+    AtOrAbove,
+    /// The buffered window was too short to decide.
+    Undecided,
+}
+
+/// Decides how a `len`-byte value whose first `probe.len()` bytes are
+/// `probe` compares to `lower`. Conclusive whenever a byte differs inside
+/// the window or either string ends there; undecided only when the shared
+/// prefix runs past the window (i.e. past the reader's buffer).
+fn prefix_order(probe: &[u8], len: usize, lower: &[u8]) -> PrefixOrder {
+    let p = probe.len().min(lower.len());
+    match probe[..p].cmp(&lower[..p]) {
+        std::cmp::Ordering::Less => PrefixOrder::Below,
+        std::cmp::Ordering::Greater => PrefixOrder::AtOrAbove,
+        std::cmp::Ordering::Equal => {
+            if p == lower.len() {
+                // The value starts with all of `lower`: >= unless it is a
+                // *shorter* string, which cannot happen once len >= p.
+                debug_assert!(len >= p);
+                PrefixOrder::AtOrAbove
+            } else if probe.len() == len {
+                // Entire value seen and it is a proper prefix of `lower`.
+                PrefixOrder::Below
+            } else {
+                PrefixOrder::Undecided
+            }
+        }
+    }
+}
+
 impl ValueCursor for ValueFileReader {
     fn advance(&mut self) -> Result<bool> {
         if self.produced >= self.total {
@@ -180,6 +216,75 @@ impl ValueCursor for ValueFileReader {
             .map_err(|e| corrupt(ctx(), format!("truncated record body: {e}")))?;
         self.produced += 1;
         Ok(true)
+    }
+
+    /// Forward seek that skips value bodies without copying them: each
+    /// record's length prefix is read, the buffered bytes are compared
+    /// against `lower` in place, and provably-smaller values whose bodies
+    /// sit entirely inside the read buffer are jumped over with
+    /// [`BufReader::seek_relative`] — a pure pointer bump that cannot cross
+    /// EOF, so truncation stays detectable exactly as in [`advance`]. Only
+    /// the first value `>= lower`, bodies spanning the buffer boundary, and
+    /// the rare value whose shared prefix with `lower` outruns the buffer
+    /// are materialised into the workhorse buffer.
+    ///
+    /// [`advance`]: ValueCursor::advance
+    fn seek(&mut self, lower: &[u8]) -> Result<bool> {
+        while self.produced < self.total {
+            let ctx = || self.path.display().to_string();
+            let mut len_buf = [0u8; 4];
+            self.input
+                .read_exact(&mut len_buf)
+                .map_err(|e| corrupt(ctx(), format!("truncated record length: {e}")))?;
+            let len = u32::from_le_bytes(len_buf) as usize;
+            let (order, fully_buffered) = {
+                let buffered = self
+                    .input
+                    .fill_buf()
+                    .map_err(|e| corrupt(ctx(), format!("truncated record body: {e}")))?;
+                (
+                    prefix_order(&buffered[..buffered.len().min(len)], len, lower),
+                    buffered.len() >= len,
+                )
+            };
+            match order {
+                PrefixOrder::Below if fully_buffered => {
+                    self.input
+                        .seek_relative(len as i64)
+                        .map_err(|e| corrupt(ctx(), format!("truncated record body: {e}")))?;
+                    self.produced += 1;
+                }
+                PrefixOrder::Below => {
+                    // Skippable, but the body extends past the buffer: read
+                    // it through the workhorse buffer so a truncated file
+                    // errors here instead of being silently seeked past.
+                    self.current.resize(len, 0);
+                    self.input
+                        .read_exact(&mut self.current)
+                        .map_err(|e| corrupt(ctx(), format!("truncated record body: {e}")))?;
+                    self.produced += 1;
+                }
+                PrefixOrder::AtOrAbove => {
+                    self.current.resize(len, 0);
+                    self.input
+                        .read_exact(&mut self.current)
+                        .map_err(|e| corrupt(ctx(), format!("truncated record body: {e}")))?;
+                    self.produced += 1;
+                    return Ok(true);
+                }
+                PrefixOrder::Undecided => {
+                    self.current.resize(len, 0);
+                    self.input
+                        .read_exact(&mut self.current)
+                        .map_err(|e| corrupt(ctx(), format!("truncated record body: {e}")))?;
+                    self.produced += 1;
+                    if self.current.as_slice() >= lower {
+                        return Ok(true);
+                    }
+                }
+            }
+        }
+        Ok(false)
     }
 
     fn current(&self) -> &[u8] {
@@ -324,6 +429,128 @@ mod tests {
         ));
         drop(r1);
         assert!(ValueFileReader::open_with_budget(&path, &budget).is_ok());
+    }
+
+    #[test]
+    fn seek_agrees_with_memory_cursor_on_the_same_data() {
+        use crate::memory::MemoryValueSet;
+        // Value shapes chosen to hit every branch of the prefix comparison:
+        // the empty value, shared prefixes, a prefix-of-`lower` value, and
+        // values longer than the probe targets.
+        let values: Vec<Vec<u8>> = vec![
+            b"".to_vec(),
+            b"alpha".to_vec(),
+            b"alphabet".to_vec(),
+            b"beta".to_vec(),
+            b"betamax".to_vec(),
+            vec![b'p'; 1024],
+            [vec![b'p'; 1024], b"q".to_vec()].concat(),
+            b"zz".to_vec(),
+        ];
+        let dir = TempDir::new("vf-seek");
+        let path = dir.join("s.indv");
+        write_value_file(&path, &values).unwrap();
+        let mem = MemoryValueSet::from_sorted_distinct(values.clone()).unwrap();
+
+        let probes: Vec<Vec<u8>> = vec![
+            b"".to_vec(),
+            b"a".to_vec(),
+            b"alpha".to_vec(),
+            b"alphab".to_vec(),
+            b"az".to_vec(),
+            b"betam".to_vec(),
+            vec![b'p'; 1024],
+            vec![b'p'; 1023],
+            [vec![b'p'; 1024], b"a".to_vec()].concat(),
+            b"zz".to_vec(),
+            b"zzz".to_vec(),
+        ];
+        for lower in &probes {
+            let mut file = ValueFileReader::open(&path).unwrap();
+            let mut mem_cursor = mem.cursor();
+            let found_file = file.seek(lower).unwrap();
+            let found_mem = mem_cursor.seek(lower).unwrap();
+            assert_eq!(found_file, found_mem, "lower={lower:?}");
+            if found_file {
+                assert_eq!(file.current(), mem_cursor.current(), "lower={lower:?}");
+            }
+            // The suffix after the seek must agree too (seek is forward-only
+            // positioning, not a point query).
+            loop {
+                let (a, b) = (file.advance().unwrap(), mem_cursor.advance().unwrap());
+                assert_eq!(a, b, "lower={lower:?}");
+                if !a {
+                    break;
+                }
+                assert_eq!(file.current(), mem_cursor.current(), "lower={lower:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn seek_is_forward_only_after_partial_advance() {
+        let dir = TempDir::new("vf-seek-fwd");
+        let path = dir.join("f.indv");
+        write_value_file(&path, &bytes(&["a", "b", "c", "d"])).unwrap();
+        let mut r = ValueFileReader::open(&path).unwrap();
+        assert!(r.advance().unwrap());
+        assert!(r.advance().unwrap());
+        assert_eq!(r.current(), b"b");
+        // Seeking below the current position may not rewind: the next value
+        // produced is the first not-yet-produced one >= lower.
+        assert!(r.seek(b"a").unwrap());
+        assert_eq!(r.current(), b"c");
+        assert!(r.seek(b"d").unwrap());
+        assert_eq!(r.current(), b"d");
+        assert!(!r.seek(b"e").unwrap());
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn seek_reports_truncated_bodies_like_advance() {
+        // A record body chopped mid-value must surface as Corrupt from
+        // `seek` too — the skip fast path may never seek past missing
+        // bytes. A 16 KiB value guarantees the body is not fully buffered,
+        // so the copying fallback (and its read_exact error) is exercised.
+        let dir = TempDir::new("vf-seek-trunc");
+        let path = dir.join("t.indv");
+        let values = vec![b"aaa".to_vec(), vec![b'b'; 16 * 1024]];
+        write_value_file(&path, &values).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[..data.len() - 100]).unwrap();
+        let mut r = ValueFileReader::open(&path).unwrap();
+        assert!(matches!(r.seek(b"zzz"), Err(ValueSetError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn seek_decides_shared_prefixes_longer_than_the_read_buffer() {
+        // BufReader's default buffer is 8 KiB; a 12 KiB shared prefix forces
+        // the undecided fallback path (copy + compare) and must still agree
+        // with the in-memory answer.
+        use crate::memory::MemoryValueSet;
+        let prefix = vec![b'x'; 12 * 1024];
+        let values: Vec<Vec<u8>> = vec![
+            [prefix.clone(), b"a".to_vec()].concat(),
+            [prefix.clone(), b"m".to_vec()].concat(),
+            [prefix.clone(), b"z".to_vec()].concat(),
+        ];
+        let dir = TempDir::new("vf-seek-bigprefix");
+        let path = dir.join("big.indv");
+        write_value_file(&path, &values).unwrap();
+        let mem = MemoryValueSet::from_sorted_distinct(values.clone()).unwrap();
+        for lower in [
+            [prefix.clone(), b"b".to_vec()].concat(),
+            [prefix.clone(), b"z".to_vec()].concat(),
+            [prefix.clone(), b"zz".to_vec()].concat(),
+        ] {
+            let mut file = ValueFileReader::open(&path).unwrap();
+            let mut mem_cursor = mem.cursor();
+            let found = file.seek(&lower).unwrap();
+            assert_eq!(found, mem_cursor.seek(&lower).unwrap());
+            if found {
+                assert_eq!(file.current(), mem_cursor.current());
+            }
+        }
     }
 
     #[test]

@@ -7,12 +7,15 @@
 
 use proptest::prelude::*;
 use spider_ind::core::{
-    profile_database, Algorithm, FinderConfig, IndFinder, PretestConfig, SamplingConfig,
+    profile_database, run_brute_force, run_single_pass, run_spider, run_spider_parallel, Algorithm,
+    AttributeProfile, Candidate, FinderConfig, IndFinder, PretestConfig, RunMetrics,
+    SamplingConfig,
 };
 use spider_ind::sql::{run_sql_discovery, SqlApproach};
 use spider_ind::storage::{
     ColumnSchema, DataType, Database, QualifiedName, Table, TableSchema, Value,
 };
+use spider_ind::valueset::{MemoryProvider, MemoryValueSet};
 use std::collections::{BTreeSet, HashSet};
 
 /// Cell model: None = NULL, Some(n) drawn from a tiny pool so inclusions
@@ -114,6 +117,78 @@ fn named(d: &spider_ind::core::Discovery) -> BTreeSet<(QualifiedName, QualifiedN
     d.satisfied_named().into_iter().collect()
 }
 
+// ---------------------------------------------------------------------------
+// Engine-level adversarial value shapes
+// ---------------------------------------------------------------------------
+
+/// Value pool engineered against the merge engine: the empty value, a 1 KB
+/// shared prefix family (including the bare prefix, so prefix-of-another-
+/// value ordering is exercised), and short values that interleave with it.
+fn adversarial_pool() -> Vec<Vec<u8>> {
+    let prefix = vec![b'p'; 1024];
+    let mut pool = vec![
+        Vec::new(), // the empty byte string
+        b"a".to_vec(),
+        b"b".to_vec(),
+        b"q".to_vec(),
+        prefix.clone(),
+    ];
+    for suffix in 0..5u8 {
+        pool.push([prefix.clone(), vec![b'a' + suffix]].concat());
+    }
+    pool
+}
+
+/// A set of attributes drawn from the pool: each column is a multiset of
+/// pool indices (`from_unsorted` sorts and dedups). Index vectors of length
+/// 0 give empty columns; length-1 (and all-duplicate) vectors give the
+/// all-equal-column shape.
+fn arb_adversarial_sets() -> impl Strategy<Value = Vec<MemoryValueSet>> {
+    let pool_len = adversarial_pool().len();
+    proptest::collection::vec(proptest::collection::vec(0usize..pool_len, 0..8), 2..6).prop_map(
+        move |columns| {
+            let pool = adversarial_pool();
+            columns
+                .into_iter()
+                .map(|idx| MemoryValueSet::from_unsorted(idx.into_iter().map(|i| pool[i].clone())))
+                .collect()
+        },
+    )
+}
+
+/// Profiles over in-memory sets, as the partitioned runner needs for
+/// boundary selection.
+fn profiles_for_sets(sets: &[MemoryValueSet]) -> Vec<AttributeProfile> {
+    sets.iter()
+        .enumerate()
+        .map(|(id, s)| {
+            let values = s.as_slice();
+            AttributeProfile {
+                id: id as u32,
+                name: QualifiedName::new("t", format!("c{id}")),
+                data_type: DataType::Text,
+                rows: values.len() as u64,
+                non_null: values.len() as u64,
+                distinct: values.len() as u64,
+                min: values.first().cloned(),
+                max: values.last().cloned(),
+            }
+        })
+        .collect()
+}
+
+fn engine_all_pairs(n: u32) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    for d in 0..n {
+        for r in 0..n {
+            if d != r {
+                out.push(Candidate::new(d, r));
+            }
+        }
+    }
+    out
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -178,6 +253,57 @@ proptest! {
         let total: u64 = profiles.iter().map(|p| p.distinct).sum();
         prop_assert!(d.metrics.items_read <= 2 * total,
             "read {} of 2x{} values", d.metrics.items_read, total);
+    }
+
+    #[test]
+    fn spider_engine_survives_adversarial_value_shapes(sets in arb_adversarial_sets()) {
+        // Empty values, 1 KB shared prefixes, empty columns, all-equal
+        // columns — run at the engine layer (no Database round-trip, so the
+        // raw byte shapes reach the merge loop unmodified). Every engine
+        // must return the brute-force answer byte-identically, on both the
+        // all-pairs candidate set and a single-attribute candidate list,
+        // and the rewritten spider must read exactly as many items as the
+        // partitioned runner collapsed to one partition (they share
+        // `spider_pass`, so any divergence is an engine bug).
+        let n = sets.len() as u32;
+        let provider = MemoryProvider::new(sets.clone());
+        let profiles = profiles_for_sets(&sets);
+        let total: u64 = sets.iter().map(MemoryValueSet::len).sum();
+        let single = vec![Candidate::new(0, 1)];
+        for candidates in [engine_all_pairs(n), single] {
+            let mut m_bf = RunMetrics::new();
+            let mut oracle = run_brute_force(&provider, &candidates, &mut m_bf)
+                .expect("brute force");
+            oracle.sort();
+            let mut m_sp = RunMetrics::new();
+            let sp = run_single_pass(&provider, &candidates, &mut m_sp)
+                .expect("single pass");
+            prop_assert_eq!(&sp, &oracle);
+            let mut m1 = RunMetrics::new();
+            let spider = run_spider(&provider, &candidates, &mut m1).expect("spider");
+            prop_assert_eq!(&spider, &oracle);
+            prop_assert!(m1.items_read <= total, "spider read {} of {}", m1.items_read, total);
+            // Determinism: identical inputs, identical I/O counters.
+            let mut m2 = RunMetrics::new();
+            let again = run_spider(&provider, &candidates, &mut m2).expect("spider again");
+            prop_assert_eq!(&again, &oracle);
+            prop_assert_eq!(m1.items_read, m2.items_read);
+            prop_assert_eq!(m1.value_bytes_read, m2.value_bytes_read);
+            prop_assert_eq!(m1.comparisons, m2.comparisons);
+            // One-partition spiderpar routes through the same merge engine:
+            // identical result *and* identical I/O.
+            let mut m_par1 = RunMetrics::new();
+            let par1 = run_spider_parallel(&provider, &profiles, &candidates, 1, &mut m_par1)
+                .expect("spiderpar 1");
+            prop_assert_eq!(&par1, &oracle);
+            prop_assert_eq!(m_par1.items_read, m1.items_read);
+            prop_assert_eq!(m_par1.value_bytes_read, m1.value_bytes_read);
+            // Multi-partition runs agree on the result (I/O may differ).
+            let mut m_par3 = RunMetrics::new();
+            let par3 = run_spider_parallel(&provider, &profiles, &candidates, 3, &mut m_par3)
+                .expect("spiderpar 3");
+            prop_assert_eq!(&par3, &oracle);
+        }
     }
 
     #[test]
