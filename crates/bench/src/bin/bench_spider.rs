@@ -1,30 +1,49 @@
-//! Perf-trajectory harness for the SPIDER merge engines.
+//! Perf-trajectory harness for the SPIDER merge engines and the value-file
+//! I/O layer.
 //!
 //! ```text
 //! cargo run --release -p ind-bench --bin bench_spider -- \
-//!     [--scale N] [--out PATH] [--check]
+//!     [--scale N] [--block-size BYTES] [--out PATH] [--check]
 //! ```
 //!
-//! Runs the frozen pre-refactor engine shape (`ind_bench::legacy_spider`),
-//! the current zero-allocation `spider`, and `spiderpar` over the scale-N
-//! PDB and biosql (UniProt-shaped) datagen databases, and writes a
-//! machine-readable `BENCH_spider.json` (default: the current directory,
-//! i.e. the repo root when run from it) so subsequent PRs can track the
-//! trajectory: wall-clock, `items_read`, `value_bytes_read`, `comparisons`,
-//! and allocation counts from the counting allocator installed *in this
-//! binary only*.
+//! Two measured sections per dataset (scale-N PDB and biosql/UniProt-shaped
+//! datagen databases):
+//!
+//! * **memory** — the frozen pre-refactor engine shape
+//!   (`ind_bench::legacy_spider`), the current zero-allocation `spider`,
+//!   and `spiderpar` over in-memory value sets, with allocation counts from
+//!   the counting allocator installed *in this binary only*;
+//! * **disk** — the same `spider` engine over an on-disk export, read
+//!   through the frozen pre-block-layer `BufReader` reader shape
+//!   (`ind_bench::legacy_reader`, engine `spider_bufreader`) and through
+//!   the current block reader (`spider_block`, block size from
+//!   `--block-size`, default 256 KiB), plus a block-size sweep. `read_calls`
+//!   counts the read requests each reader issues to its I/O layer — per
+//!   record (2× `read_exact`) for the legacy shape, per block fill for the
+//!   block reader — and `os_read_calls` the actual `read(2)` syscalls.
+//!
+//! Everything lands in a machine-readable `BENCH_spider.json` (default:
+//! the current directory, i.e. the repo root when run from it) so
+//! subsequent PRs can track the trajectory: wall-clock, `items_read`,
+//! `value_bytes_read`, `comparisons`, allocation counts, and read calls.
 //!
 //! Results are cross-checked before timing — a wrong answer is never
 //! benchmarked. `--check` switches to smoke mode for CI: it additionally
-//! re-reads the emitted file, validates its shape, and asserts the
+//! re-reads the emitted file, validates its shape, asserts the
 //! zero-allocation property (the current engine's allocation count must be
-//! a small constant, not proportional to `items_read`).
+//! a small constant, not proportional to `items_read`), and asserts the
+//! block reader issues several times fewer read calls than the per-record
+//! legacy shape with sweep counts non-increasing in block size.
 
+use ind_bench::legacy_reader::LegacyDiskProvider;
 use ind_bench::legacy_spider::run_legacy_spider;
 use ind_core::{
-    generate_candidates, memory_export, run_spider, run_spider_parallel, PretestConfig, RunMetrics,
+    generate_candidates, memory_export, run_spider, run_spider_parallel, Candidate, PretestConfig,
+    RunMetrics,
 };
 use ind_datagen::{generate_pdb, generate_uniprot, BiosqlConfig, OpenMmsConfig};
+use ind_testkit::TempDir;
+use ind_valueset::{ExportOptions, ExportedDatabase, IoOptions, DEFAULT_BLOCK_SIZE};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -120,8 +139,14 @@ fn measure_allocs<T>(f: impl FnOnce() -> T) -> (T, AllocDelta) {
 // Harness
 // ---------------------------------------------------------------------------
 
-const ENGINE_RUNS: usize = 3;
+const ENGINE_RUNS: usize = 7;
+/// Disk runs are quick but noisier (syscalls, page cache, neighbour load);
+/// best-of-9 keeps the committed baseline stable on a busy container.
+const DISK_ENGINE_RUNS: usize = 9;
 const SPIDERPAR_THREADS: usize = 4;
+/// The disk-section sweep: small (the old `BufReader` buffer size), medium,
+/// and the default block.
+const SWEEP_BLOCK_SIZES: [usize; 3] = [8 * 1024, 64 * 1024, 256 * 1024];
 
 struct EngineResult {
     engine: &'static str,
@@ -132,12 +157,75 @@ struct EngineResult {
     satisfied: usize,
 }
 
+struct DiskEngineResult {
+    engine: &'static str,
+    wall_ms: f64,
+    metrics: RunMetrics,
+    /// Read requests issued to the reader's I/O layer: per record for the
+    /// legacy shape, per block fill for the block reader.
+    read_calls: u64,
+    /// Actual `read(2)` syscalls (equals `read_calls` for the block
+    /// reader, which has no intermediate buffering layer).
+    os_read_calls: u64,
+    satisfied: usize,
+}
+
+struct SweepPoint {
+    block_size: usize,
+    wall_ms: f64,
+    read_calls: u64,
+}
+
+struct DiskResult {
+    block_size: usize,
+    export_bytes: u64,
+    engines: Vec<DiskEngineResult>,
+    sweep: Vec<SweepPoint>,
+}
+
+impl DiskResult {
+    fn read_calls(&self, engine: &str) -> Option<u64> {
+        self.engines
+            .iter()
+            .find(|e| e.engine == engine)
+            .map(|e| e.read_calls)
+    }
+
+    fn wall_ms(&self, engine: &str) -> Option<f64> {
+        self.engines
+            .iter()
+            .find(|e| e.engine == engine)
+            .map(|e| e.wall_ms)
+    }
+
+    fn read_call_reduction(&self) -> Option<f64> {
+        match (
+            self.read_calls("spider_bufreader"),
+            self.read_calls("spider_block"),
+        ) {
+            (Some(old), Some(new)) if new > 0 => Some(old as f64 / new as f64),
+            _ => None,
+        }
+    }
+
+    fn speedup_block_vs_bufreader(&self) -> Option<f64> {
+        match (
+            self.wall_ms("spider_bufreader"),
+            self.wall_ms("spider_block"),
+        ) {
+            (Some(old), Some(new)) if new > 0.0 => Some(old / new),
+            _ => None,
+        }
+    }
+}
+
 struct DatasetResult {
     name: &'static str,
     tables: usize,
     attributes: usize,
     candidates: usize,
     engines: Vec<EngineResult>,
+    disk: DiskResult,
 }
 
 impl DatasetResult {
@@ -156,7 +244,151 @@ impl DatasetResult {
     }
 }
 
-fn bench_dataset(name: &'static str, db: &ind_storage::Database) -> Result<DatasetResult, String> {
+/// Times `run` over [`DISK_ENGINE_RUNS`] repetitions (after one warm-up),
+/// returning the best wall time and the last run's output.
+fn best_of_runs<T>(mut run: impl FnMut() -> Result<T, String>) -> Result<(f64, T), String> {
+    run()?; // warm-up
+    let mut best_ms = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..DISK_ENGINE_RUNS {
+        let start = Instant::now();
+        let out = run()?;
+        best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        last = Some(out);
+    }
+    Ok((best_ms, last.expect("at least one measured run")))
+}
+
+fn bench_disk(
+    name: &'static str,
+    db: &ind_storage::Database,
+    candidates: &[Candidate],
+    expected: &[Candidate],
+    expected_metrics: &RunMetrics,
+    block_size: usize,
+) -> Result<DiskResult, String> {
+    let dir = TempDir::new(&format!("bench-spider-disk-{name}"));
+    let mut export =
+        ExportedDatabase::export(db, dir.path(), &ExportOptions::with_block_size(block_size))
+            .map_err(|e| e.to_string())?;
+    // Sizes recorded at write time — exact, no per-file stat.
+    let export_bytes: u64 = export.attributes().iter().map(|a| a.file_bytes).sum();
+
+    // Byte-identical streams: the disk run must reproduce the in-memory
+    // results *and* I/O metrics exactly before anything is timed.
+    let assert_agrees = |engine: &str, got: &[Candidate], m: &RunMetrics| -> Result<(), String> {
+        if got != expected {
+            return Err(format!("[{name}] {engine} disagrees with in-memory spider"));
+        }
+        if (m.items_read, m.value_bytes_read, m.comparisons)
+            != (
+                expected_metrics.items_read,
+                expected_metrics.value_bytes_read,
+                expected_metrics.comparisons,
+            )
+        {
+            return Err(format!(
+                "[{name}] {engine} read different I/O: items={} bytes={} cmp={} vs \
+                 items={} bytes={} cmp={}",
+                m.items_read,
+                m.value_bytes_read,
+                m.comparisons,
+                expected_metrics.items_read,
+                expected_metrics.value_bytes_read,
+                expected_metrics.comparisons,
+            ));
+        }
+        Ok(())
+    };
+
+    let mut engines = Vec::new();
+
+    // (a) The frozen pre-block-layer reader shape: BufReader + 2 read_exact
+    // calls per record.
+    {
+        let provider = LegacyDiskProvider::new(&export);
+        let (wall_ms, (satisfied, metrics, read_calls, os_read_calls)) = best_of_runs(|| {
+            provider.counters().reset();
+            let mut m = RunMetrics::new();
+            let out = run_spider(&provider, candidates, &mut m).map_err(|e| e.to_string())?;
+            let counters = provider.counters();
+            m.read_calls = counters.read_requests();
+            Ok((out, m, counters.read_requests(), counters.os_read_calls()))
+        })?;
+        assert_agrees("spider_bufreader", &satisfied, &metrics)?;
+        println!(
+            "[{name}]  disk spider_bufreader: {wall_ms:8.2} ms  read_calls={read_calls} \
+             os_read_calls={os_read_calls}"
+        );
+        engines.push(DiskEngineResult {
+            engine: "spider_bufreader",
+            wall_ms,
+            satisfied: satisfied.len(),
+            metrics,
+            read_calls,
+            os_read_calls,
+        });
+    }
+
+    // (b) The block reader, swept over the fixed block sizes plus the
+    // configured one. Each configuration is measured exactly once — the
+    // headline `spider_block` row is the sweep point at `block_size`, so
+    // the two can never drift apart through duplicated measurement.
+    let mut sweep_sizes: Vec<usize> = SWEEP_BLOCK_SIZES.to_vec();
+    if !sweep_sizes.contains(&block_size) {
+        sweep_sizes.push(block_size);
+        sweep_sizes.sort_unstable();
+    }
+    let mut sweep = Vec::new();
+    let mut headline: Option<DiskEngineResult> = None;
+    for sweep_block in sweep_sizes {
+        export.set_io_options(IoOptions::with_block_size(sweep_block));
+        let (wall_ms, (satisfied, metrics, read_calls)) = best_of_runs(|| {
+            export.reset_read_calls();
+            let mut m = RunMetrics::new();
+            let out = run_spider(&export, candidates, &mut m).map_err(|e| e.to_string())?;
+            m.read_calls = export.read_calls();
+            Ok((out, m, export.read_calls()))
+        })?;
+        assert_agrees("spider_block", &satisfied, &metrics)?;
+        println!(
+            "[{name}]  disk spider_block block={sweep_block:>7}: {wall_ms:8.2} ms  \
+             read_calls={read_calls}"
+        );
+        if sweep_block == block_size {
+            headline = Some(DiskEngineResult {
+                engine: "spider_block",
+                wall_ms,
+                satisfied: satisfied.len(),
+                metrics,
+                read_calls,
+                os_read_calls: read_calls,
+            });
+        }
+        if SWEEP_BLOCK_SIZES.contains(&sweep_block) {
+            sweep.push(SweepPoint {
+                block_size: sweep_block,
+                wall_ms,
+                read_calls,
+            });
+        }
+    }
+    engines.push(headline.expect("configured block size was swept"));
+    export.set_io_options(IoOptions::with_block_size(block_size));
+
+    Ok(DiskResult {
+        block_size,
+        export_bytes,
+        engines,
+        sweep,
+    })
+}
+
+fn bench_dataset(
+    name: &'static str,
+    db: &ind_storage::Database,
+    block_size: usize,
+) -> Result<DatasetResult, String> {
     let (profiles, provider) = memory_export(db);
     let mut gen_metrics = RunMetrics::new();
     let candidates = generate_candidates(&profiles, &PretestConfig::default(), &mut gen_metrics);
@@ -168,8 +400,9 @@ fn bench_dataset(name: &'static str, db: &ind_storage::Database) -> Result<Datas
     );
 
     // Agreement gate: never time a wrong answer.
-    let mut m = RunMetrics::new();
-    let expected = run_spider(&provider, &candidates, &mut m).map_err(|e| e.to_string())?;
+    let mut expected_metrics = RunMetrics::new();
+    let expected =
+        run_spider(&provider, &candidates, &mut expected_metrics).map_err(|e| e.to_string())?;
     let mut m = RunMetrics::new();
     let legacy = run_legacy_spider(&provider, &candidates, &mut m).map_err(|e| e.to_string())?;
     if legacy != expected {
@@ -250,12 +483,22 @@ fn bench_dataset(name: &'static str, db: &ind_storage::Database) -> Result<Datas
         });
     }
 
+    let disk = bench_disk(
+        name,
+        db,
+        &candidates,
+        &expected,
+        &expected_metrics,
+        block_size,
+    )?;
+
     Ok(DatasetResult {
         name,
         tables: db.table_count(),
         attributes: db.attribute_count(),
         candidates: candidates.len(),
         engines,
+        disk,
     })
 }
 
@@ -263,12 +506,13 @@ fn bench_dataset(name: &'static str, db: &ind_storage::Database) -> Result<Datas
 // JSON (hand-rolled; the workspace has no serde and vendors no JSON crate)
 // ---------------------------------------------------------------------------
 
-fn render_json(scale: usize, check: bool, datasets: &[DatasetResult]) -> String {
+fn render_json(scale: usize, block_size: usize, check: bool, datasets: &[DatasetResult]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
-    let _ = writeln!(out, "  \"schema_version\": 1,");
+    let _ = writeln!(out, "  \"schema_version\": 2,");
     let _ = writeln!(out, "  \"harness\": \"bench_spider\",");
     let _ = writeln!(out, "  \"scale\": {scale},");
+    let _ = writeln!(out, "  \"block_size\": {block_size},");
     let _ = writeln!(out, "  \"check_mode\": {check},");
     let _ = writeln!(out, "  \"spiderpar_threads\": {SPIDERPAR_THREADS},");
     let _ = writeln!(out, "  \"datasets\": [");
@@ -311,7 +555,59 @@ fn render_json(scale: usize, check: bool, datasets: &[DatasetResult]) -> String 
                 if ei + 1 < d.engines.len() { "," } else { "" }
             );
         }
-        let _ = writeln!(out, "      ]");
+        let _ = writeln!(out, "      ],");
+        let _ = writeln!(out, "      \"disk\": {{");
+        let _ = writeln!(out, "        \"block_size\": {},", d.disk.block_size);
+        let _ = writeln!(out, "        \"export_bytes\": {},", d.disk.export_bytes);
+        if let Some(reduction) = d.disk.read_call_reduction() {
+            let _ = writeln!(out, "        \"read_call_reduction\": {reduction:.1},");
+        }
+        if let Some(speedup) = d.disk.speedup_block_vs_bufreader() {
+            let _ = writeln!(out, "        \"speedup_block_vs_bufreader\": {speedup:.3},");
+        }
+        let _ = writeln!(out, "        \"engines\": [");
+        for (ei, e) in d.disk.engines.iter().enumerate() {
+            let _ = writeln!(out, "          {{");
+            let _ = writeln!(out, "            \"engine\": \"{}\",", e.engine);
+            let _ = writeln!(out, "            \"wall_ms\": {:.3},", e.wall_ms);
+            let _ = writeln!(out, "            \"items_read\": {},", e.metrics.items_read);
+            let _ = writeln!(
+                out,
+                "            \"value_bytes_read\": {},",
+                e.metrics.value_bytes_read
+            );
+            let _ = writeln!(
+                out,
+                "            \"comparisons\": {},",
+                e.metrics.comparisons
+            );
+            let _ = writeln!(out, "            \"read_calls\": {},", e.read_calls);
+            let _ = writeln!(out, "            \"os_read_calls\": {},", e.os_read_calls);
+            let _ = writeln!(out, "            \"satisfied\": {}", e.satisfied);
+            let _ = writeln!(
+                out,
+                "          }}{}",
+                if ei + 1 < d.disk.engines.len() {
+                    ","
+                } else {
+                    ""
+                }
+            );
+        }
+        let _ = writeln!(out, "        ],");
+        let _ = writeln!(out, "        \"block_size_sweep\": [");
+        for (si, s) in d.disk.sweep.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "          {{ \"block_size\": {}, \"wall_ms\": {:.3}, \"read_calls\": {} }}{}",
+                s.block_size,
+                s.wall_ms,
+                s.read_calls,
+                if si + 1 < d.disk.sweep.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(out, "        ]");
+        let _ = writeln!(out, "      }}");
         let _ = writeln!(
             out,
             "    }}{}",
@@ -360,6 +656,10 @@ fn validate_json(text: &str) -> Result<(), String> {
         "\"items_read\"",
         "\"value_bytes_read\"",
         "\"allocs\"",
+        "\"disk\"",
+        "\"read_calls\"",
+        "\"os_read_calls\"",
+        "\"block_size_sweep\"",
     ] {
         if !text.contains(key) {
             return Err(format!("missing key {key}"));
@@ -390,6 +690,10 @@ fn run() -> Result<(), String> {
         .map(|s| s.parse().map_err(|e| format!("--scale: {e}")))
         .transpose()?
         .unwrap_or(if check { 12 } else { 200 });
+    let block_size: usize = flag_value(&args, "--block-size")?
+        .map(|s| s.parse().map_err(|e| format!("--block-size: {e}")))
+        .transpose()?
+        .unwrap_or(DEFAULT_BLOCK_SIZE);
     // Check mode defaults under target/ so the CI smoke (and anyone running
     // the README's `--check` line) can never clobber the committed
     // repo-root baseline with tiny-scale data.
@@ -415,17 +719,29 @@ fn run() -> Result<(), String> {
     });
 
     let datasets = vec![
-        bench_dataset("pdb", &pdb)?,
-        bench_dataset("biosql", &biosql)?,
+        bench_dataset("pdb", &pdb, block_size)?,
+        bench_dataset("biosql", &biosql, block_size)?,
     ];
 
     for d in &datasets {
         if let Some(speedup) = d.speedup_spider_vs_legacy() {
             println!("[{}] spider vs legacy wall-clock: {speedup:.2}x", d.name);
         }
+        if let Some(reduction) = d.disk.read_call_reduction() {
+            println!(
+                "[{}] disk read_calls: bufreader/block = {reduction:.1}x fewer",
+                d.name
+            );
+        }
+        if let Some(speedup) = d.disk.speedup_block_vs_bufreader() {
+            println!(
+                "[{}] disk spider: block vs bufreader wall-clock: {speedup:.2}x",
+                d.name
+            );
+        }
     }
 
-    let json = render_json(scale, check, &datasets);
+    let json = render_json(scale, block_size, check, &datasets);
     std::fs::write(&out_path, &json).map_err(|e| format!("writing {out_path}: {e}"))?;
     println!("[written to {out_path}]");
 
@@ -462,8 +778,39 @@ fn run() -> Result<(), String> {
                     d.name, legacy.allocs, spider.allocs
                 ));
             }
+            // Block-layer gate: the block reader must issue several times
+            // fewer read calls than the per-record legacy shape (the
+            // committed scale-200 baseline shows > 10x), and bigger blocks
+            // must never need more fills.
+            let reduction = d
+                .disk
+                .read_call_reduction()
+                .ok_or("missing disk read-call rows")?;
+            if reduction < 4.0 {
+                return Err(format!(
+                    "[{}] block reader read_calls only {reduction:.1}x below the per-record \
+                     BufReader shape — the block layer is no longer amortising reads",
+                    d.name
+                ));
+            }
+            if !d
+                .disk
+                .sweep
+                .windows(2)
+                .all(|w| w[0].read_calls >= w[1].read_calls)
+            {
+                return Err(format!(
+                    "[{}] sweep read_calls grew with block size: {:?}",
+                    d.name,
+                    d.disk
+                        .sweep
+                        .iter()
+                        .map(|s| (s.block_size, s.read_calls))
+                        .collect::<Vec<_>>()
+                ));
+            }
         }
-        println!("[check ok: JSON valid, zero-allocation property holds]");
+        println!("[check ok: JSON valid, zero-allocation property holds, block reads amortised]");
     }
     Ok(())
 }

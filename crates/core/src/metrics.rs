@@ -38,6 +38,13 @@ pub struct RunMetrics {
     pub value_bytes_read: u64,
     /// Byte-string comparisons performed.
     pub comparisons: u64,
+    /// `read(2)` calls issued against value files (block fills of the
+    /// disk-backed cursors). Zero for in-memory providers; populated by the
+    /// disk-backed entry points that own the export (the cursors themselves
+    /// are provider-agnostic). The syscall-side complement of
+    /// `value_bytes_read`: bytes measure payload, read calls measure how
+    /// often the OS was asked for it.
+    pub read_calls: u64,
     /// Cursors opened (2 per brute-force test; one per role in single-pass).
     pub cursor_opens: u64,
     /// Wall-clock time of the measured phase.
@@ -74,6 +81,7 @@ impl RunMetrics {
         self.items_read += other.items_read;
         self.value_bytes_read += other.value_bytes_read;
         self.comparisons += other.comparisons;
+        self.read_calls += other.read_calls;
         self.cursor_opens += other.cursor_opens;
         self.elapsed += other.elapsed;
     }
@@ -85,7 +93,7 @@ impl fmt::Display for RunMetrics {
             f,
             "candidates={} (considered={}, pruned: card={}, max={}, min={}, sampling={}, \
              inferred: sat={}, ref={}), tested={}, satisfied={}, items_read={}, \
-             value_bytes_read={}, comparisons={}, cursor_opens={}, elapsed={:?}",
+             value_bytes_read={}, comparisons={}, read_calls={}, cursor_opens={}, elapsed={:?}",
             self.candidates(),
             self.pairs_considered,
             self.pruned_cardinality,
@@ -99,6 +107,7 @@ impl fmt::Display for RunMetrics {
             self.items_read,
             self.value_bytes_read,
             self.comparisons,
+            self.read_calls,
             self.cursor_opens,
             self.elapsed,
         )
@@ -127,6 +136,7 @@ mod tests {
             satisfied: 1,
             items_read: 50,
             value_bytes_read: 300,
+            read_calls: 9,
             elapsed: Duration::from_millis(7),
             ..Default::default()
         };
@@ -136,6 +146,7 @@ mod tests {
         assert_eq!(a.satisfied, 4);
         assert_eq!(a.items_read, 150);
         assert_eq!(a.value_bytes_read, 1000);
+        assert_eq!(a.read_calls, 9);
         assert_eq!(a.elapsed, Duration::from_millis(12));
         assert_eq!(a.candidates(), 13);
     }

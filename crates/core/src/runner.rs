@@ -234,9 +234,26 @@ impl IndFinder {
     /// also export in parallel.
     pub fn discover_on_disk(&self, db: &Database, workdir: &Path) -> Result<Discovery> {
         let options = ExportOptions::with_threads(self.config.algorithm.extraction_threads());
-        let export = ExportedDatabase::export(db, workdir, &options)?;
+        self.discover_on_disk_with(db, workdir, &options)
+    }
+
+    /// [`IndFinder::discover_on_disk`] with explicit export options — in
+    /// particular the I/O block size ([`ExportOptions::with_block_size`])
+    /// every value-file cursor will use. The discovery-phase `read(2)`
+    /// count of the export's cursors is recorded in
+    /// [`RunMetrics::read_calls`] (export-phase reads are excluded).
+    pub fn discover_on_disk_with(
+        &self,
+        db: &Database,
+        workdir: &Path,
+        options: &ExportOptions,
+    ) -> Result<Discovery> {
+        let export = ExportedDatabase::export(db, workdir, options)?;
         let profiles = profiles_from_export(&export);
-        self.discover(&profiles, &export)
+        export.reset_read_calls();
+        let mut discovery = self.discover(&profiles, &export)?;
+        discovery.metrics.read_calls = export.read_calls();
+        Ok(discovery)
     }
 }
 
@@ -341,6 +358,31 @@ mod tests {
         let disk = finder.discover_on_disk(&db, dir.path()).unwrap();
         assert_eq!(mem.satisfied, disk.satisfied);
         assert_eq!(mem.profiles.len(), disk.profiles.len());
+        assert_eq!(mem.metrics.read_calls, 0, "memory provider never reads");
+        assert!(disk.metrics.read_calls > 0, "disk cursors must be counted");
+    }
+
+    #[test]
+    fn on_disk_block_size_changes_read_calls_not_results() {
+        let db = sample_db();
+        let finder = IndFinder::with_algorithm(Algorithm::Spider);
+        let mem = finder.discover_in_memory(&db).unwrap();
+        let mut read_calls = Vec::new();
+        for block_size in [ind_valueset::MIN_BLOCK_SIZE, 4096, 256 * 1024] {
+            let dir = TempDir::new("runner-disk-bs");
+            let disk = finder
+                .discover_on_disk_with(&db, dir.path(), &ExportOptions::with_block_size(block_size))
+                .unwrap();
+            assert_eq!(disk.satisfied, mem.satisfied, "block_size={block_size}");
+            assert_eq!(disk.metrics.items_read, mem.metrics.items_read);
+            assert_eq!(disk.metrics.comparisons, mem.metrics.comparisons);
+            assert_eq!(disk.metrics.value_bytes_read, mem.metrics.value_bytes_read);
+            read_calls.push(disk.metrics.read_calls);
+        }
+        assert!(
+            read_calls.windows(2).all(|w| w[0] >= w[1]),
+            "read calls must not grow with block size: {read_calls:?}"
+        );
     }
 
     #[test]

@@ -31,7 +31,8 @@
 //! * the merge runs over a hand-rolled index min-heap of cursor slots that
 //!   compares `cursor.current()` byte slices **in place** — cursors own
 //!   their buffers ([`ind_valueset::MemoryCursor`] borrows from the Arc'd
-//!   set, [`ind_valueset::ValueFileReader`] reuses its workhorse buffer) —
+//!   set, [`ind_valueset::ValueFileReader`] serves slices straight out of
+//!   its read block) —
 //!   instead of a `BinaryHeap<Reverse<(Vec<u8>, u32)>>` that clones every
 //!   value on push. Only one small owned copy of the current *group* value
 //!   is kept (the group's defining cursor advances while later members are

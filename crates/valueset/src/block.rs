@@ -1,0 +1,428 @@
+//! Block-oriented zero-copy file I/O.
+//!
+//! [`std::io::BufReader`] serves record-at-a-time readers well, but its API
+//! forces a copy per record: `read_exact` always moves bytes out of the
+//! internal buffer into the caller's, and the buffer size is fixed at
+//! construction. The SPIDER hot path streams millions of tiny
+//! length-prefixed records from sorted value files, so both costs are paid
+//! per *value*. This module replaces it with a hand-rolled [`BlockReader`]:
+//!
+//! * the file is read in large blocks ([`IoOptions::block_size`], default
+//!   256 KiB), so a fully-consumed stream costs
+//!   `O(file_bytes / block_size)` read calls instead of one buffer refill
+//!   per 8 KiB — with adaptive readahead (fills start at
+//!   [`INITIAL_READAHEAD`] and double per fill) so streams that are closed
+//!   early, the common case in a SPIDER merge, never over-read;
+//! * the fill/consume API exposes the block itself: callers parse records
+//!   **in place** and advance a consume cursor, copying only the rare
+//!   record that does not fit in one block;
+//! * opening is one `malloc` of `min(block_size, file_size)` — never
+//!   zero-initialised, never an mmap-churning full-block arena per cursor —
+//!   with the file size taken from a caller-provided hint when available;
+//! * every read issued against the OS is counted, locally
+//!   ([`BlockReader::read_calls`]) and into an optional shared
+//!   [`ReadStats`], so harnesses can report syscall trajectories
+//!   (`BENCH_spider.json`'s `read_calls`).
+//!
+//! [`crate::ValueFileReader`] builds its zero-copy `current()` and its
+//! syscall-free `seek` skips on top of this reader; the writer side uses
+//! the same `block_size` knob to stage records into block-sized
+//! `write_all`s.
+
+use std::fs::File;
+use std::io::Read;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Smallest usable block: must hold a value-file header (16 bytes). Smaller
+/// requested sizes are clamped up, so even pathological configurations
+/// (block sizes of a few bytes, used by the boundary tests) stay correct —
+/// just slow.
+pub const MIN_BLOCK_SIZE: usize = 16;
+
+/// Default block size: 256 KiB amortises syscall overhead at multi-GB scale
+/// while staying cache- and memory-friendly with hundreds of open cursors.
+pub const DEFAULT_BLOCK_SIZE: usize = 256 * 1024;
+
+/// First-fill readahead: fills start at 8 KiB and double per fill up to the
+/// block size, so a cursor that is closed early (SPIDER refutes most
+/// streams within their first values) never pays for a block it would not
+/// have consumed, while long-lived streams converge on full-block reads.
+pub const INITIAL_READAHEAD: usize = 8 * 1024;
+
+/// Tuning for the value-file I/O layer, shared by readers and writers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IoOptions {
+    /// Bytes per I/O block: the unit of reader fills and writer flushes.
+    /// Values below [`MIN_BLOCK_SIZE`] are clamped up at use time.
+    pub block_size: usize,
+}
+
+impl Default for IoOptions {
+    fn default() -> Self {
+        IoOptions {
+            block_size: DEFAULT_BLOCK_SIZE,
+        }
+    }
+}
+
+impl IoOptions {
+    /// Options with the given block size (clamped to [`MIN_BLOCK_SIZE`] at
+    /// use time).
+    pub fn with_block_size(block_size: usize) -> Self {
+        IoOptions { block_size }
+    }
+
+    /// The effective (clamped) block size.
+    pub fn effective_block_size(&self) -> usize {
+        self.block_size.max(MIN_BLOCK_SIZE)
+    }
+}
+
+/// Shared syscall counter: every `read(2)` a [`BlockReader`] issues is
+/// added here. Cloning shares the counter, so one `ReadStats` can aggregate
+/// across all cursors a provider hands out (including worker threads).
+#[derive(Debug, Clone, Default)]
+pub struct ReadStats {
+    calls: Arc<AtomicU64>,
+}
+
+impl ReadStats {
+    /// A fresh zeroed counter.
+    pub fn new() -> Self {
+        ReadStats::default()
+    }
+
+    /// Read calls recorded so far.
+    pub fn read_calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Resets the counter to zero (between measured phases).
+    pub fn reset(&self) {
+        self.calls.store(0, Ordering::Relaxed);
+    }
+
+    fn bump(&self) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A block-at-a-time reader with an explicit fill/consume API.
+///
+/// The buffer is filled in block-sized reads; callers inspect
+/// [`BlockReader::buffered`] (or slices captured via [`BlockReader::pos`])
+/// and advance the consume cursor with [`BlockReader::consume`] — a pure
+/// pointer bump. Bytes between the consume cursor and the fill end stay
+/// stable until the next fill, which is what lets [`crate::ValueFileReader`]
+/// hand out `current()` slices pointing straight into the block.
+///
+/// Opening a cursor costs one `malloc`, nothing more: the buffer capacity
+/// is the block size capped at the file's byte size (so hundreds of small
+/// attribute cursors do not each drag in a 256 KiB arena — a measured
+/// regression, not a theoretical one), the cap comes from a caller-supplied
+/// size hint when available (the export manager records file sizes at write
+/// time) with one `fstat` as the fallback, and fills append through
+/// [`Read::take`] + `read_to_end` into reserved capacity, so the buffer is
+/// never zero-initialised.
+#[derive(Debug)]
+pub struct BlockReader {
+    file: File,
+    /// Filled bytes; `buf[start..]` is valid, unconsumed data.
+    buf: Vec<u8>,
+    /// Consume cursor.
+    start: usize,
+    /// Logical block size (= the buffer's reserved capacity).
+    block_size: usize,
+    /// Current fill granularity: starts at [`INITIAL_READAHEAD`], doubles
+    /// per fill, saturates at `block_size`.
+    readahead: usize,
+    read_calls: u64,
+    stats: Option<ReadStats>,
+}
+
+impl BlockReader {
+    /// Wraps `file` with a block buffer of `options.block_size` (clamped to
+    /// [`MIN_BLOCK_SIZE`], capped at the file's length via one `fstat`).
+    /// Syscalls are counted locally and, when given, into `stats`.
+    pub fn new(file: File, options: &IoOptions, stats: Option<ReadStats>) -> Self {
+        let file_len = file.metadata().map(|m| m.len()).unwrap_or(u64::MAX);
+        Self::with_size_hint(file, options, stats, file_len)
+    }
+
+    /// [`BlockReader::new`] with the file's byte size supplied by the
+    /// caller, skipping the `fstat`. Correctness never depends on the
+    /// hint, but it should be accurate: a hint that undershoots the real
+    /// size caps this reader's block capacity for its whole lifetime, so a
+    /// wildly low hint degrades a large file to tiny fills and routes
+    /// big records through the growing path.
+    pub fn with_size_hint(
+        file: File,
+        options: &IoOptions,
+        stats: Option<ReadStats>,
+        file_len: u64,
+    ) -> Self {
+        let capacity = usize::try_from(file_len)
+            .unwrap_or(usize::MAX)
+            .clamp(MIN_BLOCK_SIZE, options.effective_block_size());
+        BlockReader {
+            file,
+            buf: Vec::with_capacity(capacity),
+            start: 0,
+            block_size: capacity,
+            readahead: INITIAL_READAHEAD.min(capacity),
+            read_calls: 0,
+            stats,
+        }
+    }
+
+    /// The block capacity (effective block size).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.block_size
+    }
+
+    /// Read-request calls issued by this reader so far (one per block
+    /// fill, plus the direct reads of the spill path).
+    pub fn read_calls(&self) -> u64 {
+        self.read_calls
+    }
+
+    /// The unconsumed buffered bytes.
+    #[inline]
+    pub fn buffered(&self) -> &[u8] {
+        &self.buf[self.start..]
+    }
+
+    /// Current consume-cursor offset into the block. Together with
+    /// [`BlockReader::slice`] this lets a caller pin a record's position
+    /// *before* consuming past it and re-borrow it later — valid until the
+    /// next fill.
+    #[inline]
+    pub fn pos(&self) -> usize {
+        self.start
+    }
+
+    /// Bytes `offset..offset + len` of the block. Only meaningful for
+    /// ranges captured via [`BlockReader::pos`] since the last fill.
+    #[inline]
+    pub fn slice(&self, offset: usize, len: usize) -> &[u8] {
+        &self.buf[offset..offset + len]
+    }
+
+    /// Marks `n` buffered bytes as consumed — no syscall, no copy.
+    #[inline]
+    pub fn consume(&mut self, n: usize) {
+        debug_assert!(n <= self.buf.len() - self.start, "consume past fill end");
+        self.start += n;
+    }
+
+    /// Ensures at least `need` bytes are buffered, topping the block up in
+    /// one bulk read; at end of file fewer may remain. Returns the number
+    /// of buffered bytes. `need` must not exceed the capacity.
+    ///
+    /// Filling compacts the unconsumed tail to the front of the block, so
+    /// any offsets captured via [`BlockReader::pos`] before this call are
+    /// invalidated. The already-buffered case is a branch, kept inline so
+    /// per-record callers pay nothing in the steady state.
+    #[inline]
+    pub fn fill_to(&mut self, need: usize) -> std::io::Result<usize> {
+        if self.buf.len() - self.start >= need {
+            return Ok(self.buf.len() - self.start);
+        }
+        self.fill_slow(need)
+    }
+
+    #[cold]
+    fn fill_slow(&mut self, need: usize) -> std::io::Result<usize> {
+        debug_assert!(need <= self.block_size, "fill_to beyond block capacity");
+        if self.start > 0 {
+            let len = self.buf.len();
+            self.buf.copy_within(self.start..len, 0);
+            self.buf.truncate(len - self.start);
+            self.start = 0;
+        }
+        while self.buf.len() < need {
+            // One bulk request per iteration, at the current readahead
+            // granularity (but always enough to satisfy `need`). `take` +
+            // `read_to_end` appends into the reserved capacity without ever
+            // zero-initialising it, and stops exactly at the request
+            // boundary, so a fill sized by an accurate hint never pays an
+            // extra EOF-probing syscall.
+            let want = self
+                .readahead
+                .max(need - self.buf.len())
+                .min(self.block_size - self.buf.len()) as u64;
+            let n = (&mut self.file).take(want).read_to_end(&mut self.buf)?;
+            self.count_read();
+            self.readahead = (self.readahead * 2).min(self.block_size);
+            if n == 0 {
+                break; // EOF: caller decides whether short is fatal
+            }
+        }
+        Ok(self.buf.len() - self.start)
+    }
+
+    /// Buffers exactly `need` bytes even when `need` exceeds the block
+    /// size, growing the block to hold one oversized record; short only at
+    /// end of file. This is the spill path for records that do not fit a
+    /// block — the grown storage is reused (and shrunk back to one block's
+    /// worth of live data by the next compaction), so even oversized
+    /// records are served zero-copy out of the block.
+    pub fn fill_exact_growing(&mut self, need: usize) -> std::io::Result<usize> {
+        if self.buf.len() - self.start >= need {
+            return Ok(self.buf.len() - self.start);
+        }
+        if self.start > 0 {
+            let len = self.buf.len();
+            self.buf.copy_within(self.start..len, 0);
+            self.buf.truncate(len - self.start);
+            self.start = 0;
+        }
+        self.buf.reserve(need - self.buf.len());
+        while self.buf.len() < need {
+            let want = (need - self.buf.len()) as u64;
+            let n = (&mut self.file).take(want).read_to_end(&mut self.buf)?;
+            self.count_read();
+            if n == 0 {
+                break; // EOF: caller decides whether short is fatal
+            }
+        }
+        Ok(self.buf.len() - self.start)
+    }
+
+    fn count_read(&mut self) {
+        self.read_calls += 1;
+        if let Some(stats) = &self.stats {
+            stats.bump();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ind_testkit::TempDir;
+
+    fn reader(data: &[u8], block_size: usize, stats: Option<ReadStats>) -> BlockReader {
+        let dir = TempDir::new("blockreader");
+        let path = dir.join("data.bin");
+        std::fs::write(&path, data).unwrap();
+        // The TempDir is removed when it drops, but the opened File handle
+        // stays valid on Unix.
+        BlockReader::new(
+            std::fs::File::open(&path).unwrap(),
+            &IoOptions::with_block_size(block_size),
+            stats,
+        )
+    }
+
+    #[test]
+    fn block_size_is_clamped_to_minimum() {
+        let r = reader(b"0123456789", 1, None);
+        assert_eq!(r.capacity(), MIN_BLOCK_SIZE);
+        assert_eq!(IoOptions::with_block_size(0).effective_block_size(), 16);
+        assert_eq!(IoOptions::default().effective_block_size(), 256 * 1024);
+    }
+
+    #[test]
+    fn fill_consume_round_trip() {
+        let mut r = reader(b"abcdefghij", 16, None);
+        assert_eq!(r.fill_to(4).unwrap(), 10, "one read grabs the whole file");
+        assert_eq!(&r.buffered()[..4], b"abcd");
+        r.consume(4);
+        assert_eq!(r.buffered(), b"efghij");
+        r.consume(6);
+        assert_eq!(r.fill_to(1).unwrap(), 0, "EOF leaves the buffer empty");
+        assert_eq!(r.read_calls(), 2, "initial fill + EOF probe");
+    }
+
+    #[test]
+    fn fill_compacts_and_refills_across_blocks() {
+        let data: Vec<u8> = (0..64u8).collect();
+        let mut r = reader(&data, 16, None);
+        let mut seen = Vec::new();
+        loop {
+            let avail = r.fill_to(3).unwrap();
+            if avail == 0 {
+                break;
+            }
+            let take = avail.min(3);
+            seen.extend_from_slice(&r.buffered()[..take]);
+            r.consume(take);
+        }
+        assert_eq!(seen, data);
+    }
+
+    #[test]
+    fn bigger_blocks_issue_fewer_reads() {
+        let data = vec![7u8; 4096];
+        let mut calls = Vec::new();
+        for block in [16, 64, 1024, 8192] {
+            let mut r = reader(&data, block, None);
+            let mut total = 0usize;
+            loop {
+                let avail = r.fill_to(1).unwrap();
+                if avail == 0 {
+                    break;
+                }
+                total += avail;
+                r.consume(avail);
+            }
+            assert_eq!(total, data.len());
+            calls.push(r.read_calls());
+        }
+        assert!(
+            calls.windows(2).all(|w| w[0] >= w[1]),
+            "read calls must not grow with block size: {calls:?}"
+        );
+        assert!(
+            calls[0] >= 10 * calls[3],
+            "4 KiB over 16 B blocks needs many reads vs one 8 KiB block: {calls:?}"
+        );
+    }
+
+    #[test]
+    fn shared_stats_aggregate_across_readers() {
+        let stats = ReadStats::new();
+        let data = vec![1u8; 100];
+        for _ in 0..3 {
+            let mut r = reader(&data, 64, Some(stats.clone()));
+            while r.fill_to(1).unwrap() > 0 {
+                let n = r.buffered().len();
+                r.consume(n);
+            }
+        }
+        assert!(stats.read_calls() >= 3, "each reader fills at least once");
+        let before = stats.read_calls();
+        stats.reset();
+        assert_eq!(stats.read_calls(), 0);
+        assert!(before > 0);
+    }
+
+    #[test]
+    fn growing_fill_crosses_the_block_and_reports_eof_short() {
+        let data: Vec<u8> = (0..100u8).collect();
+        let mut r = reader(&data, 16, None);
+        r.fill_to(10).unwrap();
+        r.consume(2);
+        // A 90-byte need exceeds the 16-byte block: the buffer grows and
+        // serves the whole range in place.
+        assert_eq!(r.fill_exact_growing(90).unwrap(), 90);
+        assert_eq!(r.buffered(), &data[2..92]);
+        r.consume(90);
+        // Asking for more than the file holds comes back short, not OK.
+        assert_eq!(r.fill_exact_growing(20).unwrap(), 8);
+        assert_eq!(r.buffered(), &data[92..]);
+    }
+
+    #[test]
+    fn pinned_slices_survive_until_the_next_fill() {
+        let mut r = reader(b"aaaabbbbccccdddd", 16, None);
+        r.fill_to(16).unwrap();
+        let pos = r.pos();
+        r.consume(8);
+        assert_eq!(r.slice(pos, 4), b"aaaa", "consumed bytes stay readable");
+        assert_eq!(r.slice(pos + 4, 4), b"bbbb");
+    }
+}

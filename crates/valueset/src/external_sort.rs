@@ -7,6 +7,7 @@
 //! disk when the buffer fills, and k-way merges the runs (plus the final
 //! buffer) into a strictly increasing output stream.
 
+use crate::block::IoOptions;
 use crate::cursor::ValueCursor;
 use crate::error::Result;
 use crate::format::{ValueFileReader, ValueFileWriter};
@@ -20,14 +21,30 @@ pub struct SortOptions {
     /// Approximate in-memory buffer limit in bytes before a spill; the
     /// buffer always admits at least one value.
     pub memory_budget_bytes: usize,
+    /// Block size for spill-run writers and the merge-phase readers.
+    pub io: IoOptions,
 }
 
 impl Default for SortOptions {
     fn default() -> Self {
         SortOptions {
-            // Large enough that test- and bench-scale attributes sort fully
-            // in memory; small enough to spill on the biggest PDB-like runs.
-            memory_budget_bytes: 64 << 20,
+            memory_budget_bytes: Self::DEFAULT_MEMORY_BUDGET,
+            io: IoOptions::default(),
+        }
+    }
+}
+
+impl SortOptions {
+    /// Default memory budget: large enough that test- and bench-scale
+    /// attributes sort fully in memory; small enough to spill on the
+    /// biggest PDB-like runs.
+    pub const DEFAULT_MEMORY_BUDGET: usize = 64 << 20;
+
+    /// Budget override with default I/O options.
+    pub fn with_memory_budget(memory_budget_bytes: usize) -> Self {
+        SortOptions {
+            memory_budget_bytes,
+            ..Default::default()
         }
     }
 }
@@ -41,6 +58,9 @@ pub struct SortStats {
     pub distinct: u64,
     /// Spill runs created (0 = fully in-memory).
     pub runs: usize,
+    /// Final byte size of the output value file (header + records) —
+    /// recorded so readers can size their block buffers without `fstat`.
+    pub file_bytes: u64,
     /// Smallest output value, if any.
     pub min: Option<Vec<u8>>,
     /// Largest output value, if any.
@@ -89,7 +109,7 @@ impl ExternalSorter {
         let path = self
             .spill_dir
             .join(format!("run-{:04}.indv", self.runs.len()));
-        let mut w = ValueFileWriter::create(&path)?;
+        let mut w = ValueFileWriter::create_with_options(&path, &self.options.io)?;
         for v in &self.buffer {
             w.append(v)?;
         }
@@ -132,7 +152,7 @@ impl ExternalSorter {
             // K-way merge: spill runs + the final in-memory buffer.
             let mut readers: Vec<ValueFileReader> = Vec::with_capacity(self.runs.len());
             for path in &self.runs {
-                readers.push(ValueFileReader::open(path)?);
+                readers.push(ValueFileReader::open_with_options(path, &self.options.io)?);
             }
             let mem_idx = readers.len();
             let mut mem_iter = self.buffer.iter();
@@ -172,6 +192,7 @@ impl ExternalSorter {
             pushed: self.pushed,
             distinct,
             runs: self.runs.len(),
+            file_bytes: writer.bytes_written(),
             min,
             max,
         })
@@ -187,13 +208,9 @@ mod tests {
 
     fn sort_values(values: &[&[u8]], budget: usize) -> (Vec<Vec<u8>>, SortStats) {
         let dir = TempDir::new("extsort");
-        let mut sorter = ExternalSorter::new(
-            &dir.join("spill"),
-            SortOptions {
-                memory_budget_bytes: budget,
-            },
-        )
-        .unwrap();
+        let mut sorter =
+            ExternalSorter::new(&dir.join("spill"), SortOptions::with_memory_budget(budget))
+                .unwrap();
         for v in values {
             sorter.push(v).unwrap();
         }
@@ -236,6 +253,33 @@ mod tests {
     }
 
     #[test]
+    fn spilling_with_tiny_io_blocks_matches() {
+        // The I/O block size is pure tuning: spill runs written and merged
+        // through 16-byte blocks must produce byte-identical output.
+        let raw: Vec<String> = (0..300).map(|i| format!("val-{:03}", i % 97)).collect();
+        let values: Vec<&[u8]> = raw.iter().map(|s| s.as_bytes()).collect();
+        let dir = TempDir::new("extsort-tinyblock");
+        let mut sorter = ExternalSorter::new(
+            &dir.join("spill"),
+            SortOptions {
+                memory_budget_bytes: 64,
+                io: crate::block::IoOptions::with_block_size(16),
+            },
+        )
+        .unwrap();
+        for v in &values {
+            sorter.push(v).unwrap();
+        }
+        let out_path = dir.join("out.indv");
+        let mut writer = ValueFileWriter::create(&out_path).unwrap();
+        let stats = sorter.finish_into(&mut writer).unwrap();
+        writer.finish().unwrap();
+        assert!(stats.runs > 1, "budget of 64 bytes must spill");
+        let out = collect_cursor(ValueFileReader::open(&out_path).unwrap()).unwrap();
+        assert_eq!(out, expected(&values));
+    }
+
+    #[test]
     fn duplicates_across_runs_are_merged() {
         // Same value in every run must appear once.
         let raw: Vec<String> = (0..50).map(|i| format!("dup-or-{}", i % 2)).collect();
@@ -259,13 +303,7 @@ mod tests {
     fn spill_files_are_cleaned_up() {
         let dir = TempDir::new("extsort-clean");
         let spill = dir.join("spill");
-        let mut sorter = ExternalSorter::new(
-            &spill,
-            SortOptions {
-                memory_budget_bytes: 8,
-            },
-        )
-        .unwrap();
+        let mut sorter = ExternalSorter::new(&spill, SortOptions::with_memory_budget(8)).unwrap();
         for i in 0..100 {
             sorter.push(format!("{i:04}").as_bytes()).unwrap();
         }

@@ -74,6 +74,7 @@ pub fn extract_to_file(
     spill_dir: &Path,
     options: SortOptions,
 ) -> Result<SortStats> {
+    let io = options.io.clone();
     let mut sorter = ExternalSorter::new(spill_dir, options)?;
     let mut buf = Vec::new();
     for v in values {
@@ -84,7 +85,7 @@ pub fn extract_to_file(
         v.render_canonical(&mut buf);
         sorter.push(&buf)?;
     }
-    let mut writer = ValueFileWriter::create(path)?;
+    let mut writer = ValueFileWriter::create_with_options(path, &io)?;
     let stats = sorter.finish_into(&mut writer)?;
     writer.finish()?;
     Ok(stats)

@@ -12,45 +12,78 @@
 //! The count header lets readers answer "does a next value exist" without
 //! lookahead — exactly what Algorithm 2's `wantNextValue` needs. Writers
 //! enforce the strictly-increasing invariant so every downstream merge can
-//! rely on it. All I/O is buffered per the performance guide, and readers
-//! reuse a workhorse buffer so steady-state reads do not allocate.
+//! rely on it.
+//!
+//! All I/O goes through the block layer ([`crate::block`]): the writer
+//! stages records into one block and flushes it with a single `write_all`
+//! per [`IoOptions::block_size`] bytes; the reader fills a block at a time
+//! and parses records **in place**, so [`ValueFileReader::current`] is
+//! always a zero-copy slice into the block (a value larger than the block
+//! grows it once rather than being copied out). Steady-state reads perform
+//! no heap allocation and one bulk read per block, not per record.
 
+use crate::block::{BlockReader, IoOptions, ReadStats};
 use crate::budget::{FileBudget, OpenFileGuard};
 use crate::cursor::ValueCursor;
 use crate::error::{Result, ValueSetError};
-use std::io::{BufRead, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 4] = b"INDV";
 const VERSION: u32 = 1;
+/// Header bytes: magic + version + count.
+const HEADER_LEN: usize = 16;
+/// Length-prefix bytes per record.
+const LEN_PREFIX: usize = 4;
 
 /// Streaming writer for a value file. Values must arrive sorted and
 /// duplicate-free; [`ValueFileWriter::finish`] patches the count header.
+///
+/// Records are staged into an in-memory block and flushed with one
+/// `write_all` per [`IoOptions::block_size`] bytes, so each record costs
+/// two `memcpy`s into the block (length prefix + body) and the syscall
+/// count is proportional to file size / block size.
 pub struct ValueFileWriter {
-    out: BufWriter<std::fs::File>,
+    file: std::fs::File,
+    block: Vec<u8>,
+    block_size: usize,
     path: PathBuf,
     count: u64,
+    bytes: u64,
     last: Option<Vec<u8>>,
+    write_calls: u64,
 }
 
 impl ValueFileWriter {
-    /// Creates (truncates) `path` and writes a header with a zero count.
+    /// Creates (truncates) `path` with the default block size.
     pub fn create(path: &Path) -> Result<Self> {
+        Self::create_with_options(path, &IoOptions::default())
+    }
+
+    /// Creates (truncates) `path`, staging writes into blocks of
+    /// `options.block_size`; the zero-count header is staged first.
+    pub fn create_with_options(path: &Path, options: &IoOptions) -> Result<Self> {
         let file = std::fs::File::create(path)?;
-        let mut out = BufWriter::new(file);
-        out.write_all(MAGIC)?;
-        out.write_all(&VERSION.to_le_bytes())?;
-        out.write_all(&0u64.to_le_bytes())?;
+        let block_size = options.effective_block_size();
+        let mut block = Vec::with_capacity(block_size);
+        block.extend_from_slice(MAGIC);
+        block.extend_from_slice(&VERSION.to_le_bytes());
+        block.extend_from_slice(&0u64.to_le_bytes());
         Ok(ValueFileWriter {
-            out,
+            file,
+            block,
+            block_size,
             path: path.to_path_buf(),
             count: 0,
+            bytes: HEADER_LEN as u64,
             last: None,
+            write_calls: 0,
         })
     }
 
     /// Appends one value; rejects values that are not strictly greater than
-    /// the previous one.
+    /// the previous one. Length prefix and body are staged contiguously, so
+    /// both leave in the same block-sized write.
     pub fn append(&mut self, value: &[u8]) -> Result<()> {
         if let Some(last) = &self.last {
             if value <= last.as_slice() {
@@ -63,9 +96,19 @@ impl ValueFileWriter {
             context: self.path.display().to_string(),
             detail: "value longer than u32::MAX bytes".into(),
         })?;
-        self.out.write_all(&len.to_le_bytes())?;
-        self.out.write_all(value)?;
+        // Flush first when the record would overflow the block; a record
+        // larger than the block itself grows the staging vector once and is
+        // flushed immediately below.
+        if !self.block.is_empty() && self.block.len() + LEN_PREFIX + value.len() > self.block_size {
+            self.flush_block()?;
+        }
+        self.block.extend_from_slice(&len.to_le_bytes());
+        self.block.extend_from_slice(value);
+        if self.block.len() >= self.block_size {
+            self.flush_block()?;
+        }
         self.count += 1;
+        self.bytes += (LEN_PREFIX + value.len()) as u64;
         match &mut self.last {
             Some(buf) => {
                 buf.clear();
@@ -76,79 +119,146 @@ impl ValueFileWriter {
         Ok(())
     }
 
+    fn flush_block(&mut self) -> Result<()> {
+        if !self.block.is_empty() {
+            self.file.write_all(&self.block)?;
+            self.write_calls += 1;
+            self.block.clear();
+        }
+        Ok(())
+    }
+
     /// Number of values appended so far.
     pub fn count(&self) -> u64 {
         self.count
     }
 
+    /// Total file size in bytes once finished (header + records staged so
+    /// far, flushed or not). Recorded by the export manager so readers can
+    /// size their block buffers without an `fstat`.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes
+    }
+
+    /// `write_all` calls issued so far (block flushes).
+    pub fn write_calls(&self) -> u64 {
+        self.write_calls
+    }
+
     /// Flushes, patches the count header, and returns the final count.
-    pub fn finish(self) -> Result<u64> {
-        let mut file = self.out.into_inner().map_err(|e| {
-            ValueSetError::Io(std::io::Error::other(format!(
-                "flush failed for {}: {e}",
-                self.path.display()
-            )))
-        })?;
-        file.seek(SeekFrom::Start(8))?;
-        file.write_all(&self.count.to_le_bytes())?;
-        file.sync_data().ok(); // best-effort durability; not load-bearing
+    pub fn finish(mut self) -> Result<u64> {
+        self.flush_block()?;
+        self.file.seek(SeekFrom::Start(8))?;
+        self.file.write_all(&self.count.to_le_bytes())?;
+        self.file.sync_data().ok(); // best-effort durability; not load-bearing
         Ok(self.count)
     }
 }
 
-/// Buffered reader over a value file; implements [`ValueCursor`].
+/// Block-buffered reader over a value file; implements [`ValueCursor`].
+///
+/// `current()` is **always** a zero-copy slice into the block: records that
+/// fit the block are parsed in place, and the rare record larger than the
+/// block grows the block once to hold it
+/// ([`BlockReader::fill_exact_growing`]) instead of being copied into a
+/// side buffer — so the hot `current()` call is a single slice, no
+/// branching on where the value lives. `seek` skips provably-smaller
+/// records by bumping the block's consume cursor — no syscall, no copy.
 pub struct ValueFileReader {
-    input: BufReader<std::fs::File>,
+    input: BlockReader,
     path: PathBuf,
     total: u64,
     produced: u64,
-    current: Vec<u8>,
+    /// Current value: `cur_offset..cur_offset + cur_len` inside the block.
+    /// Valid until the next fill (which only happens inside
+    /// `advance`/`seek`); `(0, 0)` before the first advance.
+    cur_offset: usize,
+    cur_len: usize,
     _guard: Option<OpenFileGuard>,
 }
 
 impl ValueFileReader {
-    /// Opens `path` without budget accounting.
+    /// Opens `path` with default I/O options and no budget accounting.
     pub fn open(path: &Path) -> Result<Self> {
-        Self::open_inner(path, None)
+        Self::open_with(path, &IoOptions::default(), None, None)
+    }
+
+    /// Opens `path` with the given block size.
+    pub fn open_with_options(path: &Path, options: &IoOptions) -> Result<Self> {
+        Self::open_with(path, options, None, None)
     }
 
     /// Opens `path`, charging one slot against `budget` for the lifetime of
     /// the reader.
     pub fn open_with_budget(path: &Path, budget: &FileBudget) -> Result<Self> {
-        let guard = budget.acquire()?;
-        Self::open_inner(path, Some(guard))
+        Self::open_with(path, &IoOptions::default(), Some(budget), None)
     }
 
-    fn open_inner(path: &Path, guard: Option<OpenFileGuard>) -> Result<Self> {
-        let context = || path.display().to_string();
+    /// Full constructor: block size from `options`, optional open-file
+    /// budget, optional shared read-call counter. The block buffer is
+    /// sized with one `fstat`; use [`ValueFileReader::open_sized`] when the
+    /// file size is already known.
+    pub fn open_with(
+        path: &Path,
+        options: &IoOptions,
+        budget: Option<&FileBudget>,
+        stats: Option<ReadStats>,
+    ) -> Result<Self> {
+        let guard = budget.map(FileBudget::acquire).transpose()?;
         let file = std::fs::File::open(path)?;
-        let mut input = BufReader::new(file);
-        let mut magic = [0u8; 4];
-        input
-            .read_exact(&mut magic)
+        let input = BlockReader::new(file, options, stats);
+        Self::from_block_reader(input, path, guard)
+    }
+
+    /// [`ValueFileReader::open_with`] with the file's byte size supplied by
+    /// the caller (e.g. recorded at export time), so opening costs no
+    /// `fstat`. An inaccurate size only affects I/O granularity, never
+    /// correctness.
+    pub fn open_sized(
+        path: &Path,
+        options: &IoOptions,
+        budget: Option<&FileBudget>,
+        stats: Option<ReadStats>,
+        file_bytes: u64,
+    ) -> Result<Self> {
+        let guard = budget.map(FileBudget::acquire).transpose()?;
+        let file = std::fs::File::open(path)?;
+        let input = BlockReader::with_size_hint(file, options, stats, file_bytes);
+        Self::from_block_reader(input, path, guard)
+    }
+
+    fn from_block_reader(
+        mut input: BlockReader,
+        path: &Path,
+        guard: Option<OpenFileGuard>,
+    ) -> Result<Self> {
+        let context = || path.display().to_string();
+        let avail = input
+            .fill_to(HEADER_LEN)
             .map_err(|e| corrupt(context(), format!("short header: {e}")))?;
-        if &magic != MAGIC {
+        if avail < HEADER_LEN {
+            return Err(corrupt(
+                context(),
+                format!("short header: {avail} of {HEADER_LEN} bytes"),
+            ));
+        }
+        let header = input.buffered();
+        if &header[..4] != MAGIC {
             return Err(corrupt(context(), "bad magic".into()));
         }
-        let mut v = [0u8; 4];
-        input
-            .read_exact(&mut v)
-            .map_err(|e| corrupt(context(), format!("short header: {e}")))?;
-        let version = u32::from_le_bytes(v);
+        let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
         if version != VERSION {
             return Err(corrupt(context(), format!("unsupported version {version}")));
         }
-        let mut c = [0u8; 8];
-        input
-            .read_exact(&mut c)
-            .map_err(|e| corrupt(context(), format!("short header: {e}")))?;
-        let total = u64::from_le_bytes(c);
+        let total = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+        input.consume(HEADER_LEN);
         Ok(ValueFileReader {
             input,
             path: path.to_path_buf(),
             total,
             produced: 0,
-            current: Vec::new(),
+            cur_offset: 0,
+            cur_len: 0,
             _guard: guard,
         })
     }
@@ -156,6 +266,101 @@ impl ValueFileReader {
     /// File this reader is positioned over.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// `read(2)` calls issued against the file so far (block fills).
+    pub fn read_calls(&self) -> u64 {
+        self.input.read_calls()
+    }
+
+    /// Reads the next record's length prefix; `Ok(None)` means the stream
+    /// is exhausted (per the header count).
+    fn next_len(&mut self) -> Result<Option<usize>> {
+        if self.produced >= self.total {
+            return Ok(None);
+        }
+        let ctx = || self.path.display().to_string();
+        let avail = self
+            .input
+            .fill_to(LEN_PREFIX)
+            .map_err(|e| corrupt(ctx(), format!("truncated record length: {e}")))?;
+        if avail < LEN_PREFIX {
+            return Err(corrupt(
+                ctx(),
+                format!("truncated record length: {avail} of {LEN_PREFIX} bytes"),
+            ));
+        }
+        let bytes = self.input.buffered()[..LEN_PREFIX]
+            .try_into()
+            .expect("4 bytes");
+        Ok(Some(u32::from_le_bytes(bytes) as usize))
+    }
+
+    /// Buffers the whole `len`-byte record (prefix included); only callable
+    /// when it fits in one block. Errors on truncation.
+    fn buffer_record(&mut self, len: usize) -> Result<()> {
+        debug_assert!(LEN_PREFIX + len <= self.input.capacity());
+        let ctx = || self.path.display().to_string();
+        let avail = self
+            .input
+            .fill_to(LEN_PREFIX + len)
+            .map_err(|e| corrupt(ctx(), format!("truncated record body: {e}")))?;
+        if avail < LEN_PREFIX + len {
+            return Err(corrupt(
+                ctx(),
+                format!(
+                    "truncated record body: {avail} of {} bytes",
+                    LEN_PREFIX + len
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Buffers the whole `len`-byte record even when it exceeds the block
+    /// (the block grows once to hold it). Errors on truncation.
+    fn buffer_record_growing(&mut self, len: usize) -> Result<()> {
+        let ctx = || self.path.display().to_string();
+        let avail = self
+            .input
+            .fill_exact_growing(LEN_PREFIX + len)
+            .map_err(|e| corrupt(ctx(), format!("truncated record body: {e}")))?;
+        if avail < LEN_PREFIX + len {
+            return Err(corrupt(
+                ctx(),
+                format!(
+                    "truncated record body: {avail} of {} bytes",
+                    LEN_PREFIX + len
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Consumes the fully-buffered record as the current value (zero-copy).
+    #[inline]
+    fn take_buffered(&mut self, len: usize) {
+        self.input.consume(LEN_PREFIX);
+        self.cur_offset = self.input.pos();
+        self.cur_len = len;
+        self.input.consume(len);
+        self.produced += 1;
+    }
+
+    /// [`ValueCursor::advance`] continuation once the fast path missed:
+    /// refill the block, or grow it for a record larger than one block.
+    #[cold]
+    fn advance_slow(&mut self) -> Result<bool> {
+        let Some(len) = self.next_len()? else {
+            return Ok(false); // unreachable: advance checked produced < total
+        };
+        if LEN_PREFIX + len <= self.input.capacity() {
+            self.buffer_record(len)?;
+        } else {
+            self.buffer_record_growing(len)?;
+        }
+        self.take_buffered(len);
+        Ok(true)
     }
 }
 
@@ -177,7 +382,7 @@ enum PrefixOrder {
 /// Decides how a `len`-byte value whose first `probe.len()` bytes are
 /// `probe` compares to `lower`. Conclusive whenever a byte differs inside
 /// the window or either string ends there; undecided only when the shared
-/// prefix runs past the window (i.e. past the reader's buffer).
+/// prefix runs past the window (i.e. past a whole block).
 fn prefix_order(probe: &[u8], len: usize, lower: &[u8]) -> PrefixOrder {
     let p = probe.len().min(lower.len());
     match probe[..p].cmp(&lower[..p]) {
@@ -200,86 +405,74 @@ fn prefix_order(probe: &[u8], len: usize, lower: &[u8]) -> PrefixOrder {
 }
 
 impl ValueCursor for ValueFileReader {
+    #[inline]
     fn advance(&mut self) -> Result<bool> {
         if self.produced >= self.total {
             return Ok(false);
         }
-        let ctx = || self.path.display().to_string();
-        let mut len_buf = [0u8; 4];
-        self.input
-            .read_exact(&mut len_buf)
-            .map_err(|e| corrupt(ctx(), format!("truncated record length: {e}")))?;
-        let len = u32::from_le_bytes(len_buf) as usize;
-        self.current.resize(len, 0);
-        self.input
-            .read_exact(&mut self.current)
-            .map_err(|e| corrupt(ctx(), format!("truncated record body: {e}")))?;
-        self.produced += 1;
-        Ok(true)
+        // Fast path — the whole record (prefix + body) is already in the
+        // block: parse in place, bump the consume cursor, no calls into
+        // the fill machinery at all. This is the steady state; everything
+        // else (block exhausted, record straddles the block, truncation)
+        // takes the slow path.
+        let buffered = self.input.buffered();
+        if let Some(body) = buffered.get(LEN_PREFIX..) {
+            let len =
+                u32::from_le_bytes(buffered[..LEN_PREFIX].try_into().expect("4 bytes")) as usize;
+            if body.len() >= len {
+                self.take_buffered(len);
+                return Ok(true);
+            }
+        }
+        self.advance_slow()
     }
 
     /// Forward seek that skips value bodies without copying them: each
-    /// record's length prefix is read, the buffered bytes are compared
-    /// against `lower` in place, and provably-smaller values whose bodies
-    /// sit entirely inside the read buffer are jumped over with
-    /// [`BufReader::seek_relative`] — a pure pointer bump that cannot cross
-    /// EOF, so truncation stays detectable exactly as in [`advance`]. Only
-    /// the first value `>= lower`, bodies spanning the buffer boundary, and
-    /// the rare value whose shared prefix with `lower` outruns the buffer
-    /// are materialised into the workhorse buffer.
-    ///
-    /// [`advance`]: ValueCursor::advance
+    /// record is compared against `lower` **inside the block**, and
+    /// provably-smaller records are jumped over by bumping the consume
+    /// cursor — no syscall, no copy, and truncation stays detectable
+    /// because skips never move past the fill end. Only the first value
+    /// `>= lower`, records larger than one block, and the rare value whose
+    /// shared prefix with `lower` outruns the block are materialised.
     fn seek(&mut self, lower: &[u8]) -> Result<bool> {
-        while self.produced < self.total {
-            let ctx = || self.path.display().to_string();
-            let mut len_buf = [0u8; 4];
-            self.input
-                .read_exact(&mut len_buf)
-                .map_err(|e| corrupt(ctx(), format!("truncated record length: {e}")))?;
-            let len = u32::from_le_bytes(len_buf) as usize;
-            let (order, fully_buffered) = {
-                let buffered = self
-                    .input
-                    .fill_buf()
-                    .map_err(|e| corrupt(ctx(), format!("truncated record body: {e}")))?;
-                (
-                    prefix_order(&buffered[..buffered.len().min(len)], len, lower),
-                    buffered.len() >= len,
-                )
-            };
-            match order {
-                PrefixOrder::Below if fully_buffered => {
-                    self.input
-                        .seek_relative(len as i64)
-                        .map_err(|e| corrupt(ctx(), format!("truncated record body: {e}")))?;
+        while let Some(len) = self.next_len()? {
+            if LEN_PREFIX + len <= self.input.capacity() {
+                // Fully buffered: the comparison sees the whole value, so
+                // it is always decisive.
+                self.buffer_record(len)?;
+                let below = &self.input.buffered()[LEN_PREFIX..LEN_PREFIX + len] < lower;
+                if below {
+                    self.input.consume(LEN_PREFIX + len);
                     self.produced += 1;
-                }
-                PrefixOrder::Below => {
-                    // Skippable, but the body extends past the buffer: read
-                    // it through the workhorse buffer so a truncated file
-                    // errors here instead of being silently seeked past.
-                    self.current.resize(len, 0);
-                    self.input
-                        .read_exact(&mut self.current)
-                        .map_err(|e| corrupt(ctx(), format!("truncated record body: {e}")))?;
-                    self.produced += 1;
-                }
-                PrefixOrder::AtOrAbove => {
-                    self.current.resize(len, 0);
-                    self.input
-                        .read_exact(&mut self.current)
-                        .map_err(|e| corrupt(ctx(), format!("truncated record body: {e}")))?;
-                    self.produced += 1;
+                } else {
+                    self.take_buffered(len);
                     return Ok(true);
                 }
-                PrefixOrder::Undecided => {
-                    self.current.resize(len, 0);
-                    self.input
-                        .read_exact(&mut self.current)
-                        .map_err(|e| corrupt(ctx(), format!("truncated record body: {e}")))?;
-                    self.produced += 1;
-                    if self.current.as_slice() >= lower {
-                        return Ok(true);
+            } else {
+                // The record straddles even a full block: decide what we
+                // can from a full-block window, then materialise the body
+                // by growing the block (even when skippable — a truncated
+                // file must error here instead of being silently passed).
+                let ctx = || self.path.display().to_string();
+                let capacity = self.input.capacity();
+                let avail = self
+                    .input
+                    .fill_to(capacity)
+                    .map_err(|e| corrupt(ctx(), format!("truncated record body: {e}")))?;
+                let window = avail.min(LEN_PREFIX + len);
+                let order = {
+                    let probe = &self.input.buffered()[LEN_PREFIX..window];
+                    prefix_order(probe, len, lower)
+                };
+                self.buffer_record_growing(len)?;
+                self.take_buffered(len);
+                match order {
+                    PrefixOrder::Below => {} // skipped (read only to verify it exists)
+                    PrefixOrder::AtOrAbove => return Ok(true),
+                    PrefixOrder::Undecided => {
+                        if self.current() >= lower {
+                            return Ok(true);
+                        }
                     }
                 }
             }
@@ -287,15 +480,18 @@ impl ValueCursor for ValueFileReader {
         Ok(false)
     }
 
+    #[inline]
     fn current(&self) -> &[u8] {
         debug_assert!(self.produced > 0, "current() before first advance()");
-        &self.current
+        self.input.slice(self.cur_offset, self.cur_len)
     }
 
+    #[inline]
     fn remaining(&self) -> u64 {
         self.total - self.produced
     }
 
+    #[inline]
     fn len(&self) -> u64 {
         self.total
     }
@@ -404,6 +600,33 @@ mod tests {
     }
 
     #[test]
+    fn truncation_detected_at_every_boundary_position() {
+        // Chop the file at every possible byte position past the header;
+        // draining the reader must error (never silently succeed), whether
+        // the cut lands inside a length prefix, inside a body, or exactly
+        // on a record boundary — and at any block size, including blocks
+        // smaller than a record and blocks larger than the file.
+        let dir = TempDir::new("vf-trunc-all");
+        let full = dir.join("full.indv");
+        let values = bytes(&["aa", "bbbb", "cccccccc", "dddddddddddddddd"]);
+        write_value_file(&full, &values).unwrap();
+        let data = std::fs::read(&full).unwrap();
+        for block_size in [1usize, 5, 16, 64, 8192] {
+            let options = IoOptions::with_block_size(block_size);
+            for cut in HEADER_LEN..data.len() {
+                let path = dir.join("cut.indv");
+                std::fs::write(&path, &data[..cut]).unwrap();
+                let drained =
+                    ValueFileReader::open_with_options(&path, &options).and_then(collect_cursor);
+                assert!(
+                    matches!(drained, Err(ValueSetError::Corrupt { .. })),
+                    "cut at {cut} (block {block_size}) must be Corrupt, got {drained:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn header_count_is_patched() {
         let dir = TempDir::new("vf-count");
         let path = dir.join("c.indv");
@@ -431,12 +654,10 @@ mod tests {
         assert!(ValueFileReader::open_with_budget(&path, &budget).is_ok());
     }
 
-    #[test]
-    fn seek_agrees_with_memory_cursor_on_the_same_data() {
-        use crate::memory::MemoryValueSet;
-        // Value shapes chosen to hit every branch of the prefix comparison:
-        // the empty value, shared prefixes, a prefix-of-`lower` value, and
-        // values longer than the probe targets.
+    /// The value shapes used by the seek-agreement cases: chosen to hit
+    /// every branch of the prefix comparison — the empty value, shared
+    /// prefixes, a prefix-of-`lower` value, and values longer than probes.
+    fn seek_fixture() -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
         let values: Vec<Vec<u8>> = vec![
             b"".to_vec(),
             b"alpha".to_vec(),
@@ -447,11 +668,6 @@ mod tests {
             [vec![b'p'; 1024], b"q".to_vec()].concat(),
             b"zz".to_vec(),
         ];
-        let dir = TempDir::new("vf-seek");
-        let path = dir.join("s.indv");
-        write_value_file(&path, &values).unwrap();
-        let mem = MemoryValueSet::from_sorted_distinct(values.clone()).unwrap();
-
         let probes: Vec<Vec<u8>> = vec![
             b"".to_vec(),
             b"a".to_vec(),
@@ -465,26 +681,261 @@ mod tests {
             b"zz".to_vec(),
             b"zzz".to_vec(),
         ];
-        for lower in &probes {
-            let mut file = ValueFileReader::open(&path).unwrap();
-            let mut mem_cursor = mem.cursor();
-            let found_file = file.seek(lower).unwrap();
-            let found_mem = mem_cursor.seek(lower).unwrap();
-            assert_eq!(found_file, found_mem, "lower={lower:?}");
-            if found_file {
-                assert_eq!(file.current(), mem_cursor.current(), "lower={lower:?}");
+        (values, probes)
+    }
+
+    /// Seek + full drain must agree with the in-memory cursor.
+    fn assert_seek_agreement(path: &Path, options: &IoOptions, values: &[Vec<u8>], lower: &[u8]) {
+        use crate::memory::MemoryValueSet;
+        let mem = MemoryValueSet::from_sorted_distinct(values.to_vec()).unwrap();
+        let mut file = ValueFileReader::open_with_options(path, options).unwrap();
+        let mut mem_cursor = mem.cursor();
+        let found_file = file.seek(lower).unwrap();
+        let found_mem = mem_cursor.seek(lower).unwrap();
+        assert_eq!(found_file, found_mem, "lower={lower:?} options={options:?}");
+        if found_file {
+            assert_eq!(file.current(), mem_cursor.current(), "lower={lower:?}");
+        }
+        // The suffix after the seek must agree too (seek is forward-only
+        // positioning, not a point query).
+        loop {
+            let (a, b) = (file.advance().unwrap(), mem_cursor.advance().unwrap());
+            assert_eq!(a, b, "lower={lower:?}");
+            if !a {
+                break;
             }
-            // The suffix after the seek must agree too (seek is forward-only
-            // positioning, not a point query).
-            loop {
-                let (a, b) = (file.advance().unwrap(), mem_cursor.advance().unwrap());
-                assert_eq!(a, b, "lower={lower:?}");
-                if !a {
-                    break;
-                }
-                assert_eq!(file.current(), mem_cursor.current(), "lower={lower:?}");
+            assert_eq!(file.current(), mem_cursor.current(), "lower={lower:?}");
+        }
+    }
+
+    #[test]
+    fn seek_agrees_with_memory_cursor_on_the_same_data() {
+        let (values, probes) = seek_fixture();
+        let dir = TempDir::new("vf-seek");
+        let path = dir.join("s.indv");
+        write_value_file(&path, &values).unwrap();
+        for lower in &probes {
+            assert_seek_agreement(&path, &IoOptions::default(), &values, lower);
+        }
+    }
+
+    #[test]
+    fn seek_agrees_at_tiny_block_sizes() {
+        // Blocks far smaller than the records force every record through
+        // the straddling (spill) paths; blocks of a few bytes are clamped
+        // to the minimum and still straddle everything over 12 bytes.
+        let (values, probes) = seek_fixture();
+        let dir = TempDir::new("vf-seek-tiny");
+        let path = dir.join("s.indv");
+        write_value_file(&path, &values).unwrap();
+        for block_size in [1usize, 3, 16, 17, 64, 1025] {
+            let options = IoOptions::with_block_size(block_size);
+            for lower in &probes {
+                assert_seek_agreement(&path, &options, &values, lower);
             }
         }
+    }
+
+    #[test]
+    fn round_trip_at_block_sizes_straddling_every_record() {
+        // Record bodies larger than, equal to, and one byte either side of
+        // the block size; writer and reader block sizes vary independently.
+        let dir = TempDir::new("vf-straddle");
+        let mut values: Vec<Vec<u8>> = (0..40u8)
+            .map(|i| {
+                let len = usize::from(i) * 3 % 61;
+                let mut v = vec![b'a' + (i % 26); len];
+                v.push(i); // force distinctness
+                v
+            })
+            .collect();
+        values.push(vec![b'z'; 5000]); // larger than every tested block
+        values.sort_unstable();
+        values.dedup();
+        for write_block in [1usize, 17, 4096] {
+            let path = dir.join(&format!("w{write_block}.indv"));
+            let mut w = ValueFileWriter::create_with_options(
+                &path,
+                &IoOptions::with_block_size(write_block),
+            )
+            .unwrap();
+            for v in &values {
+                w.append(v).unwrap();
+            }
+            assert_eq!(w.finish().unwrap() as usize, values.len());
+            for read_block in [1usize, 16, 31, 61, 62, 63, 4096, 16384] {
+                let r = ValueFileReader::open_with_options(
+                    &path,
+                    &IoOptions::with_block_size(read_block),
+                )
+                .unwrap();
+                assert_eq!(
+                    collect_cursor(r).unwrap(),
+                    values,
+                    "write_block={write_block} read_block={read_block}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn writer_coalesces_records_into_block_sized_writes() {
+        // 200 records through a default-sized block all stay staged until
+        // `finish` (zero flushes on the way); a 32-byte block flushes
+        // roughly once per block — never once per record, let alone the
+        // two writes per record of the pre-block writer.
+        let dir = TempDir::new("vf-writer-coalesce");
+        let values: Vec<Vec<u8>> = (0..200u32)
+            .map(|i| format!("{i:06}").into_bytes())
+            .collect();
+
+        let mut big = ValueFileWriter::create(&dir.join("big.indv")).unwrap();
+        for v in &values {
+            big.append(v).unwrap();
+        }
+        assert_eq!(big.write_calls(), 0, "default block holds everything");
+        assert_eq!(big.bytes_written(), 16 + 200 * 10);
+        big.finish().unwrap();
+
+        let mut small = ValueFileWriter::create_with_options(
+            &dir.join("small.indv"),
+            &IoOptions::with_block_size(32),
+        )
+        .unwrap();
+        for v in &values {
+            small.append(v).unwrap();
+        }
+        let flushes = small.write_calls();
+        small.finish().unwrap();
+        assert!(
+            flushes >= 50 && flushes <= values.len() as u64,
+            "one write per ~32-byte block, not per record: {flushes}"
+        );
+    }
+
+    #[test]
+    fn writer_output_is_identical_at_any_block_size() {
+        // The block size is an I/O knob, never a format knob.
+        let dir = TempDir::new("vf-writer-id");
+        let values = bytes(&["a", "bb", "ccc", "dddd"]);
+        let reference = dir.join("ref.indv");
+        write_value_file(&reference, &values).unwrap();
+        let expected = std::fs::read(&reference).unwrap();
+        for block_size in [1usize, 7, 16, 1024] {
+            let path = dir.join(&format!("b{block_size}.indv"));
+            let mut w = ValueFileWriter::create_with_options(
+                &path,
+                &IoOptions::with_block_size(block_size),
+            )
+            .unwrap();
+            for v in &values {
+                w.append(v).unwrap();
+            }
+            w.finish().unwrap();
+            assert_eq!(
+                std::fs::read(&path).unwrap(),
+                expected,
+                "block_size={block_size}"
+            );
+        }
+    }
+
+    #[test]
+    fn reader_counts_block_fills_not_records() {
+        let dir = TempDir::new("vf-readcalls");
+        let path = dir.join("r.indv");
+        let values: Vec<Vec<u8>> = (0..1000u32)
+            .map(|i| format!("value-{i:08}").into_bytes())
+            .collect();
+        write_value_file(&path, &values).unwrap();
+        let file_len = std::fs::metadata(&path).unwrap().len();
+
+        // Big block: the whole file arrives in ~one fill.
+        let r = ValueFileReader::open_with_options(&path, &IoOptions::default()).unwrap();
+        let big_block = {
+            let mut r = r;
+            let mut n = 0u64;
+            while r.advance().unwrap() {
+                n += 1;
+            }
+            assert_eq!(n, 1000);
+            r.read_calls()
+        };
+        assert!(
+            big_block <= 3,
+            "a {file_len}-byte file must fill in a couple of reads, got {big_block}"
+        );
+
+        // Small block: fills scale with file size / block size, but stay
+        // far below one per record.
+        let mut r =
+            ValueFileReader::open_with_options(&path, &IoOptions::with_block_size(256)).unwrap();
+        while r.advance().unwrap() {}
+        let small_block = r.read_calls();
+        assert!(
+            small_block >= 10 * big_block,
+            "256-byte blocks over {file_len} bytes: {small_block} vs {big_block}"
+        );
+        assert!(
+            small_block < 1000,
+            "even tiny blocks must not read once per record: {small_block}"
+        );
+    }
+
+    #[test]
+    fn current_is_zero_copy_for_buffered_records() {
+        // Consecutive records served from one block must be *adjacent in
+        // memory* (previous value + its 4-byte length prefix) — the proof
+        // that `current()` points into the block instead of copying into a
+        // per-record buffer.
+        let dir = TempDir::new("vf-zerocopy");
+        let path = dir.join("z.indv");
+        let values = bytes(&["aaa", "bbbb", "ccccc"]);
+        write_value_file(&path, &values).unwrap();
+        let mut r = ValueFileReader::open(&path).unwrap();
+        assert!(r.advance().unwrap());
+        let first = r.current().as_ptr() as usize;
+        let first_len = r.current().len();
+        assert!(r.advance().unwrap());
+        let second = r.current().as_ptr() as usize;
+        assert_eq!(
+            second,
+            first + first_len + 4,
+            "second record must sit right after the first inside the block"
+        );
+
+        // A value larger than the block is still served in place: the
+        // block grows to hold it instead of copying it out.
+        let mixed = dir.join("mix.indv");
+        let big = vec![b'x'; 100];
+        write_value_file(&mixed, &[b"aa".to_vec(), big.clone()]).unwrap();
+        let mut r =
+            ValueFileReader::open_with_options(&mixed, &IoOptions::with_block_size(32)).unwrap();
+        assert!(r.advance().unwrap());
+        assert_eq!(r.current(), b"aa");
+        assert!(r.advance().unwrap());
+        assert_eq!(r.current(), big.as_slice());
+    }
+
+    #[test]
+    fn seek_skips_without_read_calls_inside_a_block() {
+        // Once the block is filled, skipping provably-smaller records is a
+        // pure consume-cursor bump: seeking across hundreds of records must
+        // not add a single read call beyond the fills already needed.
+        let dir = TempDir::new("vf-seek-nocalls");
+        let path = dir.join("s.indv");
+        let values: Vec<Vec<u8>> = (0..500u32)
+            .map(|i| format!("{i:06}").into_bytes())
+            .collect();
+        write_value_file(&path, &values).unwrap();
+        let mut r = ValueFileReader::open(&path).unwrap();
+        assert!(r.seek(b"000499").unwrap());
+        assert_eq!(r.current(), b"000499");
+        assert!(
+            r.read_calls() <= 2,
+            "in-block seek must not issue per-record reads, got {}",
+            r.read_calls()
+        );
     }
 
     #[test]
@@ -510,23 +961,31 @@ mod tests {
     fn seek_reports_truncated_bodies_like_advance() {
         // A record body chopped mid-value must surface as Corrupt from
         // `seek` too — the skip fast path may never seek past missing
-        // bytes. A 16 KiB value guarantees the body is not fully buffered,
-        // so the copying fallback (and its read_exact error) is exercised.
+        // bytes. Exercised both with the record straddling the block (the
+        // spill fallback errors) and fully-fitting (the fill comes up
+        // short).
         let dir = TempDir::new("vf-seek-trunc");
         let path = dir.join("t.indv");
         let values = vec![b"aaa".to_vec(), vec![b'b'; 16 * 1024]];
         write_value_file(&path, &values).unwrap();
         let data = std::fs::read(&path).unwrap();
         std::fs::write(&path, &data[..data.len() - 100]).unwrap();
-        let mut r = ValueFileReader::open(&path).unwrap();
-        assert!(matches!(r.seek(b"zzz"), Err(ValueSetError::Corrupt { .. })));
+        for block_size in [64usize, 4096, 64 * 1024] {
+            let mut r =
+                ValueFileReader::open_with_options(&path, &IoOptions::with_block_size(block_size))
+                    .unwrap();
+            assert!(
+                matches!(r.seek(b"zzz"), Err(ValueSetError::Corrupt { .. })),
+                "block_size={block_size}"
+            );
+        }
     }
 
     #[test]
-    fn seek_decides_shared_prefixes_longer_than_the_read_buffer() {
-        // BufReader's default buffer is 8 KiB; a 12 KiB shared prefix forces
-        // the undecided fallback path (copy + compare) and must still agree
-        // with the in-memory answer.
+    fn seek_decides_shared_prefixes_longer_than_the_block() {
+        // A shared prefix longer than the whole block forces the undecided
+        // fallback path (spill + compare) and must still agree with the
+        // in-memory answer.
         use crate::memory::MemoryValueSet;
         let prefix = vec![b'x'; 12 * 1024];
         let values: Vec<Vec<u8>> = vec![
@@ -538,12 +997,13 @@ mod tests {
         let path = dir.join("big.indv");
         write_value_file(&path, &values).unwrap();
         let mem = MemoryValueSet::from_sorted_distinct(values.clone()).unwrap();
+        let options = IoOptions::with_block_size(4096); // prefix outruns the block
         for lower in [
             [prefix.clone(), b"b".to_vec()].concat(),
             [prefix.clone(), b"z".to_vec()].concat(),
             [prefix.clone(), b"zz".to_vec()].concat(),
         ] {
-            let mut file = ValueFileReader::open(&path).unwrap();
+            let mut file = ValueFileReader::open_with_options(&path, &options).unwrap();
             let mut mem_cursor = mem.cursor();
             let found = file.seek(&lower).unwrap();
             assert_eq!(found, mem_cursor.seek(&lower).unwrap());

@@ -2,13 +2,16 @@
 //!
 //! The sorted-value-set substrate beneath the paper's database-external
 //! algorithms (Sec. 3): canonical byte-string value sets extracted per
-//! attribute, persisted to counted, strictly-sorted value files; buffered
-//! forward cursors; an external merge sort standing in for the RDBMS's sort
-//! machinery; and an open-file budget that makes the operating-system limit
-//! of Sec. 4.2 an explicit, testable resource.
+//! attribute, persisted to counted, strictly-sorted value files; a
+//! block-oriented zero-copy I/O layer ([`BlockReader`], [`IoOptions`])
+//! serving forward cursors straight out of large read blocks; an external
+//! merge sort standing in for the RDBMS's sort machinery; and an open-file
+//! budget that makes the operating-system limit of Sec. 4.2 an explicit,
+//! testable resource.
 
 #![warn(missing_docs)]
 
+mod block;
 mod budget;
 mod cursor;
 mod error;
@@ -19,6 +22,7 @@ mod manager;
 mod memory;
 mod range;
 
+pub use block::{BlockReader, IoOptions, ReadStats, DEFAULT_BLOCK_SIZE, MIN_BLOCK_SIZE};
 pub use budget::{FileBudget, OpenFileGuard};
 pub use cursor::{collect_cursor, ValueCursor, ValueSetProvider};
 pub use error::{Result, ValueSetError};

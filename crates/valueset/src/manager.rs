@@ -2,6 +2,7 @@
 //! per-attribute metadata (cardinalities, min/max) that candidate
 //! generation and the pretests consume.
 
+use crate::block::{IoOptions, ReadStats};
 use crate::budget::FileBudget;
 use crate::cursor::ValueSetProvider;
 use crate::error::Result;
@@ -14,7 +15,10 @@ use std::path::{Path, PathBuf};
 /// Options controlling a database export.
 #[derive(Debug, Clone)]
 pub struct ExportOptions {
-    /// Sorter tuning (memory budget before spilling).
+    /// Sorter tuning: memory budget before spilling, plus the I/O block
+    /// size ([`SortOptions::io`]) — the single knob governing every value
+    /// file this export writes (spill runs included) and every cursor the
+    /// resulting [`ExportedDatabase`] opens over them.
     pub sort: SortOptions,
     /// Worker threads for the per-attribute extract/sort/write pipeline
     /// (attribute extractions are independent). `0` and `1` both mean
@@ -38,6 +42,19 @@ impl ExportOptions {
             threads,
             ..Default::default()
         }
+    }
+
+    /// Default options with the given I/O block size for writers and
+    /// readers alike.
+    pub fn with_block_size(block_size: usize) -> Self {
+        let mut options = ExportOptions::default();
+        options.sort.io = IoOptions::with_block_size(block_size);
+        options
+    }
+
+    /// The I/O options every value file of this export uses.
+    pub fn io(&self) -> &IoOptions {
+        &self.sort.io
     }
 }
 
@@ -67,6 +84,9 @@ pub struct ExportedAttribute {
     pub max: Option<Vec<u8>>,
     /// Value file backing this attribute.
     pub path: PathBuf,
+    /// Byte size of that file, recorded at write time so cursors can size
+    /// their block buffers without an `fstat` per open.
+    pub file_bytes: u64,
 }
 
 impl ExportedAttribute {
@@ -87,6 +107,8 @@ pub struct ExportedDatabase {
     dir: PathBuf,
     attributes: Vec<ExportedAttribute>,
     budget: FileBudget,
+    io: IoOptions,
+    read_stats: ReadStats,
 }
 
 impl ExportedDatabase {
@@ -137,6 +159,7 @@ impl ExportedDatabase {
                 min: stats.min,
                 max: stats.max,
                 path: job.path.clone(),
+                file_bytes: stats.file_bytes,
             })
         };
 
@@ -177,6 +200,8 @@ impl ExportedDatabase {
             dir: dir.to_path_buf(),
             attributes,
             budget: FileBudget::unlimited(),
+            io: options.sort.io.clone(),
+            read_stats: ReadStats::new(),
         })
     }
 
@@ -205,6 +230,28 @@ impl ExportedDatabase {
     pub fn file_budget(&self) -> &FileBudget {
         &self.budget
     }
+
+    /// The I/O options every cursor opened from this export uses.
+    pub fn io_options(&self) -> &IoOptions {
+        &self.io
+    }
+
+    /// Overrides the I/O options for subsequently opened cursors.
+    pub fn set_io_options(&mut self, io: IoOptions) {
+        self.io = io;
+    }
+
+    /// Total `read(2)` calls issued by every cursor this export has opened
+    /// (including ones on worker threads). The disk-side analogue of the
+    /// bench harness's allocation counters.
+    pub fn read_calls(&self) -> u64 {
+        self.read_stats.read_calls()
+    }
+
+    /// Resets the shared read-call counter (between measured phases).
+    pub fn reset_read_calls(&self) {
+        self.read_stats.reset();
+    }
 }
 
 impl ValueSetProvider for ExportedDatabase {
@@ -215,7 +262,13 @@ impl ValueSetProvider for ExportedDatabase {
             .attributes
             .get(id as usize)
             .ok_or(crate::error::ValueSetError::UnknownAttribute(id))?;
-        ValueFileReader::open_with_budget(&attr.path, &self.budget)
+        ValueFileReader::open_sized(
+            &attr.path,
+            &self.io,
+            Some(&self.budget),
+            Some(self.read_stats.clone()),
+            attr.file_bytes,
+        )
     }
 
     fn attribute_count(&self) -> usize {
@@ -317,6 +370,57 @@ mod tests {
                 "worker spill dirs must be cleaned up"
             );
         }
+    }
+
+    #[test]
+    fn block_size_is_an_io_knob_not_a_format_knob() {
+        // Exports at wildly different block sizes must produce identical
+        // files and identical streams, and cursors opened at any block size
+        // read any export.
+        let db = sample_db();
+        let ref_dir = TempDir::new("export-io-ref");
+        let reference =
+            ExportedDatabase::export(&db, ref_dir.path(), &ExportOptions::default()).unwrap();
+        for block_size in [1usize, 16, 64, 1 << 20] {
+            let dir = TempDir::new("export-io");
+            let exp = ExportedDatabase::export(
+                &db,
+                dir.path(),
+                &ExportOptions::with_block_size(block_size),
+            )
+            .unwrap();
+            assert_eq!(exp.io_options().block_size, block_size);
+            for (a, b) in exp.attributes().iter().zip(reference.attributes()) {
+                assert_eq!(
+                    std::fs::read(&a.path).unwrap(),
+                    std::fs::read(&b.path).unwrap(),
+                    "block_size={block_size}, attribute {}",
+                    a.name
+                );
+                assert_eq!(
+                    collect_cursor(exp.open(a.id).unwrap()).unwrap(),
+                    collect_cursor(reference.open(b.id).unwrap()).unwrap(),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn read_calls_aggregate_across_cursors() {
+        let dir = TempDir::new("export-readcalls");
+        let exp =
+            ExportedDatabase::export(&sample_db(), dir.path(), &ExportOptions::default()).unwrap();
+        assert_eq!(exp.read_calls(), 0, "no cursors opened yet");
+        for id in 0..exp.attribute_count() as u32 {
+            collect_cursor(exp.open(id).unwrap()).unwrap();
+        }
+        let after_scan = exp.read_calls();
+        assert!(
+            after_scan >= exp.attribute_count() as u64,
+            "each cursor fills at least once, got {after_scan}"
+        );
+        exp.reset_read_calls();
+        assert_eq!(exp.read_calls(), 0);
     }
 
     #[test]

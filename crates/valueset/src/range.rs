@@ -233,4 +233,40 @@ mod tests {
             bytes(&["beta", "delta", "gamma"])
         );
     }
+
+    #[test]
+    fn partitioned_file_streams_concatenate_at_any_block_size() {
+        // The parallel-SPIDER substrate: range-clamped block readers whose
+        // lower bound lands mid-block (seek fast path), on a boundary, or
+        // inside a record that straddles the block — the concatenation of
+        // the partition streams must rebuild the full stream exactly.
+        use crate::block::IoOptions;
+        use crate::format::{write_value_file, ValueFileReader};
+        use ind_testkit::TempDir;
+        let mut values: Vec<Vec<u8>> = (0..60u32)
+            .map(|i| format!("k{i:04}").into_bytes())
+            .collect();
+        values.push(vec![b'z'; 300]); // straddles the small test blocks
+        values.sort_unstable();
+        let dir = TempDir::new("range-file-blocks");
+        let path = dir.join("v.indv");
+        write_value_file(&path, &values).unwrap();
+        let cuts: [Option<&[u8]>; 5] = [
+            None,
+            Some(b"k0010"),
+            Some(b"k0033x"), // between two values
+            Some(b"z"),
+            None,
+        ];
+        for block_size in [1usize, 16, 24, 299, 8192] {
+            let options = IoOptions::with_block_size(block_size);
+            let mut rebuilt = Vec::new();
+            for window in cuts.windows(2) {
+                let inner = ValueFileReader::open_with_options(&path, &options).unwrap();
+                rebuilt
+                    .extend(collect_cursor(RangeCursor::new(inner, window[0], window[1])).unwrap());
+            }
+            assert_eq!(rebuilt, values, "block_size={block_size}");
+        }
+    }
 }

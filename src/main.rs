@@ -5,6 +5,7 @@
 //! spider-ind profile  <dir>
 //! spider-ind discover <dir> [--algorithm bf|bfpar|sp|spider|spiderpar|blockwise]
 //!                           [--threads N] [--max-files N] [--max-pretest] [--names]
+//!                           [--on-disk] [--block-size BYTES] [--workdir DIR]
 //! spider-ind fks      <dir>
 //! ```
 //!
@@ -60,8 +61,12 @@ fn print_usage() {
          \x20     Per-attribute statistics (rows, distinct, nulls, uniqueness).\n\
          \x20 spider-ind discover <dir> [--algorithm bf|bfpar|sp|spider|spiderpar|blockwise]\n\
          \x20                     [--threads N] [--max-files N] [--max-pretest] [--names]\n\
+         \x20                     [--on-disk] [--block-size BYTES] [--workdir DIR]\n\
          \x20     Discover all satisfied INDs. `--threads` sets the worker\n\
          \x20     count of the parallel algorithms (bfpar, spiderpar).\n\
+         \x20     `--on-disk` runs the paper's actual pipeline over sorted\n\
+         \x20     value files (exported under `--workdir`, default a fresh\n\
+         \x20     temp dir) read through `--block-size`-byte I/O blocks.\n\
          \x20 spider-ind fks <dir>\n\
          \x20     Foreign-key guesses, accession candidates, primary relation."
     );
@@ -181,9 +186,14 @@ fn cmd_discover(args: &[String]) -> Result<(), String> {
     if args.iter().any(|a| a == "--max-pretest") {
         config.pretests = PretestConfig::with_max_value();
     }
-    let discovery = IndFinder::new(config)
-        .discover_in_memory(&db)
-        .map_err(|e| format!("discovery failed: {e}"))?;
+    let finder = IndFinder::new(config);
+    let discovery = if args.iter().any(|a| a == "--on-disk") {
+        discover_on_disk(&finder, &db, args)?
+    } else {
+        finder
+            .discover_in_memory(&db)
+            .map_err(|e| format!("discovery failed: {e}"))?
+    };
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -201,6 +211,42 @@ fn cmd_discover(args: &[String]) -> Result<(), String> {
     }
     emit(&out);
     Ok(())
+}
+
+/// Runs the disk-backed pipeline: export to sorted value files under
+/// `--workdir` (default: a fresh process-scoped temp directory, removed
+/// afterwards; an explicit `--workdir` is kept for inspection), reading
+/// them back through `--block-size`-byte blocks.
+fn discover_on_disk(
+    finder: &IndFinder,
+    db: &spider_ind::storage::Database,
+    args: &[String],
+) -> Result<spider_ind::core::Discovery, String> {
+    use spider_ind::valueset::ExportOptions;
+    let mut options = ExportOptions::with_threads(finder.config.algorithm.extraction_threads());
+    if let Some(block_size) = flag_value(args, "--block-size")? {
+        options.sort.io = spider_ind::valueset::IoOptions::with_block_size(block_size as usize);
+    }
+    let explicit = match args.iter().position(|a| a == "--workdir") {
+        None => None,
+        Some(i) => match args.get(i + 1) {
+            // Reject a missing/flag-shaped value instead of silently
+            // falling back to (and then deleting) a temp export.
+            Some(dir) if !dir.starts_with("--") => Some(dir.clone()),
+            _ => return Err("--workdir requires a directory value".into()),
+        },
+    };
+    let workdir = match &explicit {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => std::env::temp_dir().join(format!("spider-ind-export-{}", std::process::id())),
+    };
+    let result = finder
+        .discover_on_disk_with(db, &workdir, &options)
+        .map_err(|e| format!("discovery failed: {e}"));
+    if explicit.is_none() {
+        let _ = std::fs::remove_dir_all(&workdir);
+    }
+    result
 }
 
 fn cmd_fks(args: &[String]) -> Result<(), String> {

@@ -100,6 +100,68 @@ fn discover_algorithms_agree_via_cli() {
 }
 
 #[test]
+fn on_disk_discovery_matches_in_memory_via_cli() {
+    let dir = TempDir::new("cli-ondisk");
+    let db_dir = dir.join("db");
+    let db_path = db_dir.to_str().expect("utf8 path");
+    assert!(spider_ind(&["generate", "scop", db_path, "--scale", "5"])
+        .status
+        .success());
+
+    let inds = |out: &std::process::Output| -> Vec<String> {
+        stdout(out)
+            .lines()
+            .filter(|l| l.contains(" <= "))
+            .map(str::to_string)
+            .collect()
+    };
+    let mem = spider_ind(&["discover", db_path, "--algorithm", "spider"]);
+    assert!(mem.status.success());
+
+    // Disk-backed runs at default and non-default block sizes, with an
+    // explicit workdir (kept) and without (temp, removed).
+    let workdir = dir.join("export");
+    let disk = spider_ind(&[
+        "discover",
+        db_path,
+        "--algorithm",
+        "spider",
+        "--on-disk",
+        "--names",
+        "--workdir",
+        workdir.to_str().expect("utf8"),
+    ]);
+    assert!(
+        disk.status.success(),
+        "{}",
+        String::from_utf8_lossy(&disk.stderr)
+    );
+    assert_eq!(inds(&mem), inds(&disk));
+    assert!(workdir.exists(), "explicit --workdir is kept");
+    assert!(
+        stdout(&disk).contains("read_calls="),
+        "--names must report read calls:\n{}",
+        stdout(&disk)
+    );
+
+    let tiny = spider_ind(&[
+        "discover",
+        db_path,
+        "--algorithm",
+        "spider",
+        "--on-disk",
+        "--block-size",
+        "64",
+    ]);
+    assert!(tiny.status.success());
+    assert_eq!(
+        inds(&mem),
+        inds(&tiny),
+        "block size must not change results"
+    );
+}
+
+#[test]
 fn discover_rejects_unknown_algorithm() {
     let dir = TempDir::new("cli-badalgo");
     let db_dir = dir.join("db");
