@@ -79,14 +79,31 @@ pub fn generate_candidates(
     pretests: &PretestConfig,
     metrics: &mut RunMetrics,
 ) -> Vec<Candidate> {
+    generate_candidates_with(
+        profiles,
+        pretests,
+        metrics,
+        AttributeProfile::is_referenced_candidate,
+    )
+}
+
+/// [`generate_candidates`] with an explicit referenced-side eligibility
+/// predicate. The default (unique columns) is the paper's FK-guessing
+/// heuristic; the n-ary level-1 pass relaxes it to every non-empty
+/// attribute, because the levelwise search needs the complete unary IND
+/// base for its projection pruning. Pretests and counters are identical
+/// either way.
+pub(crate) fn generate_candidates_with(
+    profiles: &[AttributeProfile],
+    pretests: &PretestConfig,
+    metrics: &mut RunMetrics,
+    ref_eligible: impl Fn(&AttributeProfile) -> bool,
+) -> Vec<Candidate> {
     let deps: Vec<&AttributeProfile> = profiles
         .iter()
         .filter(|p| p.is_dependent_candidate())
         .collect();
-    let refs: Vec<&AttributeProfile> = profiles
-        .iter()
-        .filter(|p| p.is_referenced_candidate())
-        .collect();
+    let refs: Vec<&AttributeProfile> = profiles.iter().filter(|p| ref_eligible(p)).collect();
 
     let mut out = Vec::new();
     for dep in &deps {

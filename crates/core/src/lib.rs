@@ -20,6 +20,8 @@
 //!   pretest (Secs. 6/7); the cardinality/max-value pretests live in
 //!   candidate generation;
 //! * [`closure`] — transitive-closure utilities over IND sets;
+//! * [`nary`] — levelwise composite (n-ary) IND discovery layered on the
+//!   SPIDER engine (beyond the paper's unary scope);
 //! * [`runner`] — the [`IndFinder`] facade tying everything together.
 
 #![warn(missing_docs)]
@@ -31,6 +33,7 @@ mod candidates;
 pub mod closure;
 mod compact;
 mod metrics;
+pub mod nary;
 pub mod partial;
 pub mod pruning;
 pub mod runner;
@@ -47,6 +50,7 @@ pub use brute_force::{run_brute_force, run_brute_force_parallel, test_candidate}
 pub use candidates::{generate_candidates, Candidate, Ind, PretestConfig};
 pub use closure::{in_closure, transitive_closure};
 pub use metrics::RunMetrics;
+pub use nary::{NaryCandidate, NaryConfig, NaryDiscovery, NaryFinder, NaryLevelStats};
 pub use partial::{inclusion_count, InclusionCount};
 pub use pruning::{
     run_brute_force_with_transitivity, sampling_pretest, SamplingConfig, TransitivityOracle,

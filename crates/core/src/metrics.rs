@@ -18,6 +18,11 @@ pub struct RunMetrics {
     pub pruned_max_value: u64,
     /// Pairs rejected by the min-value pretest (extension).
     pub pruned_min_value: u64,
+    /// Composite candidates rejected by the levelwise projection pretest:
+    /// an arity-`k` candidate joined from two arity-`k−1` INDs whose other
+    /// sub-projections were not all satisfied (the MIND/apriori pruning of
+    /// the n-ary pipeline). Zero for unary runs.
+    pub pruned_projection: u64,
     /// Candidates classified as satisfied by transitivity inference.
     pub inferred_satisfied: u64,
     /// Candidates classified as refuted by transitivity inference.
@@ -64,6 +69,7 @@ impl RunMetrics {
             - self.pruned_cardinality
             - self.pruned_max_value
             - self.pruned_min_value
+            - self.pruned_projection
     }
 
     /// Merges `other` into `self` (summing counters and durations), used by
@@ -73,6 +79,7 @@ impl RunMetrics {
         self.pruned_cardinality += other.pruned_cardinality;
         self.pruned_max_value += other.pruned_max_value;
         self.pruned_min_value += other.pruned_min_value;
+        self.pruned_projection += other.pruned_projection;
         self.inferred_satisfied += other.inferred_satisfied;
         self.inferred_refuted += other.inferred_refuted;
         self.pruned_sampling += other.pruned_sampling;
@@ -91,14 +98,15 @@ impl fmt::Display for RunMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "candidates={} (considered={}, pruned: card={}, max={}, min={}, sampling={}, \
-             inferred: sat={}, ref={}), tested={}, satisfied={}, items_read={}, \
+            "candidates={} (considered={}, pruned: card={}, max={}, min={}, proj={}, \
+             sampling={}, inferred: sat={}, ref={}), tested={}, satisfied={}, items_read={}, \
              value_bytes_read={}, comparisons={}, read_calls={}, cursor_opens={}, elapsed={:?}",
             self.candidates(),
             self.pairs_considered,
             self.pruned_cardinality,
             self.pruned_max_value,
             self.pruned_min_value,
+            self.pruned_projection,
             self.pruned_sampling,
             self.inferred_satisfied,
             self.inferred_refuted,

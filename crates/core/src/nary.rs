@@ -1,0 +1,853 @@
+//! Levelwise n-ary (composite) inclusion dependency discovery.
+//!
+//! The paper scopes SPIDER to unary INDs and leaves composite keys as
+//! future work (Sec. 7). This module adds that layer **on top of** the
+//! existing engines rather than beside them:
+//!
+//! 1. **Level 1** runs the tuned unary pipeline, with one deliberate
+//!    relaxation: referenced attributes do not need to be unique. The
+//!    uniqueness restriction is an FK-*guessing* heuristic (Aladin step 2),
+//!    not part of the IND definition — and the levelwise search needs the
+//!    complete unary IND set, because a composite key's component columns
+//!    (`chain.pdb_code`, `chain.chain_id`, …) are rarely unique on their
+//!    own.
+//! 2. **Level k** generates arity-`k` candidates MIND/apriori-style from
+//!    the satisfied arity-`k−1` INDs: two INDs sharing their first `k−2`
+//!    positions join into a `k`-ary candidate, which survives only if
+//!    *every* arity-`k−1` projection is itself satisfied. This projection
+//!    pruning is what keeps the exponential candidate space tractable; the
+//!    rejected joins are counted in [`RunMetrics::pruned_projection`] and
+//!    per level in [`NaryLevelStats`].
+//! 3. Each level's candidates are validated by the **unchanged** SPIDER
+//!    merge engine: every distinct attribute sequence becomes one composite
+//!    value stream (rows tuple-encoded with the order-preserving encoding
+//!    of [`ind_valueset::encode_tuple`], so byte-wise comparison equals
+//!    lexicographic tuple comparison and the external sort, block reader,
+//!    and zero-copy cursors all work unchanged), and the composite ids play
+//!    the role unary attribute ids play elsewhere.
+//!
+//! The driver iterates until a level yields no candidates or
+//! [`NaryConfig::max_arity`] is reached.
+//!
+//! **Canonical form.** Permuting a composite IND's positions on both sides
+//! yields an equivalent IND, so candidates are normalised to strictly
+//! increasing dependent attribute ids; the referenced sequence carries the
+//! alignment. Both sides must be columns of a single table (a tuple is a
+//! row projection) and must not repeat an attribute.
+//!
+//! **NULL semantics.** A row contributes a tuple only when every component
+//! is non-NULL, mirroring how unary extraction drops NULL occurrences. On
+//! NULL-free data the projection rule is exact (a satisfied composite IND
+//! implies all its projections); with NULLs a composite IND can hold while
+//! a unary projection fails — such exotic INDs are outside the levelwise
+//! search space, the standard trade-off of the MIND family.
+
+use crate::attr::{memory_export, profiles_from_export, AttributeProfile};
+use crate::candidates::{Candidate, PretestConfig};
+use crate::metrics::RunMetrics;
+use crate::spider::run_spider;
+use ind_storage::{Database, QualifiedName, Value};
+use ind_valueset::{
+    extract_composite_memory_set, CompositeExport, ExportOptions, ExportedDatabase, MemoryProvider,
+    Result, MAX_COMPOSITE_ARITY,
+};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// An n-ary IND candidate `(dep[0], …, dep[k−1]) ⊆ (ref[0], …, ref[k−1])`
+/// over unary attribute ids, aligned positionally. A satisfied candidate
+/// *is* a composite inclusion dependency. Canonical form: `dep` strictly
+/// increasing, both sides single-table and duplicate-free.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NaryCandidate {
+    /// Dependent attribute sequence (strictly increasing ids).
+    pub dep: Vec<u32>,
+    /// Referenced attribute sequence, aligned with `dep`.
+    pub refd: Vec<u32>,
+}
+
+impl NaryCandidate {
+    /// Builds a candidate; debug-asserts the canonical-form invariants.
+    pub fn new(dep: Vec<u32>, refd: Vec<u32>) -> Self {
+        debug_assert_eq!(dep.len(), refd.len());
+        debug_assert!(dep.windows(2).all(|w| w[0] < w[1]), "dep not canonical");
+        NaryCandidate { dep, refd }
+    }
+
+    /// Number of column pairs.
+    pub fn arity(&self) -> usize {
+        self.dep.len()
+    }
+}
+
+/// Configuration for the levelwise driver.
+#[derive(Debug, Clone)]
+pub struct NaryConfig {
+    /// Largest arity to search (≥ 1; level 1 is the unary pass). Clamped to
+    /// [`MAX_COMPOSITE_ARITY`].
+    pub max_arity: usize,
+    /// Pretests applied during level-1 candidate generation.
+    pub pretests: PretestConfig,
+}
+
+impl Default for NaryConfig {
+    fn default() -> Self {
+        NaryConfig {
+            max_arity: 2,
+            pretests: PretestConfig::default(),
+        }
+    }
+}
+
+/// Per-level counters: the evidence that projection pruning engages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaryLevelStats {
+    /// Arity of this level.
+    pub arity: usize,
+    /// Candidates of this arity enumerable *without* projection pruning:
+    /// every same-table sorted dependent combination against every
+    /// same-table referenced permutation (minus identical sequences). The
+    /// denominator of the apriori saving.
+    pub enumerable: u64,
+    /// Candidates actually generated (and therefore validated).
+    pub generated: u64,
+    /// Joined candidate pairs rejected because a sub-projection was not a
+    /// satisfied IND.
+    pub pruned_projection: u64,
+    /// Satisfied INDs found at this level.
+    pub satisfied: u64,
+    /// Wall-clock time of the level (generation + extraction + merge).
+    pub elapsed: Duration,
+}
+
+/// Result of a levelwise n-ary discovery run.
+#[derive(Debug, Clone)]
+pub struct NaryDiscovery {
+    /// Profiles of every unary attribute, indexed by attribute id.
+    pub profiles: Vec<AttributeProfile>,
+    /// Satisfied unary INDs (level 1, with the relaxed referenced-side
+    /// eligibility documented in the module docs), sorted.
+    pub unary: Vec<Candidate>,
+    /// Satisfied composite INDs of every arity ≥ 2, sorted.
+    pub satisfied: Vec<NaryCandidate>,
+    /// Per-level counters, starting at arity 1. A trailing entry with
+    /// `generated == 0` records the level at which the search died out.
+    pub levels: Vec<NaryLevelStats>,
+    /// Aggregate counters across all levels.
+    pub metrics: RunMetrics,
+}
+
+impl NaryDiscovery {
+    /// Satisfied composite INDs as qualified-name sequences.
+    pub fn satisfied_named(&self) -> Vec<(Vec<QualifiedName>, Vec<QualifiedName>)> {
+        self.satisfied
+            .iter()
+            .map(|c| {
+                (
+                    c.dep
+                        .iter()
+                        .map(|&a| self.profiles[a as usize].name.clone())
+                        .collect(),
+                    c.refd
+                        .iter()
+                        .map(|&a| self.profiles[a as usize].name.clone())
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    /// Largest arity at which an IND was found (1 when only unary INDs
+    /// exist, 0 when none at all).
+    pub fn max_arity_found(&self) -> usize {
+        self.satisfied
+            .iter()
+            .map(NaryCandidate::arity)
+            .max()
+            .unwrap_or(usize::from(!self.unary.is_empty()))
+    }
+}
+
+/// High-level n-ary IND finder; the composite counterpart of
+/// [`crate::IndFinder`].
+#[derive(Debug, Clone, Default)]
+pub struct NaryFinder {
+    /// Configuration used by every `discover*` call.
+    pub config: NaryConfig,
+}
+
+impl NaryFinder {
+    /// Finder with the given configuration.
+    pub fn new(config: NaryConfig) -> Self {
+        NaryFinder { config }
+    }
+
+    /// Finder searching up to `max_arity` with default pretests.
+    pub fn with_max_arity(max_arity: usize) -> Self {
+        NaryFinder::new(NaryConfig {
+            max_arity,
+            ..Default::default()
+        })
+    }
+
+    /// Runs the levelwise search entirely in memory.
+    pub fn discover_in_memory(&self, db: &Database) -> Result<NaryDiscovery> {
+        let (profiles, provider) = memory_export(db);
+        // Column slices in profile-id order, for composite extraction.
+        let mut columns: Vec<&[Value]> = Vec::with_capacity(profiles.len());
+        for table in db.tables() {
+            for (_, _, col) in table.iter_columns() {
+                columns.push(col);
+            }
+        }
+        self.drive(&profiles, &provider, |groups, _metrics| {
+            let sets = groups
+                .iter()
+                .map(|group| {
+                    let cols: Vec<&[Value]> = group.iter().map(|&a| columns[a as usize]).collect();
+                    extract_composite_memory_set(&cols)
+                })
+                .collect();
+            Ok(MemoryProviderLevel(MemoryProvider::new(sets)))
+        })
+    }
+
+    /// Runs the levelwise search over on-disk sorted value files: the unary
+    /// export lands under `workdir/arity-1`, each composite level under
+    /// `workdir/arity-<k>`. Cursor `read(2)` calls from every level are
+    /// accumulated into [`RunMetrics::read_calls`].
+    pub fn discover_on_disk(
+        &self,
+        db: &Database,
+        workdir: &Path,
+        options: &ExportOptions,
+    ) -> Result<NaryDiscovery> {
+        let export = ExportedDatabase::export(db, &workdir.join("arity-1"), options)?;
+        let profiles = profiles_from_export(&export);
+        export.reset_read_calls();
+        let mut level = 1usize;
+        let mut discovery = self.drive(&profiles, &export, |groups, metrics| {
+            level += 1;
+            let named: Vec<Vec<QualifiedName>> = groups
+                .iter()
+                .map(|group| {
+                    group
+                        .iter()
+                        .map(|&a| profiles[a as usize].name.clone())
+                        .collect()
+                })
+                .collect();
+            let exp = CompositeExport::export(
+                db,
+                &named,
+                &workdir.join(format!("arity-{level}")),
+                options,
+            )?;
+            metrics.read_calls += exp.read_calls(); // export-phase reads are zero
+            Ok(DiskLevel(exp))
+        })?;
+        discovery.metrics.read_calls += export.read_calls();
+        Ok(discovery)
+    }
+
+    /// The levelwise loop, generic over how composite value streams are
+    /// materialised: `make_level` turns the distinct attribute groups of a
+    /// level into a provider whose composite ids are the group indices.
+    fn drive<L, F>(
+        &self,
+        profiles: &[AttributeProfile],
+        unary_provider: &impl ind_valueset::ValueSetProvider,
+        mut make_level: F,
+    ) -> Result<NaryDiscovery>
+    where
+        L: LevelProvider,
+        F: FnMut(&[Vec<u32>], &mut RunMetrics) -> Result<L>,
+    {
+        let max_arity = self.config.max_arity.clamp(1, MAX_COMPOSITE_ARITY);
+        let mut metrics = RunMetrics::new();
+        let total_start = Instant::now();
+        let table_of = table_indices(profiles);
+
+        // Level 1: the unary engine with relaxed referenced eligibility.
+        let level_start = Instant::now();
+        let unary_candidates =
+            generate_unary_relaxed(profiles, &self.config.pretests, &mut metrics);
+        let generated = unary_candidates.len() as u64;
+        let unary = run_spider(unary_provider, &unary_candidates, &mut metrics)?;
+        let mut levels = vec![NaryLevelStats {
+            arity: 1,
+            enumerable: enumerable_at(profiles, &table_of, 1),
+            generated,
+            pruned_projection: 0,
+            satisfied: unary.len() as u64,
+            elapsed: level_start.elapsed(),
+        }];
+
+        let mut satisfied: Vec<NaryCandidate> = Vec::new();
+        let mut prev: Vec<NaryCandidate> = unary
+            .iter()
+            .map(|c| NaryCandidate::new(vec![c.dep], vec![c.refd]))
+            .collect();
+
+        for arity in 2..=max_arity {
+            if prev.is_empty() {
+                break;
+            }
+            let level_start = Instant::now();
+            let pruned_before = metrics.pruned_projection;
+            let candidates = generate_level(&prev, &table_of, &mut metrics);
+            let pruned_projection = metrics.pruned_projection - pruned_before;
+            let enumerable = enumerable_at(profiles, &table_of, arity);
+            if candidates.is_empty() {
+                levels.push(NaryLevelStats {
+                    arity,
+                    enumerable,
+                    generated: 0,
+                    pruned_projection,
+                    satisfied: 0,
+                    elapsed: level_start.elapsed(),
+                });
+                break;
+            }
+
+            // Distinct attribute sequences of the level, each one composite
+            // value stream; candidates become unary-shaped pairs over the
+            // stream ids and go through the unchanged SPIDER merge.
+            fn id_of<'a>(
+                group_ids: &mut HashMap<&'a [u32], u32>,
+                groups: &mut Vec<Vec<u32>>,
+                seq: &'a [u32],
+            ) -> u32 {
+                *group_ids.entry(seq).or_insert_with(|| {
+                    groups.push(seq.to_vec());
+                    (groups.len() - 1) as u32
+                })
+            }
+            let mut group_ids: HashMap<&[u32], u32> = HashMap::new();
+            let mut groups: Vec<Vec<u32>> = Vec::new();
+            let mut composite_pairs: Vec<Candidate> = Vec::with_capacity(candidates.len());
+            for c in &candidates {
+                let dep_id = id_of(&mut group_ids, &mut groups, &c.dep);
+                let ref_id = id_of(&mut group_ids, &mut groups, &c.refd);
+                composite_pairs.push(Candidate::new(dep_id, ref_id));
+            }
+            drop(group_ids);
+
+            let provider = make_level(&groups, &mut metrics)?;
+            let level_satisfied = provider.run(&composite_pairs, &mut metrics)?;
+
+            let mut found: Vec<NaryCandidate> = level_satisfied
+                .iter()
+                .map(|p| {
+                    NaryCandidate::new(
+                        groups[p.dep as usize].clone(),
+                        groups[p.refd as usize].clone(),
+                    )
+                })
+                .collect();
+            found.sort_unstable();
+            levels.push(NaryLevelStats {
+                arity,
+                enumerable,
+                generated: candidates.len() as u64,
+                pruned_projection,
+                satisfied: found.len() as u64,
+                elapsed: level_start.elapsed(),
+            });
+            satisfied.extend(found.iter().cloned());
+            prev = found;
+        }
+
+        // Each level arrives sorted internally; the cross-level append can
+        // still interleave (e.g. [3,4] < [3,4,5] < [4,5]), so restore the
+        // documented global order once.
+        satisfied.sort_unstable();
+        metrics.elapsed = total_start.elapsed();
+        Ok(NaryDiscovery {
+            profiles: profiles.to_vec(),
+            unary,
+            satisfied,
+            levels,
+            metrics,
+        })
+    }
+}
+
+/// How one level's composite streams are validated — memory sets or an
+/// on-disk composite export, both through the same SPIDER engine.
+trait LevelProvider {
+    fn run(&self, candidates: &[Candidate], metrics: &mut RunMetrics) -> Result<Vec<Candidate>>;
+}
+
+struct MemoryProviderLevel(MemoryProvider);
+impl LevelProvider for MemoryProviderLevel {
+    fn run(&self, candidates: &[Candidate], metrics: &mut RunMetrics) -> Result<Vec<Candidate>> {
+        run_spider(&self.0, candidates, metrics)
+    }
+}
+
+struct DiskLevel(CompositeExport);
+impl LevelProvider for DiskLevel {
+    fn run(&self, candidates: &[Candidate], metrics: &mut RunMetrics) -> Result<Vec<Candidate>> {
+        let out = run_spider(&self.0, candidates, metrics)?;
+        metrics.read_calls += self.0.read_calls();
+        Ok(out)
+    }
+}
+
+/// Dense table index per attribute id, derived from the qualified names.
+fn table_indices(profiles: &[AttributeProfile]) -> Vec<usize> {
+    let mut by_name: HashMap<&str, usize> = HashMap::new();
+    profiles
+        .iter()
+        .map(|p| {
+            let next = by_name.len();
+            *by_name.entry(p.name.table.as_str()).or_insert(next)
+        })
+        .collect()
+}
+
+/// Level-1 candidate generation with the relaxed referenced-side
+/// eligibility (any non-empty attribute): the complete unary IND base the
+/// apriori levels need. Pretests and counters behave exactly like
+/// [`crate::generate_candidates`] — it is the same generator with a wider
+/// referenced-side filter.
+fn generate_unary_relaxed(
+    profiles: &[AttributeProfile],
+    pretests: &PretestConfig,
+    metrics: &mut RunMetrics,
+) -> Vec<Candidate> {
+    crate::candidates::generate_candidates_with(profiles, pretests, metrics, |p| p.non_null > 0)
+}
+
+/// Generates the arity-`k` candidates from the satisfied arity-`k−1` INDs:
+/// joins pairs sharing their first `k−2` positions, applies the structural
+/// constraints (same-table sides, duplicate-free referenced sequence,
+/// dep ≠ ref), and keeps a join only when every remaining projection is
+/// satisfied. Output is sorted and duplicate-free by construction (each
+/// candidate has exactly one generating join).
+fn generate_level(
+    prev: &[NaryCandidate],
+    table_of: &[usize],
+    metrics: &mut RunMetrics,
+) -> Vec<NaryCandidate> {
+    let k1 = prev[0].arity(); // arity of the inputs (k − 1)
+    debug_assert!(prev.iter().all(|c| c.arity() == k1));
+    let satisfied: HashSet<(&[u32], &[u32])> = prev
+        .iter()
+        .map(|c| (c.dep.as_slice(), c.refd.as_slice()))
+        .collect();
+
+    // Bucket by shared prefix (both sides); BTreeMap keeps the walk
+    // deterministic.
+    let mut buckets: BTreeMap<(&[u32], &[u32]), Vec<&NaryCandidate>> = BTreeMap::new();
+    for c in prev {
+        buckets
+            .entry((&c.dep[..k1 - 1], &c.refd[..k1 - 1]))
+            .or_default()
+            .push(c);
+    }
+
+    let mut out = Vec::new();
+    let mut proj_dep: Vec<u32> = Vec::with_capacity(k1);
+    let mut proj_ref: Vec<u32> = Vec::with_capacity(k1);
+    for members in buckets.values() {
+        for (i, a) in members.iter().enumerate() {
+            for b in &members[i + 1..] {
+                // Members are sorted by (dep, refd); within a bucket the
+                // prefixes agree, so `a.dep.last < b.dep.last` unless the
+                // last dependent coincides (two refs for one dep) — those
+                // pairs never form a sorted dependent sequence.
+                let (da, db) = (*a.dep.last().unwrap(), *b.dep.last().unwrap());
+                if da >= db {
+                    continue;
+                }
+                let (ra, rb) = (*a.refd.last().unwrap(), *b.refd.last().unwrap());
+                // Single-table sides (only decidable here at k = 2, where
+                // prefixes are empty; implied by the join at higher arity).
+                if table_of[da as usize] != table_of[db as usize]
+                    || table_of[ra as usize] != table_of[rb as usize]
+                {
+                    continue;
+                }
+                // Duplicate-free referenced sequence.
+                if rb == ra || a.refd[..k1 - 1].contains(&rb) {
+                    continue;
+                }
+                let dep: Vec<u32> = a.dep.iter().copied().chain([db]).collect();
+                let refd: Vec<u32> = a.refd.iter().copied().chain([rb]).collect();
+                if dep == refd {
+                    continue; // trivially reflexive
+                }
+                metrics.pairs_considered += 1;
+                // The join covers the projections dropping positions k−1
+                // and k−2; check the rest.
+                let mut all_projections_hold = true;
+                for drop in 0..k1.saturating_sub(1) {
+                    proj_dep.clear();
+                    proj_ref.clear();
+                    for (p, (&d, &r)) in dep.iter().zip(&refd).enumerate() {
+                        if p != drop {
+                            proj_dep.push(d);
+                            proj_ref.push(r);
+                        }
+                    }
+                    if !satisfied.contains(&(proj_dep.as_slice(), proj_ref.as_slice())) {
+                        all_projections_hold = false;
+                        break;
+                    }
+                }
+                if all_projections_hold {
+                    out.push(NaryCandidate::new(dep, refd));
+                } else {
+                    metrics.pruned_projection += 1;
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Counts the arity-`k` candidates enumerable with no projection pruning at
+/// all: sorted dependent `k`-combinations within a table × referenced
+/// `k`-permutations within a table, minus the identical sequences. The
+/// yardstick [`NaryLevelStats::enumerable`] reports.
+fn enumerable_at(profiles: &[AttributeProfile], table_of: &[usize], k: usize) -> u64 {
+    let tables = table_of.iter().copied().max().map_or(0, |m| m + 1);
+    let mut dep_eligible = vec![0u64; tables];
+    let mut ref_eligible = vec![0u64; tables];
+    let mut both_eligible = vec![0u64; tables];
+    for p in profiles {
+        let t = table_of[p.id as usize];
+        let dep = p.is_dependent_candidate();
+        let refd = p.non_null > 0;
+        dep_eligible[t] += u64::from(dep);
+        ref_eligible[t] += u64::from(refd);
+        both_eligible[t] += u64::from(dep && refd);
+    }
+    let combinations = |n: u64| -> u128 {
+        // C(n, k)
+        if (n as usize) < k {
+            return 0;
+        }
+        let mut c: u128 = 1;
+        for i in 0..k as u128 {
+            c = c * (u128::from(n) - i) / (i + 1);
+        }
+        c
+    };
+    let permutations = |n: u64| -> u128 {
+        // P(n, k)
+        if (n as usize) < k {
+            return 0;
+        }
+        (0..k as u128).map(|i| u128::from(n) - i).product()
+    };
+    let deps: u128 = dep_eligible.iter().map(|&n| combinations(n)).sum();
+    let refs: u128 = ref_eligible.iter().map(|&n| permutations(n)).sum();
+    let identical: u128 = both_eligible.iter().map(|&n| combinations(n)).sum();
+    u64::try_from(deps.saturating_mul(refs).saturating_sub(identical)).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ind_storage::{ColumnSchema, DataType, Table, TableSchema};
+    use ind_testkit::TempDir;
+
+    /// parent(a, b) with distinct pairs; child(x, y) whose pairs are drawn
+    /// from parent's; decoy(p, q) whose columns are unary subsets of
+    /// parent's but whose *pairs* are not.
+    fn composite_db() -> Database {
+        let mut db = Database::new("nary");
+        let mut parent = Table::new(
+            TableSchema::new(
+                "parent",
+                vec![
+                    ColumnSchema::new("a", DataType::Integer),
+                    ColumnSchema::new("b", DataType::Text),
+                ],
+            )
+            .unwrap(),
+        );
+        // Pairs (i, t{i % 3}) for i in 0..12: columns individually repeat,
+        // pairs are distinct.
+        for i in 0..12i64 {
+            parent
+                .insert(vec![(i % 6).into(), format!("t{}", i % 3).into()])
+                .unwrap();
+        }
+        let mut child = Table::new(
+            TableSchema::new(
+                "child",
+                vec![
+                    ColumnSchema::new("x", DataType::Integer),
+                    ColumnSchema::new("y", DataType::Text),
+                ],
+            )
+            .unwrap(),
+        );
+        // Parent's pair function is a → t{a % 3}; child draws a ∈ 0..4, so
+        // its pairs are a strict subset of parent's.
+        for i in 0..8i64 {
+            child
+                .insert(vec![(i % 4).into(), format!("t{}", i % 4 % 3).into()])
+                .unwrap();
+        }
+        let mut decoy = Table::new(
+            TableSchema::new(
+                "decoy",
+                vec![
+                    ColumnSchema::new("p", DataType::Integer),
+                    ColumnSchema::new("q", DataType::Text),
+                ],
+            )
+            .unwrap(),
+        );
+        // (0, t2) never occurs as a parent pair (0 pairs with t0 only), but
+        // 0 ∈ parent.a and "t2" ∈ parent.b.
+        decoy.insert(vec![0.into(), "t2".into()]).unwrap();
+        db.add_table(parent).unwrap();
+        db.add_table(child).unwrap();
+        db.add_table(decoy).unwrap();
+        db
+    }
+
+    fn names(d: &NaryDiscovery) -> Vec<String> {
+        d.satisfied_named()
+            .iter()
+            .map(|(dep, refd)| {
+                format!(
+                    "({}) <= ({})",
+                    dep.iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join(","),
+                    refd.iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join(","),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn finds_the_composite_ind_and_rejects_the_pairwise_decoy() {
+        let db = composite_db();
+        let d = NaryFinder::with_max_arity(2)
+            .discover_in_memory(&db)
+            .unwrap();
+        let found = names(&d);
+        assert!(
+            found.contains(&"(child.x,child.y) <= (parent.a,parent.b)".to_string()),
+            "{found:?}"
+        );
+        // Both decoy projections hold as unary INDs…
+        assert!(d.unary.iter().any(|c| {
+            d.profiles[c.dep as usize].name.to_string() == "decoy.p"
+                && d.profiles[c.refd as usize].name.to_string() == "parent.a"
+        }));
+        // …but the composite must be refuted by the data.
+        assert!(
+            !found.contains(&"(decoy.p,decoy.q) <= (parent.a,parent.b)".to_string()),
+            "{found:?}"
+        );
+    }
+
+    #[test]
+    fn disk_and_memory_backends_agree() {
+        let db = composite_db();
+        let finder = NaryFinder::with_max_arity(3);
+        let mem = finder.discover_in_memory(&db).unwrap();
+        let dir = TempDir::new("nary-disk");
+        let disk = finder
+            .discover_on_disk(&db, dir.path(), &ExportOptions::default())
+            .unwrap();
+        assert_eq!(mem.unary, disk.unary);
+        assert_eq!(mem.satisfied, disk.satisfied);
+        assert_eq!(mem.levels.len(), disk.levels.len());
+        for (m, d) in mem.levels.iter().zip(&disk.levels) {
+            assert_eq!(
+                (m.arity, m.generated, m.satisfied),
+                (d.arity, d.generated, d.satisfied)
+            );
+            assert_eq!(m.pruned_projection, d.pruned_projection);
+        }
+        assert_eq!(mem.metrics.items_read, disk.metrics.items_read);
+        assert_eq!(mem.metrics.read_calls, 0);
+        assert!(disk.metrics.read_calls > 0, "disk cursors must be counted");
+    }
+
+    #[test]
+    fn projection_pruning_engages() {
+        let db = composite_db();
+        let d = NaryFinder::with_max_arity(2)
+            .discover_in_memory(&db)
+            .unwrap();
+        let level2 = &d.levels[1];
+        assert_eq!(level2.arity, 2);
+        assert!(
+            level2.generated < level2.enumerable,
+            "apriori generation must undercut brute-force enumeration: {} vs {}",
+            level2.generated,
+            level2.enumerable
+        );
+        assert_eq!(
+            d.metrics.pruned_projection,
+            d.levels.iter().map(|l| l.pruned_projection).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn max_arity_one_is_the_unary_pass() {
+        let db = composite_db();
+        let d = NaryFinder::with_max_arity(1)
+            .discover_in_memory(&db)
+            .unwrap();
+        assert!(d.satisfied.is_empty());
+        assert!(!d.unary.is_empty());
+        assert_eq!(d.levels.len(), 1);
+        assert_eq!(d.max_arity_found(), 1);
+    }
+
+    #[test]
+    fn search_terminates_when_a_level_dies_out() {
+        let db = composite_db();
+        // Far beyond what two-column tables can sustain: the level loop
+        // must stop on its own, recording the terminal empty level.
+        let d = NaryFinder::with_max_arity(9)
+            .discover_in_memory(&db)
+            .unwrap();
+        assert!(d.levels.len() <= 4);
+        let last = d.levels.last().unwrap();
+        assert_eq!(last.generated, 0, "trailing level records the dead end");
+        assert_eq!(d.max_arity_found(), 2);
+    }
+
+    #[test]
+    fn canonical_form_holds_everywhere() {
+        let db = composite_db();
+        let d = NaryFinder::with_max_arity(3)
+            .discover_in_memory(&db)
+            .unwrap();
+        for c in &d.satisfied {
+            assert!(c.dep.windows(2).all(|w| w[0] < w[1]), "{c:?}");
+            assert_eq!(c.dep.len(), c.refd.len());
+            let mut refs = c.refd.clone();
+            refs.sort_unstable();
+            refs.dedup();
+            assert_eq!(refs.len(), c.refd.len(), "duplicate ref in {c:?}");
+            assert_ne!(c.dep, c.refd);
+            let t = |a: u32| d.profiles[a as usize].name.table.clone();
+            assert!(c.dep.iter().all(|&a| t(a) == t(c.dep[0])));
+            assert!(c.refd.iter().all(|&a| t(a) == t(c.refd[0])));
+        }
+        // Sorted and duplicate-free overall.
+        let mut sorted = d.satisfied.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(d.satisfied, sorted);
+    }
+
+    #[test]
+    fn arity_three_discovery_keeps_global_sort_order() {
+        // u3 rows are a strict subset of t3's, so every pairwise and the
+        // full triple IND holds: satisfied deps are [3,4], [3,5], [4,5]
+        // and [3,4,5] — sorted order interleaves the arity-3 entry between
+        // [3,4] and [3,5], which the per-level appends alone would not
+        // produce.
+        let mut db = Database::new("triples");
+        let mut t3 = Table::new(
+            TableSchema::new(
+                "t3",
+                vec![
+                    ColumnSchema::new("a", DataType::Integer),
+                    ColumnSchema::new("b", DataType::Integer),
+                    ColumnSchema::new("c", DataType::Integer),
+                ],
+            )
+            .unwrap(),
+        );
+        for i in 0..6i64 {
+            t3.insert(vec![i.into(), (10 + i).into(), (20 + i).into()])
+                .unwrap();
+        }
+        let mut u3 = Table::new(
+            TableSchema::new(
+                "u3",
+                vec![
+                    ColumnSchema::new("x", DataType::Integer),
+                    ColumnSchema::new("y", DataType::Integer),
+                    ColumnSchema::new("z", DataType::Integer),
+                ],
+            )
+            .unwrap(),
+        );
+        for i in 0..3i64 {
+            u3.insert(vec![i.into(), (10 + i).into(), (20 + i).into()])
+                .unwrap();
+        }
+        db.add_table(t3).unwrap();
+        db.add_table(u3).unwrap();
+
+        let d = NaryFinder::with_max_arity(3)
+            .discover_in_memory(&db)
+            .unwrap();
+        assert_eq!(d.max_arity_found(), 3);
+        let deps: Vec<Vec<u32>> = d.satisfied.iter().map(|c| c.dep.clone()).collect();
+        assert_eq!(
+            deps,
+            vec![vec![3, 4], vec![3, 4, 5], vec![3, 5], vec![4, 5]],
+            "satisfied must be globally sorted across arities"
+        );
+        let mut sorted = d.satisfied.clone();
+        sorted.sort();
+        assert_eq!(d.satisfied, sorted);
+    }
+
+    #[test]
+    fn null_components_drop_rows_not_columns() {
+        let mut db = Database::new("nulls");
+        let mut parent = Table::new(
+            TableSchema::new(
+                "parent",
+                vec![
+                    ColumnSchema::new("a", DataType::Integer),
+                    ColumnSchema::new("b", DataType::Integer),
+                ],
+            )
+            .unwrap(),
+        );
+        for i in 0..6i64 {
+            parent.insert(vec![i.into(), (i * 10).into()]).unwrap();
+        }
+        let mut child = Table::new(
+            TableSchema::new(
+                "child",
+                vec![
+                    ColumnSchema::new("x", DataType::Integer),
+                    ColumnSchema::new("y", DataType::Integer),
+                ],
+            )
+            .unwrap(),
+        );
+        // Rows with a NULL component carry no composite evidence; the
+        // remaining pairs are all parent pairs.
+        child.insert(vec![1.into(), 10.into()]).unwrap();
+        child.insert(vec![3.into(), Value::Null]).unwrap();
+        child.insert(vec![Value::Null, 40.into()]).unwrap();
+        db.add_table(parent).unwrap();
+        db.add_table(child).unwrap();
+        let d = NaryFinder::with_max_arity(2)
+            .discover_in_memory(&db)
+            .unwrap();
+        assert!(
+            names(&d).contains(&"(child.x,child.y) <= (parent.a,parent.b)".to_string()),
+            "{:?}",
+            names(&d)
+        );
+    }
+}

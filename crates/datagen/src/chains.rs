@@ -1,0 +1,271 @@
+//! PDB-chain-shaped generator with a genuine **composite** foreign key —
+//! the evaluation target of the n-ary discovery pipeline.
+//!
+//! Real structural-biology schemas key chain-level data by *(entry, chain)*
+//! pairs whose components are individually non-unique; this generator
+//! reproduces that shape at configurable scale:
+//!
+//! * `structure(pdb_code¹, resolution, title)` — one row per entry;
+//! * `chain(pdb_code → structure, chain_id, length)` — one row per chain,
+//!   jointly keyed by `(pdb_code, chain_id)` with both columns repeating
+//!   individually;
+//! * `contact(pdb_code, chain_id, distance)` — the **gold composite FK**
+//!   `contact.(pdb_code, chain_id) ⊆ chain.(pdb_code, chain_id)`, drawn
+//!   from a strict subset of the chain pairs so no reverse inclusion
+//!   appears;
+//! * `crystal(pdb_code, chain_id, quality)` — the negative control: both
+//!   unary projections hold (every code and every chain letter exists in
+//!   `chain`), but one poisoned row pairs a single-chain structure with a
+//!   chain letter it does not have, so the *composite* candidate is
+//!   refuted only by actually validating tuples. A levelwise run that
+//!   skipped validation (or validated concatenations instead of tuples)
+//!   would report it satisfied.
+//!
+//! Every other column lives in its own value space (disjoint numeric
+//! ranges, format-distinct strings), so the expected arity-2 IND set is
+//! exactly the declared composite FK.
+
+use ind_storage::{ColumnSchema, DataType, Database, Table, TableSchema};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the chains generator.
+#[derive(Debug, Clone)]
+pub struct ChainsConfig {
+    /// Number of `structure` rows; chains, contacts, and crystals scale
+    /// from it.
+    pub structures: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ChainsConfig {
+    fn default() -> Self {
+        ChainsConfig {
+            structures: 120,
+            seed: 42,
+        }
+    }
+}
+
+impl ChainsConfig {
+    /// A fast configuration for unit tests.
+    pub fn tiny() -> Self {
+        ChainsConfig {
+            structures: 24,
+            ..Default::default()
+        }
+    }
+}
+
+const CHAIN_LETTERS: [&str; 4] = ["A", "B", "C", "D"];
+
+fn code(i: usize) -> String {
+    format!("P{i:04}")
+}
+
+/// Generates the chains database.
+pub fn generate_chains(cfg: &ChainsConfig) -> Database {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.structures.max(4);
+    let mut db = Database::new("chains");
+
+    // structure: one row per entry; resolution repeats (non-unique),
+    // titles are format-distinct text.
+    let mut structure = Table::new(
+        TableSchema::new(
+            "structure",
+            vec![
+                ColumnSchema::new("pdb_code", DataType::Text)
+                    .not_null()
+                    .unique(),
+                ColumnSchema::new("resolution", DataType::Float),
+                ColumnSchema::new("title", DataType::Text),
+            ],
+        )
+        .expect("structure schema"),
+    );
+    for i in 0..n {
+        structure
+            .insert(vec![
+                code(i).into(),
+                (1.0 + f64::from(i as u32 % 30) * 0.1).into(),
+                format!("title-{i:05}").into(),
+            ])
+            .expect("structure row");
+    }
+
+    // chain: (pdb_code, chain_id) pairs, distinct by construction, both
+    // columns individually repeating. Structures 0 and 1 are pinned so the
+    // poisoned crystal row below is *guaranteed* absent from the pair set:
+    // structure 0 has exactly chain A, structure 1 has chains A and B.
+    let mut chain_schema = TableSchema::new(
+        "chain",
+        vec![
+            ColumnSchema::new("pdb_code", DataType::Text).not_null(),
+            ColumnSchema::new("chain_id", DataType::Text).not_null(),
+            ColumnSchema::new("length", DataType::Integer),
+        ],
+    )
+    .expect("chain schema");
+    chain_schema
+        .add_foreign_key("pdb_code", "structure", "pdb_code")
+        .expect("chain fk");
+    let mut chain = Table::new(chain_schema);
+    let mut pairs: Vec<(String, String)> = Vec::new();
+    for i in 0..n {
+        let chains = match i {
+            0 => 1,
+            1 => 2,
+            _ => rng.gen_range(1..=CHAIN_LETTERS.len()),
+        };
+        for letter in &CHAIN_LETTERS[..chains] {
+            pairs.push((code(i), (*letter).to_string()));
+        }
+    }
+    for (pdb, letter) in &pairs {
+        chain
+            .insert(vec![
+                pdb.clone().into(),
+                letter.clone().into(),
+                i64::from(rng.gen_range(100u32..500)).into(),
+            ])
+            .expect("chain row");
+    }
+
+    // contact: pairs drawn from a strict subset of the chain pairs (the
+    // last pair is withheld), so contact ⊆ chain holds while chain ⊆
+    // contact does not.
+    let mut contact_schema = TableSchema::new(
+        "contact",
+        vec![
+            ColumnSchema::new("pdb_code", DataType::Text).not_null(),
+            ColumnSchema::new("chain_id", DataType::Text).not_null(),
+            ColumnSchema::new("distance", DataType::Float),
+        ],
+    )
+    .expect("contact schema");
+    contact_schema
+        .add_composite_foreign_key(["pdb_code", "chain_id"], "chain", ["pdb_code", "chain_id"])
+        .expect("contact composite fk");
+    let mut contact = Table::new(contact_schema);
+    let pool = &pairs[..pairs.len() - 1];
+    let contact_rows = n * 6;
+    for i in 0..contact_rows {
+        // Cycle through the pool first so its coverage is exact, then
+        // random draws add realistic skew.
+        let (pdb, letter) = if i < pool.len() {
+            &pool[i]
+        } else {
+            &pool[rng.gen_range(0..pool.len())]
+        };
+        contact
+            .insert(vec![
+                pdb.clone().into(),
+                letter.clone().into(),
+                (100.0 + f64::from(i as u32 % 40) * 0.25).into(),
+            ])
+            .expect("contact row");
+    }
+
+    // crystal: valid chain pairs plus the poisoned (structure-0, "B") row —
+    // both components exist in `chain`, the pair does not.
+    let mut crystal = Table::new(
+        TableSchema::new(
+            "crystal",
+            vec![
+                ColumnSchema::new("pdb_code", DataType::Text).not_null(),
+                ColumnSchema::new("chain_id", DataType::Text).not_null(),
+                ColumnSchema::new("quality", DataType::Integer),
+            ],
+        )
+        .expect("crystal schema"),
+    );
+    let mut crystal_pairs: Vec<(String, String)> = vec![(code(0), "B".to_string())];
+    for _ in 0..7 {
+        crystal_pairs.push(pool[rng.gen_range(0..pool.len())].clone());
+    }
+    for (i, (pdb, letter)) in crystal_pairs.iter().enumerate() {
+        crystal
+            .insert(vec![
+                pdb.clone().into(),
+                letter.clone().into(),
+                (100_000 + i as i64).into(),
+            ])
+            .expect("crystal row");
+    }
+
+    db.add_table(structure).expect("structure");
+    db.add_table(chain).expect("chain");
+    db.add_table(contact).expect("contact");
+    db.add_table(crystal).expect("crystal");
+    db.validate_foreign_keys().expect("declared keys resolve");
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ind_storage::{QualifiedName, Value};
+    use std::collections::HashSet;
+
+    fn pair_set(db: &Database, table: &str) -> HashSet<(String, String)> {
+        let codes = db
+            .column(&QualifiedName::new(table, "pdb_code"))
+            .unwrap()
+            .iter()
+            .map(Value::to_string);
+        let chains = db
+            .column(&QualifiedName::new(table, "chain_id"))
+            .unwrap()
+            .iter()
+            .map(Value::to_string);
+        codes.zip(chains).collect()
+    }
+
+    #[test]
+    fn composite_fk_holds_and_is_declared() {
+        let db = generate_chains(&ChainsConfig::tiny());
+        let chain = pair_set(&db, "chain");
+        let contact = pair_set(&db, "contact");
+        assert!(contact.is_subset(&chain), "gold composite FK must hold");
+        assert!(
+            contact.len() < chain.len(),
+            "no reverse inclusion: contact must not cover every chain pair"
+        );
+        let cfks = db.gold_composite_foreign_keys();
+        assert_eq!(cfks.len(), 1);
+        assert_eq!(cfks[0].0[0].to_string(), "contact.pdb_code");
+        assert_eq!(cfks[0].1[1].to_string(), "chain.chain_id");
+    }
+
+    #[test]
+    fn crystal_projections_hold_but_the_pair_does_not() {
+        let db = generate_chains(&ChainsConfig::tiny());
+        let chain = pair_set(&db, "chain");
+        let crystal = pair_set(&db, "crystal");
+        assert!(!crystal.is_subset(&chain), "poisoned row must be present");
+        let chain_codes: HashSet<String> = chain.iter().map(|(c, _)| c.clone()).collect();
+        let chain_letters: HashSet<String> = chain.iter().map(|(_, l)| l.clone()).collect();
+        for (c, l) in &crystal {
+            assert!(chain_codes.contains(c), "unary projection on pdb_code");
+            assert!(chain_letters.contains(l), "unary projection on chain_id");
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic_and_scales() {
+        let a = generate_chains(&ChainsConfig::tiny());
+        let b = generate_chains(&ChainsConfig::tiny());
+        assert_eq!(
+            a.table("chain").unwrap().row(3),
+            b.table("chain").unwrap().row(3)
+        );
+        let big = generate_chains(&ChainsConfig {
+            structures: 60,
+            ..Default::default()
+        });
+        assert!(big.total_rows() > a.total_rows());
+        assert_eq!(big.table_count(), 4);
+    }
+}

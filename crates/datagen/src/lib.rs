@@ -8,15 +8,21 @@
 //! their transitive closures, surrogate-key pathologies, accession-number
 //! formats, and cross-database code pools. See DESIGN.md for the
 //! substitution rationale.
+//!
+//! Beyond the paper's three: [`generate_chains`] is a PDB-chain-shaped
+//! schema with a genuine composite `(pdb_code, chain_id)` foreign key —
+//! the gold standard the n-ary discovery pipeline evaluates against.
 
 #![warn(missing_docs)]
 
 mod biosql;
+mod chains;
 mod openmms;
 mod pools;
 mod scop;
 
 pub use biosql::{generate_uniprot, BiosqlConfig};
+pub use chains::{generate_chains, ChainsConfig};
 pub use openmms::{generate_pdb, OpenMmsConfig};
 pub use pools::ValuePools;
 pub use scop::{generate_scop, ScopConfig};

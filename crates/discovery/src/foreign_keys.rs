@@ -8,8 +8,9 @@
 //! quality module verifies.
 
 use crate::range_filter::filter_surrogate_inds;
-use ind_core::Discovery;
+use ind_core::{Discovery, NaryDiscovery};
 use ind_storage::{Database, QualifiedName};
+use std::collections::HashSet;
 
 /// One guessed foreign key.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,6 +53,107 @@ pub fn fk_guesses_filtered(db: &Database, discovery: &Discovery) -> Vec<FkGuess>
     }
     out.sort_by(|a, b| (&a.dep, &a.refd).cmp(&(&b.dep, &b.refd)));
     out
+}
+
+/// One guessed composite foreign key: a satisfied n-ary IND whose
+/// referenced tuple is jointly unique in the data (the composite analogue
+/// of the paper's "referenced attributes are unique" rule — enforced here,
+/// after validation, rather than during candidate generation, because the
+/// levelwise search needs the non-unique-referenced INDs for its
+/// projection pruning).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompositeFkGuess {
+    /// The referring (dependent) columns, in key order.
+    pub dep: Vec<QualifiedName>,
+    /// The referenced columns, aligned with `dep`.
+    pub refd: Vec<QualifiedName>,
+    /// True when this guess matches a declared gold-standard composite FK.
+    pub matches_gold: bool,
+}
+
+/// Turns every satisfied composite IND with a jointly-unique referenced
+/// tuple into an FK guess, sorted by `(dep, ref)`.
+pub fn composite_fk_guesses(db: &Database, discovery: &NaryDiscovery) -> Vec<CompositeFkGuess> {
+    let gold: HashSet<(Vec<QualifiedName>, Vec<QualifiedName>)> =
+        db.gold_composite_foreign_keys().into_iter().collect();
+    // Many INDs can share one referenced tuple (the mirror-heavy shapes);
+    // the O(rows) uniqueness scan runs once per distinct tuple.
+    let mut unique_cache: std::collections::HashMap<Vec<QualifiedName>, bool> =
+        std::collections::HashMap::new();
+    let mut out: Vec<CompositeFkGuess> = discovery
+        .satisfied_named()
+        .into_iter()
+        .filter(|(_, refd)| {
+            *unique_cache
+                .entry(refd.clone())
+                .or_insert_with(|| tuple_is_unique(db, refd))
+        })
+        .map(|(dep, refd)| {
+            let matches_gold = gold.contains(&(dep.clone(), refd.clone()));
+            CompositeFkGuess {
+                dep,
+                refd,
+                matches_gold,
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| (&a.dep, &a.refd).cmp(&(&b.dep, &b.refd)));
+    out
+}
+
+/// Whether the tuple of `columns` is jointly unique over the rows where
+/// every component is non-NULL: the distinct-tuple count (via the same
+/// composite extraction the n-ary pipeline validates with) equals the
+/// all-components-non-NULL row count.
+fn tuple_is_unique(db: &Database, columns: &[QualifiedName]) -> bool {
+    let cols: Vec<_> = columns
+        .iter()
+        .map(|qn| db.column(qn).expect("discovery names resolve"))
+        .collect();
+    let rows = cols.first().map_or(0, |c| c.len());
+    let non_null_rows = (0..rows)
+        .filter(|&row| cols.iter().all(|c| !c[row].is_null()))
+        .count() as u64;
+    ind_valueset::extract_composite_memory_set(&cols).len() == non_null_rows
+}
+
+/// Evaluation of composite FK guesses against the declared gold standard.
+#[derive(Debug, Clone)]
+pub struct CompositeFkEvaluation {
+    /// Declared composite FKs recovered as guesses.
+    pub found: Vec<(Vec<QualifiedName>, Vec<QualifiedName>)>,
+    /// Declared composite FKs not recovered.
+    pub missed: Vec<(Vec<QualifiedName>, Vec<QualifiedName>)>,
+    /// Guesses beyond the gold standard.
+    pub extras: Vec<CompositeFkGuess>,
+}
+
+/// Evaluates a levelwise discovery run against `db`'s declared composite
+/// foreign keys.
+pub fn evaluate_composite_foreign_keys(
+    db: &Database,
+    discovery: &NaryDiscovery,
+) -> CompositeFkEvaluation {
+    let guesses = composite_fk_guesses(db, discovery);
+    let guessed: HashSet<(&[QualifiedName], &[QualifiedName])> = guesses
+        .iter()
+        .map(|g| (g.dep.as_slice(), g.refd.as_slice()))
+        .collect();
+    let mut found = Vec::new();
+    let mut missed = Vec::new();
+    for (dep, refd) in db.gold_composite_foreign_keys() {
+        if guessed.contains(&(dep.as_slice(), refd.as_slice())) {
+            found.push((dep, refd));
+        } else {
+            missed.push((dep, refd));
+        }
+    }
+    let extras = guesses.into_iter().filter(|g| !g.matches_gold).collect();
+    CompositeFkEvaluation {
+        found,
+        missed,
+        extras,
+    }
 }
 
 #[cfg(test)]
@@ -116,6 +218,107 @@ mod tests {
         assert!(guesses
             .iter()
             .any(|g| g.dep.to_string() == "child.parent_id" && g.refd.to_string() == "parent.id"));
+    }
+
+    /// pair_parent(a, b) with jointly-unique pairs whose columns repeat;
+    /// pair_child(x, y) drawing its pairs from the parent; loose(u, v)
+    /// whose pairs are a *non-unique* tuple drawn from the parent too.
+    fn composite_db() -> Database {
+        let mut db = Database::new("composite-fk");
+        let mut parent = Table::new(
+            TableSchema::new(
+                "pair_parent",
+                vec![
+                    ColumnSchema::new("a", DataType::Integer),
+                    ColumnSchema::new("b", DataType::Integer),
+                ],
+            )
+            .unwrap(),
+        );
+        for i in 0..12i64 {
+            parent
+                .insert(vec![(i % 4).into(), (100 + i % 3).into()])
+                .unwrap();
+        }
+        // distinct pairs: (i%4, 100 + i%3) over i in 0..12 = 12 pairs.
+        let mut child_schema = TableSchema::new(
+            "pair_child",
+            vec![
+                ColumnSchema::new("x", DataType::Integer),
+                ColumnSchema::new("y", DataType::Integer),
+            ],
+        )
+        .unwrap();
+        child_schema
+            .add_composite_foreign_key(["x", "y"], "pair_parent", ["a", "b"])
+            .unwrap();
+        let mut child = Table::new(child_schema);
+        for i in 0..6i64 {
+            child
+                .insert(vec![(i % 3).into(), (100 + i % 3).into()])
+                .unwrap();
+        }
+        db.add_table(parent).unwrap();
+        db.add_table(child).unwrap();
+        db
+    }
+
+    #[test]
+    fn composite_guesses_recover_the_declared_key() {
+        use ind_core::NaryFinder;
+        let db = composite_db();
+        let d = NaryFinder::with_max_arity(2)
+            .discover_in_memory(&db)
+            .unwrap();
+        let guesses = composite_fk_guesses(&db, &d);
+        assert!(
+            guesses.iter().any(|g| g.matches_gold),
+            "declared composite FK must be recovered: {guesses:?}"
+        );
+        let eval = evaluate_composite_foreign_keys(&db, &d);
+        assert_eq!(eval.found.len(), 1);
+        assert!(eval.missed.is_empty());
+        // The wait-but-is-it-unique rule: parent pairs are jointly unique
+        // even though both columns repeat; the guessed referenced side is
+        // exactly that tuple.
+        assert_eq!(eval.found[0].1[0].to_string(), "pair_parent.a");
+    }
+
+    #[test]
+    fn non_unique_referenced_tuples_are_not_guessed() {
+        use ind_core::NaryFinder;
+        let mut db = composite_db();
+        // A copy of the child whose own pairs duplicate: INDs into it may
+        // be satisfied, but it can never be a key.
+        let mut dup = Table::new(
+            TableSchema::new(
+                "dup_child",
+                vec![
+                    ColumnSchema::new("x", DataType::Integer),
+                    ColumnSchema::new("y", DataType::Integer),
+                ],
+            )
+            .unwrap(),
+        );
+        for i in 0..6i64 {
+            dup.insert(vec![(i % 3).into(), (100 + i % 3).into()])
+                .unwrap();
+        }
+        db.add_table(dup).unwrap();
+        let d = NaryFinder::with_max_arity(2)
+            .discover_in_memory(&db)
+            .unwrap();
+        assert!(
+            d.satisfied_named()
+                .iter()
+                .any(|(_, refd)| refd[0].table == "dup_child"),
+            "the IND into the duplicated tuple is satisfied"
+        );
+        let guesses = composite_fk_guesses(&db, &d);
+        assert!(
+            guesses.iter().all(|g| g.refd[0].table != "dup_child"),
+            "…but never guessed as a foreign key: {guesses:?}"
+        );
     }
 
     #[test]

@@ -30,7 +30,10 @@ pub use aladin::{
     KeyCandidate, LinkReport, SourceReport,
 };
 pub use concat::{find_concat_match, AffixTransform, ConcatMatch};
-pub use foreign_keys::{fk_guesses, fk_guesses_filtered, FkGuess};
+pub use foreign_keys::{
+    composite_fk_guesses, evaluate_composite_foreign_keys, fk_guesses, fk_guesses_filtered,
+    CompositeFkEvaluation, CompositeFkGuess, FkGuess,
+};
 pub use primary_relation::{identify_primary_relation, PrimaryRelationReport};
 pub use quality::{evaluate_foreign_keys, ExtraClass, ExtraInd, FkEvaluation};
 pub use range_filter::{filter_surrogate_inds, numeric_range_profile, RangeProfile};

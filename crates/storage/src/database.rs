@@ -1,7 +1,7 @@
 //! A database: a named collection of tables.
 
 use crate::error::{Result, StorageError};
-use crate::schema::{ForeignKeyDef, QualifiedName};
+use crate::schema::{CompositeForeignKeyDef, ForeignKeyDef, QualifiedName};
 use crate::table::Table;
 use std::collections::HashMap;
 
@@ -113,12 +113,45 @@ impl Database {
         out
     }
 
-    /// Validates that every declared foreign key points at an existing
-    /// table/column. Generators call this after assembly.
+    /// All gold-standard composite foreign keys as aligned qualified-name
+    /// sequences `(dependent columns, referenced columns)`, in
+    /// deterministic order.
+    pub fn gold_composite_foreign_keys(&self) -> Vec<(Vec<QualifiedName>, Vec<QualifiedName>)> {
+        let mut out = Vec::new();
+        for t in &self.tables {
+            for CompositeForeignKeyDef {
+                columns,
+                ref_table,
+                ref_columns,
+            } in &t.schema().composite_foreign_keys
+            {
+                out.push((
+                    columns
+                        .iter()
+                        .map(|c| QualifiedName::new(t.name(), c.clone()))
+                        .collect(),
+                    ref_columns
+                        .iter()
+                        .map(|c| QualifiedName::new(ref_table.clone(), c.clone()))
+                        .collect(),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Validates that every declared foreign key — unary and composite —
+    /// points at an existing table/column. Generators call this after
+    /// assembly.
     pub fn validate_foreign_keys(&self) -> Result<()> {
         for (dep, refd) in self.gold_foreign_keys() {
             self.table(&refd.table)?.schema().column(&refd.column)?;
             self.table(&dep.table)?.schema().column(&dep.column)?;
+        }
+        for (deps, refs) in self.gold_composite_foreign_keys() {
+            for qn in deps.iter().chain(&refs) {
+                self.table(&qn.table)?.schema().column(&qn.column)?;
+            }
         }
         Ok(())
     }
@@ -209,6 +242,65 @@ mod tests {
         assert_eq!(fks[0].0.to_string(), "child.parent_id");
         assert_eq!(fks[0].1.to_string(), "parent.id");
         db.validate_foreign_keys().unwrap();
+    }
+
+    #[test]
+    fn gold_composite_foreign_keys_collected_and_validated() {
+        let mut db = Database::new("composite");
+        let parent = Table::new(
+            TableSchema::new(
+                "pair_parent",
+                vec![
+                    ColumnSchema::new("a", DataType::Integer),
+                    ColumnSchema::new("b", DataType::Integer),
+                ],
+            )
+            .unwrap(),
+        );
+        db.add_table(parent).unwrap();
+        let mut schema = TableSchema::new(
+            "pair_child",
+            vec![
+                ColumnSchema::new("x", DataType::Integer),
+                ColumnSchema::new("y", DataType::Integer),
+            ],
+        )
+        .unwrap();
+        schema
+            .add_composite_foreign_key(["x", "y"], "pair_parent", ["a", "b"])
+            .unwrap();
+        db.add_table(Table::new(schema)).unwrap();
+
+        let cfks = db.gold_composite_foreign_keys();
+        assert_eq!(cfks.len(), 1);
+        let (deps, refs) = &cfks[0];
+        assert_eq!(
+            deps.iter().map(|q| q.to_string()).collect::<Vec<_>>(),
+            vec!["pair_child.x", "pair_child.y"]
+        );
+        assert_eq!(
+            refs.iter().map(|q| q.to_string()).collect::<Vec<_>>(),
+            vec!["pair_parent.a", "pair_parent.b"]
+        );
+        db.validate_foreign_keys().unwrap();
+    }
+
+    #[test]
+    fn dangling_composite_foreign_key_detected() {
+        let mut db = Database::new("broken-composite");
+        let mut schema = TableSchema::new(
+            "t",
+            vec![
+                ColumnSchema::new("x", DataType::Integer),
+                ColumnSchema::new("y", DataType::Integer),
+            ],
+        )
+        .unwrap();
+        schema
+            .add_composite_foreign_key(["x", "y"], "ghost", ["a", "b"])
+            .unwrap();
+        db.add_table(Table::new(schema)).unwrap();
+        assert!(db.validate_foreign_keys().is_err());
     }
 
     #[test]

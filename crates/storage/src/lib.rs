@@ -22,7 +22,7 @@ mod value;
 
 pub use database::Database;
 pub use error::{Result, StorageError};
-pub use schema::{ColumnSchema, ForeignKeyDef, QualifiedName, TableSchema};
+pub use schema::{ColumnSchema, CompositeForeignKeyDef, ForeignKeyDef, QualifiedName, TableSchema};
 pub use stats::{table_stats, ColumnStats};
 pub use table::Table;
 pub use value::{DataType, Value};

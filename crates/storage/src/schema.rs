@@ -47,9 +47,11 @@ impl ColumnSchema {
     }
 }
 
-/// A declared foreign key: `table.column ⊆ ref_table.ref_column`.
+/// A declared unary foreign key: `table.column ⊆ ref_table.ref_column`.
 ///
-/// Unary only, matching the paper's scope.
+/// The paper's scope is unary; composite (multi-column) keys are declared
+/// separately via [`CompositeForeignKeyDef`] and evaluated by the n-ary
+/// discovery layer.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ForeignKeyDef {
     /// Referring column in the owning table.
@@ -60,15 +62,39 @@ pub struct ForeignKeyDef {
     pub ref_column: String,
 }
 
-/// A table declaration: name, columns, and gold-standard foreign keys.
+/// A declared composite foreign key:
+/// `table.(c1, …, ck) ⊆ ref_table.(r1, …, rk)` with `k ≥ 2` and positional
+/// column alignment. Like [`ForeignKeyDef`], never consulted by discovery —
+/// it is the gold standard the n-ary pipeline evaluates against.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CompositeForeignKeyDef {
+    /// Referring columns in the owning table, in key order.
+    pub columns: Vec<String>,
+    /// Referenced table.
+    pub ref_table: String,
+    /// Referenced columns, aligned positionally with `columns`.
+    pub ref_columns: Vec<String>,
+}
+
+impl CompositeForeignKeyDef {
+    /// Number of column pairs in the key.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+/// A table declaration: name, columns, and gold-standard foreign keys
+/// (unary and composite).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TableSchema {
     /// Table name, unique within its database.
     pub name: String,
     /// Ordered column declarations.
     pub columns: Vec<ColumnSchema>,
-    /// Gold-standard foreign keys owned by this table.
+    /// Gold-standard unary foreign keys owned by this table.
     pub foreign_keys: Vec<ForeignKeyDef>,
+    /// Gold-standard composite foreign keys owned by this table.
+    pub composite_foreign_keys: Vec<CompositeForeignKeyDef>,
 }
 
 impl TableSchema {
@@ -87,6 +113,7 @@ impl TableSchema {
             name,
             columns,
             foreign_keys: Vec::new(),
+            composite_foreign_keys: Vec::new(),
         })
     }
 
@@ -109,6 +136,54 @@ impl TableSchema {
             column,
             ref_table: ref_table.into(),
             ref_column: ref_column.into(),
+        });
+        Ok(())
+    }
+
+    /// Adds a gold-standard composite foreign key; validates that every
+    /// local column exists, that both sides have the same arity ≥ 2, and
+    /// that neither side repeats a column. (The referenced side's existence
+    /// is validated when the database assembles.)
+    pub fn add_composite_foreign_key(
+        &mut self,
+        columns: impl IntoIterator<Item = impl Into<String>>,
+        ref_table: impl Into<String>,
+        ref_columns: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Result<()> {
+        let columns: Vec<String> = columns.into_iter().map(Into::into).collect();
+        let ref_columns: Vec<String> = ref_columns.into_iter().map(Into::into).collect();
+        if columns.len() < 2 || columns.len() != ref_columns.len() {
+            return Err(StorageError::Parse {
+                context: self.name.clone(),
+                detail: format!(
+                    "composite foreign key needs matching arities >= 2, got {} vs {}",
+                    columns.len(),
+                    ref_columns.len()
+                ),
+            });
+        }
+        for side in [&columns, &ref_columns] {
+            for (i, c) in side.iter().enumerate() {
+                if side[..i].contains(c) {
+                    return Err(StorageError::DuplicateColumn {
+                        table: self.name.clone(),
+                        column: c.clone(),
+                    });
+                }
+            }
+        }
+        for column in &columns {
+            if self.column_index(column).is_none() {
+                return Err(StorageError::UnknownColumn {
+                    table: self.name.clone(),
+                    column: column.clone(),
+                });
+            }
+        }
+        self.composite_foreign_keys.push(CompositeForeignKeyDef {
+            columns,
+            ref_table: ref_table.into(),
+            ref_columns,
         });
         Ok(())
     }
@@ -205,6 +280,31 @@ mod tests {
         assert!(s.add_foreign_key("name", "other", "id").is_ok());
         assert!(s.add_foreign_key("nope", "other", "id").is_err());
         assert_eq!(s.foreign_keys.len(), 1);
+    }
+
+    #[test]
+    fn composite_foreign_key_validation() {
+        let mut s = two_col_schema();
+        s.add_composite_foreign_key(["id", "name"], "other", ["a", "b"])
+            .unwrap();
+        assert_eq!(s.composite_foreign_keys.len(), 1);
+        assert_eq!(s.composite_foreign_keys[0].arity(), 2);
+
+        // Arity mismatch, unary arity, unknown and duplicated columns.
+        assert!(s
+            .add_composite_foreign_key(["id", "name"], "other", ["a"])
+            .is_err());
+        assert!(s.add_composite_foreign_key(["id"], "other", ["a"]).is_err());
+        assert!(s
+            .add_composite_foreign_key(["id", "nope"], "other", ["a", "b"])
+            .is_err());
+        assert!(s
+            .add_composite_foreign_key(["id", "id"], "other", ["a", "b"])
+            .is_err());
+        assert!(s
+            .add_composite_foreign_key(["id", "name"], "other", ["a", "a"])
+            .is_err());
+        assert_eq!(s.composite_foreign_keys.len(), 1, "failures add nothing");
     }
 
     #[test]

@@ -78,6 +78,15 @@ pub fn save_database(db: &Database, dir: &Path) -> Result<()> {
                 fk.column, fk.ref_table, fk.ref_column
             )?;
         }
+        // Composite keys: `cfk  <ref_table>  <arity>  cols…  ref_cols…`,
+        // one tab-separated field per column so names never need quoting.
+        for cfk in &table.schema().composite_foreign_keys {
+            write!(schema_out, "cfk\t{}\t{}", cfk.ref_table, cfk.arity())?;
+            for c in cfk.columns.iter().chain(&cfk.ref_columns) {
+                write!(schema_out, "\t{c}")?;
+            }
+            writeln!(schema_out)?;
+        }
     }
     schema_out.flush()?;
 
@@ -117,8 +126,12 @@ pub fn load_database(dir: &Path) -> Result<Database> {
 
     /// Parsed foreign key line: (column, referenced table, referenced column).
     type FkLine = (String, String, String);
+    /// Parsed composite foreign key line: (columns, referenced table,
+    /// referenced columns).
+    type CfkLine = (Vec<String>, String, Vec<String>);
     let mut db_name: Option<String> = None;
-    let mut tables: Vec<(String, Vec<ColumnSchema>, Vec<FkLine>)> = Vec::new();
+    #[allow(clippy::type_complexity)]
+    let mut tables: Vec<(String, Vec<ColumnSchema>, Vec<FkLine>, Vec<CfkLine>)> = Vec::new();
 
     for line in reader.lines() {
         let line = line?;
@@ -129,10 +142,10 @@ pub fn load_database(dir: &Path) -> Result<Database> {
         match fields[0] {
             "database" if fields.len() == 2 => db_name = Some(fields[1].to_string()),
             "table" if fields.len() == 2 => {
-                tables.push((fields[1].to_string(), Vec::new(), Vec::new()))
+                tables.push((fields[1].to_string(), Vec::new(), Vec::new(), Vec::new()))
             }
             "column" if fields.len() == 5 => {
-                let (_, cols, _) = tables.last_mut().ok_or_else(|| StorageError::Parse {
+                let (_, cols, _, _) = tables.last_mut().ok_or_else(|| StorageError::Parse {
                     context: ctx.clone(),
                     detail: "column line before any table line".into(),
                 })?;
@@ -146,7 +159,7 @@ pub fn load_database(dir: &Path) -> Result<Database> {
                 cols.push(c);
             }
             "fk" if fields.len() == 4 => {
-                let (_, _, fks) = tables.last_mut().ok_or_else(|| StorageError::Parse {
+                let (_, _, fks, _) = tables.last_mut().ok_or_else(|| StorageError::Parse {
                     context: ctx.clone(),
                     detail: "fk line before any table line".into(),
                 })?;
@@ -154,6 +167,40 @@ pub fn load_database(dir: &Path) -> Result<Database> {
                     fields[1].to_string(),
                     fields[2].to_string(),
                     fields[3].to_string(),
+                ));
+            }
+            "cfk" if fields.len() >= 3 => {
+                let (_, _, _, cfks) = tables.last_mut().ok_or_else(|| StorageError::Parse {
+                    context: ctx.clone(),
+                    detail: "cfk line before any table line".into(),
+                })?;
+                let arity: usize = fields[2].parse().map_err(|_| StorageError::Parse {
+                    context: ctx.clone(),
+                    detail: format!("bad composite-key arity `{}`", fields[2]),
+                })?;
+                // Checked arithmetic: a hostile arity must be a parse
+                // error, not a debug-build overflow panic.
+                let expected_fields = arity
+                    .checked_mul(2)
+                    .and_then(|n| n.checked_add(3))
+                    .ok_or_else(|| StorageError::Parse {
+                        context: ctx.clone(),
+                        detail: format!("bad composite-key arity `{arity}`"),
+                    })?;
+                if fields.len() != expected_fields {
+                    return Err(StorageError::Parse {
+                        context: ctx,
+                        detail: format!(
+                            "cfk line has {} column fields, expected {}",
+                            fields.len() - 3,
+                            2 * arity
+                        ),
+                    });
+                }
+                cfks.push((
+                    fields[3..3 + arity].iter().map(|s| s.to_string()).collect(),
+                    fields[1].to_string(),
+                    fields[3 + arity..].iter().map(|s| s.to_string()).collect(),
                 ));
             }
             other => {
@@ -170,10 +217,13 @@ pub fn load_database(dir: &Path) -> Result<Database> {
         detail: "missing database line".into(),
     })?);
 
-    for (name, cols, fks) in tables {
+    for (name, cols, fks, cfks) in tables {
         let mut schema = TableSchema::new(&name, cols)?;
         for (col, rt, rc) in fks {
             schema.add_foreign_key(col, rt, rc)?;
+        }
+        for (cols, rt, rcs) in cfks {
+            schema.add_composite_foreign_key(cols, rt, rcs)?;
         }
         let mut table = Table::new(schema);
 
@@ -239,6 +289,9 @@ mod tests {
         )
         .unwrap();
         schema.add_foreign_key("id", "items", "id").unwrap();
+        schema
+            .add_composite_foreign_key(["id", "label"], "items", ["label", "id"])
+            .unwrap();
         let mut t = Table::new(schema);
         t.insert(vec![1.into(), "plain".into(), 1.25.into()])
             .unwrap();
@@ -267,6 +320,11 @@ mod tests {
         let orig = db.table("items").unwrap();
         let back = loaded.table("items").unwrap();
         assert_eq!(back.schema(), orig.schema());
+        assert_eq!(
+            back.schema().composite_foreign_keys,
+            orig.schema().composite_foreign_keys,
+            "composite gold keys must survive the round trip"
+        );
         assert_eq!(back.row_count(), orig.row_count());
         for i in 0..orig.row_count() {
             assert_eq!(back.row(i), orig.row(i), "row {i}");
@@ -301,6 +359,25 @@ mod tests {
             load_database(dir.path()),
             Err(StorageError::Parse { .. })
         ));
+    }
+
+    #[test]
+    fn hostile_cfk_arity_is_a_parse_error_not_a_panic() {
+        let dir = TempDir::new("tsv-cfk-arity");
+        for arity in ["9223372036854775807", "18446744073709551615", "x"] {
+            std::fs::write(
+                dir.join("schema.txt"),
+                format!(
+                    "database\tx\ntable\tt\ncolumn\ta\ttext\tnull\tdup\n\
+                     column\tb\ttext\tnull\tdup\ncfk\tt\t{arity}\ta\tb\ta\tb\n"
+                ),
+            )
+            .unwrap();
+            assert!(matches!(
+                load_database(dir.path()),
+                Err(StorageError::Parse { .. })
+            ));
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@ use crate::error::Result;
 use crate::external_sort::{ExternalSorter, SortOptions, SortStats};
 use crate::format::ValueFileWriter;
 use crate::memory::MemoryValueSet;
+use crate::tuple::encode_tuple_into;
 use ind_storage::Value;
 use std::path::Path;
 
@@ -64,6 +65,96 @@ pub fn extract_memory_sets_parallel(columns: &[&[Value]], threads: usize) -> Vec
             .collect()
     })
     .expect("extraction scope panicked")
+}
+
+/// Renders row `row` of `columns` as an encoded composite tuple into `buf`,
+/// or returns `false` when any component is NULL (tuples with NULL
+/// components carry no inclusion evidence, mirroring how unary extraction
+/// drops NULL occurrences).
+fn render_composite_row(
+    columns: &[&[Value]],
+    row: usize,
+    rendered: &mut Vec<u8>,
+    buf: &mut Vec<u8>,
+) -> bool {
+    if columns.iter().any(|c| c[row].is_null()) {
+        return false;
+    }
+    buf.clear();
+    rendered.clear();
+    // Render all components into one scratch buffer, then encode the
+    // recorded sub-slices — no per-row vectors.
+    let mut offsets = [0usize; MAX_COMPOSITE_ARITY];
+    for (i, c) in columns.iter().enumerate() {
+        c[row].render_canonical(rendered);
+        offsets[i] = rendered.len();
+    }
+    let mut components: [&[u8]; MAX_COMPOSITE_ARITY] = [&[]; MAX_COMPOSITE_ARITY];
+    let mut start = 0usize;
+    for i in 0..columns.len() {
+        components[i] = &rendered[start..offsets[i]];
+        start = offsets[i];
+    }
+    encode_tuple_into(&components[..columns.len()], buf);
+    true
+}
+
+/// Hard cap on composite arity, comfortably above anything the levelwise
+/// search reaches in practice (the candidate space dies out long before).
+pub const MAX_COMPOSITE_ARITY: usize = 16;
+
+/// Extracts the composite value set of a column group into memory: one
+/// entry per row whose components are all non-NULL, encoded with the
+/// order-preserving tuple encoding ([`crate::encode_tuple`]) so the sorted
+/// distinct stream compares exactly like the tuple sequence. All columns
+/// must come from the same table (equal lengths).
+pub fn extract_composite_memory_set(columns: &[&[Value]]) -> MemoryValueSet {
+    assert!(!columns.is_empty() && columns.len() <= MAX_COMPOSITE_ARITY);
+    let rows = columns[0].len();
+    debug_assert!(
+        columns.iter().all(|c| c.len() == rows),
+        "ragged column group"
+    );
+    let mut out: Vec<Vec<u8>> = Vec::with_capacity(rows);
+    let mut rendered = Vec::new();
+    let mut buf = Vec::new();
+    for row in 0..rows {
+        if render_composite_row(columns, row, &mut rendered, &mut buf) {
+            out.push(buf.clone());
+        }
+    }
+    MemoryValueSet::from_unsorted(out)
+}
+
+/// Extracts a column group into a composite value file at `path` via the
+/// external sorter — the on-disk counterpart of
+/// [`extract_composite_memory_set`], producing a stream byte-identical to
+/// it.
+pub fn extract_composite_to_file(
+    columns: &[&[Value]],
+    path: &Path,
+    spill_dir: &Path,
+    options: SortOptions,
+) -> Result<SortStats> {
+    assert!(!columns.is_empty() && columns.len() <= MAX_COMPOSITE_ARITY);
+    let rows = columns[0].len();
+    debug_assert!(
+        columns.iter().all(|c| c.len() == rows),
+        "ragged column group"
+    );
+    let io = options.io.clone();
+    let mut sorter = ExternalSorter::new(spill_dir, options)?;
+    let mut rendered = Vec::new();
+    let mut buf = Vec::new();
+    for row in 0..rows {
+        if render_composite_row(columns, row, &mut rendered, &mut buf) {
+            sorter.push(&buf)?;
+        }
+    }
+    let mut writer = ValueFileWriter::create_with_options(path, &io)?;
+    let stats = sorter.finish_into(&mut writer)?;
+    writer.finish()?;
+    Ok(stats)
 }
 
 /// Extracts a column into a value file at `path` via the external sorter,
@@ -159,6 +250,98 @@ mod tests {
                 assert_eq!(p.as_slice(), s.as_slice(), "threads={threads}");
             }
         }
+    }
+
+    #[test]
+    fn composite_extraction_skips_null_rows_and_dedups() {
+        use crate::tuple::decode_tuple;
+        let a = vec![
+            Value::Integer(1),
+            Value::Integer(1),
+            Value::Integer(2),
+            Value::Null,
+            Value::Integer(3),
+        ];
+        let b = vec![
+            Value::Text("x".into()),
+            Value::Text("x".into()), // duplicate pair (1, x)
+            Value::Text("x".into()),
+            Value::Text("y".into()), // dropped: NULL in `a`
+            Value::Null,             // dropped: NULL in `b`
+        ];
+        let set = extract_composite_memory_set(&[&a, &b]);
+        let decoded: Vec<Vec<Vec<u8>>> = set
+            .as_slice()
+            .iter()
+            .map(|t| decode_tuple(t).unwrap())
+            .collect();
+        assert_eq!(
+            decoded,
+            vec![
+                vec![b"1".to_vec(), b"x".to_vec()],
+                vec![b"2".to_vec(), b"x".to_vec()],
+            ]
+        );
+    }
+
+    #[test]
+    fn composite_memory_and_file_extraction_agree() {
+        let dir = TempDir::new("extract-composite-agree");
+        let a: Vec<Value> = (0..40i64).map(|i| Value::Integer(i % 7)).collect();
+        let b: Vec<Value> = (0..40i64)
+            .map(|i| {
+                if i % 11 == 0 {
+                    Value::Null
+                } else {
+                    Value::Text(format!("t{}", i % 5))
+                }
+            })
+            .collect();
+        let mem = extract_composite_memory_set(&[&a, &b]);
+        let stats = extract_composite_to_file(
+            &[&a, &b],
+            &dir.join("pair.indv"),
+            &dir.join("spill"),
+            SortOptions::default(),
+        )
+        .unwrap();
+        let file_values =
+            collect_cursor(ValueFileReader::open(&dir.join("pair.indv")).unwrap()).unwrap();
+        assert_eq!(file_values, mem.as_slice());
+        assert_eq!(stats.distinct, mem.len());
+        assert_eq!(stats.pushed, 36, "40 rows minus 4 NULL-component rows");
+    }
+
+    #[test]
+    fn composite_stream_orders_like_tuples() {
+        use crate::tuple::decode_tuple;
+        // Values whose canonical renderings share prefixes: the encoded
+        // stream must sort by (first component, then second), not by the
+        // raw concatenation.
+        let a = vec![
+            Value::Text("ab".into()),
+            Value::Text("b".into()),
+            Value::Text("a".into()),
+        ];
+        let b = vec![
+            Value::Text("z".into()),
+            Value::Text("a".into()),
+            Value::Text("bz".into()),
+        ];
+        let set = extract_composite_memory_set(&[&a, &b]);
+        let decoded: Vec<Vec<Vec<u8>>> = set
+            .as_slice()
+            .iter()
+            .map(|t| decode_tuple(t).unwrap())
+            .collect();
+        assert_eq!(
+            decoded,
+            vec![
+                vec![b"a".to_vec(), b"bz".to_vec()],
+                vec![b"ab".to_vec(), b"z".to_vec()],
+                vec![b"b".to_vec(), b"a".to_vec()],
+            ]
+        );
     }
 
     #[test]

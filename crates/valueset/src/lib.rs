@@ -21,6 +21,7 @@ mod format;
 mod manager;
 mod memory;
 mod range;
+mod tuple;
 
 pub use block::{BlockReader, IoOptions, ReadStats, DEFAULT_BLOCK_SIZE, MIN_BLOCK_SIZE};
 pub use budget::{FileBudget, OpenFileGuard};
@@ -28,9 +29,13 @@ pub use cursor::{collect_cursor, ValueCursor, ValueSetProvider};
 pub use error::{Result, ValueSetError};
 pub use external_sort::{ExternalSorter, SortOptions, SortStats};
 pub use extract::{
-    extract_memory_set, extract_memory_sets_parallel, extract_sorted_distinct, extract_to_file,
+    extract_composite_memory_set, extract_composite_to_file, extract_memory_set,
+    extract_memory_sets_parallel, extract_sorted_distinct, extract_to_file, MAX_COMPOSITE_ARITY,
 };
 pub use format::{write_value_file, ValueFileReader, ValueFileWriter};
-pub use manager::{ExportOptions, ExportedAttribute, ExportedDatabase};
+pub use manager::{
+    CompositeExport, ExportOptions, ExportedAttribute, ExportedComposite, ExportedDatabase,
+};
 pub use memory::{MemoryCursor, MemoryProvider, MemoryValueSet};
 pub use range::{RangeCursor, RangeProvider};
+pub use tuple::{decode_tuple, encode_tuple, encode_tuple_into, tuple_arity};

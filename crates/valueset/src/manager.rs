@@ -7,7 +7,7 @@ use crate::budget::FileBudget;
 use crate::cursor::ValueSetProvider;
 use crate::error::Result;
 use crate::external_sort::SortOptions;
-use crate::extract::extract_to_file;
+use crate::extract::{extract_composite_to_file, extract_to_file};
 use crate::format::ValueFileReader;
 use ind_storage::{DataType, Database, QualifiedName};
 use std::path::{Path, PathBuf};
@@ -252,6 +252,12 @@ impl ExportedDatabase {
     pub fn reset_read_calls(&self) {
         self.read_stats.reset();
     }
+
+    /// Sequential-access hints delivered by opened cursors (see
+    /// [`IoOptions::sequential_hint`]).
+    pub fn fadvise_calls(&self) -> u64 {
+        self.read_stats.fadvise_calls()
+    }
 }
 
 impl ValueSetProvider for ExportedDatabase {
@@ -273,6 +279,125 @@ impl ValueSetProvider for ExportedDatabase {
 
     fn attribute_count(&self) -> usize {
         self.attributes.len()
+    }
+}
+
+/// Metadata for one exported composite (multi-column) value stream — the
+/// arity-k analogue of [`ExportedAttribute`]. Entries are rows of the
+/// owning table with every component non-NULL, tuple-encoded
+/// ([`crate::encode_tuple`]) so the sorted file compares like the tuple
+/// sequence.
+#[derive(Debug, Clone)]
+pub struct ExportedComposite {
+    /// Dense composite id; index into [`CompositeExport::composites`].
+    pub id: u32,
+    /// The component columns, in candidate position order. All must belong
+    /// to one table.
+    pub columns: Vec<QualifiedName>,
+    /// Rows whose components are all non-NULL (with duplicates).
+    pub non_null_rows: u64,
+    /// Distinct tuples written out.
+    pub distinct: u64,
+    /// Value file backing this composite stream.
+    pub path: PathBuf,
+    /// Byte size of that file, recorded at write time.
+    pub file_bytes: u64,
+}
+
+/// A set of composite value streams exported under one directory — the
+/// per-level provider of the n-ary discovery pipeline. The existing merge
+/// engines run over it unchanged: composite ids play the role attribute
+/// ids play for [`ExportedDatabase`].
+#[derive(Debug)]
+pub struct CompositeExport {
+    dir: PathBuf,
+    composites: Vec<ExportedComposite>,
+    io: IoOptions,
+    read_stats: ReadStats,
+}
+
+impl CompositeExport {
+    /// Exports one sorted composite value file per column group of
+    /// `groups` into `dir` (created if missing). Group `i` becomes
+    /// composite id `i`. Every group must name columns of a single table;
+    /// ragged groups (columns from different tables) are a storage error at
+    /// lookup time.
+    pub fn export(
+        db: &Database,
+        groups: &[Vec<QualifiedName>],
+        dir: &Path,
+        options: &ExportOptions,
+    ) -> Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let spill_dir = dir.join("spill");
+        let mut composites = Vec::with_capacity(groups.len());
+        for (id, group) in groups.iter().enumerate() {
+            let mut columns = Vec::with_capacity(group.len());
+            for qn in group {
+                columns.push(db.column(qn)?);
+            }
+            let path = dir.join(format!("comp-{id:05}.indv"));
+            let stats =
+                extract_composite_to_file(&columns, &path, &spill_dir, options.sort.clone())?;
+            composites.push(ExportedComposite {
+                id: id as u32,
+                columns: group.clone(),
+                non_null_rows: stats.pushed,
+                distinct: stats.distinct,
+                path,
+                file_bytes: stats.file_bytes,
+            });
+        }
+        let _ = std::fs::remove_dir_all(&spill_dir); // empty after successful export
+        Ok(CompositeExport {
+            dir: dir.to_path_buf(),
+            composites,
+            io: options.sort.io.clone(),
+            read_stats: ReadStats::new(),
+        })
+    }
+
+    /// All exported composite streams, indexed by id.
+    pub fn composites(&self) -> &[ExportedComposite] {
+        &self.composites
+    }
+
+    /// Export directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Total `read(2)` calls issued by every cursor this export has opened.
+    pub fn read_calls(&self) -> u64 {
+        self.read_stats.read_calls()
+    }
+
+    /// Sequential-access hints delivered by opened cursors (see
+    /// [`IoOptions::sequential_hint`]).
+    pub fn fadvise_calls(&self) -> u64 {
+        self.read_stats.fadvise_calls()
+    }
+}
+
+impl ValueSetProvider for CompositeExport {
+    type Cursor = ValueFileReader;
+
+    fn open(&self, id: u32) -> Result<ValueFileReader> {
+        let comp = self
+            .composites
+            .get(id as usize)
+            .ok_or(crate::error::ValueSetError::UnknownAttribute(id))?;
+        ValueFileReader::open_sized(
+            &comp.path,
+            &self.io,
+            None,
+            Some(self.read_stats.clone()),
+            comp.file_bytes,
+        )
+    }
+
+    fn attribute_count(&self) -> usize {
+        self.composites.len()
     }
 }
 
@@ -434,6 +559,44 @@ mod tests {
         assert!(exp.open(2).is_err(), "third open must exceed the budget");
         drop(c1);
         assert!(exp.open(2).is_ok());
+    }
+
+    #[test]
+    fn composite_export_matches_memory_extraction() {
+        use crate::extract::extract_composite_memory_set;
+        let db = sample_db();
+        let dir = TempDir::new("export-composite");
+        let groups = vec![
+            vec![
+                QualifiedName::new("t", "id"),
+                QualifiedName::new("t", "label"),
+            ],
+            vec![QualifiedName::new("u", "ref")],
+        ];
+        let exp =
+            CompositeExport::export(&db, &groups, dir.path(), &ExportOptions::default()).unwrap();
+        assert_eq!(exp.attribute_count(), 2);
+        for (id, group) in groups.iter().enumerate() {
+            let columns: Vec<&[Value]> = group.iter().map(|qn| db.column(qn).unwrap()).collect();
+            let mem = extract_composite_memory_set(&columns);
+            let disk = collect_cursor(exp.open(id as u32).unwrap()).unwrap();
+            assert_eq!(disk, mem.as_slice(), "group {group:?}");
+            let meta = &exp.composites()[id];
+            assert_eq!(meta.distinct, mem.len());
+            assert_eq!(meta.columns, *group);
+        }
+        assert!(exp.read_calls() > 0, "cursors are counted");
+        assert!(exp.open(2).is_err());
+    }
+
+    #[test]
+    fn composite_export_rejects_unknown_columns() {
+        let db = sample_db();
+        let dir = TempDir::new("export-composite-bad");
+        let groups = vec![vec![QualifiedName::new("t", "missing")]];
+        assert!(
+            CompositeExport::export(&db, &groups, dir.path(), &ExportOptions::default()).is_err()
+        );
     }
 
     #[test]

@@ -6,17 +6,18 @@
 //! spider-ind discover <dir> [--algorithm bf|bfpar|sp|spider|spiderpar|blockwise]
 //!                           [--threads N] [--max-files N] [--max-pretest] [--names]
 //!                           [--on-disk] [--block-size BYTES] [--workdir DIR]
+//!                           [--max-arity N]
 //! spider-ind fks      <dir>
 //! ```
 //!
 //! Databases are directories in the TSV format of `ind_storage::tsv`
 //! (`schema.txt` + one `.tsv` per table); `generate` creates them.
 
-use spider_ind::core::{Algorithm, FinderConfig, IndFinder, PretestConfig};
-use spider_ind::datagen::{BiosqlConfig, OpenMmsConfig, ScopConfig};
+use spider_ind::core::{Algorithm, FinderConfig, IndFinder, NaryConfig, NaryFinder, PretestConfig};
+use spider_ind::datagen::{BiosqlConfig, ChainsConfig, OpenMmsConfig, ScopConfig};
 use spider_ind::discovery::{
-    evaluate_foreign_keys, find_accession_candidates, fk_guesses_filtered,
-    identify_primary_relation, AccessionRules,
+    evaluate_composite_foreign_keys, evaluate_foreign_keys, find_accession_candidates,
+    fk_guesses_filtered, identify_primary_relation, AccessionRules,
 };
 use spider_ind::storage::{table_stats, tsv, Database};
 use std::fmt::Write as _;
@@ -55,8 +56,9 @@ fn print_usage() {
     println!(
         "spider-ind — unary inclusion dependency discovery (ICDE 2006 reproduction)\n\n\
          USAGE:\n\
-         \x20 spider-ind generate <uniprot|scop|pdb> <dir> [--scale N] [--seed N]\n\
-         \x20     Generate a synthetic database and save it as TSV.\n\
+         \x20 spider-ind generate <uniprot|scop|pdb|chains> <dir> [--scale N] [--seed N]\n\
+         \x20     Generate a synthetic database and save it as TSV\n\
+         \x20     (`chains` carries a composite two-column foreign key).\n\
          \x20 spider-ind profile <dir>\n\
          \x20     Per-attribute statistics (rows, distinct, nulls, uniqueness).\n\
          \x20 spider-ind discover <dir> [--algorithm bf|bfpar|sp|spider|spiderpar|blockwise]\n\
@@ -67,6 +69,9 @@ fn print_usage() {
          \x20     `--on-disk` runs the paper's actual pipeline over sorted\n\
          \x20     value files (exported under `--workdir`, default a fresh\n\
          \x20     temp dir) read through `--block-size`-byte I/O blocks.\n\
+         \x20     `--max-arity N` (N >= 2) switches to the levelwise n-ary\n\
+         \x20     pipeline: composite INDs up to arity N, validated by the\n\
+         \x20     SPIDER engine over tuple-encoded value streams.\n\
          \x20 spider-ind fks <dir>\n\
          \x20     Foreign-key guesses, accession candidates, primary relation."
     );
@@ -109,6 +114,10 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
             base_rows: scale * 3,
             seed,
             ..OpenMmsConfig::small_fraction()
+        }),
+        "chains" => spider_ind::datagen::generate_chains(&ChainsConfig {
+            structures: scale,
+            seed,
         }),
         other => return Err(format!("generate: unknown kind `{other}`")),
     };
@@ -182,6 +191,11 @@ fn parse_algorithm(args: &[String]) -> Result<Algorithm, String> {
 fn cmd_discover(args: &[String]) -> Result<(), String> {
     let dir = args.first().ok_or("discover: missing database directory")?;
     let db = load(dir)?;
+    if let Some(max_arity) = flag_value(args, "--max-arity")? {
+        if max_arity >= 2 {
+            return cmd_discover_nary(&db, args, max_arity as usize);
+        }
+    }
     let mut config = FinderConfig::with_algorithm(parse_algorithm(args)?);
     if args.iter().any(|a| a == "--max-pretest") {
         config.pretests = PretestConfig::with_max_value();
@@ -213,6 +227,114 @@ fn cmd_discover(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs the levelwise n-ary pipeline (`discover --max-arity N`, N ≥ 2) and
+/// prints per-level candidate counts — the apriori saving made visible —
+/// followed by the composite INDs and, when the schema declares composite
+/// gold keys, their evaluation.
+fn cmd_discover_nary(
+    db: &spider_ind::storage::Database,
+    args: &[String],
+    max_arity: usize,
+) -> Result<(), String> {
+    let mut config = NaryConfig {
+        max_arity,
+        ..Default::default()
+    };
+    if args.iter().any(|a| a == "--max-pretest") {
+        config.pretests = PretestConfig::with_max_value();
+    }
+    let finder = NaryFinder::new(config);
+    let discovery = if args.iter().any(|a| a == "--on-disk") {
+        use spider_ind::valueset::ExportOptions;
+        let mut options = ExportOptions::default();
+        if let Some(block_size) = flag_value(args, "--block-size")? {
+            options.sort.io = spider_ind::valueset::IoOptions::with_block_size(block_size as usize);
+        }
+        let (workdir, temp) = resolve_workdir(args)?;
+        let result = finder
+            .discover_on_disk(db, &workdir, &options)
+            .map_err(|e| format!("discovery failed: {e}"));
+        if temp {
+            let _ = std::fs::remove_dir_all(&workdir);
+        }
+        result?
+    } else {
+        finder
+            .discover_in_memory(db)
+            .map_err(|e| format!("discovery failed: {e}"))?
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} unary INDs, {} composite INDs (max arity found {}), {:?}\n",
+        discovery.unary.len(),
+        discovery.satisfied.len(),
+        discovery.max_arity_found(),
+        discovery.metrics.elapsed
+    );
+    let _ = writeln!(
+        out,
+        "{:>5} {:>14} {:>10} {:>12} {:>10} {:>10}",
+        "arity", "enumerable", "generated", "proj-pruned", "satisfied", "ms"
+    );
+    for level in &discovery.levels {
+        let _ = writeln!(
+            out,
+            "{:>5} {:>14} {:>10} {:>12} {:>10} {:>10.2}",
+            level.arity,
+            level.enumerable,
+            level.generated,
+            level.pruned_projection,
+            level.satisfied,
+            level.elapsed.as_secs_f64() * 1e3
+        );
+    }
+    let _ = writeln!(out);
+    for (dep, refd) in discovery.satisfied_named() {
+        let join = |side: &[spider_ind::storage::QualifiedName]| {
+            side.iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let _ = writeln!(out, "({}) <= ({})", join(&dep), join(&refd));
+    }
+    if !db.gold_composite_foreign_keys().is_empty() {
+        let eval = evaluate_composite_foreign_keys(db, &discovery);
+        let _ = writeln!(
+            out,
+            "\nagainst declared composite FKs: {} found, {} missed, {} extras",
+            eval.found.len(),
+            eval.missed.len(),
+            eval.extras.len()
+        );
+    }
+    if args.iter().any(|a| a == "--names") {
+        let _ = writeln!(out, "\nmetrics: {}", discovery.metrics);
+    }
+    emit(&out);
+    Ok(())
+}
+
+/// Resolves `--workdir`: an explicit directory (kept for inspection) or a
+/// fresh process-scoped temp directory (removed by the caller). The bool
+/// says whether the directory is temporary.
+fn resolve_workdir(args: &[String]) -> Result<(std::path::PathBuf, bool), String> {
+    match args.iter().position(|a| a == "--workdir") {
+        None => Ok((
+            std::env::temp_dir().join(format!("spider-ind-export-{}", std::process::id())),
+            true,
+        )),
+        Some(i) => match args.get(i + 1) {
+            // Reject a missing/flag-shaped value instead of silently
+            // falling back to (and then deleting) a temp export.
+            Some(dir) if !dir.starts_with("--") => Ok((std::path::PathBuf::from(dir), false)),
+            _ => Err("--workdir requires a directory value".into()),
+        },
+    }
+}
+
 /// Runs the disk-backed pipeline: export to sorted value files under
 /// `--workdir` (default: a fresh process-scoped temp directory, removed
 /// afterwards; an explicit `--workdir` is kept for inspection), reading
@@ -227,23 +349,11 @@ fn discover_on_disk(
     if let Some(block_size) = flag_value(args, "--block-size")? {
         options.sort.io = spider_ind::valueset::IoOptions::with_block_size(block_size as usize);
     }
-    let explicit = match args.iter().position(|a| a == "--workdir") {
-        None => None,
-        Some(i) => match args.get(i + 1) {
-            // Reject a missing/flag-shaped value instead of silently
-            // falling back to (and then deleting) a temp export.
-            Some(dir) if !dir.starts_with("--") => Some(dir.clone()),
-            _ => return Err("--workdir requires a directory value".into()),
-        },
-    };
-    let workdir = match &explicit {
-        Some(dir) => std::path::PathBuf::from(dir),
-        None => std::env::temp_dir().join(format!("spider-ind-export-{}", std::process::id())),
-    };
+    let (workdir, temp) = resolve_workdir(args)?;
     let result = finder
         .discover_on_disk_with(db, &workdir, &options)
         .map_err(|e| format!("discovery failed: {e}"));
-    if explicit.is_none() {
+    if temp {
         let _ = std::fs::remove_dir_all(&workdir);
     }
     result

@@ -190,6 +190,41 @@ fn spider_parallel_handles_empty_attributes_and_single_partition() {
 }
 
 #[test]
+fn blockwise_at_the_budget_boundary_agrees_with_single_pass() {
+    // The hard floor (`max_open_files == 2` forces 1×1 block pairs — one
+    // dependent against one referenced cursor per sub-run) and a ladder of
+    // odd budgets that split the attribute sets unevenly must all return
+    // byte-for-byte the single-pass answer on every generated dataset.
+    for db in [
+        generate_uniprot(&BiosqlConfig::tiny()),
+        generate_scop(&ScopConfig::tiny()),
+        generate_pdb(&OpenMmsConfig::tiny()),
+    ] {
+        let baseline = IndFinder::with_algorithm(Algorithm::SinglePass)
+            .discover_in_memory(&db)
+            .expect("single-pass discovery");
+        assert!(baseline.ind_count() > 0, "{}: fixture has INDs", db.name());
+        for max_open_files in [2usize, 3, 5, 7, 11, 13] {
+            let blockwise = IndFinder::with_algorithm(Algorithm::Blockwise { max_open_files })
+                .discover_in_memory(&db)
+                .expect("blockwise discovery");
+            assert_eq!(
+                blockwise.satisfied,
+                baseline.satisfied,
+                "blockwise({max_open_files}) vs single-pass on {}",
+                db.name()
+            );
+            assert_eq!(
+                blockwise.metrics.satisfied,
+                baseline.metrics.satisfied,
+                "blockwise({max_open_files}) satisfied counter on {}",
+                db.name()
+            );
+        }
+    }
+}
+
+#[test]
 fn on_disk_discovery_matches_in_memory() {
     let db = generate_uniprot(&BiosqlConfig::tiny());
     for algorithm in [

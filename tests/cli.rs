@@ -162,6 +162,57 @@ fn on_disk_discovery_matches_in_memory_via_cli() {
 }
 
 #[test]
+fn discover_max_arity_finds_the_composite_fk_via_cli() {
+    let dir = TempDir::new("cli-nary");
+    let db_dir = dir.join("db");
+    let db_path = db_dir.to_str().expect("utf8 path");
+
+    let out = spider_ind(&["generate", "chains", db_path, "--scale", "30"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout(&out).contains("4 tables"));
+
+    let expected_ind = "(contact.pdb_code, contact.chain_id) <= (chain.pdb_code, chain.chain_id)";
+    let mem = spider_ind(&["discover", db_path, "--max-arity", "2"]);
+    assert!(mem.status.success());
+    let text = stdout(&mem);
+    assert!(text.contains(expected_ind), "{text}");
+    assert!(
+        text.contains("1 found, 0 missed, 0 extras"),
+        "composite gold evaluation must be exact:\n{text}"
+    );
+    assert!(text.contains("enumerable"), "per-level table is printed");
+
+    // The on-disk pipeline prints the identical IND set.
+    let work_dir = dir.join("work");
+    let disk = spider_ind(&[
+        "discover",
+        db_path,
+        "--max-arity",
+        "2",
+        "--on-disk",
+        "--block-size",
+        "4096",
+        "--workdir",
+        work_dir.to_str().expect("utf8 path"),
+    ]);
+    assert!(
+        disk.status.success(),
+        "{}",
+        String::from_utf8_lossy(&disk.stderr)
+    );
+    let disk_text = stdout(&disk);
+    assert!(disk_text.contains(expected_ind), "{disk_text}");
+    assert!(
+        work_dir.join("arity-2").exists(),
+        "explicit workdir keeps the composite level export"
+    );
+}
+
+#[test]
 fn discover_rejects_unknown_algorithm() {
     let dir = TempDir::new("cli-badalgo");
     let db_dir = dir.join("db");

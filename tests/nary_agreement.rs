@@ -1,0 +1,161 @@
+//! The levelwise n-ary pipeline against a brute-force composite oracle.
+//!
+//! The oracle enumerates *every* syntactic arity-2 candidate — same-table
+//! sorted dependent pairs against same-table referenced permutations, no
+//! apriori pruning — and tests tuple inclusion directly on materialised
+//! row sets. On NULL-free data (the chains generator and the fixtures
+//! here) the levelwise search must return the byte-identical IND set while
+//! generating far fewer candidates than the oracle enumerates.
+
+use spider_ind::core::{profile_database, AttributeProfile, NaryCandidate, NaryFinder};
+use spider_ind::datagen::{generate_chains, ChainsConfig};
+use spider_ind::storage::{ColumnSchema, DataType, Database, Table, TableSchema};
+use spider_ind::valueset::ExportOptions;
+use std::collections::HashSet;
+
+/// Materialises the set of (component, component) canonical-byte tuples of
+/// two columns, skipping rows with any NULL.
+fn tuple_set(
+    db: &Database,
+    a: &AttributeProfile,
+    b: &AttributeProfile,
+) -> HashSet<(Vec<u8>, Vec<u8>)> {
+    let col_a = db.column(&a.name).expect("column");
+    let col_b = db.column(&b.name).expect("column");
+    col_a
+        .iter()
+        .zip(col_b)
+        .filter(|(x, y)| !x.is_null() && !y.is_null())
+        .map(|(x, y)| (x.canonical_bytes(), y.canonical_bytes()))
+        .collect()
+}
+
+/// Brute-force arity-2 discovery: every candidate, no pruning, direct set
+/// containment. Returns the satisfied candidates sorted — the ground truth
+/// the levelwise pipeline must reproduce exactly. Also returns how many
+/// candidates it had to test.
+fn oracle_arity_2(db: &Database) -> (Vec<NaryCandidate>, u64) {
+    let profiles = profile_database(db);
+    let dep_ok = |p: &AttributeProfile| p.is_dependent_candidate();
+    let ref_ok = |p: &AttributeProfile| p.non_null > 0;
+    let mut satisfied = Vec::new();
+    let mut tested = 0u64;
+    for d1 in profiles.iter().filter(|p| dep_ok(p)) {
+        for d2 in profiles.iter().filter(|p| dep_ok(p)) {
+            if d1.id >= d2.id || d1.name.table != d2.name.table {
+                continue;
+            }
+            for r1 in profiles.iter().filter(|p| ref_ok(p)) {
+                for r2 in profiles.iter().filter(|p| ref_ok(p)) {
+                    if r1.id == r2.id || r1.name.table != r2.name.table {
+                        continue;
+                    }
+                    if (d1.id, d2.id) == (r1.id, r2.id) {
+                        continue; // trivially reflexive
+                    }
+                    tested += 1;
+                    let dep_tuples = tuple_set(db, d1, d2);
+                    let ref_tuples = tuple_set(db, r1, r2);
+                    if dep_tuples.is_subset(&ref_tuples) {
+                        satisfied.push(NaryCandidate::new(vec![d1.id, d2.id], vec![r1.id, r2.id]));
+                    }
+                }
+            }
+        }
+    }
+    satisfied.sort();
+    (satisfied, tested)
+}
+
+fn assert_levelwise_matches_oracle(db: &Database) {
+    let (expected, oracle_tested) = oracle_arity_2(db);
+    let discovery = NaryFinder::with_max_arity(2)
+        .discover_in_memory(db)
+        .expect("levelwise discovery");
+    assert_eq!(
+        discovery.satisfied,
+        expected,
+        "{}: levelwise result must be byte-identical to the oracle",
+        db.name()
+    );
+    let level2 = discovery
+        .levels
+        .iter()
+        .find(|l| l.arity == 2)
+        .expect("level 2 ran");
+    assert!(
+        level2.generated < oracle_tested,
+        "{}: apriori generation ({}) must undercut the oracle's candidate \
+         space ({})",
+        db.name(),
+        level2.generated,
+        oracle_tested
+    );
+    assert_eq!(
+        level2.enumerable, oracle_tested,
+        "the enumerable yardstick counts exactly the oracle's space"
+    );
+}
+
+#[test]
+fn levelwise_matches_oracle_on_chains() {
+    let db = generate_chains(&ChainsConfig::tiny());
+    let (expected, _) = oracle_arity_2(&db);
+    assert!(!expected.is_empty(), "chains must contain a composite IND");
+    assert_levelwise_matches_oracle(&db);
+}
+
+#[test]
+fn levelwise_matches_oracle_on_a_mirror_heavy_fixture() {
+    // Duplicated pair tables produce a dense web of composite INDs (every
+    // direction between the copies), plus a partial table that holds only
+    // a subset. NULL-free so the oracle's semantics coincide exactly.
+    let mut db = Database::new("mirrors");
+    for (name, rows) in [("left", 18i64), ("right", 18), ("part", 9)] {
+        let mut t = Table::new(
+            TableSchema::new(
+                name,
+                vec![
+                    ColumnSchema::new("k", DataType::Integer),
+                    ColumnSchema::new("v", DataType::Text),
+                ],
+            )
+            .expect("schema"),
+        );
+        for i in 0..rows {
+            t.insert(vec![(i % 6).into(), format!("v{}", i % 3).into()])
+                .expect("row");
+        }
+        db.add_table(t).expect("table");
+    }
+    assert_levelwise_matches_oracle(&db);
+}
+
+#[test]
+fn chains_gold_key_is_found_and_disk_agrees() {
+    let db = generate_chains(&ChainsConfig::tiny());
+    let finder = NaryFinder::with_max_arity(2);
+    let mem = finder.discover_in_memory(&db).expect("memory");
+    let named = mem.satisfied_named();
+    assert!(
+        named.iter().any(|(dep, refd)| {
+            dep.iter().map(ToString::to_string).collect::<Vec<_>>()
+                == ["contact.pdb_code", "contact.chain_id"]
+                && refd.iter().map(ToString::to_string).collect::<Vec<_>>()
+                    == ["chain.pdb_code", "chain.chain_id"]
+        }),
+        "gold composite FK must be discovered: {named:?}"
+    );
+    // The negative control never shows up.
+    assert!(
+        named.iter().all(|(dep, _)| dep[0].table != "crystal"),
+        "the poisoned crystal pairs must be refuted: {named:?}"
+    );
+
+    let dir = ind_testkit::TempDir::new("nary-agreement-disk");
+    let disk = finder
+        .discover_on_disk(&db, dir.path(), &ExportOptions::default())
+        .expect("disk");
+    assert_eq!(mem.satisfied, disk.satisfied);
+    assert_eq!(mem.unary, disk.unary);
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for `ind_core::closure::transitive_closure`:
+//! random edge sets over a tiny node pool (cycles and shared paths happen
+//! constantly), explicit long chains, and explicit cycles. The invariants:
+//! the closure contains its base (minus self-pairs), is idempotent
+//! (`closure(closure(x)) == closure(x)`), never emits self-pairs, and
+//! matches reachability.
+
+use proptest::prelude::*;
+use spider_ind::core::{transitive_closure, Candidate};
+use std::collections::BTreeSet;
+
+/// Reference reachability oracle: `a ⊆ b` is in the closure iff `b` is
+/// reachable from `a` over one or more base edges (excluding `a == b`).
+fn reachability_oracle(edges: &[Candidate]) -> BTreeSet<Candidate> {
+    let nodes: BTreeSet<u32> = edges.iter().flat_map(|c| [c.dep, c.refd]).collect();
+    let mut out = BTreeSet::new();
+    for &start in &nodes {
+        let mut frontier = vec![start];
+        let mut seen = BTreeSet::new();
+        while let Some(n) = frontier.pop() {
+            for e in edges.iter().filter(|e| e.dep == n) {
+                if seen.insert(e.refd) {
+                    frontier.push(e.refd);
+                }
+            }
+        }
+        for reach in seen {
+            if reach != start {
+                out.insert(Candidate::new(start, reach));
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn closure_is_idempotent_and_matches_reachability(
+        raw in proptest::collection::vec((0u32..8, 0u32..8), 0..24),
+    ) {
+        // A small node pool forces cycles, diamonds, and chains.
+        let edges: Vec<Candidate> = raw
+            .iter()
+            .filter(|(d, r)| d != r)
+            .map(|&(d, r)| Candidate::new(d, r))
+            .collect();
+        let closure = transitive_closure(&edges);
+
+        prop_assert!(
+            closure.iter().all(|c| c.dep != c.refd),
+            "self-pairs must never be emitted"
+        );
+        prop_assert!(
+            edges.iter().all(|e| closure.contains(e)),
+            "the closure contains its base"
+        );
+        prop_assert_eq!(&closure, &reachability_oracle(&edges));
+
+        let closure_vec: Vec<Candidate> = closure.iter().copied().collect();
+        let again = transitive_closure(&closure_vec);
+        prop_assert_eq!(closure, again, "closure(closure(x)) == closure(x)");
+    }
+
+    #[test]
+    fn long_chains_close_completely(len in 1u32..40) {
+        // 0 → 1 → … → len: the closure is every ordered pair (i, j), i < j.
+        let edges: Vec<Candidate> =
+            (0..len).map(|i| Candidate::new(i, i + 1)).collect();
+        let closure = transitive_closure(&edges);
+        prop_assert_eq!(
+            closure.len(),
+            (len as usize + 1) * len as usize / 2,
+            "chain of {} edges", len
+        );
+        prop_assert!(closure.contains(&Candidate::new(0, len)));
+        prop_assert!(!closure.contains(&Candidate::new(len, 0)));
+        let closure_vec: Vec<Candidate> = closure.iter().copied().collect();
+        prop_assert_eq!(transitive_closure(&closure_vec), closure);
+    }
+
+    #[test]
+    fn cycles_close_to_complete_digraphs_without_self_pairs(len in 2u32..30) {
+        // 0 → 1 → … → len−1 → 0: everything reaches everything else.
+        let edges: Vec<Candidate> =
+            (0..len).map(|i| Candidate::new(i, (i + 1) % len)).collect();
+        let closure = transitive_closure(&edges);
+        prop_assert_eq!(
+            closure.len(),
+            len as usize * (len as usize - 1),
+            "cycle of {} nodes", len
+        );
+        prop_assert!(closure.iter().all(|c| c.dep != c.refd));
+        let closure_vec: Vec<Candidate> = closure.iter().copied().collect();
+        prop_assert_eq!(transitive_closure(&closure_vec), closure);
+    }
+}
