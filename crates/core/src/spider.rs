@@ -28,11 +28,12 @@
 //! * attribute ids are remapped to a dense `0..n` range
 //!   ([`crate::compact::CompactIds`]), so all per-attribute state lives in
 //!   flat vectors indexed by dense id;
-//! * the merge runs over a hand-rolled index min-heap of cursor slots that
-//!   compares `cursor.current()` byte slices **in place** — cursors own
-//!   their buffers ([`ind_valueset::MemoryCursor`] borrows from the Arc'd
-//!   set, [`ind_valueset::ValueFileReader`] serves slices straight out of
-//!   its read block) —
+//! * the merge runs over a lazily-keyed index min-heap of cursor slots
+//!   ([`ind_valueset::LazyMinHeap`], shared with the external sorter's
+//!   spill merge) that compares `cursor.current()` byte slices **in
+//!   place** — cursors own their buffers ([`ind_valueset::MemoryCursor`]
+//!   borrows from the Arc'd set, [`ind_valueset::ValueFileReader`] serves
+//!   slices straight out of its read block) —
 //!   instead of a `BinaryHeap<Reverse<(Vec<u8>, u32)>>` that clones every
 //!   value on push. Only one small owned copy of the current *group* value
 //!   is kept (the group's defining cursor advances while later members are
@@ -51,7 +52,7 @@
 use crate::candidates::Candidate;
 use crate::compact::CompactIds;
 use crate::metrics::RunMetrics;
-use ind_valueset::{Result, ValueCursor, ValueSetProvider};
+use ind_valueset::{LazyMinHeap, Result, ValueCursor, ValueSetProvider};
 use std::borrow::Cow;
 
 /// Runs SPIDER over `candidates` (pairs with `dep != ref`; duplicates are
@@ -138,7 +139,7 @@ where
     // keeps pushes allocation-free.
     let mut satisfied: Vec<Candidate> = Vec::with_capacity(candidates.len());
     let mut cursors: Vec<Option<C>> = Vec::with_capacity(n);
-    let mut heap = SlotHeap::with_capacity(n);
+    let mut heap = LazyMinHeap::with_capacity(n);
 
     for d in 0..n {
         let mut cursor = open(ids.id(d))?;
@@ -164,7 +165,7 @@ where
     }
     for d in 0..n {
         if cursors[d].is_some() {
-            heap.push(d as u32, &cursors);
+            heap.push(d as u32, |a, b| slot_less(&cursors, a, b));
         }
     }
 
@@ -178,11 +179,11 @@ where
         group.clear();
         group_value.clear();
         group_value.extend_from_slice(cursor_value(&cursors, first));
-        heap.pop(&cursors);
+        heap.pop(|a, b| slot_less(&cursors, a, b));
         group.push(first);
         while let Some(top) = heap.peek() {
             if cursor_value(&cursors, top) == group_value.as_slice() {
-                heap.pop(&cursors);
+                heap.pop(|a, b| slot_less(&cursors, a, b));
                 group.push(top);
             } else {
                 break;
@@ -232,7 +233,7 @@ where
             if cursor.advance()? {
                 metrics.items_read += 1;
                 metrics.value_bytes_read += cursor.current().len() as u64;
-                heap.push(a as u32, &cursors);
+                heap.push(a as u32, |x, y| slot_less(&cursors, x, y));
             } else {
                 // Dependent exhausted: its surviving candidates held for
                 // every value — satisfied.
@@ -290,74 +291,16 @@ fn satisfy_survivors(
     }
 }
 
-/// A binary min-heap over cursor *slots* (dense attribute ids). Keys are
-/// `(cursors[slot].current(), slot)` compared lazily at sift time, so the
-/// heap itself stores nothing but `u32`s and never copies a value. The slot
-/// tie-break makes the order total and deterministic.
-struct SlotHeap {
-    slots: Vec<u32>,
-}
-
-impl SlotHeap {
-    fn with_capacity(n: usize) -> Self {
-        SlotHeap {
-            slots: Vec::with_capacity(n),
-        }
-    }
-
-    fn peek(&self) -> Option<u32> {
-        self.slots.first().copied()
-    }
-
-    fn less<C: ValueCursor>(cursors: &[Option<C>], a: u32, b: u32) -> bool {
-        match cursor_value(cursors, a).cmp(cursor_value(cursors, b)) {
-            std::cmp::Ordering::Less => true,
-            std::cmp::Ordering::Greater => false,
-            std::cmp::Ordering::Equal => a < b,
-        }
-    }
-
-    fn push<C: ValueCursor>(&mut self, slot: u32, cursors: &[Option<C>]) {
-        self.slots.push(slot);
-        let mut i = self.slots.len() - 1;
-        while i > 0 {
-            let parent = (i - 1) / 2;
-            if Self::less(cursors, self.slots[i], self.slots[parent]) {
-                self.slots.swap(i, parent);
-                i = parent;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn pop<C: ValueCursor>(&mut self, cursors: &[Option<C>]) -> Option<u32> {
-        if self.slots.is_empty() {
-            return None;
-        }
-        let last = self.slots.len() - 1;
-        self.slots.swap(0, last);
-        let popped = self.slots.pop();
-        let mut i = 0;
-        loop {
-            let left = 2 * i + 1;
-            if left >= self.slots.len() {
-                break;
-            }
-            let right = left + 1;
-            let mut smallest = left;
-            if right < self.slots.len() && Self::less(cursors, self.slots[right], self.slots[left])
-            {
-                smallest = right;
-            }
-            if Self::less(cursors, self.slots[smallest], self.slots[i]) {
-                self.slots.swap(i, smallest);
-                i = smallest;
-            } else {
-                break;
-            }
-        }
-        popped
+/// Heap ordering over cursor *slots* (dense attribute ids): keys are
+/// `(cursors[slot].current(), slot)` compared lazily at sift time by the
+/// shared [`LazyMinHeap`], so the heap stores nothing but `u32`s and never
+/// copies a value. The slot tie-break makes the order total and
+/// deterministic.
+fn slot_less<C: ValueCursor>(cursors: &[Option<C>], a: u32, b: u32) -> bool {
+    match cursor_value(cursors, a).cmp(cursor_value(cursors, b)) {
+        std::cmp::Ordering::Less => true,
+        std::cmp::Ordering::Greater => false,
+        std::cmp::Ordering::Equal => a < b,
     }
 }
 

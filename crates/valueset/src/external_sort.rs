@@ -6,20 +6,45 @@
 //! unsorted values, keeps a bounded in-memory buffer, spills sorted runs to
 //! disk when the buffer fills, and k-way merges the runs (plus the final
 //! buffer) into a strictly increasing output stream.
+//!
+//! # Arena-backed, allocation-free in the steady state
+//!
+//! Pushed bytes land in one growable bump **arena** (`Vec<u8>`) addressed by
+//! a flat `(offset, len)` index — not one heap `Vec<u8>` per value. Sorting
+//! is `sort_unstable_by` over the index comparing arena slices in place;
+//! duplicate elimination rewrites the index without touching the bytes. The
+//! memory budget charges what the allocator actually handed out (arena
+//! capacity plus index capacity), and both vectors grow through
+//! budget-clamped `reserve_exact` steps so the footprint is honoured within
+//! one growth granule; the rare unclamped growth (a single value larger
+//! than the budget, or a rendering that outgrows its size hint) is
+//! transient — capacity shrinks back inside the clamp at the next spill or
+//! reset. [`ExternalSorter::push_with`] lets callers render canonical
+//! bytes *directly into the arena* — no intermediate scratch vector, no
+//! copy.
+//!
+//! The spill-phase k-way merge mirrors the zero-allocation SPIDER engine:
+//! a hand-rolled index min-heap whose entries are run indices compared by
+//! their cursors' zero-copy `current()` slices, with duplicate elimination
+//! against the last *written* record through a single reusable buffer — no
+//! per-record `to_vec`, no per-distinct `clone`.
+//!
+//! [`ExternalSorter::finish_into`] resets the sorter (keeping its arena),
+//! so one sorter can serve a whole export: after the first attribute the
+//! steady-state cost of sorting another column is zero heap allocations.
 
 use crate::block::IoOptions;
 use crate::cursor::ValueCursor;
-use crate::error::Result;
+use crate::error::{Result, ValueSetError};
 use crate::format::{ValueFileReader, ValueFileWriter};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::path::{Path, PathBuf};
 
 /// Tuning for the external sorter.
 #[derive(Debug, Clone)]
 pub struct SortOptions {
-    /// Approximate in-memory buffer limit in bytes before a spill; the
-    /// buffer always admits at least one value.
+    /// Approximate in-memory buffer limit in bytes before a spill (arena
+    /// bytes plus index bytes, charged by actual capacity); the buffer
+    /// always admits at least one value.
     pub memory_budget_bytes: usize,
     /// Block size for spill-run writers and the merge-phase readers.
     pub io: IoOptions,
@@ -61,70 +86,267 @@ pub struct SortStats {
     /// Final byte size of the output value file (header + records) —
     /// recorded so readers can size their block buffers without `fstat`.
     pub file_bytes: u64,
+    /// High-water mark of the budget-charged footprint (arena capacity +
+    /// index capacity) over the sorter's lifetime — the number the memory
+    /// budget bounds. Persists across [`ExternalSorter::finish_into`]
+    /// reuse, so a shared sorter reports its lifetime peak.
+    pub arena_bytes: u64,
+    /// Arena/index capacity-growth events over the sorter's lifetime — the
+    /// sorter's entire allocation traffic. A reused sorter stops growing
+    /// once warm, so this stays constant while `pushed` keeps climbing.
+    pub arena_grows: u64,
     /// Smallest output value, if any.
     pub min: Option<Vec<u8>>,
     /// Largest output value, if any.
     pub max: Option<Vec<u8>>,
 }
 
+/// One value in the arena: `arena[offset..offset + len]`.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    offset: u32,
+    len: u32,
+}
+
+impl Entry {
+    #[inline]
+    fn slice<'a>(&self, arena: &'a [u8]) -> &'a [u8] {
+        &arena[self.offset as usize..self.offset as usize + self.len as usize]
+    }
+}
+
+/// Bytes one index entry charges against the memory budget.
+const ENTRY_BYTES: usize = std::mem::size_of::<Entry>();
+/// Smallest arena growth step, so tiny budgets don't degenerate into
+/// byte-at-a-time reallocation.
+const MIN_GROW: usize = 64;
+
 /// External sorter; push values, then [`ExternalSorter::finish_into`] a
-/// value-file writer.
+/// value-file writer. The sorter resets after `finish_into` and keeps its
+/// arena, so it can be reused for the next attribute without reallocating.
 pub struct ExternalSorter {
-    buffer: Vec<Vec<u8>>,
-    buffer_bytes: usize,
+    arena: Vec<u8>,
+    index: Vec<Entry>,
     options: SortOptions,
     spill_dir: PathBuf,
+    spill_dir_created: bool,
     runs: Vec<PathBuf>,
     pushed: u64,
+    peak_footprint: usize,
+    grows: u64,
+    /// Largest single value seen over the sorter's lifetime — the
+    /// pre-reservation hint that keeps [`ExternalSorter::push_with`]
+    /// renders inside the budget-clamped growth path.
+    max_value_len: usize,
 }
 
 impl ExternalSorter {
-    /// Creates a sorter spilling into `spill_dir` (created if missing).
+    /// Creates a sorter spilling into `spill_dir` (created lazily on the
+    /// first spill, so fully in-memory sorts never touch the directory).
     pub fn new(spill_dir: &Path, options: SortOptions) -> Result<Self> {
-        std::fs::create_dir_all(spill_dir)?;
         Ok(ExternalSorter {
-            buffer: Vec::new(),
-            buffer_bytes: 0,
+            arena: Vec::new(),
+            index: Vec::new(),
             options,
             spill_dir: spill_dir.to_path_buf(),
+            spill_dir_created: false,
             runs: Vec::new(),
             pushed: 0,
+            peak_footprint: 0,
+            grows: 0,
+            max_value_len: 0,
         })
+    }
+
+    /// The options this sorter was built with (the export manager shares
+    /// them with the output writer).
+    pub fn options(&self) -> &SortOptions {
+        &self.options
     }
 
     /// Adds one value (unsorted, duplicates welcome).
     pub fn push(&mut self, value: &[u8]) -> Result<()> {
-        self.pushed += 1;
-        self.buffer_bytes += value.len() + std::mem::size_of::<Vec<u8>>();
-        self.buffer.push(value.to_vec());
-        if self.buffer_bytes >= self.options.memory_budget_bytes && self.buffer.len() > 1 {
+        if self.should_spill(value.len()) {
             self.spill()?;
         }
+        self.reserve_arena(value.len());
+        let offset = self.arena.len();
+        self.arena.extend_from_slice(value);
+        self.push_entry(offset)?;
         Ok(())
     }
 
+    /// Adds one value by rendering it **directly into the arena**: `render`
+    /// receives the arena and must only append. This is the zero-copy entry
+    /// point for extraction — canonical renderings and tuple encodings land
+    /// in their final resting place with no intermediate scratch vector.
+    pub fn push_with(&mut self, render: impl FnOnce(&mut Vec<u8>)) -> Result<()> {
+        // The rendered length is unknown up front: spill on the index
+        // projection alone (the budget always admits one more value), then
+        // pre-grow through the clamped path for a value the size of the
+        // largest rendering seen so far, so the render itself almost never
+        // grows the arena through `Vec`'s unclamped doubling. The hint is
+        // capped to the budget room left — a lifetime-max giant may only
+        // overshoot through its own render (counted below, clamped back at
+        // the next spill or reset), never pin every later reservation past
+        // the budget.
+        if self.should_spill(0) {
+            self.spill()?;
+        }
+        let room = self
+            .options
+            .memory_budget_bytes
+            .saturating_sub(self.index.capacity() * ENTRY_BYTES)
+            .saturating_sub(self.arena.len());
+        self.reserve_arena(self.max_value_len.min(room));
+        let capacity_before = self.arena.capacity();
+        let offset = self.arena.len();
+        render(&mut self.arena);
+        debug_assert!(self.arena.len() >= offset, "render must only append");
+        if self.arena.capacity() != capacity_before {
+            self.grows += 1;
+            self.note_footprint();
+        }
+        self.push_entry(offset)?;
+        Ok(())
+    }
+
+    /// True when admitting `incoming` more bytes (plus one index entry)
+    /// would push the *used* footprint past the budget. Capacity growth is
+    /// separately clamped to the budget, so charged capacity tracks this
+    /// projection within one growth granule.
+    fn should_spill(&self, incoming: usize) -> bool {
+        if self.index.is_empty() {
+            return false; // always admit at least one value
+        }
+        let used = self.arena.len() + incoming + (self.index.len() + 1) * ENTRY_BYTES;
+        used > self.options.memory_budget_bytes || self.arena.len() + incoming > u32::MAX as usize
+    }
+
+    /// Geometric growth target under the budget clamp: double (from at
+    /// least `min_grow`), clamped to `share` — the budget room left for
+    /// this vector — but never below `needed`, and never by less than an
+    /// eighth of current capacity. The floor keeps growth geometric even
+    /// when the clamp is exhausted (per-element exact reservations would
+    /// turn quadratic in copied bytes); whatever it overshoots is at most
+    /// one such granule and transient — capacity shrinks back inside the
+    /// clamp at the next spill or reset.
+    fn grow_target(capacity: usize, needed: usize, share: usize, min_grow: usize) -> usize {
+        let floor = capacity + (capacity / 8).max(min_grow);
+        (capacity.max(min_grow) * 2)
+            .min(share)
+            .max(needed)
+            .max(floor)
+    }
+
+    /// Grows the arena for `extra` more bytes through [`Self::grow_target`].
+    fn reserve_arena(&mut self, extra: usize) {
+        let needed = self.arena.len() + extra;
+        if needed <= self.arena.capacity() {
+            return;
+        }
+        let share = self
+            .options
+            .memory_budget_bytes
+            .saturating_sub(self.index.capacity() * ENTRY_BYTES);
+        let target = Self::grow_target(self.arena.capacity(), needed, share, MIN_GROW);
+        self.arena.reserve_exact(target - self.arena.len());
+        self.grows += 1;
+        self.note_footprint();
+    }
+
+    /// Records the value at `arena[offset..]` in the index, growing the
+    /// index under the same budget clamp as the arena.
+    fn push_entry(&mut self, offset: usize) -> Result<()> {
+        let len = self.arena.len() - offset;
+        self.max_value_len = self.max_value_len.max(len);
+        let (offset, len) = (
+            u32::try_from(offset).map_err(|_| self.too_large())?,
+            u32::try_from(len).map_err(|_| self.too_large())?,
+        );
+        if self.index.len() == self.index.capacity() {
+            let share = self
+                .options
+                .memory_budget_bytes
+                .saturating_sub(self.arena.capacity())
+                / ENTRY_BYTES;
+            let target = Self::grow_target(
+                self.index.capacity(),
+                self.index.len() + 1,
+                share,
+                MIN_GROW / ENTRY_BYTES,
+            );
+            self.index.reserve_exact(target - self.index.len());
+            self.grows += 1;
+            self.note_footprint();
+        }
+        self.index.push(Entry { offset, len });
+        self.pushed += 1;
+        Ok(())
+    }
+
+    /// Clears the buffered values and clamps any over-budget capacity back
+    /// down (unclamped growths — a giant value, a render that outgrew its
+    /// reservation — are transient by construction: the overshoot lasts at
+    /// most until the data that forced it is spilled or flushed).
+    fn reset_buffers(&mut self) {
+        self.arena.clear();
+        self.index.clear();
+        let budget = self.options.memory_budget_bytes;
+        if self.arena.capacity() + self.index.capacity() * ENTRY_BYTES > budget {
+            let index_bytes = self.index.capacity() * ENTRY_BYTES;
+            self.arena.shrink_to(budget.saturating_sub(index_bytes));
+        }
+    }
+
+    fn too_large(&self) -> ValueSetError {
+        ValueSetError::Corrupt {
+            context: self.spill_dir.display().to_string(),
+            detail: "sorter arena would exceed u32::MAX bytes".into(),
+        }
+    }
+
+    #[inline]
+    fn note_footprint(&mut self) {
+        let footprint = self.arena.capacity() + self.index.capacity() * ENTRY_BYTES;
+        self.peak_footprint = self.peak_footprint.max(footprint);
+    }
+
+    /// Sorts the index by arena slice and removes duplicate values in
+    /// place; the arena bytes are never moved.
+    fn sort_dedup_index(&mut self) {
+        let arena = &self.arena;
+        self.index
+            .sort_unstable_by(|a, b| a.slice(arena).cmp(b.slice(arena)));
+        self.index.dedup_by(|a, b| a.slice(arena) == b.slice(arena));
+    }
+
     fn spill(&mut self) -> Result<()> {
-        self.buffer.sort_unstable();
-        self.buffer.dedup();
+        self.sort_dedup_index();
+        if !self.spill_dir_created {
+            std::fs::create_dir_all(&self.spill_dir)?;
+            self.spill_dir_created = true;
+        }
         let path = self
             .spill_dir
             .join(format!("run-{:04}.indv", self.runs.len()));
         let mut w = ValueFileWriter::create_with_options(&path, &self.options.io)?;
-        for v in &self.buffer {
-            w.append(v)?;
+        for e in &self.index {
+            w.append(e.slice(&self.arena))?;
         }
         w.finish()?;
         self.runs.push(path);
-        self.buffer.clear();
-        self.buffer_bytes = 0;
+        self.reset_buffers();
         Ok(())
     }
 
     /// Merges everything into `writer` (strictly increasing, deduplicated)
-    /// and removes the spill runs. The caller finishes the writer.
-    pub fn finish_into(mut self, writer: &mut ValueFileWriter) -> Result<SortStats> {
-        self.buffer.sort_unstable();
-        self.buffer.dedup();
+    /// and removes the spill runs — a cleanup failure surfaces as an error
+    /// (best-effort only when the merge itself already failed). The caller
+    /// finishes the writer. The sorter resets afterwards, keeping its arena
+    /// capacity, so it can be reused for the next attribute.
+    pub fn finish_into(&mut self, writer: &mut ValueFileWriter) -> Result<SortStats> {
+        self.sort_dedup_index();
 
         let mut min = None;
         let mut max: Option<Vec<u8>> = None;
@@ -144,58 +366,153 @@ impl ExternalSorter {
             writer.append(value)
         };
 
-        if self.runs.is_empty() {
-            for v in &self.buffer {
-                emit(v, writer)?;
-            }
+        let merged = if self.runs.is_empty() {
+            (|| {
+                for e in &self.index {
+                    emit(e.slice(&self.arena), writer)?;
+                }
+                Ok(())
+            })()
         } else {
-            // K-way merge: spill runs + the final in-memory buffer.
-            let mut readers: Vec<ValueFileReader> = Vec::with_capacity(self.runs.len());
-            for path in &self.runs {
-                readers.push(ValueFileReader::open_with_options(path, &self.options.io)?);
-            }
-            let mem_idx = readers.len();
-            let mut mem_iter = self.buffer.iter();
-
-            // Heap entries: Reverse((value, source)) -> min-heap by value.
-            let mut heap: BinaryHeap<Reverse<(Vec<u8>, usize)>> = BinaryHeap::new();
-            for (i, r) in readers.iter_mut().enumerate() {
-                if r.advance()? {
-                    heap.push(Reverse((r.current().to_vec(), i)));
-                }
-            }
-            if let Some(v) = mem_iter.next() {
-                heap.push(Reverse((v.clone(), mem_idx)));
-            }
-
-            let mut last: Option<Vec<u8>> = None;
-            while let Some(Reverse((value, src))) = heap.pop() {
-                if last.as_deref() != Some(value.as_slice()) {
-                    emit(&value, writer)?;
-                    last = Some(value.clone());
-                }
-                if src == mem_idx {
-                    if let Some(v) = mem_iter.next() {
-                        heap.push(Reverse((v.clone(), mem_idx)));
-                    }
-                } else if readers[src].advance()? {
-                    heap.push(Reverse((readers[src].current().to_vec(), src)));
-                }
-            }
-            drop(readers);
-            for path in &self.runs {
-                let _ = std::fs::remove_file(path);
+            merge_runs(
+                &self.runs,
+                &self.index,
+                &self.arena,
+                &self.options.io,
+                |v| emit(v, writer),
+            )
+        };
+        // Remove the spill runs whatever the merge outcome; a merge error
+        // wins, but a cleanup failure on a clean merge is surfaced too —
+        // leaking spill files silently would defeat the disk budget. The
+        // sorter resets on every exit path, so a caller that catches the
+        // error still gets a clean sorter for the next attribute.
+        let runs = self.runs.len();
+        let mut cleanup: Option<std::io::Error> = None;
+        for path in self.runs.drain(..) {
+            if let Err(e) = std::fs::remove_file(&path) {
+                cleanup.get_or_insert(e);
             }
         }
-
-        Ok(SortStats {
+        let stats = SortStats {
             pushed: self.pushed,
             distinct,
-            runs: self.runs.len(),
+            runs,
             file_bytes: writer.bytes_written(),
+            arena_bytes: self.peak_footprint as u64,
+            arena_grows: self.grows,
             min,
             max,
-        })
+        };
+        self.reset_buffers();
+        self.pushed = 0;
+        merged?;
+        if let Some(e) = cleanup {
+            return Err(e.into());
+        }
+        Ok(stats)
+    }
+}
+
+/// K-way merge of the spill runs plus the sorted in-memory index, feeding
+/// each distinct value to `emit` in strictly increasing order.
+///
+/// The heap is the same [`crate::LazyMinHeap`] the SPIDER merge engine
+/// runs on: entries are *source indices* (`0..runs.len()` the run readers,
+/// `runs.len()` the in-memory index) compared lazily by their current
+/// zero-copy slices, so the heap stores nothing but `u32`s and never
+/// copies a value. Duplicate elimination compares against the last written
+/// record through one reusable buffer.
+fn merge_runs(
+    runs: &[PathBuf],
+    index: &[Entry],
+    arena: &[u8],
+    io: &IoOptions,
+    mut emit: impl FnMut(&[u8]) -> Result<()>,
+) -> Result<()> {
+    let mut sources = MergeSources {
+        readers: Vec::with_capacity(runs.len()),
+        index,
+        arena,
+        index_pos: 0,
+    };
+    for path in runs {
+        sources
+            .readers
+            .push(ValueFileReader::open_with_options(path, io)?);
+    }
+    let mem_src = runs.len() as u32;
+
+    let mut heap = crate::heap::LazyMinHeap::with_capacity(runs.len() + 1);
+    for src in 0..mem_src {
+        if sources.readers[src as usize].advance()? {
+            heap.push(src, |a, b| source_less(&sources, a, b));
+        }
+    }
+    if !index.is_empty() {
+        heap.push(mem_src, |a, b| source_less(&sources, a, b));
+    }
+
+    let mut last: Vec<u8> = Vec::new();
+    let mut wrote_any = false;
+    while let Some(top) = heap.peek() {
+        {
+            let value = sources.current(top);
+            if !wrote_any || last.as_slice() != value {
+                emit(value)?;
+                last.clear();
+                last.extend_from_slice(value);
+                wrote_any = true;
+            }
+        }
+        if sources.advance(top)? {
+            heap.sift_root(|a, b| source_less(&sources, a, b));
+        } else {
+            heap.pop(|a, b| source_less(&sources, a, b));
+        }
+    }
+    Ok(())
+}
+
+/// Merge ordering: current zero-copy slices, ties broken by source index —
+/// total and deterministic.
+fn source_less(sources: &MergeSources<'_>, a: u32, b: u32) -> bool {
+    match sources.current(a).cmp(sources.current(b)) {
+        std::cmp::Ordering::Less => true,
+        std::cmp::Ordering::Greater => false,
+        std::cmp::Ordering::Equal => a < b,
+    }
+}
+
+/// The merge's value sources: spill-run readers by index, then the sorted
+/// in-memory index as one extra source.
+struct MergeSources<'a> {
+    readers: Vec<ValueFileReader>,
+    index: &'a [Entry],
+    arena: &'a [u8],
+    index_pos: usize,
+}
+
+impl MergeSources<'_> {
+    /// Current value of source `src` — a zero-copy slice into the reader's
+    /// block or into the arena.
+    #[inline]
+    fn current(&self, src: u32) -> &[u8] {
+        match self.readers.get(src as usize) {
+            Some(reader) => reader.current(),
+            None => self.index[self.index_pos].slice(self.arena),
+        }
+    }
+
+    /// Advances source `src`; false when it is exhausted.
+    fn advance(&mut self, src: u32) -> Result<bool> {
+        match self.readers.get_mut(src as usize) {
+            Some(reader) => reader.advance(),
+            None => {
+                self.index_pos += 1;
+                Ok(self.index_pos < self.index.len())
+            }
+        }
     }
 }
 
@@ -312,5 +629,172 @@ mod tests {
         w.finish().unwrap();
         let leftovers: Vec<_> = std::fs::read_dir(&spill).unwrap().collect();
         assert!(leftovers.is_empty(), "spill runs must be removed");
+    }
+
+    #[test]
+    fn in_memory_sort_never_touches_the_spill_dir() {
+        // The spill directory is created lazily; an in-memory sort must
+        // not leave an empty directory behind.
+        let dir = TempDir::new("extsort-lazydir");
+        let spill = dir.join("spill");
+        let mut sorter = ExternalSorter::new(&spill, SortOptions::default()).unwrap();
+        sorter.push(b"a").unwrap();
+        let mut w = ValueFileWriter::create(&dir.join("out.indv")).unwrap();
+        sorter.finish_into(&mut w).unwrap();
+        w.finish().unwrap();
+        assert!(!spill.exists(), "no spill, no spill dir");
+    }
+
+    #[test]
+    fn push_with_renders_directly_into_the_arena() {
+        let dir = TempDir::new("extsort-pushwith");
+        let mut sorter = ExternalSorter::new(&dir.join("spill"), SortOptions::default()).unwrap();
+        for i in [3u32, 1, 2, 1] {
+            sorter
+                .push_with(|buf| buf.extend_from_slice(format!("v{i}").as_bytes()))
+                .unwrap();
+        }
+        let out_path = dir.join("out.indv");
+        let mut w = ValueFileWriter::create(&out_path).unwrap();
+        let stats = sorter.finish_into(&mut w).unwrap();
+        w.finish().unwrap();
+        assert_eq!(stats.pushed, 4);
+        assert_eq!(stats.distinct, 3);
+        let out = collect_cursor(ValueFileReader::open(&out_path).unwrap()).unwrap();
+        assert_eq!(out, expected(&[b"v1", b"v2", b"v3"]));
+    }
+
+    #[test]
+    fn budget_is_charged_by_capacity_within_one_granule() {
+        // Regression for the old accounting (`len + size_of::<Vec<u8>>` per
+        // value): at a 1 KiB budget the charged footprint — actual arena +
+        // index *capacity* — must stay within the budget plus one growth
+        // granule, across many values and spills.
+        let budget = 1024;
+        let raw: Vec<String> = (0..400).map(|i| format!("value-{i:04}")).collect();
+        let values: Vec<&[u8]> = raw.iter().map(|s| s.as_bytes()).collect();
+        let (out, stats) = sort_values(&values, budget);
+        assert_eq!(out, expected(&values));
+        assert!(stats.runs > 1, "1 KiB budget over ~4.4 KB must spill");
+        // One growth granule past the clamp: an eighth of capacity (or the
+        // MIN_GROW floor) — the geometric floor that keeps near-clamp
+        // growth from degenerating into quadratic exact reservations.
+        let granule = (budget / 8 + MIN_GROW) as u64;
+        assert!(
+            stats.arena_bytes <= budget as u64 + granule,
+            "footprint {} exceeds budget {budget} by more than one granule",
+            stats.arena_bytes
+        );
+        assert!(stats.arena_grows > 0, "growth events are counted");
+    }
+
+    #[test]
+    fn oversized_single_value_is_still_admitted() {
+        // One value larger than the whole budget: the buffer always admits
+        // at least one value, so the sort must succeed (footprint exceeds
+        // the budget for exactly that value).
+        let big = vec![b'x'; 4096];
+        let values: Vec<&[u8]> = vec![b"a", &big, b"b"];
+        let (out, stats) = sort_values(&values, 64);
+        assert_eq!(out, expected(&values));
+        assert_eq!(stats.distinct, 3);
+    }
+
+    #[test]
+    fn spill_boundary_at_every_record_cut() {
+        // Fixed-size values make the spill point a pure function of the
+        // budget: sweeping the budget one value-cost at a time moves the
+        // run boundary across every record position, and each cut must
+        // produce byte-identical output.
+        let raw: Vec<String> = (0..24).map(|i| format!("{:04}", (i * 7) % 24)).collect();
+        let values: Vec<&[u8]> = raw.iter().map(|s| s.as_bytes()).collect();
+        let reference = expected(&values);
+        let value_cost = 4 + ENTRY_BYTES; // fixed 4-byte bodies
+        for cut in 1..=values.len() {
+            let (out, stats) = sort_values(&values, cut * value_cost);
+            assert_eq!(out, reference, "cut after {cut} records");
+            if cut < values.len() {
+                assert!(stats.runs > 0, "budget for {cut} records must spill");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_error_wins_over_cleanup_and_runs_are_still_removed() {
+        // Corrupt one spill run behind the sorter's back: the merge error
+        // must surface (not a cleanup error), and the surviving run files
+        // must still be removed best-effort.
+        let dir = TempDir::new("extsort-merge-err");
+        let spill = dir.join("spill");
+        let mut sorter = ExternalSorter::new(&spill, SortOptions::with_memory_budget(16)).unwrap();
+        for i in 0..64 {
+            sorter.push(format!("{i:04}").as_bytes()).unwrap();
+        }
+        assert!(sorter.runs.len() > 1, "need at least two runs");
+        // Truncate the first run mid-record.
+        let victim = sorter.runs[0].clone();
+        let data = std::fs::read(&victim).unwrap();
+        std::fs::write(&victim, &data[..data.len() - 2]).unwrap();
+        let mut w = ValueFileWriter::create(&dir.join("out.indv")).unwrap();
+        let err = sorter.finish_into(&mut w).unwrap_err();
+        assert!(
+            matches!(err, ValueSetError::Corrupt { .. }),
+            "merge error must win: {err:?}"
+        );
+        let leftovers: Vec<_> = std::fs::read_dir(&spill).unwrap().collect();
+        assert!(
+            leftovers.is_empty(),
+            "cleanup stays best-effort after a merge error"
+        );
+
+        // The sorter resets on the error path too: reusing it afterwards
+        // must yield exactly the new values, not remnants of the failed
+        // attribute.
+        for v in [b"zz".as_slice(), b"aa", b"zz"] {
+            sorter.push(v).unwrap();
+        }
+        let retry_path = dir.join("retry.indv");
+        let mut w = ValueFileWriter::create(&retry_path).unwrap();
+        let stats = sorter.finish_into(&mut w).unwrap();
+        w.finish().unwrap();
+        assert_eq!(stats.pushed, 3, "pushed resets after a failed finish");
+        let out = collect_cursor(ValueFileReader::open(&retry_path).unwrap()).unwrap();
+        assert_eq!(out, expected(&[b"aa", b"zz"]));
+    }
+
+    #[test]
+    fn reused_sorter_stops_allocating_once_warm() {
+        // One sorter across many attributes: after the first column the
+        // arena and index are warm, so later columns add zero growth
+        // events — the steady-state allocation-free property the export
+        // manager relies on.
+        let dir = TempDir::new("extsort-reuse");
+        let mut sorter = ExternalSorter::new(&dir.join("spill"), SortOptions::default()).unwrap();
+        let raw: Vec<String> = (0..200).map(|i| format!("warm-{i:05}")).collect();
+        let values: Vec<&[u8]> = raw.iter().map(|s| s.as_bytes()).collect();
+
+        let run = |sorter: &mut ExternalSorter, name: &str| -> SortStats {
+            for v in &values {
+                sorter.push(v).unwrap();
+            }
+            let mut w = ValueFileWriter::create(&dir.join(name)).unwrap();
+            let stats = sorter.finish_into(&mut w).unwrap();
+            w.finish().unwrap();
+            stats
+        };
+        let first = run(&mut sorter, "a.indv");
+        let second = run(&mut sorter, "b.indv");
+        let third = run(&mut sorter, "c.indv");
+        assert_eq!(first.distinct, second.distinct);
+        assert!(first.arena_grows > 0);
+        assert_eq!(
+            second.arena_grows, first.arena_grows,
+            "second column must not grow the arena"
+        );
+        assert_eq!(third.arena_grows, first.arena_grows);
+        assert_eq!(second.pushed, values.len() as u64, "pushed resets per use");
+        let a = collect_cursor(ValueFileReader::open(&dir.join("a.indv")).unwrap()).unwrap();
+        let b = collect_cursor(ValueFileReader::open(&dir.join("b.indv")).unwrap()).unwrap();
+        assert_eq!(a, b);
     }
 }

@@ -41,60 +41,98 @@ pub fn extract_memory_set(values: &[Value]) -> MemoryValueSet {
 /// threads (column extractions are mutually independent: render, sort,
 /// dedup). Output order matches input order. `threads <= 1` degrades to the
 /// sequential path.
+///
+/// Workers claim columns one at a time off a shared atomic index instead of
+/// fixed chunks, so a few huge columns at one end of a skewed schema cannot
+/// idle the other workers.
 pub fn extract_memory_sets_parallel(columns: &[&[Value]], threads: usize) -> Vec<MemoryValueSet> {
-    let threads = threads.max(1);
-    if threads == 1 || columns.len() < 2 {
+    let threads = threads.max(1).min(columns.len());
+    if threads <= 1 || columns.len() < 2 {
         return columns.iter().map(|c| extract_memory_set(c)).collect();
     }
-    let chunk = columns.len().div_ceil(threads);
+    let next = std::sync::atomic::AtomicUsize::new(0);
     crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = columns
-            .chunks(chunk)
-            .map(|shard| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
                 scope.spawn(move |_| {
-                    shard
-                        .iter()
-                        .map(|c| extract_memory_set(c))
-                        .collect::<Vec<_>>()
+                    let mut done: Vec<(usize, MemoryValueSet)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(column) = columns.get(i) else {
+                            return done;
+                        };
+                        done.push((i, extract_memory_set(column)));
+                    }
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("extraction worker panicked"))
+        let mut out: Vec<Option<MemoryValueSet>> = columns.iter().map(|_| None).collect();
+        for handle in handles {
+            for (i, set) in handle.join().expect("extraction worker panicked") {
+                out[i] = Some(set);
+            }
+        }
+        out.into_iter()
+            .map(|s| s.expect("every column claimed exactly once"))
             .collect()
     })
     .expect("extraction scope panicked")
 }
 
+/// Renders row `row`'s components into `rendered` (cleared first),
+/// recording each component's end offset in `offsets`; returns `false`
+/// when any component is NULL (tuples with NULL components carry no
+/// inclusion evidence, mirroring how unary extraction drops NULL
+/// occurrences). All components share one scratch buffer — no per-row
+/// vectors.
+fn render_components(
+    columns: &[&[Value]],
+    row: usize,
+    rendered: &mut Vec<u8>,
+    offsets: &mut [usize; MAX_COMPOSITE_ARITY],
+) -> bool {
+    if columns.iter().any(|c| c[row].is_null()) {
+        return false;
+    }
+    rendered.clear();
+    for (i, c) in columns.iter().enumerate() {
+        c[row].render_canonical(rendered);
+        offsets[i] = rendered.len();
+    }
+    true
+}
+
+/// The component sub-slices of `rendered` recorded by
+/// [`render_components`], in position order.
+fn component_slices<'a>(
+    rendered: &'a [u8],
+    offsets: &[usize; MAX_COMPOSITE_ARITY],
+    arity: usize,
+) -> [&'a [u8]; MAX_COMPOSITE_ARITY] {
+    let mut components: [&[u8]; MAX_COMPOSITE_ARITY] = [&[]; MAX_COMPOSITE_ARITY];
+    let mut start = 0usize;
+    for i in 0..arity {
+        components[i] = &rendered[start..offsets[i]];
+        start = offsets[i];
+    }
+    components
+}
+
 /// Renders row `row` of `columns` as an encoded composite tuple into `buf`,
-/// or returns `false` when any component is NULL (tuples with NULL
-/// components carry no inclusion evidence, mirroring how unary extraction
-/// drops NULL occurrences).
+/// or returns `false` when any component is NULL.
 fn render_composite_row(
     columns: &[&[Value]],
     row: usize,
     rendered: &mut Vec<u8>,
     buf: &mut Vec<u8>,
 ) -> bool {
-    if columns.iter().any(|c| c[row].is_null()) {
+    let mut offsets = [0usize; MAX_COMPOSITE_ARITY];
+    if !render_components(columns, row, rendered, &mut offsets) {
         return false;
     }
     buf.clear();
-    rendered.clear();
-    // Render all components into one scratch buffer, then encode the
-    // recorded sub-slices — no per-row vectors.
-    let mut offsets = [0usize; MAX_COMPOSITE_ARITY];
-    for (i, c) in columns.iter().enumerate() {
-        c[row].render_canonical(rendered);
-        offsets[i] = rendered.len();
-    }
-    let mut components: [&[u8]; MAX_COMPOSITE_ARITY] = [&[]; MAX_COMPOSITE_ARITY];
-    let mut start = 0usize;
-    for i in 0..columns.len() {
-        components[i] = &rendered[start..offsets[i]];
-        start = offsets[i];
-    }
+    let components = component_slices(rendered, &offsets, columns.len());
     encode_tuple_into(&components[..columns.len()], buf);
     true
 }
@@ -136,20 +174,35 @@ pub fn extract_composite_to_file(
     spill_dir: &Path,
     options: SortOptions,
 ) -> Result<SortStats> {
+    let mut sorter = ExternalSorter::new(spill_dir, options)?;
+    extract_composite_with_sorter(columns, path, &mut sorter)
+}
+
+/// [`extract_composite_to_file`] through a caller-owned sorter, so one warm
+/// arena serves a whole level of composite streams. Tuples are encoded
+/// **directly into the arena** ([`ExternalSorter::push_with`]): components
+/// are rendered once into a reused scratch buffer and escaped straight into
+/// their final resting place — no per-row tuple vector.
+pub fn extract_composite_with_sorter(
+    columns: &[&[Value]],
+    path: &Path,
+    sorter: &mut ExternalSorter,
+) -> Result<SortStats> {
     assert!(!columns.is_empty() && columns.len() <= MAX_COMPOSITE_ARITY);
     let rows = columns[0].len();
     debug_assert!(
         columns.iter().all(|c| c.len() == rows),
         "ragged column group"
     );
-    let io = options.io.clone();
-    let mut sorter = ExternalSorter::new(spill_dir, options)?;
+    let io = sorter.options().io.clone();
     let mut rendered = Vec::new();
-    let mut buf = Vec::new();
+    let mut offsets = [0usize; MAX_COMPOSITE_ARITY];
     for row in 0..rows {
-        if render_composite_row(columns, row, &mut rendered, &mut buf) {
-            sorter.push(&buf)?;
+        if !render_components(columns, row, &mut rendered, &mut offsets) {
+            continue;
         }
+        let components = component_slices(&rendered, &offsets, columns.len());
+        sorter.push_with(|arena| encode_tuple_into(&components[..columns.len()], arena))?;
     }
     let mut writer = ValueFileWriter::create_with_options(path, &io)?;
     let stats = sorter.finish_into(&mut writer)?;
@@ -165,16 +218,26 @@ pub fn extract_to_file(
     spill_dir: &Path,
     options: SortOptions,
 ) -> Result<SortStats> {
-    let io = options.io.clone();
     let mut sorter = ExternalSorter::new(spill_dir, options)?;
-    let mut buf = Vec::new();
+    extract_with_sorter(values, path, &mut sorter)
+}
+
+/// [`extract_to_file`] through a caller-owned sorter, so one warm arena
+/// serves a whole export: canonical renderings go **directly into the
+/// arena** ([`ExternalSorter::push_with`]) with no intermediate scratch
+/// vector, and after the first attribute the steady-state cost of another
+/// column is zero sorter allocations.
+pub fn extract_with_sorter(
+    values: &[Value],
+    path: &Path,
+    sorter: &mut ExternalSorter,
+) -> Result<SortStats> {
+    let io = sorter.options().io.clone();
     for v in values {
         if v.is_null() {
             continue;
         }
-        buf.clear();
-        v.render_canonical(&mut buf);
-        sorter.push(&buf)?;
+        sorter.push_with(|arena| v.render_canonical(arena))?;
     }
     let mut writer = ValueFileWriter::create_with_options(path, &io)?;
     let stats = sorter.finish_into(&mut writer)?;
@@ -248,6 +311,34 @@ mod tests {
             assert_eq!(parallel.len(), sequential.len(), "threads={threads}");
             for (p, s) in parallel.iter().zip(&sequential) {
                 assert_eq!(p.as_slice(), s.as_slice(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_extraction_survives_skewed_column_sizes() {
+        // A few huge columns at the front and many tiny ones behind them:
+        // with fixed chunking one worker owned all the giants; the
+        // work-stealing index must still produce the sequential answer in
+        // order, at every thread count from 1 to 8.
+        let columns: Vec<Vec<Value>> = (0..17)
+            .map(|i| {
+                let rows = if i < 2 { 4000 } else { 5 };
+                (0..rows)
+                    .map(|j| match (i + j) % 7 {
+                        0 => Value::Null,
+                        n => Value::Integer(i64::from((n * j) % 257)),
+                    })
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[Value]> = columns.iter().map(Vec::as_slice).collect();
+        let sequential: Vec<_> = refs.iter().map(|c| extract_memory_set(c)).collect();
+        for threads in 1usize..=8 {
+            let parallel = extract_memory_sets_parallel(&refs, threads);
+            assert_eq!(parallel.len(), sequential.len(), "threads={threads}");
+            for (i, (p, s)) in parallel.iter().zip(&sequential).enumerate() {
+                assert_eq!(p.as_slice(), s.as_slice(), "threads={threads}, column {i}");
             }
         }
     }

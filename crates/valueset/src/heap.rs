@@ -1,0 +1,126 @@
+//! A lazily-keyed binary min-heap over dense `u32` slots.
+//!
+//! The heap stores nothing but slot ids; ordering is evaluated at sift
+//! time by a caller-supplied comparator, so keys living in external state
+//! (cursor buffers, arena slices) are compared **in place** and never
+//! copied onto the heap. This is the merge-loop shape shared by the
+//! zero-allocation SPIDER engine (slots = attribute cursors) and the
+//! external sorter's spill merge (slots = run sources).
+//!
+//! The comparator must be a strict weak ordering over the currently-live
+//! slots; callers make it total and deterministic by tie-breaking on the
+//! slot id itself.
+
+/// Binary min-heap over `u32` slots, keyed lazily by `less(a, b)`.
+pub struct LazyMinHeap {
+    slots: Vec<u32>,
+}
+
+impl LazyMinHeap {
+    /// An empty heap with room for `n` slots (pushes within the capacity
+    /// never allocate).
+    pub fn with_capacity(n: usize) -> Self {
+        LazyMinHeap {
+            slots: Vec::with_capacity(n),
+        }
+    }
+
+    /// The minimum slot, if any, without removing it.
+    pub fn peek(&self) -> Option<u32> {
+        self.slots.first().copied()
+    }
+
+    /// Inserts `slot`, sifting it up under `less`.
+    pub fn push(&mut self, slot: u32, less: impl Fn(u32, u32) -> bool) {
+        self.slots.push(slot);
+        let mut i = self.slots.len() - 1;
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if less(self.slots[i], self.slots[parent]) {
+                self.slots.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Restores heap order after the root slot's key changed in place —
+    /// the k-way merge's replace-top, cheaper than pop + push.
+    pub fn sift_root(&mut self, less: impl Fn(u32, u32) -> bool) {
+        let mut i = 0;
+        loop {
+            let left = 2 * i + 1;
+            if left >= self.slots.len() {
+                break;
+            }
+            let right = left + 1;
+            let mut smallest = left;
+            if right < self.slots.len() && less(self.slots[right], self.slots[left]) {
+                smallest = right;
+            }
+            if less(self.slots[smallest], self.slots[i]) {
+                self.slots.swap(i, smallest);
+                i = smallest;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Removes and returns the minimum slot.
+    pub fn pop(&mut self, less: impl Fn(u32, u32) -> bool) -> Option<u32> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let last = self.slots.len() - 1;
+        self.slots.swap(0, last);
+        let popped = self.slots.pop();
+        self.sift_root(less);
+        popped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drains the heap keyed by an external slice — the in-place-key usage
+    /// both merge engines rely on.
+    #[test]
+    fn drains_in_key_order_with_slot_tie_break() {
+        let keys: &[&[u8]] = &[b"m", b"a", b"z", b"a", b""];
+        let less = |a: u32, b: u32| match keys[a as usize].cmp(keys[b as usize]) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => a < b,
+        };
+        let mut heap = LazyMinHeap::with_capacity(keys.len());
+        for slot in 0..keys.len() as u32 {
+            heap.push(slot, less);
+        }
+        let mut drained = Vec::new();
+        while let Some(slot) = heap.pop(less) {
+            drained.push(slot);
+        }
+        // Sorted by key, ties by slot id: "" < "a"(1) < "a"(3) < "m" < "z".
+        assert_eq!(drained, vec![4, 1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn sift_root_reorders_after_in_place_key_change() {
+        let keys = std::cell::RefCell::new(vec![1u32, 5, 3]);
+        let less = |a: u32, b: u32| {
+            let k = keys.borrow();
+            (k[a as usize], a) < (k[b as usize], b)
+        };
+        let mut heap = LazyMinHeap::with_capacity(3);
+        for slot in 0..3 {
+            heap.push(slot, less);
+        }
+        assert_eq!(heap.peek(), Some(0));
+        keys.borrow_mut()[0] = 9; // the root's key advanced past the others
+        heap.sift_root(less);
+        assert_eq!(heap.peek(), Some(2));
+    }
+}

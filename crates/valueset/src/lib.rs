@@ -18,6 +18,7 @@ mod error;
 mod external_sort;
 mod extract;
 mod format;
+mod heap;
 mod manager;
 mod memory;
 mod range;
@@ -29,10 +30,12 @@ pub use cursor::{collect_cursor, ValueCursor, ValueSetProvider};
 pub use error::{Result, ValueSetError};
 pub use external_sort::{ExternalSorter, SortOptions, SortStats};
 pub use extract::{
-    extract_composite_memory_set, extract_composite_to_file, extract_memory_set,
-    extract_memory_sets_parallel, extract_sorted_distinct, extract_to_file, MAX_COMPOSITE_ARITY,
+    extract_composite_memory_set, extract_composite_to_file, extract_composite_with_sorter,
+    extract_memory_set, extract_memory_sets_parallel, extract_sorted_distinct, extract_to_file,
+    extract_with_sorter, MAX_COMPOSITE_ARITY,
 };
 pub use format::{write_value_file, ValueFileReader, ValueFileWriter};
+pub use heap::LazyMinHeap;
 pub use manager::{
     CompositeExport, ExportOptions, ExportedAttribute, ExportedComposite, ExportedDatabase,
 };

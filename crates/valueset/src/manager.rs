@@ -6,8 +6,8 @@ use crate::block::{IoOptions, ReadStats};
 use crate::budget::FileBudget;
 use crate::cursor::ValueSetProvider;
 use crate::error::Result;
-use crate::external_sort::SortOptions;
-use crate::extract::{extract_composite_to_file, extract_to_file};
+use crate::external_sort::{ExternalSorter, SortOptions};
+use crate::extract::{extract_composite_with_sorter, extract_with_sorter};
 use crate::format::ValueFileReader;
 use ind_storage::{DataType, Database, QualifiedName};
 use std::path::{Path, PathBuf};
@@ -50,6 +50,14 @@ impl ExportOptions {
         let mut options = ExportOptions::default();
         options.sort.io = IoOptions::with_block_size(block_size);
         options
+    }
+
+    /// Default options with the given sorter memory budget (bytes).
+    pub fn with_memory_budget(memory_budget_bytes: usize) -> Self {
+        ExportOptions {
+            sort: SortOptions::with_memory_budget(memory_budget_bytes),
+            ..Default::default()
+        }
     }
 
     /// The I/O options every value file of this export uses.
@@ -147,8 +155,11 @@ impl ExportedDatabase {
             }
         }
 
-        let run_job = |job: &Job<'_>, spill: &Path| -> Result<ExportedAttribute> {
-            let stats = extract_to_file(job.column, &job.path, spill, options.sort.clone())?;
+        // Each worker owns ONE sorter for its whole share of the export:
+        // after the first attribute the arena and index are warm, so every
+        // further column sorts with zero sorter allocations.
+        let run_job = |job: &Job<'_>, sorter: &mut ExternalSorter| -> Result<ExportedAttribute> {
+            let stats = extract_with_sorter(job.column, &job.path, sorter)?;
             Ok(ExportedAttribute {
                 id: job.id,
                 name: job.name.clone(),
@@ -166,21 +177,33 @@ impl ExportedDatabase {
         let threads = options.threads.max(1).min(jobs.len().max(1));
         let mut attributes: Vec<ExportedAttribute> = Vec::with_capacity(jobs.len());
         if threads <= 1 {
+            let mut sorter = ExternalSorter::new(&spill_dir, options.sort.clone())?;
             for job in &jobs {
-                attributes.push(run_job(job, &spill_dir)?);
+                attributes.push(run_job(job, &mut sorter)?);
             }
         } else {
-            // One spill subdirectory per worker: sorter spill runs are named
-            // by ordinal and would collide across concurrent extractions.
-            let chunk = jobs.len().div_ceil(threads);
+            // Workers claim jobs one at a time off a shared atomic index —
+            // fixed chunks would let a few huge columns idle the other
+            // workers. One spill subdirectory per worker: sorter spill runs
+            // are named by ordinal and would collide across concurrent
+            // extractions.
+            let next = std::sync::atomic::AtomicUsize::new(0);
             let results: Vec<Result<Vec<ExportedAttribute>>> = crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = jobs
-                    .chunks(chunk)
-                    .enumerate()
-                    .map(|(worker, shard)| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|worker| {
                         let spill = spill_dir.join(format!("worker-{worker:02}"));
-                        let run_job = &run_job;
-                        scope.spawn(move |_| shard.iter().map(|job| run_job(job, &spill)).collect())
+                        let (next, jobs, run_job) = (&next, &jobs, &run_job);
+                        scope.spawn(move |_| -> Result<Vec<ExportedAttribute>> {
+                            let mut sorter = ExternalSorter::new(&spill, options.sort.clone())?;
+                            let mut done = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                let Some(job) = jobs.get(i) else {
+                                    return Ok(done);
+                                };
+                                done.push(run_job(job, &mut sorter)?);
+                            }
+                        })
                     })
                     .collect();
                 handles
@@ -331,14 +354,15 @@ impl CompositeExport {
         std::fs::create_dir_all(dir)?;
         let spill_dir = dir.join("spill");
         let mut composites = Vec::with_capacity(groups.len());
+        // One sorter for the whole level: warm arena across groups.
+        let mut sorter = ExternalSorter::new(&spill_dir, options.sort.clone())?;
         for (id, group) in groups.iter().enumerate() {
             let mut columns = Vec::with_capacity(group.len());
             for qn in group {
                 columns.push(db.column(qn)?);
             }
             let path = dir.join(format!("comp-{id:05}.indv"));
-            let stats =
-                extract_composite_to_file(&columns, &path, &spill_dir, options.sort.clone())?;
+            let stats = extract_composite_with_sorter(&columns, &path, &mut sorter)?;
             composites.push(ExportedComposite {
                 id: id as u32,
                 columns: group.clone(),

@@ -5,8 +5,8 @@
 //! spider-ind profile  <dir>
 //! spider-ind discover <dir> [--algorithm bf|bfpar|sp|spider|spiderpar|blockwise]
 //!                           [--threads N] [--max-files N] [--max-pretest] [--names]
-//!                           [--on-disk] [--block-size BYTES] [--workdir DIR]
-//!                           [--max-arity N]
+//!                           [--on-disk] [--block-size BYTES] [--memory-budget BYTES]
+//!                           [--workdir DIR] [--max-arity N]
 //! spider-ind fks      <dir>
 //! ```
 //!
@@ -63,12 +63,15 @@ fn print_usage() {
          \x20     Per-attribute statistics (rows, distinct, nulls, uniqueness).\n\
          \x20 spider-ind discover <dir> [--algorithm bf|bfpar|sp|spider|spiderpar|blockwise]\n\
          \x20                     [--threads N] [--max-files N] [--max-pretest] [--names]\n\
-         \x20                     [--on-disk] [--block-size BYTES] [--workdir DIR]\n\
+         \x20                     [--on-disk] [--block-size BYTES] [--memory-budget BYTES]\n\
+         \x20                     [--workdir DIR] [--max-arity N]\n\
          \x20     Discover all satisfied INDs. `--threads` sets the worker\n\
          \x20     count of the parallel algorithms (bfpar, spiderpar).\n\
          \x20     `--on-disk` runs the paper's actual pipeline over sorted\n\
          \x20     value files (exported under `--workdir`, default a fresh\n\
-         \x20     temp dir) read through `--block-size`-byte I/O blocks.\n\
+         \x20     temp dir) read through `--block-size`-byte I/O blocks;\n\
+         \x20     `--memory-budget` caps the export sorter's in-memory\n\
+         \x20     bytes before it spills sorted runs to disk.\n\
          \x20     `--max-arity N` (N >= 2) switches to the levelwise n-ary\n\
          \x20     pipeline: composite INDs up to arity N, validated by the\n\
          \x20     SPIDER engine over tuple-encoded value streams.\n\
@@ -250,6 +253,9 @@ fn cmd_discover_nary(
         if let Some(block_size) = flag_value(args, "--block-size")? {
             options.sort.io = spider_ind::valueset::IoOptions::with_block_size(block_size as usize);
         }
+        if let Some(budget) = flag_value(args, "--memory-budget")? {
+            options.sort.memory_budget_bytes = budget as usize;
+        }
         let (workdir, temp) = resolve_workdir(args)?;
         let result = finder
             .discover_on_disk(db, &workdir, &options)
@@ -348,6 +354,9 @@ fn discover_on_disk(
     let mut options = ExportOptions::with_threads(finder.config.algorithm.extraction_threads());
     if let Some(block_size) = flag_value(args, "--block-size")? {
         options.sort.io = spider_ind::valueset::IoOptions::with_block_size(block_size as usize);
+    }
+    if let Some(budget) = flag_value(args, "--memory-budget")? {
+        options.sort.memory_budget_bytes = budget as usize;
     }
     let (workdir, temp) = resolve_workdir(args)?;
     let result = finder

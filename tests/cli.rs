@@ -162,6 +162,81 @@ fn on_disk_discovery_matches_in_memory_via_cli() {
 }
 
 #[test]
+fn tiny_memory_budget_spills_and_matches_in_memory_via_cli() {
+    // `--memory-budget` caps the export sorter; 256 bytes is far below any
+    // column's value volume at scale 10, so every attribute export goes
+    // through multi-run spills and the merge heap — and discovery must be
+    // byte-identical to the in-memory run.
+    let dir = TempDir::new("cli-budget");
+    let db_dir = dir.join("db");
+    let db_path = db_dir.to_str().expect("utf8 path");
+    assert!(spider_ind(&["generate", "scop", db_path, "--scale", "10"])
+        .status
+        .success());
+
+    let inds = |out: &std::process::Output| -> Vec<String> {
+        stdout(out)
+            .lines()
+            .filter(|l| l.contains(" <= "))
+            .map(str::to_string)
+            .collect()
+    };
+    let mem = spider_ind(&["discover", db_path, "--algorithm", "spider"]);
+    assert!(mem.status.success());
+    assert!(!inds(&mem).is_empty(), "scop at scale 10 has INDs");
+
+    let spilled = spider_ind(&[
+        "discover",
+        db_path,
+        "--algorithm",
+        "spider",
+        "--on-disk",
+        "--memory-budget",
+        "256",
+    ]);
+    assert!(
+        spilled.status.success(),
+        "{}",
+        String::from_utf8_lossy(&spilled.stderr)
+    );
+    assert_eq!(
+        inds(&mem),
+        inds(&spilled),
+        "a spill-forcing memory budget must not change results"
+    );
+
+    // The n-ary pipeline takes the same knob for its composite exports.
+    let chains_dir = dir.join("chains");
+    let chains_path = chains_dir.to_str().expect("utf8 path");
+    assert!(
+        spider_ind(&["generate", "chains", chains_path, "--scale", "20"])
+            .status
+            .success()
+    );
+    let nary_mem = spider_ind(&["discover", chains_path, "--max-arity", "2"]);
+    assert!(nary_mem.status.success());
+    let nary_spilled = spider_ind(&[
+        "discover",
+        chains_path,
+        "--max-arity",
+        "2",
+        "--on-disk",
+        "--memory-budget",
+        "256",
+    ]);
+    assert!(
+        nary_spilled.status.success(),
+        "{}",
+        String::from_utf8_lossy(&nary_spilled.stderr)
+    );
+    assert_eq!(
+        inds(&nary_mem),
+        inds(&nary_spilled),
+        "composite streams must survive spill-forcing budgets too"
+    );
+}
+
+#[test]
 fn discover_max_arity_finds_the_composite_fk_via_cli() {
     let dir = TempDir::new("cli-nary");
     let db_dir = dir.join("db");

@@ -9,12 +9,37 @@ use proptest::prelude::*;
 use spider_ind::storage::tsv::{load_database, save_database};
 use spider_ind::storage::{ColumnSchema, DataType, Database, Table, TableSchema, Value};
 use spider_ind::valueset::{
-    collect_cursor, ExternalSorter, IoOptions, SortOptions, ValueCursor, ValueFileReader,
-    ValueFileWriter,
+    collect_cursor, extract_composite_memory_set, extract_composite_to_file,
+    extract_sorted_distinct, extract_to_file, ExternalSorter, IoOptions, SortOptions, ValueCursor,
+    ValueFileReader, ValueFileWriter,
 };
 
 fn arb_text_value() -> impl Strategy<Value = Option<String>> {
     proptest::option::of(proptest::string::string_regex("[ -~\\t\\n\\\\]{0,12}").unwrap())
+}
+
+/// Storage values for extraction agreement: NULLs, integers, and text with
+/// shared prefixes (so sorting and dedup see adjacent near-equal slices).
+fn arb_column_value() -> impl Strategy<Value = Value> {
+    (
+        any::<u8>(),
+        -50i64..50,
+        proptest::string::string_regex("[a-c]{0,6}").unwrap(),
+    )
+        .prop_map(|(kind, n, s)| match kind % 12 {
+            0 | 1 => Value::Null,
+            2..=6 => Value::Integer(n),
+            // A shared prefix on half the strings keeps sort/dedup honest
+            // about adjacent near-equal slices.
+            7 | 8 => Value::Text(format!("prefix{s}")),
+            _ => Value::Text(s),
+        })
+}
+
+/// Memory budgets from "spill on nearly every value" to "never spill".
+fn arb_budget() -> impl Strategy<Value = usize> {
+    (any::<u8>(), 64usize..2048)
+        .prop_map(|(kind, small)| if kind % 4 == 0 { 1usize << 20 } else { small })
 }
 
 proptest! {
@@ -83,6 +108,78 @@ proptest! {
         prop_assert_eq!(stats.pushed as usize, values.len());
         prop_assert_eq!(stats.min.as_deref(), expected.first().map(Vec::as_slice));
         prop_assert_eq!(stats.max.as_deref(), expected.last().map(Vec::as_slice));
+    }
+
+    #[test]
+    fn arena_extraction_matches_sorted_distinct_at_any_budget_and_block(
+        values in proptest::collection::vec(arb_column_value(), 0..80),
+        budget in arb_budget(),
+        block in 1usize..96,
+    ) {
+        // The whole arena pipeline (render directly into the arena → index
+        // sort → spill at the budget → merge-heap dedup → block-staged
+        // write) must reproduce the trivial in-memory answer byte for
+        // byte, whatever the budget and I/O block size.
+        let dir = TempDir::new("prop-arena-extract");
+        let path = dir.join("col.indv");
+        let stats = extract_to_file(
+            &values,
+            &path,
+            &dir.join("spill"),
+            SortOptions {
+                memory_budget_bytes: budget,
+                io: IoOptions::with_block_size(block),
+            },
+        )
+        .expect("extract");
+        let expected = extract_sorted_distinct(&values);
+        let got = collect_cursor(
+            ValueFileReader::open_with_options(&path, &IoOptions::with_block_size(block))
+                .expect("open"),
+        )
+        .expect("read");
+        prop_assert_eq!(&got, &expected);
+        prop_assert_eq!(stats.distinct as usize, expected.len());
+        prop_assert_eq!(
+            stats.pushed as usize,
+            values.iter().filter(|v| !v.is_null()).count()
+        );
+        prop_assert_eq!(stats.min.as_deref(), expected.first().map(Vec::as_slice));
+        prop_assert_eq!(stats.max.as_deref(), expected.last().map(Vec::as_slice));
+    }
+
+    #[test]
+    fn composite_arena_extraction_matches_memory_at_any_budget_and_block(
+        rows in proptest::collection::vec(
+            (arb_column_value(), arb_column_value()), 1..60),
+        budget in arb_budget(),
+        block in 1usize..96,
+    ) {
+        // Tuple-encoded composite streams through the same pipeline: the
+        // on-disk export must agree with the in-memory composite set even
+        // when spill boundaries land inside escaped tuple encodings.
+        let a: Vec<Value> = rows.iter().map(|(x, _)| x.clone()).collect();
+        let b: Vec<Value> = rows.iter().map(|(_, y)| y.clone()).collect();
+        let dir = TempDir::new("prop-arena-composite");
+        let path = dir.join("pair.indv");
+        let stats = extract_composite_to_file(
+            &[&a, &b],
+            &path,
+            &dir.join("spill"),
+            SortOptions {
+                memory_budget_bytes: budget,
+                io: IoOptions::with_block_size(block),
+            },
+        )
+        .expect("extract");
+        let mem = extract_composite_memory_set(&[&a, &b]);
+        let got = collect_cursor(
+            ValueFileReader::open_with_options(&path, &IoOptions::with_block_size(block))
+                .expect("open"),
+        )
+        .expect("read");
+        prop_assert_eq!(got, mem.as_slice().to_vec());
+        prop_assert_eq!(stats.distinct, mem.len());
     }
 
     #[test]
