@@ -92,6 +92,10 @@ impl CountingAlloc {
     }
 }
 
+// SAFETY: delegates every allocation verbatim to `System`, upholding all
+// of `GlobalAlloc`'s layout/validity contracts by construction; the only
+// additions are relaxed atomic counter updates, which never touch the
+// returned memory.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let p = System.alloc(layout);

@@ -103,9 +103,11 @@ where
             .collect();
         handles
             .into_iter()
+            // lint: allow(no_unwrap) — re-raising a worker panic on the coordinating thread is the correct escalation
             .map(|h| h.join().expect("worker panicked"))
             .collect()
     })
+    // lint: allow(no_unwrap) — crossbeam scope errs only when a child panicked; propagate the panic
     .expect("scope panicked");
 
     let mut satisfied = Vec::new();

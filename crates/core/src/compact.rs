@@ -35,6 +35,7 @@ impl CompactIds {
     pub(crate) fn index_of(&self, id: u32) -> usize {
         self.ids
             .binary_search(&id)
+            // lint: allow(no_unwrap) — documented contract: callers only pass ids from the candidate set the remap indexed
             .expect("attribute id outside the remap's candidate set")
     }
 

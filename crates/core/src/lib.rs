@@ -25,6 +25,7 @@
 //! * [`runner`] — the [`IndFinder`] facade tying everything together.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod attr;
 pub mod blockwise;

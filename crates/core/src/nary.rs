@@ -432,7 +432,13 @@ fn generate_level(
     table_of: &[usize],
     metrics: &mut RunMetrics,
 ) -> Vec<NaryCandidate> {
-    let k1 = prev[0].arity(); // arity of the inputs (k − 1)
+    let Some(first) = prev.first() else {
+        return Vec::new();
+    };
+    let k1 = first.arity(); // arity of the inputs (k − 1)
+    if k1 == 0 {
+        return Vec::new(); // malformed input: arity-0 candidates join to nothing
+    }
     debug_assert!(prev.iter().all(|c| c.arity() == k1));
     let satisfied: HashSet<(&[u32], &[u32])> = prev
         .iter()
@@ -458,12 +464,21 @@ fn generate_level(
                 // Members are sorted by (dep, refd); within a bucket the
                 // prefixes agree, so `a.dep.last < b.dep.last` unless the
                 // last dependent coincides (two refs for one dep) — those
-                // pairs never form a sorted dependent sequence.
-                let (da, db) = (*a.dep.last().unwrap(), *b.dep.last().unwrap());
+                // pairs never form a sorted dependent sequence. The slice
+                // patterns are irrefutable for canonical candidates
+                // (arity ≥ 1, dep/refd aligned); anything else is skipped
+                // rather than unwrapped into a panic.
+                let ([.., da], [.., db]) = (a.dep.as_slice(), b.dep.as_slice()) else {
+                    continue;
+                };
+                let (da, db) = (*da, *db);
                 if da >= db {
                     continue;
                 }
-                let (ra, rb) = (*a.refd.last().unwrap(), *b.refd.last().unwrap());
+                let ([.., ra], [.., rb]) = (a.refd.as_slice(), b.refd.as_slice()) else {
+                    continue;
+                };
+                let (ra, rb) = (*ra, *rb);
                 // Single-table sides (only decidable here at k = 2, where
                 // prefixes are empty; implied by the join at higher arity).
                 if table_of[da as usize] != table_of[db as usize]

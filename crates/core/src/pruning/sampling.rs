@@ -98,6 +98,7 @@ pub fn sampling_pretest<P: ValueSetProvider>(
         samples.insert(
             c.dep,
             MemoryValueSet::from_sorted_distinct(values)
+                // lint: allow(no_unwrap) — sample_sorted returns sorted distinct values by construction; a miss is a sampler bug
                 .expect("sampled from a sorted distinct cursor"),
         );
     }

@@ -82,6 +82,7 @@ pub(crate) fn dedup_candidates(candidates: &[Candidate]) -> Cow<'_, [Candidate]>
     if candidates.windows(2).all(|w| w[0] < w[1]) {
         return Cow::Borrowed(candidates);
     }
+    // lint: allow(hot_alloc) — setup phase: one copy per run, only when the caller passed unsorted candidates
     let mut unique = candidates.to_vec();
     unique.sort_unstable();
     unique.dedup();
@@ -108,6 +109,7 @@ where
     F: FnMut(u32) -> Result<C>,
 {
     if candidates.is_empty() {
+        // lint: allow(hot_alloc) — empty-candidate early return; Vec::new does not allocate
         return Ok(Vec::new());
     }
 
@@ -119,8 +121,11 @@ where
     // Candidate bitmatrix: `rows[d * words ..][..words]` is dependent `d`'s
     // surviving referenced set. `live[d]` counts its set bits; `usage[r]`
     // counts the dependents still referencing `r` (for early close).
+    // lint: allow(hot_alloc) — setup phase: three of the 14 counted per-run allocations
     let mut rows: Vec<u64> = vec![0; n * words];
+    // lint: allow(hot_alloc) — setup phase, counted per-run allocation
     let mut live: Vec<u32> = vec![0; n];
+    // lint: allow(hot_alloc) — setup phase, counted per-run allocation
     let mut usage: Vec<u32> = vec![0; n];
     for c in candidates {
         debug_assert_ne!(c.dep, c.refd, "self-candidates are excluded upstream");
@@ -172,7 +177,9 @@ where
     // Reusable per-group scratch: member list, owned copy of the group's
     // value, and the group membership bitmask (cleared after every group).
     let mut group: Vec<u32> = Vec::with_capacity(n);
+    // lint: allow(hot_alloc) — setup phase: reusable scratch, grows to the longest value once
     let mut group_value: Vec<u8> = Vec::new();
+    // lint: allow(hot_alloc) — setup phase, counted per-run allocation
     let mut group_mask: Vec<u64> = vec![0; words];
 
     while let Some(first) = heap.peek() {
@@ -229,6 +236,7 @@ where
                 cursors[a] = None; // early close: nobody needs this stream
                 continue;
             }
+            // lint: allow(no_unwrap) — structural invariant: live/usage counters keep needed cursors open; a miss is an engine bug
             let cursor = cursors[a].as_mut().expect("cursor open while needed");
             if cursor.advance()? {
                 metrics.items_read += 1;
@@ -265,6 +273,7 @@ where
 fn cursor_value<C: ValueCursor>(cursors: &[Option<C>], slot: u32) -> &[u8] {
     cursors[slot as usize]
         .as_ref()
+        // lint: allow(no_unwrap) — structural invariant: the heap only ever holds open slots
         .expect("heap slot without a cursor")
         .current()
 }

@@ -159,6 +159,7 @@ where
     let index_of = |c: &Candidate| -> usize {
         unique
             .binary_search(c)
+            // lint: allow(no_unwrap) — partitioning only redistributes `unique`; a miss is a partitioner bug
             .expect("partition candidates come from `unique`")
     };
     let mut required: Vec<u32> = vec![0; unique.len()];
@@ -186,9 +187,11 @@ where
             .collect();
         handles
             .into_iter()
+            // lint: allow(no_unwrap) — re-raising a worker panic on the coordinating thread is the correct escalation
             .map(|h| h.join().expect("partition worker panicked"))
             .collect()
     })
+    // lint: allow(no_unwrap) — crossbeam scope errs only when a child panicked; propagate the panic
     .expect("partition scope panicked");
 
     // Intersect: a candidate is satisfied iff it survived every partition

@@ -20,6 +20,7 @@
 //!   heuristic 2 then picks `sg_bioentry` as the primary relation.
 
 use crate::pools::ValuePools;
+use crate::OrAbort;
 use ind_storage::{ColumnSchema, DataType, Database, Table, TableSchema, Value};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -139,7 +140,7 @@ pub fn generate_uniprot(cfg: &BiosqlConfig) -> Database {
                     col("description", DataType::Text),
                 ],
             )
-            .unwrap(),
+            .or_abort("static build"),
         );
         let names = ["EMBL", "GenBank", "SwissProt", "TrEMBL"];
         for (i, &id) in biodatabase_ids.iter().enumerate() {
@@ -156,9 +157,9 @@ pub fn generate_uniprot(cfg: &BiosqlConfig) -> Database {
                 auth.into(),
                 desc.into(),
             ])
-            .unwrap();
+            .or_abort("row insert");
         }
-        db.add_table(t).unwrap();
+        db.add_table(t).or_abort("add table");
     }
 
     // -- sg_bioentry ---------------------------------------------------------
@@ -178,13 +179,13 @@ pub fn generate_uniprot(cfg: &BiosqlConfig) -> Database {
                 col("molecule_type", DataType::Text),
             ],
         )
-        .unwrap();
+        .or_abort("static build");
         schema
             .add_foreign_key("biodatabase_id", "sg_biodatabase", "id")
-            .unwrap();
+            .or_abort("foreign key");
         schema
             .add_foreign_key("taxon_id", "sg_taxon", "id")
-            .unwrap();
+            .or_abort("foreign key");
         let mut t = Table::new(schema);
         let divisions = ["PRT", "EST", "GSS"];
         let molecules = ["protein", "dna", "rna"];
@@ -211,9 +212,9 @@ pub fn generate_uniprot(cfg: &BiosqlConfig) -> Database {
                 version.into(),
                 molecule.into(),
             ])
-            .unwrap();
+            .or_abort("static build");
         }
-        db.add_table(t).unwrap();
+        db.add_table(t).or_abort("add table");
     }
 
     // -- sg_biosequence (1:1 with sg_bioentry) -------------------------------
@@ -230,10 +231,10 @@ pub fn generate_uniprot(cfg: &BiosqlConfig) -> Database {
                 col("seq", DataType::Lob),
             ],
         )
-        .unwrap();
+        .or_abort("static build");
         schema
             .add_foreign_key("bioentry_id", "sg_bioentry", "id")
-            .unwrap();
+            .or_abort("foreign key");
         let mut t = Table::new(schema);
         let alphabets = ["protein", "dna", "rna"];
         for (i, &bid) in bioentry_ids.iter().enumerate() {
@@ -249,9 +250,9 @@ pub fn generate_uniprot(cfg: &BiosqlConfig) -> Database {
                 alphabet.into(),
                 seq.into(),
             ])
-            .unwrap();
+            .or_abort("static build");
         }
-        db.add_table(t).unwrap();
+        db.add_table(t).or_abort("add table");
     }
 
     // -- sg_taxon -------------------------------------------------------------
@@ -269,10 +270,10 @@ pub fn generate_uniprot(cfg: &BiosqlConfig) -> Database {
                 col("right_value", DataType::Integer).unique(),
             ],
         )
-        .unwrap();
+        .or_abort("static build");
         schema
             .add_foreign_key("parent_taxon_id", "sg_taxon", "id")
-            .unwrap();
+            .or_abort("foreign key");
         let mut t = Table::new(schema);
         let ranks = ["species", "genus", "family", "order", "class"];
         for (i, &id) in taxon_ids.iter().enumerate() {
@@ -294,9 +295,9 @@ pub fn generate_uniprot(cfg: &BiosqlConfig) -> Database {
                 (2 * i as i64 + 1).into(), // odd nested-set bound
                 (2 * i as i64 + 2).into(), // even nested-set bound
             ])
-            .unwrap();
+            .or_abort("static build");
         }
-        db.add_table(t).unwrap();
+        db.add_table(t).or_abort("add table");
     }
 
     // -- sg_taxon_name ---------------------------------------------------------
@@ -309,10 +310,10 @@ pub fn generate_uniprot(cfg: &BiosqlConfig) -> Database {
                 col("name_class", DataType::Text),
             ],
         )
-        .unwrap();
+        .or_abort("static build");
         schema
             .add_foreign_key("taxon_id", "sg_taxon", "id")
-            .unwrap();
+            .or_abort("foreign key");
         let mut t = Table::new(schema);
         let classes = ["scientific name", "synonym", "common name"];
         for i in 0..n_taxon * 2 {
@@ -325,9 +326,9 @@ pub fn generate_uniprot(cfg: &BiosqlConfig) -> Database {
             let mut pools = ValuePools::new(&mut rng);
             let name = pools.text(2);
             t.insert(vec![taxon_id.into(), name.into(), class.into()])
-                .unwrap();
+                .or_abort("row insert");
         }
-        db.add_table(t).unwrap();
+        db.add_table(t).or_abort("add table");
     }
 
     // -- sg_ontology ------------------------------------------------------------
@@ -341,7 +342,7 @@ pub fn generate_uniprot(cfg: &BiosqlConfig) -> Database {
                     col("definition", DataType::Text),
                 ],
             )
-            .unwrap(),
+            .or_abort("static build"),
         );
         for (i, &id) in ontology_ids.iter().enumerate() {
             let mut pools = ValuePools::new(&mut rng);
@@ -351,9 +352,9 @@ pub fn generate_uniprot(cfg: &BiosqlConfig) -> Database {
                 ValuePools::ontology_name(i).into(),
                 definition.into(),
             ])
-            .unwrap();
+            .or_abort("row insert");
         }
-        db.add_table(t).unwrap();
+        db.add_table(t).or_abort("add table");
     }
 
     // -- sg_term -----------------------------------------------------------------
@@ -369,10 +370,10 @@ pub fn generate_uniprot(cfg: &BiosqlConfig) -> Database {
                 col("ontology_id", DataType::Integer).not_null(),
             ],
         )
-        .unwrap();
+        .or_abort("static build");
         schema
             .add_foreign_key("ontology_id", "sg_ontology", "id")
-            .unwrap();
+            .or_abort("foreign key");
         let mut t = Table::new(schema);
         for (i, &id) in term_ids.iter().enumerate() {
             let ontology_id = pick(&mut rng, &ontology_ids);
@@ -388,9 +389,9 @@ pub fn generate_uniprot(cfg: &BiosqlConfig) -> Database {
                 obsolete.into(),
                 ontology_id.into(),
             ])
-            .unwrap();
+            .or_abort("static build");
         }
-        db.add_table(t).unwrap();
+        db.add_table(t).or_abort("add table");
     }
 
     // -- sg_term_path (empty: its two FKs are undiscoverable from data) ----------
@@ -403,14 +404,14 @@ pub fn generate_uniprot(cfg: &BiosqlConfig) -> Database {
                 col("distance", DataType::Integer),
             ],
         )
-        .unwrap();
+        .or_abort("static build");
         schema
             .add_foreign_key("subject_term_id", "sg_term", "id")
-            .unwrap();
+            .or_abort("foreign key");
         schema
             .add_foreign_key("object_term_id", "sg_term", "id")
-            .unwrap();
-        db.add_table(Table::new(schema)).unwrap();
+            .or_abort("foreign key");
+        db.add_table(Table::new(schema)).or_abort("foreign key");
     }
 
     // -- sg_seqfeature -------------------------------------------------------------
@@ -426,16 +427,16 @@ pub fn generate_uniprot(cfg: &BiosqlConfig) -> Database {
                 col("rank", DataType::Integer),
             ],
         )
-        .unwrap();
+        .or_abort("static build");
         schema
             .add_foreign_key("bioentry_id", "sg_bioentry", "id")
-            .unwrap();
+            .or_abort("foreign key");
         schema
             .add_foreign_key("type_term_id", "sg_term", "id")
-            .unwrap();
+            .or_abort("foreign key");
         schema
             .add_foreign_key("source_term_id", "sg_term", "id")
-            .unwrap();
+            .or_abort("foreign key");
         let mut t = Table::new(schema);
         for (i, &id) in seqfeature_ids.iter().enumerate() {
             let bioentry_id = pick(&mut rng, &bioentry_ids);
@@ -452,9 +453,9 @@ pub fn generate_uniprot(cfg: &BiosqlConfig) -> Database {
                 display.into(),
                 rank.into(),
             ])
-            .unwrap();
+            .or_abort("static build");
         }
-        db.add_table(t).unwrap();
+        db.add_table(t).or_abort("add table");
     }
 
     // -- sg_seqfeature_qualifier_value ------------------------------------------------
@@ -468,11 +469,13 @@ pub fn generate_uniprot(cfg: &BiosqlConfig) -> Database {
                 col("value", DataType::Text),
             ],
         )
-        .unwrap();
+        .or_abort("static build");
         schema
             .add_foreign_key("seqfeature_id", "sg_seqfeature", "id")
-            .unwrap();
-        schema.add_foreign_key("term_id", "sg_term", "id").unwrap();
+            .or_abort("foreign key");
+        schema
+            .add_foreign_key("term_id", "sg_term", "id")
+            .or_abort("foreign key");
         let mut t = Table::new(schema);
         for i in 0..n_seqfeature {
             let seqfeature_id = pick(&mut rng, &seqfeature_ids);
@@ -486,9 +489,9 @@ pub fn generate_uniprot(cfg: &BiosqlConfig) -> Database {
                 rank.into(),
                 value.into(),
             ])
-            .unwrap();
+            .or_abort("row insert");
         }
-        db.add_table(t).unwrap();
+        db.add_table(t).or_abort("add table");
     }
 
     // -- sg_location -----------------------------------------------------------------
@@ -505,11 +508,13 @@ pub fn generate_uniprot(cfg: &BiosqlConfig) -> Database {
                 col("rank", DataType::Integer),
             ],
         )
-        .unwrap();
+        .or_abort("static build");
         schema
             .add_foreign_key("seqfeature_id", "sg_seqfeature", "id")
-            .unwrap();
-        schema.add_foreign_key("term_id", "sg_term", "id").unwrap();
+            .or_abort("foreign key");
+        schema
+            .add_foreign_key("term_id", "sg_term", "id")
+            .or_abort("foreign key");
         let mut t = Table::new(schema);
         let location_ids = ids(BASE_LOCATION, n_seqfeature);
         for (i, &id) in location_ids.iter().enumerate() {
@@ -528,9 +533,9 @@ pub fn generate_uniprot(cfg: &BiosqlConfig) -> Database {
                 strand.into(),
                 rank.into(),
             ])
-            .unwrap();
+            .or_abort("static build");
         }
-        db.add_table(t).unwrap();
+        db.add_table(t).or_abort("add table");
     }
 
     // -- sg_dbxref (1:1 with sg_reference via reference.dbxref_id) ---------------------
@@ -545,7 +550,7 @@ pub fn generate_uniprot(cfg: &BiosqlConfig) -> Database {
                     col("version", DataType::Integer),
                 ],
             )
-            .unwrap(),
+            .or_abort("static build"),
         );
         for (i, &id) in dbxref_ids.iter().enumerate() {
             let is_pdb = rng.gen_bool(cfg.pdb_link_fraction);
@@ -567,9 +572,9 @@ pub fn generate_uniprot(cfg: &BiosqlConfig) -> Database {
                 accession.into(),
                 version.into(),
             ])
-            .unwrap();
+            .or_abort("row insert");
         }
-        db.add_table(t).unwrap();
+        db.add_table(t).or_abort("add table");
     }
 
     // -- sg_bioentry_dbxref ---------------------------------------------------------------
@@ -582,22 +587,22 @@ pub fn generate_uniprot(cfg: &BiosqlConfig) -> Database {
                 col("rank", DataType::Integer),
             ],
         )
-        .unwrap();
+        .or_abort("static build");
         schema
             .add_foreign_key("bioentry_id", "sg_bioentry", "id")
-            .unwrap();
+            .or_abort("foreign key");
         schema
             .add_foreign_key("dbxref_id", "sg_dbxref", "id")
-            .unwrap();
+            .or_abort("foreign key");
         let mut t = Table::new(schema);
         for i in 0..n_bioentry {
             let bioentry_id = pick(&mut rng, &bioentry_ids);
             let dbxref_id = pick(&mut rng, &dbxref_ids);
             let rank = small_int(&mut rng, i, 1, 3);
             t.insert(vec![bioentry_id.into(), dbxref_id.into(), rank.into()])
-                .unwrap();
+                .or_abort("row insert");
         }
-        db.add_table(t).unwrap();
+        db.add_table(t).or_abort("add table");
     }
 
     // -- sg_reference (dbxref_id is a covering unique FK: 1:1 with sg_dbxref) -------------
@@ -614,10 +619,10 @@ pub fn generate_uniprot(cfg: &BiosqlConfig) -> Database {
                 col("pubmed_id", DataType::Integer).unique(),
             ],
         )
-        .unwrap();
+        .or_abort("static build");
         schema
             .add_foreign_key("dbxref_id", "sg_dbxref", "id")
-            .unwrap();
+            .or_abort("foreign key");
         let mut t = Table::new(schema);
         let mut shuffled = dbxref_ids.clone();
         shuffled.shuffle(&mut rng);
@@ -636,9 +641,9 @@ pub fn generate_uniprot(cfg: &BiosqlConfig) -> Database {
                 crc.into(),
                 (BASE_PUBMED + i as i64).into(),
             ])
-            .unwrap();
+            .or_abort("static build");
         }
-        db.add_table(t).unwrap();
+        db.add_table(t).or_abort("add table");
     }
 
     // -- sg_bioentry_reference --------------------------------------------------------------
@@ -653,13 +658,13 @@ pub fn generate_uniprot(cfg: &BiosqlConfig) -> Database {
                 col("rank", DataType::Integer),
             ],
         )
-        .unwrap();
+        .or_abort("static build");
         schema
             .add_foreign_key("bioentry_id", "sg_bioentry", "id")
-            .unwrap();
+            .or_abort("foreign key");
         schema
             .add_foreign_key("reference_id", "sg_reference", "id")
-            .unwrap();
+            .or_abort("foreign key");
         let mut t = Table::new(schema);
         for i in 0..n_bioentry {
             let bioentry_id = pick(&mut rng, &bioentry_ids);
@@ -674,9 +679,9 @@ pub fn generate_uniprot(cfg: &BiosqlConfig) -> Database {
                 end.into(),
                 rank.into(),
             ])
-            .unwrap();
+            .or_abort("static build");
         }
-        db.add_table(t).unwrap();
+        db.add_table(t).or_abort("add table");
     }
 
     // -- sg_comment ---------------------------------------------------------------------------
@@ -690,10 +695,10 @@ pub fn generate_uniprot(cfg: &BiosqlConfig) -> Database {
                 col("rank", DataType::Integer),
             ],
         )
-        .unwrap();
+        .or_abort("static build");
         schema
             .add_foreign_key("bioentry_id", "sg_bioentry", "id")
-            .unwrap();
+            .or_abort("foreign key");
         let mut t = Table::new(schema);
         let comment_ids = ids(BASE_LOCATION + 5_000_000, (n_bioentry / 2).max(2));
         for (i, &id) in comment_ids.iter().enumerate() {
@@ -707,13 +712,13 @@ pub fn generate_uniprot(cfg: &BiosqlConfig) -> Database {
                 text.into(),
                 rank.into(),
             ])
-            .unwrap();
+            .or_abort("row insert");
         }
-        db.add_table(t).unwrap();
+        db.add_table(t).or_abort("add table");
     }
 
     db.validate_foreign_keys()
-        .expect("generator declares valid FKs");
+        .or_abort("generator declares valid FKs");
     db
 }
 

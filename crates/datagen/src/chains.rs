@@ -25,6 +25,7 @@
 //! ranges, format-distinct strings), so the expected arity-2 IND set is
 //! exactly the declared composite FK.
 
+use crate::OrAbort;
 use ind_storage::{ColumnSchema, DataType, Database, Table, TableSchema};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -83,7 +84,7 @@ pub fn generate_chains(cfg: &ChainsConfig) -> Database {
                 ColumnSchema::new("title", DataType::Text),
             ],
         )
-        .expect("structure schema"),
+        .or_abort("structure schema"),
     );
     for i in 0..n {
         structure
@@ -92,7 +93,7 @@ pub fn generate_chains(cfg: &ChainsConfig) -> Database {
                 (1.0 + f64::from(i as u32 % 30) * 0.1).into(),
                 format!("title-{i:05}").into(),
             ])
-            .expect("structure row");
+            .or_abort("structure row");
     }
 
     // chain: (pdb_code, chain_id) pairs, distinct by construction, both
@@ -107,10 +108,10 @@ pub fn generate_chains(cfg: &ChainsConfig) -> Database {
             ColumnSchema::new("length", DataType::Integer),
         ],
     )
-    .expect("chain schema");
+    .or_abort("chain schema");
     chain_schema
         .add_foreign_key("pdb_code", "structure", "pdb_code")
-        .expect("chain fk");
+        .or_abort("chain fk");
     let mut chain = Table::new(chain_schema);
     let mut pairs: Vec<(String, String)> = Vec::new();
     for i in 0..n {
@@ -130,7 +131,7 @@ pub fn generate_chains(cfg: &ChainsConfig) -> Database {
                 letter.clone().into(),
                 i64::from(rng.gen_range(100u32..500)).into(),
             ])
-            .expect("chain row");
+            .or_abort("chain row");
     }
 
     // contact: pairs drawn from a strict subset of the chain pairs (the
@@ -144,10 +145,10 @@ pub fn generate_chains(cfg: &ChainsConfig) -> Database {
             ColumnSchema::new("distance", DataType::Float),
         ],
     )
-    .expect("contact schema");
+    .or_abort("contact schema");
     contact_schema
         .add_composite_foreign_key(["pdb_code", "chain_id"], "chain", ["pdb_code", "chain_id"])
-        .expect("contact composite fk");
+        .or_abort("contact composite fk");
     let mut contact = Table::new(contact_schema);
     let pool = &pairs[..pairs.len() - 1];
     let contact_rows = n * 6;
@@ -165,7 +166,7 @@ pub fn generate_chains(cfg: &ChainsConfig) -> Database {
                 letter.clone().into(),
                 (100.0 + f64::from(i as u32 % 40) * 0.25).into(),
             ])
-            .expect("contact row");
+            .or_abort("contact row");
     }
 
     // crystal: valid chain pairs plus the poisoned (structure-0, "B") row —
@@ -179,7 +180,7 @@ pub fn generate_chains(cfg: &ChainsConfig) -> Database {
                 ColumnSchema::new("quality", DataType::Integer),
             ],
         )
-        .expect("crystal schema"),
+        .or_abort("crystal schema"),
     );
     let mut crystal_pairs: Vec<(String, String)> = vec![(code(0), "B".to_string())];
     for _ in 0..7 {
@@ -192,14 +193,14 @@ pub fn generate_chains(cfg: &ChainsConfig) -> Database {
                 letter.clone().into(),
                 (100_000 + i as i64).into(),
             ])
-            .expect("crystal row");
+            .or_abort("crystal row");
     }
 
-    db.add_table(structure).expect("structure");
-    db.add_table(chain).expect("chain");
-    db.add_table(contact).expect("contact");
-    db.add_table(crystal).expect("crystal");
-    db.validate_foreign_keys().expect("declared keys resolve");
+    db.add_table(structure).or_abort("structure");
+    db.add_table(chain).or_abort("chain");
+    db.add_table(contact).or_abort("contact");
+    db.add_table(crystal).or_abort("crystal");
+    db.validate_foreign_keys().or_abort("declared keys resolve");
     db
 }
 

@@ -14,6 +14,7 @@
 //! the gold standard the n-ary discovery pipeline evaluates against.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod biosql;
 mod chains;
@@ -28,6 +29,31 @@ pub use pools::ValuePools;
 pub use scop::{generate_scop, ScopConfig};
 
 use ind_storage::Database;
+
+/// Unwrapping policy for generator internals.
+///
+/// The generators build *static* schemas and rows: every `TableSchema::new`,
+/// `insert`, `add_table`, and `add_foreign_key` call operates on data the
+/// generator itself just constructed, so a failure is a bug in the
+/// generator, not bad input — aborting loudly is the correct response, and
+/// threading `Result` through every `generate_*` signature would only blur
+/// that line. This extension trait is the one sanctioned escape: call sites
+/// say *what* invariant they rely on, and `ind-lint`'s `no_unwrap` rule
+/// keeps plain `unwrap()` out of the crate.
+pub(crate) trait OrAbort<T> {
+    /// Unwraps, panicking with `context` on a generator-internal bug.
+    fn or_abort(self, context: &str) -> T;
+}
+
+impl<T, E: std::fmt::Debug> OrAbort<T> for Result<T, E> {
+    fn or_abort(self, context: &str) -> T {
+        match self {
+            Ok(value) => value,
+            // lint: allow(no_unwrap) — generator-internal invariant; static schemas/rows make errors bugs, and aborting loudly beats threading Result through every generate_* signature
+            Err(e) => panic!("datagen invariant violated ({context}): {e:?}"),
+        }
+    }
+}
 
 /// The three databases of the Aladin scenario, generated against a shared
 /// PDB-code pool so the inter-source links of Sec. 5 exist in the data.

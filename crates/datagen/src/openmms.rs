@@ -24,6 +24,7 @@
 //!   that only qualify under the softened 99.98 % rule (paper: 19 total).
 
 use crate::pools::ValuePools;
+use crate::OrAbort;
 use ind_storage::{ColumnSchema, DataType, Database, Table, TableSchema, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -147,7 +148,7 @@ pub fn generate_pdb(cfg: &OpenMmsConfig) -> Database {
                     ColumnSchema::new("exp_method", DataType::Text),
                 ],
             )
-            .unwrap(),
+            .or_abort("table schema"),
         );
         let methods = ["X-RAY DIFFRACTION", "NMR", "ELECTRON MICROSCOPY"];
         for code in &codes {
@@ -163,9 +164,9 @@ pub fn generate_pdb(cfg: &OpenMmsConfig) -> Database {
                 resolution.into(),
                 method.into(),
             ])
-            .unwrap();
+            .or_abort("static build");
         }
-        db.add_table(t).unwrap();
+        db.add_table(t).or_abort("add table");
     }
 
     // -- exptl and struct_keywords: set-equal entry_id columns ------------------
@@ -184,7 +185,7 @@ pub fn generate_pdb(cfg: &OpenMmsConfig) -> Database {
                     ColumnSchema::new(extra2, DataType::Integer),
                 ],
             )
-            .unwrap(),
+            .or_abort("table schema"),
         );
         for (i, code) in codes.iter().enumerate() {
             let n = if i < 2 {
@@ -195,9 +196,9 @@ pub fn generate_pdb(cfg: &OpenMmsConfig) -> Database {
             let mut pools = ValuePools::new(&mut rng);
             let word = pools.text(2);
             t.insert(vec![code.as_str().into(), word.into(), n.into()])
-                .unwrap();
+                .or_abort("row insert");
         }
-        db.add_table(t).unwrap();
+        db.add_table(t).or_abort("add table");
     }
 
     // -- payload tables: the surrogate-id false-positive machine -----------------
@@ -242,7 +243,7 @@ pub fn generate_pdb(cfg: &OpenMmsConfig) -> Database {
             };
             columns.push(schema);
         }
-        let mut t = Table::new(TableSchema::new(&name, columns).unwrap());
+        let mut t = Table::new(TableSchema::new(&name, columns).or_abort("table schema"));
 
         // Code-bearing tables model dictionary tables whose ids come from a
         // different sequence range; they attract no inbound surrogate INDs,
@@ -307,9 +308,9 @@ pub fn generate_pdb(cfg: &OpenMmsConfig) -> Database {
                 };
                 values.push(v);
             }
-            t.insert(values).unwrap();
+            t.insert(values).or_abort("row insert");
         }
-        db.add_table(t).unwrap();
+        db.add_table(t).or_abort("add table");
     }
 
     db

@@ -9,6 +9,7 @@
 //! the PDB database (Aladin step 4).
 
 use crate::pools::ValuePools;
+use crate::OrAbort;
 use ind_storage::{ColumnSchema, DataType, Database, Table, TableSchema};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -85,7 +86,7 @@ pub fn generate_scop(cfg: &ScopConfig) -> Database {
                     ColumnSchema::new("sort_order", DataType::Integer),
                 ],
             )
-            .unwrap(),
+            .or_abort("table schema"),
         );
         let types = ["cl", "cf", "sf", "fa", "dm", "sp", "px"];
         for (i, &sunid) in sunids.iter().enumerate() {
@@ -113,9 +114,9 @@ pub fn generate_scop(cfg: &ScopConfig) -> Database {
                 "1.69".into(),
                 order.into(),
             ])
-            .unwrap();
+            .or_abort("static build");
         }
-        db.add_table(t).unwrap();
+        db.add_table(t).or_abort("add table");
     }
 
     // -- scop_hierarchy (1:1 with scop_node; 4 attrs) --------------------------
@@ -131,13 +132,13 @@ pub fn generate_scop(cfg: &ScopConfig) -> Database {
                 ColumnSchema::new("depth", DataType::Integer),
             ],
         )
-        .unwrap();
+        .or_abort("table schema");
         schema
             .add_foreign_key("sunid", "scop_node", "sunid")
-            .unwrap();
+            .or_abort("foreign key");
         schema
             .add_foreign_key("parent_sunid", "scop_node", "sunid")
-            .unwrap();
+            .or_abort("foreign key");
         let mut t = Table::new(schema);
         for (i, &sunid) in sunids.iter().enumerate() {
             let parent = if i == 0 {
@@ -156,9 +157,9 @@ pub fn generate_scop(cfg: &ScopConfig) -> Database {
                 rng.gen_range(1..8i64)
             };
             t.insert(vec![sunid.into(), parent, children.into(), depth.into()])
-                .unwrap();
+                .or_abort("row insert");
         }
-        db.add_table(t).unwrap();
+        db.add_table(t).or_abort("add table");
     }
 
     // -- scop_classification (one row per domain; 8 attrs) ----------------------
@@ -176,17 +177,19 @@ pub fn generate_scop(cfg: &ScopConfig) -> Database {
                 ColumnSchema::new("domain_count", DataType::Integer),
             ],
         )
-        .unwrap();
-        schema.add_foreign_key("sid", "scop_node", "sid").unwrap();
+        .or_abort("table schema");
+        schema
+            .add_foreign_key("sid", "scop_node", "sid")
+            .or_abort("foreign key");
         schema
             .add_foreign_key("sunid", "scop_node", "sunid")
-            .unwrap();
+            .or_abort("foreign key");
         schema
             .add_foreign_key("class_sunid", "scop_node", "sunid")
-            .unwrap();
+            .or_abort("foreign key");
         schema
             .add_foreign_key("fold_sunid", "scop_node", "sunid")
-            .unwrap();
+            .or_abort("foreign key");
         let mut t = Table::new(schema);
         for i in 0..n_domains {
             let mut pdb = ValuePools::pdb_code(rng.gen_range(0..cfg.pdb_pool.max(1)));
@@ -212,9 +215,9 @@ pub fn generate_scop(cfg: &ScopConfig) -> Database {
                 fold_sunid.into(),
                 count.into(),
             ])
-            .unwrap();
+            .or_abort("static build");
         }
-        db.add_table(t).unwrap();
+        db.add_table(t).or_abort("add table");
     }
 
     // -- scop_comment (3 attrs) ---------------------------------------------------
@@ -227,10 +230,10 @@ pub fn generate_scop(cfg: &ScopConfig) -> Database {
                 ColumnSchema::new("rank", DataType::Integer),
             ],
         )
-        .unwrap();
+        .or_abort("table schema");
         schema
             .add_foreign_key("sunid", "scop_node", "sunid")
-            .unwrap();
+            .or_abort("foreign key");
         let mut t = Table::new(schema);
         for i in 0..n {
             let sunid = sunids[rng.gen_range(0..n)];
@@ -242,13 +245,13 @@ pub fn generate_scop(cfg: &ScopConfig) -> Database {
             let mut pools = ValuePools::new(&mut rng);
             let text = pools.text(6);
             t.insert(vec![sunid.into(), text.into(), rank.into()])
-                .unwrap();
+                .or_abort("row insert");
         }
-        db.add_table(t).unwrap();
+        db.add_table(t).or_abort("add table");
     }
 
     db.validate_foreign_keys()
-        .expect("generator declares valid FKs");
+        .or_abort("generator declares valid FKs");
     db
 }
 

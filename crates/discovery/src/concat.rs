@@ -173,6 +173,7 @@ pub fn find_concat_match(
         }
         let dep_set = MemoryValueSet::from_unsorted(stripped);
         let inclusion = inclusion_count(&mut dep_set.cursor(), &mut ref_set.cursor(), metrics)
+            // lint: allow(no_unwrap) — MemoryValueSet cursors are infallible; the Result is the trait's I/O affordance
             .expect("memory cursors cannot fail");
         if inclusion.coefficient() < min_coefficient {
             continue;

@@ -108,6 +108,7 @@ pub fn composite_fk_guesses(db: &Database, discovery: &NaryDiscovery) -> Vec<Com
 fn tuple_is_unique(db: &Database, columns: &[QualifiedName]) -> bool {
     let cols: Vec<_> = columns
         .iter()
+        // lint: allow(no_unwrap) — every name came from this database's own schema walk a few frames up
         .map(|qn| db.column(qn).expect("discovery names resolve"))
         .collect();
     let rows = cols.first().map_or(0, |c| c.len());

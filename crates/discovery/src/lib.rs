@@ -15,6 +15,7 @@
 //!   inter-source links via exact and partial INDs.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod accession;
 pub mod aladin;

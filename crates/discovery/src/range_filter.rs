@@ -59,6 +59,7 @@ pub fn numeric_range_profile(values: &[Value]) -> Option<RangeProfile> {
     }
     ints.sort_unstable();
     let min = ints[0];
+    // lint: allow(no_unwrap) — guarded by the is_empty early-return above
     let max = *ints.last().expect("non-empty");
     ints.dedup();
     Some(RangeProfile {

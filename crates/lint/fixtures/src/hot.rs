@@ -1,0 +1,35 @@
+//! hot_alloc fixture: this file is listed in `[rules.hot_alloc] paths`,
+//! so every denied allocation idiom outside a test region must be flagged.
+
+pub fn violations() -> usize {
+    let v: Vec<u32> = Vec::new();
+    let w = v.clone();
+    let s = format!("{}", w.len());
+    let t = s.to_vec();
+    t.len()
+}
+
+pub fn suppressed() -> Vec<u8> {
+    // lint: allow(hot_alloc) — fixture: a justified setup-phase allocation
+    let setup: Vec<u8> = Vec::new();
+    setup
+}
+
+pub fn idioms_in_literals_do_not_fire() -> &'static str {
+    // A comment mentioning Vec::new and format! is data, not code.
+    /* so is a nested /* block comment */ holding .clone( */
+    "a string with format! and Vec::new inside"
+}
+
+pub fn idioms_in_raw_strings_do_not_fire() -> &'static str {
+    r#"raw string holding .to_vec( and vec![0; 8]"#
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_regions_may_allocate() {
+        let v: Vec<u32> = Vec::new();
+        assert_eq!(v.clone().len(), format!("{}", 0).len() - 1);
+    }
+}

@@ -1,0 +1,6 @@
+//! This directory is listed in the fixture `exclude`; the violation below
+//! must never appear in the findings.
+
+pub fn would_be_flagged(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

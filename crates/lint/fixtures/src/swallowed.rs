@@ -1,0 +1,21 @@
+//! swallowed_result fixture: discarded `Result`s must be flagged unless
+//! annotated; plain bindings and destructuring must not.
+
+pub fn flagged_let_underscore() {
+    let _ = std::fs::remove_file("fixture");
+}
+
+pub fn flagged_ok_semicolon() {
+    std::fs::remove_file("fixture").ok();
+}
+
+pub fn suppressed() {
+    // lint: allow(swallowed_result) — fixture: best-effort cleanup
+    let _ = std::fs::remove_file("fixture");
+}
+
+pub fn bindings_are_fine() -> u32 {
+    let _named = std::fs::remove_file("fixture");
+    let (_, b) = (1u32, 2u32);
+    b
+}

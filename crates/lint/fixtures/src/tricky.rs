@@ -1,0 +1,55 @@
+//! Lexer stress fixture: every construct here is *clean* — any finding in
+//! this file means the lexer misread a literal or comment as code.
+
+pub fn raw_strings() -> (&'static str, &'static str, &'static str, &'static [u8]) {
+    (
+        r"plain raw with .unwrap( inside",
+        r#"one-hash fence: panic!("boom") and "quotes""#,
+        r##"two-hash fence holding "# and let _ = x"##,
+        br#"byte raw: .expect("data")"#,
+    )
+}
+
+pub fn strings_with_escapes() -> (&'static str, &'static str, char, char, u8) {
+    (
+        "escaped quote \" then .unwrap( as data",
+        "backslash \\ and tab \t",
+        '\'',
+        '\\',
+        b'\'',
+    )
+}
+
+pub fn chars_vs_lifetimes<'a>(x: &'a u32) -> (&'a u32, char, char) {
+    // 'a above is a lifetime; 'a' below is a char. '_' is a char here,
+    // while `&'_ u32` elsewhere would be an anonymous lifetime.
+    let c: char = 'a';
+    (x, c, '_')
+}
+
+pub fn labels_are_lifetime_tokens() -> u32 {
+    let mut n = 0;
+    'outer: loop {
+        loop {
+            n += 1;
+            if n > 2 {
+                break 'outer;
+            }
+        }
+    }
+    n
+}
+
+/* A block comment
+   /* with a nested block comment containing .unwrap( and panic!( */
+   still inside the outer comment: let _ = x;
+*/
+pub fn after_nested_comment() -> u32 {
+    1
+}
+
+pub fn raw_identifiers() -> u32 {
+    let r#fn = 2u32;
+    let r#unsafe = r#fn;
+    r#unsafe
+}

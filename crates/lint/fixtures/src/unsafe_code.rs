@@ -1,0 +1,37 @@
+//! safety_comment fixture: bare `unsafe` must be flagged — including
+//! inside test regions, where the other rules relax but this one does not.
+
+pub fn flagged_block(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+pub struct Wrapper(*const u32);
+
+unsafe impl Send for Wrapper {}
+
+pub fn commented_block(p: *const u32) -> u32 {
+    // The dereference below is guarded by the caller's contract.
+    // SAFETY: fixture — callers pass a pointer valid for reads.
+    unsafe { *p }
+}
+
+pub fn commented_with_binding(p: *const u32) -> u32 {
+    // SAFETY: fixture — same contract as above; the `let` must not
+    // sever the link to this comment block.
+    let v = unsafe { *p };
+    v
+}
+
+pub fn suppressed(p: *const u32) -> u32 {
+    // lint: allow(safety_comment) — fixture: the escape hatch must work here too
+    unsafe { *p }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn flagged_even_in_tests() {
+        let x = 7u32;
+        assert_eq!(unsafe { *(&x as *const u32) }, 7);
+    }
+}

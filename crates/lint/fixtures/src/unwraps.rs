@@ -1,0 +1,32 @@
+//! no_unwrap fixture: panicking extractors in library code must be
+//! flagged; annotated sites and test regions must not.
+
+pub fn flagged_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn flagged_expect(v: Option<u32>) -> u32 {
+    v.expect("fixture")
+}
+
+pub fn flagged_panic() -> ! {
+    panic!("fixture")
+}
+
+pub fn suppressed(v: Option<u32>) -> u32 {
+    // lint: allow(no_unwrap) — fixture: documented invariant for the test
+    v.unwrap()
+}
+
+pub fn unwrap_or_variants_are_fine(v: Option<u32>) -> u32 {
+    v.unwrap_or(0).max(v.unwrap_or_else(|| 1)).max(v.unwrap_or_default())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_regions_may_unwrap() {
+        assert_eq!(Some(1).unwrap(), 1);
+        Option::<u32>::None.expect_none_is_not_a_method();
+    }
+}

@@ -1,0 +1,408 @@
+//! `lint.toml` loading: a hand-rolled parser for the TOML subset the
+//! configuration needs (tables, string/bool values, single- and multi-line
+//! string arrays, `#` comments). No external crates — the build environment
+//! is offline.
+//!
+//! Unknown sections and keys are **errors**, so a typo in `lint.toml`
+//! cannot silently disable a rule.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Scope shared by all rules: path prefixes exempt from the rule.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuleScope {
+    /// Workspace-relative path prefixes (files or directories) the rule
+    /// does not apply to.
+    pub exclude: Vec<String>,
+}
+
+impl RuleScope {
+    /// Whether `path` (workspace-relative, `/`-separated) is exempt.
+    pub fn excludes(&self, path: &str) -> bool {
+        self.exclude.iter().any(|p| path_has_prefix(path, p))
+    }
+}
+
+/// `[rules.hot_alloc]`: allocation idioms denied inside designated
+/// hot-path modules.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HotAllocConfig {
+    /// Exact workspace-relative paths of the hot-path modules.
+    pub paths: Vec<String>,
+    /// Denied idioms, each lexed into a token pattern (`"Vec::new"`,
+    /// `".to_vec("`, `"format!"`, …).
+    pub deny: Vec<String>,
+}
+
+/// The full `lint.toml` configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Config {
+    /// Top-level files/directories to walk, workspace-relative.
+    pub include: Vec<String>,
+    /// Path prefixes skipped entirely (vendored code, fixtures, `target`).
+    pub exclude: Vec<String>,
+    /// `[rules.hot_alloc]`, if enabled.
+    pub hot_alloc: Option<HotAllocConfig>,
+    /// `[rules.no_unwrap]`, if enabled.
+    pub no_unwrap: Option<RuleScope>,
+    /// `[rules.safety_comment]`, if enabled.
+    pub safety_comment: Option<RuleScope>,
+    /// `[rules.swallowed_result]`, if enabled.
+    pub swallowed_result: Option<RuleScope>,
+}
+
+/// A configuration-file error with its line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// True when `path` equals `prefix` or lives underneath it.
+pub fn path_has_prefix(path: &str, prefix: &str) -> bool {
+    path == prefix
+        || (path.len() > prefix.len()
+            && path.starts_with(prefix)
+            && path.as_bytes()[prefix.len()] == b'/')
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum TomlValue {
+    Str(String),
+    Bool(bool),
+    StrArray(Vec<String>),
+}
+
+/// section name → key → (value, line of the key)
+type Sections = BTreeMap<String, BTreeMap<String, (TomlValue, u32)>>;
+
+impl Config {
+    /// Parses `lint.toml` text.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let sections = parse_sections(text)?;
+        Config::from_sections(sections)
+    }
+
+    fn from_sections(mut sections: Sections) -> Result<Config, ConfigError> {
+        let mut config = Config {
+            include: Vec::new(),
+            exclude: Vec::new(),
+            hot_alloc: None,
+            no_unwrap: None,
+            safety_comment: None,
+            swallowed_result: None,
+        };
+
+        if let Some(files) = sections.remove("files") {
+            for (key, (value, line)) in files {
+                match key.as_str() {
+                    "include" => config.include = expect_array(value, line, "files.include")?,
+                    "exclude" => config.exclude = expect_array(value, line, "files.exclude")?,
+                    other => {
+                        return Err(err(line, format!("unknown key `files.{other}`")));
+                    }
+                }
+            }
+        }
+
+        if let Some(table) = sections.remove("rules.hot_alloc") {
+            let mut rule = HotAllocConfig::default();
+            for (key, (value, line)) in table {
+                match key.as_str() {
+                    "paths" => rule.paths = expect_array(value, line, "paths")?,
+                    "deny" => rule.deny = expect_array(value, line, "deny")?,
+                    other => {
+                        return Err(err(line, format!("unknown key `rules.hot_alloc.{other}`")));
+                    }
+                }
+            }
+            config.hot_alloc = Some(rule);
+        }
+
+        for (name, slot) in [
+            ("no_unwrap", &mut config.no_unwrap),
+            ("safety_comment", &mut config.safety_comment),
+            ("swallowed_result", &mut config.swallowed_result),
+        ] {
+            if let Some(table) = sections.remove(&format!("rules.{name}")) {
+                let mut scope = RuleScope::default();
+                for (key, (value, line)) in table {
+                    match key.as_str() {
+                        "exclude" => scope.exclude = expect_array(value, line, "exclude")?,
+                        other => {
+                            return Err(err(line, format!("unknown key `rules.{name}.{other}`")));
+                        }
+                    }
+                }
+                *slot = Some(scope);
+            }
+        }
+
+        if let Some((section, table)) = sections.into_iter().next() {
+            let line = table.values().map(|&(_, l)| l).min().unwrap_or(0);
+            return Err(err(line, format!("unknown section `[{section}]`")));
+        }
+        Ok(config)
+    }
+}
+
+fn err(line: u32, message: String) -> ConfigError {
+    ConfigError { line, message }
+}
+
+fn expect_array(value: TomlValue, line: u32, what: &str) -> Result<Vec<String>, ConfigError> {
+    match value {
+        TomlValue::StrArray(a) => Ok(a),
+        other => Err(err(
+            line,
+            format!("`{what}` must be an array of strings, got {other:?}"),
+        )),
+    }
+}
+
+fn parse_sections(text: &str) -> Result<Sections, ConfigError> {
+    let mut sections: Sections = BTreeMap::new();
+    let mut current = String::new();
+    let mut lines = text.lines().enumerate();
+
+    while let Some((idx, raw)) = lines.next() {
+        let lineno = idx as u32 + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let Some(name) = rest.strip_suffix(']') else {
+                return Err(err(lineno, "unterminated section header".to_string()));
+            };
+            current = name.trim().to_string();
+            sections.entry(current.clone()).or_default();
+            continue;
+        }
+        let Some(eq) = line.find('=') else {
+            return Err(err(lineno, format!("expected `key = value`, got `{line}`")));
+        };
+        let key = line[..eq].trim().to_string();
+        let mut value_text = line[eq + 1..].trim().to_string();
+        // A multi-line array: keep consuming lines until the bracket closes.
+        while value_text.starts_with('[') && !balanced_array(&value_text) {
+            let Some((_, next)) = lines.next() else {
+                return Err(err(lineno, format!("unterminated array for `{key}`")));
+            };
+            value_text.push(' ');
+            value_text.push_str(strip_comment(next).trim());
+        }
+        let value = parse_value(&value_text, lineno)?;
+        if current.is_empty() {
+            return Err(err(lineno, format!("key `{key}` outside any section")));
+        }
+        let section = sections.entry(current.clone()).or_default();
+        if section.insert(key.clone(), (value, lineno)).is_some() {
+            return Err(err(lineno, format!("duplicate key `{key}`")));
+        }
+    }
+    Ok(sections)
+}
+
+/// Drops a `#` comment, respecting `#` inside quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_string && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+/// Whether every `[` in an array literal has closed (strings respected).
+fn balanced_array(text: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in text.chars() {
+        match c {
+            '\\' if in_string && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_string = !in_string,
+            '[' if !in_string => depth += 1,
+            ']' if !in_string => depth -= 1,
+            _ => {}
+        }
+        escaped = false;
+    }
+    depth == 0
+}
+
+fn parse_value(text: &str, line: u32) -> Result<TomlValue, ConfigError> {
+    if text == "true" {
+        return Ok(TomlValue::Bool(true));
+    }
+    if text == "false" {
+        return Ok(TomlValue::Bool(false));
+    }
+    if let Some(s) = parse_string(text) {
+        return Ok(TomlValue::Str(s));
+    }
+    if let Some(inner) = text.strip_prefix('[').and_then(|t| t.strip_suffix(']')) {
+        let mut items = Vec::new();
+        for part in split_array_items(inner) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let Some(s) = parse_string(part) else {
+                return Err(err(line, format!("array item `{part}` is not a string")));
+            };
+            items.push(s);
+        }
+        return Ok(TomlValue::StrArray(items));
+    }
+    Err(err(line, format!("cannot parse value `{text}`")))
+}
+
+/// Splits `"a", "b", "c"` on commas outside strings.
+fn split_array_items(inner: &str) -> Vec<&str> {
+    let mut items = Vec::new();
+    let mut start = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in inner.char_indices() {
+        match c {
+            '\\' if in_string && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_string = !in_string,
+            ',' if !in_string => {
+                items.push(&inner[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+        escaped = false;
+    }
+    items.push(&inner[start..]);
+    items
+}
+
+fn parse_string(text: &str) -> Option<String> {
+    let inner = text.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next()? {
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                '\\' => out.push('\\'),
+                '"' => out.push('"'),
+                other => {
+                    out.push('\\');
+                    out.push(other);
+                }
+            }
+        } else if c == '"' {
+            return None; // an unescaped quote mid-string: not a string value
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# comment
+[files]
+include = ["src", "crates"]
+exclude = [
+    "vendor",          # offline stand-ins
+    "target",
+]
+
+[rules.hot_alloc]
+paths = ["crates/core/src/spider.rs"]
+deny = ["Vec::new", ".to_vec("]
+
+[rules.no_unwrap]
+exclude = ["crates/bench"]
+
+[rules.safety_comment]
+
+[rules.swallowed_result]
+exclude = []
+"#;
+
+    #[test]
+    fn parses_the_full_shape() {
+        let c = Config::parse(SAMPLE).unwrap();
+        assert_eq!(c.include, vec!["src", "crates"]);
+        assert_eq!(c.exclude, vec!["vendor", "target"]);
+        let hot = c.hot_alloc.unwrap();
+        assert_eq!(hot.paths, vec!["crates/core/src/spider.rs"]);
+        assert_eq!(hot.deny, vec!["Vec::new", ".to_vec("]);
+        assert_eq!(c.no_unwrap.unwrap().exclude, vec!["crates/bench"]);
+        assert!(c.safety_comment.unwrap().exclude.is_empty());
+        assert!(c.swallowed_result.is_some());
+    }
+
+    #[test]
+    fn unknown_keys_and_sections_are_errors() {
+        let e = Config::parse("[files]\nincldue = [\"src\"]\n").unwrap_err();
+        assert!(e.message.contains("incldue"), "{e}");
+        let e = Config::parse("[rules.hot_allok]\npaths = []\n").unwrap_err();
+        assert!(e.message.contains("hot_allok"), "{e}");
+    }
+
+    #[test]
+    fn multiline_arrays_and_comments() {
+        let c = Config::parse("[files]\ninclude = [\n  \"a\", # one\n  \"b\",\n]\nexclude = []\n")
+            .unwrap();
+        assert_eq!(c.include, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let c = Config::parse("[files]\ninclude = [\"a#b\"]\nexclude = []\n").unwrap();
+        assert_eq!(c.include, vec!["a#b"]);
+    }
+
+    #[test]
+    fn duplicate_keys_are_errors() {
+        let e = Config::parse("[files]\ninclude = []\ninclude = []\n").unwrap_err();
+        assert!(e.message.contains("duplicate"), "{e}");
+    }
+
+    #[test]
+    fn prefix_matching_is_component_wise() {
+        assert!(path_has_prefix("crates/bench/src/lib.rs", "crates/bench"));
+        assert!(path_has_prefix("crates/bench", "crates/bench"));
+        assert!(!path_has_prefix(
+            "crates/benchmark/src/lib.rs",
+            "crates/bench"
+        ));
+    }
+}

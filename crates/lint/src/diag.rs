@@ -1,0 +1,138 @@
+//! Diagnostics: rustc-style text rendering and `--json` output.
+
+/// One finding, anchored to a file position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule identifier (`hot_alloc`, `no_unwrap`, …).
+    pub rule: &'static str,
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (characters).
+    pub col: u32,
+    /// Length of the offending span in characters (for the caret underline).
+    pub span_chars: u32,
+    /// Human message.
+    pub message: String,
+    /// The full source line the finding points into.
+    pub snippet: String,
+}
+
+impl Diagnostic {
+    /// Renders one finding the way rustc does:
+    ///
+    /// ```text
+    /// error[no_unwrap]: `.unwrap()` in library code
+    ///   --> crates/core/src/runner.rs:42:17
+    ///    |
+    /// 42 |     let x = foo().unwrap();
+    ///    |                  ^^^^^^^^
+    /// ```
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("error[{}]: {}\n", self.rule, self.message));
+        out.push_str(&format!("  --> {}:{}:{}\n", self.file, self.line, self.col));
+        let gutter = self.line.to_string().len().max(2);
+        out.push_str(&format!("{:gutter$} |\n", ""));
+        out.push_str(&format!("{:gutter$} | {}\n", self.line, self.snippet));
+        let carets = "^".repeat(self.span_chars.max(1) as usize);
+        out.push_str(&format!(
+            "{:gutter$} | {:pad$}{}\n",
+            "",
+            "",
+            carets,
+            pad = self.col.saturating_sub(1) as usize
+        ));
+        out
+    }
+
+    /// Renders one finding as a JSON object (one line, no trailing newline).
+    pub fn render_json(&self) -> String {
+        format!(
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\",\"snippet\":\"{}\"}}",
+            json_escape(self.rule),
+            json_escape(&self.file),
+            self.line,
+            self.col,
+            json_escape(&self.message),
+            json_escape(self.snippet.trim())
+        )
+    }
+}
+
+/// Renders the whole report as a JSON array.
+pub fn render_json_report(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  ");
+        out.push_str(&d.render_json());
+    }
+    if !diags.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag() -> Diagnostic {
+        Diagnostic {
+            rule: "no_unwrap",
+            file: "crates/x/src/lib.rs".into(),
+            line: 42,
+            col: 18,
+            span_chars: 8,
+            message: "`.unwrap()` in library code".into(),
+            snippet: "    let x = foo().unwrap();".into(),
+        }
+    }
+
+    #[test]
+    fn text_rendering_points_at_the_span() {
+        let text = diag().render_text();
+        assert!(text.contains("error[no_unwrap]"), "{text}");
+        assert!(text.contains("--> crates/x/src/lib.rs:42:18"), "{text}");
+        let caret_line = text.lines().last().unwrap();
+        assert_eq!(caret_line.find('^'), Some("   | ".len() + 17), "{text}");
+        assert!(caret_line.ends_with("^^^^^^^^"), "{text}");
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_newlines() {
+        let mut d = diag();
+        d.message = "say \"hi\"\n".into();
+        let json = d.render_json();
+        assert!(json.contains("say \\\"hi\\\"\\n"), "{json}");
+    }
+
+    #[test]
+    fn json_report_is_an_array() {
+        assert_eq!(render_json_report(&[]), "[]");
+        let r = render_json_report(&[diag(), diag()]);
+        assert!(r.starts_with('[') && r.ends_with(']'), "{r}");
+        assert_eq!(r.matches("\"rule\"").count(), 2);
+    }
+}

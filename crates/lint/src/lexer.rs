@@ -1,0 +1,423 @@
+//! A hand-rolled token-level Rust lexer.
+//!
+//! The build environment is offline, so there is no `syn`/`proc-macro2` to
+//! lean on; this lexer implements exactly the subset of Rust's lexical
+//! grammar the rule engine needs to never misfire inside literals or
+//! comments:
+//!
+//! - line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   (`/* /* */ */`), kept as tokens because the rule engine reads
+//!   `// SAFETY:` and `// lint: allow(...)` annotations out of them;
+//! - string literals with escapes (`"a \" b"`), byte strings (`b"…"`),
+//!   and raw strings with arbitrary hash fences (`r"…"`, `r#"…"#`,
+//!   `br##"…"##`) — a `".unwrap()"` inside any of them is data, not code;
+//! - the `'a'` char-literal vs `'a` lifetime ambiguity (`'\n'`, `b'x'`,
+//!   `'_'` the char vs `'_` the anonymous lifetime);
+//! - raw identifiers (`r#fn`), numbers, identifiers, and single-character
+//!   punctuation.
+//!
+//! Tokens carry byte offsets plus 1-based line/column so diagnostics can
+//! point at sources rustc-style.
+
+use std::fmt;
+
+/// What a token is; only as fine-grained as the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unwrap`, `unsafe`, `let`, `r#fn`, `_`).
+    Ident,
+    /// A lifetime or loop label (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// Character or byte-character literal (`'x'`, `'\n'`, `b'\0'`).
+    CharLit,
+    /// String or byte-string literal with escape processing (`"…"`, `b"…"`).
+    StrLit,
+    /// Raw (byte) string literal (`r"…"`, `r#"…"#`, `br##"…"##`).
+    RawStrLit,
+    /// Numeric literal (integers, floats, any radix/suffix).
+    NumLit,
+    /// A single punctuation character (`.`, `!`, `:`, `{`, …).
+    Punct,
+    /// `// …` up to (not including) the newline.
+    LineComment,
+    /// `/* … */`, nesting handled.
+    BlockComment,
+}
+
+/// One lexed token: kind plus its byte span and 1-based start position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: u32,
+    /// 1-based column (in characters) of `start`.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's source text.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// 1-based line of the token's **last** byte (differs from `line` for
+    /// multi-line block comments and strings).
+    pub fn end_line(&self, src: &str) -> u32 {
+        self.line + src[self.start..self.end].matches('\n').count() as u32
+    }
+}
+
+/// A lexical error with its position; the runner surfaces these as
+/// diagnostics instead of silently skipping the file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    /// Byte offset where the current line starts, for column computation.
+    line_start: usize,
+}
+
+/// Lexes a whole source file. Returns every token including comments;
+/// whitespace is dropped. Errors on unterminated strings/comments/chars.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut lx = Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        line_start: 0,
+    };
+    let mut out = Vec::new();
+    while let Some(token) = lx.next_token()? {
+        out.push(token);
+    }
+    Ok(out)
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.bytes.get(self.pos + off).copied()
+    }
+
+    /// The char starting at byte offset `pos + off` (must be a boundary).
+    fn char_at(&self, off: usize) -> Option<char> {
+        self.src[self.pos + off..].chars().next()
+    }
+
+    fn bump(&mut self) {
+        if self.bytes[self.pos] == b'\n' {
+            self.line += 1;
+            self.line_start = self.pos + 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    /// Consumes identifier-continue characters at the cursor.
+    fn bump_ident_continue(&mut self) {
+        while let Some(c) = self.char_at(0) {
+            if is_ident_continue(c) {
+                self.bump_n(c.len_utf8());
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn col_at(&self, start: usize) -> u32 {
+        self.src[self.line_start..start].chars().count() as u32 + 1
+    }
+
+    fn error(&self, start: usize, start_line: u32, message: &str) -> LexError {
+        LexError {
+            line: start_line,
+            col: self.src[..start].rfind('\n').map_or_else(
+                || self.src[..start].chars().count(),
+                |nl| self.src[nl + 1..start].chars().count(),
+            ) as u32
+                + 1,
+            message: message.to_string(),
+        }
+    }
+
+    fn token(&self, kind: TokenKind, start: usize, line: u32, col: u32) -> Token {
+        Token {
+            kind,
+            start,
+            end: self.pos,
+            line,
+            col,
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Option<Token>, LexError> {
+        // Skip whitespace.
+        while let Some(b) = self.peek() {
+            if b.is_ascii_whitespace() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let Some(b) = self.peek() else {
+            return Ok(None);
+        };
+        let start = self.pos;
+        let line = self.line;
+        let col = self.col_at(start);
+
+        match b {
+            b'/' if self.peek_at(1) == Some(b'/') => {
+                while let Some(c) = self.peek() {
+                    if c == b'\n' {
+                        break;
+                    }
+                    self.bump();
+                }
+                Ok(Some(self.token(TokenKind::LineComment, start, line, col)))
+            }
+            b'/' if self.peek_at(1) == Some(b'*') => {
+                self.bump_n(2);
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (self.peek(), self.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            self.bump_n(2);
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            self.bump_n(2);
+                        }
+                        (Some(_), _) => self.bump(),
+                        (None, _) => {
+                            return Err(self.error(start, line, "unterminated block comment"))
+                        }
+                    }
+                }
+                Ok(Some(self.token(TokenKind::BlockComment, start, line, col)))
+            }
+            b'"' => {
+                self.lex_string(start, line)?;
+                Ok(Some(self.token(TokenKind::StrLit, start, line, col)))
+            }
+            b'\'' => self.lex_quote(start, line, col).map(Some),
+            b'0'..=b'9' => {
+                self.bump();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == b'_' {
+                        self.bump();
+                    } else if c == b'.' && self.peek_at(1).is_some_and(|d| d.is_ascii_digit()) {
+                        // `1.5`, but not the range `1..5` or method `1.pow`.
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Ok(Some(self.token(TokenKind::NumLit, start, line, col)))
+            }
+            _ => {
+                let Some(c) = self.char_at(0) else {
+                    return Ok(None); // unreachable: peek() saw a byte
+                };
+                if is_ident_start(c) {
+                    self.lex_ident_or_prefixed(start, line, col)
+                } else {
+                    self.bump_n(c.len_utf8());
+                    Ok(Some(self.token(TokenKind::Punct, start, line, col)))
+                }
+            }
+        }
+    }
+
+    /// An identifier, or one of the literal prefixes `r`/`b`/`br` followed
+    /// by a (raw) string or byte-char, or a raw identifier `r#ident`.
+    fn lex_ident_or_prefixed(
+        &mut self,
+        start: usize,
+        line: u32,
+        col: u32,
+    ) -> Result<Option<Token>, LexError> {
+        // Consume the identifier characters first, then decide.
+        let mut end = self.pos;
+        for c in self.src[self.pos..].chars() {
+            if is_ident_continue(c) {
+                end += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        let ident = &self.src[self.pos..end];
+        let after = self.bytes.get(end).copied();
+
+        match (ident, after) {
+            ("r", Some(b'"')) | ("br", Some(b'"')) | ("r", Some(b'#')) | ("br", Some(b'#')) => {
+                // Raw string — unless `r#` introduces a raw identifier.
+                let prefix = ident.len();
+                let mut hashes = 0usize;
+                while self.peek_at(prefix + hashes) == Some(b'#') {
+                    hashes += 1;
+                }
+                if self.peek_at(prefix + hashes) == Some(b'"') {
+                    self.bump_n(prefix + hashes + 1);
+                    self.lex_raw_string_body(start, line, hashes)?;
+                    Ok(Some(self.token(TokenKind::RawStrLit, start, line, col)))
+                } else if ident == "r" && hashes == 1 {
+                    // Raw identifier `r#fn`.
+                    self.bump_n(2);
+                    self.bump_ident_continue();
+                    Ok(Some(self.token(TokenKind::Ident, start, line, col)))
+                } else {
+                    Err(self.error(start, line, "malformed raw string prefix"))
+                }
+            }
+            ("b", Some(b'"')) => {
+                self.bump();
+                self.lex_string(start, line)?;
+                Ok(Some(self.token(TokenKind::StrLit, start, line, col)))
+            }
+            ("b", Some(b'\'')) => {
+                self.bump();
+                let t = self.lex_quote(start, line, col)?;
+                if t.kind != TokenKind::CharLit {
+                    return Err(self.error(start, line, "malformed byte literal"));
+                }
+                Ok(Some(Token { start, ..t }))
+            }
+            _ => {
+                self.pos = end;
+                Ok(Some(self.token(TokenKind::Ident, start, line, col)))
+            }
+        }
+    }
+
+    /// Body of a `"…"` string, starting at the opening quote.
+    fn lex_string(&mut self, start: usize, line: u32) -> Result<(), LexError> {
+        self.bump(); // opening quote
+        loop {
+            match self.peek() {
+                Some(b'\\') => {
+                    self.bump();
+                    if self.peek().is_none() {
+                        return Err(self.error(start, line, "unterminated string escape"));
+                    }
+                    self.bump();
+                }
+                Some(b'"') => {
+                    self.bump();
+                    return Ok(());
+                }
+                Some(_) => self.bump(),
+                None => return Err(self.error(start, line, "unterminated string literal")),
+            }
+        }
+    }
+
+    /// Body of a raw string after the opening `"`; ends at `"` + `hashes`
+    /// hash characters.
+    fn lex_raw_string_body(
+        &mut self,
+        start: usize,
+        line: u32,
+        hashes: usize,
+    ) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    let mut n = 0usize;
+                    while n < hashes && self.peek_at(1 + n) == Some(b'#') {
+                        n += 1;
+                    }
+                    if n == hashes {
+                        self.bump_n(1 + hashes);
+                        return Ok(());
+                    }
+                    self.bump();
+                }
+                Some(_) => self.bump(),
+                None => return Err(self.error(start, line, "unterminated raw string literal")),
+            }
+        }
+    }
+
+    /// Disambiguates `'a'`/`'\n'`/`'('` char literals from `'a`/`'static`
+    /// lifetimes, starting at the `'`.
+    fn lex_quote(&mut self, start: usize, line: u32, col: u32) -> Result<Token, LexError> {
+        self.bump(); // the quote
+        match self.char_at(0) {
+            Some('\\') => {
+                // Escaped char literal: `'\n'`, `'\''`, `'\u{7FFF}'`. The
+                // escaped character itself is consumed before scanning for
+                // the terminator, so `'\''` closes on the *third* quote.
+                self.bump();
+                if let Some(c) = self.char_at(0) {
+                    self.bump_n(c.len_utf8());
+                }
+                loop {
+                    match self.peek() {
+                        Some(b'\'') => {
+                            self.bump();
+                            return Ok(self.token(TokenKind::CharLit, start, line, col));
+                        }
+                        Some(_) => self.bump(),
+                        None => {
+                            return Err(self.error(start, line, "unterminated character literal"))
+                        }
+                    }
+                }
+            }
+            Some(c) => {
+                if self.char_at(c.len_utf8()) == Some('\'') {
+                    // `'x'` — a char literal, even when `x` could start a
+                    // lifetime (`'a'`, `'_'`).
+                    self.bump_n(c.len_utf8() + 1);
+                    Ok(self.token(TokenKind::CharLit, start, line, col))
+                } else if is_ident_start(c) {
+                    // A lifetime or loop label: consume the identifier.
+                    self.bump_ident_continue();
+                    Ok(self.token(TokenKind::Lifetime, start, line, col))
+                } else {
+                    // `'('` style char of a non-ident char not followed by
+                    // a quote is malformed.
+                    Err(self.error(start, line, "malformed character literal"))
+                }
+            }
+            None => Err(self.error(start, line, "unterminated character literal")),
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! End-to-end CLI tests: exit codes and output formats of the `ind-lint`
+//! binary, run exactly as CI and the workspace meta-test run it.
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+fn ind_lint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ind-lint"))
+        .args(args)
+        .output()
+        .expect("spawn ind-lint")
+}
+
+fn fixtures() -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .display()
+        .to_string()
+}
+
+fn workspace_root() -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .display()
+        .to_string()
+}
+
+#[test]
+fn committed_tree_is_clean_exit_zero() {
+    let out = ind_lint(&["check", "--root", &workspace_root()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "the committed tree must lint clean:\n{stdout}"
+    );
+    assert!(stdout.contains("ind-lint: clean"), "{stdout}");
+}
+
+#[test]
+fn seeded_fixtures_fail_with_exit_one() {
+    let out = ind_lint(&["check", "--root", &fixtures()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // rustc-style rendering: error[<rule>] header plus file:line:col arrow.
+    assert!(stdout.contains("error[hot_alloc]"), "{stdout}");
+    assert!(stdout.contains("--> src/hot.rs:5:23"), "{stdout}");
+    assert!(stdout.contains("12 findings"), "{stdout}");
+}
+
+#[test]
+fn json_output_carries_every_finding() {
+    let out = ind_lint(&["check", "--root", &fixtures(), "--json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.matches("\"rule\":").count(), 12, "{stdout}");
+    assert!(
+        stdout.contains(r#""rule":"no_unwrap","file":"src/unwraps.rs","line":5"#),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    assert_eq!(
+        ind_lint(&["check", "--root", "/nonexistent"]).status.code(),
+        Some(2)
+    );
+    assert_eq!(ind_lint(&["bogus-command"]).status.code(), Some(2));
+    assert_eq!(ind_lint(&[]).status.code(), Some(2));
+}
+
+#[test]
+fn rules_subcommand_documents_the_escape_hatch() {
+    let out = ind_lint(&["rules"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in [
+        "hot_alloc",
+        "no_unwrap",
+        "safety_comment",
+        "swallowed_result",
+    ] {
+        assert!(stdout.contains(rule), "{stdout}");
+    }
+    assert!(stdout.contains("lint: allow(<rule>)"), "{stdout}");
+}

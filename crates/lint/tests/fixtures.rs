@@ -1,0 +1,107 @@
+//! Runs the checker against `fixtures/` — a tree that violates every rule
+//! once per idiom — and asserts the exact finding set. Any drift here is a
+//! behavior change in the linter itself.
+
+use ind_lint::{check_workspace, Config};
+use std::path::{Path, PathBuf};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+fn fixture_findings() -> Vec<String> {
+    let root = fixture_root();
+    let text = std::fs::read_to_string(root.join("lint.toml")).unwrap();
+    let config = Config::parse(&text).unwrap();
+    check_workspace(&root, &config)
+        .unwrap()
+        .iter()
+        .map(|d| format!("{}:{}:{}:{}", d.rule, d.file, d.line, d.col))
+        .collect()
+}
+
+#[test]
+fn fixture_tree_produces_exactly_the_seeded_findings() {
+    assert_eq!(
+        fixture_findings(),
+        vec![
+            "hot_alloc:src/hot.rs:5:23",
+            "hot_alloc:src/hot.rs:6:14",
+            "hot_alloc:src/hot.rs:7:13",
+            "hot_alloc:src/hot.rs:8:14",
+            "swallowed_result:src/swallowed.rs:5:5",
+            "swallowed_result:src/swallowed.rs:9:36",
+            "safety_comment:src/unsafe_code.rs:5:5",
+            "safety_comment:src/unsafe_code.rs:10:1",
+            "safety_comment:src/unsafe_code.rs:35:20",
+            "no_unwrap:src/unwraps.rs:5:6",
+            "no_unwrap:src/unwraps.rs:9:6",
+            "no_unwrap:src/unwraps.rs:13:5",
+        ]
+    );
+}
+
+#[test]
+fn every_allow_annotation_suppresses_its_finding() {
+    // Each fixture file carries one allow-annotation site; none of those
+    // lines may appear in the findings, and none of the annotations may
+    // be reported as unused.
+    let findings = fixture_findings();
+    assert!(
+        !findings.iter().any(|f| f.starts_with("unused_allow")),
+        "an allow annotation went unused: {findings:?}"
+    );
+    for suppressed in [
+        "hot_alloc:src/hot.rs:14",
+        "no_unwrap:src/unwraps.rs:18",
+        "swallowed_result:src/swallowed.rs:14",
+        "safety_comment:src/unsafe_code.rs:27",
+    ] {
+        assert!(
+            !findings.iter().any(|f| f.starts_with(suppressed)),
+            "{suppressed} should have been suppressed: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn literals_comments_and_excluded_dirs_stay_silent() {
+    // tricky.rs packs denied idioms into raw strings, escaped strings, and
+    // nested block comments; ignored/ is excluded by the fixture config.
+    let findings = fixture_findings();
+    assert!(
+        !findings.iter().any(|f| f.contains("tricky.rs")),
+        "lexer misread a literal or comment as code: {findings:?}"
+    );
+    assert!(
+        !findings.iter().any(|f| f.contains("ignored/")),
+        "the exclude list was not honored: {findings:?}"
+    );
+}
+
+#[test]
+fn test_regions_relax_all_rules_except_safety_comment() {
+    // hot.rs and unwraps.rs both end in #[cfg(test)] modules full of
+    // violations (lines 28+ and 25+ respectively); those must stay silent,
+    // while the bare unsafe in unsafe_code.rs's test module must not.
+    let findings = fixture_findings();
+    for f in &findings {
+        let mut parts = f.split(':');
+        let (rule, file, line) = (
+            parts.next().unwrap(),
+            parts.next().unwrap(),
+            parts.next().unwrap().parse::<u32>().unwrap(),
+        );
+        let in_test_module = (file == "src/hot.rs" && line >= 28)
+            || (file == "src/unwraps.rs" && line >= 25)
+            || (file == "src/unsafe_code.rs" && line >= 30);
+        assert!(
+            !in_test_module || rule == "safety_comment",
+            "only safety_comment applies inside test regions: {f}"
+        );
+    }
+    assert!(
+        findings.contains(&"safety_comment:src/unsafe_code.rs:35:20".to_string()),
+        "safety_comment must fire even inside #[cfg(test)]: {findings:?}"
+    );
+}

@@ -1,0 +1,160 @@
+//! Edge-case coverage for the hand-rolled lexer: every construct the rule
+//! engine must not misread — raw strings, nested block comments, the
+//! char-vs-lifetime ambiguity, and escape sequences.
+
+use ind_lint::lexer::{lex, TokenKind};
+
+/// Lexes and returns `(kind, text)` pairs for compact assertions.
+fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+    lex(src)
+        .unwrap()
+        .into_iter()
+        .map(|t| (t.kind, t.text(src).to_string()))
+        .collect()
+}
+
+#[test]
+fn raw_strings_swallow_quotes_and_idioms() {
+    use TokenKind::RawStrLit;
+    assert_eq!(
+        kinds(r###"r"a" r#".unwrap( "quoted" "# br##"b"# still"##"###),
+        vec![
+            (RawStrLit, r#"r"a""#.to_string()),
+            (RawStrLit, r##"r#".unwrap( "quoted" "#"##.to_string()),
+            (RawStrLit, r###"br##"b"# still"##"###.to_string()),
+        ]
+    );
+}
+
+#[test]
+fn raw_string_fence_must_match_exactly() {
+    // Two hashes open, so `"#` does not close — only `"##` does.
+    let src = r####"r##"inner "# not done"## x"####;
+    let toks = kinds(src);
+    assert_eq!(toks[0].0, TokenKind::RawStrLit);
+    assert_eq!(toks[0].1, r####"r##"inner "# not done"##"####);
+    assert_eq!(toks[1], (TokenKind::Ident, "x".to_string()));
+}
+
+#[test]
+fn block_comments_nest() {
+    let src = "/* outer /* inner .unwrap( */ still outer */ code";
+    assert_eq!(
+        kinds(src),
+        vec![
+            (
+                TokenKind::BlockComment,
+                "/* outer /* inner .unwrap( */ still outer */".to_string()
+            ),
+            (TokenKind::Ident, "code".to_string()),
+        ]
+    );
+}
+
+#[test]
+fn unterminated_nested_comment_is_an_error() {
+    let err = lex("/* outer /* inner */").unwrap_err();
+    assert_eq!((err.line, err.col), (1, 1));
+}
+
+#[test]
+fn char_literals_vs_lifetimes() {
+    use TokenKind::{CharLit, Ident, Lifetime, Punct};
+    assert_eq!(
+        kinds("'a' 'a 'static '_' '_ b'x'"),
+        vec![
+            (CharLit, "'a'".to_string()),
+            (Lifetime, "'a".to_string()),
+            (Lifetime, "'static".to_string()),
+            (CharLit, "'_'".to_string()),
+            (Lifetime, "'_".to_string()),
+            (CharLit, "b'x'".to_string()),
+        ]
+    );
+    // A lifetime in a reference type followed by more tokens.
+    assert_eq!(
+        kinds("&'a str"),
+        vec![
+            (Punct, "&".to_string()),
+            (Lifetime, "'a".to_string()),
+            (Ident, "str".to_string()),
+        ]
+    );
+}
+
+#[test]
+fn escaped_chars_terminate_correctly() {
+    use TokenKind::CharLit;
+    // The escaped quote/backslash must not be taken as the terminator.
+    assert_eq!(
+        kinds(r"'\'' '\\' '\n' b'\''"),
+        vec![
+            (CharLit, r"'\''".to_string()),
+            (CharLit, r"'\\'".to_string()),
+            (CharLit, r"'\n'".to_string()),
+            (CharLit, r"b'\''".to_string()),
+        ]
+    );
+}
+
+#[test]
+fn string_escapes_do_not_end_the_literal() {
+    let src = r#""before \" .unwrap( after" tail"#;
+    assert_eq!(
+        kinds(src),
+        vec![
+            (
+                TokenKind::StrLit,
+                r#""before \" .unwrap( after""#.to_string()
+            ),
+            (TokenKind::Ident, "tail".to_string()),
+        ]
+    );
+}
+
+#[test]
+fn line_comments_stop_at_newline() {
+    use TokenKind::{Ident, LineComment};
+    assert_eq!(
+        kinds("// one .unwrap(\ncode // two\n"),
+        vec![
+            (LineComment, "// one .unwrap(".to_string()),
+            (Ident, "code".to_string()),
+            (LineComment, "// two".to_string()),
+        ]
+    );
+}
+
+#[test]
+fn raw_identifiers_lex_as_idents() {
+    assert_eq!(
+        kinds("r#fn r#unsafe r"),
+        vec![
+            (TokenKind::Ident, "r#fn".to_string()),
+            (TokenKind::Ident, "r#unsafe".to_string()),
+            (TokenKind::Ident, "r".to_string()),
+        ]
+    );
+}
+
+#[test]
+fn positions_are_one_based_lines_and_columns() {
+    let src = "fn f() {\n    x.unwrap()\n}\n";
+    let toks = lex(src).unwrap();
+    let unwrap = toks
+        .iter()
+        .find(|t| t.text(src) == "unwrap")
+        .expect("unwrap token");
+    assert_eq!((unwrap.line, unwrap.col), (2, 7));
+    // A multi-line token reports where it ends, for comment adjacency.
+    let multi = "/* a\nb */ x";
+    let toks = lex(multi).unwrap();
+    assert_eq!(toks[0].end_line(multi), 2);
+}
+
+#[test]
+fn unterminated_string_is_an_error() {
+    assert!(lex("\"never closed").is_err());
+    assert!(lex("'x").is_err() || matches!(lex("'x").unwrap()[0].kind, TokenKind::Lifetime));
+    assert!(lex("r#\"never closed\"").is_err());
+}

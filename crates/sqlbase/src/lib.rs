@@ -7,6 +7,7 @@
 //! in `ind-core`, exactly as in Tables 1 and 2.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod approaches;
 pub mod engine;

@@ -11,6 +11,7 @@
 //! exist solely for evaluation.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod database;
 mod error;

@@ -99,8 +99,11 @@ impl Value {
     pub fn render_canonical(&self, buf: &mut Vec<u8>) {
         use std::io::Write;
         match self {
+            // lint: allow(no_unwrap) — documented contract: NULLs are filtered before rendering, per the paper's value-set definition
             Value::Null => panic!("NULL has no canonical rendering"),
+            // lint: allow(no_unwrap) — fmt writes into a Vec are infallible
             Value::Integer(i) => write!(buf, "{i}").expect("write to Vec cannot fail"),
+            // lint: allow(no_unwrap) — fmt writes into a Vec are infallible
             Value::Float(x) => write!(buf, "{x}").expect("write to Vec cannot fail"),
             Value::Text(s) => buf.extend_from_slice(s.as_bytes()),
         }

@@ -3,6 +3,8 @@
 //! The workspace deliberately avoids pulling in `tempfile`; this crate
 //! provides a minimal RAII temporary directory built on `std` only.
 
+#![forbid(unsafe_code)]
+
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -27,6 +29,7 @@ impl TempDir {
             "spider-ind-{label}-{pid}-{n}",
             pid = std::process::id()
         ));
+        // lint: allow(no_unwrap) — test fixture: an unusable temp dir should abort the test run loudly
         std::fs::create_dir_all(&path).expect("create temp dir");
         TempDir { path }
     }
@@ -44,6 +47,7 @@ impl TempDir {
 
 impl Drop for TempDir {
     fn drop(&mut self) {
+        // lint: allow(swallowed_result) — Drop cannot return an error; best-effort cleanup is all a temp dir can do
         let _ = std::fs::remove_dir_all(&self.path);
     }
 }

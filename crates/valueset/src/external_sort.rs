@@ -145,11 +145,14 @@ impl ExternalSorter {
     /// first spill, so fully in-memory sorts never touch the directory).
     pub fn new(spill_dir: &Path, options: SortOptions) -> Result<Self> {
         Ok(ExternalSorter {
+            // lint: allow(hot_alloc) — constructor: empty vecs allocate nothing; growth is budget-accounted
             arena: Vec::new(),
+            // lint: allow(hot_alloc) — constructor: empty, growth is budget-accounted
             index: Vec::new(),
             options,
             spill_dir: spill_dir.to_path_buf(),
             spill_dir_created: false,
+            // lint: allow(hot_alloc) — constructor: empty; one entry per spill, not per record
             runs: Vec::new(),
             pushed: 0,
             peak_footprint: 0,
@@ -301,6 +304,7 @@ impl ExternalSorter {
 
     fn too_large(&self) -> ValueSetError {
         ValueSetError::Corrupt {
+            // lint: allow(hot_alloc) — cold error-construction path, never on a successful sort
             context: self.spill_dir.display().to_string(),
             detail: "sorter arena would exceed u32::MAX bytes".into(),
         }
@@ -329,6 +333,7 @@ impl ExternalSorter {
         }
         let path = self
             .spill_dir
+            // lint: allow(hot_alloc) — once per spilled run, not per record
             .join(format!("run-{:04}.indv", self.runs.len()));
         let mut w = ValueFileWriter::create_with_options(&path, &self.options.io)?;
         for e in &self.index {
@@ -353,6 +358,7 @@ impl ExternalSorter {
         let mut distinct = 0u64;
         let mut emit = |value: &[u8], writer: &mut ValueFileWriter| -> Result<()> {
             if min.is_none() {
+                // lint: allow(hot_alloc) — bounds capture: once per merged attribute (first value)
                 min = Some(value.to_vec());
             }
             match &mut max {
@@ -360,6 +366,7 @@ impl ExternalSorter {
                     m.clear();
                     m.extend_from_slice(value);
                 }
+                // lint: allow(hot_alloc) — bounds capture: first value only; later maxima reuse the buffer above
                 none => *none = Some(value.to_vec()),
             }
             distinct += 1;
@@ -453,6 +460,7 @@ fn merge_runs(
         heap.push(mem_src, |a, b| source_less(&sources, a, b));
     }
 
+    // lint: allow(hot_alloc) — reusable dedup buffer: grows to the longest value once, then reused
     let mut last: Vec<u8> = Vec::new();
     let mut wrote_any = false;
     while let Some(top) = heap.peek() {

@@ -69,14 +69,17 @@ pub fn extract_memory_sets_parallel(columns: &[&[Value]], threads: usize) -> Vec
             .collect();
         let mut out: Vec<Option<MemoryValueSet>> = columns.iter().map(|_| None).collect();
         for handle in handles {
+            // lint: allow(no_unwrap) — re-raising a worker panic on the coordinating thread is the correct escalation
             for (i, set) in handle.join().expect("extraction worker panicked") {
                 out[i] = Some(set);
             }
         }
         out.into_iter()
+            // lint: allow(no_unwrap) — the chunked split hands each column index to exactly one worker
             .map(|s| s.expect("every column claimed exactly once"))
             .collect()
     })
+    // lint: allow(no_unwrap) — crossbeam scope errs only when a child panicked; propagate the panic
     .expect("extraction scope panicked")
 }
 

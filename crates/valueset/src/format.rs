@@ -150,6 +150,7 @@ impl ValueFileWriter {
         self.flush_block()?;
         self.file.seek(SeekFrom::Start(8))?;
         self.file.write_all(&self.count.to_le_bytes())?;
+        // lint: allow(swallowed_result) — durability hint only; the counted write above already returned any real error
         self.file.sync_data().ok(); // best-effort durability; not load-bearing
         Ok(self.count)
     }
@@ -246,10 +247,12 @@ impl ValueFileReader {
         if &header[..4] != MAGIC {
             return Err(corrupt(context(), "bad magic".into()));
         }
+        // lint: allow(no_unwrap) — fixed-width slice of a length-checked header; try_into cannot fail
         let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
         if version != VERSION {
             return Err(corrupt(context(), format!("unsupported version {version}")));
         }
+        // lint: allow(no_unwrap) — fixed-width slice of a length-checked header; try_into cannot fail
         let total = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
         input.consume(HEADER_LEN);
         Ok(ValueFileReader {
@@ -292,6 +295,7 @@ impl ValueFileReader {
         }
         let bytes = self.input.buffered()[..LEN_PREFIX]
             .try_into()
+            // lint: allow(no_unwrap) — LEN_PREFIX-wide slice, availability checked just above
             .expect("4 bytes");
         Ok(Some(u32::from_le_bytes(bytes) as usize))
     }
@@ -418,6 +422,7 @@ impl ValueCursor for ValueFileReader {
         let buffered = self.input.buffered();
         if let Some(body) = buffered.get(LEN_PREFIX..) {
             let len =
+                // lint: allow(no_unwrap) — the get(LEN_PREFIX..) guard above proves the prefix is buffered
                 u32::from_le_bytes(buffered[..LEN_PREFIX].try_into().expect("4 bytes")) as usize;
             if body.len() >= len {
                 self.take_buffered(len);

@@ -208,9 +208,11 @@ impl ExportedDatabase {
                     .collect();
                 handles
                     .into_iter()
+                    // lint: allow(no_unwrap) — re-raising a worker panic on the coordinating thread is the correct escalation
                     .map(|h| h.join().expect("export worker panicked"))
                     .collect()
             })
+            // lint: allow(no_unwrap) — crossbeam scope errs only when a child panicked; propagate the panic
             .expect("export scope panicked");
             for r in results {
                 attributes.extend(r?);
@@ -218,6 +220,7 @@ impl ExportedDatabase {
             attributes.sort_by_key(|a| a.id);
         }
 
+        // lint: allow(swallowed_result) — best-effort cleanup of an empty spill dir; the export already succeeded
         let _ = std::fs::remove_dir_all(&spill_dir); // empty after successful export
         Ok(ExportedDatabase {
             dir: dir.to_path_buf(),
@@ -372,6 +375,7 @@ impl CompositeExport {
                 file_bytes: stats.file_bytes,
             });
         }
+        // lint: allow(swallowed_result) — best-effort cleanup of an empty spill dir; the export already succeeded
         let _ = std::fs::remove_dir_all(&spill_dir); // empty after successful export
         Ok(CompositeExport {
             dir: dir.to_path_buf(),

@@ -77,7 +77,9 @@ pub fn decode_tuple(bytes: &[u8]) -> Result<Vec<Vec<u8>>> {
         context: "tuple encoding".into(),
         detail: detail.into(),
     };
+    // lint: allow(hot_alloc) — decode_tuple is the test/verification inverse; the export path uses encode_tuple_into
     let mut components = Vec::new();
+    // lint: allow(hot_alloc) — decode-side only, see above
     let mut current = Vec::new();
     let mut i = 0;
     while i < bytes.len() {
@@ -91,6 +93,7 @@ pub fn decode_tuple(bytes: &[u8]) -> Result<Vec<Vec<u8>>> {
             Some(&ESCAPED_ZERO) => current.push(LEAD),
             Some(&TERMINATOR) => components.push(std::mem::take(&mut current)),
             Some(&other) => {
+                // lint: allow(hot_alloc) — cold corrupt-input error path
                 return Err(corrupt(&format!("invalid escape byte 0x{other:02x}")));
             }
             None => return Err(corrupt("truncated escape at end of tuple")),

@@ -3,6 +3,8 @@
 //! Umbrella crate: re-exports the full workspace API.
 //! See the crate-level docs of each member for details.
 
+#![forbid(unsafe_code)]
+
 pub use ind_core as core;
 pub use ind_datagen as datagen;
 pub use ind_discovery as discovery;

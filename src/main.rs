@@ -20,14 +20,26 @@ use spider_ind::discovery::{
     fk_guesses_filtered, identify_primary_relation, AccessionRules,
 };
 use spider_ind::storage::{table_stats, tsv, Database};
-use std::fmt::Write as _;
 use std::path::Path;
 use std::process::ExitCode;
 
 /// Writes to stdout ignoring broken pipes (`spider-ind … | head`).
 fn emit(text: &str) {
     use std::io::Write;
+    // lint: allow(swallowed_result) — a closed stdout is the reader's choice, not an error
     let _ = std::io::stdout().lock().write_all(text.as_bytes());
+}
+
+/// `writeln!` into a `String` cannot fail; this wrapper keeps report
+/// building free of ignored `Result`s.
+macro_rules! outln {
+    ($out:expr) => {
+        $out.push('\n')
+    };
+    ($out:expr, $($arg:tt)*) => {{
+        $out.push_str(&format!($($arg)*));
+        $out.push('\n');
+    }};
 }
 
 fn main() -> ExitCode {
@@ -139,7 +151,7 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     let dir = args.first().ok_or("profile: missing database directory")?;
     let db = load(dir)?;
     let mut out = String::new();
-    let _ = writeln!(
+    outln!(
         out,
         "database {}: {} tables, {} attributes, {} rows\n",
         db.name(),
@@ -147,14 +159,18 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
         db.attribute_count(),
         db.total_rows()
     );
-    let _ = writeln!(
+    outln!(
         out,
         "{:<44} {:>8} {:>9} {:>7} {:>7}  key?",
-        "attribute", "rows", "distinct", "nulls", "type"
+        "attribute",
+        "rows",
+        "distinct",
+        "nulls",
+        "type"
     );
     for table in db.tables() {
         for (cs, st) in table.schema().columns.iter().zip(table_stats(table)) {
-            let _ = writeln!(
+            outln!(
                 out,
                 "{:<44} {:>8} {:>9} {:>7} {:>7}  {}",
                 format!("{}.{}", table.name(), cs.name),
@@ -212,7 +228,7 @@ fn cmd_discover(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("discovery failed: {e}"))?
     };
     let mut out = String::new();
-    let _ = writeln!(
+    outln!(
         out,
         "{} candidates ({} pairs considered), {} satisfied INDs, {:?}\n",
         discovery.metrics.candidates(),
@@ -221,10 +237,10 @@ fn cmd_discover(args: &[String]) -> Result<(), String> {
         discovery.metrics.elapsed
     );
     for (dep, refd) in discovery.satisfied_named() {
-        let _ = writeln!(out, "{dep} <= {refd}");
+        outln!(out, "{dep} <= {refd}");
     }
     if args.iter().any(|a| a == "--names") {
-        let _ = writeln!(out, "\nmetrics: {}", discovery.metrics);
+        outln!(out, "\nmetrics: {}", discovery.metrics);
     }
     emit(&out);
     Ok(())
@@ -261,6 +277,7 @@ fn cmd_discover_nary(
             .discover_on_disk(db, &workdir, &options)
             .map_err(|e| format!("discovery failed: {e}"));
         if temp {
+            // lint: allow(swallowed_result) — best-effort temp-dir cleanup after the run
             let _ = std::fs::remove_dir_all(&workdir);
         }
         result?
@@ -271,7 +288,7 @@ fn cmd_discover_nary(
     };
 
     let mut out = String::new();
-    let _ = writeln!(
+    outln!(
         out,
         "{} unary INDs, {} composite INDs (max arity found {}), {:?}\n",
         discovery.unary.len(),
@@ -279,13 +296,18 @@ fn cmd_discover_nary(
         discovery.max_arity_found(),
         discovery.metrics.elapsed
     );
-    let _ = writeln!(
+    outln!(
         out,
         "{:>5} {:>14} {:>10} {:>12} {:>10} {:>10}",
-        "arity", "enumerable", "generated", "proj-pruned", "satisfied", "ms"
+        "arity",
+        "enumerable",
+        "generated",
+        "proj-pruned",
+        "satisfied",
+        "ms"
     );
     for level in &discovery.levels {
-        let _ = writeln!(
+        outln!(
             out,
             "{:>5} {:>14} {:>10} {:>12} {:>10} {:>10.2}",
             level.arity,
@@ -296,7 +318,7 @@ fn cmd_discover_nary(
             level.elapsed.as_secs_f64() * 1e3
         );
     }
-    let _ = writeln!(out);
+    outln!(out);
     for (dep, refd) in discovery.satisfied_named() {
         let join = |side: &[spider_ind::storage::QualifiedName]| {
             side.iter()
@@ -304,11 +326,11 @@ fn cmd_discover_nary(
                 .collect::<Vec<_>>()
                 .join(", ")
         };
-        let _ = writeln!(out, "({}) <= ({})", join(&dep), join(&refd));
+        outln!(out, "({}) <= ({})", join(&dep), join(&refd));
     }
     if !db.gold_composite_foreign_keys().is_empty() {
         let eval = evaluate_composite_foreign_keys(db, &discovery);
-        let _ = writeln!(
+        outln!(
             out,
             "\nagainst declared composite FKs: {} found, {} missed, {} extras",
             eval.found.len(),
@@ -317,7 +339,7 @@ fn cmd_discover_nary(
         );
     }
     if args.iter().any(|a| a == "--names") {
-        let _ = writeln!(out, "\nmetrics: {}", discovery.metrics);
+        outln!(out, "\nmetrics: {}", discovery.metrics);
     }
     emit(&out);
     Ok(())
@@ -363,6 +385,7 @@ fn discover_on_disk(
         .discover_on_disk_with(db, &workdir, &options)
         .map_err(|e| format!("discovery failed: {e}"));
     if temp {
+        // lint: allow(swallowed_result) — best-effort temp-dir cleanup after the run
         let _ = std::fs::remove_dir_all(&workdir);
     }
     result
@@ -376,9 +399,9 @@ fn cmd_fks(args: &[String]) -> Result<(), String> {
         .map_err(|e| format!("discovery failed: {e}"))?;
 
     let mut out = String::new();
-    let _ = writeln!(out, "foreign-key guesses ({} INDs):", discovery.ind_count());
+    outln!(out, "foreign-key guesses ({} INDs):", discovery.ind_count());
     for guess in fk_guesses_filtered(&db, &discovery) {
-        let _ = writeln!(
+        outln!(
             out,
             "  {} -> {}{}",
             guess.dep,
@@ -393,7 +416,7 @@ fn cmd_fks(args: &[String]) -> Result<(), String> {
 
     if !db.gold_foreign_keys().is_empty() {
         let eval = evaluate_foreign_keys(&db, &discovery);
-        let _ = writeln!(
+        outln!(
             out,
             "\nagainst declared FKs: {} found, {} missed (empty tables), {} missed otherwise, {} unexplained extras",
             eval.found.len(),
@@ -405,12 +428,12 @@ fn cmd_fks(args: &[String]) -> Result<(), String> {
 
     let rules = AccessionRules::strict();
     let acc = find_accession_candidates(&db, &rules);
-    let _ = writeln!(out, "\naccession-number candidates:");
+    outln!(out, "\naccession-number candidates:");
     for a in &acc {
-        let _ = writeln!(out, "  {a}");
+        outln!(out, "  {a}");
     }
     let primary = identify_primary_relation(&db, &discovery, &rules);
-    let _ = writeln!(
+    outln!(
         out,
         "\nprimary relation candidates: {:?}",
         primary.primary_candidates
