@@ -6,11 +6,11 @@
 //!     [--scale N] [--block-size BYTES] [--memory-budget BYTES] [--out PATH] [--check]
 //! ```
 //!
-//! Three measured sections per dataset (scale-N PDB and biosql/UniProt-shaped
-//! datagen databases), plus a whole-run `nary` section over the chains
-//! dataset (the datagen schema with a genuine composite foreign key)
-//! recording per-level candidates-enumerable / generated / satisfied — the
-//! committed evidence that the levelwise apriori pruning engages:
+//! Three measured sections per dataset (scale-N PDB, biosql/UniProt-shaped,
+//! and wide-values datagen databases), plus a whole-run `nary` section over
+//! the chains dataset (the datagen schema with a genuine composite foreign
+//! key) recording per-level candidates-enumerable / generated / satisfied —
+//! the committed evidence that the levelwise apriori pruning engages:
 //!
 //! * **memory** — the frozen pre-refactor engine shape
 //!   (`ind_bench::legacy_spider`), the current zero-allocation `spider`,
@@ -23,7 +23,14 @@
 //!   `--block-size`, default 256 KiB), plus a block-size sweep. `read_calls`
 //!   counts the read requests each reader issues to its I/O layer — per
 //!   record (2× `read_exact`) for the legacy shape, per block fill for the
-//!   block reader — and `os_read_calls` the actual `read(2)` syscalls;
+//!   block reader — and `os_read_calls` the actual `read(2)` syscalls.
+//!   Three overlapped-I/O rows ride along: `spider_prefetch` (a bounded
+//!   worker fills block N+1 while the merge consumes block N, with
+//!   hit/stall handover counts), `spider_direct` (`O_DIRECT` where the
+//!   filesystem allows, counted graceful fallback where it doesn't), and
+//!   `spider_shared` (the partition-parallel engine fed by one physical
+//!   read stream per value file — `file_opens` shows the descriptor
+//!   economy versus k-cursors-per-file);
 //! * **export** — the producer phase (extract → sort → spill → merge →
 //!   write, every attribute of the database) through the frozen pre-arena
 //!   sorter shape (`ind_bench::legacy_sorter`, one heap vector per pushed
@@ -50,11 +57,13 @@ use ind_bench::legacy_reader::LegacyDiskProvider;
 use ind_bench::legacy_sorter::legacy_extract_to_file;
 use ind_bench::legacy_spider::run_legacy_spider;
 use ind_core::{
-    generate_candidates, memory_export, run_spider, run_spider_parallel, Candidate, NaryDiscovery,
-    NaryFinder, PretestConfig, RunMetrics,
+    generate_candidates, memory_export, run_spider, run_spider_parallel,
+    run_spider_parallel_shared, AttributeProfile, Candidate, NaryDiscovery, NaryFinder,
+    PretestConfig, RunMetrics,
 };
 use ind_datagen::{
-    generate_chains, generate_pdb, generate_uniprot, BiosqlConfig, ChainsConfig, OpenMmsConfig,
+    generate_chains, generate_pdb, generate_uniprot, generate_wide, BiosqlConfig, ChainsConfig,
+    OpenMmsConfig, WideConfig,
 };
 use ind_testkit::TempDir;
 use ind_valueset::{
@@ -178,14 +187,58 @@ struct EngineResult {
     satisfied: usize,
 }
 
+/// Snapshot of the export's shared I/O counters after a measured run.
+#[derive(Clone, Copy)]
+struct IoCounters {
+    /// Read requests issued to the reader's I/O layer: per record for the
+    /// legacy shape, per block fill for the block reader.
+    read_calls: u64,
+    /// Prefetch-worker block handovers served without waiting (non-zero
+    /// only when prefetch is on).
+    prefetch_hits: u64,
+    /// Prefetch-worker block handovers the consumer had to block for.
+    prefetch_stalls: u64,
+    /// Value files successfully opened with `O_DIRECT` (non-zero only for
+    /// the `spider_direct` row, and only on supporting filesystems).
+    direct_opens: u64,
+    /// `O_DIRECT` opens that fell back to buffered I/O (tmpfs, CI).
+    direct_fallbacks: u64,
+    /// Physical descriptors opened on value files during the run.
+    file_opens: u64,
+}
+
+impl IoCounters {
+    fn zero() -> Self {
+        IoCounters {
+            read_calls: 0,
+            prefetch_hits: 0,
+            prefetch_stalls: 0,
+            direct_opens: 0,
+            direct_fallbacks: 0,
+            file_opens: 0,
+        }
+    }
+
+    fn snapshot(export: &ExportedDatabase) -> Self {
+        IoCounters {
+            read_calls: export.read_calls(),
+            prefetch_hits: export.prefetch_hits(),
+            prefetch_stalls: export.prefetch_stalls(),
+            direct_opens: export.direct_opens(),
+            direct_fallbacks: export.direct_fallbacks(),
+            file_opens: export.file_opens(),
+        }
+    }
+}
+
 struct DiskEngineResult {
     engine: &'static str,
     wall_ms: f64,
     metrics: RunMetrics,
-    /// Read requests issued to the reader's I/O layer: per record for the
-    /// legacy shape, per block fill for the block reader.
-    read_calls: u64,
-    /// Actual `read(2)` syscalls (equals `read_calls` for the block
+    /// Shared-counter snapshot of the run (read calls, prefetch handovers,
+    /// direct opens/fallbacks, descriptor opens).
+    io: IoCounters,
+    /// Actual `read(2)` syscalls (equals `io.read_calls` for the block
     /// reader, which has no intermediate buffering layer).
     os_read_calls: u64,
     /// `posix_fadvise(SEQUENTIAL)` hints delivered (non-zero only for the
@@ -208,11 +261,12 @@ struct DiskResult {
 }
 
 impl DiskResult {
+    fn engine(&self, engine: &str) -> Option<&DiskEngineResult> {
+        self.engines.iter().find(|e| e.engine == engine)
+    }
+
     fn read_calls(&self, engine: &str) -> Option<u64> {
-        self.engines
-            .iter()
-            .find(|e| e.engine == engine)
-            .map(|e| e.read_calls)
+        self.engine(engine).map(|e| e.io.read_calls)
     }
 
     fn wall_ms(&self, engine: &str) -> Option<f64> {
@@ -433,6 +487,7 @@ fn best_of_runs<T>(mut run: impl FnMut() -> Result<T, String>) -> Result<(f64, T
 fn bench_disk(
     name: &'static str,
     db: &ind_storage::Database,
+    profiles: &[AttributeProfile],
     candidates: &[Candidate],
     expected: &[Candidate],
     expected_metrics: &RunMetrics,
@@ -491,12 +546,14 @@ fn bench_disk(
             "[{name}]  disk spider_bufreader: {wall_ms:8.2} ms  read_calls={read_calls} \
              os_read_calls={os_read_calls}"
         );
+        let mut io = IoCounters::zero();
+        io.read_calls = read_calls;
         engines.push(DiskEngineResult {
             engine: "spider_bufreader",
             wall_ms,
             satisfied: satisfied.len(),
             metrics,
-            read_calls,
+            io,
             os_read_calls,
             fadvise_calls: 0,
         });
@@ -515,17 +572,18 @@ fn bench_disk(
     let mut headline: Option<DiskEngineResult> = None;
     for sweep_block in sweep_sizes {
         export.set_io_options(IoOptions::with_block_size(sweep_block));
-        let (wall_ms, (satisfied, metrics, read_calls)) = best_of_runs(|| {
+        let (wall_ms, (satisfied, metrics, io)) = best_of_runs(|| {
             export.reset_read_calls();
             let mut m = RunMetrics::new();
             let out = run_spider(&export, candidates, &mut m).map_err(|e| e.to_string())?;
             m.read_calls = export.read_calls();
-            Ok((out, m, export.read_calls()))
+            Ok((out, m, IoCounters::snapshot(&export)))
         })?;
         assert_agrees("spider_block", &satisfied, &metrics)?;
         println!(
             "[{name}]  disk spider_block block={sweep_block:>7}: {wall_ms:8.2} ms  \
-             read_calls={read_calls}"
+             read_calls={}",
+            io.read_calls
         );
         if sweep_block == block_size {
             headline = Some(DiskEngineResult {
@@ -533,8 +591,8 @@ fn bench_disk(
                 wall_ms,
                 satisfied: satisfied.len(),
                 metrics,
-                read_calls,
-                os_read_calls: read_calls,
+                io,
+                os_read_calls: io.read_calls,
                 fadvise_calls: 0,
             });
         }
@@ -542,7 +600,7 @@ fn bench_disk(
             sweep.push(SweepPoint {
                 block_size: sweep_block,
                 wall_ms,
-                read_calls,
+                read_calls: io.read_calls,
             });
         }
     }
@@ -554,26 +612,139 @@ fn bench_disk(
     // and the delivered-hint count shows the knob actually engages.
     {
         export.set_io_options(IoOptions::with_block_size(block_size).sequential(true));
-        let (wall_ms, (satisfied, metrics, read_calls, fadvise_calls)) = best_of_runs(|| {
+        let (wall_ms, (satisfied, metrics, io, fadvise_calls)) = best_of_runs(|| {
             export.reset_read_calls();
             let mut m = RunMetrics::new();
             let out = run_spider(&export, candidates, &mut m).map_err(|e| e.to_string())?;
             m.read_calls = export.read_calls();
-            Ok((out, m, export.read_calls(), export.fadvise_calls()))
+            Ok((
+                out,
+                m,
+                IoCounters::snapshot(&export),
+                export.fadvise_calls(),
+            ))
         })?;
         assert_agrees("spider_block_fadvise", &satisfied, &metrics)?;
         println!(
-            "[{name}]  disk spider_block_fadvise: {wall_ms:8.2} ms  read_calls={read_calls} \
-             fadvise_calls={fadvise_calls}"
+            "[{name}]  disk spider_block_fadvise: {wall_ms:8.2} ms  read_calls={} \
+             fadvise_calls={fadvise_calls}",
+            io.read_calls
         );
         engines.push(DiskEngineResult {
             engine: "spider_block_fadvise",
             wall_ms,
             satisfied: satisfied.len(),
             metrics,
-            read_calls,
-            os_read_calls: read_calls,
+            io,
+            os_read_calls: io.read_calls,
             fadvise_calls,
+        });
+    }
+
+    // (d) The overlapped-prefetch reader: a bounded worker thread fills
+    // block N+1 while the merge consumes block N. Results *and* engine
+    // metrics must be byte-identical to the synchronous block reader — the
+    // worker changes when blocks are read, never what they contain.
+    {
+        export.set_io_options(IoOptions::with_block_size(block_size).prefetched(true));
+        let (wall_ms, (satisfied, metrics, io)) = best_of_runs(|| {
+            export.reset_read_calls();
+            let mut m = RunMetrics::new();
+            let out = run_spider(&export, candidates, &mut m).map_err(|e| e.to_string())?;
+            m.read_calls = export.read_calls();
+            m.prefetch_hits = export.prefetch_hits();
+            m.prefetch_stalls = export.prefetch_stalls();
+            Ok((out, m, IoCounters::snapshot(&export)))
+        })?;
+        assert_agrees("spider_prefetch", &satisfied, &metrics)?;
+        println!(
+            "[{name}]  disk spider_prefetch: {wall_ms:8.2} ms  read_calls={} \
+             prefetch_hits={} prefetch_stalls={}",
+            io.read_calls, io.prefetch_hits, io.prefetch_stalls
+        );
+        engines.push(DiskEngineResult {
+            engine: "spider_prefetch",
+            wall_ms,
+            satisfied: satisfied.len(),
+            metrics,
+            io,
+            os_read_calls: io.read_calls,
+            fadvise_calls: 0,
+        });
+    }
+
+    // (e) The block reader under `O_DIRECT`: page-cache-free reads where
+    // the filesystem supports it, with the mandatory graceful fallback to
+    // buffered I/O (tmpfs, CI) — either way the run must succeed and the
+    // results stay identical.
+    {
+        export.set_io_options(IoOptions::with_block_size(block_size).direct(true));
+        let (wall_ms, (satisfied, metrics, io)) = best_of_runs(|| {
+            export.reset_read_calls();
+            let mut m = RunMetrics::new();
+            let out = run_spider(&export, candidates, &mut m).map_err(|e| e.to_string())?;
+            m.read_calls = export.read_calls();
+            m.direct_opens = export.direct_opens();
+            m.direct_fallbacks = export.direct_fallbacks();
+            Ok((out, m, IoCounters::snapshot(&export)))
+        })?;
+        assert_agrees("spider_direct", &satisfied, &metrics)?;
+        println!(
+            "[{name}]  disk spider_direct: {wall_ms:8.2} ms  read_calls={} \
+             direct_opens={} direct_fallbacks={}",
+            io.read_calls, io.direct_opens, io.direct_fallbacks
+        );
+        engines.push(DiskEngineResult {
+            engine: "spider_direct",
+            wall_ms,
+            satisfied: satisfied.len(),
+            metrics,
+            io,
+            os_read_calls: io.read_calls,
+            fadvise_calls: 0,
+        });
+    }
+
+    // (f) The shared-stream parallel engine: one physical descriptor and one
+    // sequential read stream per value file, fanned out to all partitions —
+    // instead of `spiderpar`'s k descriptors per file. Per-partition
+    // duplication makes the engine's logical counters legitimately differ
+    // from the sequential run, so only the result set is gated here; the
+    // descriptor economy shows up in `file_opens`.
+    {
+        export.set_io_options(IoOptions::with_block_size(block_size));
+        let (wall_ms, (satisfied, metrics, io)) = best_of_runs(|| {
+            export.reset_read_calls();
+            let mut m = RunMetrics::new();
+            let out = run_spider_parallel_shared(
+                &export,
+                profiles,
+                candidates,
+                SPIDERPAR_THREADS,
+                &mut m,
+            )
+            .map_err(|e| e.to_string())?;
+            m.read_calls = export.read_calls();
+            Ok((out, m, IoCounters::snapshot(&export)))
+        })?;
+        if satisfied != expected {
+            return Err(format!(
+                "[{name}] spider_shared disagrees with in-memory spider"
+            ));
+        }
+        println!(
+            "[{name}]  disk spider_shared threads={SPIDERPAR_THREADS}: {wall_ms:8.2} ms  \
+             file_opens={}",
+            io.file_opens
+        );
+        engines.push(DiskEngineResult {
+            engine: "spider_shared",
+            wall_ms,
+            satisfied: satisfied.len(),
+            metrics,
+            io,
+            os_read_calls: io.read_calls,
+            fadvise_calls: 0,
         });
     }
     export.set_io_options(IoOptions::with_block_size(block_size));
@@ -895,6 +1066,7 @@ fn bench_dataset(
     let disk = bench_disk(
         name,
         db,
+        &profiles,
         &candidates,
         &expected,
         &expected_metrics,
@@ -927,7 +1099,7 @@ fn render_json(
 ) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
-    let _ = writeln!(out, "  \"schema_version\": 3,");
+    let _ = writeln!(out, "  \"schema_version\": 4,");
     let _ = writeln!(out, "  \"harness\": \"bench_spider\",");
     let _ = writeln!(out, "  \"scale\": {scale},");
     let _ = writeln!(out, "  \"block_size\": {block_size},");
@@ -1000,9 +1172,26 @@ fn render_json(
                 "            \"comparisons\": {},",
                 e.metrics.comparisons
             );
-            let _ = writeln!(out, "            \"read_calls\": {},", e.read_calls);
+            let _ = writeln!(out, "            \"read_calls\": {},", e.io.read_calls);
             let _ = writeln!(out, "            \"os_read_calls\": {},", e.os_read_calls);
             let _ = writeln!(out, "            \"fadvise_calls\": {},", e.fadvise_calls);
+            let _ = writeln!(
+                out,
+                "            \"prefetch_hits\": {},",
+                e.io.prefetch_hits
+            );
+            let _ = writeln!(
+                out,
+                "            \"prefetch_stalls\": {},",
+                e.io.prefetch_stalls
+            );
+            let _ = writeln!(out, "            \"direct_opens\": {},", e.io.direct_opens);
+            let _ = writeln!(
+                out,
+                "            \"direct_fallbacks\": {},",
+                e.io.direct_fallbacks
+            );
+            let _ = writeln!(out, "            \"file_opens\": {},", e.io.file_opens);
             let _ = writeln!(out, "            \"satisfied\": {}", e.satisfied);
             let _ = writeln!(
                 out,
@@ -1167,6 +1356,11 @@ fn validate_json(text: &str) -> Result<(), String> {
         "\"read_calls\"",
         "\"os_read_calls\"",
         "\"fadvise_calls\"",
+        "\"prefetch_hits\"",
+        "\"prefetch_stalls\"",
+        "\"direct_opens\"",
+        "\"direct_fallbacks\"",
+        "\"file_opens\"",
         "\"block_size_sweep\"",
         "\"export\"",
         "\"sorter\"",
@@ -1238,10 +1432,19 @@ fn run() -> Result<(), String> {
         bioentries: scale * 8,
         ..Default::default()
     });
+    // The wide-values dataset: few rows, fat payloads — the export dwarfs
+    // any reasonable memory budget, driving the spill/merge and overlapped
+    // read paths with real bigger-than-budget value files.
+    let wide = generate_wide(&WideConfig {
+        rows: scale * 4,
+        value_bytes: 512,
+        seed: 42,
+    });
 
     let datasets = vec![
         bench_dataset("pdb", &pdb, block_size, memory_budget)?,
         bench_dataset("biosql", &biosql, block_size, memory_budget)?,
+        bench_dataset("wide", &wide, block_size, memory_budget)?,
     ];
     let nary = bench_nary(scale)?;
 
@@ -1357,10 +1560,10 @@ fn run() -> Result<(), String> {
                 .iter()
                 .find(|e| e.engine == "spider_block")
                 .ok_or("missing spider_block row")?;
-            if hinted.read_calls != block.read_calls {
+            if hinted.io.read_calls != block.io.read_calls {
                 return Err(format!(
                     "[{}] sequential hint changed read_calls: {} vs {}",
-                    d.name, hinted.read_calls, block.read_calls
+                    d.name, hinted.io.read_calls, block.io.read_calls
                 ));
             }
             if cfg!(all(target_os = "linux", target_pointer_width = "64"))
@@ -1369,6 +1572,57 @@ fn run() -> Result<(), String> {
                 return Err(format!(
                     "[{}] sequential hint was requested but never delivered",
                     d.name
+                ));
+            }
+            // Prefetch gate: the overlapped row must exist, its worker must
+            // actually hand blocks over (fills = hits + stalls > 0), and the
+            // consumer must not have blocked on every handover — some fills
+            // must land ahead of the merge, or the overlap buys nothing.
+            let prefetch = d
+                .disk
+                .engine("spider_prefetch")
+                .ok_or("missing spider_prefetch row")?;
+            let fills = prefetch.io.prefetch_hits + prefetch.io.prefetch_stalls;
+            if fills == 0 {
+                return Err(format!(
+                    "[{}] prefetch was requested but the worker delivered no blocks",
+                    d.name
+                ));
+            }
+            if prefetch.io.prefetch_stalls >= fills {
+                return Err(format!(
+                    "[{}] prefetch stalled on every handover ({} of {} fills) — the \
+                     worker is never ahead of the merge",
+                    d.name, prefetch.io.prefetch_stalls, fills
+                ));
+            }
+            // (No read-call identity here: the worker reads one block ahead,
+            // so an early-closed cursor can leave a speculative fill behind.)
+            // O_DIRECT gate: every open must resolve — either a genuine
+            // direct descriptor or a counted buffered fallback (tmpfs, CI).
+            // An all-zero row means the flag silently did nothing.
+            let direct = d
+                .disk
+                .engine("spider_direct")
+                .ok_or("missing spider_direct row")?;
+            if direct.io.direct_opens + direct.io.direct_fallbacks == 0 {
+                return Err(format!(
+                    "[{}] O_DIRECT was requested but neither opened nor fell back",
+                    d.name
+                ));
+            }
+            // Shared-stream gate: one physical descriptor per value file,
+            // regardless of partition count — exactly as many opens as the
+            // sequential single-cursor run.
+            let shared = d
+                .disk
+                .engine("spider_shared")
+                .ok_or("missing spider_shared row")?;
+            if shared.io.file_opens != block.io.file_opens {
+                return Err(format!(
+                    "[{}] spider_shared opened {} descriptors vs the sequential run's {} \
+                     — the shared stream is no longer one descriptor per file",
+                    d.name, shared.io.file_opens, block.io.file_opens
                 ));
             }
             // Export-phase gates: the arena sorter's in-memory path must

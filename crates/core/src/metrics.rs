@@ -50,6 +50,18 @@ pub struct RunMetrics {
     /// `value_bytes_read`: bytes measure payload, read calls measure how
     /// often the OS was asked for it.
     pub read_calls: u64,
+    /// Block handovers served instantly from the prefetch worker's filled
+    /// buffer (overlapped I/O paid off). Zero when prefetch is off or the
+    /// provider is in-memory.
+    pub prefetch_hits: u64,
+    /// Block handovers where the consumer had to block waiting for the
+    /// prefetch worker (the disk could not keep ahead of the merge).
+    pub prefetch_stalls: u64,
+    /// Value files successfully opened with `O_DIRECT`.
+    pub direct_opens: u64,
+    /// `O_DIRECT` opens that fell back to buffered I/O (filesystem or
+    /// platform without support — tmpfs, CI, non-Linux).
+    pub direct_fallbacks: u64,
     /// Cursors opened (2 per brute-force test; one per role in single-pass).
     pub cursor_opens: u64,
     /// Wall-clock time of the measured phase.
@@ -89,6 +101,10 @@ impl RunMetrics {
         self.value_bytes_read += other.value_bytes_read;
         self.comparisons += other.comparisons;
         self.read_calls += other.read_calls;
+        self.prefetch_hits += other.prefetch_hits;
+        self.prefetch_stalls += other.prefetch_stalls;
+        self.direct_opens += other.direct_opens;
+        self.direct_fallbacks += other.direct_fallbacks;
         self.cursor_opens += other.cursor_opens;
         self.elapsed += other.elapsed;
     }
@@ -100,7 +116,8 @@ impl fmt::Display for RunMetrics {
             f,
             "candidates={} (considered={}, pruned: card={}, max={}, min={}, proj={}, \
              sampling={}, inferred: sat={}, ref={}), tested={}, satisfied={}, items_read={}, \
-             value_bytes_read={}, comparisons={}, read_calls={}, cursor_opens={}, elapsed={:?}",
+             value_bytes_read={}, comparisons={}, read_calls={}, prefetch: hits={}, stalls={}, \
+             direct: opens={}, fallbacks={}, cursor_opens={}, elapsed={:?}",
             self.candidates(),
             self.pairs_considered,
             self.pruned_cardinality,
@@ -116,6 +133,10 @@ impl fmt::Display for RunMetrics {
             self.value_bytes_read,
             self.comparisons,
             self.read_calls,
+            self.prefetch_hits,
+            self.prefetch_stalls,
+            self.direct_opens,
+            self.direct_fallbacks,
             self.cursor_opens,
             self.elapsed,
         )
@@ -145,6 +166,10 @@ mod tests {
             items_read: 50,
             value_bytes_read: 300,
             read_calls: 9,
+            prefetch_hits: 4,
+            prefetch_stalls: 2,
+            direct_opens: 3,
+            direct_fallbacks: 1,
             elapsed: Duration::from_millis(7),
             ..Default::default()
         };
@@ -155,6 +180,10 @@ mod tests {
         assert_eq!(a.items_read, 150);
         assert_eq!(a.value_bytes_read, 1000);
         assert_eq!(a.read_calls, 9);
+        assert_eq!(a.prefetch_hits, 4);
+        assert_eq!(a.prefetch_stalls, 2);
+        assert_eq!(a.direct_opens, 3);
+        assert_eq!(a.direct_fallbacks, 1);
         assert_eq!(a.elapsed, Duration::from_millis(12));
         assert_eq!(a.candidates(), 13);
     }
@@ -169,5 +198,7 @@ mod tests {
         let s = m.to_string();
         assert!(s.contains("satisfied=2"));
         assert!(s.contains("considered=3"));
+        assert!(s.contains("prefetch: hits=0, stalls=0"));
+        assert!(s.contains("direct: opens=0, fallbacks=0"));
     }
 }

@@ -9,7 +9,7 @@ use crate::metrics::RunMetrics;
 use crate::pruning::{run_brute_force_with_transitivity, sampling_pretest, SamplingConfig};
 use crate::single_pass::run_single_pass;
 use crate::spider::run_spider;
-use crate::spider_parallel::run_spider_parallel;
+use crate::spider_parallel::{run_spider_parallel, run_spider_parallel_shared};
 use ind_storage::{Database, QualifiedName};
 use ind_valueset::{ExportOptions, ExportedDatabase, Result, ValueSetProvider};
 use std::path::Path;
@@ -241,7 +241,15 @@ impl IndFinder {
     /// particular the I/O block size ([`ExportOptions::with_block_size`])
     /// every value-file cursor will use. The discovery-phase `read(2)`
     /// count of the export's cursors is recorded in
-    /// [`RunMetrics::read_calls`] (export-phase reads are excluded).
+    /// [`RunMetrics::read_calls`] (export-phase reads are excluded), along
+    /// with the prefetch and direct-I/O counters when those modes are on
+    /// ([`ExportOptions::prefetched`] / [`ExportOptions::direct`]).
+    ///
+    /// [`Algorithm::SpiderParallel`] runs over the **shared per-file read
+    /// stream** ([`run_spider_parallel_shared`]) here: on disk, k partition
+    /// workers opening k descriptors per file would multiply both the
+    /// open-file footprint and the physical scan count, so one streamer per
+    /// file feeds all partitions instead.
     pub fn discover_on_disk_with(
         &self,
         db: &Database,
@@ -251,9 +259,45 @@ impl IndFinder {
         let export = ExportedDatabase::export(db, workdir, options)?;
         let profiles = profiles_from_export(&export);
         export.reset_read_calls();
-        let mut discovery = self.discover(&profiles, &export)?;
+        let mut discovery = match &self.config.algorithm {
+            Algorithm::SpiderParallel { threads } => {
+                self.discover_shared(&profiles, &export, *threads)?
+            }
+            _ => self.discover(&profiles, &export)?,
+        };
         discovery.metrics.read_calls = export.read_calls();
+        discovery.metrics.prefetch_hits = export.prefetch_hits();
+        discovery.metrics.prefetch_stalls = export.prefetch_stalls();
+        discovery.metrics.direct_opens = export.direct_opens();
+        discovery.metrics.direct_fallbacks = export.direct_fallbacks();
         Ok(discovery)
+    }
+
+    /// The [`IndFinder::discover`] flow with the testing phase routed
+    /// through [`run_spider_parallel_shared`] — only reachable for the
+    /// on-disk `SpiderParallel` path, which needs the concrete
+    /// [`ExportedDatabase`] rather than a generic provider.
+    fn discover_shared(
+        &self,
+        profiles: &[AttributeProfile],
+        export: &ExportedDatabase,
+        threads: usize,
+    ) -> Result<Discovery> {
+        let start = Instant::now();
+        let mut metrics = RunMetrics::new();
+        let mut candidates = generate_candidates(profiles, &self.config.pretests, &mut metrics);
+        if let Some(sampling) = &self.config.sampling {
+            candidates = sampling_pretest(export, &candidates, sampling, &mut metrics)?;
+        }
+        let mut satisfied =
+            run_spider_parallel_shared(export, profiles, &candidates, threads, &mut metrics)?;
+        satisfied.sort();
+        metrics.elapsed = start.elapsed();
+        Ok(Discovery {
+            profiles: profiles.to_vec(),
+            satisfied,
+            metrics,
+        })
     }
 }
 
@@ -383,6 +427,38 @@ mod tests {
             read_calls.windows(2).all(|w| w[0] >= w[1]),
             "read calls must not grow with block size: {read_calls:?}"
         );
+    }
+
+    #[test]
+    fn on_disk_spider_parallel_routes_through_the_shared_stream() {
+        let db = sample_db();
+        let finder = IndFinder::with_algorithm(Algorithm::SpiderParallel { threads: 4 });
+        let mem = finder.discover_in_memory(&db).unwrap();
+        for (prefetch, direct) in [(false, false), (true, false), (true, true)] {
+            let dir = TempDir::new("runner-shared");
+            let options = ExportOptions::with_threads(4)
+                .prefetched(prefetch)
+                .direct(direct);
+            let disk = finder
+                .discover_on_disk_with(&db, dir.path(), &options)
+                .unwrap();
+            assert_eq!(
+                disk.satisfied, mem.satisfied,
+                "prefetch={prefetch} direct={direct}"
+            );
+            if prefetch {
+                assert!(
+                    disk.metrics.prefetch_hits + disk.metrics.prefetch_stalls > 0,
+                    "prefetch handovers must be counted"
+                );
+            }
+            if direct {
+                assert!(
+                    disk.metrics.direct_opens + disk.metrics.direct_fallbacks > 0,
+                    "direct opens must be accounted one way or the other"
+                );
+            }
+        }
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //!
 //! Beyond the paper's three: [`generate_chains`] is a PDB-chain-shaped
 //! schema with a genuine composite `(pdb_code, chain_id)` foreign key —
-//! the gold standard the n-ary discovery pipeline evaluates against.
+//! the gold standard the n-ary discovery pipeline evaluates against — and
+//! [`generate_wide`] produces few columns with *fat* values, making a
+//! small row count exceed any reasonable sort budget (the bigger-than-RAM
+//! stressor for the overlapped-I/O disk pipeline).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -21,12 +24,14 @@ mod chains;
 mod openmms;
 mod pools;
 mod scop;
+mod wide;
 
 pub use biosql::{generate_uniprot, BiosqlConfig};
 pub use chains::{generate_chains, ChainsConfig};
 pub use openmms::{generate_pdb, OpenMmsConfig};
 pub use pools::ValuePools;
 pub use scop::{generate_scop, ScopConfig};
+pub use wide::{generate_wide, WideConfig};
 
 use ind_storage::Database;
 

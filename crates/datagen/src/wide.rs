@@ -1,0 +1,182 @@
+//! Wide-value generator: few columns, *fat* values — the bigger-than-RAM
+//! stressor for the disk pipeline.
+//!
+//! The biology-shaped generators produce many narrow attributes; this one
+//! inverts the shape so a modest row count yields value files far larger
+//! than any reasonable sort budget, forcing the export sorter to spill and
+//! the discovery cursors to stream:
+//!
+//! * `blob_store(key¹, payload)` — one row per blob; `payload` is a
+//!   distinct `value_bytes`-byte string, so the exported value file weighs
+//!   roughly `rows × value_bytes` on its own;
+//! * `blob_ref(key, note)` — references a strict subset of the store keys:
+//!   the **gold FK** `blob_ref.key ⊆ blob_store.key` with no reverse
+//!   inclusion.
+//!
+//! Payloads live in their own value space (a `W:`-prefixed format no key
+//! shares), so the expected unary IND set is exactly the declared FK.
+
+use crate::OrAbort;
+use ind_storage::{ColumnSchema, DataType, Database, Table, TableSchema};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the wide-value generator.
+#[derive(Debug, Clone)]
+pub struct WideConfig {
+    /// Number of `blob_store` rows (`blob_ref` scales from it).
+    pub rows: usize,
+    /// Bytes per `payload` value. The exported payload file weighs about
+    /// `rows × value_bytes`; pick the product larger than the sort budget
+    /// to force spills.
+    pub value_bytes: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WideConfig {
+    fn default() -> Self {
+        WideConfig {
+            rows: 400,
+            value_bytes: 4096,
+            seed: 42,
+        }
+    }
+}
+
+impl WideConfig {
+    /// A fast configuration for unit tests.
+    pub fn tiny() -> Self {
+        WideConfig {
+            rows: 32,
+            value_bytes: 64,
+            ..Default::default()
+        }
+    }
+}
+
+fn key(i: usize) -> String {
+    format!("K{i:08}")
+}
+
+/// A distinct `value_bytes`-byte payload: a row-unique prefix followed by
+/// seeded random lowercase filler (incompressible enough that the on-disk
+/// size is honest).
+fn payload(i: usize, value_bytes: usize, rng: &mut StdRng) -> String {
+    let mut out = String::with_capacity(value_bytes.max(16));
+    out.push_str(&format!("W:{i:08}:"));
+    while out.len() < value_bytes {
+        out.push(char::from(rng.gen_range(b'a'..=b'z')));
+    }
+    out
+}
+
+/// Generates the wide-value database.
+pub fn generate_wide(cfg: &WideConfig) -> Database {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let rows = cfg.rows.max(4);
+    let mut db = Database::new("wide");
+
+    let mut store = Table::new(
+        TableSchema::new(
+            "blob_store",
+            vec![
+                ColumnSchema::new("key", DataType::Text).not_null().unique(),
+                ColumnSchema::new("payload", DataType::Text).not_null(),
+            ],
+        )
+        .or_abort("blob_store schema"),
+    );
+    for i in 0..rows {
+        store
+            .insert(vec![
+                key(i).into(),
+                payload(i, cfg.value_bytes, &mut rng).into(),
+            ])
+            .or_abort("blob_store row");
+    }
+
+    // blob_ref draws from a strict subset of the store keys (the last key
+    // is withheld), so the FK holds while no reverse inclusion appears.
+    let mut ref_schema = TableSchema::new(
+        "blob_ref",
+        vec![
+            ColumnSchema::new("key", DataType::Text).not_null(),
+            ColumnSchema::new("note", DataType::Integer),
+        ],
+    )
+    .or_abort("blob_ref schema");
+    ref_schema
+        .add_foreign_key("key", "blob_store", "key")
+        .or_abort("blob_ref fk");
+    let mut blob_ref = Table::new(ref_schema);
+    let pool = rows - 1;
+    for i in 0..rows * 2 {
+        // Cycle through the pool first so its coverage is exact, then
+        // random draws add skew.
+        let k = if i < pool { i } else { rng.gen_range(0..pool) };
+        blob_ref
+            .insert(vec![key(k).into(), (1_000_000 + i as i64).into()])
+            .or_abort("blob_ref row");
+    }
+
+    db.add_table(store).or_abort("blob_store");
+    db.add_table(blob_ref).or_abort("blob_ref");
+    db.validate_foreign_keys().or_abort("declared keys resolve");
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ind_storage::{QualifiedName, Value};
+    use std::collections::HashSet;
+
+    fn column_set(db: &Database, table: &str, column: &str) -> HashSet<String> {
+        db.column(&QualifiedName::new(table, column))
+            .unwrap()
+            .iter()
+            .map(Value::to_string)
+            .collect()
+    }
+
+    #[test]
+    fn fk_holds_with_no_reverse_inclusion() {
+        let db = generate_wide(&WideConfig::tiny());
+        let store = column_set(&db, "blob_store", "key");
+        let refs = column_set(&db, "blob_ref", "key");
+        assert!(refs.is_subset(&store), "gold FK must hold");
+        assert!(refs.len() < store.len(), "no reverse inclusion");
+        assert_eq!(db.gold_foreign_keys().len(), 1);
+    }
+
+    #[test]
+    fn payloads_are_wide_distinct_and_disjoint_from_keys() {
+        let cfg = WideConfig::tiny();
+        let db = generate_wide(&cfg);
+        let payloads = column_set(&db, "blob_store", "payload");
+        let keys = column_set(&db, "blob_store", "key");
+        assert_eq!(payloads.len(), keys.len(), "payloads must be distinct");
+        assert!(payloads.iter().all(|p| p.len() >= cfg.value_bytes));
+        assert!(payloads.iter().all(|p| p.starts_with("W:")));
+        assert!(payloads.is_disjoint(&keys));
+    }
+
+    #[test]
+    fn generator_is_deterministic_and_scales_by_bytes() {
+        let a = generate_wide(&WideConfig::tiny());
+        let b = generate_wide(&WideConfig::tiny());
+        assert_eq!(
+            a.table("blob_store").unwrap().row(3),
+            b.table("blob_store").unwrap().row(3)
+        );
+        let fat = generate_wide(&WideConfig {
+            value_bytes: 256,
+            ..WideConfig::tiny()
+        });
+        let fat_payload = fat
+            .column(&QualifiedName::new("blob_store", "payload"))
+            .unwrap();
+        assert!(fat_payload.iter().all(|v| v.to_string().len() >= 256));
+    }
+}

@@ -206,8 +206,7 @@ impl ValueFileReader {
         stats: Option<ReadStats>,
     ) -> Result<Self> {
         let guard = budget.map(FileBudget::acquire).transpose()?;
-        let file = std::fs::File::open(path)?;
-        let input = BlockReader::new(file, options, stats);
+        let input = BlockReader::open_path(path, options, stats, None)?;
         Self::from_block_reader(input, path, guard)
     }
 
@@ -223,8 +222,7 @@ impl ValueFileReader {
         file_bytes: u64,
     ) -> Result<Self> {
         let guard = budget.map(FileBudget::acquire).transpose()?;
-        let file = std::fs::File::open(path)?;
-        let input = BlockReader::with_size_hint(file, options, stats, file_bytes);
+        let input = BlockReader::open_path(path, options, stats, Some(file_bytes))?;
         Self::from_block_reader(input, path, guard)
     }
 
@@ -617,16 +615,19 @@ mod tests {
         write_value_file(&full, &values).unwrap();
         let data = std::fs::read(&full).unwrap();
         for block_size in [1usize, 5, 16, 64, 8192] {
-            let options = IoOptions::with_block_size(block_size);
-            for cut in HEADER_LEN..data.len() {
-                let path = dir.join("cut.indv");
-                std::fs::write(&path, &data[..cut]).unwrap();
-                let drained =
-                    ValueFileReader::open_with_options(&path, &options).and_then(collect_cursor);
-                assert!(
-                    matches!(drained, Err(ValueSetError::Corrupt { .. })),
-                    "cut at {cut} (block {block_size}) must be Corrupt, got {drained:?}"
-                );
+            for prefetch in [false, true] {
+                let options = IoOptions::with_block_size(block_size).prefetched(prefetch);
+                for cut in HEADER_LEN..data.len() {
+                    let path = dir.join("cut.indv");
+                    std::fs::write(&path, &data[..cut]).unwrap();
+                    let drained = ValueFileReader::open_with_options(&path, &options)
+                        .and_then(collect_cursor);
+                    assert!(
+                        matches!(drained, Err(ValueSetError::Corrupt { .. })),
+                        "cut at {cut} (block {block_size}, prefetch {prefetch}) \
+                         must be Corrupt, got {drained:?}"
+                    );
+                }
             }
         }
     }

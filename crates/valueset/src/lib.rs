@@ -21,6 +21,7 @@ mod format;
 mod heap;
 mod manager;
 mod memory;
+mod prefetch;
 mod range;
 mod tuple;
 
@@ -40,5 +41,6 @@ pub use manager::{
     CompositeExport, ExportOptions, ExportedAttribute, ExportedComposite, ExportedDatabase,
 };
 pub use memory::{MemoryCursor, MemoryProvider, MemoryValueSet};
+pub use prefetch::{PartitionCursor, SharedShard, SharedStreamProvider};
 pub use range::{RangeCursor, RangeProvider};
 pub use tuple::{decode_tuple, encode_tuple, encode_tuple_into, tuple_arity};

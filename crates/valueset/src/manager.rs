@@ -60,6 +60,20 @@ impl ExportOptions {
         }
     }
 
+    /// Builder toggle for overlapped prefetch on every cursor the export
+    /// (and the resulting database) opens. See [`IoOptions::prefetch`].
+    pub fn prefetched(mut self, prefetch: bool) -> Self {
+        self.sort.io.prefetch = prefetch;
+        self
+    }
+
+    /// Builder toggle for `O_DIRECT` opens (graceful fallback included).
+    /// See [`IoOptions::direct_io`].
+    pub fn direct(mut self, direct_io: bool) -> Self {
+        self.sort.io.direct_io = direct_io;
+        self
+    }
+
     /// The I/O options every value file of this export uses.
     pub fn io(&self) -> &IoOptions {
         &self.sort.io
@@ -283,6 +297,39 @@ impl ExportedDatabase {
     /// [`IoOptions::sequential_hint`]).
     pub fn fadvise_calls(&self) -> u64 {
         self.read_stats.fadvise_calls()
+    }
+
+    /// Prefetch fills served from an already-delivered block (see
+    /// [`ReadStats::prefetch_hits`]).
+    pub fn prefetch_hits(&self) -> u64 {
+        self.read_stats.prefetch_hits()
+    }
+
+    /// Prefetch fills that had to wait for the worker (see
+    /// [`ReadStats::prefetch_stalls`]).
+    pub fn prefetch_stalls(&self) -> u64 {
+        self.read_stats.prefetch_stalls()
+    }
+
+    /// Cursors successfully opened with `O_DIRECT`.
+    pub fn direct_opens(&self) -> u64 {
+        self.read_stats.direct_opens()
+    }
+
+    /// `O_DIRECT` opens that gracefully fell back to buffered I/O.
+    pub fn direct_fallbacks(&self) -> u64 {
+        self.read_stats.direct_fallbacks()
+    }
+
+    /// Physical descriptors opened for value data since the last reset.
+    pub fn file_opens(&self) -> u64 {
+        self.read_stats.file_opens()
+    }
+
+    /// A handle on the shared counters themselves (for the shared-stream
+    /// provider's worker threads).
+    pub(crate) fn read_stats(&self) -> ReadStats {
+        self.read_stats.clone()
     }
 }
 

@@ -1,0 +1,833 @@
+//! Overlapped I/O: prefetch workers and the shared per-file read stream.
+//!
+//! Two producer/consumer pipelines built on the same bounded-channel
+//! discipline (vendored crossbeam channels):
+//!
+//! * **Prefetch** ([`PrefetchReader`]) — when [`crate::IoOptions::prefetch`]
+//!   is set, every [`crate::BlockReader`] opened by path hands its
+//!   descriptor to a background worker that keeps the *next* block in
+//!   flight while the engine consumes the current one. The handover is a
+//!   whole-block buffer swap (the consumer's spent block travels back on a
+//!   recycle channel), so the steady state allocates nothing and copies
+//!   nothing. Fills served without waiting count as
+//!   [`crate::ReadStats::prefetch_hits`]; fills that had to block for the
+//!   worker count as [`crate::ReadStats::prefetch_stalls`]. Results are
+//!   byte-identical to the synchronous path on every input — including
+//!   truncated and corrupt files, whose errors surface on the consumer
+//!   side with no hang and no partial record.
+//!
+//! * **Shared stream** ([`SharedStreamProvider`]) — partitioned SPIDER
+//!   (`spiderpar`) used to open `k` independent descriptors per value
+//!   file, one per partition, each reading the whole file and discarding
+//!   everything outside its range. Because value files are sorted, the
+//!   `k` partition ranges are *contiguous* in the file, so one physical
+//!   reader per file can stream each partition its slice in order: a
+//!   streamer thread parses records once and fans whole-record chunks out
+//!   to per-partition bounded channels ([`PartitionCursor`]). Exactly one
+//!   descriptor per file is opened regardless of `k` (observable via
+//!   [`crate::ReadStats::file_opens`]).
+//!
+//! Deadlock freedom of the fan-out: a streamer produces partition ranges
+//! in ascending order and only ever blocks sending to the *lowest*
+//! unfinished partition, while partition 0's consumers never wait on any
+//! other partition — so every wait chain strictly decreases in partition
+//! index and terminates. Dropping a cursor early (SPIDER refutes most
+//! streams quickly) disconnects its channel; the streamer skips that
+//! partition's bytes and moves on, and exits entirely once every
+//! partition is finished or abandoned.
+
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crossbeam::channel::{self, Receiver, Sender, TryRecvError};
+
+use crate::block::{PhysicalFile, ReadStats, INITIAL_READAHEAD};
+use crate::cursor::{ValueCursor, ValueSetProvider};
+use crate::error::{Result, ValueSetError};
+use crate::format::ValueFileReader;
+use crate::manager::ExportedDatabase;
+use crate::IoOptions;
+
+/// Blocks in flight between a prefetch worker and its consumer: one in
+/// the channel, one being consumed, one being filled — classic double
+/// buffering with a single-slot mailbox.
+const DATA_SLOTS: usize = 1;
+
+/// Spent buffers queued back to the worker. At most two are ever in
+/// flight (produced minus consumed), so four slots guarantee the consumer
+/// never blocks recycling.
+const RECYCLE_SLOTS: usize = 4;
+
+/// Target chunk size of the shared stream's fan-out (capped at the file
+/// size for small files). Chunks always end on record boundaries.
+const STREAM_CHUNK_BYTES: usize = 64 * 1024;
+
+/// Chunks buffered per partition channel of a shared stream.
+const STREAM_SLOTS: usize = 2;
+
+/// Record framing inside stream chunks: a little-endian `u32` length
+/// prefix, mirroring the value-file layout.
+const LEN_PREFIX: usize = 4;
+
+// ---------------------------------------------------------------------
+// Prefetch: one worker per reader, double-buffered block handover.
+// ---------------------------------------------------------------------
+
+enum WorkerMsg {
+    /// A filled block (never empty).
+    Chunk(Vec<u8>),
+    /// Clean end of file; the worker has exited.
+    Eof,
+    /// Read failure; the worker has exited.
+    Err(std::io::Error),
+}
+
+/// Consumer half of a prefetch pipeline: feeds a [`crate::BlockReader`]
+/// from blocks a worker thread reads ahead of time.
+///
+/// The worker owns the file descriptor and is detached: it exits on EOF,
+/// on a read error, or as soon as a send fails because this half was
+/// dropped (the bounded channel wakes blocked senders on receiver drop),
+/// so an early-closed cursor never wedges or leaks a busy thread.
+pub(crate) struct PrefetchReader {
+    data: Receiver<WorkerMsg>,
+    recycle: Sender<Vec<u8>>,
+    /// The block currently being consumed, and the copy-out cursor into it.
+    pending: Vec<u8>,
+    pos: usize,
+    done: bool,
+    stats: Option<ReadStats>,
+}
+
+impl std::fmt::Debug for PrefetchReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PrefetchReader")
+            .field("pending", &self.pending.len())
+            .field("pos", &self.pos)
+            .field("done", &self.done)
+            .finish()
+    }
+}
+
+impl PrefetchReader {
+    /// Moves `file` to a new worker thread that reads ahead in chunks of
+    /// the worker's own adaptive readahead (starting at
+    /// [`INITIAL_READAHEAD`], doubling per fill, capped at `cap` — the
+    /// consumer's block capacity, so adopted blocks always fit). The
+    /// worker bumps the shared `read(2)` counter for every read it
+    /// issues.
+    pub(crate) fn spawn(file: PhysicalFile, cap: usize, stats: Option<ReadStats>) -> Self {
+        let (data_tx, data_rx) = channel::bounded(DATA_SLOTS);
+        let (recycle_tx, recycle_rx) = channel::bounded(RECYCLE_SLOTS);
+        // lint: allow(hot_alloc) — once per open: the worker needs its own handle on the shared counters
+        let worker_stats = stats.clone();
+        std::thread::spawn(move || fill_loop(file, cap, worker_stats, data_tx, recycle_rx));
+        PrefetchReader {
+            data: data_rx,
+            recycle: recycle_tx,
+            // lint: allow(hot_alloc) — once per open: an empty placeholder, replaced by the first block swap
+            pending: Vec::new(),
+            pos: 0,
+            done: false,
+            stats,
+        }
+    }
+
+    /// Serves a [`crate::BlockReader`] fill: appends up to `want` bytes to
+    /// `buf` — or, when `buf` is fully consumed, swaps the worker's whole
+    /// block in for free. Returns the bytes delivered; `Ok(0)` only at
+    /// end of file. Every block handover is counted as a prefetch hit
+    /// (block was already waiting) or stall (had to block for the
+    /// worker).
+    pub(crate) fn fill(&mut self, buf: &mut Vec<u8>, want: usize) -> std::io::Result<usize> {
+        if self.pos == self.pending.len() {
+            if self.done {
+                return Ok(0);
+            }
+            let msg = match self.data.try_recv() {
+                Ok(msg) => {
+                    if let Some(stats) = &self.stats {
+                        stats.bump_prefetch_hit();
+                    }
+                    msg
+                }
+                Err(TryRecvError::Empty) => {
+                    if let Some(stats) = &self.stats {
+                        stats.bump_prefetch_stall();
+                    }
+                    match self.data.recv() {
+                        Ok(msg) => msg,
+                        Err(channel::RecvError) => return Err(worker_vanished()),
+                    }
+                }
+                Err(TryRecvError::Disconnected) => return Err(worker_vanished()),
+            };
+            match msg {
+                WorkerMsg::Chunk(chunk) => {
+                    let spent = std::mem::replace(&mut self.pending, chunk);
+                    self.pos = 0;
+                    // lint: allow(swallowed_result) — worker already exited (EOF or error): the spent buffer just drops
+                    let _ = self.recycle.send(spent);
+                }
+                WorkerMsg::Eof => {
+                    self.done = true;
+                    return Ok(0);
+                }
+                WorkerMsg::Err(e) => {
+                    self.done = true;
+                    return Err(e);
+                }
+            }
+        }
+        if buf.is_empty() && self.pos == 0 {
+            // Whole-block adoption: the consumer's spent buffer and the
+            // worker's filled block trade places — no copy. The spent
+            // buffer rides back to the worker on the next handover.
+            std::mem::swap(buf, &mut self.pending);
+            return Ok(buf.len());
+        }
+        let n = want.min(self.pending.len() - self.pos);
+        buf.extend_from_slice(&self.pending[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+fn worker_vanished() -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::UnexpectedEof,
+        "prefetch worker terminated unexpectedly",
+    )
+}
+
+/// The prefetch worker: reads ahead at its own adaptive pace, recycling
+/// the consumer's spent buffers so the steady state is allocation-free.
+fn fill_loop(
+    mut file: PhysicalFile,
+    cap: usize,
+    stats: Option<ReadStats>,
+    data: Sender<WorkerMsg>,
+    recycle: Receiver<Vec<u8>>,
+) {
+    use std::io::Read;
+    let cap = cap.max(1);
+    let mut readahead = INITIAL_READAHEAD.clamp(1, cap);
+    loop {
+        let mut buf = recycle.try_recv().unwrap_or_default();
+        buf.clear();
+        let want = readahead as u64;
+        readahead = (readahead * 2).min(cap);
+        let outcome = (&mut file).take(want).read_to_end(&mut buf);
+        if let Some(stats) = &stats {
+            stats.bump();
+        }
+        match outcome {
+            Err(e) => {
+                // lint: allow(swallowed_result) — send fails only when the consumer is gone: no one left to tell
+                let _ = data.send(WorkerMsg::Err(e));
+                return;
+            }
+            Ok(0) => {
+                // lint: allow(swallowed_result) — send fails only when the consumer is gone: no one left to tell
+                let _ = data.send(WorkerMsg::Eof);
+                return;
+            }
+            Ok(_) => {
+                if data.send(WorkerMsg::Chunk(buf)).is_err() {
+                    return; // consumer dropped the reader mid-stream
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared stream: one physical reader per file, fanned out to partitions.
+// ---------------------------------------------------------------------
+
+enum StreamMsg {
+    /// Whole records (length-prefixed), never splitting a record.
+    Chunk(Vec<u8>),
+    /// This partition's range is complete.
+    Done,
+    /// The stream failed; the detail is the stringified read error.
+    Failed(String),
+}
+
+/// A cursor over one partition's contiguous slice of a shared file
+/// stream. Implements [`ValueCursor`], so partitioned SPIDER consumes it
+/// exactly like a private [`ValueFileReader`] — typically wrapped in a
+/// [`crate::RangeCursor`] as a defensive range clamp.
+///
+/// [`ValueCursor::remaining`] is an upper bound (the file's total
+/// cardinality minus values produced here): a partition does not know its
+/// own share ahead of time. `advance` remains exact; the engines this
+/// feeds only rely on `remaining` reaching zero no later than the stream.
+pub struct PartitionCursor {
+    rx: Receiver<StreamMsg>,
+    /// The backing file's display path, for error context.
+    context: String,
+    chunk: Vec<u8>,
+    pos: usize,
+    cur_offset: usize,
+    cur_len: usize,
+    total: u64,
+    produced: u64,
+    done: bool,
+}
+
+impl PartitionCursor {
+    fn stream_corrupt(&self, detail: String) -> ValueSetError {
+        ValueSetError::Corrupt {
+            // lint: allow(hot_alloc) — cold error path
+            context: self.context.clone(),
+            detail,
+        }
+    }
+}
+
+impl ValueCursor for PartitionCursor {
+    fn advance(&mut self) -> Result<bool> {
+        if self.done {
+            return Ok(false);
+        }
+        if self.pos == self.chunk.len() {
+            match self.rx.recv() {
+                Ok(StreamMsg::Chunk(chunk)) => {
+                    self.chunk = chunk;
+                    self.pos = 0;
+                }
+                Ok(StreamMsg::Done) => {
+                    self.done = true;
+                    return Ok(false);
+                }
+                Ok(StreamMsg::Failed(detail)) => {
+                    self.done = true;
+                    return Err(self.stream_corrupt(detail));
+                }
+                Err(channel::RecvError) => {
+                    self.done = true;
+                    return Err(
+                        self.stream_corrupt("shared stream worker terminated unexpectedly".into())
+                    );
+                }
+            }
+        }
+        let rest = &self.chunk[self.pos..];
+        if rest.len() < LEN_PREFIX {
+            return Err(self.stream_corrupt("stream chunk split a length prefix".into()));
+        }
+        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+        if rest.len() < LEN_PREFIX + len {
+            return Err(self.stream_corrupt("stream chunk split a record".into()));
+        }
+        self.cur_offset = self.pos + LEN_PREFIX;
+        self.cur_len = len;
+        self.pos += LEN_PREFIX + len;
+        self.produced += 1;
+        Ok(true)
+    }
+
+    fn current(&self) -> &[u8] {
+        &self.chunk[self.cur_offset..self.cur_offset + self.cur_len]
+    }
+
+    fn remaining(&self) -> u64 {
+        if self.done {
+            0
+        } else {
+            self.total.saturating_sub(self.produced)
+        }
+    }
+
+    fn len(&self) -> u64 {
+        self.total
+    }
+}
+
+/// The per-file streamer's fan-out targets: senders become `None` once
+/// their partition is finished (`Done` sent) or abandoned (receiver
+/// dropped), and the streamer exits when none are left.
+struct Fanout {
+    senders: Vec<Option<Sender<StreamMsg>>>,
+    alive: usize,
+}
+
+impl Fanout {
+    fn new(senders: Vec<Option<Sender<StreamMsg>>>) -> Fanout {
+        let alive = senders.len();
+        Fanout { senders, alive }
+    }
+
+    fn is_open(&self, p: usize) -> bool {
+        self.senders[p].is_some()
+    }
+
+    fn send_chunk(&mut self, p: usize, chunk: Vec<u8>) {
+        if let Some(tx) = &self.senders[p] {
+            if tx.send(StreamMsg::Chunk(chunk)).is_err() {
+                // Receiver dropped: the partition closed its cursor early.
+                self.senders[p] = None;
+                self.alive -= 1;
+            }
+        }
+    }
+
+    fn close(&mut self, p: usize) {
+        if let Some(tx) = self.senders[p].take() {
+            self.alive -= 1;
+            // lint: allow(swallowed_result) — a dropped receiver needs no Done marker
+            let _ = tx.send(StreamMsg::Done);
+        }
+    }
+
+    /// Fails every still-open partition from `p` on. Earlier partitions
+    /// already received their complete range and a `Done`.
+    fn fail_from(&mut self, p: usize, detail: &str) {
+        for q in p..self.senders.len() {
+            if let Some(tx) = self.senders[q].take() {
+                self.alive -= 1;
+                // lint: allow(swallowed_result) — a dropped receiver needs no failure marker
+                let _ = tx.send(StreamMsg::Failed(detail.to_string())); // lint: allow(hot_alloc) — cold error path
+            }
+        }
+    }
+}
+
+/// Everything a streamer thread owns, so it is `'static` and detached:
+/// it exits on EOF, on error, or as soon as every partition is finished
+/// or abandoned (all sends fail once the provider is dropped).
+struct StreamerTask {
+    path: PathBuf,
+    io: IoOptions,
+    stats: Option<ReadStats>,
+    file_bytes: u64,
+    boundaries: Arc<Vec<Vec<u8>>>,
+    fanout: Fanout,
+}
+
+fn run_streamer(task: StreamerTask) {
+    let StreamerTask {
+        path,
+        io,
+        stats,
+        file_bytes,
+        boundaries,
+        mut fanout,
+    } = task;
+    let reader = ValueFileReader::open_sized(&path, &io, None, stats, file_bytes);
+    let mut reader = match reader {
+        Ok(reader) => reader,
+        Err(e) => {
+            // lint: allow(hot_alloc) — cold error path
+            fanout.fail_from(0, &e.to_string());
+            return;
+        }
+    };
+    let chunk_cap =
+        STREAM_CHUNK_BYTES.min(usize::try_from(file_bytes).unwrap_or(usize::MAX).max(64));
+    let mut staging: Vec<u8> = Vec::with_capacity(chunk_cap);
+    let mut p = 0usize;
+    loop {
+        match reader.advance() {
+            Err(e) => {
+                // Staged-but-unflushed records are dropped on purpose: the
+                // consumer must see the failure, never a partial stream
+                // that looks complete.
+                // lint: allow(hot_alloc) — cold error path
+                fanout.fail_from(p, &e.to_string());
+                return;
+            }
+            Ok(false) => {
+                flush(&mut fanout, p, &mut staging, chunk_cap);
+                for q in p..boundaries.len() + 1 {
+                    fanout.close(q);
+                }
+                return;
+            }
+            Ok(true) => {
+                let value = reader.current();
+                while p < boundaries.len() && value >= boundaries[p].as_slice() {
+                    flush(&mut fanout, p, &mut staging, chunk_cap);
+                    fanout.close(p);
+                    p += 1;
+                }
+                if fanout.is_open(p) {
+                    let len = value.len() as u32;
+                    staging.extend_from_slice(&len.to_le_bytes());
+                    staging.extend_from_slice(value);
+                    if staging.len() >= chunk_cap {
+                        flush(&mut fanout, p, &mut staging, chunk_cap);
+                    }
+                } else {
+                    staging.clear();
+                }
+                if fanout.alive == 0 {
+                    return; // every partition finished or abandoned
+                }
+            }
+        }
+    }
+}
+
+fn flush(fanout: &mut Fanout, p: usize, staging: &mut Vec<u8>, chunk_cap: usize) {
+    if staging.is_empty() || !fanout.is_open(p) {
+        staging.clear();
+        return;
+    }
+    let chunk = std::mem::replace(staging, Vec::with_capacity(chunk_cap));
+    fanout.send_chunk(p, chunk);
+}
+
+/// One shared physical read stream per value file, fanned out to `k`
+/// range partitions.
+///
+/// Built over an [`ExportedDatabase`] and the same partition boundaries
+/// the partitioned SPIDER engine uses: partition `p` covers values in
+/// `[boundaries[p-1], boundaries[p])` (unbounded at the ends). The first
+/// [`SharedShard::open`] of an attribute lazily spawns that file's
+/// streamer thread; each partition's cursor can be taken exactly once.
+pub struct SharedStreamProvider<'e> {
+    export: &'e ExportedDatabase,
+    boundaries: Arc<Vec<Vec<u8>>>,
+    partitions: usize,
+    slots: Mutex<Vec<Vec<Option<PartitionCursor>>>>,
+}
+
+impl<'e> SharedStreamProvider<'e> {
+    /// A provider over `export` with the given range boundaries
+    /// (`boundaries.len() + 1` partitions).
+    pub fn new(export: &'e ExportedDatabase, boundaries: Vec<Vec<u8>>) -> Self {
+        let partitions = boundaries.len() + 1;
+        let mut slots = Vec::with_capacity(export.attributes().len());
+        for _ in 0..export.attributes().len() {
+            // lint: allow(hot_alloc) — once per provider: empty lazy slot, filled on first open
+            slots.push(Vec::new());
+        }
+        SharedStreamProvider {
+            export,
+            boundaries: Arc::new(boundaries),
+            partitions,
+            slots: Mutex::new(slots),
+        }
+    }
+
+    /// Number of range partitions this provider fans out to.
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    /// The provider view of one partition.
+    pub fn shard(&self, partition: usize) -> SharedShard<'_, 'e> {
+        SharedShard {
+            provider: self,
+            partition,
+        }
+    }
+
+    fn open_partition(&self, id: u32, partition: usize) -> Result<PartitionCursor> {
+        let mut slots = lock(&self.slots);
+        let attr_slots = slots
+            .get_mut(id as usize)
+            .ok_or(ValueSetError::UnknownAttribute(id))?;
+        if attr_slots.is_empty() {
+            *attr_slots = self.spawn_stream(id)?;
+        }
+        attr_slots[partition]
+            .take()
+            .ok_or_else(|| ValueSetError::Corrupt {
+                // lint: allow(hot_alloc) — cold error path
+                context: format!("shared stream for attribute {id}"),
+                // lint: allow(hot_alloc) — cold error path
+                detail: format!("partition {partition} cursor was already taken"),
+            })
+    }
+
+    fn spawn_stream(&self, id: u32) -> Result<Vec<Option<PartitionCursor>>> {
+        let attr = self
+            .export
+            .attribute(id)
+            .ok_or(ValueSetError::UnknownAttribute(id))?;
+        let mut senders = Vec::with_capacity(self.partitions);
+        let mut cursors = Vec::with_capacity(self.partitions);
+        for _ in 0..self.partitions {
+            let (tx, rx) = channel::bounded(STREAM_SLOTS);
+            senders.push(Some(tx));
+            cursors.push(Some(PartitionCursor {
+                rx,
+                // lint: allow(hot_alloc) — once per stream: error context for the cursor's lifetime
+                context: attr.path.display().to_string(),
+                // lint: allow(hot_alloc) — once per stream: replaced by the first streamed chunk
+                chunk: Vec::new(),
+                pos: 0,
+                cur_offset: 0,
+                cur_len: 0,
+                total: attr.distinct,
+                produced: 0,
+                done: false,
+            }));
+        }
+        let task = StreamerTask {
+            // lint: allow(hot_alloc) — once per stream: the detached streamer must own its inputs
+            path: attr.path.clone(),
+            // lint: allow(hot_alloc) — once per stream: the detached streamer must own its inputs
+            io: self.export.io_options().clone(),
+            stats: Some(self.export.read_stats()),
+            file_bytes: attr.file_bytes,
+            boundaries: Arc::clone(&self.boundaries),
+            fanout: Fanout::new(senders),
+        };
+        std::thread::spawn(move || run_streamer(task));
+        Ok(cursors)
+    }
+}
+
+/// One partition's [`ValueSetProvider`] view of a [`SharedStreamProvider`].
+pub struct SharedShard<'p, 'e> {
+    provider: &'p SharedStreamProvider<'e>,
+    partition: usize,
+}
+
+impl ValueSetProvider for SharedShard<'_, '_> {
+    type Cursor = PartitionCursor;
+
+    fn open(&self, id: u32) -> Result<PartitionCursor> {
+        self.provider.open_partition(id, self.partition)
+    }
+
+    fn attribute_count(&self) -> usize {
+        self.provider.export.attributes().len()
+    }
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A poisoned slot table only means another partition's open panicked;
+    // the cursors themselves stay coherent (each is taken at most once).
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cursor::collect_cursor;
+    use crate::format::write_value_file;
+    use crate::manager::{ExportOptions, ExportedDatabase};
+    use ind_storage::{ColumnSchema, DataType, Database, Table, TableSchema};
+    use ind_testkit::TempDir;
+
+    fn sample_export(dir: &std::path::Path, io: IoOptions) -> ExportedDatabase {
+        let mut db = Database::new("prefetch-test");
+        let mut t = Table::new(
+            TableSchema::new(
+                "t",
+                vec![
+                    ColumnSchema::new("id", DataType::Integer)
+                        .not_null()
+                        .unique(),
+                    ColumnSchema::new("label", DataType::Text),
+                ],
+            )
+            .unwrap(),
+        );
+        for i in 0..200i64 {
+            t.insert(vec![i.into(), format!("label-{:03}", i % 37).into()])
+                .unwrap();
+        }
+        db.add_table(t).unwrap();
+        let mut options = ExportOptions::default();
+        options.sort.io = io;
+        ExportedDatabase::export(&db, dir, &options).unwrap()
+    }
+
+    fn read_all(path: &std::path::Path, options: &IoOptions) -> Vec<Vec<u8>> {
+        collect_cursor(ValueFileReader::open_with_options(path, options).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn prefetched_reads_are_byte_identical() {
+        let dir = TempDir::new("prefetch-identity");
+        let path = dir.join("vals.ind");
+        let values: Vec<Vec<u8>> = (0..500u32)
+            .map(|i| format!("value-{i:05}").into_bytes())
+            .collect();
+        write_value_file(&path, &values).unwrap();
+        for block_size in [1usize, 17, 64, 4096] {
+            let plain = read_all(&path, &IoOptions::with_block_size(block_size));
+            let fetched = read_all(
+                &path,
+                &IoOptions::with_block_size(block_size).prefetched(true),
+            );
+            assert_eq!(plain, fetched, "block_size={block_size}");
+            assert_eq!(plain, values);
+        }
+    }
+
+    #[test]
+    fn prefetch_counts_hits_and_stalls() {
+        let dir = TempDir::new("prefetch-stats");
+        let path = dir.join("vals.ind");
+        let values: Vec<Vec<u8>> = (0..300u32)
+            .map(|i| format!("v{i:04}").into_bytes())
+            .collect();
+        write_value_file(&path, &values).unwrap();
+        let stats = ReadStats::new();
+        let reader = ValueFileReader::open_with(
+            &path,
+            &IoOptions::with_block_size(64).prefetched(true),
+            None,
+            Some(stats.clone()),
+        )
+        .unwrap();
+        assert_eq!(collect_cursor(reader).unwrap(), values);
+        let fills = stats.prefetch_hits() + stats.prefetch_stalls();
+        assert!(fills > 0, "prefetched fills must be counted");
+        assert!(
+            stats.read_calls() > 0,
+            "the worker's physical reads land in the shared counter"
+        );
+        assert_eq!(stats.file_opens(), 1);
+    }
+
+    #[test]
+    fn prefetch_surfaces_truncation_and_never_hangs() {
+        let dir = TempDir::new("prefetch-truncated");
+        let path = dir.join("vals.ind");
+        let values: Vec<Vec<u8>> = (0..20u32)
+            .map(|i| format!("tv{i:02}").into_bytes())
+            .collect();
+        write_value_file(&path, &values).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        // Every cut past the header must fail on the consumer side.
+        for cut in 16..full.len() {
+            let trunc = dir.join("trunc.ind");
+            std::fs::write(&trunc, &full[..cut]).unwrap();
+            let options = IoOptions::with_block_size(32).prefetched(true);
+            let outcome =
+                ValueFileReader::open_with_options(&trunc, &options).and_then(collect_cursor);
+            assert!(outcome.is_err(), "cut at {cut} must surface an error");
+        }
+    }
+
+    #[test]
+    fn early_drop_terminates_the_worker_cleanly() {
+        let dir = TempDir::new("prefetch-early-drop");
+        let path = dir.join("vals.ind");
+        let values: Vec<Vec<u8>> = (0..5000u32)
+            .map(|i| format!("padded-value-{i:08}").into_bytes())
+            .collect();
+        write_value_file(&path, &values).unwrap();
+        let options = IoOptions::with_block_size(256).prefetched(true);
+        let mut reader = ValueFileReader::open_with_options(&path, &options).unwrap();
+        assert!(reader.advance().unwrap());
+        drop(reader); // must not hang on the worker's in-flight block
+    }
+
+    fn boundaries_for(export: &ExportedDatabase, id: u32, k: usize) -> Vec<Vec<u8>> {
+        // Evenly split the attribute's sorted values into k ranges.
+        let values = collect_cursor(export.open(id).unwrap()).unwrap();
+        (1..k)
+            .map(|i| values[i * values.len() / k].clone())
+            .collect()
+    }
+
+    #[test]
+    fn shared_stream_partitions_concatenate_to_the_file() {
+        let dir = TempDir::new("shared-stream");
+        let export = sample_export(dir.path(), IoOptions::with_block_size(512));
+        for id in 0..export.attributes().len() as u32 {
+            let expected = collect_cursor(export.open(id).unwrap()).unwrap();
+            let boundaries = boundaries_for(&export, id, 3);
+            let provider = SharedStreamProvider::new(&export, boundaries.clone());
+            let mut streamed = Vec::new();
+            for p in 0..provider.partitions() {
+                let part = collect_cursor(provider.shard(p).open(id).unwrap()).unwrap();
+                // Every value lands in its own partition's range.
+                for v in &part {
+                    if p > 0 {
+                        assert!(v.as_slice() >= boundaries[p - 1].as_slice());
+                    }
+                    if p < boundaries.len() {
+                        assert!(v.as_slice() < boundaries[p].as_slice());
+                    }
+                }
+                streamed.extend(part);
+            }
+            assert_eq!(streamed, expected, "attribute {id}");
+        }
+    }
+
+    #[test]
+    fn shared_stream_opens_one_descriptor_per_file() {
+        let dir = TempDir::new("shared-stream-opens");
+        let export = sample_export(dir.path(), IoOptions::with_block_size(512));
+        let boundaries = boundaries_for(&export, 0, 4);
+        export.reset_read_calls();
+        let provider = SharedStreamProvider::new(&export, boundaries);
+        let mut all = Vec::new();
+        for p in 0..provider.partitions() {
+            all.extend(collect_cursor(provider.shard(p).open(0).unwrap()).unwrap());
+        }
+        assert!(!all.is_empty());
+        assert_eq!(
+            export.file_opens(),
+            1,
+            "four partitions share one physical descriptor"
+        );
+    }
+
+    #[test]
+    fn shared_stream_survives_abandoned_partitions() {
+        let dir = TempDir::new("shared-stream-abandon");
+        let export = sample_export(dir.path(), IoOptions::with_block_size(128));
+        let boundaries = boundaries_for(&export, 0, 3);
+        let provider = SharedStreamProvider::new(&export, boundaries);
+        // Partition 1 is opened and immediately dropped; 0 and 2 must
+        // still stream their complete ranges.
+        let c0 = provider.shard(0).open(0).unwrap();
+        drop(provider.shard(1).open(0).unwrap());
+        let c2 = provider.shard(2).open(0).unwrap();
+        let full = collect_cursor(export.open(0).unwrap()).unwrap();
+        let head = collect_cursor(c0).unwrap();
+        let tail = collect_cursor(c2).unwrap();
+        assert!(!head.is_empty() && !tail.is_empty());
+        assert_eq!(head.as_slice(), &full[..head.len()]);
+        assert_eq!(tail.as_slice(), &full[full.len() - tail.len()..]);
+    }
+
+    #[test]
+    fn shared_stream_rejects_double_take_and_unknown_attribute() {
+        let dir = TempDir::new("shared-stream-errors");
+        let export = sample_export(dir.path(), IoOptions::default());
+        let provider = SharedStreamProvider::new(&export, Vec::new());
+        assert!(matches!(
+            provider.shard(0).open(999),
+            Err(ValueSetError::UnknownAttribute(999))
+        ));
+        let _kept = provider.shard(0).open(0).unwrap();
+        assert!(provider.shard(0).open(0).is_err(), "cursor taken twice");
+    }
+
+    #[test]
+    fn shared_stream_fans_a_corrupt_file_out_as_errors() {
+        let dir = TempDir::new("shared-stream-corrupt");
+        let export = sample_export(dir.path(), IoOptions::with_block_size(64));
+        // Truncate attribute 0's backing file mid-record.
+        let attr = export.attribute(0).unwrap().clone();
+        let full = std::fs::read(&attr.path).unwrap();
+        std::fs::write(&attr.path, &full[..full.len() - 3]).unwrap();
+        let boundaries = boundaries_for(&export, 1, 2); // boundaries from attr 1
+        let provider = SharedStreamProvider::new(&export, boundaries);
+        let mut failures = 0;
+        for p in 0..provider.partitions() {
+            if collect_cursor(provider.shard(p).open(0).unwrap()).is_err() {
+                failures += 1;
+            }
+        }
+        assert!(
+            failures > 0,
+            "truncation must surface on at least one partition"
+        );
+    }
+}

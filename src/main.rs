@@ -1,20 +1,25 @@
 //! `spider-ind` — command-line schema discovery.
 //!
 //! ```text
-//! spider-ind generate <uniprot|scop|pdb> <dir> [--scale N] [--seed N]
+//! spider-ind generate <uniprot|scop|pdb|chains|wide> <dir> [--scale N] [--seed N]
+//!                           [--value-bytes SIZE]
 //! spider-ind profile  <dir>
 //! spider-ind discover <dir> [--algorithm bf|bfpar|sp|spider|spiderpar|blockwise]
 //!                           [--threads N] [--max-files N] [--max-pretest] [--names]
-//!                           [--on-disk] [--block-size BYTES] [--memory-budget BYTES]
+//!                           [--on-disk] [--block-size SIZE] [--memory-budget SIZE]
+//!                           [--prefetch] [--direct-io]
 //!                           [--workdir DIR] [--max-arity N]
 //! spider-ind fks      <dir>
 //! ```
+//!
+//! `SIZE` arguments accept bare byte counts or human-readable binary units
+//! (`8KiB`, `64M`, `1gb`).
 //!
 //! Databases are directories in the TSV format of `ind_storage::tsv`
 //! (`schema.txt` + one `.tsv` per table); `generate` creates them.
 
 use spider_ind::core::{Algorithm, FinderConfig, IndFinder, NaryConfig, NaryFinder, PretestConfig};
-use spider_ind::datagen::{BiosqlConfig, ChainsConfig, OpenMmsConfig, ScopConfig};
+use spider_ind::datagen::{BiosqlConfig, ChainsConfig, OpenMmsConfig, ScopConfig, WideConfig};
 use spider_ind::discovery::{
     evaluate_composite_foreign_keys, evaluate_foreign_keys, find_accession_candidates,
     fk_guesses_filtered, identify_primary_relation, AccessionRules,
@@ -68,14 +73,18 @@ fn print_usage() {
     println!(
         "spider-ind — unary inclusion dependency discovery (ICDE 2006 reproduction)\n\n\
          USAGE:\n\
-         \x20 spider-ind generate <uniprot|scop|pdb|chains> <dir> [--scale N] [--seed N]\n\
+         \x20 spider-ind generate <uniprot|scop|pdb|chains|wide> <dir> [--scale N] [--seed N]\n\
+         \x20                     [--value-bytes SIZE]\n\
          \x20     Generate a synthetic database and save it as TSV\n\
-         \x20     (`chains` carries a composite two-column foreign key).\n\
+         \x20     (`chains` carries a composite two-column foreign key;\n\
+         \x20     `wide` has few columns with `--value-bytes`-byte values,\n\
+         \x20     sized to exceed a sort budget and force spills).\n\
          \x20 spider-ind profile <dir>\n\
          \x20     Per-attribute statistics (rows, distinct, nulls, uniqueness).\n\
          \x20 spider-ind discover <dir> [--algorithm bf|bfpar|sp|spider|spiderpar|blockwise]\n\
          \x20                     [--threads N] [--max-files N] [--max-pretest] [--names]\n\
-         \x20                     [--on-disk] [--block-size BYTES] [--memory-budget BYTES]\n\
+         \x20                     [--on-disk] [--block-size SIZE] [--memory-budget SIZE]\n\
+         \x20                     [--prefetch] [--direct-io]\n\
          \x20                     [--workdir DIR] [--max-arity N]\n\
          \x20     Discover all satisfied INDs. `--threads` sets the worker\n\
          \x20     count of the parallel algorithms (bfpar, spiderpar).\n\
@@ -83,7 +92,14 @@ fn print_usage() {
          \x20     value files (exported under `--workdir`, default a fresh\n\
          \x20     temp dir) read through `--block-size`-byte I/O blocks;\n\
          \x20     `--memory-budget` caps the export sorter's in-memory\n\
-         \x20     bytes before it spills sorted runs to disk.\n\
+         \x20     bytes before it spills sorted runs to disk. SIZE flags\n\
+         \x20     accept bare bytes or binary units (8KiB, 64M, 1gb).\n\
+         \x20     `--prefetch` overlaps reads with merging (a worker thread\n\
+         \x20     fills block N+1 while the engine consumes block N);\n\
+         \x20     `--direct-io` opens value files with O_DIRECT, falling\n\
+         \x20     back to buffered reads where unsupported. On disk,\n\
+         \x20     `spiderpar` shares one physical read stream per file\n\
+         \x20     across all partitions.\n\
          \x20     `--max-arity N` (N >= 2) switches to the levelwise n-ary\n\
          \x20     pipeline: composite INDs up to arity N, validated by the\n\
          \x20     SPIDER engine over tuple-encoded value streams.\n\
@@ -102,6 +118,75 @@ fn flag_value(args: &[String], name: &str) -> Result<Option<u64>, String> {
             .map(Some)
             .map_err(|e| format!("{name}: {e}")),
     }
+}
+
+/// Parses a human-readable byte size: a bare integer (`4096`) or an
+/// integer with a unit suffix (`8KiB`, `64M`, `1gb`). Units are
+/// case-insensitive and binary — `K`/`KB`/`KiB` all mean ×1024, likewise
+/// the M and G families.
+fn parse_size(text: &str) -> Result<u64, String> {
+    let trimmed = text.trim();
+    let digits_end = trimmed
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(trimmed.len());
+    let (digits, suffix) = trimmed.split_at(digits_end);
+    if digits.is_empty() {
+        return Err(format!(
+            "`{text}`: expected a byte size like 4096, 8KiB, or 1GiB"
+        ));
+    }
+    let value: u64 = digits
+        .parse()
+        .map_err(|_| format!("`{text}`: number out of range"))?;
+    let shift = match suffix.trim().to_ascii_lowercase().as_str() {
+        "" | "b" => 0u32,
+        "k" | "kb" | "kib" => 10,
+        "m" | "mb" | "mib" => 20,
+        "g" | "gb" | "gib" => 30,
+        other => {
+            return Err(format!(
+                "`{text}`: unknown size unit `{other}` (use B, K/KB/KiB, M/MB/MiB, or G/GB/GiB)"
+            ))
+        }
+    };
+    value
+        .checked_mul(1u64 << shift)
+        .ok_or_else(|| format!("`{text}`: size overflows 64 bits"))
+}
+
+/// [`flag_value`] accepting [`parse_size`]-style human-readable sizes.
+fn flag_size_value(args: &[String], name: &str) -> Result<Option<u64>, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => {
+            let raw = args
+                .get(i + 1)
+                .ok_or_else(|| format!("{name} requires a value"))?;
+            parse_size(raw)
+                .map(Some)
+                .map_err(|e| format!("{name}: {e}"))
+        }
+    }
+}
+
+/// Builds the disk-pipeline [`ExportOptions`] from the shared flags:
+/// `--block-size` / `--memory-budget` (human-readable sizes) and the
+/// overlapped-I/O toggles `--prefetch` / `--direct-io`.
+fn export_options_from_args(
+    args: &[String],
+    threads: usize,
+) -> Result<spider_ind::valueset::ExportOptions, String> {
+    let mut options = spider_ind::valueset::ExportOptions::with_threads(threads);
+    if let Some(block_size) = flag_size_value(args, "--block-size")? {
+        options.sort.io = spider_ind::valueset::IoOptions::with_block_size(block_size as usize);
+    }
+    if let Some(budget) = flag_size_value(args, "--memory-budget")? {
+        options.sort.memory_budget_bytes = budget as usize;
+    }
+    options = options
+        .prefetched(args.iter().any(|a| a == "--prefetch"))
+        .direct(args.iter().any(|a| a == "--direct-io"));
+    Ok(options)
 }
 
 fn load(dir: &str) -> Result<Database, String> {
@@ -132,6 +217,11 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         }),
         "chains" => spider_ind::datagen::generate_chains(&ChainsConfig {
             structures: scale,
+            seed,
+        }),
+        "wide" => spider_ind::datagen::generate_wide(&WideConfig {
+            rows: scale * 4,
+            value_bytes: flag_size_value(args, "--value-bytes")?.unwrap_or(4096) as usize,
             seed,
         }),
         other => return Err(format!("generate: unknown kind `{other}`")),
@@ -264,14 +354,7 @@ fn cmd_discover_nary(
     }
     let finder = NaryFinder::new(config);
     let discovery = if args.iter().any(|a| a == "--on-disk") {
-        use spider_ind::valueset::ExportOptions;
-        let mut options = ExportOptions::default();
-        if let Some(block_size) = flag_value(args, "--block-size")? {
-            options.sort.io = spider_ind::valueset::IoOptions::with_block_size(block_size as usize);
-        }
-        if let Some(budget) = flag_value(args, "--memory-budget")? {
-            options.sort.memory_budget_bytes = budget as usize;
-        }
+        let options = export_options_from_args(args, 1)?;
         let (workdir, temp) = resolve_workdir(args)?;
         let result = finder
             .discover_on_disk(db, &workdir, &options)
@@ -372,14 +455,7 @@ fn discover_on_disk(
     db: &spider_ind::storage::Database,
     args: &[String],
 ) -> Result<spider_ind::core::Discovery, String> {
-    use spider_ind::valueset::ExportOptions;
-    let mut options = ExportOptions::with_threads(finder.config.algorithm.extraction_threads());
-    if let Some(block_size) = flag_value(args, "--block-size")? {
-        options.sort.io = spider_ind::valueset::IoOptions::with_block_size(block_size as usize);
-    }
-    if let Some(budget) = flag_value(args, "--memory-budget")? {
-        options.sort.memory_budget_bytes = budget as usize;
-    }
+    let options = export_options_from_args(args, finder.config.algorithm.extraction_threads())?;
     let (workdir, temp) = resolve_workdir(args)?;
     let result = finder
         .discover_on_disk_with(db, &workdir, &options)
@@ -440,4 +516,93 @@ fn cmd_fks(args: &[String]) -> Result<(), String> {
     );
     emit(&out);
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn parse_size_accepts_bare_integers() {
+        for n in [0u64, 1, 16, 4096, 256 * 1024, u64::MAX] {
+            assert_eq!(parse_size(&n.to_string()), Ok(n), "bare `{n}` round-trips");
+        }
+    }
+
+    #[test]
+    fn parse_size_understands_binary_units_in_any_case() {
+        for (text, expected) in [
+            ("8KiB", 8 * 1024),
+            ("8k", 8 * 1024),
+            ("8KB", 8 * 1024),
+            ("64M", 64 * 1024 * 1024),
+            ("64mib", 64 * 1024 * 1024),
+            ("1GiB", 1024 * 1024 * 1024),
+            ("1gb", 1024 * 1024 * 1024),
+            ("2 MiB", 2 * 1024 * 1024),
+            ("512b", 512),
+        ] {
+            assert_eq!(parse_size(text), Ok(expected), "{text}");
+        }
+    }
+
+    #[test]
+    fn parse_size_rejects_garbage_and_overflow() {
+        for bad in [
+            "",
+            "KiB",
+            "8XB",
+            "1.5G",
+            "-4k",
+            "8 8",
+            "99999999999999999999",
+        ] {
+            assert!(parse_size(bad).is_err(), "`{bad}` must not parse");
+        }
+        assert!(
+            parse_size("999999999999G").is_err(),
+            "unit multiplication must be overflow-checked"
+        );
+    }
+
+    #[test]
+    fn flag_size_value_reads_flags_and_reports_context() {
+        let a = args(&["discover", "x", "--block-size", "8KiB"]);
+        assert_eq!(flag_size_value(&a, "--block-size"), Ok(Some(8192)));
+        assert_eq!(flag_size_value(&a, "--memory-budget"), Ok(None));
+        let missing = args(&["discover", "x", "--block-size"]);
+        let err = flag_size_value(&missing, "--block-size").unwrap_err();
+        assert!(err.contains("--block-size"), "{err}");
+        let bad = args(&["discover", "x", "--block-size", "8XB"]);
+        let err = flag_size_value(&bad, "--block-size").unwrap_err();
+        assert!(err.contains("--block-size") && err.contains("8XB"), "{err}");
+    }
+
+    #[test]
+    fn export_options_pick_up_overlap_flags() {
+        let a = args(&[
+            "discover",
+            "x",
+            "--on-disk",
+            "--prefetch",
+            "--direct-io",
+            "--block-size",
+            "64K",
+            "--memory-budget",
+            "1MiB",
+        ]);
+        let options = export_options_from_args(&a, 3).unwrap();
+        assert_eq!(options.threads, 3);
+        assert_eq!(options.sort.io.effective_block_size(), 64 * 1024);
+        assert_eq!(options.sort.memory_budget_bytes, 1024 * 1024);
+        assert!(options.sort.io.prefetch);
+        assert!(options.sort.io.direct_io);
+        let plain = export_options_from_args(&args(&["discover", "x", "--on-disk"]), 1).unwrap();
+        assert!(!plain.sort.io.prefetch);
+        assert!(!plain.sort.io.direct_io);
+    }
 }

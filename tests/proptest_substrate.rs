@@ -263,6 +263,57 @@ proptest! {
     }
 
     #[test]
+    fn prefetched_reads_are_byte_identical_at_any_block_and_budget(
+        values in proptest::collection::vec(arb_column_value(), 0..80),
+        budget in arb_budget(),
+        block in 1usize..96,
+    ) {
+        // Overlapped prefetch must be invisible in the data: the same
+        // export read with and without the prefetch worker (and exported
+        // with prefetched spill-merge readers) yields identical streams,
+        // whatever the block size and spill budget.
+        let dir = TempDir::new("prop-prefetch");
+        let plain_io = IoOptions::with_block_size(block);
+        let prefetch_io = IoOptions::with_block_size(block).prefetched(true);
+        let plain_path = dir.join("plain.indv");
+        extract_to_file(
+            &values,
+            &plain_path,
+            &dir.join("spill-plain"),
+            SortOptions {
+                memory_budget_bytes: budget,
+                io: plain_io.clone(),
+            },
+        )
+        .expect("extract plain");
+        let prefetch_path = dir.join("prefetch.indv");
+        extract_to_file(
+            &values,
+            &prefetch_path,
+            &dir.join("spill-prefetch"),
+            SortOptions {
+                memory_budget_bytes: budget,
+                io: prefetch_io.clone(),
+            },
+        )
+        .expect("extract prefetched");
+        prop_assert_eq!(
+            std::fs::read(&plain_path).expect("plain bytes"),
+            std::fs::read(&prefetch_path).expect("prefetch bytes"),
+            "prefetched spill merge must write identical files"
+        );
+        let baseline = collect_cursor(
+            ValueFileReader::open_with_options(&plain_path, &plain_io).expect("open plain"),
+        )
+        .expect("read plain");
+        let overlapped = collect_cursor(
+            ValueFileReader::open_with_options(&plain_path, &prefetch_io).expect("open prefetch"),
+        )
+        .expect("read prefetched");
+        prop_assert_eq!(&overlapped, &baseline);
+    }
+
+    #[test]
     fn truncated_value_files_never_read_clean(
         raw in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..24), 1..12),
         cut_seed in 0usize..10_000,

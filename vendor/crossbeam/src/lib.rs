@@ -1,15 +1,95 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Only [`thread::scope`] is provided — the single crossbeam feature this
-//! workspace uses. It is a thin adapter over `std::thread::scope` (stable
-//! since Rust 1.63) that reproduces crossbeam's calling convention:
+//! Only the two crossbeam features this workspace uses are provided:
 //!
-//! * the scope closure and every spawned closure receive a `&Scope`
-//!   argument (std passes the scope only to the outer closure);
-//! * `scope` returns `thread::Result<R>` instead of unwinding when an
-//!   unjoined child panicked.
+//! * [`thread::scope`] — a thin adapter over `std::thread::scope` (stable
+//!   since Rust 1.63) that reproduces crossbeam's calling convention: the
+//!   scope closure and every spawned closure receive a `&Scope` argument
+//!   (std passes the scope only to the outer closure), and `scope` returns
+//!   `thread::Result<R>` instead of unwinding when an unjoined child
+//!   panicked;
+//! * [`channel::bounded`] — crossbeam's bounded MPSC channel API shape over
+//!   `std::sync::mpsc::sync_channel`, used by the prefetch / shared-stream
+//!   I/O workers in `ind-valueset`.
 
 #![warn(missing_docs)]
+
+pub mod channel {
+    //! Bounded channels with crossbeam's API shape.
+    //!
+    //! A thin wrapper over `std::sync::mpsc::sync_channel`: `bounded(cap)`
+    //! returns a `(Sender, Receiver)` pair whose `send` blocks once `cap`
+    //! messages are in flight (backpressure), and whose `recv`/`try_recv`
+    //! report disconnection once every sender is gone. One deliberate
+    //! deviation: a capacity of `0` is clamped to `1` — std's zero-capacity
+    //! channel is a rendezvous channel, which is never what the buffered
+    //! producer/consumer pipelines here want.
+
+    use std::sync::mpsc;
+
+    /// Sending half of a bounded channel. Cloning adds a producer; the
+    /// channel disconnects when all clones are dropped.
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    /// Receiving half of a bounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// The channel is disconnected (no receiver); the unsent message is
+    /// handed back.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// The channel is disconnected (no senders) and drained.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Why [`Receiver::try_recv`] returned no message.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message buffered right now; senders still exist.
+        Empty,
+        /// All senders dropped and the buffer is drained.
+        Disconnected,
+    }
+
+    /// Creates a bounded channel holding at most `cap.max(1)` in-flight
+    /// messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap.max(1));
+        (Sender(tx), Receiver(rx))
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `msg`, blocking while the channel is full. Errs (returning
+        /// the message) once the receiver is dropped — including when the
+        /// drop happens mid-block.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next message; errs once every sender is dropped
+        /// and the buffer is drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|mpsc::RecvError| RecvError)
+        }
+
+        /// Non-blocking receive: a buffered message, or why there is none.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+    }
+}
 
 pub mod thread {
     //! Scoped threads with crossbeam's API shape.
@@ -92,6 +172,40 @@ mod tests {
         })
         .unwrap();
         assert!(outcome.is_err());
+    }
+
+    use super::channel;
+
+    #[test]
+    fn bounded_channel_round_trip_and_backpressure() {
+        let (tx, rx) = channel::bounded::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Disconnected));
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+    }
+
+    #[test]
+    fn send_unblocks_with_error_when_receiver_drops() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        tx.send(1).unwrap(); // channel now full
+        let blocked = std::thread::spawn(move || tx.send(2));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(rx); // must wake the blocked sender with an error
+        assert_eq!(blocked.join().unwrap(), Err(channel::SendError(2)));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        // std's cap-0 channel is rendezvous; ours must buffer one message
+        // so a lone sender never blocks on the first send.
+        let (tx, rx) = channel::bounded::<u8>(0);
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv(), Ok(7));
     }
 
     #[test]
