@@ -30,7 +30,12 @@
 //!   filesystem allows, counted graceful fallback where it doesn't), and
 //!   `spider_shared` (the partition-parallel engine fed by one physical
 //!   read stream per value file — `file_opens` shows the descriptor
-//!   economy versus k-cursors-per-file);
+//!   economy versus k-cursors-per-file). Since format v2 the `spider_block`
+//!   row (and the sweep) reads with checksum verification *off* — the raw
+//!   framed-read baseline, trajectory-comparable with earlier schemas — and
+//!   a `spider_checksum` row re-runs the same merge with per-frame CRC
+//!   verification on (the production default), so the committed JSON shows
+//!   exactly what self-verifying value files cost;
 //! * **export** — the producer phase (extract → sort → spill → merge →
 //!   write, every attribute of the database) through the frozen pre-arena
 //!   sorter shape (`ind_bench::legacy_sorter`, one heap vector per pushed
@@ -38,7 +43,9 @@
 //!   asserted before timing, with allocation counts, the peak
 //!   budget-charged arena footprint, spill-run counts, and a spill sweep
 //!   at tiny memory budgets (the configured `--memory-budget` becomes its
-//!   own `arena_budget` row when non-default).
+//!   own `arena_budget` row when non-default). An `export_checksum` row
+//!   rides along: one arena export pass plus a full checksummed read-back
+//!   of every emitted value file — the self-verifying round trip.
 //!
 //! Everything lands in a machine-readable `BENCH_spider.json` (default:
 //! the current directory, i.e. the repo root when run from it) so
@@ -68,7 +75,7 @@ use ind_datagen::{
 use ind_testkit::TempDir;
 use ind_valueset::{
     extract_with_sorter, ExportOptions, ExportedDatabase, ExternalSorter, IoOptions, SortOptions,
-    SortStats, DEFAULT_BLOCK_SIZE,
+    SortStats, ValueCursor, ValueFileReader, DEFAULT_BLOCK_SIZE,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
@@ -205,6 +212,11 @@ struct IoCounters {
     direct_fallbacks: u64,
     /// Physical descriptors opened on value files during the run.
     file_opens: u64,
+    /// Transient read errors absorbed by the retrying wrapper (zero on a
+    /// healthy filesystem — non-zero only under an injected fault plan).
+    io_retries: u64,
+    /// Format-v2 checksum mismatches detected (zero on healthy files).
+    checksum_failures: u64,
 }
 
 impl IoCounters {
@@ -216,6 +228,8 @@ impl IoCounters {
             direct_opens: 0,
             direct_fallbacks: 0,
             file_opens: 0,
+            io_retries: 0,
+            checksum_failures: 0,
         }
     }
 
@@ -227,6 +241,8 @@ impl IoCounters {
             direct_opens: export.direct_opens(),
             direct_fallbacks: export.direct_fallbacks(),
             file_opens: export.file_opens(),
+            io_retries: export.io_retries(),
+            checksum_failures: export.checksum_failures(),
         }
     }
 }
@@ -292,6 +308,18 @@ impl DiskResult {
             self.wall_ms("spider_block"),
         ) {
             (Some(old), Some(new)) if new > 0.0 => Some(old / new),
+            _ => None,
+        }
+    }
+
+    /// Verified-over-raw wall-clock ratio: the price of per-frame CRC
+    /// verification (1.0 = free).
+    fn checksum_overhead(&self) -> Option<f64> {
+        match (
+            self.wall_ms("spider_block"),
+            self.wall_ms("spider_checksum"),
+        ) {
+            (Some(raw), Some(verified)) if raw > 0.0 => Some(verified / raw),
             _ => None,
         }
     }
@@ -563,6 +591,9 @@ fn bench_disk(
     // configured one. Each configuration is measured exactly once — the
     // headline `spider_block` row is the sweep point at `block_size`, so
     // the two can never drift apart through duplicated measurement.
+    // Checksum verification is off here: this row is the raw framed-read
+    // baseline, trajectory-comparable with pre-v2 schemas; the verified
+    // configuration gets its own `spider_checksum` row below.
     let mut sweep_sizes: Vec<usize> = SWEEP_BLOCK_SIZES.to_vec();
     if !sweep_sizes.contains(&block_size) {
         sweep_sizes.push(block_size);
@@ -571,7 +602,7 @@ fn bench_disk(
     let mut sweep = Vec::new();
     let mut headline: Option<DiskEngineResult> = None;
     for sweep_block in sweep_sizes {
-        export.set_io_options(IoOptions::with_block_size(sweep_block));
+        export.set_io_options(IoOptions::with_block_size(sweep_block).verify(false));
         let (wall_ms, (satisfied, metrics, io)) = best_of_runs(|| {
             export.reset_read_calls();
             let mut m = RunMetrics::new();
@@ -605,6 +636,41 @@ fn bench_disk(
         }
     }
     engines.push(headline.expect("configured block size was swept"));
+
+    // (b2) The same block reader with per-frame CRC verification on — the
+    // production default since format v2. Every payload byte is hashed on
+    // fill and the footer cross-checked at end of stream; results and read
+    // calls must be identical to the raw row (verification never changes
+    // what or how much is read), `checksum_failures` must stay zero on
+    // healthy files, and the wall-clock delta is the committed price of
+    // self-verifying value files.
+    {
+        export.set_io_options(IoOptions::with_block_size(block_size).verify(true));
+        let (wall_ms, (satisfied, metrics, io)) = best_of_runs(|| {
+            export.reset_read_calls();
+            let mut m = RunMetrics::new();
+            let out = run_spider(&export, candidates, &mut m).map_err(|e| e.to_string())?;
+            m.read_calls = export.read_calls();
+            m.io_retries = export.io_retries();
+            m.checksum_failures = export.checksum_failures();
+            Ok((out, m, IoCounters::snapshot(&export)))
+        })?;
+        assert_agrees("spider_checksum", &satisfied, &metrics)?;
+        println!(
+            "[{name}]  disk spider_checksum: {wall_ms:8.2} ms  read_calls={} \
+             checksum_failures={}",
+            io.read_calls, io.checksum_failures
+        );
+        engines.push(DiskEngineResult {
+            engine: "spider_checksum",
+            wall_ms,
+            satisfied: satisfied.len(),
+            metrics,
+            io,
+            os_read_calls: io.read_calls,
+            fadvise_calls: 0,
+        });
+    }
 
     // (c) The block reader with the sequential-access hint
     // (`posix_fadvise(POSIX_FADV_SEQUENTIAL)` per cursor open): results and
@@ -910,6 +976,44 @@ fn bench_export(
         });
     }
 
+    // The self-verifying round trip: one arena export pass plus a full
+    // checksummed read-back of every emitted value file — every frame CRC
+    // and the footer re-verified against what was just written. The wall
+    // delta over the plain arena row is the cost of proving an export
+    // landed intact.
+    {
+        let checksum_pass = |budget: usize,
+                             out: &std::path::Path,
+                             paths: &Paths|
+         -> Result<Vec<SortStats>, String> {
+            let stats = arena_pass(budget, out, paths)?;
+            for path in paths {
+                let mut reader = ValueFileReader::open(path).map_err(|e| e.to_string())?;
+                while reader.advance().map_err(|e| e.to_string())? {}
+            }
+            Ok(stats)
+        };
+        let (wall_ms, delta, stats) = measure(
+            "export_checksum",
+            SortOptions::DEFAULT_MEMORY_BUDGET,
+            &checksum_pass,
+        )?;
+        let runs: usize = stats.iter().map(|s| s.runs).sum();
+        let arena_bytes = stats.iter().map(|s| s.arena_bytes).max().unwrap_or(0);
+        println!(
+            "[{name}] export export_checksum: {wall_ms:8.2} ms  allocs={} runs={runs}",
+            delta.calls
+        );
+        sorters.push(SorterResult {
+            sorter: "export_checksum",
+            wall_ms,
+            allocs: delta.calls,
+            peak_alloc_bytes: delta.peak_bytes,
+            runs,
+            arena_bytes,
+        });
+    }
+
     // The configured budget as its own row when it differs from the
     // default — the spill-merge path under the exact CLI knob.
     if memory_budget != SortOptions::DEFAULT_MEMORY_BUDGET {
@@ -1099,7 +1203,7 @@ fn render_json(
 ) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
-    let _ = writeln!(out, "  \"schema_version\": 4,");
+    let _ = writeln!(out, "  \"schema_version\": 5,");
     let _ = writeln!(out, "  \"harness\": \"bench_spider\",");
     let _ = writeln!(out, "  \"scale\": {scale},");
     let _ = writeln!(out, "  \"block_size\": {block_size},");
@@ -1156,6 +1260,9 @@ fn render_json(
         if let Some(speedup) = d.disk.speedup_block_vs_bufreader() {
             let _ = writeln!(out, "        \"speedup_block_vs_bufreader\": {speedup:.3},");
         }
+        if let Some(overhead) = d.disk.checksum_overhead() {
+            let _ = writeln!(out, "        \"checksum_overhead\": {overhead:.3},");
+        }
         let _ = writeln!(out, "        \"engines\": [");
         for (ei, e) in d.disk.engines.iter().enumerate() {
             let _ = writeln!(out, "          {{");
@@ -1192,6 +1299,12 @@ fn render_json(
                 e.io.direct_fallbacks
             );
             let _ = writeln!(out, "            \"file_opens\": {},", e.io.file_opens);
+            let _ = writeln!(out, "            \"io_retries\": {},", e.io.io_retries);
+            let _ = writeln!(
+                out,
+                "            \"checksum_failures\": {},",
+                e.io.checksum_failures
+            );
             let _ = writeln!(out, "            \"satisfied\": {}", e.satisfied);
             let _ = writeln!(
                 out,
@@ -1361,6 +1474,9 @@ fn validate_json(text: &str) -> Result<(), String> {
         "\"direct_opens\"",
         "\"direct_fallbacks\"",
         "\"file_opens\"",
+        "\"io_retries\"",
+        "\"checksum_failures\"",
+        "\"checksum_overhead\"",
         "\"block_size_sweep\"",
         "\"export\"",
         "\"sorter\"",
@@ -1574,6 +1690,35 @@ fn run() -> Result<(), String> {
                     d.name
                 ));
             }
+            // Checksum gate (schema v5): the verified row must read exactly
+            // what the raw row reads, detect nothing on healthy files, and
+            // cost at most 50% over the raw framed read even at noisy check
+            // scales — the committed scale-200 baseline shows low single
+            // digits.
+            let verified = d
+                .disk
+                .engine("spider_checksum")
+                .ok_or("missing spider_checksum row")?;
+            if verified.io.checksum_failures != 0 || verified.io.io_retries != 0 {
+                return Err(format!(
+                    "[{}] healthy files tripped the robustness counters: \
+                     {} checksum failures, {} retries",
+                    d.name, verified.io.checksum_failures, verified.io.io_retries
+                ));
+            }
+            if verified.io.read_calls != block.io.read_calls {
+                return Err(format!(
+                    "[{}] checksum verification changed read_calls: {} vs {}",
+                    d.name, verified.io.read_calls, block.io.read_calls
+                ));
+            }
+            if verified.wall_ms > block.wall_ms * 1.5 + 5.0 {
+                return Err(format!(
+                    "[{}] per-frame verification costs {:.2} ms vs {:.2} ms raw — \
+                     checksums are no longer close to free",
+                    d.name, verified.wall_ms, block.wall_ms
+                ));
+            }
             // Prefetch gate: the overlapped row must exist, its worker must
             // actually hand blocks over (fills = hits + stalls > 0), and the
             // consumer must not have blocked on every handover — some fills
@@ -1664,6 +1809,19 @@ fn run() -> Result<(), String> {
                      sorter (required {min_reduction}x at pushed={}, attributes={}) — the \
                      arena rewrite is no longer paying off",
                     d.name, d.export.pushed, d.export.attributes
+                ));
+            }
+            // Round-trip gate: the export_checksum row (arena export + full
+            // verified read-back) must exist and stay on the in-memory
+            // path, like the arena row it extends.
+            let round_trip = d
+                .export
+                .sorter("export_checksum")
+                .ok_or("missing export_checksum row")?;
+            if round_trip.runs != 0 {
+                return Err(format!(
+                    "[{}] export_checksum row must be the in-memory path, spilled {} runs",
+                    d.name, round_trip.runs
                 ));
             }
             // Spill gates: the smallest sweep budget must actually force

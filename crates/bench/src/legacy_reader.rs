@@ -8,11 +8,17 @@
 //! head-to-head on identical exports in every future PR; it is **not**
 //! part of the production API.
 //!
+//! Format v2 wrapped the payload stream in checksummed frames. The legacy
+//! shape predates checksums, so a thin [`FrameStrip`] adapter below the
+//! per-record reads peels the frame geometry (length prefixes, CRC words,
+//! footer) without verifying anything — the record-level access pattern,
+//! which is what this baseline measures, is unchanged.
+//!
 //! Two counters instrument the shape's cost:
 //!
 //! * **read requests** — `read_exact` calls issued *into* the buffered I/O
-//!   layer: 3 per header + 2 per record, the per-record funneling the block
-//!   layer eliminates. Comparable to the block reader's `read_calls`
+//!   layer: 3 per header (4 for a v2 header, which carries a CRC word) +
+//!   2 per record, the per-record funneling the block layer eliminates. Comparable to the block reader's `read_calls`
 //!   (requests it issues to the OS — one per block) because both count how
 //!   often control crosses the reader's I/O interface.
 //! * **OS reads** — actual `read(2)` calls `BufReader` makes to refill its
@@ -26,7 +32,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"INDV";
-const VERSION: u32 = 1;
+const VERSION_V1: u32 = 1;
+const VERSION_V2: u32 = 2;
+/// v2 frame geometry, mirrored from `ind_valueset::frame`: payload bytes
+/// per frame and the end-of-frames sentinel in the length-prefix position.
+const FRAME_PAYLOAD: usize = 4096;
+const FOOTER_SENTINEL: u16 = 0xFFFF;
 
 /// Shared counters for every reader a [`LegacyDiskProvider`] opens.
 #[derive(Debug, Clone, Default)]
@@ -66,10 +77,75 @@ impl Read for CountingFile {
     }
 }
 
+/// Strips format-v2 framing (per-frame length prefix and trailing CRC
+/// word, the footer after the sentinel) from the byte stream, yielding the
+/// raw record payload the legacy shape was written against. Nothing is
+/// verified — this is the frozen perf baseline, not the robustness path —
+/// and the bookkeeping reads go straight into the `BufReader` below, so
+/// the request counter keeps its "2 per record" meaning.
+struct FrameStrip {
+    inner: BufReader<CountingFile>,
+    /// Payload bytes left in the current frame (0 = at a frame boundary).
+    frame_left: usize,
+    /// The current frame's payload is consumed; its CRC word is unread.
+    crc_pending: bool,
+    /// False for v1 files, which are raw payload after the header.
+    framed: bool,
+    /// The footer sentinel was reached; every further read is EOF.
+    done: bool,
+}
+
+impl Read for FrameStrip {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if !self.framed {
+            return self.inner.read(buf);
+        }
+        loop {
+            if self.done {
+                return Ok(0);
+            }
+            if self.frame_left > 0 {
+                let n = self.frame_left.min(buf.len());
+                let got = self.inner.read(&mut buf[..n])?;
+                if got == 0 {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "value file ended inside a frame",
+                    ));
+                }
+                self.frame_left -= got;
+                if self.frame_left == 0 {
+                    self.crc_pending = true;
+                }
+                return Ok(got);
+            }
+            if self.crc_pending {
+                let mut crc = [0u8; 4];
+                self.inner.read_exact(&mut crc)?;
+                self.crc_pending = false;
+            }
+            let mut prefix = [0u8; 2];
+            self.inner.read_exact(&mut prefix)?;
+            let len = u16::from_le_bytes(prefix);
+            if len == FOOTER_SENTINEL {
+                self.done = true;
+                return Ok(0);
+            }
+            if len == 0 || len as usize > FRAME_PAYLOAD {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "bad frame length in value file",
+                ));
+            }
+            self.frame_left = len as usize;
+        }
+    }
+}
+
 /// The frozen pre-refactor reader: `BufReader` + per-record `read_exact`
 /// into an owned workhorse buffer.
 pub struct LegacyValueFileReader {
-    input: BufReader<CountingFile>,
+    input: FrameStrip,
     path: PathBuf,
     total: u64,
     produced: u64,
@@ -104,7 +180,8 @@ impl LegacyValueFileReader {
         input
             .read_exact(&mut v)
             .map_err(|e| corrupt(context(), format!("short header: {e}")))?;
-        if u32::from_le_bytes(v) != VERSION {
+        let version = u32::from_le_bytes(v);
+        if version != VERSION_V1 && version != VERSION_V2 {
             return Err(corrupt(context(), "unsupported version".into()));
         }
         let mut c = [0u8; 8];
@@ -112,8 +189,23 @@ impl LegacyValueFileReader {
         input
             .read_exact(&mut c)
             .map_err(|e| corrupt(context(), format!("short header: {e}")))?;
+        if version == VERSION_V2 {
+            // The v2 header carries its own CRC word; skipped unverified,
+            // like every other checksum in this frozen shape.
+            let mut header_crc = [0u8; 4];
+            requests.fetch_add(1, Ordering::Relaxed);
+            input
+                .read_exact(&mut header_crc)
+                .map_err(|e| corrupt(context(), format!("short header: {e}")))?;
+        }
         Ok(LegacyValueFileReader {
-            input,
+            input: FrameStrip {
+                inner: input,
+                frame_left: 0,
+                crc_pending: false,
+                framed: version == VERSION_V2,
+                done: false,
+            },
             path: path.to_path_buf(),
             total: u64::from_le_bytes(c),
             produced: 0,
@@ -231,11 +323,12 @@ mod tests {
                 "attribute {id}"
             );
         }
-        // 3 header requests per open + 2 per record.
+        // 4 header requests per open (v2 headers carry a CRC word) + 2 per
+        // record; frame bookkeeping rides below the request counter.
         let values: u64 = export.attributes().iter().map(|a| a.distinct).sum();
         assert_eq!(
             legacy.counters().read_requests(),
-            3 * export.attribute_count() as u64 + 2 * values
+            4 * export.attribute_count() as u64 + 2 * values
         );
         assert!(legacy.counters().os_read_calls() > 0);
         legacy.counters().reset();

@@ -56,7 +56,7 @@ pub use partial::{inclusion_count, InclusionCount};
 pub use pruning::{
     run_brute_force_with_transitivity, sampling_pretest, SamplingConfig, TransitivityOracle,
 };
-pub use runner::{Algorithm, Discovery, FinderConfig, IndFinder};
+pub use runner::{Algorithm, DegradedReport, Discovery, FinderConfig, IndFinder};
 pub use single_pass::run_single_pass;
 pub use spider::run_spider;
 pub use spider_parallel::{partition_boundaries, run_spider_parallel, run_spider_parallel_shared};

@@ -64,6 +64,18 @@ pub struct RunMetrics {
     pub direct_fallbacks: u64,
     /// Cursors opened (2 per brute-force test; one per role in single-pass).
     pub cursor_opens: u64,
+    /// Transient I/O faults (`EINTR`, short reads) healed invisibly by the
+    /// retrying read/write wrapper. A non-zero count with a successful run
+    /// means the storage stack degraded gracefully, not that anything was
+    /// lost.
+    pub io_retries: u64,
+    /// Value-file checksum mismatches detected (header, frame, or footer).
+    /// Each one also surfaced as a `Corrupt` error — or quarantined its
+    /// attribute under keep-going discovery.
+    pub checksum_failures: u64,
+    /// Attributes quarantined by a keep-going run (export failures plus
+    /// unreadable/corrupt value files); their candidates were excluded.
+    pub quarantined_attributes: u64,
     /// Wall-clock time of the measured phase.
     pub elapsed: Duration,
 }
@@ -106,6 +118,9 @@ impl RunMetrics {
         self.direct_opens += other.direct_opens;
         self.direct_fallbacks += other.direct_fallbacks;
         self.cursor_opens += other.cursor_opens;
+        self.io_retries += other.io_retries;
+        self.checksum_failures += other.checksum_failures;
+        self.quarantined_attributes += other.quarantined_attributes;
         self.elapsed += other.elapsed;
     }
 }
@@ -117,7 +132,8 @@ impl fmt::Display for RunMetrics {
             "candidates={} (considered={}, pruned: card={}, max={}, min={}, proj={}, \
              sampling={}, inferred: sat={}, ref={}), tested={}, satisfied={}, items_read={}, \
              value_bytes_read={}, comparisons={}, read_calls={}, prefetch: hits={}, stalls={}, \
-             direct: opens={}, fallbacks={}, cursor_opens={}, elapsed={:?}",
+             direct: opens={}, fallbacks={}, cursor_opens={}, io_retries={}, \
+             checksum_failures={}, quarantined={}, elapsed={:?}",
             self.candidates(),
             self.pairs_considered,
             self.pruned_cardinality,
@@ -138,6 +154,9 @@ impl fmt::Display for RunMetrics {
             self.direct_opens,
             self.direct_fallbacks,
             self.cursor_opens,
+            self.io_retries,
+            self.checksum_failures,
+            self.quarantined_attributes,
             self.elapsed,
         )
     }
@@ -170,6 +189,9 @@ mod tests {
             prefetch_stalls: 2,
             direct_opens: 3,
             direct_fallbacks: 1,
+            io_retries: 6,
+            checksum_failures: 2,
+            quarantined_attributes: 1,
             elapsed: Duration::from_millis(7),
             ..Default::default()
         };
@@ -184,6 +206,9 @@ mod tests {
         assert_eq!(a.prefetch_stalls, 2);
         assert_eq!(a.direct_opens, 3);
         assert_eq!(a.direct_fallbacks, 1);
+        assert_eq!(a.io_retries, 6);
+        assert_eq!(a.checksum_failures, 2);
+        assert_eq!(a.quarantined_attributes, 1);
         assert_eq!(a.elapsed, Duration::from_millis(12));
         assert_eq!(a.candidates(), 13);
     }
@@ -200,5 +225,8 @@ mod tests {
         assert!(s.contains("considered=3"));
         assert!(s.contains("prefetch: hits=0, stalls=0"));
         assert!(s.contains("direct: opens=0, fallbacks=0"));
+        assert!(s.contains("io_retries=0"));
+        assert!(s.contains("checksum_failures=0"));
+        assert!(s.contains("quarantined=0"));
     }
 }

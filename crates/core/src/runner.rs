@@ -11,7 +11,9 @@ use crate::single_pass::run_single_pass;
 use crate::spider::run_spider;
 use crate::spider_parallel::{run_spider_parallel, run_spider_parallel_shared};
 use ind_storage::{Database, QualifiedName};
-use ind_valueset::{ExportOptions, ExportedDatabase, Result, ValueSetProvider};
+use ind_valueset::{
+    ExportOptions, ExportedDatabase, FailedAttribute, Result, ValueCursor, ValueSetProvider,
+};
 use std::path::Path;
 use std::time::Instant;
 
@@ -92,6 +94,31 @@ impl Algorithm {
     }
 }
 
+/// Machine-readable summary of a keep-going (degraded) discovery run:
+/// which attributes were quarantined and what the fault counters saw.
+/// Present on [`Discovery::degraded`] whenever keep-going mode was on —
+/// with an empty `quarantined` list when nothing actually failed.
+#[derive(Debug, Clone, Default)]
+pub struct DegradedReport {
+    /// Attributes excluded from the run (export failures plus value files
+    /// that failed the pre-scan), with the error that condemned each.
+    pub quarantined: Vec<FailedAttribute>,
+    /// Transient I/O faults healed by the retrying wrapper across export,
+    /// pre-scan, and discovery.
+    pub io_retries: u64,
+    /// Checksum mismatches detected across export, pre-scan, and
+    /// discovery.
+    pub checksum_failures: u64,
+}
+
+impl DegradedReport {
+    /// True when every attribute survived — the run was complete despite
+    /// running in keep-going mode.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty()
+    }
+}
+
 /// The result of a discovery run.
 #[derive(Debug, Clone)]
 pub struct Discovery {
@@ -101,6 +128,8 @@ pub struct Discovery {
     pub satisfied: Vec<Candidate>,
     /// Counters for the whole run.
     pub metrics: RunMetrics,
+    /// Keep-going degradation summary; `None` for strict (default) runs.
+    pub degraded: Option<DegradedReport>,
 }
 
 impl Discovery {
@@ -183,9 +212,28 @@ impl IndFinder {
     where
         P: ValueSetProvider + Sync,
     {
+        self.discover_filtered(profiles, provider, &[])
+    }
+
+    /// [`IndFinder::discover`] with a quarantine list: every candidate
+    /// touching a quarantined attribute is dropped before sampling and
+    /// testing, so a poisoned value file can never reach a cursor.
+    fn discover_filtered<P>(
+        &self,
+        profiles: &[AttributeProfile],
+        provider: &P,
+        quarantined: &[u32],
+    ) -> Result<Discovery>
+    where
+        P: ValueSetProvider + Sync,
+    {
         let start = Instant::now();
         let mut metrics = RunMetrics::new();
         let mut candidates = generate_candidates(profiles, &self.config.pretests, &mut metrics);
+        if !quarantined.is_empty() {
+            candidates.retain(|c| !quarantined.contains(&c.dep) && !quarantined.contains(&c.refd));
+            metrics.quarantined_attributes = quarantined.len() as u64;
+        }
         if let Some(sampling) = &self.config.sampling {
             candidates = sampling_pretest(provider, &candidates, sampling, &mut metrics)?;
         }
@@ -217,6 +265,7 @@ impl IndFinder {
             profiles: profiles.to_vec(),
             satisfied,
             metrics,
+            degraded: None,
         })
     }
 
@@ -250,6 +299,14 @@ impl IndFinder {
     /// workers opening k descriptors per file would multiply both the
     /// open-file footprint and the physical scan count, so one streamer per
     /// file feeds all partitions instead.
+    /// When [`ExportOptions::keep_going`] is set, the run degrades instead
+    /// of dying: export failures are quarantined by the export itself,
+    /// then every surviving value file is pre-scanned through the checksum
+    /// verifier and unreadable/corrupt ones are quarantined too. All
+    /// candidates touching a quarantined attribute are dropped, the run
+    /// completes over the healthy remainder, and
+    /// [`Discovery::degraded`] carries the machine-readable
+    /// [`DegradedReport`].
     pub fn discover_on_disk_with(
         &self,
         db: &Database,
@@ -258,18 +315,55 @@ impl IndFinder {
     ) -> Result<Discovery> {
         let export = ExportedDatabase::export(db, workdir, options)?;
         let profiles = profiles_from_export(&export);
+
+        let quarantined: Vec<FailedAttribute> = if options.keep_going {
+            let mut failed = export.failed_attributes().to_vec();
+            for attr in export.attributes() {
+                if failed.iter().any(|f| f.id == attr.id) {
+                    continue;
+                }
+                // Full drain through the verifying reader: any torn write,
+                // bit flip, or unreadable file surfaces here, before its
+                // bytes can influence a single candidate.
+                if let Err(e) = drain_attribute(&export, attr.id) {
+                    failed.push(FailedAttribute {
+                        id: attr.id,
+                        name: attr.name.clone(),
+                        error: e.to_string(),
+                    });
+                }
+            }
+            failed
+        } else {
+            Vec::new()
+        };
+        let quarantined_ids: Vec<u32> = quarantined.iter().map(|f| f.id).collect();
+        // Export- and pre-scan-phase fault counters, captured before the
+        // pre-discovery reset wipes them.
+        let io_retries = export.io_retries();
+        let checksum_failures = export.checksum_failures();
+
         export.reset_read_calls();
         let mut discovery = match &self.config.algorithm {
             Algorithm::SpiderParallel { threads } => {
-                self.discover_shared(&profiles, &export, *threads)?
+                self.discover_shared(&profiles, &export, *threads, &quarantined_ids)?
             }
-            _ => self.discover(&profiles, &export)?,
+            _ => self.discover_filtered(&profiles, &export, &quarantined_ids)?,
         };
         discovery.metrics.read_calls = export.read_calls();
         discovery.metrics.prefetch_hits = export.prefetch_hits();
         discovery.metrics.prefetch_stalls = export.prefetch_stalls();
         discovery.metrics.direct_opens = export.direct_opens();
         discovery.metrics.direct_fallbacks = export.direct_fallbacks();
+        discovery.metrics.io_retries = io_retries + export.io_retries();
+        discovery.metrics.checksum_failures = checksum_failures + export.checksum_failures();
+        if options.keep_going {
+            discovery.degraded = Some(DegradedReport {
+                quarantined,
+                io_retries: discovery.metrics.io_retries,
+                checksum_failures: discovery.metrics.checksum_failures,
+            });
+        }
         Ok(discovery)
     }
 
@@ -282,10 +376,15 @@ impl IndFinder {
         profiles: &[AttributeProfile],
         export: &ExportedDatabase,
         threads: usize,
+        quarantined: &[u32],
     ) -> Result<Discovery> {
         let start = Instant::now();
         let mut metrics = RunMetrics::new();
         let mut candidates = generate_candidates(profiles, &self.config.pretests, &mut metrics);
+        if !quarantined.is_empty() {
+            candidates.retain(|c| !quarantined.contains(&c.dep) && !quarantined.contains(&c.refd));
+            metrics.quarantined_attributes = quarantined.len() as u64;
+        }
         if let Some(sampling) = &self.config.sampling {
             candidates = sampling_pretest(export, &candidates, sampling, &mut metrics)?;
         }
@@ -297,8 +396,18 @@ impl IndFinder {
             profiles: profiles.to_vec(),
             satisfied,
             metrics,
+            degraded: None,
         })
     }
+}
+
+/// Fully drains attribute `id` through the verifying reader, discarding
+/// the values — the keep-going pre-scan that proves a value file healthy
+/// (or condemns it) before any candidate depends on it.
+fn drain_attribute(export: &ExportedDatabase, id: u32) -> Result<()> {
+    let mut cursor = export.open(id)?;
+    while cursor.advance()? {}
+    Ok(())
 }
 
 #[cfg(test)]
@@ -486,6 +595,115 @@ mod tests {
         };
         let with_sampling = IndFinder::new(s_cfg).discover_in_memory(&db).unwrap();
         assert_eq!(with_sampling.satisfied, baseline.satisfied);
+    }
+
+    /// Export options with `spec` parsed into an injected fault plan.
+    fn fault_options(spec: &str) -> ExportOptions {
+        let plan = std::sync::Arc::new(ind_valueset::FaultPlan::parse(spec).unwrap());
+        let mut options = ExportOptions::default();
+        options.sort.io = ind_valueset::IoOptions::default().with_fault(plan);
+        options
+    }
+
+    #[test]
+    fn keep_going_quarantines_a_corrupt_value_file_and_keeps_healthy_fks() {
+        let db = sample_db();
+        let finder = IndFinder::with_algorithm(Algorithm::SinglePass);
+        let clean_dir = TempDir::new("runner-kg-clean");
+        let baseline = finder.discover_on_disk(&db, clean_dir.path()).unwrap();
+        assert!(expected_ind(&baseline));
+        assert!(baseline.degraded.is_none(), "strict runs carry no report");
+
+        // Bit-flip in parent.label's value file (attribute id 1): the
+        // keep-going pre-scan condemns it, everything else proceeds
+        // untouched — including the gold FK, which never involves it.
+        let dir = TempDir::new("runner-kg-flip");
+        let options = fault_options("read:attr-00001:flip=40").keep_going(true);
+        let d = finder
+            .discover_on_disk_with(&db, dir.path(), &options)
+            .unwrap();
+        let report = d.degraded.as_ref().expect("keep-going always reports");
+        assert!(!report.is_clean());
+        assert_eq!(report.quarantined.len(), 1, "{:?}", report.quarantined);
+        assert_eq!(report.quarantined[0].id, 1);
+        assert_eq!(report.quarantined[0].name.to_string(), "parent.label");
+        assert!(report.checksum_failures >= 1);
+        assert_eq!(d.metrics.quarantined_attributes, 1);
+        assert_eq!(d.satisfied, baseline.satisfied);
+        assert!(expected_ind(&d));
+    }
+
+    #[test]
+    fn keep_going_survives_a_fault_that_kills_the_strict_run() {
+        let db = sample_db();
+        for algorithm in [
+            Algorithm::SinglePass,
+            Algorithm::SpiderParallel { threads: 3 },
+        ] {
+            let finder = IndFinder::with_algorithm(algorithm.clone());
+            let strict_dir = TempDir::new("runner-kg-strict");
+            let strict = finder.discover_on_disk_with(
+                &db,
+                strict_dir.path(),
+                &fault_options("read:attr-00000:flip=60"),
+            );
+            assert!(
+                strict.is_err(),
+                "{algorithm:?}: strict run must die on the corruption"
+            );
+
+            let lax_dir = TempDir::new("runner-kg-lax");
+            let options = fault_options("read:attr-00000:flip=60").keep_going(true);
+            let d = finder
+                .discover_on_disk_with(&db, lax_dir.path(), &options)
+                .unwrap();
+            let report = d.degraded.as_ref().unwrap();
+            let ids: Vec<u32> = report.quarantined.iter().map(|f| f.id).collect();
+            assert_eq!(ids, vec![0], "{algorithm:?}");
+            assert!(
+                d.satisfied.iter().all(|c| c.dep != 0 && c.refd != 0),
+                "{algorithm:?}: no surviving IND may mention the quarantined attribute"
+            );
+        }
+    }
+
+    #[test]
+    fn keep_going_with_transient_faults_stays_clean_and_counts_retries() {
+        let db = sample_db();
+        let finder = IndFinder::with_algorithm(Algorithm::Spider);
+        let clean_dir = TempDir::new("runner-kg-eintr-base");
+        let baseline = finder.discover_on_disk(&db, clean_dir.path()).unwrap();
+        let dir = TempDir::new("runner-kg-eintr");
+        let options = fault_options("read:*:eintr@4,write:*:eintr@4").keep_going(true);
+        let d = finder
+            .discover_on_disk_with(&db, dir.path(), &options)
+            .unwrap();
+        let report = d.degraded.as_ref().unwrap();
+        assert!(
+            report.is_clean(),
+            "transient faults are healed, not quarantined: {:?}",
+            report.quarantined
+        );
+        assert!(report.io_retries >= 8, "retries: {}", report.io_retries);
+        assert_eq!(report.checksum_failures, 0);
+        assert_eq!(d.metrics.io_retries, report.io_retries);
+        assert_eq!(d.satisfied, baseline.satisfied);
+    }
+
+    #[test]
+    fn keep_going_reports_export_failures_in_the_degraded_report() {
+        let db = sample_db();
+        let finder = IndFinder::with_algorithm(Algorithm::SinglePass);
+        let dir = TempDir::new("runner-kg-enospc");
+        let options = fault_options("write:attr-00001:enospc").keep_going(true);
+        let d = finder
+            .discover_on_disk_with(&db, dir.path(), &options)
+            .unwrap();
+        let report = d.degraded.as_ref().unwrap();
+        assert_eq!(report.quarantined.len(), 1, "{:?}", report.quarantined);
+        assert_eq!(report.quarantined[0].id, 1);
+        assert!(report.quarantined[0].error.contains("attr-00001"));
+        assert!(expected_ind(&d));
     }
 
     #[test]

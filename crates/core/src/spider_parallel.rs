@@ -556,6 +556,36 @@ mod tests {
     }
 
     #[test]
+    fn shared_stream_surfaces_mid_stream_faults_consumer_side() {
+        // A bit flip in the middle of one value file while the shared
+        // streamer is fanning records out: the partition workers must get a
+        // consumer-side `Corrupt` naming the file — never a hang, never a
+        // silently wrong IND set.
+        for threads in [1, 4] {
+            // Fresh export and fresh plan per round: a flip rule fires
+            // exactly once, so a shared plan would spend it on the first
+            // round and leave later rounds fault-free.
+            let dir = ind_testkit::TempDir::new("spider-shared-fault");
+            let plan = std::sync::Arc::new(
+                ind_valueset::FaultPlan::parse("read:attr-00000:flip=200").unwrap(),
+            );
+            let mut options = ind_valueset::ExportOptions::default();
+            options.sort.io = ind_valueset::IoOptions::default().with_fault(plan);
+            let export = export_fixture(dir.path(), &options);
+            let profiles = crate::profiles_from_export(&export);
+            let candidates = all_pairs(profiles.len() as u32);
+            let mut m = RunMetrics::new();
+            match run_spider_parallel_shared(&export, &profiles, &candidates, threads, &mut m) {
+                Err(e) => {
+                    let msg = e.to_string();
+                    assert!(msg.contains("attr-00000"), "threads={threads}: {msg}");
+                }
+                Ok(_) => panic!("threads={threads}: corruption must surface, not vanish"),
+            }
+        }
+    }
+
+    #[test]
     fn partitions_read_no_value_twice_in_memory() {
         // Memory cursors seek by binary search, so across all partitions
         // each value is produced exactly once — items_read must not exceed

@@ -35,6 +35,26 @@ pub struct HotAllocConfig {
     pub deny: Vec<String>,
 }
 
+/// `[rules.fs_open]`: raw filesystem opens (`File::open(`,
+/// `File::create(`, `OpenOptions::new(`) denied inside designated crates
+/// so every descriptor is acquired through the fault-injection wrapper
+/// (`ind_valueset::fault`) and stays coverable by fault plans.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FsOpenConfig {
+    /// Workspace-relative path prefixes the rule applies under.
+    pub paths: Vec<String>,
+    /// Path prefixes exempt from the rule (the wrapper itself).
+    pub exclude: Vec<String>,
+}
+
+impl FsOpenConfig {
+    /// Whether the rule applies to `path`.
+    pub fn applies(&self, path: &str) -> bool {
+        self.paths.iter().any(|p| path_has_prefix(path, p))
+            && !self.exclude.iter().any(|p| path_has_prefix(path, p))
+    }
+}
+
 /// The full `lint.toml` configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Config {
@@ -44,6 +64,8 @@ pub struct Config {
     pub exclude: Vec<String>,
     /// `[rules.hot_alloc]`, if enabled.
     pub hot_alloc: Option<HotAllocConfig>,
+    /// `[rules.fs_open]`, if enabled.
+    pub fs_open: Option<FsOpenConfig>,
     /// `[rules.no_unwrap]`, if enabled.
     pub no_unwrap: Option<RuleScope>,
     /// `[rules.safety_comment]`, if enabled.
@@ -97,6 +119,7 @@ impl Config {
             include: Vec::new(),
             exclude: Vec::new(),
             hot_alloc: None,
+            fs_open: None,
             no_unwrap: None,
             safety_comment: None,
             swallowed_result: None,
@@ -126,6 +149,20 @@ impl Config {
                 }
             }
             config.hot_alloc = Some(rule);
+        }
+
+        if let Some(table) = sections.remove("rules.fs_open") {
+            let mut rule = FsOpenConfig::default();
+            for (key, (value, line)) in table {
+                match key.as_str() {
+                    "paths" => rule.paths = expect_array(value, line, "paths")?,
+                    "exclude" => rule.exclude = expect_array(value, line, "exclude")?,
+                    other => {
+                        return Err(err(line, format!("unknown key `rules.fs_open.{other}`")));
+                    }
+                }
+            }
+            config.fs_open = Some(rule);
         }
 
         for (name, slot) in [
@@ -347,6 +384,10 @@ exclude = [
 paths = ["crates/core/src/spider.rs"]
 deny = ["Vec::new", ".to_vec("]
 
+[rules.fs_open]
+paths = ["crates/valueset"]
+exclude = ["crates/valueset/src/fault.rs"]
+
 [rules.no_unwrap]
 exclude = ["crates/bench"]
 
@@ -364,9 +405,23 @@ exclude = []
         let hot = c.hot_alloc.unwrap();
         assert_eq!(hot.paths, vec!["crates/core/src/spider.rs"]);
         assert_eq!(hot.deny, vec!["Vec::new", ".to_vec("]);
+        let fs_open = c.fs_open.unwrap();
+        assert_eq!(fs_open.paths, vec!["crates/valueset"]);
+        assert_eq!(fs_open.exclude, vec!["crates/valueset/src/fault.rs"]);
         assert_eq!(c.no_unwrap.unwrap().exclude, vec!["crates/bench"]);
         assert!(c.safety_comment.unwrap().exclude.is_empty());
         assert!(c.swallowed_result.is_some());
+    }
+
+    #[test]
+    fn fs_open_scope_applies_inside_paths_minus_excludes() {
+        let rule = FsOpenConfig {
+            paths: vec!["crates/valueset".to_string()],
+            exclude: vec!["crates/valueset/src/fault.rs".to_string()],
+        };
+        assert!(rule.applies("crates/valueset/src/block.rs"));
+        assert!(!rule.applies("crates/valueset/src/fault.rs"));
+        assert!(!rule.applies("crates/core/src/runner.rs"));
     }
 
     #[test]

@@ -1,11 +1,16 @@
 //! The rule engine: turns one lexed file into diagnostics.
 //!
-//! Four rules guard the invariants PRs 2–5 established:
+//! Five rules guard the invariants the PRs so far established:
 //!
 //! - **hot_alloc** — allocation idioms (`Vec::new`, `.to_vec(`, `.clone(`,
 //!   `format!`, …) are denied inside the designated hot-path modules, so
 //!   the zero-alloc merge/export property is guarded structurally, not
 //!   just by the counting allocator in the bench harness.
+//! - **fs_open** — raw descriptor acquisition (`File::open`,
+//!   `File::create`, `OpenOptions::new`) is denied inside the configured
+//!   crates (minus the wrapper itself), so every open in the storage
+//!   substrate goes through `ind_valueset::fault` and stays reachable by
+//!   injected fault plans.
 //! - **no_unwrap** — `.unwrap()` / `.expect(` / `panic!` are denied in
 //!   library code; errors must flow through the crates' `Result` types.
 //! - **safety_comment** — every `unsafe` block or `unsafe impl` must be
@@ -33,7 +38,7 @@
 //! suppresses nothing is reported too (`unused_allow`) so stale escapes
 //! cannot accumulate.
 
-use crate::config::{Config, HotAllocConfig, RuleScope};
+use crate::config::{Config, FsOpenConfig, HotAllocConfig, RuleScope};
 use crate::diag::Diagnostic;
 use crate::lexer::{lex, LexError, Token, TokenKind};
 
@@ -82,6 +87,9 @@ impl Pattern {
 /// The default `no_unwrap` idioms.
 pub const NO_UNWRAP_IDIOMS: &[&str] = &[".unwrap(", ".expect(", "panic!("];
 
+/// The `fs_open` idioms: every way of acquiring a raw file descriptor.
+pub const FS_OPEN_IDIOMS: &[&str] = &["File::open(", "File::create(", "OpenOptions::new("];
+
 /// The default `swallowed_result` idioms.
 pub const SWALLOWED_IDIOMS: &[&str] = &["let _ =", ".ok();"];
 
@@ -98,6 +106,9 @@ pub fn lint_file(path: &str, src: &str, config: &Config) -> Vec<Diagnostic> {
 
     if let Some(hot) = &config.hot_alloc {
         analysis.run_hot_alloc(hot, &mut diags);
+    }
+    if let Some(rule) = &config.fs_open {
+        analysis.run_fs_open(rule, &mut diags);
     }
     if let Some(scope) = &config.no_unwrap {
         analysis.run_pattern_rule(
@@ -290,6 +301,32 @@ impl<'a> FileAnalysis<'a> {
                         format!(
                             "allocation idiom `{}` in hot-path module; the merge/export \
                              loops must stay allocation-free",
+                            pattern.display
+                        ),
+                    ));
+                }
+            });
+        }
+    }
+
+    fn run_fs_open(&self, rule: &FsOpenConfig, diags: &mut Vec<Diagnostic>) {
+        if !rule.applies(self.path) {
+            return;
+        }
+        for idiom in FS_OPEN_IDIOMS {
+            let compiled = Pattern::compile(idiom);
+            debug_assert!(compiled.is_ok(), "built-in idiom must compile: {idiom}");
+            let Ok(pattern) = compiled else { continue };
+            self.match_pattern(&pattern, true, |token, span| {
+                if !self.allowed("fs_open", token.line) {
+                    diags.push(self.diag(
+                        "fs_open",
+                        token,
+                        span,
+                        format!(
+                            "raw filesystem open `{}` bypasses the fault wrapper; route \
+                             through `fault::{{open_file, create_file}}` or gate with \
+                             `fault::check_open` so fault plans cover this descriptor",
                             pattern.display
                         ),
                     ));
@@ -580,6 +617,10 @@ exclude = []
 paths = ["hot.rs"]
 deny = ["Vec::new", ".to_vec(", ".clone(", "format!", "Box::new", ".collect(", "String::from", "vec!"]
 
+[rules.fs_open]
+paths = ["crates/valueset"]
+exclude = ["crates/valueset/src/fault.rs"]
+
 [rules.no_unwrap]
 exclude = []
 
@@ -604,6 +645,42 @@ exclude = []
         let src = "fn f() { let v = Vec::new(); }\n";
         assert_eq!(rules_of("hot.rs", src), vec!["hot_alloc:1"]);
         assert_eq!(rules_of("cold.rs", src), Vec::<String>::new());
+    }
+
+    #[test]
+    fn fs_open_fires_in_scope_and_spares_the_wrapper_and_tests() {
+        let open = "fn f() { let f = std::fs::File::open(\"x\"); }\n";
+        assert_eq!(
+            rules_of("crates/valueset/src/block.rs", open),
+            vec!["fs_open:1"]
+        );
+        let create = "fn f() { std::fs::OpenOptions::new().read(true); }\n";
+        assert_eq!(
+            rules_of("crates/valueset/src/format.rs", create),
+            vec!["fs_open:1"]
+        );
+        // The wrapper itself and out-of-scope crates are exempt.
+        assert_eq!(
+            rules_of("crates/valueset/src/fault.rs", open),
+            Vec::<String>::new()
+        );
+        assert_eq!(
+            rules_of("crates/core/src/runner.rs", open),
+            Vec::<String>::new()
+        );
+        // Test code opens files freely.
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn t() { std::fs::File::open(\"x\"); }\n}\n";
+        assert_eq!(
+            rules_of("crates/valueset/src/block.rs", in_test),
+            Vec::<String>::new()
+        );
+        // The escape hatch works for the one gated direct-I/O site.
+        let allowed = "// lint: allow(fs_open) — gated by fault::check_open in the caller\n\
+                       fn f() { std::fs::OpenOptions::new().read(true); }\n";
+        assert_eq!(
+            rules_of("crates/valueset/src/block.rs", allowed),
+            Vec::<String>::new()
+        );
     }
 
     #[test]

@@ -103,6 +103,7 @@ pub fn run_sql_discovery(
         profiles,
         satisfied,
         metrics,
+        degraded: None,
     })
 }
 

@@ -34,11 +34,11 @@ use std::io::Read;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Smallest usable block: must hold a value-file header (16 bytes). Smaller
-/// requested sizes are clamped up, so even pathological configurations
-/// (block sizes of a few bytes, used by the boundary tests) stay correct —
-/// just slow.
-pub const MIN_BLOCK_SIZE: usize = 16;
+/// Smallest usable block: must hold a value-file header (20 bytes in
+/// format v2). Smaller requested sizes are clamped up, so even
+/// pathological configurations (block sizes of a few bytes, used by the
+/// boundary tests) stay correct — just slow.
+pub const MIN_BLOCK_SIZE: usize = 32;
 
 /// Default block size: 256 KiB amortises syscall overhead at multi-GB scale
 /// while staying cache- and memory-friendly with hundreds of open cursors.
@@ -51,7 +51,13 @@ pub const DEFAULT_BLOCK_SIZE: usize = 256 * 1024;
 pub const INITIAL_READAHEAD: usize = 8 * 1024;
 
 /// Tuning for the value-file I/O layer, shared by readers and writers.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Equality compares only the tuning knobs (block size, hints, prefetch,
+/// direct I/O, checksum verification) — the runtime attachments
+/// ([`IoOptions::fault`], [`IoOptions::stats`]) are deliberately excluded,
+/// so two configurations that read files the same way compare equal even
+/// when only one of them is instrumented.
+#[derive(Debug, Clone)]
 pub struct IoOptions {
     /// Bytes per I/O block: the unit of reader fills and writer flushes.
     /// Values below [`MIN_BLOCK_SIZE`] are clamped up at use time.
@@ -82,6 +88,22 @@ pub struct IoOptions {
     /// [`ReadStats::direct_fallbacks`], and the knob never fails an open.
     /// Off by default.
     pub direct_io: bool,
+    /// Verify format-v2 frame checksums on every fill (and header/footer
+    /// checksums at open/end of stream). On by default: the cost is one
+    /// CRC32C pass per byte, paid on the prefetch worker thread when
+    /// overlapped reads are on. Turning it off still strips the v2
+    /// framing and still detects structural damage (truncation, bad
+    /// geometry); it only skips the checksum comparisons.
+    pub verify_checksums: bool,
+    /// A fault plan injected beneath every reader, writer, and open this
+    /// configuration touches (see [`crate::fault`]). `None` (the default)
+    /// costs nothing on the I/O path.
+    pub fault: Option<Arc<crate::fault::FaultPlan>>,
+    /// Fallback shared counters for call sites that do not thread an
+    /// explicit [`ReadStats`] (the spill merge opens its run readers
+    /// through options alone). An explicit `stats` argument at an open
+    /// site always wins over this field.
+    pub stats: Option<ReadStats>,
 }
 
 impl Default for IoOptions {
@@ -91,9 +113,24 @@ impl Default for IoOptions {
             sequential_hint: false,
             prefetch: false,
             direct_io: false,
+            verify_checksums: true,
+            fault: None,
+            stats: None,
         }
     }
 }
+
+impl PartialEq for IoOptions {
+    fn eq(&self, other: &Self) -> bool {
+        self.block_size == other.block_size
+            && self.sequential_hint == other.sequential_hint
+            && self.prefetch == other.prefetch
+            && self.direct_io == other.direct_io
+            && self.verify_checksums == other.verify_checksums
+    }
+}
+
+impl Eq for IoOptions {}
 
 impl IoOptions {
     /// Options with the given block size (clamped to [`MIN_BLOCK_SIZE`] at
@@ -120,6 +157,25 @@ impl IoOptions {
     /// Builder toggle for `O_DIRECT` opens ([`IoOptions::direct_io`]).
     pub fn direct(mut self, direct_io: bool) -> Self {
         self.direct_io = direct_io;
+        self
+    }
+
+    /// Builder toggle for checksum verification
+    /// ([`IoOptions::verify_checksums`]).
+    pub fn verify(mut self, verify_checksums: bool) -> Self {
+        self.verify_checksums = verify_checksums;
+        self
+    }
+
+    /// Attaches a fault plan ([`IoOptions::fault`]).
+    pub fn with_fault(mut self, plan: Arc<crate::fault::FaultPlan>) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Attaches fallback shared counters ([`IoOptions::stats`]).
+    pub fn with_stats(mut self, stats: ReadStats) -> Self {
+        self.stats = Some(stats);
         self
     }
 
@@ -295,6 +351,7 @@ mod direct {
         /// tmpfs and many overlay filesystems do) so the caller can fall
         /// back to a buffered open.
         pub(crate) fn open(path: &Path, block_size: usize) -> std::io::Result<DirectFile> {
+            // lint: allow(fs_open) — O_DIRECT needs custom flags; the sole caller (open_path) gates it with fault::check_open
             let file = std::fs::OpenOptions::new()
                 .read(true)
                 .custom_flags(O_DIRECT)
@@ -409,10 +466,16 @@ impl Read for PhysicalFile {
 
 /// Where a [`BlockReader`]'s bytes come from: a file read synchronously on
 /// the consuming thread, or a prefetch worker delivering blocks over a
-/// bounded channel.
+/// bounded channel. Either way the bytes flow through the same stack —
+/// physical file, fault-injection wrapper, v2 frame decoder — so checksum
+/// verification and transient-error retry happen beneath the block buffer
+/// on whichever thread issues the reads.
+// One `Source` exists per reader and is never stored in bulk, so the size
+// spread between the variants costs nothing.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 enum Source {
-    Sync(PhysicalFile),
+    Sync(crate::frame::FrameStream),
     Prefetch(crate::prefetch::PrefetchReader),
 }
 
@@ -428,6 +491,8 @@ pub struct ReadStats {
     direct_opens: Arc<AtomicU64>,
     direct_fallbacks: Arc<AtomicU64>,
     file_opens: Arc<AtomicU64>,
+    io_retries: Arc<AtomicU64>,
+    checksum_failures: Arc<AtomicU64>,
 }
 
 impl ReadStats {
@@ -481,6 +546,22 @@ impl ReadStats {
         self.file_opens.load(Ordering::Relaxed)
     }
 
+    /// Transient I/O faults healed invisibly at the retrying wrapper:
+    /// `ErrorKind::Interrupted` retries (real or injected) and absorbed
+    /// short reads. A non-zero value means the run degraded gracefully,
+    /// not that anything was lost.
+    pub fn io_retries(&self) -> u64 {
+        self.io_retries.load(Ordering::Relaxed)
+    }
+
+    /// Format-v2 checksum mismatches detected (frame, footer, or header
+    /// CRC). Each one also surfaced as a `Corrupt` error to the consumer
+    /// — this counter exists so a degraded run can report *how much*
+    /// corruption it saw.
+    pub fn checksum_failures(&self) -> u64 {
+        self.checksum_failures.load(Ordering::Relaxed)
+    }
+
     /// Resets the counters to zero (between measured phases).
     pub fn reset(&self) {
         self.calls.store(0, Ordering::Relaxed);
@@ -490,6 +571,8 @@ impl ReadStats {
         self.direct_opens.store(0, Ordering::Relaxed);
         self.direct_fallbacks.store(0, Ordering::Relaxed);
         self.file_opens.store(0, Ordering::Relaxed);
+        self.io_retries.store(0, Ordering::Relaxed);
+        self.checksum_failures.store(0, Ordering::Relaxed);
     }
 
     pub(crate) fn bump(&self) {
@@ -518,6 +601,14 @@ impl ReadStats {
 
     fn bump_file_open(&self) {
         self.file_opens.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_io_retry(&self) {
+        self.io_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_checksum_failure(&self) {
+        self.checksum_failures.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -595,6 +686,9 @@ impl BlockReader {
         stats: Option<ReadStats>,
         file_len: Option<u64>,
     ) -> std::io::Result<Self> {
+        // lint: allow(hot_alloc) — once per open: attached stats fall back to the options' handle
+        let stats = stats.or_else(|| options.stats.clone());
+        crate::fault::check_open(path, options.fault.as_ref())?;
         let physical = if options.direct_io {
             match DirectFile::open(path, options.effective_block_size()) {
                 Ok(direct) => {
@@ -610,11 +704,11 @@ impl BlockReader {
                     if let Some(stats) = &stats {
                         stats.bump_direct_fallback();
                     }
-                    PhysicalFile::Buffered(File::open(path)?)
+                    PhysicalFile::Buffered(crate::fault::open_file(path)?)
                 }
             }
         } else {
-            PhysicalFile::Buffered(File::open(path)?)
+            PhysicalFile::Buffered(crate::fault::open_file(path)?)
         };
         let file_len = match file_len {
             Some(len) => len,
@@ -636,17 +730,25 @@ impl BlockReader {
         let capacity = usize::try_from(file_len)
             .unwrap_or(usize::MAX)
             .clamp(MIN_BLOCK_SIZE, options.effective_block_size());
+        let stream = crate::frame::FrameStream::new(
+            // lint: allow(hot_alloc) — once per open: the wrapper clones the shared counter handles
+            crate::fault::FaultFile::new(physical, path, options.fault.clone(), stats.clone()),
+            options.verify_checksums,
+            // lint: allow(hot_alloc) — once per open
+            stats.clone(),
+        );
         let source = if options.prefetch {
-            // Move the descriptor to a worker; the consumer side only
-            // ever touches the channel from here on.
+            // Move the verified stream to a worker: checksum verification
+            // happens on the worker thread, overlapped with consumption;
+            // the consumer side only ever touches the channel from here on.
             Source::Prefetch(crate::prefetch::PrefetchReader::spawn(
-                physical,
+                stream,
                 capacity,
                 // lint: allow(hot_alloc) — once per open: the worker needs its own handle on the shared counters
                 stats.clone(),
             ))
         } else {
-            Source::Sync(physical)
+            Source::Sync(stream)
         };
         Ok(BlockReader {
             source,
@@ -665,6 +767,8 @@ impl BlockReader {
         stats: Option<ReadStats>,
         file_len: u64,
     ) -> Self {
+        // lint: allow(hot_alloc) — once per open: attached stats fall back to the options' handle
+        let stats = stats.or_else(|| options.stats.clone());
         if options.sequential_hint {
             // Page-cache advice only makes sense for buffered descriptors.
             if let PhysicalFile::Buffered(file) = &physical {
@@ -681,8 +785,23 @@ impl BlockReader {
         let capacity = usize::try_from(file_len)
             .unwrap_or(usize::MAX)
             .clamp(MIN_BLOCK_SIZE, options.effective_block_size());
+        // Anonymous descriptors carry no path: fault rules only reach them
+        // via a `*` matcher, and error annotation degrades gracefully.
+        let stream = crate::frame::FrameStream::new(
+            crate::fault::FaultFile::new(
+                physical,
+                std::path::Path::new(""),
+                // lint: allow(hot_alloc) — once per open: the wrapper owns its plan handle
+                options.fault.clone(),
+                // lint: allow(hot_alloc) — once per open: the wrapper owns its counter handle
+                stats.clone(),
+            ),
+            options.verify_checksums,
+            // lint: allow(hot_alloc) — once per open: the decoder owns its counter handle
+            stats.clone(),
+        );
         BlockReader {
-            source: Source::Sync(physical),
+            source: Source::Sync(stream),
             buf: Vec::with_capacity(capacity),
             start: 0,
             block_size: capacity,
@@ -866,7 +985,7 @@ mod tests {
     fn block_size_is_clamped_to_minimum() {
         let r = reader(b"0123456789", 1, None);
         assert_eq!(r.capacity(), MIN_BLOCK_SIZE);
-        assert_eq!(IoOptions::with_block_size(0).effective_block_size(), 16);
+        assert_eq!(IoOptions::with_block_size(0).effective_block_size(), 32);
         assert_eq!(IoOptions::default().effective_block_size(), 256 * 1024);
     }
 

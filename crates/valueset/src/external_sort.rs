@@ -302,6 +302,22 @@ impl ExternalSorter {
         }
     }
 
+    /// Discards everything buffered or spilled so far: clears the arena
+    /// and index (keeping warm capacity), removes any spill-run files
+    /// best-effort, and zeroes the pushed counter. The keep-going export
+    /// path calls this after an attribute fails *mid-extraction* — before
+    /// [`ExternalSorter::finish_into`] could run its own reset — so the
+    /// next attribute starts from a clean sorter with no stale values and
+    /// no leaked run files.
+    pub fn reset(&mut self) {
+        for path in self.runs.drain(..) {
+            // lint: allow(swallowed_result) — quarantine cleanup: the attribute already failed, its runs are best-effort garbage
+            let _ = std::fs::remove_file(&path);
+        }
+        self.reset_buffers();
+        self.pushed = 0;
+    }
+
     fn too_large(&self) -> ValueSetError {
         ValueSetError::Corrupt {
             // lint: allow(hot_alloc) — cold error-construction path, never on a successful sort
@@ -398,7 +414,7 @@ impl ExternalSorter {
         let mut cleanup: Option<std::io::Error> = None;
         for path in self.runs.drain(..) {
             if let Err(e) = std::fs::remove_file(&path) {
-                cleanup.get_or_insert(e);
+                cleanup.get_or_insert(crate::fault::annotate(&path, e));
             }
         }
         let stats = SortStats {
@@ -768,6 +784,69 @@ mod tests {
         assert_eq!(stats.pushed, 3, "pushed resets after a failed finish");
         let out = collect_cursor(ValueFileReader::open(&retry_path).unwrap()).unwrap();
         assert_eq!(out, expected(&[b"aa", b"zz"]));
+    }
+
+    #[test]
+    fn reset_discards_buffered_values_and_spill_runs() {
+        // A mid-extraction failure leaves the sorter holding values and
+        // run files; reset must clear both so a quarantining caller can
+        // move on to the next attribute.
+        let dir = TempDir::new("extsort-reset");
+        let spill = dir.join("spill");
+        let mut sorter = ExternalSorter::new(&spill, SortOptions::with_memory_budget(16)).unwrap();
+        for i in 0..64 {
+            sorter.push(format!("{i:04}").as_bytes()).unwrap();
+        }
+        assert!(!sorter.runs.is_empty(), "need spilled runs to clean");
+        sorter.reset();
+        let leftovers: Vec<_> = std::fs::read_dir(&spill).unwrap().collect();
+        assert!(leftovers.is_empty(), "reset removes spill runs");
+        for v in [b"bb".as_slice(), b"aa"] {
+            sorter.push(v).unwrap();
+        }
+        let out_path = dir.join("out.indv");
+        let mut w = ValueFileWriter::create(&out_path).unwrap();
+        let stats = sorter.finish_into(&mut w).unwrap();
+        w.finish().unwrap();
+        assert_eq!(stats.pushed, 2, "pushed restarts from zero after reset");
+        let out = collect_cursor(ValueFileReader::open(&out_path).unwrap()).unwrap();
+        assert_eq!(out, expected(&[b"aa", b"bb"]));
+    }
+
+    #[test]
+    fn spill_enospc_surfaces_with_the_run_path() {
+        // An injected ENOSPC on a spill write must fail the push that
+        // triggered the spill, naming the run file.
+        let dir = TempDir::new("extsort-enospc");
+        let plan =
+            std::sync::Arc::new(crate::fault::FaultPlan::parse("write:run-:enospc").unwrap());
+        let mut sorter = ExternalSorter::new(
+            &dir.join("spill"),
+            SortOptions {
+                memory_budget_bytes: 16,
+                io: IoOptions::default().with_fault(plan),
+            },
+        )
+        .unwrap();
+        let mut failed = None;
+        for i in 0..64 {
+            if let Err(e) = sorter.push(format!("{i:04}").as_bytes()) {
+                failed = Some(e);
+                break;
+            }
+        }
+        let err = failed.expect("a spill must hit the injected ENOSPC");
+        assert!(matches!(err, ValueSetError::Io(_)));
+        assert!(
+            err.to_string().contains("run-"),
+            "the error names the spill run: {err}"
+        );
+        // The quarantine path: reset and reuse.
+        sorter.reset();
+        sorter.push(b"ok").unwrap();
+        let mut w = ValueFileWriter::create(&dir.join("out.indv")).unwrap();
+        assert_eq!(sorter.finish_into(&mut w).unwrap().distinct, 1);
+        w.finish().unwrap();
     }
 
     #[test]

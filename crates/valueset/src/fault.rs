@@ -1,0 +1,681 @@
+//! Deterministic fault injection for every I/O path in this crate.
+//!
+//! A [`FaultPlan`] is a small set of rules — *which operation*, *which
+//! file*, *which fault, how often* — attached to [`crate::IoOptions`] and
+//! consulted by the one place all physical I/O flows through: the
+//! [`FaultFile`] read wrapper beneath [`crate::BlockReader`], the
+//! `write_all`/open helpers used by [`crate::ValueFileWriter`] and the
+//! spill writer, and the open path of every reader. Because the prefetch
+//! worker and the shared-stream streamer read through the same wrapper,
+//! a plan injected at the bottom exercises the error arms of the whole
+//! stack — block reader, format decoder, external-sort merge, prefetch
+//! channel, partition fan-out — on the consumer side.
+//!
+//! The wrapper is also where *transient* faults are healed: an
+//! `ErrorKind::Interrupted` (injected or real) is retried in place and an
+//! injected short read is absorbed by the caller's fill loop; both count
+//! into [`ReadStats::io_retries`] so a degraded run is visible in the
+//! metrics without being fatal.
+//!
+//! ## Plan syntax
+//!
+//! A plan is a comma-separated list of `op:match:kind` rules:
+//!
+//! ```text
+//! read:attr-00002:flip=57 , write:run-:enospc , read:*:eintr@3
+//! ```
+//!
+//! * `op` — `read`, `write`, or `open`.
+//! * `match` — a substring of the file path; `*` matches every file.
+//! * `kind` — `eintr` (read/write), `short` (read), `truncate=N` (read:
+//!   the file appears to end at byte `N`), `flip=N` (read: one bit of
+//!   byte `N` is flipped, chosen by the plan's seed), `enospc` (write),
+//!   `fail` (open).
+//! * an optional `@count` fires the rule that many times (default once;
+//!   `truncate` is persistent).
+
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::block::{PhysicalFile, ReadStats};
+
+/// Operations a rule can target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultOp {
+    Read,
+    Write,
+    Open,
+}
+
+/// The fault a rule injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultKind {
+    /// Clamp a read to roughly half its requested length (min 1 byte):
+    /// the caller's fill loop must absorb it.
+    ShortRead,
+    /// `ErrorKind::Interrupted`: the wrapper must retry transparently.
+    Interrupted,
+    /// `ENOSPC` on a write.
+    NoSpace,
+    /// Reads behave as if the file ended at byte `N`.
+    TruncateAt(u64),
+    /// One bit of byte `N` (seed-chosen) is flipped on the read that
+    /// delivers it.
+    BitFlipAt(u64),
+    /// The open itself fails.
+    FailOpen,
+}
+
+#[derive(Debug)]
+struct FaultRule {
+    op: FaultOp,
+    /// Path substring; `*` matches everything.
+    matcher: String,
+    kind: FaultKind,
+    /// Remaining firings; `u64::MAX` means unlimited.
+    remaining: AtomicU64,
+}
+
+impl FaultRule {
+    fn matches(&self, op: FaultOp, path: &Path) -> bool {
+        self.op == op && (self.matcher == "*" || path.to_string_lossy().contains(&self.matcher))
+    }
+
+    /// Consumes one firing; `false` once the budget is spent.
+    fn take(&self) -> bool {
+        loop {
+            let cur = self.remaining.load(Ordering::Relaxed);
+            if cur == 0 {
+                return false;
+            }
+            if cur == u64::MAX {
+                return true; // unlimited
+            }
+            if self
+                .remaining
+                .compare_exchange(cur, cur - 1, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return true;
+            }
+        }
+    }
+}
+
+/// What [`FaultPlan::before_read`] tells the wrapper to do.
+pub(crate) enum ReadCheck {
+    /// Read up to `want` bytes; `shortened` when a short-read fault
+    /// clamped the request (counted as an absorbed retry).
+    Proceed { want: usize, shortened: bool },
+    /// The (injected) file end was reached.
+    Eof,
+    /// Fail the read with this error (`Interrupted` is retried in place).
+    Fail(io::Error),
+}
+
+/// A seeded, deterministic fault plan. See the module docs for the rule
+/// syntax. The plan is `Sync`: one `Arc<FaultPlan>` in
+/// [`crate::IoOptions`] serves every reader, writer, and worker thread of
+/// a run, and [`FaultPlan::fired`] reports which rules actually fired.
+#[derive(Debug)]
+pub struct FaultPlan {
+    rules: Vec<FaultRule>,
+    seed: u64,
+    fired: Mutex<Vec<String>>,
+}
+
+/// Cap on the fired-log length: sweeps that trip the same persistent rule
+/// thousands of times must not grow without bound.
+const FIRED_LOG_CAP: usize = 256;
+
+impl FaultPlan {
+    /// Parses a comma-separated rule list (see the module docs). Errors
+    /// describe the offending rule; an empty spec is a valid empty plan.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        // lint: allow(hot_alloc) — parse time, once per plan
+        let mut rules = Vec::new();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            rules.push(parse_rule(part)?);
+        }
+        Ok(FaultPlan {
+            rules,
+            seed: DEFAULT_SEED,
+            // lint: allow(hot_alloc) — parse time, once per plan
+            fired: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Replaces the seed that picks which bit a `flip=N` rule flips.
+    pub fn with_seed(mut self, seed: u64) -> FaultPlan {
+        self.seed = seed;
+        self
+    }
+
+    /// Human-readable descriptions of every fault that actually fired, in
+    /// firing order (capped at a few hundred entries).
+    pub fn fired(&self) -> Vec<String> {
+        // lint: allow(hot_alloc) — reporting accessor, not on any I/O path
+        lock(&self.fired).clone()
+    }
+
+    /// Number of faults that have fired so far.
+    pub fn fired_count(&self) -> usize {
+        lock(&self.fired).len()
+    }
+
+    fn note(&self, message: String) {
+        let mut log = lock(&self.fired);
+        if log.len() < FIRED_LOG_CAP {
+            log.push(message);
+        }
+    }
+
+    /// Consulted before a read of `want` bytes at `pos`.
+    pub(crate) fn before_read(&self, path: &Path, pos: u64, want: usize) -> ReadCheck {
+        let mut want = want;
+        let mut shortened = false;
+        for rule in &self.rules {
+            if !rule.matches(FaultOp::Read, path) {
+                continue;
+            }
+            match rule.kind {
+                FaultKind::Interrupted if rule.take() => {
+                    // lint: allow(hot_alloc) — cold fault path
+                    self.note(format!("read:eintr:{}@{pos}", path.display()));
+                    return ReadCheck::Fail(io::Error::new(
+                        io::ErrorKind::Interrupted,
+                        "injected EINTR",
+                    ));
+                }
+                FaultKind::ShortRead if want > 1 && rule.take() => {
+                    // lint: allow(hot_alloc) — cold fault path
+                    self.note(format!("read:short:{}@{pos}", path.display()));
+                    want = (want / 2).max(1);
+                    shortened = true;
+                }
+                FaultKind::TruncateAt(n) => {
+                    if pos >= n {
+                        if rule.take() {
+                            // lint: allow(hot_alloc) — cold fault path
+                            self.note(format!("read:truncate={n}:{}", path.display()));
+                        }
+                        return ReadCheck::Eof;
+                    }
+                    want = want.min(usize::try_from(n - pos).unwrap_or(usize::MAX));
+                }
+                _ => {}
+            }
+        }
+        ReadCheck::Proceed { want, shortened }
+    }
+
+    /// Consulted after a read that delivered `buf` starting at `pos`.
+    pub(crate) fn after_read(&self, path: &Path, pos: u64, buf: &mut [u8]) {
+        for rule in &self.rules {
+            if !rule.matches(FaultOp::Read, path) {
+                continue;
+            }
+            if let FaultKind::BitFlipAt(n) = rule.kind {
+                let end = pos + buf.len() as u64;
+                if n >= pos && n < end && rule.take() {
+                    let bit = (mix(self.seed ^ n) % 8) as u8;
+                    buf[(n - pos) as usize] ^= 1 << bit;
+                    // lint: allow(hot_alloc) — cold fault path
+                    self.note(format!("read:flip={n}.{bit}:{}", path.display()));
+                }
+            }
+        }
+    }
+
+    /// Consulted before a `write_all`; `Some(e)` fails (or, for
+    /// `Interrupted`, retries) the write.
+    pub(crate) fn before_write(&self, path: &Path) -> Option<io::Error> {
+        for rule in &self.rules {
+            if !rule.matches(FaultOp::Write, path) {
+                continue;
+            }
+            match rule.kind {
+                FaultKind::NoSpace if rule.take() => {
+                    // lint: allow(hot_alloc) — cold fault path
+                    self.note(format!("write:enospc:{}", path.display()));
+                    // ENOSPC, spelled as the OS would report it.
+                    return Some(io::Error::from_raw_os_error(28));
+                }
+                FaultKind::Interrupted if rule.take() => {
+                    // lint: allow(hot_alloc) — cold fault path
+                    self.note(format!("write:eintr:{}", path.display()));
+                    return Some(io::Error::new(io::ErrorKind::Interrupted, "injected EINTR"));
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Consulted before opening (or creating) `path`.
+    pub(crate) fn before_open(&self, path: &Path) -> Option<io::Error> {
+        for rule in &self.rules {
+            if rule.matches(FaultOp::Open, path) && rule.kind == FaultKind::FailOpen && rule.take()
+            {
+                // lint: allow(hot_alloc) — cold fault path
+                self.note(format!("open:fail:{}", path.display()));
+                return Some(io::Error::other("injected open failure"));
+            }
+        }
+        None
+    }
+}
+
+/// Default seed: arbitrary odd constant so bit choices are stable across
+/// runs unless overridden.
+const DEFAULT_SEED: u64 = 0x5EED_0F1D_ECDE_2006;
+
+fn parse_rule(part: &str) -> Result<FaultRule, String> {
+    // lint: allow(hot_alloc) — parse-time only
+    let fields: Vec<&str> = part.splitn(3, ':').collect();
+    let [op, matcher, kind_spec] = fields[..] else {
+        // lint: allow(hot_alloc) — parse-time error path
+        return Err(format!("rule `{part}` is not `op:match:kind`"));
+    };
+    let op = match op {
+        "read" => FaultOp::Read,
+        "write" => FaultOp::Write,
+        "open" => FaultOp::Open,
+        // lint: allow(hot_alloc) — parse-time error path
+        other => return Err(format!("unknown op `{other}` in `{part}`")),
+    };
+    let (kind_text, count_text) = match kind_spec.split_once('@') {
+        Some((k, c)) => (k, Some(c)),
+        None => (kind_spec, None),
+    };
+    let (kind, default_count) = parse_kind(kind_text, part)?;
+    let remaining = match count_text {
+        Some(c) => c
+            .parse::<u64>()
+            .ok()
+            .filter(|&n| n >= 1)
+            // lint: allow(hot_alloc) — parse-time error path
+            .ok_or_else(|| format!("bad count `@{c}` in `{part}`"))?,
+        None => default_count,
+    };
+    let allowed = matches!(
+        (op, kind),
+        (FaultOp::Read, FaultKind::ShortRead)
+            | (FaultOp::Read, FaultKind::Interrupted)
+            | (FaultOp::Read, FaultKind::TruncateAt(_))
+            | (FaultOp::Read, FaultKind::BitFlipAt(_))
+            | (FaultOp::Write, FaultKind::NoSpace)
+            | (FaultOp::Write, FaultKind::Interrupted)
+            | (FaultOp::Open, FaultKind::FailOpen)
+    );
+    if !allowed {
+        // lint: allow(hot_alloc) — parse-time error path
+        return Err(format!("kind `{kind_text}` does not apply to op `{part}`"));
+    }
+    Ok(FaultRule {
+        op,
+        // lint: allow(hot_alloc) — parse-time only
+        matcher: matcher.to_string(),
+        kind,
+        remaining: AtomicU64::new(remaining),
+    })
+}
+
+fn parse_kind(text: &str, part: &str) -> Result<(FaultKind, u64), String> {
+    if let Some(n) = text.strip_prefix("truncate=") {
+        let n = n
+            .parse::<u64>()
+            // lint: allow(hot_alloc) — parse-time error path
+            .map_err(|_| format!("bad byte offset in `{part}`"))?;
+        return Ok((FaultKind::TruncateAt(n), u64::MAX));
+    }
+    if let Some(n) = text.strip_prefix("flip=") {
+        let n = n
+            .parse::<u64>()
+            // lint: allow(hot_alloc) — parse-time error path
+            .map_err(|_| format!("bad byte offset in `{part}`"))?;
+        return Ok((FaultKind::BitFlipAt(n), 1));
+    }
+    match text {
+        "short" => Ok((FaultKind::ShortRead, 1)),
+        "eintr" => Ok((FaultKind::Interrupted, 1)),
+        "enospc" => Ok((FaultKind::NoSpace, 1)),
+        "fail" => Ok((FaultKind::FailOpen, 1)),
+        // lint: allow(hot_alloc) — parse-time error path
+        other => Err(format!("unknown fault kind `{other}` in `{part}`")),
+    }
+}
+
+/// SplitMix64 finaliser: turns the seed and a byte offset into a stable
+/// bit choice for `flip=N`.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Annotates an I/O error with the file it happened on, so every
+/// [`crate::ValueSetError::Io`] names its path.
+pub(crate) fn annotate(path: &Path, e: io::Error) -> io::Error {
+    if path.as_os_str().is_empty() {
+        return e;
+    }
+    // lint: allow(hot_alloc) — cold error path
+    io::Error::new(e.kind(), format!("{}: {e}", path.display()))
+}
+
+/// The injection point for opens: consult the plan, then fail or proceed.
+pub(crate) fn check_open(path: &Path, plan: Option<&Arc<FaultPlan>>) -> io::Result<()> {
+    if let Some(plan) = plan {
+        if let Some(e) = plan.before_open(path) {
+            return Err(annotate(path, e));
+        }
+    }
+    Ok(())
+}
+
+/// The one blessed `File::open` in this crate (enforced by the `fs_open`
+/// lint rule): every reader descriptor comes through here, after
+/// [`check_open`] has had its chance to inject a failure.
+pub(crate) fn open_file(path: &Path) -> io::Result<std::fs::File> {
+    std::fs::File::open(path).map_err(|e| annotate(path, e))
+}
+
+/// The one blessed `File::create` in this crate: writer descriptors.
+pub(crate) fn create_file(path: &Path) -> io::Result<std::fs::File> {
+    std::fs::File::create(path).map_err(|e| annotate(path, e))
+}
+
+/// A retrying, fault-checked `write_all`: injected or real `Interrupted`
+/// is retried in place (counted into [`ReadStats::io_retries`]); every
+/// other failure comes back annotated with the path.
+pub(crate) fn write_all(
+    file: &mut std::fs::File,
+    bytes: &[u8],
+    path: &Path,
+    plan: Option<&Arc<FaultPlan>>,
+    stats: Option<&ReadStats>,
+) -> io::Result<()> {
+    use std::io::Write;
+    loop {
+        if let Some(plan) = plan {
+            if let Some(e) = plan.before_write(path) {
+                if e.kind() == io::ErrorKind::Interrupted {
+                    if let Some(stats) = stats {
+                        stats.bump_io_retry();
+                    }
+                    continue;
+                }
+                return Err(annotate(path, e));
+            }
+        }
+        // `write_all` itself already loops over real EINTRs; it cannot
+        // surface `Interrupted`, so no outer retry arm is needed here.
+        return file.write_all(bytes).map_err(|e| annotate(path, e));
+    }
+}
+
+/// The retrying read wrapper every [`crate::BlockReader`] byte flows
+/// through: owns the physical descriptor, consults the plan on each read,
+/// retries `Interrupted` in place, applies bit flips, and annotates
+/// errors with the path.
+#[derive(Debug)]
+pub(crate) struct FaultFile {
+    inner: PhysicalFile,
+    path: std::path::PathBuf,
+    pos: u64,
+    plan: Option<Arc<FaultPlan>>,
+    stats: Option<ReadStats>,
+}
+
+impl FaultFile {
+    pub(crate) fn new(
+        inner: PhysicalFile,
+        path: &Path,
+        plan: Option<Arc<FaultPlan>>,
+        stats: Option<ReadStats>,
+    ) -> FaultFile {
+        FaultFile {
+            inner,
+            path: path.to_path_buf(),
+            pos: 0,
+            plan,
+            stats,
+        }
+    }
+
+    pub(crate) fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn bump_retry(&self) {
+        if let Some(stats) = &self.stats {
+            stats.bump_io_retry();
+        }
+    }
+}
+
+impl io::Read for FaultFile {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        if out.is_empty() {
+            return Ok(0);
+        }
+        loop {
+            let mut want = out.len();
+            if let Some(plan) = &self.plan {
+                match plan.before_read(&self.path, self.pos, want) {
+                    ReadCheck::Eof => return Ok(0),
+                    ReadCheck::Fail(e) => {
+                        if e.kind() == io::ErrorKind::Interrupted {
+                            // The transient-error contract: retried here,
+                            // invisible to every caller above the wrapper.
+                            self.bump_retry();
+                            continue;
+                        }
+                        return Err(annotate(&self.path, e));
+                    }
+                    ReadCheck::Proceed { want: w, shortened } => {
+                        if shortened {
+                            self.bump_retry();
+                        }
+                        want = w;
+                    }
+                }
+            }
+            match self.inner.read(&mut out[..want]) {
+                Ok(n) => {
+                    if let Some(plan) = &self.plan {
+                        plan.after_read(&self.path, self.pos, &mut out[..n]);
+                    }
+                    self.pos += n as u64;
+                    return Ok(n);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                    self.bump_retry();
+                    continue;
+                }
+                Err(e) => return Err(annotate(&self.path, e)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn plan(spec: &str) -> Arc<FaultPlan> {
+        Arc::new(FaultPlan::parse(spec).unwrap())
+    }
+
+    fn fault_file(
+        data: &[u8],
+        plan: Option<Arc<FaultPlan>>,
+        stats: Option<ReadStats>,
+    ) -> FaultFile {
+        let dir = ind_testkit::TempDir::new("fault-file");
+        let path = dir.join("data.bin");
+        std::fs::write(&path, data).unwrap();
+        FaultFile::new(
+            PhysicalFile::Buffered(std::fs::File::open(&path).unwrap()),
+            &path,
+            plan,
+            stats,
+        )
+    }
+
+    #[test]
+    fn parses_the_documented_syntax() {
+        let p = FaultPlan::parse("read:attr-00002:flip=57, write:run-:enospc , read:*:eintr@3")
+            .unwrap();
+        assert_eq!(p.rules.len(), 3);
+        assert_eq!(p.rules[0].kind, FaultKind::BitFlipAt(57));
+        assert_eq!(p.rules[1].kind, FaultKind::NoSpace);
+        assert_eq!(p.rules[2].kind, FaultKind::Interrupted);
+        assert_eq!(p.rules[2].remaining.load(Ordering::Relaxed), 3);
+        assert!(FaultPlan::parse("").unwrap().rules.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_rules() {
+        for bad in [
+            "read:x",              // missing kind
+            "munch:*:eintr",       // unknown op
+            "read:*:explode",      // unknown kind
+            "read:*:enospc",       // kind/op mismatch
+            "open:*:flip=3",       // kind/op mismatch
+            "read:*:eintr@0",      // zero count
+            "read:*:flip=notanum", // bad offset
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "`{bad}` must be rejected");
+        }
+    }
+
+    #[test]
+    fn eintr_is_retried_transparently_and_counted() {
+        let stats = ReadStats::new();
+        let p = plan("read:*:eintr@5");
+        let mut f = fault_file(b"hello world", Some(p.clone()), Some(stats.clone()));
+        let mut out = Vec::new();
+        f.read_to_end(&mut out).unwrap();
+        assert_eq!(out, b"hello world");
+        assert_eq!(stats.io_retries(), 5, "every injected EINTR is counted");
+        assert_eq!(p.fired_count(), 5);
+    }
+
+    #[test]
+    fn short_reads_are_absorbed_by_the_fill_loop() {
+        let stats = ReadStats::new();
+        let data: Vec<u8> = (0..200u8).collect();
+        let mut f = fault_file(&data, Some(plan("read:*:short@4")), Some(stats.clone()));
+        let mut out = Vec::new();
+        f.read_to_end(&mut out).unwrap();
+        assert_eq!(out, data, "short reads never lose bytes");
+        assert!(stats.io_retries() >= 1);
+    }
+
+    #[test]
+    fn truncation_ends_the_stream_at_byte_n() {
+        let data: Vec<u8> = (0..100u8).collect();
+        let mut f = fault_file(&data, Some(plan("read:*:truncate=37")), None);
+        let mut out = Vec::new();
+        f.read_to_end(&mut out).unwrap();
+        assert_eq!(out, &data[..37]);
+    }
+
+    #[test]
+    fn bit_flip_lands_on_the_requested_byte_only() {
+        let data = vec![0u8; 64];
+        let p = plan("read:*:flip=20");
+        let mut f = fault_file(&data, Some(p.clone()), None);
+        let mut out = Vec::new();
+        f.read_to_end(&mut out).unwrap();
+        let diffs: Vec<usize> = (0..64).filter(|&i| out[i] != 0).collect();
+        assert_eq!(diffs, vec![20], "exactly byte 20 differs");
+        assert_eq!(out[20].count_ones(), 1, "exactly one bit flipped");
+        assert_eq!(p.fired_count(), 1);
+    }
+
+    #[test]
+    fn seeds_pick_different_bits_deterministically() {
+        let read = |seed: u64| {
+            let p = Arc::new(FaultPlan::parse("read:*:flip=0").unwrap().with_seed(seed));
+            let mut f = fault_file(&[0u8; 4], Some(p), None);
+            let mut out = Vec::new();
+            f.read_to_end(&mut out).unwrap();
+            out[0]
+        };
+        assert_eq!(read(1), read(1), "same seed, same bit");
+        let distinct: std::collections::BTreeSet<u8> = (0..16).map(read).collect();
+        assert!(distinct.len() > 1, "seeds vary the flipped bit");
+    }
+
+    #[test]
+    fn open_failure_is_injected_once() {
+        let p = plan("open:data:fail");
+        let dir = ind_testkit::TempDir::new("fault-open");
+        let path = dir.join("data.bin");
+        std::fs::write(&path, b"x").unwrap();
+        let denied = check_open(&path, Some(&p));
+        assert!(denied.is_err());
+        assert!(
+            denied.unwrap_err().to_string().contains("data.bin"),
+            "the error names the file"
+        );
+        assert!(check_open(&path, Some(&p)).is_ok(), "fires only once");
+    }
+
+    #[test]
+    fn enospc_fails_the_write_with_the_real_errno() {
+        let dir = ind_testkit::TempDir::new("fault-write");
+        let path = dir.join("out.bin");
+        let mut file = std::fs::File::create(&path).unwrap();
+        let p = plan("write:out:enospc");
+        let e = write_all(&mut file, b"abc", &path, Some(&p), None).unwrap_err();
+        // Path annotation wraps the raw errno, but the kind survives.
+        assert_eq!(e.kind(), io::Error::from_raw_os_error(28).kind(), "ENOSPC");
+        assert!(e.to_string().contains("out.bin"));
+        assert!(
+            e.to_string().contains("No space left"),
+            "the OS error text survives annotation: {e}"
+        );
+        // The budgeted rule is spent: the next write succeeds.
+        write_all(&mut file, b"abc", &path, Some(&p), None).unwrap();
+    }
+
+    #[test]
+    fn write_eintr_is_retried_and_counted() {
+        let dir = ind_testkit::TempDir::new("fault-write-eintr");
+        let path = dir.join("out.bin");
+        let mut file = std::fs::File::create(&path).unwrap();
+        let stats = ReadStats::new();
+        let p = plan("write:*:eintr@2");
+        write_all(&mut file, b"abc", &path, Some(&p), Some(&stats)).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"abc");
+        assert_eq!(stats.io_retries(), 2);
+    }
+
+    #[test]
+    fn rules_only_match_their_paths() {
+        let p = plan("read:other-file:eintr@1000");
+        let mut f = fault_file(b"abc", Some(p.clone()), None);
+        let mut out = Vec::new();
+        f.read_to_end(&mut out).unwrap();
+        assert_eq!(out, b"abc");
+        assert_eq!(p.fired_count(), 0, "non-matching rules never fire");
+    }
+}

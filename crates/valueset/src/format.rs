@@ -1,13 +1,24 @@
 //! On-disk format for sorted distinct value sets.
 //!
-//! One file per attribute:
+//! One file per attribute. The *logical* stream is unchanged since v1:
 //!
 //! ```text
 //! magic   4 bytes  b"INDV"
-//! version u32 LE   currently 1
+//! version u32 LE   2 (v1 files still open)
 //! count   u64 LE   number of values (patched at finish time)
 //! entry*  u32 LE length + raw bytes, in strictly increasing byte order
 //! ```
+//!
+//! Version 2 makes the file **self-verifying**: the header gains a CRC32C
+//! over its first 16 bytes, the entry stream is carried inside
+//! checksummed 4 KiB frames, and a footer seals the file with the record
+//! count, payload byte count, and a whole-file checksum (see
+//! [`crate::frame`] for the exact physical layout). The frame layer is
+//! transparent to this module's reader: a decoding [`std::io::Read`]
+//! adapter beneath the block layer verifies and strips the framing, so a
+//! flipped bit or torn write surfaces as [`ValueSetError::Corrupt`] with
+//! frame-precise context *before* the damaged byte can reach a cursor —
+//! never as a silently wrong answer.
 //!
 //! The count header lets readers answer "does a next value exist" without
 //! lookahead — exactly what Algorithm 2's `wantNextValue` needs. Writers
@@ -15,43 +26,65 @@
 //! rely on it.
 //!
 //! All I/O goes through the block layer ([`crate::block`]): the writer
-//! stages records into one block and flushes it with a single `write_all`
-//! per [`IoOptions::block_size`] bytes; the reader fills a block at a time
-//! and parses records **in place**, so [`ValueFileReader::current`] is
-//! always a zero-copy slice into the block (a value larger than the block
-//! grows it once rather than being copied out). Steady-state reads perform
-//! no heap allocation and one bulk read per block, not per record.
+//! stages records into frames and flushes block-sized `write_all`s; the
+//! reader fills a block at a time and parses records **in place**, so
+//! [`ValueFileReader::current`] is always a zero-copy slice into the block
+//! (a value larger than the block grows it once rather than being copied
+//! out). Steady-state reads perform no heap allocation and one bulk read
+//! per block, not per record.
 
 use crate::block::{BlockReader, IoOptions, ReadStats};
 use crate::budget::{FileBudget, OpenFileGuard};
+use crate::crc32c::{crc32c, Crc32c};
 use crate::cursor::ValueCursor;
 use crate::error::{Result, ValueSetError};
-use std::io::{Seek, SeekFrom, Write};
+use crate::frame::{
+    v2_overhead, FOOTER_MAGIC, FOOTER_SENTINEL, FRAME_PAYLOAD, V2_HEADER_LEN, V2_VERSION,
+};
+use std::io::{Seek, SeekFrom};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
-const MAGIC: &[u8; 4] = b"INDV";
-const VERSION: u32 = 1;
-/// Header bytes: magic + version + count.
-const HEADER_LEN: usize = 16;
+pub(crate) const MAGIC: &[u8; 4] = b"INDV";
+/// The legacy, un-checksummed format version; still readable.
+const VERSION_V1: u32 = 1;
+/// v1 header bytes: magic + version + count (the logical header of v2,
+/// whose physical header appends a CRC — [`V2_HEADER_LEN`]).
+pub(crate) const HEADER_LEN: usize = 16;
 /// Length-prefix bytes per record.
 const LEN_PREFIX: usize = 4;
 
-/// Streaming writer for a value file. Values must arrive sorted and
-/// duplicate-free; [`ValueFileWriter::finish`] patches the count header.
+/// Streaming writer for a value file (format v2). Values must arrive
+/// sorted and duplicate-free; [`ValueFileWriter::finish`] appends the
+/// checksummed footer and patches the count header.
 ///
-/// Records are staged into an in-memory block and flushed with one
-/// `write_all` per [`IoOptions::block_size`] bytes, so each record costs
-/// two `memcpy`s into the block (length prefix + body) and the syscall
-/// count is proportional to file size / block size.
+/// Records are staged into 4 KiB frames; each completed frame is sealed
+/// with its CRC32C and appended to an in-memory block that is flushed
+/// with one `write_all` per [`IoOptions::block_size`] bytes. Each record
+/// still costs two `memcpy`s into the staging buffers (length prefix +
+/// body), the checksum is one table-driven pass per byte, and the syscall
+/// count stays proportional to file size / block size. All writes go
+/// through the fault-injectable retrying wrapper ([`crate::fault`]), so
+/// an `ENOSPC` or interrupted write is exercised — and, for transients,
+/// healed — at exactly one place.
 pub struct ValueFileWriter {
     file: std::fs::File,
+    /// Physical staging: header, then sealed frames, flushed per block.
     block: Vec<u8>,
+    /// Logical staging: the current (unsealed) frame's payload.
+    frame: Vec<u8>,
     block_size: usize,
     path: PathBuf,
     count: u64,
-    bytes: u64,
+    /// Logical payload bytes staged so far (length prefixes + bodies).
+    payload: u64,
     last: Option<Vec<u8>>,
     write_calls: u64,
+    /// Running CRC over the sealed frames' CRC words (the footer's
+    /// whole-file checksum).
+    crc_chain: Crc32c,
+    fault: Option<Arc<crate::fault::FaultPlan>>,
+    stats: Option<ReadStats>,
 }
 
 impl ValueFileWriter {
@@ -61,29 +94,35 @@ impl ValueFileWriter {
     }
 
     /// Creates (truncates) `path`, staging writes into blocks of
-    /// `options.block_size`; the zero-count header is staged first.
+    /// `options.block_size`; the zero-count v2 header is staged first.
     pub fn create_with_options(path: &Path, options: &IoOptions) -> Result<Self> {
-        let file = std::fs::File::create(path)?;
+        crate::fault::check_open(path, options.fault.as_ref())?;
+        let file = crate::fault::create_file(path)?;
         let block_size = options.effective_block_size();
-        let mut block = Vec::with_capacity(block_size);
+        let mut block = Vec::with_capacity(block_size.max(V2_HEADER_LEN));
         block.extend_from_slice(MAGIC);
-        block.extend_from_slice(&VERSION.to_le_bytes());
+        block.extend_from_slice(&V2_VERSION.to_le_bytes());
         block.extend_from_slice(&0u64.to_le_bytes());
+        let header_crc = crc32c(&block);
+        block.extend_from_slice(&header_crc.to_le_bytes());
         Ok(ValueFileWriter {
             file,
             block,
+            frame: Vec::with_capacity(FRAME_PAYLOAD),
             block_size,
             path: path.to_path_buf(),
             count: 0,
-            bytes: HEADER_LEN as u64,
+            payload: 0,
             last: None,
             write_calls: 0,
+            crc_chain: Crc32c::new(),
+            fault: options.fault.clone(),
+            stats: options.stats.clone(),
         })
     }
 
     /// Appends one value; rejects values that are not strictly greater than
-    /// the previous one. Length prefix and body are staged contiguously, so
-    /// both leave in the same block-sized write.
+    /// the previous one.
     pub fn append(&mut self, value: &[u8]) -> Result<()> {
         if let Some(last) = &self.last {
             if value <= last.as_slice() {
@@ -96,19 +135,10 @@ impl ValueFileWriter {
             context: self.path.display().to_string(),
             detail: "value longer than u32::MAX bytes".into(),
         })?;
-        // Flush first when the record would overflow the block; a record
-        // larger than the block itself grows the staging vector once and is
-        // flushed immediately below.
-        if !self.block.is_empty() && self.block.len() + LEN_PREFIX + value.len() > self.block_size {
-            self.flush_block()?;
-        }
-        self.block.extend_from_slice(&len.to_le_bytes());
-        self.block.extend_from_slice(value);
-        if self.block.len() >= self.block_size {
-            self.flush_block()?;
-        }
+        self.stage_logical(&len.to_le_bytes())?;
+        self.stage_logical(value)?;
         self.count += 1;
-        self.bytes += (LEN_PREFIX + value.len()) as u64;
+        self.payload += (LEN_PREFIX + value.len()) as u64;
         match &mut self.last {
             Some(buf) => {
                 buf.clear();
@@ -119,9 +149,53 @@ impl ValueFileWriter {
         Ok(())
     }
 
+    /// Stages logical bytes into the current frame, sealing (and possibly
+    /// flushing) each frame as it fills. Records span frames freely — the
+    /// frame grid is fixed at [`FRAME_PAYLOAD`] so the logical stream is
+    /// independent of both the block size and the record boundaries.
+    fn stage_logical(&mut self, mut bytes: &[u8]) -> Result<()> {
+        while !bytes.is_empty() {
+            let room = FRAME_PAYLOAD - self.frame.len();
+            let take = room.min(bytes.len());
+            self.frame.extend_from_slice(&bytes[..take]);
+            bytes = &bytes[take..];
+            if self.frame.len() == FRAME_PAYLOAD {
+                self.seal_frame()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Seals the staged frame: length prefix, payload, CRC32C — appended
+    /// to the physical block, which flushes once it reaches the block
+    /// size.
+    fn seal_frame(&mut self) -> Result<()> {
+        if self.frame.is_empty() {
+            return Ok(());
+        }
+        debug_assert!(self.frame.len() <= FRAME_PAYLOAD);
+        let crc = crc32c(&self.frame).to_le_bytes();
+        self.block
+            .extend_from_slice(&(self.frame.len() as u16).to_le_bytes());
+        self.block.extend_from_slice(&self.frame);
+        self.block.extend_from_slice(&crc);
+        self.crc_chain.update(&crc);
+        self.frame.clear();
+        if self.block.len() >= self.block_size {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
     fn flush_block(&mut self) -> Result<()> {
         if !self.block.is_empty() {
-            self.file.write_all(&self.block)?;
+            crate::fault::write_all(
+                &mut self.file,
+                &self.block,
+                &self.path,
+                self.fault.as_ref(),
+                self.stats.as_ref(),
+            )?;
             self.write_calls += 1;
             self.block.clear();
         }
@@ -133,11 +207,11 @@ impl ValueFileWriter {
         self.count
     }
 
-    /// Total file size in bytes once finished (header + records staged so
-    /// far, flushed or not). Recorded by the export manager so readers can
-    /// size their block buffers without an `fstat`.
+    /// Total file size in bytes once finished: header, framed records
+    /// staged so far (flushed or not), and footer. Recorded by the export
+    /// manager so readers can size their block buffers without an `fstat`.
     pub fn bytes_written(&self) -> u64 {
-        self.bytes
+        HEADER_LEN as u64 + self.payload + v2_overhead(self.payload)
     }
 
     /// `write_all` calls issued so far (block flushes).
@@ -145,11 +219,35 @@ impl ValueFileWriter {
         self.write_calls
     }
 
-    /// Flushes, patches the count header, and returns the final count.
+    /// Seals the final frame, writes the footer, patches the header's
+    /// count and CRC, and returns the final count.
     pub fn finish(mut self) -> Result<u64> {
+        self.seal_frame()?;
+        self.block.extend_from_slice(&FOOTER_SENTINEL.to_le_bytes());
+        self.block.extend_from_slice(&self.count.to_le_bytes());
+        self.block.extend_from_slice(&self.payload.to_le_bytes());
+        self.block
+            .extend_from_slice(&self.crc_chain.finish().to_le_bytes());
+        self.block.extend_from_slice(FOOTER_MAGIC);
         self.flush_block()?;
-        self.file.seek(SeekFrom::Start(8))?;
-        self.file.write_all(&self.count.to_le_bytes())?;
+        // Patch count + header CRC in one 12-byte write at offset 8.
+        let mut head = [0u8; HEADER_LEN];
+        head[..4].copy_from_slice(MAGIC);
+        head[4..8].copy_from_slice(&V2_VERSION.to_le_bytes());
+        head[8..].copy_from_slice(&self.count.to_le_bytes());
+        let mut patch = [0u8; 12];
+        patch[..8].copy_from_slice(&self.count.to_le_bytes());
+        patch[8..].copy_from_slice(&crc32c(&head).to_le_bytes());
+        self.file
+            .seek(SeekFrom::Start(8))
+            .map_err(|e| ValueSetError::Io(crate::fault::annotate(&self.path, e)))?;
+        crate::fault::write_all(
+            &mut self.file,
+            &patch,
+            &self.path,
+            self.fault.as_ref(),
+            self.stats.as_ref(),
+        )?;
         // lint: allow(swallowed_result) — durability hint only; the counted write above already returned any real error
         self.file.sync_data().ok(); // best-effort durability; not load-bearing
         Ok(self.count)
@@ -175,6 +273,10 @@ pub struct ValueFileReader {
     /// `advance`/`seek`); `(0, 0)` before the first advance.
     cur_offset: usize,
     cur_len: usize,
+    /// Whether the end-of-stream check (footer verification, trailing-data
+    /// detection) has run. Set on the first `advance`/`seek` that reports
+    /// exhaustion, so the check costs one extra fill exactly once.
+    end_checked: bool,
     _guard: Option<OpenFileGuard>,
 }
 
@@ -206,8 +308,9 @@ impl ValueFileReader {
         stats: Option<ReadStats>,
     ) -> Result<Self> {
         let guard = budget.map(FileBudget::acquire).transpose()?;
-        let input = BlockReader::open_path(path, options, stats, None)?;
-        Self::from_block_reader(input, path, guard)
+        let stats = stats.or_else(|| options.stats.clone());
+        let input = BlockReader::open_path(path, options, stats.clone(), None)?;
+        Self::from_block_reader(input, path, guard, options.verify_checksums, stats.as_ref())
     }
 
     /// [`ValueFileReader::open_with`] with the file's byte size supplied by
@@ -222,19 +325,22 @@ impl ValueFileReader {
         file_bytes: u64,
     ) -> Result<Self> {
         let guard = budget.map(FileBudget::acquire).transpose()?;
-        let input = BlockReader::open_path(path, options, stats, Some(file_bytes))?;
-        Self::from_block_reader(input, path, guard)
+        let stats = stats.or_else(|| options.stats.clone());
+        let input = BlockReader::open_path(path, options, stats.clone(), Some(file_bytes))?;
+        Self::from_block_reader(input, path, guard, options.verify_checksums, stats.as_ref())
     }
 
     fn from_block_reader(
         mut input: BlockReader,
         path: &Path,
         guard: Option<OpenFileGuard>,
+        verify: bool,
+        stats: Option<&ReadStats>,
     ) -> Result<Self> {
         let context = || path.display().to_string();
         let avail = input
             .fill_to(HEADER_LEN)
-            .map_err(|e| corrupt(context(), format!("short header: {e}")))?;
+            .map_err(|e| corrupt(context(), e.to_string()))?;
         if avail < HEADER_LEN {
             return Err(corrupt(
                 context(),
@@ -247,12 +353,45 @@ impl ValueFileReader {
         }
         // lint: allow(no_unwrap) — fixed-width slice of a length-checked header; try_into cannot fail
         let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
-        if version != VERSION {
-            return Err(corrupt(context(), format!("unsupported version {version}")));
-        }
+        let header_len = match version {
+            // v1: un-checksummed legacy files still open; verification is
+            // *counted as absent*, never assumed — there simply is no CRC.
+            VERSION_V1 => HEADER_LEN,
+            V2_VERSION => {
+                let avail = input
+                    .fill_to(V2_HEADER_LEN)
+                    .map_err(|e| corrupt(context(), e.to_string()))?;
+                if avail < V2_HEADER_LEN {
+                    return Err(corrupt(
+                        context(),
+                        format!("short header: {avail} of {V2_HEADER_LEN} bytes"),
+                    ));
+                }
+                if verify {
+                    let header = input.buffered();
+                    let stored = u32::from_le_bytes([
+                        header[HEADER_LEN],
+                        header[HEADER_LEN + 1],
+                        header[HEADER_LEN + 2],
+                        header[HEADER_LEN + 3],
+                    ]);
+                    if crc32c(&header[..HEADER_LEN]) != stored {
+                        if let Some(stats) = stats {
+                            stats.bump_checksum_failure();
+                        }
+                        return Err(corrupt(context(), "header checksum mismatch".into()));
+                    }
+                }
+                V2_HEADER_LEN
+            }
+            other => {
+                return Err(corrupt(context(), format!("unsupported version {other}")));
+            }
+        };
+        let header = input.buffered();
         // lint: allow(no_unwrap) — fixed-width slice of a length-checked header; try_into cannot fail
         let total = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
-        input.consume(HEADER_LEN);
+        input.consume(header_len);
         Ok(ValueFileReader {
             input,
             path: path.to_path_buf(),
@@ -260,6 +399,7 @@ impl ValueFileReader {
             produced: 0,
             cur_offset: 0,
             cur_len: 0,
+            end_checked: false,
             _guard: guard,
         })
     }
@@ -274,10 +414,35 @@ impl ValueFileReader {
         self.input.read_calls()
     }
 
+    /// One-shot end-of-stream check, run when the cursor first reports
+    /// exhaustion: one more fill drives the frame decoder through the
+    /// footer (verifying the whole-file checksum and the footer's counts
+    /// for v2 files) and flags any logical bytes past the final record.
+    /// Clean files cost one extra read call, exactly once.
+    fn verify_stream_end(&mut self) -> Result<()> {
+        if self.end_checked {
+            return Ok(());
+        }
+        self.end_checked = true;
+        let ctx = || self.path.display().to_string();
+        let avail = self
+            .input
+            .fill_to(1)
+            .map_err(|e| corrupt(ctx(), format!("corrupt file tail: {e}")))?;
+        if avail > 0 {
+            return Err(corrupt(
+                ctx(),
+                "trailing data after the final record".into(),
+            ));
+        }
+        Ok(())
+    }
+
     /// Reads the next record's length prefix; `Ok(None)` means the stream
     /// is exhausted (per the header count).
     fn next_len(&mut self) -> Result<Option<usize>> {
         if self.produced >= self.total {
+            self.verify_stream_end()?;
             return Ok(None);
         }
         let ctx = || self.path.display().to_string();
@@ -410,6 +575,7 @@ impl ValueCursor for ValueFileReader {
     #[inline]
     fn advance(&mut self) -> Result<bool> {
         if self.produced >= self.total {
+            self.verify_stream_end()?;
             return Ok(false);
         }
         // Fast path — the whole record (prefix + body) is already in the
@@ -513,6 +679,7 @@ pub fn write_value_file(path: &Path, values: &[Vec<u8>]) -> Result<u64> {
 mod tests {
     use super::*;
     use crate::cursor::collect_cursor;
+    use crate::fault::FaultPlan;
     use ind_testkit::TempDir;
 
     fn bytes(items: &[&str]) -> Vec<Vec<u8>> {
@@ -594,10 +761,18 @@ mod tests {
         let dir = TempDir::new("vf-trunc");
         let path = dir.join("t.indv");
         write_value_file(&path, &bytes(&["hello", "world"])).unwrap();
-        // Chop off the final bytes of the last record.
+        // Chop off the final bytes of the file. With a block larger than
+        // the file the damage is discovered during the open's first fill;
+        // with a small block it surfaces mid-drain — either way it must
+        // be Corrupt, never a short-but-successful stream.
         let data = std::fs::read(&path).unwrap();
         std::fs::write(&path, &data[..data.len() - 3]).unwrap();
-        let mut r = ValueFileReader::open(&path).unwrap();
+        assert!(matches!(
+            ValueFileReader::open(&path).and_then(collect_cursor),
+            Err(ValueSetError::Corrupt { .. })
+        ));
+        let mut r =
+            ValueFileReader::open_with_options(&path, &IoOptions::with_block_size(32)).unwrap();
         assert!(r.advance().unwrap());
         assert!(matches!(r.advance(), Err(ValueSetError::Corrupt { .. })));
     }
@@ -785,37 +960,53 @@ mod tests {
     }
 
     #[test]
-    fn writer_coalesces_records_into_block_sized_writes() {
+    fn writer_coalesces_records_into_frame_sized_writes() {
         // 200 records through a default-sized block all stay staged until
-        // `finish` (zero flushes on the way); a 32-byte block flushes
-        // roughly once per block — never once per record, let alone the
-        // two writes per record of the pre-block writer.
+        // `finish` (zero flushes on the way), and `bytes_written` predicts
+        // the exact physical size: logical bytes plus the v2 framing.
         let dir = TempDir::new("vf-writer-coalesce");
         let values: Vec<Vec<u8>> = (0..200u32)
             .map(|i| format!("{i:06}").into_bytes())
             .collect();
 
-        let mut big = ValueFileWriter::create(&dir.join("big.indv")).unwrap();
+        let big_path = dir.join("big.indv");
+        let mut big = ValueFileWriter::create(&big_path).unwrap();
         for v in &values {
             big.append(v).unwrap();
         }
         assert_eq!(big.write_calls(), 0, "default block holds everything");
-        assert_eq!(big.bytes_written(), 16 + 200 * 10);
+        let payload = 200 * 10u64;
+        assert_eq!(
+            big.bytes_written(),
+            HEADER_LEN as u64 + payload + v2_overhead(payload)
+        );
+        let predicted = big.bytes_written();
         big.finish().unwrap();
+        assert_eq!(
+            std::fs::metadata(&big_path).unwrap().len(),
+            predicted,
+            "bytes_written predicts the finished file size exactly"
+        );
 
+        // With a tiny block, physical writes happen once per sealed 4 KiB
+        // frame — never once per record (30 000 payload bytes = 7 full
+        // frames during the appends, nowhere near 3000 writes).
+        let many: Vec<Vec<u8>> = (0..3000u32)
+            .map(|i| format!("{i:06}").into_bytes())
+            .collect();
         let mut small = ValueFileWriter::create_with_options(
             &dir.join("small.indv"),
             &IoOptions::with_block_size(32),
         )
         .unwrap();
-        for v in &values {
+        for v in &many {
             small.append(v).unwrap();
         }
         let flushes = small.write_calls();
         small.finish().unwrap();
         assert!(
-            flushes >= 50 && flushes <= values.len() as u64,
-            "one write per ~32-byte block, not per record: {flushes}"
+            (2..=20).contains(&flushes),
+            "one write per sealed frame, not per record: {flushes}"
         );
     }
 
@@ -1016,6 +1207,222 @@ mod tests {
             if found {
                 assert_eq!(file.current(), mem_cursor.current());
             }
+        }
+    }
+
+    /// Hand-writes a legacy v1 file (un-checksummed raw stream).
+    fn write_v1_file(path: &Path, values: &[Vec<u8>]) {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION_V1.to_le_bytes());
+        out.extend_from_slice(&(values.len() as u64).to_le_bytes());
+        for v in values {
+            out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            out.extend_from_slice(v);
+        }
+        std::fs::write(path, out).unwrap();
+    }
+
+    #[test]
+    fn v1_files_still_open_without_checksums() {
+        let dir = TempDir::new("vf-v1-compat");
+        let path = dir.join("legacy.indv");
+        let values = bytes(&["alpha", "beta", "gamma", "delta"]);
+        write_v1_file(&path, &values);
+        for block_size in [1usize, 64, 8192] {
+            for prefetch in [false, true] {
+                let stats = ReadStats::new();
+                let options = IoOptions::with_block_size(block_size).prefetched(prefetch);
+                let r =
+                    ValueFileReader::open_with(&path, &options, None, Some(stats.clone())).unwrap();
+                assert_eq!(collect_cursor(r).unwrap(), values);
+                assert_eq!(
+                    stats.checksum_failures(),
+                    0,
+                    "v1 files carry no checksums: verification is absent, not failed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_bit_flip_in_the_file_is_detected() {
+        // Flip one bit in *every* byte of a finished multi-frame v2 file;
+        // opening + fully draining must always surface Corrupt — header
+        // flips via the header CRC (or magic/version checks), payload and
+        // frame-geometry flips via the frame CRCs, footer flips via the
+        // end-of-stream check. Never a silent wrong answer, never a hang.
+        let dir = TempDir::new("vf-flip-sweep");
+        let full = dir.join("full.indv");
+        let values: Vec<Vec<u8>> = (0..300u32)
+            .map(|i| format!("value-{i:08}").into_bytes())
+            .collect();
+        write_value_file(&full, &values).unwrap();
+        let data = std::fs::read(&full).unwrap();
+        assert!(data.len() > V2_HEADER_LEN + FRAME_PAYLOAD, "multi-frame");
+        let stats = ReadStats::new();
+        let options = IoOptions::with_block_size(256);
+        let path = dir.join("flipped.indv");
+        for byte in 0..data.len() {
+            let mut bad = data.clone();
+            bad[byte] ^= 1 << (byte % 8);
+            std::fs::write(&path, &bad).unwrap();
+            let drained = ValueFileReader::open_with(&path, &options, None, Some(stats.clone()))
+                .and_then(collect_cursor);
+            match drained {
+                Err(ValueSetError::Corrupt { context, .. }) => {
+                    assert!(context.contains("flipped.indv"), "context names the file");
+                }
+                other => panic!("flip at byte {byte}: expected Corrupt, got {other:?}"),
+            }
+        }
+        assert!(
+            stats.checksum_failures() as usize >= data.len() / 2,
+            "most flips are caught by a checksum comparison: {}",
+            stats.checksum_failures()
+        );
+    }
+
+    #[test]
+    fn verify_off_skips_checksums_but_not_structure() {
+        let dir = TempDir::new("vf-verify-off");
+        let path = dir.join("v.indv");
+        let values = bytes(&["aaaa", "bbbb", "cccc"]);
+        write_value_file(&path, &values).unwrap();
+        let data = std::fs::read(&path).unwrap();
+
+        // Flip a bit inside the first record's body (header 20 + frame
+        // prefix 2 + record length prefix 4 = offset 26): verify-off
+        // serves the flipped byte, verify-on refuses it.
+        let mut flipped = data.clone();
+        flipped[26] ^= 0x04;
+        std::fs::write(&path, &flipped).unwrap();
+        let relaxed =
+            ValueFileReader::open_with_options(&path, &IoOptions::default().verify(false))
+                .and_then(collect_cursor)
+                .unwrap();
+        assert_ne!(relaxed, values, "verify-off trades detection for speed");
+        assert!(matches!(
+            ValueFileReader::open(&path).and_then(collect_cursor),
+            Err(ValueSetError::Corrupt { .. })
+        ));
+
+        // Structural damage (mid-frame truncation) errs either way.
+        std::fs::write(&path, &data[..data.len() - 10]).unwrap();
+        assert!(matches!(
+            ValueFileReader::open_with_options(&path, &IoOptions::default().verify(false))
+                .and_then(collect_cursor),
+            Err(ValueSetError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn io_errors_name_the_file() {
+        let dir = TempDir::new("vf-io-path");
+        let missing = dir.join("no-such-file.indv");
+        let err = match ValueFileReader::open(&missing) {
+            Err(e) => e,
+            Ok(_) => panic!("opening a missing file must fail"),
+        };
+        assert!(matches!(err, ValueSetError::Io(_)));
+        assert!(
+            err.to_string().contains("no-such-file.indv"),
+            "reader open error must name the file: {err}"
+        );
+
+        let unwritable = dir.join("no-such-dir").join("out.indv");
+        let err = match ValueFileWriter::create(&unwritable) {
+            Err(e) => e,
+            Ok(_) => panic!("creating in a missing directory must fail"),
+        };
+        assert!(matches!(err, ValueSetError::Io(_)));
+        assert!(
+            err.to_string().contains("out.indv"),
+            "writer create error must name the file: {err}"
+        );
+
+        let plan = Arc::new(FaultPlan::parse("write:flaky:enospc").unwrap());
+        let flaky = dir.join("flaky.indv");
+        let mut w = ValueFileWriter::create_with_options(
+            &flaky,
+            &IoOptions::with_block_size(32).with_fault(plan),
+        )
+        .unwrap();
+        let mut err = None;
+        for i in 0..2000u32 {
+            // Enough appends to force a flush into the injected ENOSPC.
+            if let Err(e) = w.append(format!("{i:08}").as_bytes()) {
+                err = Some(e);
+                break;
+            }
+        }
+        let err = err.expect("the injected ENOSPC must surface");
+        assert!(matches!(err, ValueSetError::Io(_)));
+        assert!(
+            err.to_string().contains("flaky.indv"),
+            "write error must name the file: {err}"
+        );
+    }
+
+    #[test]
+    fn injected_read_faults_are_healed_or_reported() {
+        let dir = TempDir::new("vf-read-faults");
+        let path = dir.join("r.indv");
+        let values: Vec<Vec<u8>> = (0..500u32)
+            .map(|i| format!("{i:06}").into_bytes())
+            .collect();
+        write_value_file(&path, &values).unwrap();
+
+        // EINTR + short reads: healed at the wrapper, counted, invisible.
+        for prefetch in [false, true] {
+            let stats = ReadStats::new();
+            let plan =
+                Arc::new(FaultPlan::parse("read:r.indv:eintr@7, read:r.indv:short@5").unwrap());
+            let options = IoOptions::with_block_size(128)
+                .prefetched(prefetch)
+                .with_fault(plan.clone());
+            let r = ValueFileReader::open_with(&path, &options, None, Some(stats.clone())).unwrap();
+            assert_eq!(collect_cursor(r).unwrap(), values, "prefetch={prefetch}");
+            assert!(
+                stats.io_retries() >= 7,
+                "transient faults are counted: {} (prefetch={prefetch})",
+                stats.io_retries()
+            );
+            assert!(plan.fired_count() >= 7);
+        }
+
+        // Truncation mid-file: Corrupt, with the path in the context.
+        let plan = Arc::new(FaultPlan::parse("read:r.indv:truncate=1000").unwrap());
+        let r = ValueFileReader::open_with_options(
+            &path,
+            &IoOptions::with_block_size(128).with_fault(plan),
+        )
+        .and_then(collect_cursor);
+        match r {
+            Err(ValueSetError::Corrupt { context, .. }) => assert!(context.contains("r.indv")),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+
+        // Bit flip mid-file: the frame checksum catches it.
+        let stats = ReadStats::new();
+        let plan = Arc::new(FaultPlan::parse("read:r.indv:flip=2000").unwrap());
+        let r = ValueFileReader::open_with(
+            &path,
+            &IoOptions::with_block_size(128).with_fault(plan),
+            None,
+            Some(stats.clone()),
+        )
+        .and_then(collect_cursor);
+        assert!(matches!(r, Err(ValueSetError::Corrupt { .. })), "{r:?}");
+        assert_eq!(stats.checksum_failures(), 1);
+
+        // Failed open: Io, with the path.
+        let plan = Arc::new(FaultPlan::parse("open:r.indv:fail").unwrap());
+        let r = ValueFileReader::open_with_options(&path, &IoOptions::default().with_fault(plan));
+        match r {
+            Err(ValueSetError::Io(e)) => assert!(e.to_string().contains("r.indv")),
+            Err(other) => panic!("expected Io, got {other:?}"),
+            Ok(_) => panic!("expected Io, got a reader"),
         }
     }
 

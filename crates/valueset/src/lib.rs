@@ -13,11 +13,14 @@
 
 mod block;
 mod budget;
+mod crc32c;
 mod cursor;
 mod error;
 mod external_sort;
 mod extract;
+pub mod fault;
 mod format;
+mod frame;
 mod heap;
 mod manager;
 mod memory;
@@ -27,6 +30,7 @@ mod tuple;
 
 pub use block::{BlockReader, IoOptions, ReadStats, DEFAULT_BLOCK_SIZE, MIN_BLOCK_SIZE};
 pub use budget::{FileBudget, OpenFileGuard};
+pub use crc32c::{crc32c, Crc32c};
 pub use cursor::{collect_cursor, ValueCursor, ValueSetProvider};
 pub use error::{Result, ValueSetError};
 pub use external_sort::{ExternalSorter, SortOptions, SortStats};
@@ -35,10 +39,12 @@ pub use extract::{
     extract_memory_set, extract_memory_sets_parallel, extract_sorted_distinct, extract_to_file,
     extract_with_sorter, MAX_COMPOSITE_ARITY,
 };
+pub use fault::FaultPlan;
 pub use format::{write_value_file, ValueFileReader, ValueFileWriter};
 pub use heap::LazyMinHeap;
 pub use manager::{
     CompositeExport, ExportOptions, ExportedAttribute, ExportedComposite, ExportedDatabase,
+    FailedAttribute,
 };
 pub use memory::{MemoryCursor, MemoryProvider, MemoryValueSet};
 pub use prefetch::{PartitionCursor, SharedShard, SharedStreamProvider};

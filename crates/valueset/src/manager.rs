@@ -24,6 +24,13 @@ pub struct ExportOptions {
     /// (attribute extractions are independent). `0` and `1` both mean
     /// sequential.
     pub threads: usize,
+    /// Quarantine-and-continue: when an attribute's extraction fails
+    /// (unreadable column, `ENOSPC` on its value file, …), record the
+    /// failure in [`ExportedDatabase::failed_attributes`] and keep
+    /// exporting the rest instead of aborting the whole export. The
+    /// quarantined attribute keeps its id (dense indexing is preserved)
+    /// but opening it yields the original error.
+    pub keep_going: bool,
 }
 
 impl Default for ExportOptions {
@@ -31,6 +38,7 @@ impl Default for ExportOptions {
         ExportOptions {
             sort: SortOptions::default(),
             threads: 1,
+            keep_going: false,
         }
     }
 }
@@ -74,10 +82,30 @@ impl ExportOptions {
         self
     }
 
+    /// Builder toggle for quarantine-and-continue (see
+    /// [`ExportOptions::keep_going`]).
+    pub fn keep_going(mut self, keep_going: bool) -> Self {
+        self.keep_going = keep_going;
+        self
+    }
+
     /// The I/O options every value file of this export uses.
     pub fn io(&self) -> &IoOptions {
         &self.sort.io
     }
+}
+
+/// One attribute quarantined by a keep-going export: its id and name stay
+/// addressable, the error explains why its value file is unusable.
+#[derive(Debug, Clone)]
+pub struct FailedAttribute {
+    /// The quarantined attribute's dense id (its slot in
+    /// [`ExportedDatabase::attributes`] holds zeroed metadata).
+    pub id: u32,
+    /// Qualified `table.column` name.
+    pub name: QualifiedName,
+    /// The failure, stringified with its file/frame context.
+    pub error: String,
 }
 
 /// Metadata for one exported attribute.
@@ -128,6 +156,8 @@ impl ExportedAttribute {
 pub struct ExportedDatabase {
     dir: PathBuf,
     attributes: Vec<ExportedAttribute>,
+    /// Attributes quarantined by a keep-going export, by id order.
+    failed: Vec<FailedAttribute>,
     budget: FileBudget,
     io: IoOptions,
     read_stats: ReadStats,
@@ -142,6 +172,11 @@ impl ExportedDatabase {
     pub fn export(db: &Database, dir: &Path, options: &ExportOptions) -> Result<Self> {
         std::fs::create_dir_all(dir)?;
         let spill_dir = dir.join("spill");
+        // One shared counter handle for the whole lifetime of this export:
+        // writers count their retried writes into it during the export
+        // itself, cursors count reads/retries/checksums afterwards.
+        let mut sort = options.sort.clone();
+        let read_stats = sort.io.stats.get_or_insert_with(ReadStats::new).clone();
 
         // Collect the per-attribute work list up front so workers can share
         // it by index.
@@ -188,12 +223,53 @@ impl ExportedDatabase {
             })
         };
 
+        // Quarantine path for keep-going exports: reset the sorter (a
+        // mid-extraction failure leaves buffered values and spill runs),
+        // drop the partial value file, and keep the attribute's id slot
+        // with zeroed metadata so dense indexing survives.
+        let quarantine = |job: &Job<'_>,
+                          sorter: &mut ExternalSorter,
+                          e: crate::error::ValueSetError|
+         -> (ExportedAttribute, FailedAttribute) {
+            sorter.reset();
+            // lint: allow(swallowed_result) — the attribute is already quarantined; its partial file is best-effort garbage
+            let _ = std::fs::remove_file(&job.path);
+            (
+                ExportedAttribute {
+                    id: job.id,
+                    name: job.name.clone(),
+                    data_type: job.data_type,
+                    rows: job.rows,
+                    non_null: 0,
+                    distinct: 0,
+                    min: None,
+                    max: None,
+                    path: job.path.clone(),
+                    file_bytes: 0,
+                },
+                FailedAttribute {
+                    id: job.id,
+                    name: job.name.clone(),
+                    error: e.to_string(),
+                },
+            )
+        };
+
         let threads = options.threads.max(1).min(jobs.len().max(1));
         let mut attributes: Vec<ExportedAttribute> = Vec::with_capacity(jobs.len());
+        let mut failed: Vec<FailedAttribute> = Vec::new();
         if threads <= 1 {
-            let mut sorter = ExternalSorter::new(&spill_dir, options.sort.clone())?;
+            let mut sorter = ExternalSorter::new(&spill_dir, sort.clone())?;
             for job in &jobs {
-                attributes.push(run_job(job, &mut sorter)?);
+                match run_job(job, &mut sorter) {
+                    Ok(attr) => attributes.push(attr),
+                    Err(e) if options.keep_going => {
+                        let (attr, failure) = quarantine(job, &mut sorter, e);
+                        attributes.push(attr);
+                        failed.push(failure);
+                    }
+                    Err(e) => return Err(e),
+                }
             }
         } else {
             // Workers claim jobs one at a time off a shared atomic index —
@@ -201,21 +277,32 @@ impl ExportedDatabase {
             // workers. One spill subdirectory per worker: sorter spill runs
             // are named by ordinal and would collide across concurrent
             // extractions.
+            type WorkerYield = (Vec<ExportedAttribute>, Vec<FailedAttribute>);
             let next = std::sync::atomic::AtomicUsize::new(0);
-            let results: Vec<Result<Vec<ExportedAttribute>>> = crossbeam::thread::scope(|scope| {
+            let results: Vec<Result<WorkerYield>> = crossbeam::thread::scope(|scope| {
                 let handles: Vec<_> = (0..threads)
                     .map(|worker| {
                         let spill = spill_dir.join(format!("worker-{worker:02}"));
-                        let (next, jobs, run_job) = (&next, &jobs, &run_job);
-                        scope.spawn(move |_| -> Result<Vec<ExportedAttribute>> {
-                            let mut sorter = ExternalSorter::new(&spill, options.sort.clone())?;
+                        let (next, jobs, run_job, quarantine, sort) =
+                            (&next, &jobs, &run_job, &quarantine, &sort);
+                        scope.spawn(move |_| -> Result<WorkerYield> {
+                            let mut sorter = ExternalSorter::new(&spill, sort.clone())?;
                             let mut done = Vec::new();
+                            let mut lost = Vec::new();
                             loop {
                                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                                 let Some(job) = jobs.get(i) else {
-                                    return Ok(done);
+                                    return Ok((done, lost));
                                 };
-                                done.push(run_job(job, &mut sorter)?);
+                                match run_job(job, &mut sorter) {
+                                    Ok(attr) => done.push(attr),
+                                    Err(e) if options.keep_going => {
+                                        let (attr, failure) = quarantine(job, &mut sorter, e);
+                                        done.push(attr);
+                                        lost.push(failure);
+                                    }
+                                    Err(e) => return Err(e),
+                                }
                             }
                         })
                     })
@@ -229,9 +316,12 @@ impl ExportedDatabase {
             // lint: allow(no_unwrap) — crossbeam scope errs only when a child panicked; propagate the panic
             .expect("export scope panicked");
             for r in results {
-                attributes.extend(r?);
+                let (done, lost) = r?;
+                attributes.extend(done);
+                failed.extend(lost);
             }
             attributes.sort_by_key(|a| a.id);
+            failed.sort_by_key(|f| f.id);
         }
 
         // lint: allow(swallowed_result) — best-effort cleanup of an empty spill dir; the export already succeeded
@@ -239,10 +329,23 @@ impl ExportedDatabase {
         Ok(ExportedDatabase {
             dir: dir.to_path_buf(),
             attributes,
+            failed,
             budget: FileBudget::unlimited(),
-            io: options.sort.io.clone(),
-            read_stats: ReadStats::new(),
+            io: sort.io.clone(),
+            read_stats,
         })
+    }
+
+    /// Attributes quarantined during a keep-going export (empty unless
+    /// [`ExportOptions::keep_going`] was set and something failed).
+    pub fn failed_attributes(&self) -> &[FailedAttribute] {
+        &self.failed
+    }
+
+    /// True when `id` was quarantined during export: its metadata slot is
+    /// zeroed and [`ExportedDatabase::open`] refuses it.
+    pub fn is_quarantined(&self, id: u32) -> bool {
+        self.failed.iter().any(|f| f.id == id)
     }
 
     /// All exported attributes, indexed by id.
@@ -326,6 +429,19 @@ impl ExportedDatabase {
         self.read_stats.file_opens()
     }
 
+    /// Transient I/O faults (`EINTR`, short reads) healed by the retrying
+    /// wrapper — writes during the export and reads afterwards (see
+    /// [`ReadStats::io_retries`]).
+    pub fn io_retries(&self) -> u64 {
+        self.read_stats.io_retries()
+    }
+
+    /// Checksum mismatches detected by opened cursors (each also surfaced
+    /// as a `Corrupt` error; see [`ReadStats::checksum_failures`]).
+    pub fn checksum_failures(&self) -> u64 {
+        self.read_stats.checksum_failures()
+    }
+
     /// A handle on the shared counters themselves (for the shared-stream
     /// provider's worker threads).
     pub(crate) fn read_stats(&self) -> ReadStats {
@@ -341,6 +457,12 @@ impl ValueSetProvider for ExportedDatabase {
             .attributes
             .get(id as usize)
             .ok_or(crate::error::ValueSetError::UnknownAttribute(id))?;
+        if let Some(f) = self.failed.iter().find(|f| f.id == id) {
+            return Err(crate::error::ValueSetError::Corrupt {
+                context: attr.path.display().to_string(),
+                detail: format!("attribute quarantined during export: {}", f.error),
+            });
+        }
         ValueFileReader::open_sized(
             &attr.path,
             &self.io,
@@ -403,9 +525,11 @@ impl CompositeExport {
     ) -> Result<Self> {
         std::fs::create_dir_all(dir)?;
         let spill_dir = dir.join("spill");
+        let mut sort = options.sort.clone();
+        let read_stats = sort.io.stats.get_or_insert_with(ReadStats::new).clone();
         let mut composites = Vec::with_capacity(groups.len());
         // One sorter for the whole level: warm arena across groups.
-        let mut sorter = ExternalSorter::new(&spill_dir, options.sort.clone())?;
+        let mut sorter = ExternalSorter::new(&spill_dir, sort.clone())?;
         for (id, group) in groups.iter().enumerate() {
             let mut columns = Vec::with_capacity(group.len());
             for qn in group {
@@ -427,8 +551,8 @@ impl CompositeExport {
         Ok(CompositeExport {
             dir: dir.to_path_buf(),
             composites,
-            io: options.sort.io.clone(),
-            read_stats: ReadStats::new(),
+            io: sort.io.clone(),
+            read_stats,
         })
     }
 
@@ -672,6 +796,78 @@ mod tests {
         assert!(
             CompositeExport::export(&db, &groups, dir.path(), &ExportOptions::default()).is_err()
         );
+    }
+
+    #[test]
+    fn keep_going_quarantines_only_the_failed_attribute() {
+        // Inject an ENOSPC on attribute 1's value file: without keep_going
+        // the export dies; with it, attribute 1 is quarantined and every
+        // other attribute exports byte-identically to a fault-free run.
+        let db = sample_db();
+        let clean_dir = TempDir::new("export-keepgoing-ref");
+        let clean =
+            ExportedDatabase::export(&db, clean_dir.path(), &ExportOptions::default()).unwrap();
+        for threads in [1usize, 3] {
+            let plan = std::sync::Arc::new(
+                crate::fault::FaultPlan::parse("write:attr-00001:enospc").unwrap(),
+            );
+            let mut strict = ExportOptions::with_threads(threads);
+            strict.sort.io = IoOptions::default().with_fault(plan.clone());
+            let strict_dir = TempDir::new("export-keepgoing-strict");
+            assert!(
+                ExportedDatabase::export(&db, strict_dir.path(), &strict).is_err(),
+                "threads={threads}: without keep_going the export fails"
+            );
+
+            let plan = std::sync::Arc::new(
+                crate::fault::FaultPlan::parse("write:attr-00001:enospc").unwrap(),
+            );
+            let mut lax = ExportOptions::with_threads(threads).keep_going(true);
+            lax.sort.io = IoOptions::default().with_fault(plan);
+            let dir = TempDir::new("export-keepgoing");
+            let exp = ExportedDatabase::export(&db, dir.path(), &lax).unwrap();
+            assert_eq!(exp.attribute_count(), clean.attribute_count());
+            assert_eq!(exp.failed_attributes().len(), 1, "threads={threads}");
+            let failure = &exp.failed_attributes()[0];
+            assert_eq!(failure.id, 1);
+            assert_eq!(failure.name.to_string(), "t.label");
+            assert!(failure.error.contains("attr-00001"), "{}", failure.error);
+            assert!(exp.is_quarantined(1));
+            assert!(!exp.is_quarantined(0));
+            let denied = exp.open(1);
+            match denied {
+                Err(crate::error::ValueSetError::Corrupt { detail, .. }) => {
+                    assert!(detail.contains("quarantined"), "{detail}")
+                }
+                _ => panic!("opening a quarantined attribute must fail"),
+            }
+            for id in [0u32, 2, 3] {
+                assert_eq!(
+                    collect_cursor(exp.open(id).unwrap()).unwrap(),
+                    collect_cursor(clean.open(id).unwrap()).unwrap(),
+                    "threads={threads}: healthy attribute {id} is untouched"
+                );
+            }
+            assert!(
+                !dir.join("spill").exists(),
+                "spill dirs are cleaned up after a degraded export"
+            );
+        }
+    }
+
+    #[test]
+    fn export_counts_retried_writes() {
+        // Transient write EINTRs during the export are healed invisibly
+        // and land in the export's shared counters.
+        let plan = std::sync::Arc::new(crate::fault::FaultPlan::parse("write:*:eintr@3").unwrap());
+        let mut options = ExportOptions::default();
+        options.sort.io = IoOptions::default().with_fault(plan);
+        let dir = TempDir::new("export-retries");
+        let exp = ExportedDatabase::export(&sample_db(), dir.path(), &options).unwrap();
+        assert!(exp.failed_attributes().is_empty());
+        assert_eq!(exp.read_stats().io_retries(), 3, "retries are counted");
+        let values = collect_cursor(exp.open(0).unwrap()).unwrap();
+        assert_eq!(values.len(), 3, "the export is unharmed");
     }
 
     #[test]

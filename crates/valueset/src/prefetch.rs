@@ -41,10 +41,11 @@ use std::sync::{Arc, Mutex, MutexGuard};
 
 use crossbeam::channel::{self, Receiver, Sender, TryRecvError};
 
-use crate::block::{PhysicalFile, ReadStats, INITIAL_READAHEAD};
+use crate::block::{ReadStats, INITIAL_READAHEAD};
 use crate::cursor::{ValueCursor, ValueSetProvider};
 use crate::error::{Result, ValueSetError};
 use crate::format::ValueFileReader;
+use crate::frame::FrameStream;
 use crate::manager::ExportedDatabase;
 use crate::IoOptions;
 
@@ -110,18 +111,21 @@ impl std::fmt::Debug for PrefetchReader {
 }
 
 impl PrefetchReader {
-    /// Moves `file` to a new worker thread that reads ahead in chunks of
+    /// Moves `stream` (the checksum-verifying frame decoder over the
+    /// descriptor) to a new worker thread that reads ahead in chunks of
     /// the worker's own adaptive readahead (starting at
     /// [`INITIAL_READAHEAD`], doubling per fill, capped at `cap` — the
-    /// consumer's block capacity, so adopted blocks always fit). The
-    /// worker bumps the shared `read(2)` counter for every read it
-    /// issues.
-    pub(crate) fn spawn(file: PhysicalFile, cap: usize, stats: Option<ReadStats>) -> Self {
+    /// consumer's block capacity, so adopted blocks always fit). Frame
+    /// verification therefore runs on the worker, overlapped with the
+    /// consumer's compute; a checksum failure travels the same channel as
+    /// any read error and surfaces on the consumer side. The worker bumps
+    /// the shared fill counter for every read it issues.
+    pub(crate) fn spawn(stream: FrameStream, cap: usize, stats: Option<ReadStats>) -> Self {
         let (data_tx, data_rx) = channel::bounded(DATA_SLOTS);
         let (recycle_tx, recycle_rx) = channel::bounded(RECYCLE_SLOTS);
         // lint: allow(hot_alloc) — once per open: the worker needs its own handle on the shared counters
         let worker_stats = stats.clone();
-        std::thread::spawn(move || fill_loop(file, cap, worker_stats, data_tx, recycle_rx));
+        std::thread::spawn(move || fill_loop(stream, cap, worker_stats, data_tx, recycle_rx));
         PrefetchReader {
             data: data_rx,
             recycle: recycle_tx,
@@ -203,7 +207,7 @@ fn worker_vanished() -> std::io::Error {
 /// The prefetch worker: reads ahead at its own adaptive pace, recycling
 /// the consumer's spent buffers so the steady state is allocation-free.
 fn fill_loop(
-    mut file: PhysicalFile,
+    mut file: FrameStream,
     cap: usize,
     stats: Option<ReadStats>,
     data: Sender<WorkerMsg>,

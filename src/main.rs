@@ -9,11 +9,18 @@
 //!                           [--on-disk] [--block-size SIZE] [--memory-budget SIZE]
 //!                           [--prefetch] [--direct-io]
 //!                           [--workdir DIR] [--max-arity N]
+//!                           [--keep-going] [--fault-plan SPEC]
 //! spider-ind fks      <dir>
 //! ```
 //!
 //! `SIZE` arguments accept bare byte counts or human-readable binary units
 //! (`8KiB`, `64M`, `1gb`).
+//!
+//! `--keep-going` (on-disk only) quarantines unreadable or corrupt
+//! attributes instead of aborting, prints a machine-readable
+//! `degraded: {...}` JSON line, and exits with status 2 when anything was
+//! actually quarantined. `--fault-plan` injects I/O faults for testing
+//! (see `ind_valueset::FaultPlan`).
 //!
 //! Databases are directories in the TSV format of `ind_storage::tsv`
 //! (`schema.txt` + one `.tsv` per table); `generate` creates them.
@@ -47,6 +54,11 @@ macro_rules! outln {
     }};
 }
 
+/// Exit status of a `--keep-going` run that completed but had to
+/// quarantine at least one attribute: distinct from both success (0) and
+/// hard failure (1) so scripts can tell a degraded answer from a dead one.
+const EXIT_DEGRADED: u8 = 2;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
@@ -56,12 +68,12 @@ fn main() -> ExitCode {
         Some("fks") => cmd_fks(&args[1..]),
         Some("help") | None => {
             print_usage();
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Some(other) => Err(format!("unknown command `{other}` (try `spider-ind help`)")),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(message) => {
             eprintln!("error: {message}");
             ExitCode::FAILURE
@@ -103,6 +115,12 @@ fn print_usage() {
          \x20     `--max-arity N` (N >= 2) switches to the levelwise n-ary\n\
          \x20     pipeline: composite INDs up to arity N, validated by the\n\
          \x20     SPIDER engine over tuple-encoded value streams.\n\
+         \x20     `--keep-going` (on-disk only) quarantines unreadable or\n\
+         \x20     corrupt attributes instead of aborting, prints a\n\
+         \x20     `degraded: {{...}}` JSON line, and exits with status 2\n\
+         \x20     when anything was quarantined. `--fault-plan SPEC`\n\
+         \x20     injects I/O faults for testing, e.g.\n\
+         \x20     `read:attr-00001:flip=40,write:*:eintr@3`.\n\
          \x20 spider-ind fks <dir>\n\
          \x20     Foreign-key guesses, accession candidates, primary relation."
     );
@@ -169,9 +187,22 @@ fn flag_size_value(args: &[String], name: &str) -> Result<Option<u64>, String> {
     }
 }
 
+/// [`flag_value`] for free-form string values (rejects a missing or
+/// flag-shaped operand instead of swallowing the next flag).
+fn flag_str_value<'a>(args: &'a [String], name: &str) -> Result<Option<&'a str>, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            Some(value) if !value.starts_with("--") => Ok(Some(value)),
+            _ => Err(format!("{name} requires a value")),
+        },
+    }
+}
+
 /// Builds the disk-pipeline [`ExportOptions`] from the shared flags:
-/// `--block-size` / `--memory-budget` (human-readable sizes) and the
-/// overlapped-I/O toggles `--prefetch` / `--direct-io`.
+/// `--block-size` / `--memory-budget` (human-readable sizes), the
+/// overlapped-I/O toggles `--prefetch` / `--direct-io`, the robustness
+/// mode `--keep-going`, and the test-only `--fault-plan` injector.
 fn export_options_from_args(
     args: &[String],
     threads: usize,
@@ -183,17 +214,67 @@ fn export_options_from_args(
     if let Some(budget) = flag_size_value(args, "--memory-budget")? {
         options.sort.memory_budget_bytes = budget as usize;
     }
+    if let Some(spec) = flag_str_value(args, "--fault-plan")? {
+        let plan = spider_ind::valueset::FaultPlan::parse(spec)
+            .map_err(|e| format!("--fault-plan: {e}"))?;
+        options.sort.io = options
+            .sort
+            .io
+            .clone()
+            .with_fault(std::sync::Arc::new(plan));
+    }
     options = options
         .prefetched(args.iter().any(|a| a == "--prefetch"))
-        .direct(args.iter().any(|a| a == "--direct-io"));
+        .direct(args.iter().any(|a| a == "--direct-io"))
+        .keep_going(args.iter().any(|a| a == "--keep-going"));
     Ok(options)
+}
+
+/// Escapes `text` for embedding in a JSON string literal.
+fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the keep-going degradation summary as one JSON object — the
+/// machine-readable contract scripted consumers parse (no serde in-tree,
+/// so the shape is hand-rolled and pinned by a unit test).
+fn degraded_json(report: &spider_ind::core::DegradedReport) -> String {
+    let mut out = String::from("{\"quarantined\":[");
+    for (i, f) in report.quarantined.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"id\":{},\"name\":\"{}\",\"error\":\"{}\"}}",
+            f.id,
+            json_escape(&f.name.to_string()),
+            json_escape(&f.error)
+        ));
+    }
+    out.push_str(&format!(
+        "],\"io_retries\":{},\"checksum_failures\":{}}}",
+        report.io_retries, report.checksum_failures
+    ));
+    out
 }
 
 fn load(dir: &str) -> Result<Database, String> {
     tsv::load_database(Path::new(dir)).map_err(|e| format!("loading {dir}: {e}"))
 }
 
-fn cmd_generate(args: &[String]) -> Result<(), String> {
+fn cmd_generate(args: &[String]) -> Result<ExitCode, String> {
     let kind = args.first().ok_or("generate: missing database kind")?;
     let dir = args.get(1).ok_or("generate: missing output directory")?;
     let scale = flag_value(args, "--scale")?.unwrap_or(100) as usize;
@@ -234,10 +315,10 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         db.attribute_count(),
         db.total_rows()
     );
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_profile(args: &[String]) -> Result<(), String> {
+fn cmd_profile(args: &[String]) -> Result<ExitCode, String> {
     let dir = args.first().ok_or("profile: missing database directory")?;
     let db = load(dir)?;
     let mut out = String::new();
@@ -273,7 +354,7 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
         }
     }
     emit(&out);
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 fn parse_algorithm(args: &[String]) -> Result<Algorithm, String> {
@@ -297,8 +378,13 @@ fn parse_algorithm(args: &[String]) -> Result<Algorithm, String> {
     }
 }
 
-fn cmd_discover(args: &[String]) -> Result<(), String> {
+fn cmd_discover(args: &[String]) -> Result<ExitCode, String> {
     let dir = args.first().ok_or("discover: missing database directory")?;
+    if !args.iter().any(|a| a == "--on-disk")
+        && (args.iter().any(|a| a == "--keep-going") || args.iter().any(|a| a == "--fault-plan"))
+    {
+        return Err("discover: --keep-going and --fault-plan require --on-disk".into());
+    }
     let db = load(dir)?;
     if let Some(max_arity) = flag_value(args, "--max-arity")? {
         if max_arity >= 2 {
@@ -329,11 +415,18 @@ fn cmd_discover(args: &[String]) -> Result<(), String> {
     for (dep, refd) in discovery.satisfied_named() {
         outln!(out, "{dep} <= {refd}");
     }
+    let mut code = ExitCode::SUCCESS;
+    if let Some(report) = &discovery.degraded {
+        outln!(out, "\ndegraded: {}", degraded_json(report));
+        if !report.is_clean() {
+            code = ExitCode::from(EXIT_DEGRADED);
+        }
+    }
     if args.iter().any(|a| a == "--names") {
         outln!(out, "\nmetrics: {}", discovery.metrics);
     }
     emit(&out);
-    Ok(())
+    Ok(code)
 }
 
 /// Runs the levelwise n-ary pipeline (`discover --max-arity N`, N ≥ 2) and
@@ -344,7 +437,10 @@ fn cmd_discover_nary(
     db: &spider_ind::storage::Database,
     args: &[String],
     max_arity: usize,
-) -> Result<(), String> {
+) -> Result<ExitCode, String> {
+    if args.iter().any(|a| a == "--keep-going") {
+        return Err("discover: --keep-going is not supported with --max-arity".into());
+    }
     let mut config = NaryConfig {
         max_arity,
         ..Default::default()
@@ -425,7 +521,7 @@ fn cmd_discover_nary(
         outln!(out, "\nmetrics: {}", discovery.metrics);
     }
     emit(&out);
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 /// Resolves `--workdir`: an explicit directory (kept for inspection) or a
@@ -467,7 +563,7 @@ fn discover_on_disk(
     result
 }
 
-fn cmd_fks(args: &[String]) -> Result<(), String> {
+fn cmd_fks(args: &[String]) -> Result<ExitCode, String> {
     let dir = args.first().ok_or("fks: missing database directory")?;
     let db = load(dir)?;
     let discovery = IndFinder::with_algorithm(Algorithm::Spider)
@@ -515,7 +611,7 @@ fn cmd_fks(args: &[String]) -> Result<(), String> {
         primary.primary_candidates
     );
     emit(&out);
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 #[cfg(test)]
@@ -580,6 +676,55 @@ mod tests {
         let bad = args(&["discover", "x", "--block-size", "8XB"]);
         let err = flag_size_value(&bad, "--block-size").unwrap_err();
         assert!(err.contains("--block-size") && err.contains("8XB"), "{err}");
+    }
+
+    #[test]
+    fn export_options_pick_up_robustness_flags() {
+        let a = args(&[
+            "discover",
+            "x",
+            "--on-disk",
+            "--keep-going",
+            "--fault-plan",
+            "read:attr-00001:flip=40,write:*:eintr@3",
+        ]);
+        let options = export_options_from_args(&a, 1).unwrap();
+        assert!(options.keep_going);
+        assert!(options.sort.io.fault.is_some());
+        let plain = export_options_from_args(&args(&["discover", "x", "--on-disk"]), 1).unwrap();
+        assert!(!plain.keep_going);
+        assert!(plain.sort.io.fault.is_none());
+        let bad = args(&["discover", "x", "--on-disk", "--fault-plan", "nonsense"]);
+        let err = export_options_from_args(&bad, 1).unwrap_err();
+        assert!(err.contains("--fault-plan"), "{err}");
+        let dangling = args(&["discover", "x", "--on-disk", "--fault-plan", "--prefetch"]);
+        let err = export_options_from_args(&dangling, 1).unwrap_err();
+        assert!(err.contains("requires a value"), "{err}");
+    }
+
+    #[test]
+    fn degraded_json_shape_is_stable_and_escaped() {
+        use spider_ind::core::DegradedReport;
+        use spider_ind::valueset::FailedAttribute;
+        let clean = DegradedReport::default();
+        assert_eq!(
+            degraded_json(&clean),
+            "{\"quarantined\":[],\"io_retries\":0,\"checksum_failures\":0}"
+        );
+        let report = DegradedReport {
+            quarantined: vec![FailedAttribute {
+                id: 7,
+                name: spider_ind::storage::QualifiedName::new("t", "c"),
+                error: "bad \"frame\"\nat byte 12".to_string(),
+            }],
+            io_retries: 3,
+            checksum_failures: 1,
+        };
+        assert_eq!(
+            degraded_json(&report),
+            "{\"quarantined\":[{\"id\":7,\"name\":\"t.c\",\"error\":\
+             \"bad \\\"frame\\\"\\nat byte 12\"}],\"io_retries\":3,\"checksum_failures\":1}"
+        );
     }
 
     #[test]

@@ -288,6 +288,94 @@ fn discover_max_arity_finds_the_composite_fk_via_cli() {
 }
 
 #[test]
+fn keep_going_quarantines_and_exits_degraded_via_cli() {
+    let dir = TempDir::new("cli-keepgoing");
+    let db_dir = dir.join("db");
+    let db_path = db_dir.to_str().expect("utf8 path");
+    assert!(spider_ind(&["generate", "scop", db_path, "--scale", "5"])
+        .status
+        .success());
+
+    // A bit flip in one attribute's value file: the run completes, prints
+    // the machine-readable degraded report, and exits with the distinct
+    // degraded status (2) — not success, not hard failure.
+    let degraded = spider_ind(&[
+        "discover",
+        db_path,
+        "--algorithm",
+        "spider",
+        "--on-disk",
+        "--keep-going",
+        "--fault-plan",
+        "read:attr-00001:flip=30",
+    ]);
+    assert_eq!(
+        degraded.status.code(),
+        Some(2),
+        "stdout:\n{}\nstderr:\n{}",
+        stdout(&degraded),
+        String::from_utf8_lossy(&degraded.stderr)
+    );
+    let text = stdout(&degraded);
+    assert!(
+        text.contains("degraded: {\"quarantined\":[{\"id\":1,"),
+        "{text}"
+    );
+    assert!(text.contains("\"checksum_failures\":"), "{text}");
+    assert!(
+        text.contains("satisfied INDs"),
+        "the run still answers: {text}"
+    );
+
+    // Keep-going with nothing wrong: clean report, normal exit.
+    let clean = spider_ind(&[
+        "discover",
+        db_path,
+        "--algorithm",
+        "spider",
+        "--on-disk",
+        "--keep-going",
+    ]);
+    assert!(clean.status.success());
+    assert!(
+        stdout(&clean).contains("degraded: {\"quarantined\":[]"),
+        "{}",
+        stdout(&clean)
+    );
+
+    // Transient faults are healed, not quarantined: normal exit.
+    let healed = spider_ind(&[
+        "discover",
+        db_path,
+        "--algorithm",
+        "spider",
+        "--on-disk",
+        "--keep-going",
+        "--fault-plan",
+        "read:*:eintr@5",
+    ]);
+    assert!(
+        healed.status.success(),
+        "{}",
+        String::from_utf8_lossy(&healed.stderr)
+    );
+    assert!(
+        stdout(&healed).contains("\"quarantined\":[]"),
+        "{}",
+        stdout(&healed)
+    );
+
+    // The robustness flags are disk-pipeline-only.
+    let rejected = spider_ind(&["discover", db_path, "--keep-going"]);
+    assert!(!rejected.status.success());
+    assert!(
+        String::from_utf8_lossy(&rejected.stderr).contains("--on-disk"),
+        "{}",
+        String::from_utf8_lossy(&rejected.stderr)
+    );
+}
+
+#[test]
 fn discover_rejects_unknown_algorithm() {
     let dir = TempDir::new("cli-badalgo");
     let db_dir = dir.join("db");
