@@ -15,7 +15,11 @@
 //! * **memory** — the frozen pre-refactor engine shape
 //!   (`ind_bench::legacy_spider`), the current zero-allocation `spider`,
 //!   and `spiderpar` over in-memory value sets, with allocation counts from
-//!   the counting allocator installed *in this binary only*;
+//!   the counting allocator installed *in this binary only*. Since schema
+//!   v6 a `spider_traced` row re-runs the same merge with `ind-trace`
+//!   phase spans and progress counters enabled — committed evidence that
+//!   observability stays within a few percent of the traced-off run and
+//!   keeps the merge allocation-free;
 //! * **disk** — the same `spider` engine over an on-disk export, read
 //!   through the frozen pre-block-layer `BufReader` reader shape
 //!   (`ind_bench::legacy_reader`, engine `spider_bufreader`) and through
@@ -1125,6 +1129,22 @@ fn bench_dataset(
                     .map(|s| (s, m))
             }),
         ),
+        (
+            // The observability-cost row: the same merge as `spider` with
+            // ind-trace spans, counters, and histograms live. The warm-up
+            // run also warms the thread's event ring, so the measured runs
+            // see tracing's steady state (reset clears contents, capacity
+            // stays).
+            "spider_traced",
+            Box::new(|| {
+                ind_trace::reset();
+                ind_trace::enable();
+                let mut m = RunMetrics::new();
+                let result = run_spider(&provider, &candidates, &mut m).map(|s| (s, m));
+                ind_trace::disable();
+                result
+            }),
+        ),
     ];
 
     for (engine, run) in &runners {
@@ -1203,7 +1223,7 @@ fn render_json(
 ) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
-    let _ = writeln!(out, "  \"schema_version\": 5,");
+    let _ = writeln!(out, "  \"schema_version\": 6,");
     let _ = writeln!(out, "  \"harness\": \"bench_spider\",");
     let _ = writeln!(out, "  \"scale\": {scale},");
     let _ = writeln!(out, "  \"block_size\": {block_size},");
@@ -1232,6 +1252,16 @@ fn render_json(
                 e.metrics.value_bytes_read
             );
             let _ = writeln!(out, "          \"comparisons\": {},", e.metrics.comparisons);
+            let _ = writeln!(
+                out,
+                "          \"key_compares\": {},",
+                e.metrics.key_compares
+            );
+            let _ = writeln!(
+                out,
+                "          \"memcmp_compares\": {},",
+                e.metrics.memcmp_compares
+            );
             let _ = writeln!(
                 out,
                 "          \"cursor_opens\": {},",
@@ -1278,6 +1308,16 @@ fn render_json(
                 out,
                 "            \"comparisons\": {},",
                 e.metrics.comparisons
+            );
+            let _ = writeln!(
+                out,
+                "            \"key_compares\": {},",
+                e.metrics.key_compares
+            );
+            let _ = writeln!(
+                out,
+                "            \"memcmp_compares\": {},",
+                e.metrics.memcmp_compares
             );
             let _ = writeln!(out, "            \"read_calls\": {},", e.io.read_calls);
             let _ = writeln!(out, "            \"os_read_calls\": {},", e.os_read_calls);
@@ -1464,6 +1504,8 @@ fn validate_json(text: &str) -> Result<(), String> {
         "\"wall_ms\"",
         "\"items_read\"",
         "\"value_bytes_read\"",
+        "\"key_compares\"",
+        "\"memcmp_compares\"",
         "\"allocs\"",
         "\"disk\"",
         "\"read_calls\"",
@@ -1617,6 +1659,40 @@ fn run() -> Result<(), String> {
                     "[{}] spider performed {} allocations — steady-state loop is no longer \
                      allocation-free (items_read={})",
                     d.name, spider.allocs, spider.metrics.items_read
+                ));
+            }
+            // Observability gates (schema v6): the traced merge must stay
+            // allocation-free (the event ring is warmed before measuring)
+            // and cost at most 10% + 2 ms over the traced-off run — the
+            // "zero-overhead when off, near-zero when on" contract.
+            // Byte-identity with `expected` was already enforced when the
+            // row was measured.
+            let traced = d
+                .engines
+                .iter()
+                .find(|e| e.engine == "spider_traced")
+                .ok_or("missing spider_traced row")?;
+            if traced.allocs > 2_000 {
+                return Err(format!(
+                    "[{}] traced spider performed {} allocations — tracing broke the \
+                     allocation-free merge (items_read={})",
+                    d.name, traced.allocs, traced.metrics.items_read
+                ));
+            }
+            if traced.wall_ms > spider.wall_ms * 1.10 + 2.0 {
+                return Err(format!(
+                    "[{}] traced spider costs {:.2} ms vs {:.2} ms untraced — span \
+                     recording is no longer near-free",
+                    d.name, traced.wall_ms, spider.wall_ms
+                ));
+            }
+            // Comparator-split sanity: the prefix64 fast path must be doing
+            // real work in the merge heap.
+            if spider.metrics.key_compares + spider.metrics.memcmp_compares == 0 {
+                return Err(format!(
+                    "[{}] spider reported no key/memcmp compares — the comparator \
+                     split is not being counted",
+                    d.name
                 ));
             }
             let legacy = d

@@ -1,0 +1,174 @@
+//! CI assertion tool for `spider-ind discover --report` run files.
+//!
+//! ```text
+//! cargo run --release -p ind-bench --bin check_report -- REPORT.json
+//! ```
+//!
+//! Validates the observability contract end to end:
+//!
+//! * the report parses and carries the expected `report_version`;
+//! * there is exactly one root span, named `discover`;
+//! * the span tree is well-formed — every child's interval lies inside
+//!   its parent's interval;
+//! * the root's direct children (the run's phases) cover the root's wall
+//!   time to within `max(5%, 2 ms)` — measured as the union of their
+//!   intervals, so concurrent phases (partition workers) are not
+//!   double-counted;
+//! * the root span agrees with `metrics.elapsed_ns` to the same
+//!   tolerance;
+//! * no events were dropped to ring overflow.
+//!
+//! Exits 0 when every assertion holds, 1 with a diagnostic otherwise.
+
+use ind_trace::json::{parse, Json};
+use std::process::ExitCode;
+
+/// Expected `report_version` — bump together with the CLI writer.
+const REPORT_VERSION: u64 = 1;
+
+fn field_u64(node: &Json, key: &str) -> Result<u64, String> {
+    node.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing or non-integer `{key}`"))
+}
+
+/// Recursively asserts child-interval ⊆ parent-interval, returning the
+/// number of spans visited.
+fn check_nesting(node: &Json, path: &str) -> Result<usize, String> {
+    let start = field_u64(node, "start_ns")?;
+    let end = start + field_u64(node, "duration_ns")?;
+    let children = node
+        .get("children")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: missing `children` array"))?;
+    let mut visited = 1;
+    for child in children {
+        let name = child
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: child without a name"))?;
+        let c_start = field_u64(child, "start_ns")?;
+        let c_end = c_start + field_u64(child, "duration_ns")?;
+        if c_start < start || c_end > end {
+            return Err(format!(
+                "{path}/{name}: child interval [{c_start}, {c_end}] escapes parent \
+                 [{start}, {end}]"
+            ));
+        }
+        visited += check_nesting(child, &format!("{path}/{name}"))?;
+    }
+    Ok(visited)
+}
+
+/// Total length of the union of `[start, end)` intervals.
+fn union_ns(mut intervals: Vec<(u64, u64)>) -> u64 {
+    intervals.sort_unstable();
+    let mut covered = 0u64;
+    let mut cursor = 0u64;
+    for (start, end) in intervals {
+        let start = start.max(cursor);
+        if end > start {
+            covered += end - start;
+            cursor = end;
+        }
+    }
+    covered
+}
+
+fn run() -> Result<(), String> {
+    let path = std::env::args()
+        .nth(1)
+        .ok_or("usage: check_report REPORT.json")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+    let report = parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+
+    let version = field_u64(&report, "report_version")?;
+    if version != REPORT_VERSION {
+        return Err(format!(
+            "report_version {version}, this checker understands {REPORT_VERSION}"
+        ));
+    }
+    let dropped = field_u64(&report, "dropped_events")?;
+    if dropped != 0 {
+        return Err(format!(
+            "{dropped} events were dropped to ring overflow — the span tree is incomplete"
+        ));
+    }
+
+    let spans = report
+        .get("spans")
+        .and_then(Json::as_arr)
+        .ok_or("missing `spans` array")?;
+    if spans.len() != 1 {
+        let names: Vec<&str> = spans
+            .iter()
+            .filter_map(|s| s.get("name").and_then(Json::as_str))
+            .collect();
+        return Err(format!("expected one root span, found {names:?}"));
+    }
+    let root = &spans[0];
+    let root_name = root.get("name").and_then(Json::as_str).unwrap_or("?");
+    if root_name != "discover" {
+        return Err(format!("root span is `{root_name}`, expected `discover`"));
+    }
+    let span_count = check_nesting(root, "discover")?;
+
+    let root_start = field_u64(root, "start_ns")?;
+    let root_dur = field_u64(root, "duration_ns")?;
+    let tolerance = |reference: u64| -> u64 { (reference / 20).max(2_000_000) };
+
+    // Phase coverage: the root's direct children, as an interval union so
+    // concurrent partitions are not double-counted, must account for the
+    // root's wall time minus the tolerance.
+    let children = root.get("children").and_then(Json::as_arr).unwrap();
+    if children.is_empty() {
+        return Err("the discover root has no phase children".into());
+    }
+    let intervals: Vec<(u64, u64)> = children
+        .iter()
+        .map(|c| {
+            let start = field_u64(c, "start_ns")?;
+            Ok((start, start + field_u64(c, "duration_ns")?))
+        })
+        .collect::<Result<_, String>>()?;
+    let covered = union_ns(intervals);
+    let uncovered = root_dur.saturating_sub(covered);
+    if uncovered > tolerance(root_dur) {
+        return Err(format!(
+            "phases cover {covered} of {root_dur} ns — {uncovered} ns ({:.1}%) of the \
+             run is unaccounted for (tolerance {} ns)",
+            uncovered as f64 * 100.0 / root_dur.max(1) as f64,
+            tolerance(root_dur)
+        ));
+    }
+
+    // The root span and the engine's own `elapsed` clock must agree.
+    let metrics = report.get("metrics").ok_or("missing `metrics` object")?;
+    let elapsed = field_u64(metrics, "elapsed_ns")?;
+    if root_dur.abs_diff(elapsed) > tolerance(elapsed) {
+        return Err(format!(
+            "root span lasted {root_dur} ns but metrics.elapsed_ns is {elapsed} ns \
+             (tolerance {} ns)",
+            tolerance(elapsed)
+        ));
+    }
+
+    println!(
+        "[report ok: {span_count} spans, root {:.2} ms starting at {:.2} ms, phases cover \
+         {:.1}%, elapsed agrees]",
+        root_dur as f64 / 1e6,
+        root_start as f64 / 1e6,
+        covered as f64 * 100.0 / root_dur.max(1) as f64
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -146,6 +146,10 @@ impl LegacySorter {
             file_bytes: writer.bytes_written(),
             arena_bytes: 0,
             arena_grows: 0,
+            // The frozen shape predates the comparator split; it never
+            // counts either side.
+            key_compares: 0,
+            memcmp_compares: 0,
             min,
             max,
         })

@@ -66,6 +66,7 @@ pub fn run_blockwise<P: ValueSetProvider>(
 
     let mut satisfied = Vec::new();
     let mut sub = Vec::new();
+    let mut pass = 0u64;
     for dep_chunk in deps.chunks(dep_block) {
         let dep_set: HashSet<u32> = dep_chunk.iter().copied().collect();
         for ref_chunk in refs.chunks(ref_block) {
@@ -78,6 +79,8 @@ pub fn run_blockwise<P: ValueSetProvider>(
                     .copied(),
             );
             if !sub.is_empty() {
+                let _span = ind_trace::start_arg(ind_trace::BLOCK_PASS, pass);
+                pass += 1;
                 satisfied.extend(run_single_pass(provider, &sub, metrics)?);
             }
         }

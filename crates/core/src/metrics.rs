@@ -43,6 +43,16 @@ pub struct RunMetrics {
     pub value_bytes_read: u64,
     /// Byte-string comparisons performed.
     pub comparisons: u64,
+    /// Heap-comparator invocations resolved by the 8-byte key prefix
+    /// alone (the `LazyMinHeap` users: the SPIDER merge and the spill
+    /// merge). Prep metric for the ROADMAP's u64-prefix-key
+    /// optimisation: `key_compares / (key_compares + memcmp_compares)`
+    /// is the fraction a packed-prefix heap would resolve without
+    /// touching value bytes.
+    pub key_compares: u64,
+    /// Heap-comparator invocations that fell through to a full `memcmp`
+    /// because the 8-byte prefixes tied.
+    pub memcmp_compares: u64,
     /// `read(2)` calls issued against value files (block fills of the
     /// disk-backed cursors). Zero for in-memory providers; populated by the
     /// disk-backed entry points that own the export (the cursors themselves
@@ -88,12 +98,64 @@ impl RunMetrics {
 
     /// Number of candidates that survived generation (i.e. entered the
     /// testing phase).
+    ///
+    /// Saturating: a partially-populated struct (pruning counters merged
+    /// in before `pairs_considered`, or hand-built in tests) reports 0
+    /// instead of underflowing.
     pub fn candidates(&self) -> u64 {
         self.pairs_considered
-            - self.pruned_cardinality
-            - self.pruned_max_value
-            - self.pruned_min_value
-            - self.pruned_projection
+            .saturating_sub(self.pruned_cardinality)
+            .saturating_sub(self.pruned_max_value)
+            .saturating_sub(self.pruned_min_value)
+            .saturating_sub(self.pruned_projection)
+    }
+
+    /// Renders every counter as one flat JSON object — the
+    /// machine-readable escape from the `Display` wall, embedded
+    /// verbatim in `--report` run files.
+    ///
+    /// Stable vocabulary: one key per public field (plus the derived
+    /// `candidates` and `elapsed` as exact integer nanoseconds), all
+    /// values exact `u64` integers, so the report round-trips through
+    /// any JSON parser losslessly.
+    pub fn to_json(&self) -> String {
+        let fields: [(&str, u64); 25] = [
+            ("pairs_considered", self.pairs_considered),
+            ("pruned_cardinality", self.pruned_cardinality),
+            ("pruned_max_value", self.pruned_max_value),
+            ("pruned_min_value", self.pruned_min_value),
+            ("pruned_projection", self.pruned_projection),
+            ("inferred_satisfied", self.inferred_satisfied),
+            ("inferred_refuted", self.inferred_refuted),
+            ("pruned_sampling", self.pruned_sampling),
+            ("candidates", self.candidates()),
+            ("tested", self.tested),
+            ("satisfied", self.satisfied),
+            ("items_read", self.items_read),
+            ("value_bytes_read", self.value_bytes_read),
+            ("comparisons", self.comparisons),
+            ("key_compares", self.key_compares),
+            ("memcmp_compares", self.memcmp_compares),
+            ("read_calls", self.read_calls),
+            ("prefetch_hits", self.prefetch_hits),
+            ("prefetch_stalls", self.prefetch_stalls),
+            ("direct_opens", self.direct_opens),
+            ("direct_fallbacks", self.direct_fallbacks),
+            ("cursor_opens", self.cursor_opens),
+            ("io_retries", self.io_retries),
+            ("checksum_failures", self.checksum_failures),
+            ("quarantined_attributes", self.quarantined_attributes),
+        ];
+        let mut out = String::with_capacity(640);
+        out.push('{');
+        for (key, value) in fields {
+            out.push_str(&format!("\"{key}\": {value}, "));
+        }
+        out.push_str(&format!(
+            "\"elapsed_ns\": {}}}",
+            self.elapsed.as_nanos() as u64
+        ));
+        out
     }
 
     /// Merges `other` into `self` (summing counters and durations), used by
@@ -112,6 +174,8 @@ impl RunMetrics {
         self.items_read += other.items_read;
         self.value_bytes_read += other.value_bytes_read;
         self.comparisons += other.comparisons;
+        self.key_compares += other.key_compares;
+        self.memcmp_compares += other.memcmp_compares;
         self.read_calls += other.read_calls;
         self.prefetch_hits += other.prefetch_hits;
         self.prefetch_stalls += other.prefetch_stalls;
@@ -131,7 +195,8 @@ impl fmt::Display for RunMetrics {
             f,
             "candidates={} (considered={}, pruned: card={}, max={}, min={}, proj={}, \
              sampling={}, inferred: sat={}, ref={}), tested={}, satisfied={}, items_read={}, \
-             value_bytes_read={}, comparisons={}, read_calls={}, prefetch: hits={}, stalls={}, \
+             value_bytes_read={}, comparisons={} (key={}, memcmp={}), read_calls={}, \
+             prefetch: hits={}, stalls={}, \
              direct: opens={}, fallbacks={}, cursor_opens={}, io_retries={}, \
              checksum_failures={}, quarantined={}, elapsed={:?}",
             self.candidates(),
@@ -148,6 +213,8 @@ impl fmt::Display for RunMetrics {
             self.items_read,
             self.value_bytes_read,
             self.comparisons,
+            self.key_compares,
+            self.memcmp_compares,
             self.read_calls,
             self.prefetch_hits,
             self.prefetch_stalls,
@@ -211,6 +278,80 @@ mod tests {
         assert_eq!(a.quarantined_attributes, 1);
         assert_eq!(a.elapsed, Duration::from_millis(12));
         assert_eq!(a.candidates(), 13);
+    }
+
+    #[test]
+    fn candidates_saturates_on_partial_metrics() {
+        // Regression: a struct holding only pruning counters (e.g. a
+        // worker's metrics merged before the generator's) used to
+        // underflow and panic in debug builds.
+        let partial = RunMetrics {
+            pruned_cardinality: 4,
+            pruned_max_value: 2,
+            ..Default::default()
+        };
+        assert_eq!(partial.candidates(), 0);
+        let mixed = RunMetrics {
+            pairs_considered: 3,
+            pruned_cardinality: 2,
+            pruned_min_value: 2,
+            ..Default::default()
+        };
+        assert_eq!(mixed.candidates(), 0);
+        let normal = RunMetrics {
+            pairs_considered: 10,
+            pruned_cardinality: 2,
+            pruned_projection: 1,
+            ..Default::default()
+        };
+        assert_eq!(normal.candidates(), 7);
+    }
+
+    #[test]
+    fn merge_sums_comparator_split() {
+        let mut a = RunMetrics {
+            key_compares: 10,
+            memcmp_compares: 3,
+            ..Default::default()
+        };
+        let b = RunMetrics {
+            key_compares: 5,
+            memcmp_compares: 7,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.key_compares, 15);
+        assert_eq!(a.memcmp_compares, 10);
+    }
+
+    #[test]
+    fn to_json_lists_every_counter_exactly_once() {
+        let m = RunMetrics {
+            pairs_considered: 12,
+            pruned_cardinality: 2,
+            key_compares: 44,
+            memcmp_compares: 11,
+            elapsed: Duration::from_nanos(1_234_567),
+            ..Default::default()
+        };
+        let json = m.to_json();
+        for key in [
+            "\"pairs_considered\": 12",
+            "\"candidates\": 10",
+            "\"key_compares\": 44",
+            "\"memcmp_compares\": 11",
+            "\"elapsed_ns\": 1234567",
+        ] {
+            assert!(json.contains(key), "{key} missing from {json}");
+        }
+        for key in [
+            "pruned_sampling",
+            "quarantined_attributes",
+            "checksum_failures",
+        ] {
+            assert_eq!(json.matches(key).count(), 1, "{key} in {json}");
+        }
+        assert!(json.starts_with('{') && json.ends_with('}'));
     }
 
     #[test]

@@ -267,14 +267,17 @@ impl NaryFinder {
         let max_arity = self.config.max_arity.clamp(1, MAX_COMPOSITE_ARITY);
         let mut metrics = RunMetrics::new();
         let total_start = Instant::now();
+        let _root = ind_trace::start(ind_trace::DISCOVER);
         let table_of = table_indices(profiles);
 
         // Level 1: the unary engine with relaxed referenced eligibility.
         let level_start = Instant::now();
+        let level_span = ind_trace::start_arg(ind_trace::LEVEL, 1);
         let unary_candidates =
             generate_unary_relaxed(profiles, &self.config.pretests, &mut metrics);
         let generated = unary_candidates.len() as u64;
         let unary = run_spider(unary_provider, &unary_candidates, &mut metrics)?;
+        level_span.finish();
         let mut levels = vec![NaryLevelStats {
             arity: 1,
             enumerable: enumerable_at(profiles, &table_of, 1),
@@ -295,6 +298,7 @@ impl NaryFinder {
                 break;
             }
             let level_start = Instant::now();
+            let _level_span = ind_trace::start_arg(ind_trace::LEVEL, arity as u64);
             let pruned_before = metrics.pruned_projection;
             let candidates = generate_level(&prev, &table_of, &mut metrics);
             let pruned_projection = metrics.pruned_projection - pruned_before;

@@ -229,12 +229,15 @@ impl IndFinder {
     {
         let start = Instant::now();
         let mut metrics = RunMetrics::new();
+        let generate_span = ind_trace::start(ind_trace::GENERATE);
         let mut candidates = generate_candidates(profiles, &self.config.pretests, &mut metrics);
         if !quarantined.is_empty() {
             candidates.retain(|c| !quarantined.contains(&c.dep) && !quarantined.contains(&c.refd));
             metrics.quarantined_attributes = quarantined.len() as u64;
         }
+        generate_span.finish();
         if let Some(sampling) = &self.config.sampling {
+            let _span = ind_trace::start(ind_trace::SAMPLING);
             candidates = sampling_pretest(provider, &candidates, sampling, &mut metrics)?;
         }
         let mut satisfied = match &self.config.algorithm {
@@ -273,9 +276,17 @@ impl IndFinder {
     /// for tests and small databases. Parallel algorithms also extract in
     /// parallel (see [`Algorithm::extraction_threads`]).
     pub fn discover_in_memory(&self, db: &Database) -> Result<Discovery> {
+        let start = Instant::now();
+        let _root = ind_trace::start(ind_trace::DISCOVER);
+        let profile_span = ind_trace::start(ind_trace::PROFILE);
         let (profiles, provider) =
             memory_export_with_threads(db, self.config.algorithm.extraction_threads());
-        self.discover(&profiles, &provider)
+        profile_span.finish();
+        let mut discovery = self.discover(&profiles, &provider)?;
+        // Cover extraction too, so the span tree's phases account for
+        // (nearly) all of `elapsed`.
+        discovery.metrics.elapsed = start.elapsed();
+        Ok(discovery)
     }
 
     /// Exports `db` to sorted value files under `workdir` and discovers
@@ -313,10 +324,15 @@ impl IndFinder {
         workdir: &Path,
         options: &ExportOptions,
     ) -> Result<Discovery> {
+        let start = Instant::now();
+        let _root = ind_trace::start(ind_trace::DISCOVER);
         let export = ExportedDatabase::export(db, workdir, options)?;
+        let profile_span = ind_trace::start(ind_trace::PROFILE);
         let profiles = profiles_from_export(&export);
+        profile_span.finish();
 
         let quarantined: Vec<FailedAttribute> = if options.keep_going {
+            let _span = ind_trace::start(ind_trace::PRESCAN);
             let mut failed = export.failed_attributes().to_vec();
             for attr in export.attributes() {
                 if failed.iter().any(|f| f.id == attr.id) {
@@ -357,6 +373,11 @@ impl IndFinder {
         discovery.metrics.direct_fallbacks = export.direct_fallbacks();
         discovery.metrics.io_retries = io_retries + export.io_retries();
         discovery.metrics.checksum_failures = checksum_failures + export.checksum_failures();
+        discovery.metrics.key_compares += export.sort_key_compares();
+        discovery.metrics.memcmp_compares += export.sort_memcmp_compares();
+        // Cover export and pre-scan too, so the span tree's phases account
+        // for (nearly) all of `elapsed`.
+        discovery.metrics.elapsed = start.elapsed();
         if options.keep_going {
             discovery.degraded = Some(DegradedReport {
                 quarantined,
@@ -380,12 +401,15 @@ impl IndFinder {
     ) -> Result<Discovery> {
         let start = Instant::now();
         let mut metrics = RunMetrics::new();
+        let generate_span = ind_trace::start(ind_trace::GENERATE);
         let mut candidates = generate_candidates(profiles, &self.config.pretests, &mut metrics);
         if !quarantined.is_empty() {
             candidates.retain(|c| !quarantined.contains(&c.dep) && !quarantined.contains(&c.refd));
             metrics.quarantined_attributes = quarantined.len() as u64;
         }
+        generate_span.finish();
         if let Some(sampling) = &self.config.sampling {
+            let _span = ind_trace::start(ind_trace::SAMPLING);
             candidates = sampling_pretest(export, &candidates, sampling, &mut metrics)?;
         }
         let mut satisfied =

@@ -112,6 +112,15 @@ where
         // lint: allow(hot_alloc) — empty-candidate early return; Vec::new does not allocate
         return Ok(Vec::new());
     }
+    let _span = ind_trace::start(ind_trace::SPIDER_MERGE);
+    // Cached once per pass: the merge loop publishes progress only when
+    // tracing was on at entry, so a traced-off run pays one relaxed load.
+    let traced = ind_trace::enabled();
+    // Comparator-split tallies, folded into `metrics` at the end of the
+    // pass. `Cell`s, because the heap comparator closures capture them
+    // immutably alongside the cursor slice.
+    let key_compares = std::cell::Cell::new(0u64);
+    let memcmp_compares = std::cell::Cell::new(0u64);
 
     // Dense remap: every vector below is indexed by compact attribute id.
     let ids = CompactIds::from_candidates(candidates);
@@ -170,9 +179,18 @@ where
     }
     for d in 0..n {
         if cursors[d].is_some() {
-            heap.push(d as u32, |a, b| slot_less(&cursors, a, b));
+            heap.push(d as u32, |a, b| {
+                slot_less(&cursors, &key_compares, &memcmp_compares, a, b)
+            });
         }
     }
+
+    // Progress bookkeeping for the live surface: refutations are counted
+    // as they happen (one register increment in the bit scan), so the
+    // surviving-candidate gauge is `total - refuted - satisfied` without
+    // an O(n) rescan per group.
+    let mut refuted_total: u64 = 0;
+    let (mut last_items, mut last_bytes) = (metrics.items_read, metrics.value_bytes_read);
 
     // Reusable per-group scratch: member list, owned copy of the group's
     // value, and the group membership bitmask (cleared after every group).
@@ -186,11 +204,11 @@ where
         group.clear();
         group_value.clear();
         group_value.extend_from_slice(cursor_value(&cursors, first));
-        heap.pop(|a, b| slot_less(&cursors, a, b));
+        heap.pop(|a, b| slot_less(&cursors, &key_compares, &memcmp_compares, a, b));
         group.push(first);
         while let Some(top) = heap.peek() {
             if cursor_value(&cursors, top) == group_value.as_slice() {
-                heap.pop(|a, b| slot_less(&cursors, a, b));
+                heap.pop(|a, b| slot_less(&cursors, &key_compares, &memcmp_compares, a, b));
                 group.push(top);
             } else {
                 break;
@@ -222,6 +240,7 @@ where
                         removed &= removed - 1;
                         usage[r] -= 1;
                         live[a] -= 1;
+                        refuted_total += 1;
                     }
                 }
             }
@@ -241,7 +260,9 @@ where
             if cursor.advance()? {
                 metrics.items_read += 1;
                 metrics.value_bytes_read += cursor.current().len() as u64;
-                heap.push(a as u32, |x, y| slot_less(&cursors, x, y));
+                heap.push(a as u32, |x, y| {
+                    slot_less(&cursors, &key_compares, &memcmp_compares, x, y)
+                });
             } else {
                 // Dependent exhausted: its surviving candidates held for
                 // every value — satisfied.
@@ -260,8 +281,27 @@ where
         for &a in &group {
             group_mask[a as usize / 64] = 0;
         }
+
+        // Publish progress once per merge group, as counter *deltas* — the
+        // per-item hot path stays untouched.
+        if traced {
+            ind_trace::add_counter(
+                ind_trace::Counter::ItemsRead,
+                metrics.items_read - last_items,
+            );
+            ind_trace::add_counter(
+                ind_trace::Counter::ValueBytesRead,
+                metrics.value_bytes_read - last_bytes,
+            );
+            (last_items, last_bytes) = (metrics.items_read, metrics.value_bytes_read);
+            ind_trace::set_candidates_live(
+                candidates.len() as u64 - refuted_total - satisfied.len() as u64,
+            );
+        }
     }
 
+    metrics.key_compares += key_compares.get();
+    metrics.memcmp_compares += memcmp_compares.get();
     debug_assert!(
         live.iter().all(|&l| l == 0),
         "heap ran dry with unresolved candidates"
@@ -304,9 +344,27 @@ fn satisfy_survivors(
 /// `(cursors[slot].current(), slot)` compared lazily at sift time by the
 /// shared [`LazyMinHeap`], so the heap stores nothing but `u32`s and never
 /// copies a value. The slot tie-break makes the order total and
-/// deterministic.
-fn slot_less<C: ValueCursor>(cursors: &[Option<C>], a: u32, b: u32) -> bool {
-    match cursor_value(cursors, a).cmp(cursor_value(cursors, b)) {
+/// deterministic. An integer comparison of the 8-byte key prefixes
+/// ([`ind_valueset::key_prefix64`]) settles most pairs without touching
+/// the slice tails; the two tallies split the traffic for the run report.
+fn slot_less<C: ValueCursor>(
+    cursors: &[Option<C>],
+    key_compares: &std::cell::Cell<u64>,
+    memcmp_compares: &std::cell::Cell<u64>,
+    a: u32,
+    b: u32,
+) -> bool {
+    let (va, vb) = (cursor_value(cursors, a), cursor_value(cursors, b));
+    let (pa, pb) = (
+        ind_valueset::key_prefix64(va),
+        ind_valueset::key_prefix64(vb),
+    );
+    if pa != pb {
+        key_compares.set(key_compares.get() + 1);
+        return pa < pb;
+    }
+    memcmp_compares.set(memcmp_compares.get() + 1);
+    match va.cmp(vb) {
         std::cmp::Ordering::Less => true,
         std::cmp::Ordering::Greater => false,
         std::cmp::Ordering::Equal => a < b,

@@ -169,12 +169,17 @@ where
         }
     }
 
+    // Thread-local span parenting stops at the spawn: capture the current
+    // parent here so each partition span hangs under the discover root.
+    let span_parent = ind_trace::current_parent();
     let results: Vec<Result<(Vec<Candidate>, RunMetrics)>> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = ranges
             .iter()
             .zip(&per_partition)
-            .map(|(&(lower, upper), shard)| {
+            .enumerate()
+            .map(|(p, (&(lower, upper), shard))| {
                 scope.spawn(move |_| {
+                    let _span = ind_trace::start_under(ind_trace::PARTITION, p as u64, span_parent);
                     let mut local = RunMetrics::new();
                     let found = spider_pass(
                         |a| Ok(RangeCursor::new(provider.open(a)?, lower, upper)),
@@ -267,11 +272,13 @@ pub fn run_spider_parallel_shared(
     let partitions = provider.partitions();
     let shard_candidates: &[Candidate] = &unique;
 
+    let span_parent = ind_trace::current_parent();
     let results: Vec<Result<(Vec<Candidate>, RunMetrics)>> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = (0..partitions)
             .map(|p| {
                 let shard = provider.shard(p);
                 scope.spawn(move |_| {
+                    let _span = ind_trace::start_under(ind_trace::PARTITION, p as u64, span_parent);
                     let mut local = RunMetrics::new();
                     let found = spider_pass(|a| shard.open(a), shard_candidates, &mut local)?;
                     Ok((found, local))

@@ -1,0 +1,102 @@
+//! Report-stability property: `RunMetrics::to_json` must round-trip
+//! through a JSON parser with every counter exact — the `--report` file
+//! is only useful if downstream tooling reads back precisely what the
+//! run recorded.
+
+use ind_core::RunMetrics;
+use ind_trace::json::{self, Json};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn arbitrary_metrics(values: &[u64; 26]) -> RunMetrics {
+    RunMetrics {
+        pairs_considered: values[0],
+        pruned_cardinality: values[1],
+        pruned_max_value: values[2],
+        pruned_min_value: values[3],
+        pruned_projection: values[4],
+        inferred_satisfied: values[5],
+        inferred_refuted: values[6],
+        pruned_sampling: values[7],
+        tested: values[8],
+        satisfied: values[9],
+        items_read: values[10],
+        value_bytes_read: values[11],
+        comparisons: values[12],
+        key_compares: values[13],
+        memcmp_compares: values[14],
+        read_calls: values[15],
+        prefetch_hits: values[16],
+        prefetch_stalls: values[17],
+        direct_opens: values[18],
+        direct_fallbacks: values[19],
+        cursor_opens: values[20],
+        io_retries: values[21],
+        checksum_failures: values[22],
+        quarantined_attributes: values[23],
+        elapsed: Duration::from_secs(values[24]) + Duration::from_nanos(values[25]),
+    }
+}
+
+fn field(parsed: &Json, key: &str) -> u64 {
+    parsed
+        .get(key)
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("missing or non-integer {key}"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn to_json_round_trips_through_parsing(
+        counters in proptest::collection::vec(0u64..=u64::MAX, 24),
+        secs in 0u64..4_000_000_000,
+        nanos in 0u64..1_000_000_000,
+    ) {
+        let mut values = [0u64; 26];
+        values[..24].copy_from_slice(&counters);
+        values[24] = secs;
+        values[25] = nanos;
+        let metrics = arbitrary_metrics(&values);
+
+        let text = metrics.to_json();
+        let parsed = match json::parse(&text) {
+            Ok(parsed) => parsed,
+            Err(e) => return Err(format!("to_json output unparseable ({e}): {text}")),
+        };
+
+        prop_assert_eq!(field(&parsed, "pairs_considered"), metrics.pairs_considered);
+        prop_assert_eq!(field(&parsed, "pruned_cardinality"), metrics.pruned_cardinality);
+        prop_assert_eq!(field(&parsed, "pruned_max_value"), metrics.pruned_max_value);
+        prop_assert_eq!(field(&parsed, "pruned_min_value"), metrics.pruned_min_value);
+        prop_assert_eq!(field(&parsed, "pruned_projection"), metrics.pruned_projection);
+        prop_assert_eq!(field(&parsed, "inferred_satisfied"), metrics.inferred_satisfied);
+        prop_assert_eq!(field(&parsed, "inferred_refuted"), metrics.inferred_refuted);
+        prop_assert_eq!(field(&parsed, "pruned_sampling"), metrics.pruned_sampling);
+        prop_assert_eq!(field(&parsed, "candidates"), metrics.candidates());
+        prop_assert_eq!(field(&parsed, "tested"), metrics.tested);
+        prop_assert_eq!(field(&parsed, "satisfied"), metrics.satisfied);
+        prop_assert_eq!(field(&parsed, "items_read"), metrics.items_read);
+        prop_assert_eq!(field(&parsed, "value_bytes_read"), metrics.value_bytes_read);
+        prop_assert_eq!(field(&parsed, "comparisons"), metrics.comparisons);
+        prop_assert_eq!(field(&parsed, "key_compares"), metrics.key_compares);
+        prop_assert_eq!(field(&parsed, "memcmp_compares"), metrics.memcmp_compares);
+        prop_assert_eq!(field(&parsed, "read_calls"), metrics.read_calls);
+        prop_assert_eq!(field(&parsed, "prefetch_hits"), metrics.prefetch_hits);
+        prop_assert_eq!(field(&parsed, "prefetch_stalls"), metrics.prefetch_stalls);
+        prop_assert_eq!(field(&parsed, "direct_opens"), metrics.direct_opens);
+        prop_assert_eq!(field(&parsed, "direct_fallbacks"), metrics.direct_fallbacks);
+        prop_assert_eq!(field(&parsed, "cursor_opens"), metrics.cursor_opens);
+        prop_assert_eq!(field(&parsed, "io_retries"), metrics.io_retries);
+        prop_assert_eq!(field(&parsed, "checksum_failures"), metrics.checksum_failures);
+        prop_assert_eq!(
+            field(&parsed, "quarantined_attributes"),
+            metrics.quarantined_attributes
+        );
+        prop_assert_eq!(
+            field(&parsed, "elapsed_ns"),
+            metrics.elapsed.as_nanos() as u64
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Power-of-two-bucket histograms for hot-path latency and size
+//! distributions.
+//!
+//! Bucket `i` counts values in `[2^(i-1), 2^i)` (bucket 0 counts zero).
+//! Recording is one relaxed `fetch_add` behind the global enable gate —
+//! cheap enough for per-block and per-record call sites.
+
+use crate::span::enabled;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Buckets per histogram (covers the full `u64` range).
+pub const HIST_BUCKETS: usize = 64;
+
+/// A fixed-bucket power-of-two histogram.
+pub struct Histogram {
+    name: &'static str,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Histogram {
+    const fn new(name: &'static str) -> Self {
+        Histogram {
+            name,
+            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+        }
+    }
+
+    /// The histogram's report name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Counts one value. No-op (one relaxed load) when tracing is off.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if !enabled() {
+            return;
+        }
+        let bucket = (64 - value.leading_zeros() as usize).min(HIST_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Relaxed snapshot of all bucket counts.
+    pub fn bucket_counts(&self) -> [u64; HIST_BUCKETS] {
+        let mut out = [0u64; HIST_BUCKETS];
+        let mut i = 0;
+        while i < HIST_BUCKETS {
+            out[i] = self.buckets[i].load(Ordering::Relaxed);
+            i += 1;
+        }
+        out
+    }
+
+    fn reset(&self) {
+        for bucket in self.buckets.iter() {
+            bucket.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Block-fill latency (nanoseconds per block read into the block layer).
+pub static BLOCK_FILL_NANOS: Histogram = Histogram::new("block_fill_nanos");
+/// Record payload length (bytes per value written to a value file).
+pub static RECORD_LEN_BYTES: Histogram = Histogram::new("record_len_bytes");
+
+/// Every registered histogram, for report assembly.
+pub fn histograms() -> [&'static Histogram; 2] {
+    [&BLOCK_FILL_NANOS, &RECORD_LEN_BYTES]
+}
+
+/// Zeroes every histogram (for multi-run harnesses).
+pub(crate) fn reset_histograms() {
+    for hist in histograms() {
+        hist.reset();
+    }
+}

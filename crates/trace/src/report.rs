@@ -1,0 +1,223 @@
+//! Report-time assembly: span tree, JSON rendering, folded stacks.
+//!
+//! Everything here runs after the measured work and may allocate freely.
+
+use crate::progress::{COUNTER_COUNT, COUNTER_NAMES};
+use crate::ring::{self, EventKind};
+use crate::span::{ArgStyle, SPAN_TABLE};
+use std::collections::HashMap;
+
+/// One finished span with its children, ready for rendering.
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// Registered span name (see [`crate::SPAN_NAMES`]).
+    pub name: &'static str,
+    /// Span argument (attribute id, level, partition…).
+    pub arg: u64,
+    /// Start, nanoseconds since the trace epoch.
+    pub start_ns: u64,
+    /// Wall time from start to finish.
+    pub duration_ns: u64,
+    /// Progress-counter deltas over the span, in [`COUNTER_NAMES`] order.
+    pub counters: [u64; COUNTER_COUNT],
+    /// Child spans, in start order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Wall time of this span not covered by its children.
+    pub fn self_ns(&self) -> u64 {
+        let child_total: u64 = self.children.iter().map(|c| c.duration_ns).sum();
+        self.duration_ns.saturating_sub(child_total)
+    }
+}
+
+/// A collected run: root spans plus the ring-overflow count.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Top-level spans (usually one `discover` root).
+    pub roots: Vec<SpanNode>,
+    /// Events lost to full rings (0 on any normal run).
+    pub dropped_events: u64,
+}
+
+/// The human label for a span (`sort/attr=3`, `level=2`, `export`…).
+pub fn span_label(name: &str, arg: u64) -> String {
+    for (registered, style) in SPAN_TABLE {
+        if registered == name {
+            return match style {
+                ArgStyle::None => name.to_string(),
+                ArgStyle::Attr => format!("{name}/attr={arg}"),
+                ArgStyle::Index => format!("{name}={arg}"),
+            };
+        }
+    }
+    name.to_string()
+}
+
+struct Pending {
+    span: u16,
+    arg: u64,
+    parent: u64,
+    start_ns: u64,
+    end_ns: Option<u64>,
+    counters: [u64; COUNTER_COUNT],
+    children: Vec<u64>,
+}
+
+/// Drains every thread's ring and folds the events into a span tree.
+///
+/// Spans still open at collection time are omitted (their finished
+/// children are promoted to roots), so the tree always satisfies
+/// child-interval ⊆ parent-interval.
+pub fn collect() -> Trace {
+    let events = ring::drain_sorted();
+    let mut pending: HashMap<u64, Pending> = HashMap::new();
+    let mut order: Vec<u64> = Vec::new();
+    for event in &events {
+        match event.kind {
+            EventKind::Start => {
+                pending.insert(
+                    event.token,
+                    Pending {
+                        span: event.span,
+                        arg: event.arg,
+                        parent: event.parent,
+                        start_ns: event.t_ns,
+                        end_ns: None,
+                        counters: [0; COUNTER_COUNT],
+                        children: Vec::new(),
+                    },
+                );
+                order.push(event.token);
+            }
+            EventKind::End => {
+                if let Some(p) = pending.get_mut(&event.token) {
+                    p.end_ns = Some(event.t_ns);
+                    p.counters = event.counters;
+                }
+            }
+        }
+    }
+    // Attach children to parents (in start order, so sibling order is
+    // stable); a finished span under an unfinished or unknown parent
+    // becomes a root.
+    let mut roots: Vec<u64> = Vec::new();
+    for &token in &order {
+        let parent = pending[&token].parent;
+        let parent_finished =
+            parent != 0 && pending.get(&parent).is_some_and(|p| p.end_ns.is_some());
+        if parent_finished {
+            if let Some(p) = pending.get_mut(&parent) {
+                p.children.push(token);
+            }
+        } else if pending[&token].end_ns.is_some() {
+            roots.push(token);
+        }
+    }
+    fn build(token: u64, pending: &HashMap<u64, Pending>) -> Option<SpanNode> {
+        let p = pending.get(&token)?;
+        let end_ns = p.end_ns?;
+        let mut children = Vec::with_capacity(p.children.len());
+        for &child in &p.children {
+            if let Some(node) = build(child, pending) {
+                children.push(node);
+            }
+        }
+        Some(SpanNode {
+            name: SPAN_TABLE
+                .get(p.span as usize)
+                .map_or("unknown", |(name, _)| name),
+            arg: p.arg,
+            start_ns: p.start_ns,
+            duration_ns: end_ns.saturating_sub(p.start_ns),
+            counters: p.counters,
+            children,
+        })
+    }
+    Trace {
+        roots: roots
+            .into_iter()
+            .filter_map(|t| build(t, &pending))
+            .collect(),
+        dropped_events: ring::dropped_events(),
+    }
+}
+
+fn write_span(out: &mut String, node: &SpanNode, indent: usize) {
+    let pad = " ".repeat(indent);
+    out.push_str(&format!("{pad}{{\n"));
+    out.push_str(&format!("{pad}  \"name\": \"{}\",\n", node.name));
+    out.push_str(&format!("{pad}  \"arg\": {},\n", node.arg));
+    out.push_str(&format!("{pad}  \"start_ns\": {},\n", node.start_ns));
+    out.push_str(&format!("{pad}  \"duration_ns\": {},\n", node.duration_ns));
+    out.push_str(&format!("{pad}  \"counters\": {{"));
+    for (i, name) in COUNTER_NAMES.iter().enumerate() {
+        out.push_str(&format!(
+            "\"{name}\": {}{}",
+            node.counters[i],
+            if i + 1 < COUNTER_COUNT { ", " } else { "" }
+        ));
+    }
+    out.push_str("},\n");
+    if node.children.is_empty() {
+        out.push_str(&format!("{pad}  \"children\": []\n"));
+    } else {
+        out.push_str(&format!("{pad}  \"children\": [\n"));
+        for (i, child) in node.children.iter().enumerate() {
+            write_span(out, child, indent + 4);
+            if i + 1 < node.children.len() {
+                out.push_str(",\n");
+            } else {
+                out.push('\n');
+            }
+        }
+        out.push_str(&format!("{pad}  ]\n"));
+    }
+    out.push_str(&format!("{pad}}}"));
+}
+
+/// Renders the span tree as a JSON array (the report's `"spans"` value).
+pub fn spans_json(trace: &Trace, indent: usize) -> String {
+    let mut out = String::new();
+    if trace.roots.is_empty() {
+        out.push_str("[]");
+        return out;
+    }
+    out.push_str("[\n");
+    for (i, root) in trace.roots.iter().enumerate() {
+        write_span(&mut out, root, indent + 2);
+        if i + 1 < trace.roots.len() {
+            out.push_str(",\n");
+        } else {
+            out.push('\n');
+        }
+    }
+    out.push_str(&format!("{}]", " ".repeat(indent)));
+    out
+}
+
+fn fold_into(out: &mut String, node: &SpanNode, stack: &mut String) {
+    let rollback = stack.len();
+    if !stack.is_empty() {
+        stack.push(';');
+    }
+    stack.push_str(&span_label(node.name, node.arg));
+    let self_us = node.self_ns() / 1_000;
+    out.push_str(&format!("{stack} {self_us}\n"));
+    for child in &node.children {
+        fold_into(out, child, stack);
+    }
+    stack.truncate(rollback);
+}
+
+/// Renders flamegraph-compatible folded stacks: one line per span,
+/// `discover;export;sort/attr=3 <self-microseconds>`.
+pub fn folded(trace: &Trace) -> String {
+    let mut out = String::new();
+    let mut stack = String::new();
+    for root in &trace.roots {
+        fold_into(&mut out, root, &mut stack);
+    }
+    out
+}

@@ -886,6 +886,9 @@ impl BlockReader {
     #[cold]
     fn fill_slow(&mut self, need: usize) -> std::io::Result<usize> {
         debug_assert!(need <= self.block_size, "fill_to beyond block capacity");
+        // Block-fill latency histogram; the clock read is gated so a
+        // traced-off run pays one relaxed load, nothing more.
+        let fill_start = ind_trace::enabled().then(std::time::Instant::now);
         if self.start > 0 {
             let len = self.buf.len();
             self.buf.copy_within(self.start..len, 0);
@@ -921,6 +924,9 @@ impl BlockReader {
             if n == 0 {
                 break; // EOF: caller decides whether short is fatal
             }
+        }
+        if let Some(start) = fill_start {
+            ind_trace::BLOCK_FILL_NANOS.record(start.elapsed().as_nanos() as u64);
         }
         Ok(self.buf.len() - self.start)
     }

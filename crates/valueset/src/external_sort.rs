@@ -95,6 +95,13 @@ pub struct SortStats {
     /// sorter's entire allocation traffic. A reused sorter stops growing
     /// once warm, so this stays constant while `pushed` keeps climbing.
     pub arena_grows: u64,
+    /// Merge-heap comparisons resolved by the 8-byte big-endian key prefix
+    /// alone (0 when the sort never spilled — the in-memory path uses
+    /// `sort_unstable_by`, not the heap).
+    pub key_compares: u64,
+    /// Merge-heap comparisons that tied on the key prefix and fell through
+    /// to a full `memcmp` of the value slices.
+    pub memcmp_compares: u64,
     /// Smallest output value, if any.
     pub min: Option<Vec<u8>>,
     /// Largest output value, if any.
@@ -358,6 +365,7 @@ impl ExternalSorter {
         w.finish()?;
         self.runs.push(path);
         self.reset_buffers();
+        ind_trace::add_counter(ind_trace::Counter::SpillRuns, 1);
         Ok(())
     }
 
@@ -389,6 +397,7 @@ impl ExternalSorter {
             writer.append(value)
         };
 
+        let compares = CompareCounters::default();
         let merged = if self.runs.is_empty() {
             (|| {
                 for e in &self.index {
@@ -397,11 +406,13 @@ impl ExternalSorter {
                 Ok(())
             })()
         } else {
+            let _span = ind_trace::start(ind_trace::SPILL_MERGE);
             merge_runs(
                 &self.runs,
                 &self.index,
                 &self.arena,
                 &self.options.io,
+                &compares,
                 |v| emit(v, writer),
             )
         };
@@ -424,6 +435,8 @@ impl ExternalSorter {
             file_bytes: writer.bytes_written(),
             arena_bytes: self.peak_footprint as u64,
             arena_grows: self.grows,
+            key_compares: compares.key.get(),
+            memcmp_compares: compares.memcmp.get(),
             min,
             max,
         };
@@ -451,6 +464,7 @@ fn merge_runs(
     index: &[Entry],
     arena: &[u8],
     io: &IoOptions,
+    compares: &CompareCounters,
     mut emit: impl FnMut(&[u8]) -> Result<()>,
 ) -> Result<()> {
     let mut sources = MergeSources {
@@ -469,11 +483,11 @@ fn merge_runs(
     let mut heap = crate::heap::LazyMinHeap::with_capacity(runs.len() + 1);
     for src in 0..mem_src {
         if sources.readers[src as usize].advance()? {
-            heap.push(src, |a, b| source_less(&sources, a, b));
+            heap.push(src, |a, b| source_less(&sources, compares, a, b));
         }
     }
     if !index.is_empty() {
-        heap.push(mem_src, |a, b| source_less(&sources, a, b));
+        heap.push(mem_src, |a, b| source_less(&sources, compares, a, b));
     }
 
     // lint: allow(hot_alloc) — reusable dedup buffer: grows to the longest value once, then reused
@@ -490,18 +504,37 @@ fn merge_runs(
             }
         }
         if sources.advance(top)? {
-            heap.sift_root(|a, b| source_less(&sources, a, b));
+            heap.sift_root(|a, b| source_less(&sources, compares, a, b));
         } else {
-            heap.pop(|a, b| source_less(&sources, a, b));
+            heap.pop(|a, b| source_less(&sources, compares, a, b));
         }
     }
     Ok(())
 }
 
+/// Comparator-split tallies for a [`crate::LazyMinHeap`] merge: `key`
+/// counts comparisons the 8-byte prefix resolved alone, `memcmp` those
+/// that tied on the prefix and needed the full slices. `Cell`s, because
+/// the heap comparator is an immutably captured closure.
+#[derive(Debug, Default)]
+pub(crate) struct CompareCounters {
+    pub(crate) key: std::cell::Cell<u64>,
+    pub(crate) memcmp: std::cell::Cell<u64>,
+}
+
 /// Merge ordering: current zero-copy slices, ties broken by source index —
-/// total and deterministic.
-fn source_less(sources: &MergeSources<'_>, a: u32, b: u32) -> bool {
-    match sources.current(a).cmp(sources.current(b)) {
+/// total and deterministic. An integer comparison of the 8-byte key
+/// prefixes ([`crate::key_prefix64`]) settles most pairs without touching
+/// the slice tails.
+fn source_less(sources: &MergeSources<'_>, compares: &CompareCounters, a: u32, b: u32) -> bool {
+    let (va, vb) = (sources.current(a), sources.current(b));
+    let (pa, pb) = (crate::key_prefix64(va), crate::key_prefix64(vb));
+    if pa != pb {
+        compares.key.set(compares.key.get() + 1);
+        return pa < pb;
+    }
+    compares.memcmp.set(compares.memcmp.get() + 1);
+    match va.cmp(vb) {
         std::cmp::Ordering::Less => true,
         std::cmp::Ordering::Greater => false,
         std::cmp::Ordering::Equal => a < b,
@@ -847,6 +880,64 @@ mod tests {
         let mut w = ValueFileWriter::create(&dir.join("out.indv")).unwrap();
         assert_eq!(sorter.finish_into(&mut w).unwrap().distinct, 1);
         w.finish().unwrap();
+    }
+
+    #[test]
+    fn comparator_split_counts_merge_heap_work() {
+        // In-memory sorts never run the merge heap: both tallies stay zero.
+        let values: Vec<&[u8]> = vec![b"b", b"a", b"c"];
+        let (_, stats) = sort_values(&values, 1 << 20);
+        assert_eq!(stats.key_compares, 0);
+        assert_eq!(stats.memcmp_compares, 0);
+
+        // Short distinct values resolve on the 8-byte prefix alone.
+        let raw: Vec<String> = (0..100).map(|i| format!("{i:04}")).collect();
+        let short: Vec<&[u8]> = raw.iter().map(|s| s.as_bytes()).collect();
+        let (out, stats) = sort_values(&short, 64);
+        assert!(stats.runs > 1);
+        assert_eq!(out, expected(&short));
+        assert!(stats.key_compares > 0, "prefix path must fire");
+        assert_eq!(
+            stats.memcmp_compares, 0,
+            "4-byte values never tie past the prefix"
+        );
+
+        // Values sharing an 8-byte prefix must fall through to memcmp —
+        // and the fast path must not disturb the output.
+        let raw: Vec<String> = (0..100).map(|i| format!("sameprefix-{i:04}")).collect();
+        let long: Vec<&[u8]> = raw.iter().map(|s| s.as_bytes()).collect();
+        let (out, stats) = sort_values(&long, 256);
+        assert!(stats.runs > 1);
+        assert_eq!(out, expected(&long));
+        assert!(
+            stats.memcmp_compares > 0,
+            "shared prefixes must fall through"
+        );
+    }
+
+    #[test]
+    fn prefix64_orders_like_lexicographic_compare() {
+        // The fast-path invariant: differing prefixes order exactly like
+        // the slices; ties (including a proper prefix ending inside the
+        // window) keep the prefixes equal.
+        let cases: [&[u8]; 8] = [
+            b"",
+            b"\x00",
+            b"\x01",
+            b"\x01\x00",
+            b"\x01\x01",
+            b"abcdefgh",
+            b"abcdefghi",
+            b"abcdefgz",
+        ];
+        for a in cases {
+            for b in cases {
+                let (pa, pb) = (crate::key_prefix64(a), crate::key_prefix64(b));
+                if pa != pb {
+                    assert_eq!(pa.cmp(&pb), a.cmp(b), "{a:?} vs {b:?}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -135,6 +135,7 @@ impl ValueFileWriter {
             context: self.path.display().to_string(),
             detail: "value longer than u32::MAX bytes".into(),
         })?;
+        ind_trace::RECORD_LEN_BYTES.record(value.len() as u64);
         self.stage_logical(&len.to_le_bytes())?;
         self.stage_logical(value)?;
         self.count += 1;

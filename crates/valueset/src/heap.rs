@@ -11,6 +11,23 @@
 //! slots; callers make it total and deterministic by tie-breaking on the
 //! slot id itself.
 
+/// The first 8 bytes of `v`, zero-padded, as a big-endian integer — the
+/// comparator fast path shared by every [`LazyMinHeap`] merge loop.
+///
+/// For two slices whose prefixes *differ*, comparing the prefixes as
+/// `u64`s orders them exactly like `a.cmp(b)`: the first differing
+/// position is inside the window, and zero-padding a short slice compares
+/// like the proper prefix it is. Any tie — including one slice ending
+/// inside the window — keeps the prefixes equal, so callers fall through
+/// to the full slice comparison and ordering is preserved bit for bit.
+#[inline]
+pub fn key_prefix64(v: &[u8]) -> u64 {
+    let mut buf = [0u8; 8];
+    let n = v.len().min(8);
+    buf[..n].copy_from_slice(&v[..n]);
+    u64::from_be_bytes(buf)
+}
+
 /// Binary min-heap over `u32` slots, keyed lazily by `less(a, b)`.
 pub struct LazyMinHeap {
     slots: Vec<u32>,

@@ -41,7 +41,7 @@ pub use extract::{
 };
 pub use fault::FaultPlan;
 pub use format::{write_value_file, ValueFileReader, ValueFileWriter};
-pub use heap::LazyMinHeap;
+pub use heap::{key_prefix64, LazyMinHeap};
 pub use manager::{
     CompositeExport, ExportOptions, ExportedAttribute, ExportedComposite, ExportedDatabase,
     FailedAttribute,

@@ -161,6 +161,10 @@ pub struct ExportedDatabase {
     budget: FileBudget,
     io: IoOptions,
     read_stats: ReadStats,
+    /// Spill-merge comparator split summed over every attribute sort (see
+    /// [`crate::SortStats::key_compares`]).
+    key_compares: u64,
+    memcmp_compares: u64,
 }
 
 impl ExportedDatabase {
@@ -170,6 +174,8 @@ impl ExportedDatabase {
     /// [`ExportOptions::threads`] parallelism, which only reorders the
     /// *work*, not the ids or file names.
     pub fn export(db: &Database, dir: &Path, options: &ExportOptions) -> Result<Self> {
+        let _span = ind_trace::start(ind_trace::EXPORT);
+        let export_parent = ind_trace::current_parent();
         std::fs::create_dir_all(dir)?;
         let spill_dir = dir.join("spill");
         // One shared counter handle for the whole lifetime of this export:
@@ -207,8 +213,17 @@ impl ExportedDatabase {
         // Each worker owns ONE sorter for its whole share of the export:
         // after the first attribute the arena and index are warm, so every
         // further column sorts with zero sorter allocations.
+        // Comparator-split totals, summed across workers as jobs finish.
+        let key_compares = std::sync::atomic::AtomicU64::new(0);
+        let memcmp_compares = std::sync::atomic::AtomicU64::new(0);
         let run_job = |job: &Job<'_>, sorter: &mut ExternalSorter| -> Result<ExportedAttribute> {
+            // Parent the per-attribute span under the export span even from
+            // worker threads (thread-local parenting stops at the spawn).
+            let _span = ind_trace::start_under(ind_trace::SORT, u64::from(job.id), export_parent);
             let stats = extract_with_sorter(job.column, &job.path, sorter)?;
+            key_compares.fetch_add(stats.key_compares, std::sync::atomic::Ordering::Relaxed);
+            memcmp_compares.fetch_add(stats.memcmp_compares, std::sync::atomic::Ordering::Relaxed);
+            ind_trace::add_counter(ind_trace::Counter::AttributesExported, 1);
             Ok(ExportedAttribute {
                 id: job.id,
                 name: job.name.clone(),
@@ -333,6 +348,8 @@ impl ExportedDatabase {
             budget: FileBudget::unlimited(),
             io: sort.io.clone(),
             read_stats,
+            key_compares: key_compares.into_inner(),
+            memcmp_compares: memcmp_compares.into_inner(),
         })
     }
 
@@ -442,6 +459,19 @@ impl ExportedDatabase {
         self.read_stats.checksum_failures()
     }
 
+    /// Spill-merge heap comparisons the 8-byte key prefix resolved alone,
+    /// summed over every attribute sort of this export (0 when nothing
+    /// spilled — in-memory sorts bypass the merge heap entirely).
+    pub fn sort_key_compares(&self) -> u64 {
+        self.key_compares
+    }
+
+    /// Spill-merge heap comparisons that tied on the prefix and fell
+    /// through to a full `memcmp` (see [`crate::SortStats::memcmp_compares`]).
+    pub fn sort_memcmp_compares(&self) -> u64 {
+        self.memcmp_compares
+    }
+
     /// A handle on the shared counters themselves (for the shared-stream
     /// provider's worker threads).
     pub(crate) fn read_stats(&self) -> ReadStats {
@@ -523,6 +553,7 @@ impl CompositeExport {
         dir: &Path,
         options: &ExportOptions,
     ) -> Result<Self> {
+        let _span = ind_trace::start(ind_trace::EXPORT);
         std::fs::create_dir_all(dir)?;
         let spill_dir = dir.join("spill");
         let mut sort = options.sort.clone();
@@ -536,7 +567,9 @@ impl CompositeExport {
                 columns.push(db.column(qn)?);
             }
             let path = dir.join(format!("comp-{id:05}.indv"));
+            let _sort_span = ind_trace::start_arg(ind_trace::SORT, id as u64);
             let stats = extract_composite_with_sorter(&columns, &path, &mut sorter)?;
+            ind_trace::add_counter(ind_trace::Counter::AttributesExported, 1);
             composites.push(ExportedComposite {
                 id: id as u32,
                 columns: group.clone(),

@@ -159,6 +159,14 @@ impl PrefetchReader {
                     if let Some(stats) = &self.stats {
                         stats.bump_prefetch_stall();
                     }
+                    // The consumer outran the disk: the blocking handover is
+                    // the overlap budget being spent, so it gets its own span —
+                    // but only under an open parent. Detached streamer threads
+                    // stall here too, and recording from each would cost a whole
+                    // event ring per file just to hold orphan roots; their
+                    // stalls stay visible through `prefetch_stalls`.
+                    let _span = (!ind_trace::current_parent().is_root())
+                        .then(|| ind_trace::start(ind_trace::PREFETCH_WAIT));
                     match self.data.recv() {
                         Ok(msg) => msg,
                         Err(channel::RecvError) => return Err(worker_vanished()),

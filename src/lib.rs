@@ -10,4 +10,5 @@ pub use ind_datagen as datagen;
 pub use ind_discovery as discovery;
 pub use ind_sql as sql;
 pub use ind_storage as storage;
+pub use ind_trace as trace;
 pub use ind_valueset as valueset;

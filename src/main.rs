@@ -10,6 +10,7 @@
 //!                           [--prefetch] [--direct-io]
 //!                           [--workdir DIR] [--max-arity N]
 //!                           [--keep-going] [--fault-plan SPEC]
+//!                           [--report FILE] [--trace-folded FILE] [--progress]
 //! spider-ind fks      <dir>
 //! ```
 //!
@@ -121,6 +122,11 @@ fn print_usage() {
          \x20     when anything was quarantined. `--fault-plan SPEC`\n\
          \x20     injects I/O faults for testing, e.g.\n\
          \x20     `read:attr-00001:flip=40,write:*:eintr@3`.\n\
+         \x20     Observability: `--report FILE` writes a versioned JSON\n\
+         \x20     run report (phase span tree + all counters),\n\
+         \x20     `--trace-folded FILE` writes flamegraph-compatible\n\
+         \x20     folded stacks, `--progress` prints a throttled\n\
+         \x20     heartbeat to stderr while the run is in flight.\n\
          \x20 spider-ind fks <dir>\n\
          \x20     Foreign-key guesses, accession candidates, primary relation."
     );
@@ -270,6 +276,181 @@ fn degraded_json(report: &spider_ind::core::DegradedReport) -> String {
     out
 }
 
+/// Version stamp of the `--report` JSON shape. Bump on any breaking
+/// change to the report's keys.
+const REPORT_VERSION: u64 = 1;
+
+/// The observability flags shared by every discover path: `--report FILE`
+/// (versioned JSON run report), `--trace-folded FILE` (flamegraph folded
+/// stacks), and `--progress` (throttled stderr heartbeat). Any of them
+/// turns tracing on for the run; none of them leaves the hot paths at
+/// their disabled-cost (one relaxed load per gate).
+struct TraceArgs {
+    report: Option<std::path::PathBuf>,
+    folded: Option<std::path::PathBuf>,
+    progress: bool,
+}
+
+impl TraceArgs {
+    fn from_args(args: &[String]) -> Result<TraceArgs, String> {
+        Ok(TraceArgs {
+            report: flag_str_value(args, "--report")?.map(std::path::PathBuf::from),
+            folded: flag_str_value(args, "--trace-folded")?.map(std::path::PathBuf::from),
+            progress: args.iter().any(|a| a == "--progress"),
+        })
+    }
+
+    fn active(&self) -> bool {
+        self.report.is_some() || self.folded.is_some() || self.progress
+    }
+
+    /// Enables tracing (when any flag is set) and starts the heartbeat
+    /// thread (when `--progress` is set). The returned session must be
+    /// [`TraceSession::finish`]ed after the run.
+    fn begin(&self) -> TraceSession {
+        if !self.active() {
+            return TraceSession {
+                enabled: false,
+                heartbeat: None,
+            };
+        }
+        spider_ind::trace::reset();
+        spider_ind::trace::enable();
+        let heartbeat = self.progress.then(|| {
+            let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let flag = std::sync::Arc::clone(&stop);
+            let handle = std::thread::spawn(move || {
+                let mut last = spider_ind::trace::progress();
+                while !flag.load(std::sync::atomic::Ordering::Relaxed) {
+                    std::thread::sleep(std::time::Duration::from_millis(200));
+                    let now = spider_ind::trace::progress();
+                    if now != last {
+                        eprintln!(
+                            "progress: items={} bytes={} attrs={} spills={} candidates={}",
+                            now.items_read,
+                            now.value_bytes_read,
+                            now.attributes_exported,
+                            now.spill_runs,
+                            now.candidates_live
+                        );
+                        last = now;
+                    }
+                }
+            });
+            (stop, handle)
+        });
+        TraceSession {
+            enabled: true,
+            heartbeat,
+        }
+    }
+
+    /// Writes the requested output files from a finished run.
+    fn write_outputs(
+        &self,
+        trace: &spider_ind::trace::Trace,
+        metrics: &spider_ind::core::RunMetrics,
+        degraded: Option<&spider_ind::core::DegradedReport>,
+        dir: &str,
+        args: &[String],
+    ) -> Result<(), String> {
+        if let Some(path) = &self.report {
+            let report = run_report_json(trace, metrics, degraded, dir, args);
+            std::fs::write(path, report)
+                .map_err(|e| format!("writing report {}: {e}", path.display()))?;
+        }
+        if let Some(path) = &self.folded {
+            std::fs::write(path, spider_ind::trace::folded(trace))
+                .map_err(|e| format!("writing folded stacks {}: {e}", path.display()))?;
+        }
+        Ok(())
+    }
+}
+
+/// A live tracing session: stops the heartbeat and collects the span tree
+/// when the run is over.
+struct TraceSession {
+    enabled: bool,
+    heartbeat: Option<(
+        std::sync::Arc<std::sync::atomic::AtomicBool>,
+        std::thread::JoinHandle<()>,
+    )>,
+}
+
+impl TraceSession {
+    /// Stops the heartbeat, turns tracing off, and returns the collected
+    /// trace — `None` when no observability flag was given.
+    fn finish(self) -> Option<spider_ind::trace::Trace> {
+        if let Some((stop, handle)) = self.heartbeat {
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            if handle.join().is_err() {
+                eprintln!("warning: progress heartbeat thread panicked");
+            }
+        }
+        if !self.enabled {
+            return None;
+        }
+        let trace = spider_ind::trace::collect();
+        spider_ind::trace::disable();
+        Some(trace)
+    }
+}
+
+/// Assembles the versioned `--report` JSON document: config echo, the
+/// full [`spider_ind::core::RunMetrics`] vocabulary, the degradation
+/// summary (or `null`), histogram buckets, ring-overflow count, and the
+/// phase span tree.
+fn run_report_json(
+    trace: &spider_ind::trace::Trace,
+    metrics: &spider_ind::core::RunMetrics,
+    degraded: Option<&spider_ind::core::DegradedReport>,
+    dir: &str,
+    args: &[String],
+) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n");
+    out.push_str(&format!("  \"report_version\": {REPORT_VERSION},\n"));
+    out.push_str(&format!("  \"database\": \"{}\",\n", json_escape(dir)));
+    out.push_str("  \"argv\": [");
+    for (i, arg) in args.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}\"", json_escape(arg)));
+    }
+    out.push_str("],\n");
+    out.push_str(&format!("  \"metrics\": {},\n", metrics.to_json()));
+    out.push_str(&format!(
+        "  \"degraded\": {},\n",
+        degraded.map_or_else(|| "null".to_string(), degraded_json)
+    ));
+    out.push_str(&format!(
+        "  \"dropped_events\": {},\n",
+        trace.dropped_events
+    ));
+    out.push_str("  \"histograms\": {");
+    for (i, hist) in spider_ind::trace::histograms().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}\": [", hist.name()));
+        for (j, count) in hist.bucket_counts().iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&count.to_string());
+        }
+        out.push(']');
+    }
+    out.push_str("},\n");
+    out.push_str(&format!(
+        "  \"spans\": {}\n",
+        spider_ind::trace::spans_json(trace, 2)
+    ));
+    out.push_str("}\n");
+    out
+}
+
 fn load(dir: &str) -> Result<Database, String> {
     tsv::load_database(Path::new(dir)).map_err(|e| format!("loading {dir}: {e}"))
 }
@@ -396,13 +577,26 @@ fn cmd_discover(args: &[String]) -> Result<ExitCode, String> {
         config.pretests = PretestConfig::with_max_value();
     }
     let finder = IndFinder::new(config);
-    let discovery = if args.iter().any(|a| a == "--on-disk") {
-        discover_on_disk(&finder, &db, args)?
+    let tracing = TraceArgs::from_args(args)?;
+    let session = tracing.begin();
+    let result = if args.iter().any(|a| a == "--on-disk") {
+        discover_on_disk(&finder, &db, args)
     } else {
         finder
             .discover_in_memory(&db)
-            .map_err(|e| format!("discovery failed: {e}"))?
+            .map_err(|e| format!("discovery failed: {e}"))
     };
+    let trace = session.finish();
+    let discovery = result?;
+    if let Some(trace) = &trace {
+        tracing.write_outputs(
+            trace,
+            &discovery.metrics,
+            discovery.degraded.as_ref(),
+            dir,
+            args,
+        )?;
+    }
     let mut out = String::new();
     outln!(
         out,
@@ -449,7 +643,9 @@ fn cmd_discover_nary(
         config.pretests = PretestConfig::with_max_value();
     }
     let finder = NaryFinder::new(config);
-    let discovery = if args.iter().any(|a| a == "--on-disk") {
+    let tracing = TraceArgs::from_args(args)?;
+    let session = tracing.begin();
+    let result = if args.iter().any(|a| a == "--on-disk") {
         let options = export_options_from_args(args, 1)?;
         let (workdir, temp) = resolve_workdir(args)?;
         let result = finder
@@ -459,12 +655,20 @@ fn cmd_discover_nary(
             // lint: allow(swallowed_result) — best-effort temp-dir cleanup after the run
             let _ = std::fs::remove_dir_all(&workdir);
         }
-        result?
+        result
     } else {
         finder
             .discover_in_memory(db)
-            .map_err(|e| format!("discovery failed: {e}"))?
+            .map_err(|e| format!("discovery failed: {e}"))
     };
+    let trace = session.finish();
+    let discovery = result?;
+    if let Some(trace) = &trace {
+        // The n-ary pipeline never runs in keep-going mode (rejected
+        // above), so the report's `degraded` field is always null here.
+        let dir = args.first().map(String::as_str).unwrap_or("");
+        tracing.write_outputs(trace, &discovery.metrics, None, dir, args)?;
+    }
 
     let mut out = String::new();
     outln!(

@@ -376,6 +376,118 @@ fn keep_going_quarantines_and_exits_degraded_via_cli() {
 }
 
 #[test]
+fn report_and_folded_trace_come_out_well_formed() {
+    use spider_ind::trace::json::{parse, Json};
+
+    let dir = TempDir::new("cli-report");
+    let db_dir = dir.join("db");
+    let db_path = db_dir.to_str().expect("utf8 path");
+    assert!(spider_ind(&["generate", "scop", db_path, "--scale", "10"])
+        .status
+        .success());
+
+    let report_path = dir.join("report.json");
+    let folded_path = dir.join("trace.folded");
+    let out = spider_ind(&[
+        "discover",
+        db_path,
+        "--algorithm",
+        "spider",
+        "--on-disk",
+        "--memory-budget",
+        "4096",
+        "--report",
+        report_path.to_str().expect("utf8"),
+        "--trace-folded",
+        folded_path.to_str().expect("utf8"),
+        "--progress",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The report parses, is versioned, and echoes the run's vitals.
+    let text = std::fs::read_to_string(&report_path).expect("report written");
+    let report = parse(&text).expect("report is valid JSON");
+    assert_eq!(
+        report.get("report_version").and_then(Json::as_u64),
+        Some(1),
+        "{text}"
+    );
+    let metrics = report.get("metrics").expect("metrics object");
+    assert!(metrics.get("elapsed_ns").and_then(Json::as_u64).unwrap() > 0);
+    assert!(metrics.get("satisfied").and_then(Json::as_u64).unwrap() > 0);
+    assert_eq!(report.get("degraded"), Some(&Json::Null), "strict run");
+    assert_eq!(
+        report.get("dropped_events").and_then(Json::as_u64),
+        Some(0),
+        "no ring may overflow on a run this small"
+    );
+    let histograms = report.get("histograms").expect("histograms object");
+    let record_len = histograms
+        .get("record_len_bytes")
+        .and_then(Json::as_arr)
+        .expect("bucket array");
+    assert!(
+        record_len.iter().any(|b| b.as_u64() != Some(0)),
+        "the export wrote records, so the length histogram is non-empty"
+    );
+
+    // The span tree: a single `discover` root whose children nest — every
+    // child interval inside its parent's interval.
+    let spans = report.get("spans").and_then(Json::as_arr).expect("spans");
+    assert_eq!(spans.len(), 1, "one root: {text}");
+    let root = &spans[0];
+    assert_eq!(root.get("name").and_then(Json::as_str), Some("discover"));
+    fn check_nesting(node: &Json, path: &str) {
+        let start = node.get("start_ns").and_then(Json::as_u64).unwrap();
+        let end = start + node.get("duration_ns").and_then(Json::as_u64).unwrap();
+        for child in node.get("children").and_then(Json::as_arr).unwrap() {
+            let name = child.get("name").and_then(Json::as_str).unwrap();
+            let c_start = child.get("start_ns").and_then(Json::as_u64).unwrap();
+            let c_end = c_start + child.get("duration_ns").and_then(Json::as_u64).unwrap();
+            assert!(
+                start <= c_start && c_end <= end,
+                "{path}/{name}: child [{c_start}, {c_end}] outside parent [{start}, {end}]"
+            );
+            check_nesting(child, &format!("{path}/{name}"));
+        }
+    }
+    check_nesting(root, "discover");
+    let child_names: Vec<&str> = root
+        .get("children")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .filter_map(|c| c.get("name").and_then(Json::as_str))
+        .collect();
+    for phase in ["export", "generate", "spider_merge"] {
+        assert!(
+            child_names.contains(&phase),
+            "{phase} missing: {child_names:?}"
+        );
+    }
+
+    // The folded stacks cover the same run, rooted at `discover`.
+    let folded = std::fs::read_to_string(&folded_path).expect("folded written");
+    assert!(!folded.trim().is_empty());
+    for line in folded.lines() {
+        assert!(
+            line.starts_with("discover"),
+            "every stack is rooted at discover: {line}"
+        );
+    }
+    assert!(
+        folded
+            .lines()
+            .any(|l| l.starts_with("discover;export;sort")),
+        "per-attribute sort frames present:\n{folded}"
+    );
+}
+
+#[test]
 fn discover_rejects_unknown_algorithm() {
     let dir = TempDir::new("cli-badalgo");
     let db_dir = dir.join("db");
