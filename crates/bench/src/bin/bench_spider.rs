@@ -485,6 +485,97 @@ fn bench_nary(scale: usize) -> Result<NaryResult, String> {
     })
 }
 
+/// The crash-and-resume row (schema v7): a cold export, the same export
+/// interrupted at its midpoint attribute by a torn-write fault, and the
+/// resume run that finishes the job from the durable manifest — reusing
+/// the first half instead of re-sorting it.
+struct ResumeResult {
+    dataset: &'static str,
+    attributes: usize,
+    exports_reused: u64,
+    exports_redone: u64,
+    orphans_swept: u64,
+    cold_wall_ms: f64,
+    resumed_wall_ms: f64,
+}
+
+fn bench_resume(scale: usize, memory_budget: usize) -> Result<ResumeResult, String> {
+    use ind_valueset::{FaultPlan, ResumeMode};
+    use std::sync::Arc;
+
+    let db = generate_uniprot(&BiosqlConfig {
+        bioentries: scale * 8,
+        ..Default::default()
+    });
+    // Serial export: attributes publish in id order, so a fault on the
+    // midpoint attribute's first write leaves exactly the first half
+    // durable (value file renamed into place, manifest entry fsynced).
+    let options = |resume: ResumeMode| {
+        let mut o = ExportOptions::with_threads(1).resume(resume);
+        o.sort.memory_budget_bytes = memory_budget;
+        o
+    };
+
+    let mut cold_wall_ms = f64::INFINITY;
+    let mut resumed_wall_ms = f64::INFINITY;
+    let mut attributes = 0usize;
+    let (mut reused, mut redone, mut orphans) = (0u64, 0u64, 0u64);
+    for _ in 0..ENGINE_RUNS {
+        let cold_dir = TempDir::new("bench-resume-cold");
+        let start = Instant::now();
+        let cold = ExportedDatabase::export(&db, cold_dir.path(), &options(ResumeMode::Off))
+            .map_err(|e| e.to_string())?;
+        cold_wall_ms = cold_wall_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        attributes = cold.attributes().len();
+
+        let dir = TempDir::new("bench-resume");
+        // Crash where at least half the attributes AND half the pushed
+        // values are already durable — attribute sizes are skewed, so a
+        // count-only midpoint could leave nearly all the work to redo and
+        // the resumed-cheaper-than-cold gate would measure nothing. The
+        // sort cost scales with non-null occurrences (what gets pushed
+        // and spilled), not with the distinct-only final file size.
+        let sizes: Vec<u64> = cold.attributes().iter().map(|a| a.non_null).collect();
+        let total: u64 = sizes.iter().sum();
+        let mut crash_id = attributes / 2;
+        let mut prefix: u64 = sizes[..crash_id].iter().sum();
+        while crash_id + 1 < attributes && prefix * 2 < total {
+            prefix += sizes[crash_id];
+            crash_id += 1;
+        }
+        let mut faulted = options(ResumeMode::Off);
+        faulted.sort.io = IoOptions::default().with_fault(Arc::new(
+            FaultPlan::parse(&format!("write:attr-{crash_id:05}:crash=1"))
+                .map_err(|e| e.to_string())?,
+        ));
+        if ExportedDatabase::export(&db, dir.path(), &faulted).is_ok() {
+            return Err("[resume] the midpoint crash fault never fired".into());
+        }
+        let start = Instant::now();
+        let resumed = ExportedDatabase::export(&db, dir.path(), &options(ResumeMode::Reuse))
+            .map_err(|e| e.to_string())?;
+        resumed_wall_ms = resumed_wall_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        // The counters are deterministic across cycles; keep the last.
+        reused = resumed.exports_reused();
+        redone = resumed.exports_redone();
+        orphans = resumed.orphans_swept();
+    }
+    println!(
+        "[resume] biosql scale={scale}: {attributes} attributes, reused={reused} \
+         redone={redone} orphans={orphans}, cold {cold_wall_ms:.2} ms vs resumed \
+         {resumed_wall_ms:.2} ms"
+    );
+    Ok(ResumeResult {
+        dataset: "biosql",
+        attributes,
+        exports_reused: reused,
+        exports_redone: redone,
+        orphans_swept: orphans,
+        cold_wall_ms,
+        resumed_wall_ms,
+    })
+}
+
 impl DatasetResult {
     fn wall_ms(&self, engine: &str) -> Option<f64> {
         self.engines
@@ -1220,10 +1311,11 @@ fn render_json(
     check: bool,
     datasets: &[DatasetResult],
     nary: &NaryResult,
+    resume: &ResumeResult,
 ) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
-    let _ = writeln!(out, "  \"schema_version\": 6,");
+    let _ = writeln!(out, "  \"schema_version\": 7,");
     let _ = writeln!(out, "  \"harness\": \"bench_spider\",");
     let _ = writeln!(out, "  \"scale\": {scale},");
     let _ = writeln!(out, "  \"block_size\": {block_size},");
@@ -1463,6 +1555,19 @@ fn render_json(
         );
     }
     let _ = writeln!(out, "    ]");
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"resume\": {{");
+    let _ = writeln!(out, "    \"dataset\": \"{}\",", resume.dataset);
+    let _ = writeln!(out, "    \"attributes\": {},", resume.attributes);
+    let _ = writeln!(out, "    \"exports_reused\": {},", resume.exports_reused);
+    let _ = writeln!(out, "    \"exports_redone\": {},", resume.exports_redone);
+    let _ = writeln!(out, "    \"orphans_swept\": {},", resume.orphans_swept);
+    let _ = writeln!(out, "    \"cold_wall_ms\": {:.3},", resume.cold_wall_ms);
+    let _ = writeln!(
+        out,
+        "    \"resumed_wall_ms\": {:.3}",
+        resume.resumed_wall_ms
+    );
     let _ = writeln!(out, "  }}");
     let _ = writeln!(out, "}}");
     out
@@ -1529,6 +1634,12 @@ fn validate_json(text: &str) -> Result<(), String> {
         "\"levels\"",
         "\"enumerable\"",
         "\"pruned_projection\"",
+        "\"resume\"",
+        "\"exports_reused\"",
+        "\"exports_redone\"",
+        "\"orphans_swept\"",
+        "\"cold_wall_ms\"",
+        "\"resumed_wall_ms\"",
     ] {
         if !text.contains(key) {
             return Err(format!("missing key {key}"));
@@ -1605,6 +1716,7 @@ fn run() -> Result<(), String> {
         bench_dataset("wide", &wide, block_size, memory_budget)?,
     ];
     let nary = bench_nary(scale)?;
+    let resume = bench_resume(scale, memory_budget)?;
 
     for d in &datasets {
         if let Some(speedup) = d.speedup_spider_vs_legacy() {
@@ -1636,7 +1748,15 @@ fn run() -> Result<(), String> {
         }
     }
 
-    let json = render_json(scale, block_size, memory_budget, check, &datasets, &nary);
+    let json = render_json(
+        scale,
+        block_size,
+        memory_budget,
+        check,
+        &datasets,
+        &nary,
+        &resume,
+    );
     std::fs::write(&out_path, &json).map_err(|e| format!("writing {out_path}: {e}"))?;
     println!("[written to {out_path}]");
 
@@ -1958,10 +2078,39 @@ fn run() -> Result<(), String> {
                 level2.generated, level2.enumerable
             ));
         }
+        // Resume gates (schema v7): the midpoint crash must leave at
+        // least half the exports reusable, every attribute must be
+        // accounted for, the torn `.tmp` must be swept, and finishing
+        // from the manifest must cost less than the cold export.
+        if resume.exports_reused < resume.attributes as u64 / 2 {
+            return Err(format!(
+                "[resume] only {} of {} exports were reused after the midpoint crash — \
+                 the manifest is no longer preserving published work",
+                resume.exports_reused, resume.attributes
+            ));
+        }
+        if resume.exports_reused + resume.exports_redone != resume.attributes as u64 {
+            return Err(format!(
+                "[resume] reused {} + redone {} != {} attributes",
+                resume.exports_reused, resume.exports_redone, resume.attributes
+            ));
+        }
+        if resume.orphans_swept == 0 {
+            return Err("[resume] the torn staged file was never swept".into());
+        }
+        if resume.resumed_wall_ms >= resume.cold_wall_ms {
+            return Err(format!(
+                "[resume] resuming cost {:.2} ms vs {:.2} ms cold — reuse is no longer \
+                 cheaper than re-exporting",
+                resume.resumed_wall_ms, resume.cold_wall_ms
+            ));
+        }
         println!(
             "[check ok: JSON valid, zero-allocation property holds, block reads amortised, \
-             nary level-2 generation {}x below enumeration]",
-            (level2.enumerable / level2.generated.max(1))
+             nary level-2 generation {}x below enumeration, resume reused {} of {} exports]",
+            (level2.enumerable / level2.generated.max(1)),
+            resume.exports_reused,
+            resume.attributes
         );
     }
     Ok(())

@@ -70,6 +70,9 @@ pub fn run_blockwise<P: ValueSetProvider>(
     for dep_chunk in deps.chunks(dep_block) {
         let dep_set: HashSet<u32> = dep_chunk.iter().copied().collect();
         for ref_chunk in refs.chunks(ref_block) {
+            // Cooperative cancellation once per block pair (each sub-run
+            // also polls per monitor step inside `run_single_pass`).
+            ind_valueset::cancel::check_ambient("merge")?;
             let ref_set: HashSet<u32> = ref_chunk.iter().copied().collect();
             sub.clear();
             sub.extend(

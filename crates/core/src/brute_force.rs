@@ -60,6 +60,8 @@ pub fn run_brute_force<P: ValueSetProvider>(
 ) -> Result<Vec<Candidate>> {
     let mut satisfied = Vec::new();
     for &c in candidates {
+        // Cooperative cancellation once per candidate test.
+        ind_valueset::cancel::check_ambient("merge")?;
         let mut dep = provider.open(c.dep)?;
         let mut refd = provider.open(c.refd)?;
         metrics.cursor_opens += 2;
@@ -90,11 +92,16 @@ where
         return run_brute_force(provider, candidates, metrics);
     }
     let chunk = candidates.len().div_ceil(threads);
+    // Thread-local ambient tokens stop at a spawn: capture the caller's and
+    // re-install it inside every worker so shards observe cancellation.
+    let cancel = ind_valueset::cancel::ambient();
     let results: Vec<Result<(Vec<Candidate>, RunMetrics)>> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = candidates
             .chunks(chunk)
             .map(|shard| {
+                let cancel = cancel.clone();
                 scope.spawn(move |_| {
+                    let _ambient = ind_valueset::cancel::set_ambient(cancel);
                     let mut local = RunMetrics::new();
                     let found = run_brute_force(provider, shard, &mut local)?;
                     Ok((found, local))

@@ -86,6 +86,16 @@ pub struct RunMetrics {
     /// Attributes quarantined by a keep-going run (export failures plus
     /// unreadable/corrupt value files); their candidates were excluded.
     pub quarantined_attributes: u64,
+    /// Attribute exports reused from a previous interrupted run by
+    /// `--resume` (manifest entry matched and the value file's footer
+    /// validated). Zero on non-resume runs.
+    pub exports_reused: u64,
+    /// Attributes re-exported during a `--resume` run because their value
+    /// file was missing, torn, or stale against the manifest.
+    pub exports_redone: u64,
+    /// Orphaned `.tmp` staging files deleted by the resume sweep —
+    /// leftovers of writes interrupted before their atomic rename.
+    pub orphans_swept: u64,
     /// Wall-clock time of the measured phase.
     pub elapsed: Duration,
 }
@@ -119,7 +129,7 @@ impl RunMetrics {
     /// values exact `u64` integers, so the report round-trips through
     /// any JSON parser losslessly.
     pub fn to_json(&self) -> String {
-        let fields: [(&str, u64); 25] = [
+        let fields: [(&str, u64); 28] = [
             ("pairs_considered", self.pairs_considered),
             ("pruned_cardinality", self.pruned_cardinality),
             ("pruned_max_value", self.pruned_max_value),
@@ -145,6 +155,9 @@ impl RunMetrics {
             ("io_retries", self.io_retries),
             ("checksum_failures", self.checksum_failures),
             ("quarantined_attributes", self.quarantined_attributes),
+            ("exports_reused", self.exports_reused),
+            ("exports_redone", self.exports_redone),
+            ("orphans_swept", self.orphans_swept),
         ];
         let mut out = String::with_capacity(640);
         out.push('{');
@@ -185,6 +198,9 @@ impl RunMetrics {
         self.io_retries += other.io_retries;
         self.checksum_failures += other.checksum_failures;
         self.quarantined_attributes += other.quarantined_attributes;
+        self.exports_reused += other.exports_reused;
+        self.exports_redone += other.exports_redone;
+        self.orphans_swept += other.orphans_swept;
         self.elapsed += other.elapsed;
     }
 }
@@ -198,7 +214,8 @@ impl fmt::Display for RunMetrics {
              value_bytes_read={}, comparisons={} (key={}, memcmp={}), read_calls={}, \
              prefetch: hits={}, stalls={}, \
              direct: opens={}, fallbacks={}, cursor_opens={}, io_retries={}, \
-             checksum_failures={}, quarantined={}, elapsed={:?}",
+             checksum_failures={}, quarantined={}, \
+             resume: reused={}, redone={}, orphans={}, elapsed={:?}",
             self.candidates(),
             self.pairs_considered,
             self.pruned_cardinality,
@@ -224,6 +241,9 @@ impl fmt::Display for RunMetrics {
             self.io_retries,
             self.checksum_failures,
             self.quarantined_attributes,
+            self.exports_reused,
+            self.exports_redone,
+            self.orphans_swept,
             self.elapsed,
         )
     }
@@ -259,6 +279,9 @@ mod tests {
             io_retries: 6,
             checksum_failures: 2,
             quarantined_attributes: 1,
+            exports_reused: 5,
+            exports_redone: 2,
+            orphans_swept: 3,
             elapsed: Duration::from_millis(7),
             ..Default::default()
         };
@@ -276,6 +299,9 @@ mod tests {
         assert_eq!(a.io_retries, 6);
         assert_eq!(a.checksum_failures, 2);
         assert_eq!(a.quarantined_attributes, 1);
+        assert_eq!(a.exports_reused, 5);
+        assert_eq!(a.exports_redone, 2);
+        assert_eq!(a.orphans_swept, 3);
         assert_eq!(a.elapsed, Duration::from_millis(12));
         assert_eq!(a.candidates(), 13);
     }
@@ -348,6 +374,9 @@ mod tests {
             "pruned_sampling",
             "quarantined_attributes",
             "checksum_failures",
+            "exports_reused",
+            "exports_redone",
+            "orphans_swept",
         ] {
             assert_eq!(json.matches(key).count(), 1, "{key} in {json}");
         }
@@ -369,5 +398,6 @@ mod tests {
         assert!(s.contains("io_retries=0"));
         assert!(s.contains("checksum_failures=0"));
         assert!(s.contains("quarantined=0"));
+        assert!(s.contains("resume: reused=0, redone=0, orphans=0"));
     }
 }

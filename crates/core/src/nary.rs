@@ -45,11 +45,12 @@
 use crate::attr::{memory_export, profiles_from_export, AttributeProfile};
 use crate::candidates::{Candidate, PretestConfig};
 use crate::metrics::RunMetrics;
+use crate::runner::{drain_attribute, DegradedReport};
 use crate::spider::run_spider;
 use ind_storage::{Database, QualifiedName, Value};
 use ind_valueset::{
-    extract_composite_memory_set, CompositeExport, ExportOptions, ExportedDatabase, MemoryProvider,
-    Result, MAX_COMPOSITE_ARITY,
+    extract_composite_memory_set, CompositeExport, ExportOptions, ExportedDatabase,
+    FailedAttribute, MemoryProvider, Result, ValueSetError, ValueSetProvider, MAX_COMPOSITE_ARITY,
 };
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::Path;
@@ -117,6 +118,11 @@ pub struct NaryLevelStats {
     pub pruned_projection: u64,
     /// Satisfied INDs found at this level.
     pub satisfied: u64,
+    /// Candidates dropped at this level because a component attribute was
+    /// quarantined by a keep-going run (level 1 filters directly; higher
+    /// levels inherit the exclusion through the apriori join, so a nonzero
+    /// count there means the join filter was bypassed — it never is).
+    pub quarantined_candidates: u64,
     /// Wall-clock time of the level (generation + extraction + merge).
     pub elapsed: Duration,
 }
@@ -136,6 +142,8 @@ pub struct NaryDiscovery {
     pub levels: Vec<NaryLevelStats>,
     /// Aggregate counters across all levels.
     pub metrics: RunMetrics,
+    /// Keep-going degradation summary; `None` for strict (default) runs.
+    pub degraded: Option<DegradedReport>,
 }
 
 impl NaryDiscovery {
@@ -201,7 +209,7 @@ impl NaryFinder {
                 columns.push(col);
             }
         }
-        self.drive(&profiles, &provider, |groups, _metrics| {
+        self.drive(&profiles, &provider, &[], |groups, _metrics| {
             let sets = groups
                 .iter()
                 .map(|group| {
@@ -225,29 +233,72 @@ impl NaryFinder {
     ) -> Result<NaryDiscovery> {
         let export = ExportedDatabase::export(db, &workdir.join("arity-1"), options)?;
         let profiles = profiles_from_export(&export);
+
+        // Keep-going: the same quarantine-then-prescan protocol as the
+        // unary runner. A condemned attribute is barred from level 1, and
+        // the apriori join filter then poisons every composite candidate
+        // that would contain it — no level ever opens its value file.
+        let quarantined: Vec<FailedAttribute> = if options.keep_going {
+            let _span = ind_trace::start(ind_trace::PRESCAN);
+            let mut failed = export.failed_attributes().to_vec();
+            for attr in export.attributes() {
+                if failed.iter().any(|f| f.id == attr.id) {
+                    continue;
+                }
+                match drain_attribute(&export, attr.id) {
+                    Ok(()) => {}
+                    Err(e @ ValueSetError::Cancelled { .. }) => return Err(e),
+                    Err(e) => failed.push(FailedAttribute {
+                        id: attr.id,
+                        name: attr.name.clone(),
+                        error: e.to_string(),
+                    }),
+                }
+            }
+            failed
+        } else {
+            Vec::new()
+        };
+        let quarantined_ids: Vec<u32> = quarantined.iter().map(|f| f.id).collect();
+        let io_retries = export.io_retries();
+        let checksum_failures = export.checksum_failures();
+
         export.reset_read_calls();
         let mut level = 1usize;
-        let mut discovery = self.drive(&profiles, &export, |groups, metrics| {
-            level += 1;
-            let named: Vec<Vec<QualifiedName>> = groups
-                .iter()
-                .map(|group| {
-                    group
-                        .iter()
-                        .map(|&a| profiles[a as usize].name.clone())
-                        .collect()
-                })
-                .collect();
-            let exp = CompositeExport::export(
-                db,
-                &named,
-                &workdir.join(format!("arity-{level}")),
-                options,
-            )?;
-            metrics.read_calls += exp.read_calls(); // export-phase reads are zero
-            Ok(DiskLevel(exp))
-        })?;
+        let mut discovery =
+            self.drive(&profiles, &export, &quarantined_ids, |groups, metrics| {
+                level += 1;
+                let named: Vec<Vec<QualifiedName>> = groups
+                    .iter()
+                    .map(|group| {
+                        group
+                            .iter()
+                            .map(|&a| profiles[a as usize].name.clone())
+                            .collect()
+                    })
+                    .collect();
+                let exp = CompositeExport::export(
+                    db,
+                    &named,
+                    &workdir.join(format!("arity-{level}")),
+                    options,
+                )?;
+                metrics.read_calls += exp.read_calls(); // export-phase reads are zero
+                Ok(DiskLevel(exp))
+            })?;
         discovery.metrics.read_calls += export.read_calls();
+        discovery.metrics.io_retries = io_retries + export.io_retries();
+        discovery.metrics.checksum_failures = checksum_failures + export.checksum_failures();
+        discovery.metrics.exports_reused = export.exports_reused();
+        discovery.metrics.exports_redone = export.exports_redone();
+        discovery.metrics.orphans_swept = export.orphans_swept();
+        if options.keep_going {
+            discovery.degraded = Some(DegradedReport {
+                quarantined,
+                io_retries: discovery.metrics.io_retries,
+                checksum_failures: discovery.metrics.checksum_failures,
+            });
+        }
         Ok(discovery)
     }
 
@@ -257,7 +308,8 @@ impl NaryFinder {
     fn drive<L, F>(
         &self,
         profiles: &[AttributeProfile],
-        unary_provider: &impl ind_valueset::ValueSetProvider,
+        unary_provider: &impl ValueSetProvider,
+        quarantined: &[u32],
         mut make_level: F,
     ) -> Result<NaryDiscovery>
     where
@@ -273,8 +325,16 @@ impl NaryFinder {
         // Level 1: the unary engine with relaxed referenced eligibility.
         let level_start = Instant::now();
         let level_span = ind_trace::start_arg(ind_trace::LEVEL, 1);
-        let unary_candidates =
+        let mut unary_candidates =
             generate_unary_relaxed(profiles, &self.config.pretests, &mut metrics);
+        let mut unary_quarantined = 0u64;
+        if !quarantined.is_empty() {
+            let before = unary_candidates.len();
+            unary_candidates
+                .retain(|c| !quarantined.contains(&c.dep) && !quarantined.contains(&c.refd));
+            unary_quarantined = (before - unary_candidates.len()) as u64;
+            metrics.quarantined_attributes = quarantined.len() as u64;
+        }
         let generated = unary_candidates.len() as u64;
         let unary = run_spider(unary_provider, &unary_candidates, &mut metrics)?;
         level_span.finish();
@@ -284,6 +344,7 @@ impl NaryFinder {
             generated,
             pruned_projection: 0,
             satisfied: unary.len() as u64,
+            quarantined_candidates: unary_quarantined,
             elapsed: level_start.elapsed(),
         }];
 
@@ -297,11 +358,29 @@ impl NaryFinder {
             if prev.is_empty() {
                 break;
             }
+            // Cooperative cancellation between levels (each level's merge
+            // and extraction also poll on their own).
+            ind_valueset::cancel::check_ambient("generate")?;
             let level_start = Instant::now();
             let _level_span = ind_trace::start_arg(ind_trace::LEVEL, arity as u64);
             let pruned_before = metrics.pruned_projection;
-            let candidates = generate_level(&prev, &table_of, &mut metrics);
+            let mut candidates = generate_level(&prev, &table_of, &mut metrics);
             let pruned_projection = metrics.pruned_projection - pruned_before;
+            // The apriori join cannot produce a candidate containing a
+            // quarantined attribute (its unary projection was never
+            // satisfied); the filter stays as defense in depth and feeds
+            // the per-level counter.
+            let mut level_quarantined = 0u64;
+            if !quarantined.is_empty() {
+                let before = candidates.len();
+                candidates.retain(|c| {
+                    c.dep
+                        .iter()
+                        .chain(&c.refd)
+                        .all(|a| !quarantined.contains(a))
+                });
+                level_quarantined = (before - candidates.len()) as u64;
+            }
             let enumerable = enumerable_at(profiles, &table_of, arity);
             if candidates.is_empty() {
                 levels.push(NaryLevelStats {
@@ -310,6 +389,7 @@ impl NaryFinder {
                     generated: 0,
                     pruned_projection,
                     satisfied: 0,
+                    quarantined_candidates: level_quarantined,
                     elapsed: level_start.elapsed(),
                 });
                 break;
@@ -357,6 +437,7 @@ impl NaryFinder {
                 generated: candidates.len() as u64,
                 pruned_projection,
                 satisfied: found.len() as u64,
+                quarantined_candidates: level_quarantined,
                 elapsed: level_start.elapsed(),
             });
             satisfied.extend(found.iter().cloned());
@@ -374,6 +455,7 @@ impl NaryFinder {
             satisfied,
             levels,
             metrics,
+            degraded: None,
         })
     }
 }
@@ -868,5 +950,108 @@ mod tests {
             "{:?}",
             names(&d)
         );
+    }
+
+    /// The paper's protein-chain schema shape: `chain(pdb_code, chain_id)`
+    /// keyed compositely, referenced by `residue(pdb_code, chain_id)`.
+    fn chains_db() -> Database {
+        let mut db = Database::new("chains");
+        let mut chain = Table::new(
+            TableSchema::new(
+                "chain",
+                vec![
+                    ColumnSchema::new("pdb_code", DataType::Text),
+                    ColumnSchema::new("chain_id", DataType::Text),
+                ],
+            )
+            .unwrap(),
+        );
+        for p in 0..4i64 {
+            for c in ["A", "B"] {
+                chain
+                    .insert(vec![format!("1ab{p}").into(), c.into()])
+                    .unwrap();
+            }
+        }
+        let mut residue = Table::new(
+            TableSchema::new(
+                "residue",
+                vec![
+                    ColumnSchema::new("pdb_code", DataType::Text),
+                    ColumnSchema::new("chain_id", DataType::Text),
+                ],
+            )
+            .unwrap(),
+        );
+        for p in 0..4i64 {
+            residue
+                .insert(vec![format!("1ab{p}").into(), "A".into()])
+                .unwrap();
+        }
+        db.add_table(chain).unwrap();
+        db.add_table(residue).unwrap();
+        db
+    }
+
+    #[test]
+    fn keep_going_quarantine_poisons_composite_candidates() {
+        let db = chains_db();
+        let finder = NaryFinder::with_max_arity(2);
+
+        // Clean baseline: the composite FK is found.
+        let clean_dir = TempDir::new("nary-kg-clean");
+        let clean = finder
+            .discover_on_disk(
+                &db,
+                clean_dir.path(),
+                &ExportOptions::default().keep_going(true),
+            )
+            .unwrap();
+        let report = clean.degraded.as_ref().expect("keep-going always reports");
+        assert!(report.is_clean());
+        assert!(
+            names(&clean).contains(
+                &"(residue.pdb_code,residue.chain_id) <= (chain.pdb_code,chain.chain_id)"
+                    .to_string()
+            ),
+            "{:?}",
+            names(&clean)
+        );
+
+        // Poison residue.chain_id (attribute id 3) with a read-side bit
+        // flip: the keep-going pre-scan condemns it, the level-1 filter
+        // drops every candidate touching it, and the apriori join then
+        // starves every composite containing it.
+        let plan =
+            std::sync::Arc::new(ind_valueset::FaultPlan::parse("read:attr-00003:flip=20").unwrap());
+        let mut options = ExportOptions::default().keep_going(true);
+        options.sort.io = ind_valueset::IoOptions::default().with_fault(plan);
+        let dir = TempDir::new("nary-kg-poisoned");
+        let d = finder.discover_on_disk(&db, dir.path(), &options).unwrap();
+
+        let report = d.degraded.as_ref().expect("keep-going always reports");
+        assert_eq!(report.quarantined.len(), 1, "{:?}", report.quarantined);
+        assert_eq!(report.quarantined[0].id, 3);
+        assert_eq!(report.quarantined[0].name.to_string(), "residue.chain_id");
+        assert_eq!(d.metrics.quarantined_attributes, 1);
+
+        // Level 1 counted the dropped candidates; higher levels inherit the
+        // exclusion through the join (their own counter stays zero).
+        assert!(d.levels[0].quarantined_candidates > 0);
+        for level in &d.levels[1..] {
+            assert_eq!(level.quarantined_candidates, 0, "{level:?}");
+        }
+
+        // No surviving IND — unary or composite — mentions the attribute.
+        assert!(d.unary.iter().all(|c| c.dep != 3 && c.refd != 3));
+        assert!(d
+            .satisfied
+            .iter()
+            .all(|c| !c.dep.contains(&3) && !c.refd.contains(&3)));
+        // The healthy unary FK on pdb_code is untouched.
+        assert!(d.unary.iter().any(|c| {
+            d.profiles[c.dep as usize].name.to_string() == "residue.pdb_code"
+                && d.profiles[c.refd as usize].name.to_string() == "chain.pdb_code"
+        }));
     }
 }

@@ -12,7 +12,8 @@ use crate::spider::run_spider;
 use crate::spider_parallel::{run_spider_parallel, run_spider_parallel_shared};
 use ind_storage::{Database, QualifiedName};
 use ind_valueset::{
-    ExportOptions, ExportedDatabase, FailedAttribute, Result, ValueCursor, ValueSetProvider,
+    ExportOptions, ExportedDatabase, FailedAttribute, Result, ValueCursor, ValueSetError,
+    ValueSetProvider,
 };
 use std::path::Path;
 use std::time::Instant;
@@ -341,12 +342,16 @@ impl IndFinder {
                 // Full drain through the verifying reader: any torn write,
                 // bit flip, or unreadable file surfaces here, before its
                 // bytes can influence a single candidate.
-                if let Err(e) = drain_attribute(&export, attr.id) {
-                    failed.push(FailedAttribute {
+                match drain_attribute(&export, attr.id) {
+                    Ok(()) => {}
+                    // A cancellation surfacing mid-drain is a stop order,
+                    // not evidence against the file.
+                    Err(e @ ValueSetError::Cancelled { .. }) => return Err(e),
+                    Err(e) => failed.push(FailedAttribute {
                         id: attr.id,
                         name: attr.name.clone(),
                         error: e.to_string(),
-                    });
+                    }),
                 }
             }
             failed
@@ -375,6 +380,9 @@ impl IndFinder {
         discovery.metrics.checksum_failures = checksum_failures + export.checksum_failures();
         discovery.metrics.key_compares += export.sort_key_compares();
         discovery.metrics.memcmp_compares += export.sort_memcmp_compares();
+        discovery.metrics.exports_reused = export.exports_reused();
+        discovery.metrics.exports_redone = export.exports_redone();
+        discovery.metrics.orphans_swept = export.orphans_swept();
         // Cover export and pre-scan too, so the span tree's phases account
         // for (nearly) all of `elapsed`.
         discovery.metrics.elapsed = start.elapsed();
@@ -428,7 +436,7 @@ impl IndFinder {
 /// Fully drains attribute `id` through the verifying reader, discarding
 /// the values — the keep-going pre-scan that proves a value file healthy
 /// (or condemns it) before any candidate depends on it.
-fn drain_attribute(export: &ExportedDatabase, id: u32) -> Result<()> {
+pub(crate) fn drain_attribute(export: &ExportedDatabase, id: u32) -> Result<()> {
     let mut cursor = export.open(id)?;
     while cursor.advance()? {}
     Ok(())

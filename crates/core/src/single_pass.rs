@@ -215,6 +215,9 @@ impl<C: ValueCursor> Engine<'_, C> {
     /// every attached dependent in deterministic order.
     fn run(&mut self) -> Result<()> {
         while let Some(r) = self.queue.pop_front() {
+            // Cooperative cancellation once per monitor step (a step
+            // advances one referenced cursor and fans its value out).
+            ind_valueset::cancel::check_ambient("merge")?;
             self.refs[r].queued = false;
             if self.refs[r].attached.is_empty() {
                 continue;

@@ -201,6 +201,9 @@ where
     let mut group_mask: Vec<u64> = vec![0; words];
 
     while let Some(first) = heap.peek() {
+        // Cooperative cancellation at heap-group granularity: one TLS read
+        // and a relaxed load per group against a full k-way merge step.
+        ind_valueset::cancel::check_ambient("merge")?;
         group.clear();
         group_value.clear();
         group_value.extend_from_slice(cursor_value(&cursors, first));

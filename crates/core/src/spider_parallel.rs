@@ -172,14 +172,19 @@ where
     // Thread-local span parenting stops at the spawn: capture the current
     // parent here so each partition span hangs under the discover root.
     let span_parent = ind_trace::current_parent();
+    // Ambient cancellation is thread-local: capture the caller's token and
+    // re-install it in every partition worker.
+    let cancel = ind_valueset::cancel::ambient();
     let results: Vec<Result<(Vec<Candidate>, RunMetrics)>> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = ranges
             .iter()
             .zip(&per_partition)
             .enumerate()
             .map(|(p, (&(lower, upper), shard))| {
+                let cancel = cancel.clone();
                 scope.spawn(move |_| {
                     let _span = ind_trace::start_under(ind_trace::PARTITION, p as u64, span_parent);
+                    let _ambient = ind_valueset::cancel::set_ambient(cancel);
                     let mut local = RunMetrics::new();
                     let found = spider_pass(
                         |a| Ok(RangeCursor::new(provider.open(a)?, lower, upper)),
@@ -273,12 +278,19 @@ pub fn run_spider_parallel_shared(
     let shard_candidates: &[Candidate] = &unique;
 
     let span_parent = ind_trace::current_parent();
+    // Same ambient-token hand-off as the descriptor-per-partition runner.
+    // A cancelled partition returns early and drops its shard receivers;
+    // the streamer threads observe the closed channels and exit instead of
+    // blocking on a consumer that will never drain (the no-hang contract).
+    let cancel = ind_valueset::cancel::ambient();
     let results: Vec<Result<(Vec<Candidate>, RunMetrics)>> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = (0..partitions)
             .map(|p| {
                 let shard = provider.shard(p);
+                let cancel = cancel.clone();
                 scope.spawn(move |_| {
                     let _span = ind_trace::start_under(ind_trace::PARTITION, p as u64, span_parent);
+                    let _ambient = ind_valueset::cancel::set_ambient(cancel);
                     let mut local = RunMetrics::new();
                     let found = spider_pass(|a| shard.open(a), shard_candidates, &mut local)?;
                     Ok((found, local))

@@ -8,7 +8,7 @@ use ind_trace::json::{self, Json};
 use proptest::prelude::*;
 use std::time::Duration;
 
-fn arbitrary_metrics(values: &[u64; 26]) -> RunMetrics {
+fn arbitrary_metrics(values: &[u64; 29]) -> RunMetrics {
     RunMetrics {
         pairs_considered: values[0],
         pruned_cardinality: values[1],
@@ -34,7 +34,10 @@ fn arbitrary_metrics(values: &[u64; 26]) -> RunMetrics {
         io_retries: values[21],
         checksum_failures: values[22],
         quarantined_attributes: values[23],
-        elapsed: Duration::from_secs(values[24]) + Duration::from_nanos(values[25]),
+        exports_reused: values[24],
+        exports_redone: values[25],
+        orphans_swept: values[26],
+        elapsed: Duration::from_secs(values[27]) + Duration::from_nanos(values[28]),
     }
 }
 
@@ -50,14 +53,14 @@ proptest! {
 
     #[test]
     fn to_json_round_trips_through_parsing(
-        counters in proptest::collection::vec(0u64..=u64::MAX, 24),
+        counters in proptest::collection::vec(0u64..=u64::MAX, 27),
         secs in 0u64..4_000_000_000,
         nanos in 0u64..1_000_000_000,
     ) {
-        let mut values = [0u64; 26];
-        values[..24].copy_from_slice(&counters);
-        values[24] = secs;
-        values[25] = nanos;
+        let mut values = [0u64; 29];
+        values[..27].copy_from_slice(&counters);
+        values[27] = secs;
+        values[28] = nanos;
         let metrics = arbitrary_metrics(&values);
 
         let text = metrics.to_json();
@@ -94,6 +97,9 @@ proptest! {
             field(&parsed, "quarantined_attributes"),
             metrics.quarantined_attributes
         );
+        prop_assert_eq!(field(&parsed, "exports_reused"), metrics.exports_reused);
+        prop_assert_eq!(field(&parsed, "exports_redone"), metrics.exports_redone);
+        prop_assert_eq!(field(&parsed, "orphans_swept"), metrics.orphans_swept);
         prop_assert_eq!(
             field(&parsed, "elapsed_ns"),
             metrics.elapsed.as_nanos() as u64

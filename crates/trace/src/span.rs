@@ -31,7 +31,7 @@ pub(crate) enum ArgStyle {
 }
 
 /// The span-name registry: `(name, arg rendering)` per [`SpanId`].
-pub(crate) const SPAN_TABLE: [(&str, ArgStyle); 13] = [
+pub(crate) const SPAN_TABLE: [(&str, ArgStyle); 14] = [
     ("discover", ArgStyle::None),
     ("export", ArgStyle::None),
     ("profile", ArgStyle::None),
@@ -45,10 +45,11 @@ pub(crate) const SPAN_TABLE: [(&str, ArgStyle); 13] = [
     ("block_pass", ArgStyle::Index),
     ("level", ArgStyle::Index),
     ("prefetch_wait", ArgStyle::None),
+    ("resume_scan", ArgStyle::None),
 ];
 
 /// Span names in [`SpanId`] order (the report vocabulary).
-pub const SPAN_NAMES: [&str; 13] = [
+pub const SPAN_NAMES: [&str; 14] = [
     "discover",
     "export",
     "profile",
@@ -62,6 +63,7 @@ pub const SPAN_NAMES: [&str; 13] = [
     "block_pass",
     "level",
     "prefetch_wait",
+    "resume_scan",
 ];
 
 /// Whole run: the root span every other phase nests under.
@@ -90,6 +92,8 @@ pub const BLOCK_PASS: SpanId = SpanId(10);
 pub const LEVEL: SpanId = SpanId(11);
 /// Consumer blocked waiting on the prefetch worker's next block.
 pub const PREFETCH_WAIT: SpanId = SpanId(12);
+/// The resume sweep: orphan cleanup plus manifest-vs-footer validation.
+pub const RESUME_SCAN: SpanId = SpanId(13);
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 /// Span-instance tokens and event ordering share one sequence so report

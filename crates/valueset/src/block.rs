@@ -54,9 +54,9 @@ pub const INITIAL_READAHEAD: usize = 8 * 1024;
 ///
 /// Equality compares only the tuning knobs (block size, hints, prefetch,
 /// direct I/O, checksum verification) — the runtime attachments
-/// ([`IoOptions::fault`], [`IoOptions::stats`]) are deliberately excluded,
-/// so two configurations that read files the same way compare equal even
-/// when only one of them is instrumented.
+/// ([`IoOptions::fault`], [`IoOptions::stats`], [`IoOptions::cancel`]) are
+/// deliberately excluded, so two configurations that read files the same
+/// way compare equal even when only one of them is instrumented.
 #[derive(Debug, Clone)]
 pub struct IoOptions {
     /// Bytes per I/O block: the unit of reader fills and writer flushes.
@@ -104,6 +104,10 @@ pub struct IoOptions {
     /// through options alone). An explicit `stats` argument at an open
     /// site always wins over this field.
     pub stats: Option<ReadStats>,
+    /// A cooperative cancellation token polled at block granularity by
+    /// every reader fill and writer flush this configuration touches (see
+    /// [`crate::cancel`]). `None` (the default) costs nothing.
+    pub cancel: Option<crate::cancel::CancelToken>,
 }
 
 impl Default for IoOptions {
@@ -116,6 +120,7 @@ impl Default for IoOptions {
             verify_checksums: true,
             fault: None,
             stats: None,
+            cancel: None,
         }
     }
 }
@@ -176,6 +181,12 @@ impl IoOptions {
     /// Attaches fallback shared counters ([`IoOptions::stats`]).
     pub fn with_stats(mut self, stats: ReadStats) -> Self {
         self.stats = Some(stats);
+        self
+    }
+
+    /// Attaches a cancellation token ([`IoOptions::cancel`]).
+    pub fn with_cancel(mut self, token: crate::cancel::CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 

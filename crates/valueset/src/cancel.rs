@@ -1,0 +1,362 @@
+//! Cooperative cancellation: a shared-atomic [`CancelToken`] checked at
+//! block-fill and heap-pop granularity by every engine and the export
+//! pipeline.
+//!
+//! A token is driven three ways: explicitly ([`CancelToken::cancel`]),
+//! by a wall-clock deadline ([`CancelToken::with_deadline`], the CLI's
+//! `--deadline`), or by SIGINT once [`CancelToken::watch_sigint`] has
+//! armed the process-wide handler. Deterministic tests use
+//! [`CancelToken::cancel_after`], which fires on the Nth poll regardless
+//! of timing.
+//!
+//! Checks are designed for hot loops: one relaxed load when nothing has
+//! fired, with the deadline clock read only every [`DEADLINE_STRIDE`]
+//! polls. Besides the explicit token carried by
+//! [`IoOptions`](crate::IoOptions), a thread-local *ambient* slot
+//! ([`set_ambient`] / [`check_ambient`]) lets the engines poll without
+//! changing their public signatures; worker threads re-install the
+//! ambient token captured by their spawner.
+
+use crate::error::{Result, ValueSetError};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Deadline polls between wall-clock reads: cheap enough for per-record
+/// loops, tight enough that expiry is noticed within a few microseconds
+/// of work.
+const DEADLINE_STRIDE: u64 = 32;
+
+/// Recovers a poisoned mutex: the guarded state (the first cancelled
+/// phase) is a plain label, valid regardless of a panicking holder.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+    /// Fires cancellation when a poll decrements it to zero (tests).
+    countdown: Option<AtomicU64>,
+    /// Polls since the last deadline clock read.
+    probes: AtomicU64,
+    /// When set, polls also observe the process-wide SIGINT flag.
+    sigint: AtomicBool,
+    /// The first phase that observed cancellation (for run reports).
+    phase: Mutex<Option<&'static str>>,
+}
+
+impl Inner {
+    fn with(deadline: Option<Instant>, countdown: Option<u64>) -> Arc<Self> {
+        Arc::new(Inner {
+            cancelled: AtomicBool::new(false),
+            deadline,
+            countdown: countdown.map(AtomicU64::new),
+            probes: AtomicU64::new(0),
+            sigint: AtomicBool::new(false),
+            phase: Mutex::new(None),
+        })
+    }
+}
+
+/// A shared cancellation flag. Cloning is cheap and every clone observes
+/// the same state, so one token fans out to worker threads, cursors, and
+/// writers alike.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// A token that only fires when [`cancel`](Self::cancel) is called
+    /// (or SIGINT arrives, once [`watch_sigint`](Self::watch_sigint) is
+    /// armed).
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Inner::with(None, None),
+        }
+    }
+
+    /// A token that fires once `budget` of wall clock has elapsed.
+    pub fn with_deadline(budget: Duration) -> Self {
+        CancelToken {
+            inner: Inner::with(Some(Instant::now() + budget), None),
+        }
+    }
+
+    /// A token that fires on the `polls`-th poll — deterministic
+    /// interruption for tests (`polls == 0` fires immediately).
+    pub fn cancel_after(polls: u64) -> Self {
+        CancelToken {
+            inner: Inner::with(None, Some(polls)),
+        }
+    }
+
+    /// Arms the process-wide SIGINT handler and makes this token observe
+    /// it: the first Ctrl-C cancels the run instead of killing the
+    /// process. Idempotent.
+    pub fn watch_sigint(&self) {
+        sigint::install();
+        self.inner.sigint.store(true, Ordering::Relaxed);
+    }
+
+    /// Fires the token. All clones observe it on their next poll.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Polls the token. One relaxed load in the common (live) case; the
+    /// deadline clock is read every [`DEADLINE_STRIDE`] polls.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        self.poll_slow()
+    }
+
+    #[cold]
+    fn poll_slow(&self) -> bool {
+        if self.inner.sigint.load(Ordering::Relaxed) && sigint::seen() {
+            self.cancel();
+            return true;
+        }
+        if let Some(countdown) = &self.inner.countdown {
+            // Wraps once fired, which is harmless: the latch above wins.
+            if countdown.fetch_sub(1, Ordering::Relaxed) <= 1 {
+                self.cancel();
+                return true;
+            }
+        }
+        if let Some(deadline) = self.inner.deadline {
+            let probe = self.inner.probes.fetch_add(1, Ordering::Relaxed);
+            if probe.is_multiple_of(DEADLINE_STRIDE) && Instant::now() >= deadline {
+                self.cancel();
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Polls and converts a fired token into
+    /// [`ValueSetError::Cancelled`], recording `phase` as the point the
+    /// run stopped if it is the first to observe it.
+    #[inline]
+    pub fn check(&self, phase: &'static str) -> Result<()> {
+        if self.is_cancelled() {
+            let mut slot = lock(&self.inner.phase);
+            if slot.is_none() {
+                *slot = Some(phase);
+            }
+            return Err(ValueSetError::Cancelled { phase });
+        }
+        Ok(())
+    }
+
+    /// The first phase that observed cancellation, if any.
+    pub fn phase(&self) -> Option<&'static str> {
+        *lock(&self.inner.phase)
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+thread_local! {
+    static AMBIENT: RefCell<Option<CancelToken>> = const { RefCell::new(None) };
+}
+
+/// Restores the previous ambient token on drop (see [`set_ambient`]).
+#[derive(Debug)]
+pub struct AmbientGuard {
+    prev: Option<CancelToken>,
+    restored: bool,
+}
+
+impl Drop for AmbientGuard {
+    fn drop(&mut self) {
+        if !self.restored {
+            self.restored = true;
+            let prev = self.prev.take();
+            AMBIENT.with(|slot| *slot.borrow_mut() = prev);
+        }
+    }
+}
+
+/// Installs `token` as this thread's ambient cancellation token for the
+/// lifetime of the returned guard. Engines poll it via [`check_ambient`]
+/// without threading a token through their signatures; worker threads
+/// re-install the token their spawner captured with [`ambient`].
+pub fn set_ambient(token: Option<CancelToken>) -> AmbientGuard {
+    let prev = AMBIENT.with(|slot| std::mem::replace(&mut *slot.borrow_mut(), token));
+    AmbientGuard {
+        prev,
+        restored: false,
+    }
+}
+
+/// The current thread's ambient token, if one is installed — capture it
+/// before spawning workers and re-install it inside each.
+pub fn ambient() -> Option<CancelToken> {
+    AMBIENT.with(|slot| slot.borrow().clone())
+}
+
+/// Polls the ambient token (no-op when none is installed).
+#[inline]
+pub fn check_ambient(phase: &'static str) -> Result<()> {
+    AMBIENT.with(|slot| match slot.borrow().as_ref() {
+        Some(token) => token.check(phase),
+        None => Ok(()),
+    })
+}
+
+#[cfg(unix)]
+mod sigint {
+    //! Raw SIGINT plumbing: one process-wide flag set by an
+    //! async-signal-safe handler, installed at most once.
+
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Once;
+
+    static SEEN: AtomicBool = AtomicBool::new(false);
+    static INSTALL: Once = Once::new();
+
+    /// POSIX `SIGINT` (identical on every Unix this workspace targets).
+    const SIGINT: i32 = 2;
+
+    extern "C" fn on_sigint(_signum: i32) {
+        // A relaxed store is async-signal-safe: no allocation, no locks.
+        SEEN.store(true, Ordering::Relaxed);
+    }
+
+    extern "C" {
+        // POSIX `signal(2)`; declared directly to avoid a libc dependency
+        // (the workspace vendors no crates beyond its four stand-ins).
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    pub(super) fn seen() -> bool {
+        SEEN.load(Ordering::Relaxed)
+    }
+
+    pub(super) fn install() {
+        INSTALL.call_once(|| {
+            // SAFETY: `signal` is the POSIX C API; the handler only
+            // performs a relaxed atomic store, which is async-signal-safe,
+            // and the function pointer cast matches the C signature.
+            unsafe {
+                signal(SIGINT, on_sigint as *const () as usize);
+            }
+        });
+    }
+}
+
+#[cfg(not(unix))]
+mod sigint {
+    //! Non-Unix stub: SIGINT watching becomes a no-op.
+
+    pub(super) fn seen() -> bool {
+        false
+    }
+
+    pub(super) fn install() {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_cancel_latches_for_all_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!token.is_cancelled());
+        assert!(clone.check("merge").is_ok());
+        token.cancel();
+        assert!(clone.is_cancelled());
+        let err = clone.check("merge").expect_err("fired");
+        assert!(matches!(err, ValueSetError::Cancelled { phase: "merge" }));
+        assert_eq!(token.phase(), Some("merge"));
+    }
+
+    #[test]
+    fn first_observed_phase_sticks() {
+        let token = CancelToken::new();
+        token.cancel();
+        assert!(token.check("export").is_err());
+        assert!(token.check("merge").is_err());
+        assert_eq!(token.phase(), Some("export"));
+    }
+
+    #[test]
+    fn countdown_fires_on_the_nth_poll() {
+        let token = CancelToken::cancel_after(3);
+        assert!(!token.is_cancelled());
+        assert!(!token.is_cancelled());
+        assert!(token.is_cancelled(), "third poll fires");
+        assert!(token.is_cancelled(), "and it latches");
+    }
+
+    #[test]
+    fn zero_countdown_fires_immediately() {
+        let token = CancelToken::cancel_after(0);
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_in_the_past_fires() {
+        let token = CancelToken::with_deadline(Duration::ZERO);
+        assert!(token.is_cancelled());
+        assert!(token.check("export").is_err());
+    }
+
+    #[test]
+    fn generous_deadline_does_not_fire() {
+        let token = CancelToken::with_deadline(Duration::from_secs(3600));
+        for _ in 0..200 {
+            assert!(!token.is_cancelled());
+        }
+    }
+
+    #[test]
+    fn ambient_slot_installs_nests_and_restores() {
+        assert!(check_ambient("merge").is_ok(), "empty slot is a no-op");
+        let outer = CancelToken::new();
+        let guard = set_ambient(Some(outer.clone()));
+        assert!(ambient().is_some());
+        {
+            let inner = CancelToken::new();
+            inner.cancel();
+            let nested = set_ambient(Some(inner));
+            assert!(check_ambient("export").is_err());
+            drop(nested);
+        }
+        assert!(check_ambient("export").is_ok(), "outer token is live");
+        outer.cancel();
+        assert!(check_ambient("merge").is_err());
+        drop(guard);
+        assert!(check_ambient("merge").is_ok(), "slot restored to empty");
+    }
+
+    #[test]
+    fn ambient_token_crosses_threads_by_capture() {
+        let token = CancelToken::new();
+        token.cancel();
+        let _guard = set_ambient(Some(token));
+        let captured = ambient().expect("captured");
+        let observed = std::thread::spawn(move || {
+            let _worker = set_ambient(Some(captured));
+            check_ambient("merge").is_err()
+        })
+        .join()
+        .expect("worker");
+        assert!(observed, "worker sees the spawner's cancellation");
+    }
+}

@@ -30,6 +30,12 @@ pub enum ValueSetError {
     },
     /// An attribute id was out of range for the provider.
     UnknownAttribute(u32),
+    /// The run was cancelled cooperatively (deadline, SIGINT, or an
+    /// explicit [`CancelToken`](crate::CancelToken)) while in `phase`.
+    Cancelled {
+        /// The pipeline phase that observed the cancellation.
+        phase: &'static str,
+    },
     /// Propagated storage error (during extraction).
     Storage(ind_storage::StorageError),
 }
@@ -49,6 +55,7 @@ impl fmt::Display for ValueSetError {
                 write!(f, "open-file budget of {budget} value files exceeded")
             }
             ValueSetError::UnknownAttribute(id) => write!(f, "unknown attribute id {id}"),
+            ValueSetError::Cancelled { phase } => write!(f, "cancelled during {phase}"),
             ValueSetError::Storage(e) => write!(f, "storage error: {e}"),
         }
     }
@@ -93,5 +100,7 @@ mod tests {
         assert!(e.to_string().contains("attr-3"));
         let e = ValueSetError::UnknownAttribute(42);
         assert!(e.to_string().contains("42"));
+        let e = ValueSetError::Cancelled { phase: "export" };
+        assert!(e.to_string().contains("cancelled during export"));
     }
 }

@@ -207,7 +207,7 @@ pub fn extract_composite_with_sorter(
         let components = component_slices(&rendered, &offsets, columns.len());
         sorter.push_with(|arena| encode_tuple_into(&components[..columns.len()], arena))?;
     }
-    let mut writer = ValueFileWriter::create_with_options(path, &io)?;
+    let mut writer = ValueFileWriter::create_atomic_with_options(path, &io)?;
     let stats = sorter.finish_into(&mut writer)?;
     writer.finish()?;
     Ok(stats)
@@ -242,7 +242,9 @@ pub fn extract_with_sorter(
         }
         sorter.push_with(|arena| v.render_canonical(arena))?;
     }
-    let mut writer = ValueFileWriter::create_with_options(path, &io)?;
+    // Final files publish atomically: an interrupted extraction leaves a
+    // `.tmp` orphan, never a half-written file under the final name.
+    let mut writer = ValueFileWriter::create_atomic_with_options(path, &io)?;
     let stats = sorter.finish_into(&mut writer)?;
     writer.finish()?;
     Ok(stats)

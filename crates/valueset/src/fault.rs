@@ -25,18 +25,20 @@
 //! read:attr-00002:flip=57 , write:run-:enospc , read:*:eintr@3
 //! ```
 //!
-//! * `op` — `read`, `write`, or `open`.
+//! * `op` — `read`, `write`, `open`, or `fsync`.
 //! * `match` — a substring of the file path; `*` matches every file.
 //! * `kind` — `eintr` (read/write), `short` (read), `truncate=N` (read:
 //!   the file appears to end at byte `N`), `flip=N` (read: one bit of
 //!   byte `N` is flipped, chosen by the plan's seed), `enospc` (write),
-//!   `fail` (open).
+//!   `fail` (open/fsync), `crash=N` (write: the Nth matching write tears
+//!   mid-buffer and every later matching write or fsync fails — the
+//!   process-visible shape of dying mid-export).
 //! * an optional `@count` fires the rule that many times (default once;
 //!   `truncate` is persistent).
 
 use std::io;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::block::{PhysicalFile, ReadStats};
@@ -47,6 +49,7 @@ enum FaultOp {
     Read,
     Write,
     Open,
+    Fsync,
 }
 
 /// The fault a rule injects.
@@ -64,8 +67,12 @@ enum FaultKind {
     /// One bit of byte `N` (seed-chosen) is flipped on the read that
     /// delivers it.
     BitFlipAt(u64),
-    /// The open itself fails.
-    FailOpen,
+    /// The open (or fsync) itself fails.
+    FailOp,
+    /// The Nth matching write aborts mid-buffer (a torn prefix reaches
+    /// the file) and every later matching write or fsync fails — the
+    /// process-visible shape of crashing mid-export.
+    Crash,
 }
 
 #[derive(Debug)]
@@ -76,11 +83,18 @@ struct FaultRule {
     kind: FaultKind,
     /// Remaining firings; `u64::MAX` means unlimited.
     remaining: AtomicU64,
+    /// Latched once a `crash=N` rule has fired: the write path is dead
+    /// for every later matching write or fsync.
+    crashed: AtomicBool,
 }
 
 impl FaultRule {
     fn matches(&self, op: FaultOp, path: &Path) -> bool {
-        self.op == op && (self.matcher == "*" || path.to_string_lossy().contains(&self.matcher))
+        self.op == op && self.matches_path(path)
+    }
+
+    fn matches_path(&self, path: &Path) -> bool {
+        self.matcher == "*" || path.to_string_lossy().contains(&self.matcher)
     }
 
     /// Consumes one firing; `false` once the budget is spent.
@@ -99,6 +113,24 @@ impl FaultRule {
                 .is_ok()
             {
                 return true;
+            }
+        }
+    }
+
+    /// Decrements the budget; `true` only for the call that consumed the
+    /// *final* firing (the Nth matching op of a `crash=N` rule).
+    fn take_last(&self) -> bool {
+        loop {
+            let cur = self.remaining.load(Ordering::Relaxed);
+            if cur == 0 || cur == u64::MAX {
+                return false;
+            }
+            if self
+                .remaining
+                .compare_exchange(cur, cur - 1, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return cur == 1;
             }
         }
     }
@@ -233,9 +265,8 @@ impl FaultPlan {
         }
     }
 
-    /// Consulted before a `write_all`; `Some(e)` fails (or, for
-    /// `Interrupted`, retries) the write.
-    pub(crate) fn before_write(&self, path: &Path) -> Option<io::Error> {
+    /// Consulted before a `write_all` of `len` bytes.
+    pub(crate) fn before_write(&self, path: &Path, len: usize) -> WriteCheck {
         for rule in &self.rules {
             if !rule.matches(FaultOp::Write, path) {
                 continue;
@@ -245,12 +276,45 @@ impl FaultPlan {
                     // lint: allow(hot_alloc) — cold fault path
                     self.note(format!("write:enospc:{}", path.display()));
                     // ENOSPC, spelled as the OS would report it.
-                    return Some(io::Error::from_raw_os_error(28));
+                    return WriteCheck::Fail(io::Error::from_raw_os_error(28));
                 }
                 FaultKind::Interrupted if rule.take() => {
                     // lint: allow(hot_alloc) — cold fault path
                     self.note(format!("write:eintr:{}", path.display()));
-                    return Some(io::Error::new(io::ErrorKind::Interrupted, "injected EINTR"));
+                    return WriteCheck::Interrupted;
+                }
+                FaultKind::Crash => {
+                    if rule.crashed.load(Ordering::Relaxed) {
+                        return WriteCheck::Fail(crash_error());
+                    }
+                    if rule.take_last() {
+                        rule.crashed.store(true, Ordering::Relaxed);
+                        // lint: allow(hot_alloc) — cold fault path
+                        self.note(format!("write:crash:{}", path.display()));
+                        return WriteCheck::Crash { torn: len / 2 };
+                    }
+                }
+                _ => {}
+            }
+        }
+        WriteCheck::Proceed
+    }
+
+    /// Consulted before an `fsync`; `Some(e)` fails it. A latched
+    /// `crash=N` rule also kills matching fsyncs — after a crash nothing
+    /// on that path reaches the disk.
+    pub(crate) fn before_fsync(&self, path: &Path) -> Option<io::Error> {
+        for rule in &self.rules {
+            match rule.kind {
+                FaultKind::FailOp if rule.matches(FaultOp::Fsync, path) && rule.take() => {
+                    // lint: allow(hot_alloc) — cold fault path
+                    self.note(format!("fsync:fail:{}", path.display()));
+                    return Some(io::Error::other("injected fsync failure"));
+                }
+                FaultKind::Crash
+                    if rule.matches_path(path) && rule.crashed.load(Ordering::Relaxed) =>
+                {
+                    return Some(crash_error());
                 }
                 _ => {}
             }
@@ -261,8 +325,7 @@ impl FaultPlan {
     /// Consulted before opening (or creating) `path`.
     pub(crate) fn before_open(&self, path: &Path) -> Option<io::Error> {
         for rule in &self.rules {
-            if rule.matches(FaultOp::Open, path) && rule.kind == FaultKind::FailOpen && rule.take()
-            {
+            if rule.matches(FaultOp::Open, path) && rule.kind == FaultKind::FailOp && rule.take() {
                 // lint: allow(hot_alloc) — cold fault path
                 self.note(format!("open:fail:{}", path.display()));
                 return Some(io::Error::other("injected open failure"));
@@ -270,6 +333,27 @@ impl FaultPlan {
         }
         None
     }
+}
+
+/// What [`FaultPlan::before_write`] tells the writing wrapper to do.
+pub(crate) enum WriteCheck {
+    /// Write the whole buffer.
+    Proceed,
+    /// `ErrorKind::Interrupted`: the wrapper retries in place.
+    Interrupted,
+    /// Fail the write with this error; nothing reaches the file.
+    Fail(io::Error),
+    /// A `crash=N` rule fired: write only the first `torn` bytes of the
+    /// buffer, then fail — the on-disk shape of dying mid-`write(2)`.
+    Crash {
+        /// Byte count of the torn prefix that reaches the file.
+        torn: usize,
+    },
+}
+
+/// The error every post-crash operation surfaces.
+fn crash_error() -> io::Error {
+    io::Error::other("injected crash: write path aborted")
 }
 
 /// Default seed: arbitrary odd constant so bit choices are stable across
@@ -287,6 +371,7 @@ fn parse_rule(part: &str) -> Result<FaultRule, String> {
         "read" => FaultOp::Read,
         "write" => FaultOp::Write,
         "open" => FaultOp::Open,
+        "fsync" => FaultOp::Fsync,
         // lint: allow(hot_alloc) — parse-time error path
         other => return Err(format!("unknown op `{other}` in `{part}`")),
     };
@@ -312,7 +397,9 @@ fn parse_rule(part: &str) -> Result<FaultRule, String> {
             | (FaultOp::Read, FaultKind::BitFlipAt(_))
             | (FaultOp::Write, FaultKind::NoSpace)
             | (FaultOp::Write, FaultKind::Interrupted)
-            | (FaultOp::Open, FaultKind::FailOpen)
+            | (FaultOp::Write, FaultKind::Crash)
+            | (FaultOp::Open, FaultKind::FailOp)
+            | (FaultOp::Fsync, FaultKind::FailOp)
     );
     if !allowed {
         // lint: allow(hot_alloc) — parse-time error path
@@ -324,6 +411,7 @@ fn parse_rule(part: &str) -> Result<FaultRule, String> {
         matcher: matcher.to_string(),
         kind,
         remaining: AtomicU64::new(remaining),
+        crashed: AtomicBool::new(false),
     })
 }
 
@@ -342,11 +430,20 @@ fn parse_kind(text: &str, part: &str) -> Result<(FaultKind, u64), String> {
             .map_err(|_| format!("bad byte offset in `{part}`"))?;
         return Ok((FaultKind::BitFlipAt(n), 1));
     }
+    if let Some(n) = text.strip_prefix("crash=") {
+        let n = n
+            .parse::<u64>()
+            .ok()
+            .filter(|&n| n >= 1)
+            // lint: allow(hot_alloc) — parse-time error path
+            .ok_or_else(|| format!("bad op count in `{part}` (crash=N, N >= 1)"))?;
+        return Ok((FaultKind::Crash, n));
+    }
     match text {
         "short" => Ok((FaultKind::ShortRead, 1)),
         "eintr" => Ok((FaultKind::Interrupted, 1)),
         "enospc" => Ok((FaultKind::NoSpace, 1)),
-        "fail" => Ok((FaultKind::FailOpen, 1)),
+        "fail" => Ok((FaultKind::FailOp, 1)),
         // lint: allow(hot_alloc) — parse-time error path
         other => Err(format!("unknown fault kind `{other}` in `{part}`")),
     }
@@ -412,20 +509,57 @@ pub(crate) fn write_all(
     use std::io::Write;
     loop {
         if let Some(plan) = plan {
-            if let Some(e) = plan.before_write(path) {
-                if e.kind() == io::ErrorKind::Interrupted {
+            match plan.before_write(path, bytes.len()) {
+                WriteCheck::Proceed => {}
+                WriteCheck::Interrupted => {
                     if let Some(stats) = stats {
                         stats.bump_io_retry();
                     }
                     continue;
                 }
-                return Err(annotate(path, e));
+                WriteCheck::Fail(e) => return Err(annotate(path, e)),
+                WriteCheck::Crash { torn } => {
+                    // The crash IS the outcome: whatever the torn prefix
+                    // does on disk is what a real mid-write death leaves.
+                    // lint: allow(swallowed_result) — best-effort torn prefix; the injected crash error below is the result under test
+                    let _ = file.write_all(&bytes[..torn]);
+                    return Err(annotate(path, crash_error()));
+                }
             }
         }
         // `write_all` itself already loops over real EINTRs; it cannot
         // surface `Interrupted`, so no outer retry arm is needed here.
         return file.write_all(bytes).map_err(|e| annotate(path, e));
     }
+}
+
+/// A fault-checked `File::sync_all`: the durability half of atomic
+/// publication. An `fsync:fail` rule (or a latched `crash=N`) fails it;
+/// otherwise the real fsync runs and its error comes back annotated.
+pub(crate) fn sync_all(
+    file: &std::fs::File,
+    path: &Path,
+    plan: Option<&Arc<FaultPlan>>,
+) -> io::Result<()> {
+    if let Some(plan) = plan {
+        if let Some(e) = plan.before_fsync(path) {
+            return Err(annotate(path, e));
+        }
+    }
+    file.sync_all().map_err(|e| annotate(path, e))
+}
+
+/// Fsyncs a directory so a rename inside it is durable (the directory
+/// entry itself must reach the disk, not just the file bytes). Subject to
+/// the same `fsync` fault rules as file syncs.
+pub(crate) fn sync_dir(dir: &Path, plan: Option<&Arc<FaultPlan>>) -> io::Result<()> {
+    if let Some(plan) = plan {
+        if let Some(e) = plan.before_fsync(dir) {
+            return Err(annotate(dir, e));
+        }
+    }
+    let handle = std::fs::File::open(dir).map_err(|e| annotate(dir, e))?;
+    handle.sync_all().map_err(|e| annotate(dir, e))
 }
 
 /// The retrying read wrapper every [`crate::BlockReader`] byte flows
@@ -667,6 +801,58 @@ mod tests {
         write_all(&mut file, b"abc", &path, Some(&p), Some(&stats)).unwrap();
         assert_eq!(std::fs::read(&path).unwrap(), b"abc");
         assert_eq!(stats.io_retries(), 2);
+    }
+
+    #[test]
+    fn crash_tears_the_nth_write_and_kills_the_path() {
+        let dir = ind_testkit::TempDir::new("fault-crash");
+        let path = dir.join("out.tmp");
+        let mut file = std::fs::File::create(&path).unwrap();
+        let p = plan("write:out:crash=3");
+        write_all(&mut file, b"aaaa", &path, Some(&p), None).unwrap();
+        write_all(&mut file, b"bbbb", &path, Some(&p), None).unwrap();
+        let e = write_all(&mut file, b"cccc", &path, Some(&p), None).unwrap_err();
+        assert!(e.to_string().contains("injected crash"), "{e}");
+        // The third write tore mid-buffer: half of it reached the file.
+        assert_eq!(std::fs::read(&path).unwrap(), b"aaaabbbbcc");
+        // The path is dead: writes and fsyncs both fail from here on.
+        let e = write_all(&mut file, b"dddd", &path, Some(&p), None).unwrap_err();
+        assert!(e.to_string().contains("injected crash"));
+        let e = sync_all(&file, &path, Some(&p)).unwrap_err();
+        assert!(e.to_string().contains("injected crash"));
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            b"aaaabbbbcc",
+            "no more bytes land"
+        );
+        // Unrelated paths are untouched.
+        let other = dir.join("other.bin");
+        let mut other_file = std::fs::File::create(&other).unwrap();
+        write_all(&mut other_file, b"ok", &other, Some(&p), None).unwrap();
+    }
+
+    #[test]
+    fn fsync_failure_is_injected_once_and_named() {
+        let dir = ind_testkit::TempDir::new("fault-fsync");
+        let path = dir.join("out.bin");
+        let file = std::fs::File::create(&path).unwrap();
+        let p = plan("fsync:out:fail");
+        let e = sync_all(&file, &path, Some(&p)).unwrap_err();
+        assert!(e.to_string().contains("injected fsync failure"), "{e}");
+        assert!(e.to_string().contains("out.bin"));
+        sync_all(&file, &path, Some(&p)).unwrap();
+        // Directory syncs consult the same rules.
+        let p = plan("fsync:fault-fsync:fail");
+        assert!(sync_dir(dir.path(), Some(&p)).is_err());
+        sync_dir(dir.path(), Some(&p)).unwrap();
+    }
+
+    #[test]
+    fn crash_syntax_is_validated() {
+        assert!(FaultPlan::parse("write:*:crash=1").is_ok());
+        assert!(FaultPlan::parse("write:*:crash=0").is_err(), "N >= 1");
+        assert!(FaultPlan::parse("read:*:crash=2").is_err(), "write-only");
+        assert!(FaultPlan::parse("fsync:*:eintr").is_err(), "fail-only");
     }
 
     #[test]

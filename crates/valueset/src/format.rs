@@ -39,7 +39,8 @@ use crate::crc32c::{crc32c, Crc32c};
 use crate::cursor::ValueCursor;
 use crate::error::{Result, ValueSetError};
 use crate::frame::{
-    v2_overhead, FOOTER_MAGIC, FOOTER_SENTINEL, FRAME_PAYLOAD, V2_HEADER_LEN, V2_VERSION,
+    v2_overhead, FOOTER_BODY_LEN, FOOTER_MAGIC, FOOTER_SENTINEL, FRAME_LEN_PREFIX, FRAME_PAYLOAD,
+    V2_HEADER_LEN, V2_VERSION,
 };
 use std::io::{Seek, SeekFrom};
 use std::path::{Path, PathBuf};
@@ -85,6 +86,20 @@ pub struct ValueFileWriter {
     crc_chain: Crc32c,
     fault: Option<Arc<crate::fault::FaultPlan>>,
     stats: Option<ReadStats>,
+    cancel: Option<crate::cancel::CancelToken>,
+    /// Atomic publication: when set, `path` is the `.tmp` staging file
+    /// and `finish` fsyncs it, renames it to this final name, and fsyncs
+    /// the parent directory.
+    publish_to: Option<PathBuf>,
+}
+
+/// The staging name of an atomically-published value file: `<path>.tmp`.
+/// A file under its final name is always complete; anything ending in
+/// `.tmp` is a torn leftover the resume sweep may delete.
+pub(crate) fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(".tmp");
+    PathBuf::from(name)
 }
 
 impl ValueFileWriter {
@@ -96,6 +111,21 @@ impl ValueFileWriter {
     /// Creates (truncates) `path`, staging writes into blocks of
     /// `options.block_size`; the zero-count v2 header is staged first.
     pub fn create_with_options(path: &Path, options: &IoOptions) -> Result<Self> {
+        Self::create_inner(path, options, None)
+    }
+
+    /// Creates an **atomically published** value file: all writes go to
+    /// `<path>.tmp`, and [`ValueFileWriter::finish`] fsyncs the staging
+    /// file, renames it to `path`, and fsyncs the parent directory — so a
+    /// file under its final name is always complete and checksum-valid.
+    /// An interrupted export leaves only a `.tmp` orphan for the resume
+    /// sweep to delete. The byte stream is identical to a plain create:
+    /// the rename changes the name, never the bytes.
+    pub fn create_atomic_with_options(path: &Path, options: &IoOptions) -> Result<Self> {
+        Self::create_inner(&tmp_path(path), options, Some(path.to_path_buf()))
+    }
+
+    fn create_inner(path: &Path, options: &IoOptions, publish_to: Option<PathBuf>) -> Result<Self> {
         crate::fault::check_open(path, options.fault.as_ref())?;
         let file = crate::fault::create_file(path)?;
         let block_size = options.effective_block_size();
@@ -118,6 +148,8 @@ impl ValueFileWriter {
             crc_chain: Crc32c::new(),
             fault: options.fault.clone(),
             stats: options.stats.clone(),
+            cancel: options.cancel.clone(),
+            publish_to,
         })
     }
 
@@ -189,6 +221,9 @@ impl ValueFileWriter {
     }
 
     fn flush_block(&mut self) -> Result<()> {
+        if let Some(cancel) = &self.cancel {
+            cancel.check("export")?;
+        }
         if !self.block.is_empty() {
             crate::fault::write_all(
                 &mut self.file,
@@ -249,10 +284,109 @@ impl ValueFileWriter {
             self.fault.as_ref(),
             self.stats.as_ref(),
         )?;
-        // lint: allow(swallowed_result) — durability hint only; the counted write above already returned any real error
-        self.file.sync_data().ok(); // best-effort durability; not load-bearing
+        match &self.publish_to {
+            Some(final_path) => {
+                // Atomic publication: the fsync is load-bearing (the
+                // rename must never expose a file whose bytes could still
+                // be lost), and both it and the directory fsync go through
+                // the fault layer so crash/fsync faults exercise them.
+                crate::fault::sync_all(&self.file, &self.path, self.fault.as_ref())?;
+                std::fs::rename(&self.path, final_path)
+                    .map_err(|e| ValueSetError::Io(crate::fault::annotate(&self.path, e)))?;
+                if let Some(parent) = final_path.parent() {
+                    crate::fault::sync_dir(parent, self.fault.as_ref())?;
+                }
+            }
+            None => {
+                // lint: allow(swallowed_result) — durability hint only; the counted write above already returned any real error
+                self.file.sync_data().ok(); // best-effort durability; not load-bearing
+            }
+        }
         Ok(self.count)
     }
+}
+
+/// Cheap structural validation of a finished v2 value file — the resume
+/// sweep's per-file check. Two small reads (header and footer), no frame
+/// walk: verifies magic, version, header CRC, the footer seal, that the
+/// header, footer, and caller all agree on the record count, and that the
+/// physical size is exactly what the footer's payload predicts
+/// ([`v2_overhead`]) *and* what the caller recorded. A torn or truncated
+/// file cannot pass (the footer is the last thing written before the
+/// atomic rename); a bit flip inside a frame can — catching those takes
+/// the full frame-CRC walk (`--resume verify`, which drains a verifying
+/// reader).
+pub(crate) fn verify_file_quick(
+    path: &Path,
+    expected_file_bytes: u64,
+    expected_records: u64,
+    fault: Option<&Arc<crate::fault::FaultPlan>>,
+) -> Result<()> {
+    use std::io::Read;
+    const FOOTER_LEN: usize = FRAME_LEN_PREFIX + FOOTER_BODY_LEN;
+    let fail = |detail: String| corrupt(path.display().to_string(), detail);
+    crate::fault::check_open(path, fault)?;
+    let mut file = crate::fault::open_file(path)?;
+    let len = file
+        .metadata()
+        .map_err(|e| ValueSetError::Io(crate::fault::annotate(path, e)))?
+        .len();
+    if len != expected_file_bytes {
+        return Err(fail(format!(
+            "file is {len} bytes, manifest recorded {expected_file_bytes}"
+        )));
+    }
+    if len < (V2_HEADER_LEN + FOOTER_LEN) as u64 {
+        return Err(fail(format!("{len} bytes is too short for a v2 file")));
+    }
+    let mut head = [0u8; V2_HEADER_LEN];
+    file.read_exact(&mut head)
+        .map_err(|e| ValueSetError::Io(crate::fault::annotate(path, e)))?;
+    if &head[..4] != MAGIC {
+        return Err(fail("bad magic".into()));
+    }
+    // lint: allow(no_unwrap) — fixed-width slice of a fixed-size array
+    let version = u32::from_le_bytes(head[4..8].try_into().expect("4 bytes"));
+    if version != V2_VERSION {
+        return Err(fail(format!("format version {version} is not resumable")));
+    }
+    // lint: allow(no_unwrap) — fixed-width slice of a fixed-size array
+    let header_count = u64::from_le_bytes(head[8..16].try_into().expect("8 bytes"));
+    // lint: allow(no_unwrap) — fixed-width slice of a fixed-size array
+    let header_crc = u32::from_le_bytes(head[16..20].try_into().expect("4 bytes"));
+    if crc32c(&head[..HEADER_LEN]) != header_crc {
+        return Err(fail("header checksum mismatch".into()));
+    }
+    if header_count != expected_records {
+        return Err(fail(format!(
+            "header count {header_count}, manifest recorded {expected_records}"
+        )));
+    }
+    file.seek(SeekFrom::Start(len - FOOTER_LEN as u64))
+        .map_err(|e| ValueSetError::Io(crate::fault::annotate(path, e)))?;
+    let mut foot = [0u8; FOOTER_LEN];
+    file.read_exact(&mut foot)
+        .map_err(|e| ValueSetError::Io(crate::fault::annotate(path, e)))?;
+    // lint: allow(no_unwrap) — fixed-width slice of a fixed-size array
+    let sentinel = u16::from_le_bytes(foot[0..2].try_into().expect("2 bytes"));
+    if sentinel != FOOTER_SENTINEL || &foot[22..26] != FOOTER_MAGIC {
+        return Err(fail("missing footer seal".into()));
+    }
+    // lint: allow(no_unwrap) — fixed-width slice of a fixed-size array
+    let footer_count = u64::from_le_bytes(foot[2..10].try_into().expect("8 bytes"));
+    // lint: allow(no_unwrap) — fixed-width slice of a fixed-size array
+    let payload = u64::from_le_bytes(foot[10..18].try_into().expect("8 bytes"));
+    if footer_count != expected_records {
+        return Err(fail(format!(
+            "footer count {footer_count}, manifest recorded {expected_records}"
+        )));
+    }
+    if HEADER_LEN as u64 + payload + v2_overhead(payload) != len {
+        return Err(fail(format!(
+            "footer payload {payload} bytes does not account for the {len}-byte file"
+        )));
+    }
+    Ok(())
 }
 
 /// Block-buffered reader over a value file; implements [`ValueCursor`].
@@ -278,6 +412,7 @@ pub struct ValueFileReader {
     /// detection) has run. Set on the first `advance`/`seek` that reports
     /// exhaustion, so the check costs one extra fill exactly once.
     end_checked: bool,
+    cancel: Option<crate::cancel::CancelToken>,
     _guard: Option<OpenFileGuard>,
 }
 
@@ -311,7 +446,14 @@ impl ValueFileReader {
         let guard = budget.map(FileBudget::acquire).transpose()?;
         let stats = stats.or_else(|| options.stats.clone());
         let input = BlockReader::open_path(path, options, stats.clone(), None)?;
-        Self::from_block_reader(input, path, guard, options.verify_checksums, stats.as_ref())
+        Self::from_block_reader(
+            input,
+            path,
+            guard,
+            options.verify_checksums,
+            stats.as_ref(),
+            options.cancel.clone(),
+        )
     }
 
     /// [`ValueFileReader::open_with`] with the file's byte size supplied by
@@ -328,7 +470,14 @@ impl ValueFileReader {
         let guard = budget.map(FileBudget::acquire).transpose()?;
         let stats = stats.or_else(|| options.stats.clone());
         let input = BlockReader::open_path(path, options, stats.clone(), Some(file_bytes))?;
-        Self::from_block_reader(input, path, guard, options.verify_checksums, stats.as_ref())
+        Self::from_block_reader(
+            input,
+            path,
+            guard,
+            options.verify_checksums,
+            stats.as_ref(),
+            options.cancel.clone(),
+        )
     }
 
     fn from_block_reader(
@@ -337,6 +486,7 @@ impl ValueFileReader {
         guard: Option<OpenFileGuard>,
         verify: bool,
         stats: Option<&ReadStats>,
+        cancel: Option<crate::cancel::CancelToken>,
     ) -> Result<Self> {
         let context = || path.display().to_string();
         let avail = input
@@ -401,6 +551,7 @@ impl ValueFileReader {
             cur_offset: 0,
             cur_len: 0,
             end_checked: false,
+            cancel,
             _guard: guard,
         })
     }
@@ -442,6 +593,9 @@ impl ValueFileReader {
     /// Reads the next record's length prefix; `Ok(None)` means the stream
     /// is exhausted (per the header count).
     fn next_len(&mut self) -> Result<Option<usize>> {
+        if let Some(cancel) = &self.cancel {
+            cancel.check("read")?;
+        }
         if self.produced >= self.total {
             self.verify_stream_end()?;
             return Ok(None);

@@ -13,6 +13,7 @@
 
 mod block;
 mod budget;
+pub mod cancel;
 mod crc32c;
 mod cursor;
 mod error;
@@ -23,6 +24,7 @@ mod format;
 mod frame;
 mod heap;
 mod manager;
+mod manifest;
 mod memory;
 mod prefetch;
 mod range;
@@ -30,6 +32,7 @@ mod tuple;
 
 pub use block::{BlockReader, IoOptions, ReadStats, DEFAULT_BLOCK_SIZE, MIN_BLOCK_SIZE};
 pub use budget::{FileBudget, OpenFileGuard};
+pub use cancel::CancelToken;
 pub use crc32c::{crc32c, Crc32c};
 pub use cursor::{collect_cursor, ValueCursor, ValueSetProvider};
 pub use error::{Result, ValueSetError};
@@ -44,8 +47,9 @@ pub use format::{write_value_file, ValueFileReader, ValueFileWriter};
 pub use heap::{key_prefix64, LazyMinHeap};
 pub use manager::{
     CompositeExport, ExportOptions, ExportedAttribute, ExportedComposite, ExportedDatabase,
-    FailedAttribute,
+    FailedAttribute, ResumeMode,
 };
+pub use manifest::{Manifest, ManifestEntry, MANIFEST_NAME};
 pub use memory::{MemoryCursor, MemoryProvider, MemoryValueSet};
 pub use prefetch::{PartitionCursor, SharedShard, SharedStreamProvider};
 pub use range::{RangeCursor, RangeProvider};

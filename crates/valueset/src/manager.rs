@@ -4,13 +4,41 @@
 
 use crate::block::{IoOptions, ReadStats};
 use crate::budget::FileBudget;
-use crate::cursor::ValueSetProvider;
+use crate::cursor::{ValueCursor, ValueSetProvider};
 use crate::error::Result;
 use crate::external_sort::{ExternalSorter, SortOptions};
 use crate::extract::{extract_composite_with_sorter, extract_with_sorter};
 use crate::format::ValueFileReader;
+use crate::manifest::{hash_column, Manifest, ManifestEntry};
 use ind_storage::{DataType, Database, QualifiedName};
 use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard};
+
+/// How [`ExportedDatabase::export`] treats a workdir that already holds
+/// value files from an earlier (possibly interrupted) run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResumeMode {
+    /// Rewrite every attribute from scratch (the default).
+    #[default]
+    Off,
+    /// Sweep orphaned `.tmp` files, validate every manifest entry with a
+    /// cheap header + footer read ([`crate::format`]'s self-verifying v2
+    /// seal), and re-export only attributes that are missing, torn, or
+    /// stale against the source data's content hash.
+    Reuse,
+    /// Like [`ResumeMode::Reuse`], but each reused file is fully drained
+    /// through a checksum-verifying reader (every frame CRC walked) —
+    /// `--resume verify`.
+    Verify,
+}
+
+/// Recovers a poisoned manifest mutex: the manifest is plain data, valid
+/// regardless of a panicking holder.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// Options controlling a database export.
 #[derive(Debug, Clone)]
@@ -31,6 +59,8 @@ pub struct ExportOptions {
     /// quarantined attribute keeps its id (dense indexing is preserved)
     /// but opening it yields the original error.
     pub keep_going: bool,
+    /// Resume an interrupted export from its workdir (see [`ResumeMode`]).
+    pub resume: ResumeMode,
 }
 
 impl Default for ExportOptions {
@@ -39,6 +69,7 @@ impl Default for ExportOptions {
             sort: SortOptions::default(),
             threads: 1,
             keep_going: false,
+            resume: ResumeMode::Off,
         }
     }
 }
@@ -86,6 +117,19 @@ impl ExportOptions {
     /// [`ExportOptions::keep_going`]).
     pub fn keep_going(mut self, keep_going: bool) -> Self {
         self.keep_going = keep_going;
+        self
+    }
+
+    /// Builder for the resume mode (see [`ResumeMode`]).
+    pub fn resume(mut self, mode: ResumeMode) -> Self {
+        self.resume = mode;
+        self
+    }
+
+    /// Attaches a cancellation token to every writer and cursor of this
+    /// export (see [`crate::CancelToken`]).
+    pub fn with_cancel(mut self, token: crate::cancel::CancelToken) -> Self {
+        self.sort.io.cancel = Some(token);
         self
     }
 
@@ -165,6 +209,32 @@ pub struct ExportedDatabase {
     /// [`crate::SortStats::key_compares`]).
     key_compares: u64,
     memcmp_compares: u64,
+    /// Resume accounting: attributes reused from the manifest, attributes
+    /// re-exported, and orphaned `.tmp` files swept.
+    exports_reused: u64,
+    exports_redone: u64,
+    orphans_swept: u64,
+}
+
+/// Full validation for `--resume verify`: drain the whole file through a
+/// checksum-verifying reader (every frame CRC checked against the chain)
+/// and confirm the record count the manifest promised.
+fn deep_verify(path: &Path, entry: &ManifestEntry, io: &IoOptions) -> Result<()> {
+    let mut io = io.clone();
+    io.verify_checksums = true;
+    let mut reader = ValueFileReader::open_with_options(path, &io)?;
+    let mut records = 0u64;
+    while reader.advance()? {
+        records += 1;
+    }
+    if records == entry.records {
+        Ok(())
+    } else {
+        Err(crate::error::ValueSetError::Corrupt {
+            context: path.display().to_string(),
+            detail: format!("manifest records {}, file drained {records}", entry.records),
+        })
+    }
 }
 
 impl ExportedDatabase {
@@ -194,6 +264,7 @@ impl ExportedDatabase {
             column: &'db [ind_storage::Value],
             path: PathBuf,
         }
+        #[allow(unused_mut)]
         let mut jobs: Vec<Job<'_>> = Vec::with_capacity(db.attribute_count());
         let mut id = 0u32;
         for table in db.tables() {
@@ -210,6 +281,120 @@ impl ExportedDatabase {
             }
         }
 
+        // A manifest entry vouches for a file only when every identity
+        // field matches the live schema, the SOURCE column still hashes to
+        // the recorded content hash, and the file itself passes its seal
+        // (cheap header+footer read, or a full frame-CRC drain under
+        // [`ResumeMode::Verify`]).
+        let reusable = |job: &Job<'_>, entry: &ManifestEntry| -> bool {
+            if entry.id != job.id
+                || entry.table != job.name.table
+                || entry.column != job.name.column
+                || entry.data_type != job.data_type
+                || entry.rows != job.rows
+                || entry.format_version != crate::frame::V2_VERSION
+                || entry.source_hash != hash_column(job.column)
+            {
+                return false;
+            }
+            match options.resume {
+                ResumeMode::Verify => deep_verify(&job.path, entry, &sort.io).is_ok(),
+                _ => crate::format::verify_file_quick(
+                    &job.path,
+                    entry.file_bytes,
+                    entry.records,
+                    sort.io.fault.as_ref(),
+                )
+                .is_ok(),
+            }
+        };
+
+        // Resume sweep: reclaim what an interrupted run left behind.
+        // Orphaned `.tmp` stages are deleted (the atomic-rename protocol
+        // guarantees a file under its FINAL name is always complete, so a
+        // `.tmp` is garbage by construction), stale spill runs are dropped,
+        // and every manifest entry whose source column still hashes the
+        // same and whose file passes its self-verifying seal is reused
+        // without re-sorting a single value.
+        let mut attributes: Vec<ExportedAttribute> = Vec::with_capacity(jobs.len());
+        let mut exports_reused = 0u64;
+        let mut exports_redone = 0u64;
+        let mut orphans_swept = 0u64;
+        let mut manifest = Manifest::new();
+        if options.resume != ResumeMode::Off {
+            let _scan = ind_trace::start_under(ind_trace::RESUME_SCAN, 0, export_parent);
+            if let Ok(listing) = std::fs::read_dir(dir) {
+                for entry in listing.flatten() {
+                    let name = entry.file_name();
+                    if name.to_string_lossy().ends_with(".tmp") {
+                        // lint: allow(swallowed_result) — a sweep race (file already gone) is success
+                        let _ = std::fs::remove_file(entry.path());
+                        orphans_swept += 1;
+                    }
+                }
+            }
+            // lint: allow(swallowed_result) — spill runs from a dead run are garbage; absence is success
+            let _ = std::fs::remove_dir_all(&spill_dir);
+            manifest = Manifest::load(dir).unwrap_or_default();
+            let mut pending = Vec::with_capacity(jobs.len());
+            for job in jobs {
+                let file = job
+                    .path
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                match manifest.get(&file) {
+                    Some(entry) if reusable(&job, entry) => {
+                        attributes.push(ExportedAttribute {
+                            id: job.id,
+                            name: job.name.clone(),
+                            data_type: job.data_type,
+                            rows: job.rows,
+                            non_null: entry.non_null,
+                            distinct: entry.distinct,
+                            min: entry.min.clone(),
+                            max: entry.max.clone(),
+                            path: job.path.clone(),
+                            file_bytes: entry.file_bytes,
+                        });
+                        exports_reused += 1;
+                    }
+                    _ => {
+                        exports_redone += 1;
+                        pending.push(job);
+                    }
+                }
+            }
+            // Entries for attributes no longer in the schema are pruned so
+            // the stored manifest always mirrors the live export set.
+            let live: Vec<String> = pending
+                .iter()
+                .map(|j| {
+                    j.path
+                        .file_name()
+                        .map(|n| n.to_string_lossy().into_owned())
+                        .unwrap_or_default()
+                })
+                .chain(attributes.iter().map(|a| {
+                    a.path
+                        .file_name()
+                        .map(|n| n.to_string_lossy().into_owned())
+                        .unwrap_or_default()
+                }))
+                .collect();
+            let stale: Vec<String> = manifest
+                .entries()
+                .iter()
+                .filter(|e| !live.contains(&e.file))
+                .map(|e| e.file.clone())
+                .collect();
+            for file in stale {
+                manifest.remove(&file);
+            }
+            jobs = pending;
+        }
+        let manifest = Mutex::new(manifest);
+
         // Each worker owns ONE sorter for its whole share of the export:
         // after the first attribute the arena and index are warm, so every
         // further column sorts with zero sorter allocations.
@@ -220,11 +405,14 @@ impl ExportedDatabase {
             // Parent the per-attribute span under the export span even from
             // worker threads (thread-local parenting stops at the spawn).
             let _span = ind_trace::start_under(ind_trace::SORT, u64::from(job.id), export_parent);
+            if let Some(cancel) = &sort.io.cancel {
+                cancel.check("export")?;
+            }
             let stats = extract_with_sorter(job.column, &job.path, sorter)?;
             key_compares.fetch_add(stats.key_compares, std::sync::atomic::Ordering::Relaxed);
             memcmp_compares.fetch_add(stats.memcmp_compares, std::sync::atomic::Ordering::Relaxed);
             ind_trace::add_counter(ind_trace::Counter::AttributesExported, 1);
-            Ok(ExportedAttribute {
+            let attr = ExportedAttribute {
                 id: job.id,
                 name: job.name.clone(),
                 data_type: job.data_type,
@@ -235,7 +423,35 @@ impl ExportedDatabase {
                 max: stats.max,
                 path: job.path.clone(),
                 file_bytes: stats.file_bytes,
-            })
+            };
+            // Publish the manifest entry IMMEDIATELY after the attribute's
+            // rename lands: a crash between two attributes then loses at
+            // most the in-flight one, and `--resume` reuses the rest.
+            {
+                let mut manifest = lock(&manifest);
+                manifest.upsert(ManifestEntry {
+                    file: job
+                        .path
+                        .file_name()
+                        .map(|n| n.to_string_lossy().into_owned())
+                        .unwrap_or_default(),
+                    id: job.id,
+                    table: job.name.table.clone(),
+                    column: job.name.column.clone(),
+                    data_type: job.data_type,
+                    rows: job.rows,
+                    non_null: attr.non_null,
+                    distinct: attr.distinct,
+                    min: attr.min.clone(),
+                    max: attr.max.clone(),
+                    file_bytes: attr.file_bytes,
+                    records: attr.distinct,
+                    format_version: crate::frame::V2_VERSION,
+                    source_hash: hash_column(job.column),
+                });
+                manifest.store(dir, sort.io.fault.as_ref())?;
+            }
+            Ok(attr)
         };
 
         // Quarantine path for keep-going exports: reset the sorter (a
@@ -249,6 +465,11 @@ impl ExportedDatabase {
             sorter.reset();
             // lint: allow(swallowed_result) — the attribute is already quarantined; its partial file is best-effort garbage
             let _ = std::fs::remove_file(&job.path);
+            // lint: allow(swallowed_result) — atomic creation stages at `<path>.tmp`; sweep it with the same shrug
+            let _ = std::fs::remove_file(crate::format::tmp_path(&job.path));
+            if let Some(file) = job.path.file_name() {
+                lock(&manifest).remove(&file.to_string_lossy());
+            }
             (
                 ExportedAttribute {
                     id: job.id,
@@ -271,14 +492,18 @@ impl ExportedDatabase {
         };
 
         let threads = options.threads.max(1).min(jobs.len().max(1));
-        let mut attributes: Vec<ExportedAttribute> = Vec::with_capacity(jobs.len());
         let mut failed: Vec<FailedAttribute> = Vec::new();
         if threads <= 1 {
             let mut sorter = ExternalSorter::new(&spill_dir, sort.clone())?;
             for job in &jobs {
                 match run_job(job, &mut sorter) {
                     Ok(attr) => attributes.push(attr),
-                    Err(e) if options.keep_going => {
+                    // Cancellation is a STOP, not a data fault: quarantining
+                    // it would record healthy attributes as failed.
+                    Err(e)
+                        if options.keep_going
+                            && !matches!(e, crate::error::ValueSetError::Cancelled { .. }) =>
+                    {
                         let (attr, failure) = quarantine(job, &mut sorter, e);
                         attributes.push(attr);
                         failed.push(failure);
@@ -311,7 +536,13 @@ impl ExportedDatabase {
                                 };
                                 match run_job(job, &mut sorter) {
                                     Ok(attr) => done.push(attr),
-                                    Err(e) if options.keep_going => {
+                                    Err(e)
+                                        if options.keep_going
+                                            && !matches!(
+                                                e,
+                                                crate::error::ValueSetError::Cancelled { .. }
+                                            ) =>
+                                    {
                                         let (attr, failure) = quarantine(job, &mut sorter, e);
                                         done.push(attr);
                                         lost.push(failure);
@@ -335,9 +566,11 @@ impl ExportedDatabase {
                 attributes.extend(done);
                 failed.extend(lost);
             }
-            attributes.sort_by_key(|a| a.id);
             failed.sort_by_key(|f| f.id);
         }
+        // Reused and freshly exported attributes interleave in arbitrary
+        // order; dense-by-id is the contract either way.
+        attributes.sort_by_key(|a| a.id);
 
         // lint: allow(swallowed_result) — best-effort cleanup of an empty spill dir; the export already succeeded
         let _ = std::fs::remove_dir_all(&spill_dir); // empty after successful export
@@ -350,6 +583,9 @@ impl ExportedDatabase {
             read_stats,
             key_compares: key_compares.into_inner(),
             memcmp_compares: memcmp_compares.into_inner(),
+            exports_reused,
+            exports_redone,
+            orphans_swept,
         })
     }
 
@@ -472,6 +708,23 @@ impl ExportedDatabase {
         self.memcmp_compares
     }
 
+    /// Attributes reused from the durable manifest by a `--resume` run
+    /// (their value files passed validation; not a byte was re-sorted).
+    pub fn exports_reused(&self) -> u64 {
+        self.exports_reused
+    }
+
+    /// Attributes a `--resume` run had to (re-)export: missing from the
+    /// manifest, torn, checksum-invalid, or stale against the source hash.
+    pub fn exports_redone(&self) -> u64 {
+        self.exports_redone
+    }
+
+    /// Orphaned `.tmp` staging files swept by the resume scan.
+    pub fn orphans_swept(&self) -> u64 {
+        self.orphans_swept
+    }
+
     /// A handle on the shared counters themselves (for the shared-stream
     /// provider's worker threads).
     pub(crate) fn read_stats(&self) -> ReadStats {
@@ -568,6 +821,9 @@ impl CompositeExport {
             }
             let path = dir.join(format!("comp-{id:05}.indv"));
             let _sort_span = ind_trace::start_arg(ind_trace::SORT, id as u64);
+            if let Some(cancel) = &sort.io.cancel {
+                cancel.check("export")?;
+            }
             let stats = extract_composite_with_sorter(&columns, &path, &mut sorter)?;
             ind_trace::add_counter(ind_trace::Counter::AttributesExported, 1);
             composites.push(ExportedComposite {
@@ -924,5 +1180,132 @@ mod tests {
         b.advance().unwrap();
         assert_eq!(a.current(), b"2");
         assert_eq!(b.current(), b"1");
+    }
+
+    #[test]
+    fn resume_reuses_valid_exports_and_sweeps_orphans() {
+        let dir = TempDir::new("resume-reuse");
+        let db = sample_db();
+        let first = ExportedDatabase::export(&db, dir.path(), &ExportOptions::default()).unwrap();
+        let before: Vec<Vec<u8>> = first
+            .attributes()
+            .iter()
+            .map(|a| std::fs::read(&a.path).unwrap())
+            .collect();
+        std::fs::write(dir.path().join("attr-99999.indv.tmp"), b"torn stage").unwrap();
+
+        let resumed = ExportedDatabase::export(
+            &db,
+            dir.path(),
+            &ExportOptions::default().resume(ResumeMode::Reuse),
+        )
+        .unwrap();
+        assert_eq!(resumed.exports_reused(), 4);
+        assert_eq!(resumed.exports_redone(), 0);
+        assert_eq!(resumed.orphans_swept(), 1);
+        assert!(!dir.path().join("attr-99999.indv.tmp").exists());
+
+        // Reconstructed metadata and file bytes match the original export.
+        let after: Vec<Vec<u8>> = resumed
+            .attributes()
+            .iter()
+            .map(|a| std::fs::read(&a.path).unwrap())
+            .collect();
+        assert_eq!(before, after);
+        for (a, b) in first.attributes().iter().zip(resumed.attributes()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.name.to_string(), b.name.to_string());
+            assert_eq!(a.data_type, b.data_type);
+            assert_eq!(a.rows, b.rows);
+            assert_eq!(a.non_null, b.non_null);
+            assert_eq!(a.distinct, b.distinct);
+            assert_eq!(a.min, b.min);
+            assert_eq!(a.max, b.max);
+            assert_eq!(a.file_bytes, b.file_bytes);
+        }
+        // Reused attributes open and read like freshly exported ones.
+        let values = collect_cursor(resumed.open(3).unwrap()).unwrap();
+        assert_eq!(values, vec![b"1".to_vec(), b"3".to_vec()]);
+    }
+
+    #[test]
+    fn resume_redoes_stale_and_torn_attributes() {
+        let dir = TempDir::new("resume-redo");
+        ExportedDatabase::export(&sample_db(), dir.path(), &ExportOptions::default()).unwrap();
+        // Tear a byte off one published file: its self-verifying seal
+        // (size formula + footer) fails quick validation.
+        let torn = dir.path().join("attr-00002.indv");
+        let bytes = std::fs::read(&torn).unwrap();
+        std::fs::write(&torn, &bytes[..bytes.len() - 1]).unwrap();
+
+        // Same schema, different data in u.ref: the old attr-00003 file is
+        // intact but its source-content hash no longer matches.
+        let mut db2 = sample_db();
+        db2.table_mut("u").unwrap().insert(vec![9.into()]).unwrap();
+
+        let resumed = ExportedDatabase::export(
+            &db2,
+            dir.path(),
+            &ExportOptions::default().resume(ResumeMode::Reuse),
+        )
+        .unwrap();
+        assert_eq!(resumed.exports_reused(), 2, "t.id and t.label reuse");
+        assert_eq!(resumed.exports_redone(), 2, "torn t.blob + stale u.ref");
+        let values = collect_cursor(resumed.open(3).unwrap()).unwrap();
+        assert_eq!(values, vec![b"1".to_vec(), b"3".to_vec(), b"9".to_vec()]);
+        let blob = collect_cursor(resumed.open(2).unwrap()).unwrap();
+        assert_eq!(blob, vec![b"xxxx".to_vec()]);
+    }
+
+    #[test]
+    fn cancelled_export_is_resumable_and_never_quarantined() {
+        let dir = TempDir::new("cancel-resume");
+        let db = sample_db();
+        let options =
+            ExportOptions::default().with_cancel(crate::cancel::CancelToken::cancel_after(5));
+        let err = ExportedDatabase::export(&db, dir.path(), &options).unwrap_err();
+        assert!(
+            matches!(err, crate::error::ValueSetError::Cancelled { .. }),
+            "{err}"
+        );
+
+        // keep-going treats cancellation as a stop, not a data fault: no
+        // quarantine, the error still surfaces.
+        let options = ExportOptions::default()
+            .keep_going(true)
+            .with_cancel(crate::cancel::CancelToken::cancel_after(5));
+        let err = ExportedDatabase::export(&db, dir.path(), &options).unwrap_err();
+        assert!(
+            matches!(err, crate::error::ValueSetError::Cancelled { .. }),
+            "{err}"
+        );
+
+        // Resume (with the deep frame-CRC walk) completes the export; the
+        // attributes published before the budget ran out are reused.
+        let resumed = ExportedDatabase::export(
+            &db,
+            dir.path(),
+            &ExportOptions::default().resume(ResumeMode::Verify),
+        )
+        .unwrap();
+        assert_eq!(resumed.exports_reused() + resumed.exports_redone(), 4);
+        assert!(resumed.exports_reused() >= 1, "first publish survived");
+        for entry in std::fs::read_dir(dir.path()).unwrap().flatten() {
+            assert!(
+                !entry.file_name().to_string_lossy().ends_with(".tmp"),
+                "orphan stage survived resume"
+            );
+        }
+
+        // Byte-identical to an uninterrupted export.
+        let clean_dir = TempDir::new("cancel-resume-clean");
+        let clean =
+            ExportedDatabase::export(&db, clean_dir.path(), &ExportOptions::default()).unwrap();
+        for (a, b) in clean.attributes().iter().zip(resumed.attributes()) {
+            assert_eq!(
+                std::fs::read(&a.path).unwrap(),
+                std::fs::read(&b.path).unwrap()
+            );
+        }
     }
 }

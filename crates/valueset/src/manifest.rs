@@ -1,0 +1,453 @@
+//! The durable export manifest: one `MANIFEST.json` per workdir recording,
+//! for every exported attribute, the content hash of its source column,
+//! the value file's byte size, its record count, and the on-disk format
+//! version.
+//!
+//! Together with atomic value-file publication (tmp + rename + directory
+//! fsync, [`crate::ValueFileWriter::create_atomic_with_options`]) the
+//! manifest makes an interrupted export *resumable*: on `--resume` the
+//! export sweeps orphaned `.tmp` files, verifies each manifest entry
+//! against its file's self-verifying footer, and re-exports only what is
+//! missing or invalid. The manifest itself is published with the same
+//! tmp + rename + fsync protocol, so a reader never observes a torn
+//! manifest — at worst a missing one, which merely disables reuse.
+//!
+//! This file is also the seam for a future content-addressed store: every
+//! entry already carries a source-content hash, so exports keyed by hash
+//! instead of attribute id are a rename away.
+
+use crate::error::{Result, ValueSetError};
+use ind_storage::{DataType, Value};
+use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::Arc;
+
+/// File name of the manifest inside an export workdir.
+pub const MANIFEST_NAME: &str = "MANIFEST.json";
+
+/// Manifest schema version (bump on incompatible layout changes; readers
+/// reject other versions, which simply disables reuse).
+const MANIFEST_VERSION: u64 = 1;
+
+/// One exported attribute's durable record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Value file name relative to the workdir (`attr-00042.indv`).
+    pub file: String,
+    /// Dense attribute id.
+    pub id: u32,
+    /// Owning table name.
+    pub table: String,
+    /// Column name.
+    pub column: String,
+    /// Declared column type.
+    pub data_type: DataType,
+    /// Rows in the owning table.
+    pub rows: u64,
+    /// Non-null occurrences, `|v(a)|`.
+    pub non_null: u64,
+    /// Distinct values, `|s(a)|`.
+    pub distinct: u64,
+    /// Smallest canonical value (hex-encoded on disk), if any.
+    pub min: Option<Vec<u8>>,
+    /// Largest canonical value (hex-encoded on disk), if any.
+    pub max: Option<Vec<u8>>,
+    /// Byte size of the value file, recorded at write time.
+    pub file_bytes: u64,
+    /// Records in the value file (its footer count).
+    pub records: u64,
+    /// On-disk format version of the value file.
+    pub format_version: u32,
+    /// FNV-1a hash of the source column's canonical bytes (nulls
+    /// included as markers), so stale files are detected when the input
+    /// data changes between runs.
+    pub source_hash: u64,
+}
+
+/// The parsed (or in-construction) manifest of one export workdir.
+#[derive(Debug, Clone, Default)]
+pub struct Manifest {
+    entries: Vec<ManifestEntry>,
+}
+
+/// 64-bit FNV-1a, the workspace's no-dependency content hash.
+#[derive(Debug, Clone)]
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Content hash of one source column: every cell in row order, nulls as
+/// a marker byte, non-nulls as their length-prefixed canonical rendering
+/// (the exact bytes the export writes). Deterministic across runs and
+/// thread counts by construction.
+pub(crate) fn hash_column(column: &[Value]) -> u64 {
+    let mut hash = Fnv1a::new();
+    let mut buf = Vec::new();
+    for value in column {
+        if value.is_null() {
+            hash.update(&[0xFF]);
+        } else {
+            buf.clear();
+            value.render_canonical(&mut buf);
+            hash.update(&(buf.len() as u64).to_le_bytes());
+            hash.update(&buf);
+        }
+    }
+    hash.finish()
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        // lint: allow(no_unwrap) — fmt writes into a String are infallible
+        write!(out, "{b:02x}").expect("write to String cannot fail");
+    }
+    out
+}
+
+fn hex_decode(text: &str) -> Option<Vec<u8>> {
+    if !text.len().is_multiple_of(2) {
+        return None;
+    }
+    let bytes = text.as_bytes();
+    let mut out = Vec::with_capacity(text.len() / 2);
+    for pair in bytes.chunks(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push((hi * 16 + lo) as u8);
+    }
+    Some(out)
+}
+
+/// JSON string escaping for the hand-rolled renderer.
+fn escape_json(text: &str, out: &mut String) {
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                // lint: allow(no_unwrap) — fmt writes into a String are infallible
+                write!(out, "\\u{:04x}", c as u32).expect("write to String cannot fail");
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl ManifestEntry {
+    fn render(&self, out: &mut String) {
+        out.push_str("    {\"file\": ");
+        escape_json(&self.file, out);
+        // lint: allow(no_unwrap) — fmt writes into a String are infallible
+        write!(out, ", \"id\": {}, \"table\": ", self.id).expect("write to String cannot fail");
+        escape_json(&self.table, out);
+        out.push_str(", \"column\": ");
+        escape_json(&self.column, out);
+        out.push_str(", \"data_type\": ");
+        escape_json(self.data_type.name(), out);
+        write!(
+            out,
+            ", \"rows\": {}, \"non_null\": {}, \"distinct\": {}",
+            self.rows, self.non_null, self.distinct
+        )
+        // lint: allow(no_unwrap) — fmt writes into a String are infallible
+        .expect("write to String cannot fail");
+        for (key, bound) in [("min", &self.min), ("max", &self.max)] {
+            match bound {
+                Some(bytes) => {
+                    write!(out, ", \"{key}\": \"{}\"", hex_encode(bytes))
+                        // lint: allow(no_unwrap) — fmt writes into a String are infallible
+                        .expect("write to String cannot fail");
+                }
+                None => {
+                    // lint: allow(no_unwrap) — fmt writes into a String are infallible
+                    write!(out, ", \"{key}\": null").expect("write to String cannot fail");
+                }
+            }
+        }
+        write!(
+            out,
+            ", \"file_bytes\": {}, \"records\": {}, \"format_version\": {}, \"source_hash\": {}}}",
+            self.file_bytes, self.records, self.format_version, self.source_hash
+        )
+        // lint: allow(no_unwrap) — fmt writes into a String are infallible
+        .expect("write to String cannot fail");
+    }
+
+    fn from_json(json: &ind_trace::json::Json) -> Option<ManifestEntry> {
+        let bound = |key: &str| -> Option<Option<Vec<u8>>> {
+            match json.get(key)? {
+                ind_trace::json::Json::Null => Some(None),
+                other => Some(Some(hex_decode(other.as_str()?)?)),
+            }
+        };
+        Some(ManifestEntry {
+            file: json.get("file")?.as_str()?.to_string(),
+            id: u32::try_from(json.get("id")?.as_u64()?).ok()?,
+            table: json.get("table")?.as_str()?.to_string(),
+            column: json.get("column")?.as_str()?.to_string(),
+            data_type: DataType::from_name(json.get("data_type")?.as_str()?)?,
+            rows: json.get("rows")?.as_u64()?,
+            non_null: json.get("non_null")?.as_u64()?,
+            distinct: json.get("distinct")?.as_u64()?,
+            min: bound("min")?,
+            max: bound("max")?,
+            file_bytes: json.get("file_bytes")?.as_u64()?,
+            records: json.get("records")?.as_u64()?,
+            format_version: u32::try_from(json.get("format_version")?.as_u64()?).ok()?,
+            source_hash: json.get("source_hash")?.as_u64()?,
+        })
+    }
+}
+
+impl Manifest {
+    /// An empty manifest.
+    pub fn new() -> Self {
+        Manifest::default()
+    }
+
+    /// Entries, sorted by file name.
+    pub fn entries(&self) -> &[ManifestEntry] {
+        &self.entries
+    }
+
+    /// The entry for `file`, if recorded.
+    pub fn get(&self, file: &str) -> Option<&ManifestEntry> {
+        self.entries
+            .binary_search_by(|e| e.file.as_str().cmp(file))
+            .ok()
+            .map(|i| &self.entries[i])
+    }
+
+    /// Inserts or replaces the entry for `entry.file`.
+    pub fn upsert(&mut self, entry: ManifestEntry) {
+        match self
+            .entries
+            .binary_search_by(|e| e.file.as_str().cmp(entry.file.as_str()))
+        {
+            Ok(i) => self.entries[i] = entry,
+            Err(i) => self.entries.insert(i, entry),
+        }
+    }
+
+    /// Drops the entry for `file`, if present (the file was quarantined
+    /// or deleted; a stale claim would only cost a failed validation on
+    /// the next resume, but dropping it keeps the manifest honest).
+    pub fn remove(&mut self, file: &str) {
+        if let Ok(i) = self.entries.binary_search_by(|e| e.file.as_str().cmp(file)) {
+            self.entries.remove(i);
+        }
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Renders the manifest as JSON (one entry per line, keys in a fixed
+    /// order, entries sorted by file name — byte-deterministic).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        write!(
+            out,
+            "{{\n  \"manifest_version\": {MANIFEST_VERSION},\n  \"entries\": ["
+        )
+        // lint: allow(no_unwrap) — fmt writes into a String are infallible
+        .expect("write to String cannot fail");
+        for (i, entry) in self.entries.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            entry.render(&mut out);
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Parses a manifest document; `None` for anything malformed or of
+    /// another manifest version (which merely disables reuse — a manifest
+    /// is an optimization record, never a source of truth over footers).
+    pub fn from_json(text: &str) -> Option<Manifest> {
+        let json = match ind_trace::json::parse(text) {
+            Ok(json) => json,
+            Err(_) => return None,
+        };
+        if json.get("manifest_version")?.as_u64()? != MANIFEST_VERSION {
+            return None;
+        }
+        let mut entries = Vec::new();
+        for item in json.get("entries")?.as_arr()? {
+            entries.push(ManifestEntry::from_json(item)?);
+        }
+        entries.sort_by(|a, b| a.file.cmp(&b.file));
+        entries.dedup_by(|a, b| a.file == b.file);
+        Some(Manifest { entries })
+    }
+
+    /// Loads the manifest of `dir`; `None` when absent or invalid.
+    pub fn load(dir: &Path) -> Option<Manifest> {
+        let text = match std::fs::read_to_string(dir.join(MANIFEST_NAME)) {
+            Ok(text) => text,
+            // Missing or unreadable only disables reuse.
+            Err(_) => return None,
+        };
+        Manifest::from_json(&text)
+    }
+
+    /// Publishes the manifest durably: written to `MANIFEST.json.tmp`,
+    /// fsynced, renamed into place, directory fsynced — the same protocol
+    /// as the value files, so a crash at any point leaves either the
+    /// previous manifest or the new one, never a torn hybrid. All writes
+    /// and fsyncs go through the fault layer.
+    pub fn store(&self, dir: &Path, fault: Option<&Arc<crate::fault::FaultPlan>>) -> Result<()> {
+        let final_path = dir.join(MANIFEST_NAME);
+        let tmp = crate::format::tmp_path(&final_path);
+        crate::fault::check_open(&tmp, fault)?;
+        let mut file = crate::fault::create_file(&tmp)?;
+        crate::fault::write_all(&mut file, self.to_json().as_bytes(), &tmp, fault, None)?;
+        crate::fault::sync_all(&file, &tmp, fault)?;
+        std::fs::rename(&tmp, &final_path)
+            .map_err(|e| ValueSetError::Io(crate::fault::annotate(&tmp, e)))?;
+        crate::fault::sync_dir(dir, fault)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ind_testkit::TempDir;
+
+    fn entry(file: &str, id: u32) -> ManifestEntry {
+        ManifestEntry {
+            file: file.to_string(),
+            id,
+            table: "t".to_string(),
+            column: format!("c{id}"),
+            data_type: DataType::Integer,
+            rows: 10,
+            non_null: 9,
+            distinct: 7,
+            min: Some(b"1".to_vec()),
+            max: Some(b"99".to_vec()),
+            file_bytes: 1234,
+            records: 7,
+            format_version: 2,
+            source_hash: 0xdead_beef_cafe_f00d,
+        }
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let mut m = Manifest::new();
+        m.upsert(entry("attr-00001.indv", 1));
+        m.upsert(entry("attr-00000.indv", 0));
+        let mut odd = entry("attr-00002.indv", 2);
+        odd.min = None;
+        odd.max = None;
+        odd.table = "we\"ird\\tab\nle".to_string();
+        odd.data_type = DataType::Text;
+        m.upsert(odd);
+        let parsed = Manifest::from_json(&m.to_json()).expect("round trip");
+        assert_eq!(parsed.entries(), m.entries());
+        assert_eq!(parsed.get("attr-00001.indv").unwrap().id, 1);
+        assert!(parsed.get("attr-00009.indv").is_none());
+    }
+
+    #[test]
+    fn upsert_replaces_by_file_name() {
+        let mut m = Manifest::new();
+        m.upsert(entry("attr-00000.indv", 0));
+        let mut replacement = entry("attr-00000.indv", 0);
+        replacement.distinct = 99;
+        m.upsert(replacement);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get("attr-00000.indv").unwrap().distinct, 99);
+    }
+
+    #[test]
+    fn malformed_documents_disable_reuse() {
+        assert!(Manifest::from_json("").is_none());
+        assert!(Manifest::from_json("{}").is_none());
+        assert!(Manifest::from_json("{\"manifest_version\": 999, \"entries\": []}").is_none());
+        assert!(
+            Manifest::from_json("{\"manifest_version\": 1, \"entries\": [{\"file\": 3}]}")
+                .is_none()
+        );
+        assert!(Manifest::load(Path::new("/nonexistent")).is_none());
+    }
+
+    #[test]
+    fn store_publishes_atomically_and_loads_back() {
+        let dir = TempDir::new("manifest-store");
+        let mut m = Manifest::new();
+        m.upsert(entry("attr-00000.indv", 0));
+        m.store(dir.path(), None).unwrap();
+        assert!(dir.join(MANIFEST_NAME).exists());
+        assert!(!dir.join("MANIFEST.json.tmp").exists(), "tmp renamed away");
+        let loaded = Manifest::load(dir.path()).expect("loads");
+        assert_eq!(loaded.entries(), m.entries());
+
+        // Re-store with more entries: replaces, still no tmp left behind.
+        m.upsert(entry("attr-00001.indv", 1));
+        m.store(dir.path(), None).unwrap();
+        assert_eq!(Manifest::load(dir.path()).unwrap().len(), 2);
+        assert!(!dir.join("MANIFEST.json.tmp").exists());
+    }
+
+    #[test]
+    fn injected_fsync_failure_surfaces_on_store() {
+        let dir = TempDir::new("manifest-fsync");
+        let plan = Arc::new(crate::fault::FaultPlan::parse("fsync:MANIFEST:fail").unwrap());
+        let mut m = Manifest::new();
+        m.upsert(entry("attr-00000.indv", 0));
+        let err = m.store(dir.path(), Some(&plan)).expect_err("fsync fails");
+        assert!(err.to_string().contains("injected fsync"), "{err}");
+        assert!(
+            Manifest::load(dir.path()).is_none(),
+            "a failed publish leaves no manifest under the final name"
+        );
+    }
+
+    #[test]
+    fn column_hash_tracks_content_not_layout() {
+        use ind_storage::Value;
+        let a = vec![Value::Integer(1), Value::Null, Value::from("xy")];
+        let b = vec![Value::Integer(1), Value::Null, Value::from("xy")];
+        assert_eq!(hash_column(&a), hash_column(&b));
+        let c = vec![Value::Integer(1), Value::Null, Value::from("xz")];
+        assert_ne!(hash_column(&a), hash_column(&c));
+        // Length prefixes keep concatenation ambiguity out of the hash.
+        let d = vec![Value::from("ab"), Value::from("c")];
+        let e = vec![Value::from("a"), Value::from("bc")];
+        assert_ne!(hash_column(&d), hash_column(&e));
+        assert_ne!(
+            hash_column(&[Value::Null]),
+            hash_column(&[] as &[Value]),
+            "nulls are part of the content"
+        );
+    }
+}

@@ -10,6 +10,7 @@
 //!                           [--prefetch] [--direct-io]
 //!                           [--workdir DIR] [--max-arity N]
 //!                           [--keep-going] [--fault-plan SPEC]
+//!                           [--resume [verify]] [--deadline DUR]
 //!                           [--report FILE] [--trace-folded FILE] [--progress]
 //! spider-ind fks      <dir>
 //! ```
@@ -22,6 +23,15 @@
 //! `degraded: {...}` JSON line, and exits with status 2 when anything was
 //! actually quarantined. `--fault-plan` injects I/O faults for testing
 //! (see `ind_valueset::FaultPlan`).
+//!
+//! `--resume` (on-disk, needs an explicit `--workdir`) reuses value files
+//! a previous run already published — verified against the workdir's
+//! `MANIFEST.json` — and re-exports only what is missing or stale;
+//! `--resume verify` additionally re-walks every reused file's checksums.
+//! `--deadline DUR` (`500ms`, `30s`, `2m`) cancels the run cooperatively
+//! when the budget expires; SIGINT does the same. A cancelled run flushes
+//! its `--report` with a `cancelled` section, leaves the workdir
+//! resumable, and exits with status 3.
 //!
 //! Databases are directories in the TSV format of `ind_storage::tsv`
 //! (`schema.txt` + one `.tsv` per table); `generate` creates them.
@@ -59,6 +69,11 @@ macro_rules! outln {
 /// quarantine at least one attribute: distinct from both success (0) and
 /// hard failure (1) so scripts can tell a degraded answer from a dead one.
 const EXIT_DEGRADED: u8 = 2;
+
+/// Exit status of a run stopped by `--deadline` expiry or SIGINT: the
+/// answer is incomplete but the workdir was drained to a consistent state
+/// and can be finished with `--resume`.
+const EXIT_CANCELLED: u8 = 3;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -99,6 +114,7 @@ fn print_usage() {
          \x20                     [--on-disk] [--block-size SIZE] [--memory-budget SIZE]\n\
          \x20                     [--prefetch] [--direct-io]\n\
          \x20                     [--workdir DIR] [--max-arity N]\n\
+         \x20                     [--resume [verify]] [--deadline DUR]\n\
          \x20     Discover all satisfied INDs. `--threads` sets the worker\n\
          \x20     count of the parallel algorithms (bfpar, spiderpar).\n\
          \x20     `--on-disk` runs the paper's actual pipeline over sorted\n\
@@ -122,6 +138,15 @@ fn print_usage() {
          \x20     when anything was quarantined. `--fault-plan SPEC`\n\
          \x20     injects I/O faults for testing, e.g.\n\
          \x20     `read:attr-00001:flip=40,write:*:eintr@3`.\n\
+         \x20     `--resume` (on-disk, explicit `--workdir`) reuses the\n\
+         \x20     value files a previous run already published under the\n\
+         \x20     workdir's MANIFEST.json and re-exports only what is\n\
+         \x20     missing or stale; `--resume verify` re-walks every\n\
+         \x20     reused file's checksums first. `--deadline DUR` (500ms,\n\
+         \x20     30s, 2m) cancels the run when the budget expires, as\n\
+         \x20     does SIGINT; a cancelled run flushes `--report` with a\n\
+         \x20     `cancelled` section, leaves the workdir resumable, and\n\
+         \x20     exits with status 3.\n\
          \x20     Observability: `--report FILE` writes a versioned JSON\n\
          \x20     run report (phase span tree + all counters),\n\
          \x20     `--trace-folded FILE` writes flamegraph-compatible\n\
@@ -176,6 +201,71 @@ fn parse_size(text: &str) -> Result<u64, String> {
     value
         .checked_mul(1u64 << shift)
         .ok_or_else(|| format!("`{text}`: size overflows 64 bits"))
+}
+
+/// Parses a human-readable duration: a bare integer means seconds
+/// (`30`), or an integer with a unit suffix — `ms`, `s`, or `m`
+/// (`500ms`, `30s`, `2m`). Case-insensitive.
+fn parse_duration(text: &str) -> Result<std::time::Duration, String> {
+    let trimmed = text.trim();
+    let digits_end = trimmed
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(trimmed.len());
+    let (digits, suffix) = trimmed.split_at(digits_end);
+    if digits.is_empty() {
+        return Err(format!(
+            "`{text}`: expected a duration like 500ms, 30s, or 2m"
+        ));
+    }
+    let value: u64 = digits
+        .parse()
+        .map_err(|_| format!("`{text}`: number out of range"))?;
+    match suffix.trim().to_ascii_lowercase().as_str() {
+        "ms" => Ok(std::time::Duration::from_millis(value)),
+        "" | "s" => Ok(std::time::Duration::from_secs(value)),
+        "m" | "min" => value
+            .checked_mul(60)
+            .map(std::time::Duration::from_secs)
+            .ok_or_else(|| format!("`{text}`: duration overflows 64 bits")),
+        other => Err(format!(
+            "`{text}`: unknown duration unit `{other}` (use ms, s, or m)"
+        )),
+    }
+}
+
+/// Parses `--resume [verify]`: absent means off, bare `--resume` reuses
+/// manifest-verified exports after a cheap header/footer check, and
+/// `--resume verify` re-walks every reused file's frame checksums first.
+fn parse_resume(args: &[String]) -> Result<spider_ind::valueset::ResumeMode, String> {
+    use spider_ind::valueset::ResumeMode;
+    match args.iter().position(|a| a == "--resume") {
+        None => Ok(ResumeMode::Off),
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some("verify") => Ok(ResumeMode::Verify),
+            // The database directory is always the first operand, so a
+            // non-flag token right after `--resume` can only be a typo'd
+            // mode — reject it instead of silently ignoring it.
+            Some(other) if !other.starts_with("--") => Err(format!(
+                "--resume: unknown mode `{other}` (use bare `--resume` or `--resume verify`)"
+            )),
+            _ => Ok(ResumeMode::Reuse),
+        },
+    }
+}
+
+/// Builds the run's [`spider_ind::valueset::CancelToken`]: armed with the
+/// `--deadline` budget when given, and always watching SIGINT so Ctrl-C
+/// drains the pipeline to a consistent, resumable stop instead of killing
+/// it mid-write.
+fn cancel_token_from_args(args: &[String]) -> Result<spider_ind::valueset::CancelToken, String> {
+    let token = match flag_str_value(args, "--deadline")? {
+        Some(text) => spider_ind::valueset::CancelToken::with_deadline(
+            parse_duration(text).map_err(|e| format!("--deadline: {e}"))?,
+        ),
+        None => spider_ind::valueset::CancelToken::new(),
+    };
+    token.watch_sigint();
+    Ok(token)
 }
 
 /// [`flag_value`] accepting [`parse_size`]-style human-readable sizes.
@@ -277,8 +367,29 @@ fn degraded_json(report: &spider_ind::core::DegradedReport) -> String {
 }
 
 /// Version stamp of the `--report` JSON shape. Bump on any breaking
-/// change to the report's keys.
+/// change to the report's keys. The `cancelled` section is additive —
+/// present only on cancelled runs — so it does not bump the version.
 const REPORT_VERSION: u64 = 1;
+
+/// How far a cancelled run got before it drained to a stop: recorded in
+/// the report's `cancelled` section so scripts can tell a run that died
+/// during export from one that died mid-merge.
+struct CancelledInfo {
+    phase: String,
+    attributes_exported: u64,
+    candidates_surviving: u64,
+}
+
+impl CancelledInfo {
+    fn capture(cancel: &spider_ind::valueset::CancelToken) -> CancelledInfo {
+        let progress = spider_ind::trace::progress();
+        CancelledInfo {
+            phase: cancel.phase().unwrap_or("unknown").to_string(),
+            attributes_exported: progress.attributes_exported,
+            candidates_surviving: progress.candidates_live,
+        }
+    }
+}
 
 /// The observability flags shared by every discover path: `--report FILE`
 /// (versioned JSON run report), `--trace-folded FILE` (flamegraph folded
@@ -351,11 +462,12 @@ impl TraceArgs {
         trace: &spider_ind::trace::Trace,
         metrics: &spider_ind::core::RunMetrics,
         degraded: Option<&spider_ind::core::DegradedReport>,
+        cancelled: Option<&CancelledInfo>,
         dir: &str,
         args: &[String],
     ) -> Result<(), String> {
         if let Some(path) = &self.report {
-            let report = run_report_json(trace, metrics, degraded, dir, args);
+            let report = run_report_json(trace, metrics, degraded, cancelled, dir, args);
             std::fs::write(path, report)
                 .map_err(|e| format!("writing report {}: {e}", path.display()))?;
         }
@@ -404,6 +516,7 @@ fn run_report_json(
     trace: &spider_ind::trace::Trace,
     metrics: &spider_ind::core::RunMetrics,
     degraded: Option<&spider_ind::core::DegradedReport>,
+    cancelled: Option<&CancelledInfo>,
     dir: &str,
     args: &[String],
 ) -> String {
@@ -424,6 +537,15 @@ fn run_report_json(
         "  \"degraded\": {},\n",
         degraded.map_or_else(|| "null".to_string(), degraded_json)
     ));
+    if let Some(c) = cancelled {
+        out.push_str(&format!(
+            "  \"cancelled\": {{\"phase\": \"{}\", \"attributes_exported\": {}, \
+             \"candidates_surviving\": {}}},\n",
+            json_escape(&c.phase),
+            c.attributes_exported,
+            c.candidates_surviving
+        ));
+    }
     out.push_str(&format!(
         "  \"dropped_events\": {},\n",
         trace.dropped_events
@@ -561,15 +683,29 @@ fn parse_algorithm(args: &[String]) -> Result<Algorithm, String> {
 
 fn cmd_discover(args: &[String]) -> Result<ExitCode, String> {
     let dir = args.first().ok_or("discover: missing database directory")?;
-    if !args.iter().any(|a| a == "--on-disk")
+    let on_disk = args.iter().any(|a| a == "--on-disk");
+    if !on_disk
         && (args.iter().any(|a| a == "--keep-going") || args.iter().any(|a| a == "--fault-plan"))
     {
         return Err("discover: --keep-going and --fault-plan require --on-disk".into());
     }
+    let resume = parse_resume(args)?;
+    if resume != spider_ind::valueset::ResumeMode::Off {
+        if !on_disk {
+            return Err("discover: --resume requires --on-disk".into());
+        }
+        if !args.iter().any(|a| a == "--workdir") {
+            return Err("discover: --resume needs an explicit --workdir \
+                 (a fresh temp export leaves nothing to resume)"
+                .into());
+        }
+    }
+    let cancel = cancel_token_from_args(args)?;
+    let _ambient = spider_ind::valueset::cancel::set_ambient(Some(cancel.clone()));
     let db = load(dir)?;
     if let Some(max_arity) = flag_value(args, "--max-arity")? {
         if max_arity >= 2 {
-            return cmd_discover_nary(&db, args, max_arity as usize);
+            return cmd_discover_nary(&db, args, max_arity as usize, &cancel, resume);
         }
     }
     let mut config = FinderConfig::with_algorithm(parse_algorithm(args)?);
@@ -579,20 +715,26 @@ fn cmd_discover(args: &[String]) -> Result<ExitCode, String> {
     let finder = IndFinder::new(config);
     let tracing = TraceArgs::from_args(args)?;
     let session = tracing.begin();
-    let result = if args.iter().any(|a| a == "--on-disk") {
-        discover_on_disk(&finder, &db, args)
+    let result = if on_disk {
+        discover_on_disk(&finder, &db, args, &cancel, resume)
     } else {
         finder
             .discover_in_memory(&db)
             .map_err(|e| format!("discovery failed: {e}"))
     };
     let trace = session.finish();
-    let discovery = result?;
+    let discovery = match result {
+        Ok(discovery) => discovery,
+        Err(message) => {
+            return finish_run_error(&cancel, &tracing, trace.as_ref(), dir, args, message)
+        }
+    };
     if let Some(trace) = &trace {
         tracing.write_outputs(
             trace,
             &discovery.metrics,
             discovery.degraded.as_ref(),
+            None,
             dir,
             args,
         )?;
@@ -631,10 +773,10 @@ fn cmd_discover_nary(
     db: &spider_ind::storage::Database,
     args: &[String],
     max_arity: usize,
+    cancel: &spider_ind::valueset::CancelToken,
+    resume: spider_ind::valueset::ResumeMode,
 ) -> Result<ExitCode, String> {
-    if args.iter().any(|a| a == "--keep-going") {
-        return Err("discover: --keep-going is not supported with --max-arity".into());
-    }
+    let dir = args.first().map(String::as_str).unwrap_or("");
     let mut config = NaryConfig {
         max_arity,
         ..Default::default()
@@ -646,7 +788,9 @@ fn cmd_discover_nary(
     let tracing = TraceArgs::from_args(args)?;
     let session = tracing.begin();
     let result = if args.iter().any(|a| a == "--on-disk") {
-        let options = export_options_from_args(args, 1)?;
+        let options = export_options_from_args(args, 1)?
+            .with_cancel(cancel.clone())
+            .resume(resume);
         let (workdir, temp) = resolve_workdir(args)?;
         let result = finder
             .discover_on_disk(db, &workdir, &options)
@@ -662,12 +806,21 @@ fn cmd_discover_nary(
             .map_err(|e| format!("discovery failed: {e}"))
     };
     let trace = session.finish();
-    let discovery = result?;
+    let discovery = match result {
+        Ok(discovery) => discovery,
+        Err(message) => {
+            return finish_run_error(cancel, &tracing, trace.as_ref(), dir, args, message)
+        }
+    };
     if let Some(trace) = &trace {
-        // The n-ary pipeline never runs in keep-going mode (rejected
-        // above), so the report's `degraded` field is always null here.
-        let dir = args.first().map(String::as_str).unwrap_or("");
-        tracing.write_outputs(trace, &discovery.metrics, None, dir, args)?;
+        tracing.write_outputs(
+            trace,
+            &discovery.metrics,
+            discovery.degraded.as_ref(),
+            None,
+            dir,
+            args,
+        )?;
     }
 
     let mut out = String::new();
@@ -721,11 +874,56 @@ fn cmd_discover_nary(
             eval.extras.len()
         );
     }
+    let mut code = ExitCode::SUCCESS;
+    if let Some(report) = &discovery.degraded {
+        outln!(out, "\ndegraded: {}", degraded_json(report));
+        if !report.is_clean() {
+            code = ExitCode::from(EXIT_DEGRADED);
+        }
+    }
     if args.iter().any(|a| a == "--names") {
         outln!(out, "\nmetrics: {}", discovery.metrics);
     }
     emit(&out);
-    Ok(ExitCode::SUCCESS)
+    Ok(code)
+}
+
+/// Terminal handling for a failed discover run: a cooperative
+/// cancellation (deadline expiry or SIGINT) is not a hard failure — it
+/// still flushes the requested `--report` (with a `cancelled` section
+/// recording how far the run got), tells the user the workdir is
+/// resumable, and exits with the distinct [`EXIT_CANCELLED`] status. Any
+/// other failure propagates unchanged.
+fn finish_run_error(
+    cancel: &spider_ind::valueset::CancelToken,
+    tracing: &TraceArgs,
+    trace: Option<&spider_ind::trace::Trace>,
+    dir: &str,
+    args: &[String],
+    message: String,
+) -> Result<ExitCode, String> {
+    if !cancel.is_cancelled() {
+        return Err(message);
+    }
+    let info = CancelledInfo::capture(cancel);
+    if let Some(trace) = trace {
+        // Discovery produced no final metrics; the report still carries
+        // the span tree, histograms, and the cancellation snapshot.
+        tracing.write_outputs(
+            trace,
+            &spider_ind::core::RunMetrics::new(),
+            None,
+            Some(&info),
+            dir,
+            args,
+        )?;
+    }
+    eprintln!(
+        "cancelled during {}: {} attributes exported, {} candidates still alive \
+         (workdir left resumable; finish with --resume)",
+        info.phase, info.attributes_exported, info.candidates_surviving
+    );
+    Ok(ExitCode::from(EXIT_CANCELLED))
 }
 
 /// Resolves `--workdir`: an explicit directory (kept for inspection) or a
@@ -754,8 +952,12 @@ fn discover_on_disk(
     finder: &IndFinder,
     db: &spider_ind::storage::Database,
     args: &[String],
+    cancel: &spider_ind::valueset::CancelToken,
+    resume: spider_ind::valueset::ResumeMode,
 ) -> Result<spider_ind::core::Discovery, String> {
-    let options = export_options_from_args(args, finder.config.algorithm.extraction_threads())?;
+    let options = export_options_from_args(args, finder.config.algorithm.extraction_threads())?
+        .with_cancel(cancel.clone())
+        .resume(resume);
     let (workdir, temp) = resolve_workdir(args)?;
     let result = finder
         .discover_on_disk_with(db, &workdir, &options)
@@ -929,6 +1131,66 @@ mod tests {
             "{\"quarantined\":[{\"id\":7,\"name\":\"t.c\",\"error\":\
              \"bad \\\"frame\\\"\\nat byte 12\"}],\"io_retries\":3,\"checksum_failures\":1}"
         );
+    }
+
+    #[test]
+    fn parse_duration_understands_units() {
+        use std::time::Duration;
+        for (text, expected) in [
+            ("500ms", Duration::from_millis(500)),
+            ("1ms", Duration::from_millis(1)),
+            ("30s", Duration::from_secs(30)),
+            ("30", Duration::from_secs(30)),
+            ("2m", Duration::from_secs(120)),
+            ("2MIN", Duration::from_secs(120)),
+            ("0ms", Duration::ZERO),
+        ] {
+            assert_eq!(parse_duration(text), Ok(expected), "{text}");
+        }
+        for bad in ["", "ms", "1.5s", "-4s", "5h", "99999999999999999999s"] {
+            assert!(parse_duration(bad).is_err(), "`{bad}` must not parse");
+        }
+    }
+
+    #[test]
+    fn parse_resume_reads_optional_mode() {
+        use spider_ind::valueset::ResumeMode;
+        let none = args(&["discover", "db", "--on-disk"]);
+        assert_eq!(parse_resume(&none), Ok(ResumeMode::Off));
+        let bare = args(&["discover", "db", "--resume"]);
+        assert_eq!(parse_resume(&bare), Ok(ResumeMode::Reuse));
+        let next_flag = args(&["discover", "db", "--resume", "--workdir", "w"]);
+        assert_eq!(parse_resume(&next_flag), Ok(ResumeMode::Reuse));
+        let verify = args(&["discover", "db", "--resume", "verify"]);
+        assert_eq!(parse_resume(&verify), Ok(ResumeMode::Verify));
+        let typo = args(&["discover", "db", "--resume", "verfy"]);
+        let err = parse_resume(&typo).unwrap_err();
+        assert!(err.contains("verfy"), "{err}");
+    }
+
+    #[test]
+    fn cancelled_report_section_is_emitted_only_when_cancelled() {
+        let info = CancelledInfo {
+            phase: "merge".to_string(),
+            attributes_exported: 7,
+            candidates_surviving: 12,
+        };
+        let trace = spider_ind::trace::Trace {
+            roots: Vec::new(),
+            dropped_events: 0,
+        };
+        let metrics = spider_ind::core::RunMetrics::new();
+        let a = args(&["discover", "db"]);
+        let with = run_report_json(&trace, &metrics, None, Some(&info), "db", &a);
+        assert!(
+            with.contains(
+                "\"cancelled\": {\"phase\": \"merge\", \"attributes_exported\": 7, \
+                 \"candidates_surviving\": 12}"
+            ),
+            "{with}"
+        );
+        let without = run_report_json(&trace, &metrics, None, None, "db", &a);
+        assert!(!without.contains("\"cancelled\""), "{without}");
     }
 
     #[test]

@@ -488,6 +488,245 @@ fn report_and_folded_trace_come_out_well_formed() {
 }
 
 #[test]
+fn crash_then_resume_recovers_byte_identically_via_cli() {
+    use spider_ind::trace::json::{parse, Json};
+
+    let dir = TempDir::new("cli-crash-resume");
+    let db_dir = dir.join("db");
+    let db_path = db_dir.to_str().expect("utf8 path");
+    assert!(spider_ind(&["generate", "scop", db_path, "--scale", "5"])
+        .status
+        .success());
+
+    let inds = |out: &std::process::Output| -> Vec<String> {
+        stdout(out)
+            .lines()
+            .filter(|l| l.contains(" <= "))
+            .map(str::to_string)
+            .collect()
+    };
+    let clean = spider_ind(&["discover", db_path, "--algorithm", "spider"]);
+    assert!(clean.status.success());
+
+    // First run dies mid-export on an injected torn write: dirty exit.
+    let workdir = dir.join("work");
+    let work_path = workdir.to_str().expect("utf8");
+    let crashed = spider_ind(&[
+        "discover",
+        db_path,
+        "--algorithm",
+        "spider",
+        "--on-disk",
+        "--workdir",
+        work_path,
+        "--fault-plan",
+        "write:*:crash=5",
+    ]);
+    assert!(!crashed.status.success(), "the crash must surface");
+
+    // Second run resumes: completes, reuses at least one published
+    // export, and leaves no staged `.tmp` behind.
+    let report_path = dir.join("resume-report.json");
+    let resumed = spider_ind(&[
+        "discover",
+        db_path,
+        "--algorithm",
+        "spider",
+        "--on-disk",
+        "--workdir",
+        work_path,
+        "--resume",
+        "verify",
+        "--report",
+        report_path.to_str().expect("utf8"),
+    ]);
+    assert!(
+        resumed.status.success(),
+        "{}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_eq!(inds(&clean), inds(&resumed), "resume changes no answers");
+    let report = parse(&std::fs::read_to_string(&report_path).expect("report")).expect("json");
+    let metrics = report.get("metrics").expect("metrics");
+    assert!(
+        metrics
+            .get("exports_reused")
+            .and_then(Json::as_u64)
+            .unwrap()
+            > 0,
+        "resume must reuse the exports that landed before the crash"
+    );
+    for entry in std::fs::read_dir(&workdir).expect("workdir") {
+        let path = entry.expect("entry").path();
+        assert!(
+            path.extension().and_then(|e| e.to_str()) != Some("tmp"),
+            "orphan staged file survived resume: {}",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn deadline_expiry_exits_cancelled_with_flushed_report() {
+    use spider_ind::trace::json::{parse, Json};
+
+    let dir = TempDir::new("cli-deadline");
+    let db_dir = dir.join("db");
+    let db_path = db_dir.to_str().expect("utf8 path");
+    assert!(spider_ind(&["generate", "scop", db_path, "--scale", "5"])
+        .status
+        .success());
+
+    let workdir = dir.join("work");
+    let report_path = dir.join("report.json");
+    let out = spider_ind(&[
+        "discover",
+        db_path,
+        "--algorithm",
+        "spider",
+        "--on-disk",
+        "--workdir",
+        workdir.to_str().expect("utf8"),
+        "--deadline",
+        "0ms",
+        "--report",
+        report_path.to_str().expect("utf8"),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "deadline expiry has its own exit status\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("cancelled during"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The report was still flushed, with the cancellation snapshot.
+    let report = parse(&std::fs::read_to_string(&report_path).expect("report")).expect("json");
+    assert_eq!(report.get("report_version").and_then(Json::as_u64), Some(1));
+    let cancelled = report.get("cancelled").expect("cancelled section");
+    assert!(
+        cancelled.get("phase").and_then(Json::as_str).is_some(),
+        "cancelled section records the phase reached"
+    );
+
+    // The interrupted workdir resumes to a clean finish.
+    let resumed = spider_ind(&[
+        "discover",
+        db_path,
+        "--algorithm",
+        "spider",
+        "--on-disk",
+        "--workdir",
+        workdir.to_str().expect("utf8"),
+        "--resume",
+    ]);
+    assert!(
+        resumed.status.success(),
+        "{}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert!(stdout(&resumed).contains("satisfied INDs"));
+}
+
+#[test]
+fn resume_flag_demands_disk_pipeline_and_explicit_workdir() {
+    let dir = TempDir::new("cli-resume-validate");
+    let db_dir = dir.join("db");
+    let db_path = db_dir.to_str().expect("utf8 path");
+    assert!(spider_ind(&["generate", "scop", db_path, "--scale", "5"])
+        .status
+        .success());
+
+    let no_disk = spider_ind(&["discover", db_path, "--resume"]);
+    assert!(!no_disk.status.success());
+    assert!(
+        String::from_utf8_lossy(&no_disk.stderr).contains("--on-disk"),
+        "{}",
+        String::from_utf8_lossy(&no_disk.stderr)
+    );
+
+    let no_workdir = spider_ind(&["discover", db_path, "--on-disk", "--resume"]);
+    assert!(!no_workdir.status.success());
+    assert!(
+        String::from_utf8_lossy(&no_workdir.stderr).contains("--workdir"),
+        "{}",
+        String::from_utf8_lossy(&no_workdir.stderr)
+    );
+
+    let bad_mode = spider_ind(&["discover", db_path, "--on-disk", "--resume", "sometimes"]);
+    assert!(!bad_mode.status.success());
+    assert!(
+        String::from_utf8_lossy(&bad_mode.stderr).contains("sometimes"),
+        "{}",
+        String::from_utf8_lossy(&bad_mode.stderr)
+    );
+}
+
+#[test]
+fn nary_keep_going_quarantines_and_exits_degraded_via_cli() {
+    let dir = TempDir::new("cli-nary-keepgoing");
+    let db_dir = dir.join("db");
+    let db_path = db_dir.to_str().expect("utf8 path");
+    assert!(
+        spider_ind(&["generate", "chains", db_path, "--scale", "30"])
+            .status
+            .success()
+    );
+
+    // A poisoned unary attribute quarantines it and every composite
+    // candidate touching it; the healthy composite FK still validates.
+    let degraded = spider_ind(&[
+        "discover",
+        db_path,
+        "--max-arity",
+        "2",
+        "--on-disk",
+        "--keep-going",
+        "--fault-plan",
+        "read:attr-00001:flip=30",
+    ]);
+    assert_eq!(
+        degraded.status.code(),
+        Some(2),
+        "stdout:\n{}\nstderr:\n{}",
+        stdout(&degraded),
+        String::from_utf8_lossy(&degraded.stderr)
+    );
+    let text = stdout(&degraded);
+    assert!(
+        text.contains("degraded: {\"quarantined\":[{\"id\":1,"),
+        "{text}"
+    );
+    assert!(
+        text.contains("composite INDs"),
+        "the run still answers: {text}"
+    );
+
+    // Keep-going with nothing wrong: clean degraded report, normal exit.
+    let clean = spider_ind(&[
+        "discover",
+        db_path,
+        "--max-arity",
+        "2",
+        "--on-disk",
+        "--keep-going",
+    ]);
+    assert!(
+        clean.status.success(),
+        "{}",
+        String::from_utf8_lossy(&clean.stderr)
+    );
+    assert!(
+        stdout(&clean).contains("degraded: {\"quarantined\":[]"),
+        "{}",
+        stdout(&clean)
+    );
+}
+
+#[test]
 fn discover_rejects_unknown_algorithm() {
     let dir = TempDir::new("cli-badalgo");
     let db_dir = dir.join("db");

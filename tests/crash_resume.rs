@@ -1,0 +1,250 @@
+//! Crash-safety end to end: a run killed at an export boundary — torn
+//! write, failed fsync, or cooperative cancellation — must leave a
+//! workdir that a `--resume` run completes to the byte-identical result
+//! of an uninterrupted run, reusing the exports that already landed and
+//! sweeping every staged `.tmp` file.
+
+use ind_testkit::TempDir;
+use proptest::prelude::*;
+use spider_ind::core::{Algorithm, IndFinder};
+use spider_ind::storage::{ColumnSchema, DataType, Database, Table, TableSchema};
+use spider_ind::valueset::{CancelToken, ExportOptions, FaultPlan, IoOptions, ResumeMode};
+use std::path::Path;
+use std::sync::Arc;
+
+/// parent(id unique, label text) ← child(id unique, parent_id).
+/// Attribute ids: 0=parent.id, 1=parent.label, 2=child.id, 3=child.parent_id.
+fn fixture_db() -> Database {
+    let mut db = Database::new("crash-resume");
+    let mut parent = Table::new(
+        TableSchema::new(
+            "parent",
+            vec![
+                ColumnSchema::new("id", DataType::Integer)
+                    .not_null()
+                    .unique(),
+                ColumnSchema::new("label", DataType::Text),
+            ],
+        )
+        .expect("schema"),
+    );
+    for i in 0..12i64 {
+        parent
+            .insert(vec![i.into(), format!("label-{i}").into()])
+            .expect("row");
+    }
+    let mut child = Table::new(
+        TableSchema::new(
+            "child",
+            vec![
+                ColumnSchema::new("id", DataType::Integer)
+                    .not_null()
+                    .unique(),
+                ColumnSchema::new("parent_id", DataType::Integer),
+            ],
+        )
+        .expect("schema"),
+    );
+    for i in 0..24i64 {
+        child
+            .insert(vec![(1000 + i).into(), (i % 12).into()])
+            .expect("row");
+    }
+    db.add_table(parent).expect("parent");
+    db.add_table(child).expect("child");
+    db
+}
+
+/// Every published value file in `dir`, as `(name, bytes)` sorted by name
+/// — the byte-identity witness.
+fn value_files(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir).expect("read_dir") {
+        let path = entry.expect("entry").path();
+        if path.extension().and_then(|e| e.to_str()) == Some("indv") {
+            let name = path
+                .file_name()
+                .expect("name")
+                .to_string_lossy()
+                .into_owned();
+            out.push((name, std::fs::read(&path).expect("read")));
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Asserts the workdir holds no staged `.tmp` file (top level — where
+/// atomic publication stages and where resume sweeps).
+fn assert_no_tmp(dir: &Path) {
+    for entry in std::fs::read_dir(dir).expect("read_dir") {
+        let path = entry.expect("entry").path();
+        assert!(
+            path.extension().and_then(|e| e.to_str()) != Some("tmp"),
+            "orphan staged file survived resume: {}",
+            path.display()
+        );
+    }
+}
+
+/// Options with the given fault `spec` injected (no other tuning).
+fn faulted(spec: &str) -> ExportOptions {
+    let mut options = ExportOptions::default();
+    options.sort.io =
+        IoOptions::default().with_fault(Arc::new(FaultPlan::parse(spec).expect("plan")));
+    options
+}
+
+#[test]
+fn resume_recovers_from_a_crash_at_every_write_boundary() {
+    let db = fixture_db();
+    let finder = IndFinder::with_algorithm(Algorithm::Spider);
+    let clean_dir = TempDir::new("crash-clean");
+    let clean = finder
+        .discover_on_disk_with(&db, clean_dir.path(), &ExportOptions::default())
+        .expect("clean run");
+    let clean_files = value_files(clean_dir.path());
+
+    // Sweep the crash over every write the export issues — value-file
+    // frames, footers, and the manifest itself — until a run survives
+    // because the Nth write never happens; every interrupted prefix must
+    // resume to the identical answer.
+    let mut crashes = 0u32;
+    let mut total_reused = 0u64;
+    for n in 1..400u32 {
+        let dir = TempDir::new("crash-boundary");
+        match finder.discover_on_disk_with(&db, dir.path(), &faulted(&format!("write:*:crash={n}")))
+        {
+            Ok(d) => {
+                assert_eq!(d.satisfied, clean.satisfied, "uncrashed run at n={n}");
+                assert!(crashes > 0, "the sweep must hit at least one boundary");
+                assert!(
+                    total_reused > 0,
+                    "later boundaries must reuse earlier exports"
+                );
+                return;
+            }
+            Err(_) => {
+                crashes += 1;
+                let resumed = finder
+                    .discover_on_disk_with(
+                        &db,
+                        dir.path(),
+                        &ExportOptions::default().resume(ResumeMode::Verify),
+                    )
+                    .unwrap_or_else(|e| panic!("resume after crash={n} failed: {e}"));
+                assert_eq!(resumed.satisfied, clean.satisfied, "INDs after crash={n}");
+                assert_eq!(
+                    resumed.metrics.exports_reused + resumed.metrics.exports_redone,
+                    4,
+                    "all four attributes accounted for after crash={n}"
+                );
+                total_reused += resumed.metrics.exports_reused;
+                assert_no_tmp(dir.path());
+                assert_eq!(
+                    value_files(dir.path()),
+                    clean_files,
+                    "value files after crash={n} resume"
+                );
+            }
+        }
+    }
+    panic!("crash sweep never ran past the export's write count");
+}
+
+#[test]
+fn resume_recovers_from_a_failed_fsync_at_each_publication() {
+    let db = fixture_db();
+    let finder = IndFinder::with_algorithm(Algorithm::Spider);
+    let clean_dir = TempDir::new("fsync-clean");
+    let clean = finder
+        .discover_on_disk_with(&db, clean_dir.path(), &ExportOptions::default())
+        .expect("clean run");
+    let clean_files = value_files(clean_dir.path());
+
+    // Fail the durability point of each artifact in turn: every value
+    // file's fsync and the manifest's own.
+    for target in [
+        "attr-00000",
+        "attr-00001",
+        "attr-00002",
+        "attr-00003",
+        "MANIFEST",
+    ] {
+        let dir = TempDir::new("fsync-boundary");
+        let err = finder
+            .discover_on_disk_with(&db, dir.path(), &faulted(&format!("fsync:{target}:fail")))
+            .expect_err("a failed fsync must abort the strict run");
+        assert!(err.to_string().contains("fsync"), "{target}: {err}");
+
+        let resumed = finder
+            .discover_on_disk_with(
+                &db,
+                dir.path(),
+                &ExportOptions::default().resume(ResumeMode::Reuse),
+            )
+            .unwrap_or_else(|e| panic!("resume after fsync:{target}:fail failed: {e}"));
+        assert_eq!(resumed.satisfied, clean.satisfied, "INDs after {target}");
+        assert_no_tmp(dir.path());
+        assert_eq!(value_files(dir.path()), clean_files, "files after {target}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Interrupt a run at an arbitrary point — a torn-write crash at the
+    /// Nth write or a cooperative cancel at the Nth poll — across
+    /// arbitrary I/O block sizes and sort memory budgets, then resume:
+    /// the final IND set and every published value file must be
+    /// byte-identical to an uninterrupted run at the same settings.
+    #[test]
+    fn interrupted_runs_resume_to_byte_identical_results(
+        interrupt in 1u64..150,
+        crash in any::<bool>(),
+        block in 1usize..96,
+        budget in 256usize..4096,
+    ) {
+        let db = fixture_db();
+        let finder = IndFinder::with_algorithm(Algorithm::Spider);
+
+        let clean_dir = TempDir::new("prop-resume-clean");
+        let mut clean_options = ExportOptions::default();
+        clean_options.sort.io = IoOptions::with_block_size(block);
+        clean_options.sort.memory_budget_bytes = budget;
+        let clean = finder
+            .discover_on_disk_with(&db, clean_dir.path(), &clean_options)
+            .expect("uninterrupted run");
+        let clean_files = value_files(clean_dir.path());
+
+        let dir = TempDir::new("prop-resume");
+        let mut first = ExportOptions::default();
+        first.sort.io = IoOptions::with_block_size(block);
+        first.sort.memory_budget_bytes = budget;
+        if crash {
+            first.sort.io = first
+                .sort
+                .io
+                .with_fault(Arc::new(FaultPlan::parse(&format!("write:*:crash={interrupt}")).expect("plan")));
+        } else {
+            first = first.with_cancel(CancelToken::cancel_after(interrupt));
+        }
+        // The interrupted run may fail at any point — or finish, when the
+        // interrupt lands past the end. Both are part of the sweep.
+        let _ = finder.discover_on_disk_with(&db, dir.path(), &first);
+
+        let mut resume = ExportOptions::default().resume(ResumeMode::Verify);
+        resume.sort.io = IoOptions::with_block_size(block);
+        resume.sort.memory_budget_bytes = budget;
+        let resumed = finder
+            .discover_on_disk_with(&db, dir.path(), &resume)
+            .expect("resume completes");
+        prop_assert_eq!(&resumed.satisfied, &clean.satisfied);
+        prop_assert_eq!(
+            resumed.metrics.exports_reused + resumed.metrics.exports_redone,
+            4
+        );
+        assert_no_tmp(dir.path());
+        prop_assert_eq!(value_files(dir.path()), clean_files);
+    }
+}
